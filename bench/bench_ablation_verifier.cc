@@ -1,0 +1,41 @@
+// Ablation of the future-work expansion verifier (Section VI proposes RL
+// signals to mitigate hallucinated expansions; Section IV-B reports the
+// failure case). The same coach revises the corpus with the verifier off
+// (the published system) and on, for each backbone — weaker backbones
+// generate more slips, so they gain the most from self-checking.
+
+#include "bench_common.h"
+#include "common/table_writer.h"
+#include "quality/accuracy_rater.h"
+
+using namespace coachlm;
+
+int main() {
+  bench::PrintHeader("Ablation (future work)",
+                     "RL-style expansion verification on/off");
+  bench::World world = bench::BuildWorld(/*with_coach=*/false);
+  quality::AccuracyRater rater;
+
+  TableWriter table({"Backbone", "Verifier", "Mean rating", "> 4.5"});
+  for (const lm::BackboneProfile& backbone :
+       {lm::Llama7B(), lm::ChatGlm26B()}) {
+    for (bool verify : {false, true}) {
+      coach::CoachConfig config;
+      config.alpha = 0.3;
+      config.backbone = backbone;
+      config.verify_expansions = verify;
+      const auto result = coach::RunCoachPipeline(
+          world.corpus.dataset, world.study.revisions, config);
+      const auto rating = rater.RateDataset(result.revised_dataset);
+      table.AddRow({backbone.name, verify ? "on" : "off",
+                    TableWriter::Num(rating.mean, 2),
+                    TableWriter::Pct(rating.fraction_above_45)});
+    }
+    table.AddSeparator();
+  }
+  std::printf("%s", table.ToAscii().c_str());
+  std::printf("the verifier repairs disfluent expansions and rejects "
+              "ungrounded ones; the weaker backbone (higher fluency noise) "
+              "gains more.\n");
+  return 0;
+}

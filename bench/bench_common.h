@@ -1,0 +1,70 @@
+#ifndef COACHLM_BENCH_BENCH_COMMON_H_
+#define COACHLM_BENCH_BENCH_COMMON_H_
+
+// Shared setup for the table/figure reproduction binaries. Every bench is
+// deterministic; COACHLM_SCALE (0 < s <= 1) shrinks the corpus for smoke
+// runs, with 1.0 (the default) reproducing paper scale (52k corpus, 6k
+// expert sample).
+
+#include <cstdio>
+#include <memory>
+
+#include "coach/pipeline.h"
+#include "common/env.h"
+#include "expert/pipeline.h"
+#include "synth/generator.h"
+
+namespace coachlm {
+namespace bench {
+
+/// Everything the experiments share: the corpus, the expert study, and the
+/// coach pipeline output at the main-experiment settings (alpha = 0.3,
+/// ChatGLM2 backbone).
+struct World {
+  std::unique_ptr<synth::SynthCorpusGenerator> generator;
+  synth::SynthCorpus corpus;
+  expert::RevisionStudyResult study;
+  coach::CoachPipelineResult coach;
+};
+
+inline World BuildWorld(bool with_coach = true) {
+  World world;
+  synth::CorpusConfig corpus_config;
+  corpus_config.size = Scaled(52000, 2000);
+  corpus_config.seed = 42;
+  world.generator =
+      std::make_unique<synth::SynthCorpusGenerator>(corpus_config);
+  std::fprintf(stderr, "[bench] generating corpus (%zu pairs)...\n",
+               corpus_config.size);
+  world.corpus = world.generator->Generate();
+
+  expert::RevisionStudyConfig study_config;
+  study_config.sample_size = Scaled(6000, 400);
+  std::fprintf(stderr, "[bench] expert revision study (%zu sampled)...\n",
+               study_config.sample_size);
+  world.study = expert::RunRevisionStudy(
+      world.corpus.dataset, world.generator->engine(), study_config);
+
+  if (with_coach) {
+    std::fprintf(stderr, "[bench] coach tuning + dataset revision...\n");
+    coach::CoachConfig coach_config;
+    coach_config.alpha = 0.3;
+    world.coach = coach::RunCoachPipeline(world.corpus.dataset,
+                                          world.study.revisions,
+                                          coach_config);
+  }
+  return world;
+}
+
+inline void PrintHeader(const char* artifact, const char* description) {
+  std::printf("=============================================================\n");
+  std::printf("%s — %s\n", artifact, description);
+  std::printf("(synthetic reproduction; COACHLM_SCALE=%.3f)\n",
+              ExperimentScale());
+  std::printf("=============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace coachlm
+
+#endif  // COACHLM_BENCH_BENCH_COMMON_H_

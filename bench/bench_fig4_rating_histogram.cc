@@ -1,0 +1,43 @@
+// Reproduces Fig. 4: the histogram of ChatGPT-style 0-5 accuracy ratings
+// over the whole dataset before and after CoachLM revision, with the mean
+// and the share of pairs rated above 4.5 (paper: 3.95 -> 4.31 and 17.7% ->
+// 78.9%).
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "quality/accuracy_rater.h"
+
+using namespace coachlm;
+
+namespace {
+
+Histogram RatingHistogram(const InstructionDataset& dataset) {
+  Histogram histogram(0.0, 5.0, 10);
+  quality::AccuracyRater rater;
+  for (const InstructionPair& pair : dataset) {
+    histogram.Add(rater.Rate(pair));
+  }
+  return histogram;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Fig. 4",
+                     "ChatGPT-style rating histogram before/after revision");
+  bench::World world = bench::BuildWorld();
+
+  const Histogram before = RatingHistogram(world.corpus.dataset);
+  const Histogram after = RatingHistogram(world.coach.revised_dataset);
+
+  std::printf("--- Original dataset ---\n%s", before.ToAscii().c_str());
+  std::printf("mean rating: %.2f (paper: 3.95)\n", before.Mean());
+  std::printf("share above 4.5: %.1f%% (paper: 17.7%%)\n\n",
+              before.FractionAtLeast(4.5 + 1e-9) * 100);
+
+  std::printf("--- CoachLM-revised dataset ---\n%s", after.ToAscii().c_str());
+  std::printf("mean rating: %.2f (paper: 4.31)\n", after.Mean());
+  std::printf("share above 4.5: %.1f%% (paper: 78.9%%)\n",
+              after.FractionAtLeast(4.5 + 1e-9) * 100);
+  return 0;
+}

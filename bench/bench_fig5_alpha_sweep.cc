@@ -1,0 +1,108 @@
+// Reproduces Fig. 5: (a) win rate of Alpaca-CoachLM on CoachLM150 as the
+// human input ratio alpha varies (paper: peak at 0.3, <=~10% degradation at
+// alpha 1, rated by both PandaLM and GPT-4 with debiasing), and (b) win
+// rate of Alpaca-human as more human-revised samples replace originals,
+// with the linear fit (paper: 3.07%/k, R^2 = 0.9799) and the extrapolated
+// crossover with Alpaca-CoachLM.
+
+#include <algorithm>
+
+#include "bench_common.h"
+#include "coach/alpha_selection.h"
+#include "common/linear_fit.h"
+#include "common/table_writer.h"
+#include "testsets/testset.h"
+#include "tuning/evaluation.h"
+#include "tuning/model_zoo.h"
+
+using namespace coachlm;
+
+namespace {
+
+double AverageWinRate(const tuning::EvalResult& eval) {
+  // Fig. 5 plots the average of WR1, WR2 and QS.
+  return (eval.rates.wr1 + eval.rates.wr2 + eval.rates.qs) / 3.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Fig. 5", "impact of the human input ratio alpha");
+  bench::World world = bench::BuildWorld(/*with_coach=*/false);
+  const testsets::TestSet set = testsets::CoachLm150();
+  const judge::PairwiseJudge panda(judge::PandaLmProfile());
+  const judge::PairwiseJudge gpt4(judge::Gpt4Profile());
+  tuning::InstructionTuner tuner;
+
+  // --- (a) Alpaca-CoachLM vs alpha ---
+  std::printf("\n(a) Alpaca-CoachLM win rate vs alpha (avg of WR1/WR2/QS)\n");
+  TableWriter sweep({"alpha", "PandaLM", "GPT-4 (debiased)"});
+  double coachlm_at_03 = 0.0;
+  double best_alpha = 0.0, best_rate = -1.0;
+  for (double alpha : {0.0, 0.1, 0.2, 0.3, 0.5, 0.7, 0.85, 1.0}) {
+    coach::CoachConfig config;
+    config.alpha = alpha;
+    const auto result = coach::RunCoachPipeline(
+        world.corpus.dataset, world.study.revisions, config);
+    const tuning::TunedModel model = tuner.Tune(
+        tuning::Llama7BBase("Alpaca-CoachLM"), result.revised_dataset);
+    const double panda_rate =
+        AverageWinRate(tuning::EvaluateModel(model, set, panda));
+    const double gpt4_rate =
+        AverageWinRate(tuning::EvaluateModel(model, set, gpt4));
+    sweep.AddRow({TableWriter::Num(alpha, 2), TableWriter::Pct(panda_rate),
+                  TableWriter::Pct(gpt4_rate)});
+    if (alpha == 0.3) coachlm_at_03 = panda_rate;
+    if (panda_rate > best_rate) {
+      best_rate = panda_rate;
+      best_alpha = alpha;
+    }
+  }
+  std::printf("%s", sweep.ToAscii().c_str());
+  std::printf("best alpha (PandaLM): %.2f (paper: 0.3)\n", best_alpha);
+
+  // --- (b) Alpaca-human vs number of human-revised samples ---
+  std::printf("\n(b) Alpaca-human win rate vs human-revised sample count\n");
+  TableWriter human_rows({"human samples", "PandaLM avg win rate"});
+  std::vector<double> xs, ys;
+  const size_t total = world.study.revisions.size();
+  for (double fraction : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const size_t use = static_cast<size_t>(fraction * total);
+    InstructionDataset merged = world.corpus.dataset;
+    std::unordered_map<uint64_t, const InstructionPair*> revised_by_id;
+    for (size_t i = 0; i < use; ++i) {
+      revised_by_id[world.study.revisions[i].original.id] =
+          &world.study.revisions[i].revised;
+    }
+    for (InstructionPair& pair : merged.pairs()) {
+      auto it = revised_by_id.find(pair.id);
+      if (it != revised_by_id.end()) pair = *it->second;
+    }
+    const tuning::TunedModel model =
+        tuner.Tune(tuning::Llama7BBase("Alpaca-human"), merged);
+    const double rate =
+        AverageWinRate(tuning::EvaluateModel(model, set, panda));
+    human_rows.AddRow({std::to_string(use), TableWriter::Pct(rate)});
+    xs.push_back(static_cast<double>(use));
+    ys.push_back(rate * 100.0);
+  }
+  std::printf("%s", human_rows.ToAscii().c_str());
+
+  const auto fit = FitLine(xs, ys);
+  if (fit.ok()) {
+    std::printf("linear fit: %.2f%%/k human samples, R^2 = %.4f "
+                "(paper: 3.07%%/k, R^2 = 0.9799)\n",
+                fit->slope * 1000.0, fit->r_squared);
+    const auto crossover = fit->SolveForX(coachlm_at_03 * 100.0);
+    if (crossover.ok() && *crossover > 0) {
+      std::printf("estimated crossover with Alpaca-CoachLM(alpha=0.3): "
+                  "%.0f human-revised samples (paper: ~7.3k); CoachLM used "
+                  "only %zu (%.1f%% of that)\n",
+                  *crossover,
+                  coach::AlphaCount(total, 0.3),
+                  100.0 * coach::AlphaCount(total, 0.3) /
+                      std::max(1.0, *crossover));
+    }
+  }
+  return 0;
+}

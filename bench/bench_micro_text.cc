@@ -1,0 +1,87 @@
+// Micro benchmarks of the text substrate: tokenization, edit distance,
+// alignment, and similarity — the hot loops of alpha-selection (Section
+// II-F2) and rule extraction.
+
+#include <benchmark/benchmark.h>
+
+#include "synth/topic_bank.h"
+#include "text/alignment.h"
+#include "text/edit_distance.h"
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+
+namespace coachlm {
+namespace {
+
+std::string LongText() {
+  std::string text;
+  for (const synth::Topic& topic : synth::Topics()) {
+    text += topic.fact + " " + topic.details[0] + " ";
+    if (text.size() > 2000) break;
+  }
+  return text;
+}
+
+void BM_WordTokenize(benchmark::State& state) {
+  const std::string text = LongText();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokenizer::WordTokenize(text));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_WordTokenize);
+
+void BM_SplitSentences(benchmark::State& state) {
+  const std::string text = LongText();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokenizer::SplitSentences(text));
+  }
+}
+BENCHMARK(BM_SplitSentences);
+
+void BM_CharEditDistance(benchmark::State& state) {
+  const std::string a = LongText().substr(0, state.range(0));
+  std::string b = a;
+  b[b.size() / 2] = '#';
+  b.insert(b.size() / 3, "inserted words here");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(editdist::CharDistance(a, b));
+  }
+}
+BENCHMARK(BM_CharEditDistance)->Arg(128)->Arg(512)->Arg(2000);
+
+void BM_CharEditDistanceBounded(benchmark::State& state) {
+  const std::string a = LongText().substr(0, 2000);
+  std::string b = a;
+  b[100] = '#';
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(editdist::CharDistanceBounded(a, b, 4));
+  }
+}
+BENCHMARK(BM_CharEditDistanceBounded);
+
+void BM_WordAlignment(benchmark::State& state) {
+  const auto src = tokenizer::WordTokenize(LongText().substr(0, 600));
+  auto tgt = src;
+  tgt.insert(tgt.begin() + static_cast<long>(tgt.size()) / 2, "extra");
+  tgt[3] = "changed";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::Align(src, tgt));
+  }
+}
+BENCHMARK(BM_WordAlignment);
+
+void BM_ContentOverlap(benchmark::State& state) {
+  const std::string a = LongText().substr(0, 500);
+  const std::string b = LongText().substr(200, 500);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(similarity::ContentOverlap(a, b));
+  }
+}
+BENCHMARK(BM_ContentOverlap);
+
+}  // namespace
+}  // namespace coachlm
+
+BENCHMARK_MAIN();

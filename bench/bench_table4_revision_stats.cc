@@ -1,0 +1,101 @@
+// Reproduces Table IV (the distribution of expert revision types on the
+// INSTRUCTION and RESPONSE sides), plus the Table I expert grouping and the
+// Section II-E effort accounting (the paper's 129 person-days).
+
+#include "bench_common.h"
+#include "common/table_writer.h"
+#include "expert/experts.h"
+
+using namespace coachlm;
+
+int main() {
+  bench::PrintHeader("Table IV (+ Table I, person-days)",
+                     "expert revision-type distribution");
+  bench::World world = bench::BuildWorld(/*with_coach=*/false);
+  const expert::RevisionStudyResult& study = world.study;
+
+  // --- Table I: expert grouping ---
+  TableWriter groups({"Group", "Task", "Experts", "Avg experience"});
+  groups.AddRow({"A", "Revise Instruction Pairs",
+                 std::to_string(
+                     expert::GroupMembers(expert::ExpertGroup::kReviseA).size()),
+                 TableWriter::Num(expert::MeanExperience(expert::GroupMembers(
+                                      expert::ExpertGroup::kReviseA)),
+                                  2)});
+  groups.AddRow({"B", "Create Test Set",
+                 std::to_string(expert::GroupMembers(
+                                    expert::ExpertGroup::kTestSetB)
+                                    .size()),
+                 TableWriter::Num(expert::MeanExperience(expert::GroupMembers(
+                                      expert::ExpertGroup::kTestSetB)),
+                                  2)});
+  groups.AddRow({"C", "Evaluate CoachLM",
+                 std::to_string(expert::GroupMembers(
+                                    expert::ExpertGroup::kEvaluateC)
+                                    .size()),
+                 TableWriter::Num(expert::MeanExperience(expert::GroupMembers(
+                                      expert::ExpertGroup::kEvaluateC)),
+                                  2)});
+  std::printf("%s\n", groups.ToAscii().c_str());
+
+  // --- Table IV: instruction side ---
+  const size_t instr_total = [&] {
+    size_t total = 0;
+    for (const auto& [type, count] : study.instruction_revision_counts) {
+      total += count;
+    }
+    return total;
+  }();
+  TableWriter instr({"Instruction revision", "Paper", "Measured"});
+  const std::pair<expert::InstructionRevisionType, double> instr_rows[] = {
+      {expert::InstructionRevisionType::kAdjustReadability, 0.681},
+      {expert::InstructionRevisionType::kRewriteFeasibility, 0.249},
+      {expert::InstructionRevisionType::kDiversifyContext, 0.070},
+  };
+  for (const auto& [type, paper] : instr_rows) {
+    auto it = study.instruction_revision_counts.find(type);
+    const size_t count =
+        it == study.instruction_revision_counts.end() ? 0 : it->second;
+    instr.AddRow({expert::InstructionRevisionTypeName(type),
+                  TableWriter::Pct(paper),
+                  TableWriter::Pct(instr_total
+                                       ? static_cast<double>(count) / instr_total
+                                       : 0.0)});
+  }
+  std::printf("%s\n", instr.ToAscii().c_str());
+
+  // --- Table IV: response side ---
+  const size_t resp_total = [&] {
+    size_t total = 0;
+    for (const auto& [type, count] : study.response_revision_counts) {
+      total += count;
+    }
+    return total;
+  }();
+  TableWriter resp({"Response revision", "Paper", "Measured"});
+  const std::pair<expert::ResponseRevisionType, double> resp_rows[] = {
+      {expert::ResponseRevisionType::kDiversifyExpand, 0.437},
+      {expert::ResponseRevisionType::kRewriteContent, 0.245},
+      {expert::ResponseRevisionType::kAdjustLayoutTone, 0.233},
+      {expert::ResponseRevisionType::kCorrectFacts, 0.067},
+      {expert::ResponseRevisionType::kOther, 0.019},
+  };
+  for (const auto& [type, paper] : resp_rows) {
+    auto it = study.response_revision_counts.find(type);
+    const size_t count =
+        it == study.response_revision_counts.end() ? 0 : it->second;
+    resp.AddRow({expert::ResponseRevisionTypeName(type),
+                 TableWriter::Pct(paper),
+                 TableWriter::Pct(resp_total
+                                      ? static_cast<double>(count) / resp_total
+                                      : 0.0)});
+  }
+  std::printf("%s\n", resp.ToAscii().c_str());
+
+  std::printf("revised pairs: %zu (instruction side: %zu; paper: 2301 / "
+              "1079 at 6k scale)\n",
+              study.revised_pairs, study.instruction_revised_pairs);
+  std::printf("effort: %.0f person-days (paper: 129 at 6k scale)\n",
+              study.person_days);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Reproduces Table VIII: three human reviewers score 150 randomly sampled
+// pairs of the revised dataset (original vs CoachLM-revised), plus the
+// subset whose INSTRUCTIONS were modified — where the paper reports the
+// largest response gains.
+
+#include "bench_common.h"
+#include "common/table_writer.h"
+#include "judge/human_panel.h"
+
+using namespace coachlm;
+
+namespace {
+
+struct SideScores {
+  double r[3] = {0, 0, 0};
+  size_t n = 0;
+  void Add(const judge::PanelScores& scores) {
+    for (int i = 0; i < 3; ++i) r[i] += scores.reviewer[i];
+    ++n;
+  }
+  std::vector<std::string> Row(const std::string& label) const {
+    std::vector<std::string> row = {label};
+    double sum = 0;
+    for (int i = 0; i < 3; ++i) {
+      const double mean = n ? r[i] / static_cast<double>(n) : 0.0;
+      row.push_back(TableWriter::Num(mean));
+      sum += mean;
+    }
+    row.push_back(TableWriter::Num(sum / 3.0));
+    return row;
+  }
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Table VIII",
+                     "human evaluation of data quality (150 sampled pairs)");
+  bench::World world = bench::BuildWorld();
+
+  // 150 random pairs from the revised dataset, plus the subset with
+  // modified instructions, exactly as in Section III-B3.
+  Rng rng(888);
+  std::vector<size_t> indices(world.corpus.dataset.size());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  rng.Shuffle(&indices);
+  indices.resize(std::min<size_t>(150, indices.size()));
+
+  judge::HumanPanel panel(31);
+  SideScores orig_resp, revised_resp;
+  SideScores orig_resp_mod, revised_resp_mod;
+  SideScores orig_instr_mod, revised_instr_mod;
+  size_t modified_instructions = 0;
+  for (size_t i : indices) {
+    const InstructionPair& original = world.corpus.dataset[i];
+    const InstructionPair& revised = world.coach.revised_dataset[i];
+    orig_resp.Add(panel.RateResponse(original));
+    revised_resp.Add(panel.RateResponse(revised));
+    if (original.FullInstruction() != revised.FullInstruction()) {
+      ++modified_instructions;
+      orig_instr_mod.Add(panel.RateInstruction(original));
+      revised_instr_mod.Add(panel.RateInstruction(revised));
+      orig_resp_mod.Add(panel.RateResponse(original));
+      revised_resp_mod.Add(panel.RateResponse(revised));
+    }
+  }
+
+  std::printf("Randomly sampled %zu pairs — RESPONSE scores "
+              "(paper: 71.2 -> 75.4 avg)\n",
+              indices.size());
+  TableWriter responses({"Dataset", "R1", "R2", "R3", "Avg."});
+  responses.AddRow(orig_resp.Row("Original"));
+  responses.AddRow(revised_resp.Row("CoachLM-revised"));
+  std::printf("%s\n", responses.ToAscii().c_str());
+
+  std::printf("%zu samples with modified INSTRUCTIONS "
+              "(paper: 18 of 150)\n",
+              modified_instructions);
+  TableWriter modified({"Dataset", "Instr. avg", "Resp. avg"});
+  auto avg3 = [](const SideScores& s) {
+    return s.n ? (s.r[0] + s.r[1] + s.r[2]) / (3.0 * s.n) : 0.0;
+  };
+  modified.AddRow({"Original", TableWriter::Num(avg3(orig_instr_mod)),
+                   TableWriter::Num(avg3(orig_resp_mod))});
+  modified.AddRow({"CoachLM-revised",
+                   TableWriter::Num(avg3(revised_instr_mod)),
+                   TableWriter::Num(avg3(revised_resp_mod))});
+  std::printf("%s", modified.ToAscii().c_str());
+  std::printf("(paper: instruction 76.2 -> 79.0; response 68.4 -> 76.8 on "
+              "the modified subset)\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Reproduces Table IX: WR1/WR2/QS win rates of the baseline and stronger
+// LLM groups against reference responses on all four instruction-following
+// test sets, judged by the PandaLM-style judge with swap-order debiasing.
+//
+// Pass --per-category to additionally print Alpaca-CoachLM vs AlpaGasus per
+// category on CoachLM150 (the filtering-vs-revision diversity ablation of
+// Section II-A(3)).
+
+#include <cstring>
+
+#include "bench_common.h"
+#include "common/table_writer.h"
+#include "testsets/testset.h"
+#include "tuning/evaluation.h"
+#include "tuning/model_zoo.h"
+
+using namespace coachlm;
+
+int main(int argc, char** argv) {
+  const bool per_category =
+      argc > 1 && std::strcmp(argv[1], "--per-category") == 0;
+  bench::PrintHeader("Table IX",
+                     "win rates of LLMs against reference responses on four "
+                     "test sets (PandaLM-judged, swap-debiased)");
+  bench::World world = bench::BuildWorld();
+
+  tuning::ZooInputs inputs;
+  inputs.original = &world.corpus.dataset;
+  inputs.human_merged = &world.study.merged_dataset;
+  inputs.coach_revised = &world.coach.revised_dataset;
+  tuning::InstructionTuner tuner;
+
+  std::vector<tuning::ZooEntry> rows = tuning::BuildStrongerGroup();
+  std::vector<tuning::ZooEntry> baselines =
+      tuning::BuildBaselineGroup(inputs, tuner);
+  const judge::PairwiseJudge panda(judge::PandaLmProfile());
+  const auto test_sets = testsets::AllTestSets();
+
+  auto print_group = [&](const char* title,
+                         const std::vector<tuning::ZooEntry>& group) {
+    std::printf("\n--- %s ---\n", title);
+    std::vector<std::string> headers = {"Model", "Size", "Type"};
+    for (const auto& set : test_sets) {
+      headers.push_back(set.name + " WR1");
+      headers.push_back("WR2");
+      headers.push_back("QS");
+    }
+    TableWriter table(headers);
+    for (const auto& entry : group) {
+      std::vector<std::string> row = {entry.model.spec().name,
+                                      entry.model.spec().size_label,
+                                      entry.type};
+      for (const auto& set : test_sets) {
+        const auto eval = tuning::EvaluateModel(entry.model, set, panda);
+        row.push_back(TableWriter::Pct(eval.rates.wr1));
+        row.push_back(TableWriter::Pct(eval.rates.wr2));
+        row.push_back(TableWriter::Pct(eval.rates.qs));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s", table.ToAscii().c_str());
+  };
+
+  // The paper shows Alpaca-CoachLM in both groups; mirror that.
+  std::vector<tuning::ZooEntry> stronger = rows;
+  for (const auto& entry : baselines) {
+    if (entry.model.spec().name == "Alpaca-CoachLM") {
+      stronger.push_back(entry);
+    }
+  }
+  print_group("Stronger LLMs", stronger);
+  print_group("Baseline LLMs", baselines);
+  std::printf("\npaper anchors (CoachLM150 WR1): Alpaca 48.0%%, AlpaGasus "
+              "49.7%%, Vicuna-7b 60.0%%, Alpaca-human 52.0%%, "
+              "Alpaca-CoachLM 67.7%%\n");
+
+  if (per_category) {
+    std::printf("\n--- Diversity ablation: per-category WR1 on CoachLM150 "
+                "(AlpaGasus filtering vs CoachLM revision) ---\n");
+    const tuning::ZooEntry* gasus = nullptr;
+    const tuning::ZooEntry* coach_entry = nullptr;
+    for (const auto& entry : baselines) {
+      if (entry.model.spec().name == "AlpaGasus") gasus = &entry;
+      if (entry.model.spec().name == "Alpaca-CoachLM") coach_entry = &entry;
+    }
+    const auto set = testsets::CoachLm150();
+    const auto gasus_by_cat =
+        tuning::EvaluateModelPerCategory(gasus->model, set, panda);
+    const auto coach_by_cat =
+        tuning::EvaluateModelPerCategory(coach_entry->model, set, panda);
+    TableWriter table({"Category", "AlpaGasus WR1", "Alpaca-CoachLM WR1"});
+    for (Category category :
+         {Category::kCoding, Category::kCodeExplanation,
+          Category::kDebuggingHelp, Category::kGeneralQa,
+          Category::kSummarization, Category::kStoryWriting}) {
+      auto g = gasus_by_cat.find(category);
+      auto c = coach_by_cat.find(category);
+      table.AddRow({CategoryName(category),
+                    g == gasus_by_cat.end()
+                        ? "-"
+                        : TableWriter::Pct(g->second.rates.wr1),
+                    c == coach_by_cat.end()
+                        ? "-"
+                        : TableWriter::Pct(c->second.rates.wr1)});
+    }
+    std::printf("%s", table.ToAscii().c_str());
+    std::printf("(the paper attributes AlpaGasus' coding weakness to its "
+                "high filtering ratio of code pairs)\n");
+  }
+  return 0;
+}

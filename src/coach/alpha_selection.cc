@@ -1,0 +1,34 @@
+#include "coach/alpha_selection.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace coachlm {
+namespace coach {
+
+size_t AlphaCount(size_t n, double alpha) {
+  alpha = std::clamp(alpha, 0.0, 1.0);
+  return static_cast<size_t>(
+      std::llround(alpha * static_cast<double>(n)));
+}
+
+RevisionDataset SelectTopAlpha(const RevisionDataset& revisions,
+                               double alpha) {
+  const size_t keep = AlphaCount(revisions.size(), alpha);
+  if (keep == 0) return {};
+  RevisionDataset sorted = revisions;
+  // Stable sort on descending edit distance, ties broken by original id so
+  // the selection is fully deterministic.
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const RevisionRecord& a, const RevisionRecord& b) {
+                     if (a.char_edit_distance != b.char_edit_distance) {
+                       return a.char_edit_distance > b.char_edit_distance;
+                     }
+                     return a.original.id < b.original.id;
+                   });
+  sorted.resize(std::min(keep, sorted.size()));
+  return sorted;
+}
+
+}  // namespace coach
+}  // namespace coachlm

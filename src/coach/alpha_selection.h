@@ -1,0 +1,25 @@
+#ifndef COACHLM_COACH_ALPHA_SELECTION_H_
+#define COACHLM_COACH_ALPHA_SELECTION_H_
+
+#include <cstddef>
+
+#include "data/revision_record.h"
+
+namespace coachlm {
+namespace coach {
+
+/// \brief The α-selection of Section II-F2.
+///
+/// Ranks the expert revision dataset R by character edit distance between
+/// each original and its revision (the information content of the example)
+/// and keeps the top α fraction as the coach-tuning set C_α. α = 0 yields
+/// an empty set (no training); α = 1 keeps all of R.
+RevisionDataset SelectTopAlpha(const RevisionDataset& revisions, double alpha);
+
+/// Number of records SelectTopAlpha keeps for a dataset of size \p n.
+size_t AlphaCount(size_t n, double alpha);
+
+}  // namespace coach
+}  // namespace coachlm
+
+#endif  // COACHLM_COACH_ALPHA_SELECTION_H_

@@ -1,0 +1,352 @@
+#include "coach/coach_lm.h"
+
+#include "coach/verifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/threadpool.h"
+#include "json/jsonl.h"
+#include "lm/pair_text.h"
+#include "lm/rule_extractor.h"
+#include "text/repair.h"
+#include "text/similarity.h"
+#include "text/string_util.h"
+#include "text/tokenizer.h"
+
+namespace coachlm {
+namespace coach {
+namespace {
+
+/// Picks the i-th phrase (rotating) from a support table restricted to
+/// entries above min_support; empty when none qualify.
+std::string RotatingPhrase(const std::map<std::string, size_t>& table,
+                           size_t min_support, Rng* rng) {
+  const auto phrases = lm::RuleStore::PhrasesAbove(table, min_support);
+  if (phrases.empty()) return "";
+  return phrases[rng->NextBelow(phrases.size())];
+}
+
+/// The coach's subject guess for disambiguation: the first pair of
+/// adjacent content words in the response (a purely textual heuristic —
+/// the model has no access to the topic bank).
+std::string GuessSubject(const InstructionPair& pair) {
+  const auto tokens = tokenizer::WordTokenize(pair.output.empty()
+                                                  ? pair.input
+                                                  : pair.output);
+  std::string first;
+  for (const std::string& token : tokens) {
+    if (tokenizer::IsPunctuation(token) || token.size() < 4) continue;
+    const std::string lower = strings::Lower(token);
+    if (first.empty()) {
+      first = lower;
+      continue;
+    }
+    return first + " " + lower;
+  }
+  return first;
+}
+
+}  // namespace
+
+CoachLm::CoachLm(CoachConfig config, lm::RuleStore rules)
+    : config_(std::move(config)),
+      rules_(std::move(rules)),
+      backbone_(std::make_shared<lm::BackboneModel>(config_.backbone)) {}
+
+std::string CoachLm::ReviseInstruction(const InstructionPair& pair,
+                                       Rng* rng) const {
+  std::string text = pair.instruction;
+  const size_t min_support = config_.min_rule_support;
+  // Learned word substitutions (spelling repairs the experts taught).
+  for (const auto& [from, targets] : rules_.token_subs) {
+    if (!strings::Contains(text, from)) continue;
+    const std::string to = rules_.BestSubstitution(from, min_support);
+    if (!to.empty()) text = strings::ReplaceAll(text, from, to);
+  }
+  // Learned clause removals (infeasible requirements).
+  for (const std::string& phrase :
+       lm::RuleStore::PhrasesAbove(rules_.strip_phrases, min_support)) {
+    const size_t at = text.find(phrase);
+    if (at != std::string::npos) {
+      text.erase(at, phrase.size());
+      text = strings::CollapseWhitespace(text);
+    }
+  }
+  // Learned filler disambiguation: a phrase replaced with *varying*
+  // content across training pairs means "substitute the concrete subject".
+  for (const auto& [filler, replacements] : rules_.filler_replacements) {
+    if (replacements.size() < 2) continue;
+    if (!strings::Contains(text, filler)) continue;
+    const std::string subject = GuessSubject(pair);
+    if (!subject.empty()) {
+      text = strings::ReplaceAll(text, filler, subject);
+    }
+  }
+  if (rules_.capitalize_support >= min_support) {
+    text = repair::CapitalizeSentences(text);
+  }
+  // Learned context enrichment for bare instructions.
+  if (strings::CountWords(text) < 12 &&
+      rng->NextBool(rules_.context_add_rate)) {
+    const std::string scaffold =
+        RotatingPhrase(rules_.context_exemplars, min_support, rng);
+    if (!scaffold.empty()) text += " " + scaffold;
+  }
+  return strings::Trim(text);
+}
+
+std::string CoachLm::ComposeExpansion(const std::string& context,
+                                      const std::string& existing,
+                                      size_t max_new, Rng* rng) const {
+  const auto retrieved =
+      backbone_->RetrieveRelevant(context, existing, max_new);
+  std::string out;
+  const auto markers =
+      lm::RuleStore::PhrasesAbove(rules_.markers, config_.min_rule_support);
+  const ExpansionVerifier verifier(backbone_.get());
+  for (const std::string& sentence : retrieved) {
+    std::string line = backbone_->ApplyFluencyNoise(sentence, rng);
+    if (config_.verify_expansions) {
+      const auto verified = verifier.Verify(context, line);
+      if (!verified.has_value()) continue;
+      line = *verified;
+    }
+    if (!markers.empty() && rng->NextBool(0.5)) {
+      std::string marker = markers[rng->NextBelow(markers.size())];
+      // Markers were learned with trailing commas attached ("For example ,").
+      marker = strings::ReplaceAll(marker, " ,", ",");
+      if (!strings::EndsWith(marker, ",") && !strings::EndsWith(marker, " ")) {
+        marker += " ";
+      } else if (strings::EndsWith(marker, ",")) {
+        marker += " ";
+      }
+      // Decapitalize the retrieved sentence after a marker.
+      if (!line.empty()) {
+        line[0] = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(line[0])));
+      }
+      line = marker + line;
+      line = repair::CapitalizeSentences(line);
+    }
+    out += " " + line;
+  }
+  return out;
+}
+
+std::string CoachLm::ReviseResponse(const InstructionPair& pair,
+                                    const std::string& new_instruction,
+                                    Rng* rng) const {
+  const size_t min_support = config_.min_rule_support;
+  const std::string context = new_instruction + "\n" + pair.input;
+  std::string text = pair.output;
+
+  // Learned rewrite policy: weakly related (or empty) responses are
+  // replaced wholesale with generated content. Relatedness is the
+  // backbone's associative agreement — the same feature the trainer used
+  // to estimate the threshold.
+  const double relatedness =
+      backbone_->TopicalAgreement(pair.FullInstruction(), text);
+  const bool rewrite =
+      rules_.rewrite_overlap_threshold >= 0.0 &&
+      (strings::Trim(text).empty() ||
+       relatedness < rules_.rewrite_overlap_threshold);
+  if (rewrite) {
+    // Generation conditions on the task input first: when the instruction
+    // carries a prose payload (a passage to work on), the replacement
+    // response is grounded in it, in the list layout the experts favour.
+    std::string fresh;
+    const bool prose_input = strings::CountWords(pair.input) >= 10 &&
+                             !strings::Contains(pair.input, "def ") &&
+                             !strings::Contains(pair.input, "|");
+    if (prose_input) {
+      const auto sentences = tokenizer::SplitSentences(pair.input);
+      if (sentences.size() > 1) {
+        for (const std::string& sentence : sentences) {
+          fresh += (fresh.empty() ? "- " : "\n- ") + sentence;
+        }
+      } else if (!sentences.empty()) {
+        fresh = sentences.front();
+      }
+    }
+    fresh += ComposeExpansion(context, fresh, prose_input ? 1 : 3, rng);
+    fresh = strings::Trim(fresh);
+    if (!fresh.empty()) {
+      text = fresh;
+    }
+  } else {
+    // Surface repairs, gated by learned support.
+    for (const auto& [from, targets] : rules_.token_subs) {
+      if (!strings::Contains(text, from)) continue;
+      const std::string to = rules_.BestSubstitution(from, min_support);
+      if (!to.empty()) text = strings::ReplaceAll(text, from, to);
+    }
+    for (const std::string& opener :
+         lm::RuleStore::PhrasesAbove(rules_.opener_removals, min_support)) {
+      if (strings::StartsWith(text, opener)) {
+        text = strings::Trim(text.substr(opener.size()));
+        break;
+      }
+    }
+    // Tone alignment: the experts' consistently warm outputs (high learned
+    // closing rate) teach the model to drop robotic boilerplate, even when
+    // no explicit opener-deletion example made it into C_alpha.
+    if (rules_.closing_rate > 0.3) {
+      const size_t opener_len = lm::MechanicalOpenerLength(text);
+      if (opener_len > 0) {
+        text = strings::Trim(text.substr(opener_len));
+      }
+    }
+    for (const std::string& token :
+         lm::RuleStore::PhrasesAbove(rules_.strip_tokens, min_support)) {
+      if (strings::Contains(text, token)) {
+        text = strings::Trim(strings::ReplaceAll(text, token, ""));
+      }
+    }
+    if (rules_.reflow_support >= min_support &&
+        !strings::Contains(text, "\n")) {
+      if (strings::Contains(text, " - ") || strings::Contains(text, " 2. ")) {
+        text = repair::ReflowLists(text);
+      }
+      text = repair::CollapseSpaces(text);
+    }
+    if (rules_.doubled_removal_support >= min_support &&
+        !strings::Contains(text, "\n")) {
+      text = repair::RemoveDoubledWords(text);
+    }
+    if (rules_.capitalize_support >= min_support) {
+      text = repair::CapitalizeSentences(text);
+    }
+  }
+
+  // Learned expansion: grow thin responses toward the expert target
+  // length, using backbone knowledge for content.
+  const double target_words = rules_.mean_target_response_words;
+  const size_t expansion_budget = static_cast<size_t>(std::clamp(
+      std::llround(rules_.mean_appended_sentences), 0LL, 4LL));
+  size_t added = 0;
+  while (added < expansion_budget &&
+         static_cast<double>(strings::CountWords(text)) + 10.0 <
+             target_words) {
+    const std::string expansion = ComposeExpansion(context, text, 1, rng);
+    if (strings::Trim(expansion).empty()) break;
+    text += expansion;
+    ++added;
+  }
+
+  // Learned closing behaviour: add a warm closing (when the experts
+  // usually did) unless the response already ends on one.
+  const std::string tail =
+      text.size() > 120 ? text.substr(text.size() - 120) : text;
+  if (!lm::LooksLikeClosing(tail) && rng->NextBool(rules_.closing_rate)) {
+    const std::string closing =
+        RotatingPhrase(rules_.closings, config_.min_rule_support, rng);
+    if (!closing.empty() && !strings::Contains(text, closing)) {
+      text += " " + closing;
+    }
+  }
+  return strings::Trim(text);
+}
+
+std::string CoachLm::ReviseToText(const InstructionPair& pair,
+                                  Rng* rng) const {
+  if (backbone_->DegeneratesThisCall(rng)) {
+    // Degenerate generation: token repetition until the length limit, the
+    // classic failure mode the post-processor's regexes catch.
+    std::string junk;
+    for (int i = 0; i < 24; ++i) junk += "@@ ";
+    return junk;
+  }
+  if (rules_.empty()) {
+    // α = 0: the raw backbone echoes the pair, minor noise included — it
+    // has not been aligned with the expert revision behaviour.
+    InstructionPair echo = pair;
+    echo.output = backbone_->ApplyFluencyNoise(echo.output, rng);
+    return lm::SerializePair(echo);
+  }
+  InstructionPair revised = pair;
+  revised.instruction = ReviseInstruction(pair, rng);
+  revised.output = ReviseResponse(pair, revised.instruction, rng);
+  return lm::SerializePair(revised);
+}
+
+InstructionPair CoachLm::Revise(const InstructionPair& pair, Rng* rng,
+                                RevisionPassStats* stats) const {
+  if (stats != nullptr) ++stats->total;
+  const std::string raw = ReviseToText(pair, rng);
+  // Post-processing (Section III-B1): strip invalid characters and
+  // repeated strings, then parse; fall back to the original when the
+  // output is not a valid instruction pair.
+  std::string cleaned;
+  cleaned.reserve(raw.size());
+  for (char c : raw) {
+    if (static_cast<unsigned char>(c) >= 0x20 || c == '\n' || c == '\t') {
+      cleaned += c;
+    }
+  }
+  cleaned = strings::ReplaceAll(cleaned, "@@ ", "");
+  cleaned = strings::Trim(cleaned);
+  auto parsed = lm::DeserializePair(cleaned);
+  if (!parsed.ok() || strings::Trim(parsed->output).empty()) {
+    if (stats != nullptr) ++stats->invalid_replaced;
+    return pair;
+  }
+  InstructionPair revised = std::move(parsed).ValueOrDie();
+  revised.id = pair.id;
+  revised.category = pair.category;
+  if (stats != nullptr &&
+      (revised.instruction != pair.instruction ||
+       revised.input != pair.input || revised.output != pair.output)) {
+    ++stats->changed;
+  }
+  return revised;
+}
+
+InstructionDataset CoachLm::ReviseDataset(
+    const InstructionDataset& dataset,
+    const std::unordered_set<std::string>& training_instructions,
+    RevisionPassStats* stats, size_t num_threads) const {
+  std::vector<InstructionPair> revised(dataset.size());
+  std::vector<RevisionPassStats> shard_stats(dataset.size());
+  ThreadPool pool(num_threads);
+  pool.ParallelFor(dataset.size(), [&](size_t i) {
+    const InstructionPair& pair = dataset[i];
+    RevisionPassStats& s = shard_stats[i];
+    if (training_instructions.count(lm::SerializePair(pair)) > 0) {
+      // Leakage guard: instructions seen in coach training are adopted
+      // unchanged in the revised dataset.
+      ++s.total;
+      ++s.leakage_skipped;
+      revised[i] = pair;
+      return;
+    }
+    // Deterministic per-pair stream: thread scheduling cannot change
+    // results.
+    Rng rng(config_.seed ^ (pair.id * 0x9E3779B97F4A7C15ULL));
+    revised[i] = Revise(pair, &rng, &s);
+  });
+  if (stats != nullptr) {
+    for (const RevisionPassStats& s : shard_stats) {
+      stats->total += s.total;
+      stats->invalid_replaced += s.invalid_replaced;
+      stats->leakage_skipped += s.leakage_skipped;
+      stats->changed += s.changed;
+    }
+  }
+  return InstructionDataset(std::move(revised));
+}
+
+Status CoachLm::SaveCheckpoint(const std::string& path) const {
+  return json::WriteFile(path, rules_.ToJson().DumpPretty());
+}
+
+Result<CoachLm> CoachLm::LoadCheckpoint(const std::string& path,
+                                        CoachConfig config) {
+  COACHLM_ASSIGN_OR_RETURN(std::string text, json::ReadFile(path));
+  COACHLM_ASSIGN_OR_RETURN(json::Value doc, json::Parse(text));
+  COACHLM_ASSIGN_OR_RETURN(lm::RuleStore rules, lm::RuleStore::FromJson(doc));
+  return CoachLm(std::move(config), std::move(rules));
+}
+
+}  // namespace coach
+}  // namespace coachlm

@@ -1,0 +1,91 @@
+#ifndef COACHLM_COACH_COACH_LM_H_
+#define COACHLM_COACH_COACH_LM_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+#include "coach/coach_config.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "lm/backbone.h"
+#include "lm/rule_store.h"
+
+namespace coachlm {
+namespace coach {
+
+/// \brief Statistics of a dataset-revision pass (Section III-B1).
+struct RevisionPassStats {
+  size_t total = 0;
+  /// Outputs that were not valid instruction pairs and were replaced with
+  /// the original (the paper: ~1.3%).
+  size_t invalid_replaced = 0;
+  /// Pairs skipped because their instruction appeared in CoachLM training
+  /// (the leakage guard; the paper: ~1.3%).
+  size_t leakage_skipped = 0;
+  /// Pairs whose text actually changed.
+  size_t changed = 0;
+};
+
+/// \brief The trained coach language model θ_c.
+///
+/// Holds the backbone (pre-trained knowledge + fluency) and the rule store
+/// learned by coach instruction tuning. Inference takes an instruction
+/// pair, emits a *serialized revised pair as raw model text* (exactly like
+/// the real generative model), and the post-processing path of
+/// Section III-B1 parses/validates it, falling back to the original on
+/// invalid output.
+class CoachLm {
+ public:
+  CoachLm(CoachConfig config, lm::RuleStore rules);
+
+  /// Raw generative step: the model's text output for the Fig. 3 revision
+  /// prompt applied to \p pair. May be degenerate (invalid) — callers are
+  /// expected to post-process.
+  std::string ReviseToText(const InstructionPair& pair, Rng* rng) const;
+
+  /// Revision with post-processing: parses/validates the raw output and
+  /// falls back to \p pair when invalid. \p stats (optional) accumulates
+  /// pass statistics.
+  InstructionPair Revise(const InstructionPair& pair, Rng* rng,
+                         RevisionPassStats* stats = nullptr) const;
+
+  /// Revises a whole dataset in parallel (deterministically: each pair's
+  /// randomness derives from the config seed and the pair id). Pairs whose
+  /// serialized form (lm::SerializePair) is in \p training_instructions
+  /// are adopted unchanged (the data-leakage guard).
+  InstructionDataset ReviseDataset(
+      const InstructionDataset& dataset,
+      const std::unordered_set<std::string>& training_instructions,
+      RevisionPassStats* stats = nullptr, size_t num_threads = 0) const;
+
+  /// Saves the learned rules to \p path (the "checkpoint").
+  Status SaveCheckpoint(const std::string& path) const;
+
+  /// Restores a CoachLm from a checkpoint written by SaveCheckpoint().
+  static Result<CoachLm> LoadCheckpoint(const std::string& path,
+                                        CoachConfig config);
+
+  const lm::RuleStore& rules() const { return rules_; }
+  const lm::BackboneModel& backbone() const { return *backbone_; }
+  const CoachConfig& config() const { return config_; }
+
+ private:
+  std::string ReviseInstruction(const InstructionPair& pair, Rng* rng) const;
+  std::string ReviseResponse(const InstructionPair& pair,
+                             const std::string& new_instruction,
+                             Rng* rng) const;
+  std::string ComposeExpansion(const std::string& context,
+                               const std::string& existing, size_t max_new,
+                               Rng* rng) const;
+
+  CoachConfig config_;
+  lm::RuleStore rules_;
+  std::shared_ptr<lm::BackboneModel> backbone_;
+};
+
+}  // namespace coach
+}  // namespace coachlm
+
+#endif  // COACHLM_COACH_COACH_LM_H_

@@ -1,0 +1,32 @@
+#include "coach/pipeline.h"
+
+#include "coach/alpha_selection.h"
+#include "lm/pair_text.h"
+
+namespace coachlm {
+namespace coach {
+
+CoachPipelineResult RunCoachPipeline(const InstructionDataset& corpus,
+                                     const RevisionDataset& revisions,
+                                     const CoachConfig& config,
+                                     size_t num_threads) {
+  CoachPipelineResult result;
+  CoachTrainer trainer(config);
+  result.model = trainer.Train(revisions);
+
+  // The leakage guard: pairs used in training are not revised. Matching
+  // on the full serialized pair (instruction + input + output) keeps the
+  // guard precise in the synthetic corpus, where short instruction texts
+  // recur across unrelated pairs.
+  std::unordered_set<std::string> training_instructions;
+  for (const RevisionRecord& record :
+       SelectTopAlpha(revisions, config.alpha)) {
+    training_instructions.insert(lm::SerializePair(record.original));
+  }
+  result.revised_dataset = result.model->ReviseDataset(
+      corpus, training_instructions, &result.stats, num_threads);
+  return result;
+}
+
+}  // namespace coach
+}  // namespace coachlm

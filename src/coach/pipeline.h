@@ -1,0 +1,37 @@
+#ifndef COACHLM_COACH_PIPELINE_H_
+#define COACHLM_COACH_PIPELINE_H_
+
+#include <optional>
+
+#include "coach/coach_lm.h"
+#include "coach/trainer.h"
+#include "data/dataset.h"
+#include "data/revision_record.h"
+
+namespace coachlm {
+namespace coach {
+
+/// \brief Output of the end-to-end coach pipeline (Fig. 2).
+struct CoachPipelineResult {
+  /// The trained coach model (or raw backbone when α = 0).
+  std::optional<CoachLm> model;
+  /// The CoachLM-revised dataset D_c (Eq. 2).
+  InstructionDataset revised_dataset;
+  /// Post-processing / leakage statistics of the revision pass.
+  RevisionPassStats stats;
+};
+
+/// \brief Trains CoachLM on R and revises \p corpus with it.
+///
+/// The leakage guard skips corpus pairs whose instruction appeared in the
+/// coach-tuning samples (Section III-B1). \p num_threads = 0 uses all
+/// hardware threads.
+CoachPipelineResult RunCoachPipeline(const InstructionDataset& corpus,
+                                     const RevisionDataset& revisions,
+                                     const CoachConfig& config = {},
+                                     size_t num_threads = 0);
+
+}  // namespace coach
+}  // namespace coachlm
+
+#endif  // COACHLM_COACH_PIPELINE_H_

@@ -1,0 +1,38 @@
+#ifndef COACHLM_COACH_TRAINER_H_
+#define COACHLM_COACH_TRAINER_H_
+
+#include "coach/coach_config.h"
+#include "coach/coach_lm.h"
+#include "data/revision_record.h"
+
+namespace coachlm {
+namespace coach {
+
+/// \brief Coach instruction tuning (Section II-F1, Eq. 1).
+///
+/// Training builds the coach-tuning dataset C_α: each expert revision
+/// record (x, x_r) is serialized into a Fig.-3 instruction pair x_c, the
+/// α-selection keeps the top fraction by edit distance, and the rule
+/// learner consumes the *text* of the selected samples — parsing x and x_r
+/// back out of x_c exactly as the generative model would see them, so the
+/// learner provably has no access to oracle metadata.
+class CoachTrainer {
+ public:
+  explicit CoachTrainer(CoachConfig config) : config_(std::move(config)) {}
+
+  /// Trains a CoachLm from the expert revision dataset R.
+  CoachLm Train(const RevisionDataset& revisions) const;
+
+  /// The serialized coach-tuning dataset C_α (for inspection / export).
+  InstructionDataset BuildCoachDataset(const RevisionDataset& revisions) const;
+
+  const CoachConfig& config() const { return config_; }
+
+ private:
+  CoachConfig config_;
+};
+
+}  // namespace coach
+}  // namespace coachlm
+
+#endif  // COACHLM_COACH_TRAINER_H_

@@ -1,0 +1,30 @@
+#include "common/env.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace coachlm {
+
+double ExperimentScale() {
+  static const double scale = [] {
+    const char* value = std::getenv("COACHLM_SCALE");
+    if (value == nullptr) return 1.0;
+    char* end = nullptr;
+    const double parsed = std::strtod(value, &end);
+    if (end == value || parsed <= 0.0 || parsed > 1.0) return 1.0;
+    return parsed;
+  }();
+  return scale;
+}
+
+size_t Scaled(size_t n, size_t floor) {
+  const double scaled = static_cast<double>(n) * ExperimentScale();
+  return std::max(floor, static_cast<size_t>(scaled));
+}
+
+std::string GetEnvOr(const std::string& name, const std::string& fallback) {
+  const char* value = std::getenv(name.c_str());
+  return value == nullptr ? fallback : std::string(value);
+}
+
+}  // namespace coachlm

@@ -1,0 +1,27 @@
+#ifndef COACHLM_COMMON_ENV_H_
+#define COACHLM_COMMON_ENV_H_
+
+#include <cstddef>
+#include <string>
+
+namespace coachlm {
+
+/// \brief Returns the global experiment scale factor in (0, 1].
+///
+/// Read once from the COACHLM_SCALE environment variable. The benchmark
+/// harness multiplies corpus sizes (52k pairs, 6k expert sample, ...) by this
+/// factor so the full experiment grid can be smoke-tested quickly; the
+/// default of 1.0 reproduces paper scale. Invalid or out-of-range values
+/// fall back to 1.0.
+double ExperimentScale();
+
+/// \brief Scales \p n by ExperimentScale(), never returning less than
+/// \p floor (experiments need a minimum sample to be meaningful).
+size_t Scaled(size_t n, size_t floor = 1);
+
+/// \brief Reads an environment variable, returning \p fallback when unset.
+std::string GetEnvOr(const std::string& name, const std::string& fallback);
+
+}  // namespace coachlm
+
+#endif  // COACHLM_COMMON_ENV_H_

@@ -1,0 +1,60 @@
+#include "common/flags.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace coachlm {
+
+Result<Flags> Flags::Parse(int argc, const char* const* argv,
+                           const std::vector<std::string>& known) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      if (flags.command_.empty()) {
+        flags.command_ = arg;
+      } else {
+        flags.positional_.push_back(arg);
+      }
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    }
+    if (std::find(known.begin(), known.end(), arg) == known.end()) {
+      return Status::InvalidArgument("unknown flag --" + arg);
+    }
+    flags.values_[arg] = value;
+  }
+  return flags;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Flags::GetDouble(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(it->second.c_str(), &end);
+  return end == it->second.c_str() ? fallback : parsed;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(it->second.c_str(), &end, 10);
+  return end == it->second.c_str() ? fallback : parsed;
+}
+
+}  // namespace coachlm

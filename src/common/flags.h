@@ -1,0 +1,51 @@
+#ifndef COACHLM_COMMON_FLAGS_H_
+#define COACHLM_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace coachlm {
+
+/// \brief Minimal command-line parser for the coachlm CLI.
+///
+/// Grammar: `tool <command> [--name value]... [--switch]... [positional]...`
+/// Flags may be written `--name value` or `--name=value`. Unknown flags
+/// are an error at Parse time so typos fail fast.
+class Flags {
+ public:
+  /// Parses argv[1..]; \p known lists every accepted flag name (without
+  /// the leading dashes). The first non-flag token becomes the command.
+  static Result<Flags> Parse(int argc, const char* const* argv,
+                             const std::vector<std::string>& known);
+
+  /// The leading subcommand ("train", "revise", ...); empty when absent.
+  const std::string& command() const { return command_; }
+
+  /// True when --name was present (with or without a value).
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  /// String value of --name, or \p fallback when absent.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback = "") const;
+
+  /// Numeric value of --name, or \p fallback when absent/unparseable.
+  double GetDouble(const std::string& name, double fallback) const;
+
+  /// Integer value of --name, or \p fallback when absent/unparseable.
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+
+  /// Positional arguments after the command.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace coachlm
+
+#endif  // COACHLM_COMMON_FLAGS_H_

@@ -1,0 +1,58 @@
+#include "common/linear_fit.h"
+
+#include <cmath>
+
+namespace coachlm {
+
+Result<double> LinearFit::SolveForX(double y) const {
+  if (std::fabs(slope) < 1e-12) {
+    return Status::FailedPrecondition("cannot invert a flat fit");
+  }
+  return (y - intercept) / slope;
+}
+
+Result<LinearFit> FitLine(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("x/y size mismatch");
+  }
+  if (xs.size() < 2) {
+    return Status::InvalidArgument("need at least two points");
+  }
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx < 1e-12) {
+    return Status::InvalidArgument("all x values identical");
+  }
+  LinearFit fit;
+  fit.n = xs.size();
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  if (syy < 1e-12) {
+    fit.r_squared = 1.0;  // constant y fitted exactly by a flat line
+  } else {
+    double ss_res = 0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+      const double e = ys[i] - fit.Predict(xs[i]);
+      ss_res += e * e;
+    }
+    fit.r_squared = 1.0 - ss_res / syy;
+  }
+  return fit;
+}
+
+}  // namespace coachlm

@@ -1,0 +1,41 @@
+#ifndef COACHLM_COMMON_LINEAR_FIT_H_
+#define COACHLM_COMMON_LINEAR_FIT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace coachlm {
+
+/// \brief Ordinary-least-squares fit of y = slope * x + intercept.
+///
+/// Reproduces the analysis of Fig. 5(b), where the paper fits the win rate
+/// of Alpaca-human against the number of human-revised samples
+/// (slope 3.07 %/k, R^2 = 0.9799) and extrapolates the crossover with
+/// Alpaca-CoachLM.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1] (1 when y is constant and the
+  /// fit is exact).
+  double r_squared = 0.0;
+  size_t n = 0;
+
+  /// Predicted y at \p x.
+  double Predict(double x) const { return slope * x + intercept; }
+
+  /// Solves Predict(x) == y for x. Requires a non-zero slope.
+  Result<double> SolveForX(double y) const;
+};
+
+/// \brief Fits a least-squares line to the given points.
+///
+/// Fails with InvalidArgument when fewer than two points are supplied or the
+/// x values are all identical (degenerate design matrix).
+Result<LinearFit> FitLine(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+}  // namespace coachlm
+
+#endif  // COACHLM_COMMON_LINEAR_FIT_H_

@@ -1,0 +1,51 @@
+#ifndef COACHLM_COMMON_LOGGING_H_
+#define COACHLM_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace coachlm {
+
+/// \brief Severity levels for the library logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Sets the minimum severity that is emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+
+/// \brief Returns the current minimum severity.
+LogLevel GetLogLevel();
+
+/// \brief Emits one log line to stderr if \p level passes the threshold.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style log statement builder; emits on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace coachlm
+
+/// Stream-style logging macros: COACHLM_LOG_INFO << "...";
+#define COACHLM_LOG(severity) \
+  ::coachlm::internal::LogStream(::coachlm::LogLevel::k##severity)
+
+#define COACHLM_LOG_DEBUG COACHLM_LOG(Debug)
+#define COACHLM_LOG_INFO COACHLM_LOG(Info)
+#define COACHLM_LOG_WARN COACHLM_LOG(Warning)
+#define COACHLM_LOG_ERROR COACHLM_LOG(Error)
+
+#endif  // COACHLM_COMMON_LOGGING_H_

@@ -1,0 +1,89 @@
+#ifndef COACHLM_COMMON_RESULT_H_
+#define COACHLM_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace coachlm {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// This is the value-returning counterpart of Status. Accessing the value of
+/// an errored Result is a programming error and asserts in debug builds.
+///
+/// \code
+///   Result<InstructionDataset> r = InstructionDataset::LoadJson(path);
+///   if (!r.ok()) return r.status();
+///   InstructionDataset ds = std::move(r).ValueOrDie();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value.
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error. \p status must not be OK.
+  Result(Status status) : state_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(state_).ok());
+  }
+
+  /// Returns true when a value is held.
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  /// Returns the held status (OK when a value is held).
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(state_);
+  }
+
+  /// Returns a reference to the held value. Requires ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+
+  /// Returns a mutable reference to the held value. Requires ok().
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+
+  /// Moves the held value out. Requires ok().
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(state_));
+  }
+
+  /// Returns the held value or \p fallback when errored.
+  T ValueOr(T fallback) const& {
+    if (ok()) return std::get<T>(state_);
+    return fallback;
+  }
+
+  /// Dereference sugar; requires ok().
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+/// \brief Assigns the value of a Result expression to \p lhs or propagates
+/// its error Status from the current function.
+#define COACHLM_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  auto COACHLM_CONCAT_(result_, __LINE__) = (rexpr);      \
+  if (!COACHLM_CONCAT_(result_, __LINE__).ok())           \
+    return COACHLM_CONCAT_(result_, __LINE__).status();   \
+  lhs = std::move(COACHLM_CONCAT_(result_, __LINE__)).ValueOrDie()
+
+#define COACHLM_CONCAT_IMPL_(a, b) a##b
+#define COACHLM_CONCAT_(a, b) COACHLM_CONCAT_IMPL_(a, b)
+
+}  // namespace coachlm
+
+#endif  // COACHLM_COMMON_RESULT_H_

@@ -1,0 +1,89 @@
+#ifndef COACHLM_COMMON_RNG_H_
+#define COACHLM_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace coachlm {
+
+/// \brief Deterministic, fast pseudo-random generator (xoshiro256**) with
+/// splitmix64 seeding.
+///
+/// Every stochastic component of the pipeline (corpus generation, defect
+/// injection, expert behaviour, judge noise) takes an explicit Rng so that
+/// any experiment is reproducible from a single seed. Satisfies the
+/// UniformRandomBitGenerator concept so it can feed <random> distributions,
+/// although the member helpers below are preferred for cross-platform
+/// determinism (libstdc++/libc++ distributions differ; ours do not).
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the generator; equal seeds yield equal streams on any platform.
+  explicit Rng(uint64_t seed = 42);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  /// Returns the next raw 64-bit value.
+  uint64_t operator()() { return Next(); }
+
+  /// Returns the next raw 64-bit value.
+  uint64_t Next();
+
+  /// Returns a uniform integer in [0, bound). \p bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Returns a uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns a uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Returns true with probability \p p (clamped to [0, 1]).
+  bool NextBool(double p);
+
+  /// Returns a normal deviate (Box-Muller) with the given mean and stddev.
+  double NextGaussian(double mean = 0.0, double stddev = 1.0);
+
+  /// Returns an index drawn from the categorical distribution given by
+  /// \p weights (need not be normalized; non-positive total yields 0).
+  size_t NextCategorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffles \p items in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->size() < 2) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i + 1));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Picks a uniformly random element. Requires a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[static_cast<size_t>(NextBelow(items.size()))];
+  }
+
+  /// Derives an independent child generator; used to give each pipeline
+  /// stage its own stream so stages stay reproducible when reordered.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool have_gauss_ = false;
+  double gauss_cache_ = 0.0;
+};
+
+}  // namespace coachlm
+
+#endif  // COACHLM_COMMON_RNG_H_

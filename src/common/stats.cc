@@ -1,0 +1,114 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace coachlm {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0) {}
+
+void Histogram::Add(double x) {
+  const double span = hi_ - lo_;
+  size_t idx = 0;
+  if (span > 0) {
+    double t = (x - lo_) / span;
+    t = std::clamp(t, 0.0, 1.0);
+    idx = std::min(counts_.size() - 1,
+                   static_cast<size_t>(t * static_cast<double>(counts_.size())));
+  }
+  ++counts_[idx];
+  values_.push_back(x);
+  ++total_;
+}
+
+double Histogram::bucket_lo(size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_hi(size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i + 1) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::FractionAtLeast(double threshold) const {
+  if (values_.empty()) return 0.0;
+  size_t n = 0;
+  for (double v : values_) {
+    if (v >= threshold) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(values_.size());
+}
+
+double Histogram::Mean() const {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+std::string Histogram::ToAscii(size_t width) const {
+  size_t peak = 1;
+  for (size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const size_t bar = counts_[i] * width / peak;
+    std::snprintf(line, sizeof(line), "[%5.2f, %5.2f%c %8zu |", bucket_lo(i),
+                  bucket_hi(i), i + 1 == counts_.size() ? ']' : ')',
+                  counts_[i]);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace coachlm

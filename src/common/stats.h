@@ -1,0 +1,93 @@
+#ifndef COACHLM_COMMON_STATS_H_
+#define COACHLM_COMMON_STATS_H_
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace coachlm {
+
+/// \brief Streaming univariate statistics (Welford's algorithm).
+///
+/// Used throughout the evaluation harness to summarize score distributions
+/// (dataset quality ratings, win rates, edit distances) without storing
+/// samples.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one.
+  void Merge(const RunningStats& other);
+
+  /// Number of observations.
+  size_t count() const { return count_; }
+  /// Arithmetic mean (0 when empty).
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 with fewer than 2 observations).
+  double variance() const;
+  /// Sample standard deviation.
+  double stddev() const;
+  /// Smallest observation (+inf when empty).
+  double min() const { return min_; }
+  /// Largest observation (-inf when empty).
+  double max() const { return max_; }
+  /// Sum of observations.
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// \brief Fixed-range histogram with uniform bins.
+///
+/// Reproduces the presentation of Fig. 4 (ChatGPT rating histogram over the
+/// ALPACA52K dataset before/after revision).
+class Histogram {
+ public:
+  /// Creates a histogram over [lo, hi] with \p bins uniform buckets.
+  /// Values outside the range clamp into the first/last bucket.
+  Histogram(double lo, double hi, size_t bins);
+
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Number of observations in bucket \p i.
+  size_t bucket_count(size_t i) const { return counts_[i]; }
+  /// Total observations.
+  size_t total() const { return total_; }
+  /// Number of buckets.
+  size_t num_buckets() const { return counts_.size(); }
+  /// Inclusive lower edge of bucket \p i.
+  double bucket_lo(size_t i) const;
+  /// Exclusive upper edge of bucket \p i (inclusive for the last bucket).
+  double bucket_hi(size_t i) const;
+  /// Fraction of observations with value >= \p threshold, computed from
+  /// exact stored values (not bucketized).
+  double FractionAtLeast(double threshold) const;
+  /// Mean of all observations.
+  double Mean() const;
+
+  /// Renders an ASCII bar chart, one row per bucket.
+  std::string ToAscii(size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<size_t> counts_;
+  std::vector<double> values_;  // exact values for threshold queries
+  size_t total_ = 0;
+};
+
+/// \brief Computes the p-th percentile (0..100) of \p values by linear
+/// interpolation. Returns 0 for empty input.
+double Percentile(std::vector<double> values, double p);
+
+}  // namespace coachlm
+
+#endif  // COACHLM_COMMON_STATS_H_

@@ -1,0 +1,115 @@
+#ifndef COACHLM_COMMON_STATUS_H_
+#define COACHLM_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace coachlm {
+
+/// \brief Machine-readable error category carried by a Status.
+///
+/// The set mirrors the failure modes of the CoachLM pipeline: I/O against
+/// dataset files, malformed serialized data, invalid user configuration,
+/// precondition violations inside pipeline stages, and missing entities
+/// (e.g. an unknown task category).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kParseError,
+  kInternal,
+  kNotImplemented,
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of an operation that can fail without a value.
+///
+/// Follows the Arrow/RocksDB idiom: library entry points never throw across
+/// the API boundary; they return Status (or Result<T>, see result.h) and the
+/// caller decides how to react. A default-constructed Status is OK and
+/// carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+
+  /// \name Factory helpers, one per error code.
+  /// @{
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  /// @}
+
+  /// Returns true when the status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// Returns the status code.
+  StatusCode code() const { return code_; }
+
+  /// Returns the error message (empty for OK).
+  const std::string& message() const { return message_; }
+
+  /// Returns "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// \brief Propagates a non-OK Status from the current function.
+#define COACHLM_RETURN_NOT_OK(expr)          \
+  do {                                       \
+    ::coachlm::Status _st = (expr);          \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+}  // namespace coachlm
+
+#endif  // COACHLM_COMMON_STATUS_H_

@@ -1,0 +1,113 @@
+#include "common/table_writer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace coachlm {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TableWriter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TableWriter::AddSeparator() { rows_.push_back(Row{true, {}}); }
+
+std::string TableWriter::Num(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string TableWriter::Pct(double ratio, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, ratio * 100.0);
+  return buf;
+}
+
+std::vector<size_t> TableWriter::ComputeWidths() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (size_t c = 0; c < row.cells.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+  return widths;
+}
+
+namespace {
+
+void AppendCell(std::string* out, const std::string& text, size_t width) {
+  *out += ' ';
+  *out += text;
+  out->append(width - text.size() + 1, ' ');
+}
+
+void AppendRule(std::string* out, const std::vector<size_t>& widths) {
+  *out += '+';
+  for (size_t w : widths) {
+    out->append(w + 2, '-');
+    *out += '+';
+  }
+  *out += '\n';
+}
+
+}  // namespace
+
+std::string TableWriter::ToAscii() const {
+  const std::vector<size_t> widths = ComputeWidths();
+  std::string out;
+  AppendRule(&out, widths);
+  out += '|';
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    AppendCell(&out, headers_[c], widths[c]);
+    out += '|';
+  }
+  out += '\n';
+  AppendRule(&out, widths);
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      AppendRule(&out, widths);
+      continue;
+    }
+    out += '|';
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      AppendCell(&out, row.cells[c], widths[c]);
+      out += '|';
+    }
+    out += '\n';
+  }
+  AppendRule(&out, widths);
+  return out;
+}
+
+std::string TableWriter::ToMarkdown() const {
+  const std::vector<size_t> widths = ComputeWidths();
+  std::string out = "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    AppendCell(&out, headers_[c], widths[c]);
+    out += '|';
+  }
+  out += "\n|";
+  for (size_t w : widths) {
+    out.append(w + 2, '-');
+    out += '|';
+  }
+  out += '\n';
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    out += '|';
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      AppendCell(&out, row.cells[c], widths[c]);
+      out += '|';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace coachlm

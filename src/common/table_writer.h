@@ -1,0 +1,49 @@
+#ifndef COACHLM_COMMON_TABLE_WRITER_H_
+#define COACHLM_COMMON_TABLE_WRITER_H_
+
+#include <string>
+#include <vector>
+
+namespace coachlm {
+
+/// \brief Accumulates rows and renders an aligned ASCII / GitHub-Markdown
+/// table.
+///
+/// The benchmark harness uses this to print each reproduced paper table in a
+/// diff-friendly, fixed-width format.
+class TableWriter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TableWriter(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator row.
+  void AddSeparator();
+
+  /// Formats a double with \p decimals fraction digits.
+  static std::string Num(double value, int decimals = 1);
+
+  /// Formats a ratio in [0,1] as a percentage string like "17.7%".
+  static std::string Pct(double ratio, int decimals = 1);
+
+  /// Renders the table with box-drawing in plain ASCII.
+  std::string ToAscii() const;
+
+  /// Renders the table as GitHub-flavored Markdown.
+  std::string ToMarkdown() const;
+
+ private:
+  std::vector<std::string> headers_;
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<Row> rows_;
+  std::vector<size_t> ComputeWidths() const;
+};
+
+}  // namespace coachlm
+
+#endif  // COACHLM_COMMON_TABLE_WRITER_H_

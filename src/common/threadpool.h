@@ -1,0 +1,56 @@
+#ifndef COACHLM_COMMON_THREADPOOL_H_
+#define COACHLM_COMMON_THREADPOOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace coachlm {
+
+/// \brief Fixed-size worker pool for parallel dataset operations.
+///
+/// CoachLM inference over a 52k-pair corpus is embarrassingly parallel; the
+/// pipeline shards the dataset over this pool (mirroring the paper's
+/// batch-32 single-GPU inference setup, Section IV-A). Tasks must not throw.
+class ThreadPool {
+ public:
+  /// Starts \p num_threads workers (hardware concurrency when 0).
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Drains outstanding work and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Number of worker threads.
+  size_t size() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace coachlm
+
+#endif  // COACHLM_COMMON_THREADPOOL_H_

@@ -1,0 +1,79 @@
+#include "data/category.h"
+
+#include <array>
+#include <unordered_map>
+
+namespace coachlm {
+namespace {
+
+constexpr std::array<const char*, kNumCategories> kNames = {
+    "information_extraction", "grammar_correction", "summarization",
+    "paraphrasing", "translation", "text_classification",
+    "sentiment_analysis", "keyword_extraction", "sentence_completion",
+    "spelling_correction", "text_simplification", "data_formatting",
+    "table_to_text", "entity_recognition", "ordering", "comparison",
+    "general_qa", "in_domain_qa", "science_qa", "history_qa", "math_problem",
+    "logical_reasoning", "coding", "code_explanation", "debugging_help",
+    "how_to_guide", "recommendation", "dialogue_completion", "opinion",
+    "health_advice", "story_writing", "poem_writing", "copywriting",
+    "email_drafting", "brainstorming", "naming", "slogan_writing",
+    "joke_writing", "lyrics_writing", "roleplay", "essay_writing",
+    "speech_writing",
+};
+
+}  // namespace
+
+const std::vector<Category>& AllCategories() {
+  static const std::vector<Category> kAll = [] {
+    std::vector<Category> all;
+    all.reserve(kNumCategories);
+    for (size_t i = 0; i < kNumCategories; ++i) {
+      all.push_back(static_cast<Category>(i));
+    }
+    return all;
+  }();
+  return kAll;
+}
+
+TaskClass ClassOf(Category category) {
+  const auto index = static_cast<uint8_t>(category);
+  if (index <= static_cast<uint8_t>(Category::kComparison)) {
+    return TaskClass::kLanguageTask;
+  }
+  if (index <= static_cast<uint8_t>(Category::kHealthAdvice)) {
+    return TaskClass::kQa;
+  }
+  return TaskClass::kCreative;
+}
+
+const std::string& CategoryName(Category category) {
+  static const std::array<std::string, kNumCategories> kStrings = [] {
+    std::array<std::string, kNumCategories> strings;
+    for (size_t i = 0; i < kNumCategories; ++i) strings[i] = kNames[i];
+    return strings;
+  }();
+  return kStrings[static_cast<uint8_t>(category)];
+}
+
+Result<Category> CategoryFromName(const std::string& name) {
+  static const std::unordered_map<std::string, Category> kIndex = [] {
+    std::unordered_map<std::string, Category> index;
+    for (size_t i = 0; i < kNumCategories; ++i) {
+      index.emplace(kNames[i], static_cast<Category>(i));
+    }
+    return index;
+  }();
+  auto it = kIndex.find(name);
+  if (it == kIndex.end()) {
+    return Status::NotFound("unknown category '" + name + "'");
+  }
+  return it->second;
+}
+
+const std::string& TaskClassName(TaskClass task_class) {
+  static const std::array<std::string, 3> kClassNames = {
+      "language_task", "qa", "creative"};
+  return kClassNames[static_cast<uint8_t>(task_class)];
+}
+
+}  // namespace coachlm

@@ -1,0 +1,97 @@
+#ifndef COACHLM_DATA_CATEGORY_H_
+#define COACHLM_DATA_CATEGORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace coachlm {
+
+/// \brief The three revision-difficulty classes of Section II-E.
+///
+/// Expert units are staffed by difficulty: language tasks (certain,
+/// objective answers), Q&A (open, subjective), and creative composition
+/// (substantial creative rewriting).
+enum class TaskClass : uint8_t {
+  kLanguageTask = 0,
+  kQa = 1,
+  kCreative = 2,
+};
+
+/// \brief The 42 fine-grained instruction categories of Section II-G.
+///
+/// The CoachLM150 test set covers all 42; the synthetic corpus draws
+/// instructions from the same taxonomy so tuned-model evaluation exercises
+/// category-level generalization (including the sparse code categories that
+/// reveal the AlpaGasus filtering regression).
+enum class Category : uint8_t {
+  // -- Language tasks (objective answers) --
+  kInformationExtraction = 0,
+  kGrammarCorrection,
+  kSummarization,
+  kParaphrasing,
+  kTranslation,
+  kTextClassification,
+  kSentimentAnalysis,
+  kKeywordExtraction,
+  kSentenceCompletion,
+  kSpellingCorrection,
+  kTextSimplification,
+  kDataFormatting,
+  kTableToText,
+  kEntityRecognition,
+  kOrdering,
+  kComparison,
+  // -- Question answering --
+  kGeneralQa,
+  kInDomainQa,
+  kScienceQa,
+  kHistoryQa,
+  kMathProblem,
+  kLogicalReasoning,
+  kCoding,
+  kCodeExplanation,
+  kDebuggingHelp,
+  kHowToGuide,
+  kRecommendation,
+  kDialogueCompletion,
+  kOpinion,
+  kHealthAdvice,
+  // -- Creative composition --
+  kStoryWriting,
+  kPoemWriting,
+  kCopywriting,
+  kEmailDrafting,
+  kBrainstorming,
+  kNaming,
+  kSloganWriting,
+  kJokeWriting,
+  kLyricsWriting,
+  kRoleplay,
+  kEssayWriting,
+  kSpeechWriting,
+};
+
+/// Number of fine categories (42, matching the paper's taxonomy).
+constexpr size_t kNumCategories = 42;
+
+/// Returns every category in declaration order.
+const std::vector<Category>& AllCategories();
+
+/// Returns the difficulty class a category belongs to.
+TaskClass ClassOf(Category category);
+
+/// Stable snake_case name ("information_extraction").
+const std::string& CategoryName(Category category);
+
+/// Parses a snake_case category name.
+Result<Category> CategoryFromName(const std::string& name);
+
+/// Stable display name for a task class.
+const std::string& TaskClassName(TaskClass task_class);
+
+}  // namespace coachlm
+
+#endif  // COACHLM_DATA_CATEGORY_H_

@@ -1,0 +1,94 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "json/jsonl.h"
+#include "text/string_util.h"
+
+namespace coachlm {
+
+Result<InstructionPair> InstructionDataset::FindById(uint64_t id) const {
+  for (const InstructionPair& pair : pairs_) {
+    if (pair.id == id) return pair;
+  }
+  return Status::NotFound("no pair with id " + std::to_string(id));
+}
+
+DatasetStats InstructionDataset::ComputeStats() const {
+  DatasetStats stats;
+  stats.size = pairs_.size();
+  if (pairs_.empty()) return stats;
+  double iw = 0, rw = 0, ic = 0, rc = 0;
+  for (const InstructionPair& pair : pairs_) {
+    const std::string full = pair.FullInstruction();
+    iw += static_cast<double>(strings::CountWords(full));
+    rw += static_cast<double>(strings::CountWords(pair.output));
+    ic += static_cast<double>(full.size());
+    rc += static_cast<double>(pair.output.size());
+    ++stats.category_counts[pair.category];
+  }
+  const double n = static_cast<double>(pairs_.size());
+  stats.avg_instruction_words = iw / n;
+  stats.avg_response_words = rw / n;
+  stats.avg_instruction_chars = ic / n;
+  stats.avg_response_chars = rc / n;
+  return stats;
+}
+
+InstructionDataset InstructionDataset::SampleWithoutReplacement(
+    size_t n, Rng* rng) const {
+  if (n >= pairs_.size()) return *this;
+  // Floyd's algorithm over indices, then restore order.
+  std::vector<size_t> indices(pairs_.size());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  rng->Shuffle(&indices);
+  indices.resize(n);
+  std::sort(indices.begin(), indices.end());
+  std::vector<InstructionPair> sampled;
+  sampled.reserve(n);
+  for (size_t i : indices) sampled.push_back(pairs_[i]);
+  return InstructionDataset(std::move(sampled));
+}
+
+InstructionDataset InstructionDataset::FilterByCategory(
+    Category category) const {
+  std::vector<InstructionPair> subset;
+  for (const InstructionPair& pair : pairs_) {
+    if (pair.category == category) subset.push_back(pair);
+  }
+  return InstructionDataset(std::move(subset));
+}
+
+std::string InstructionDataset::ToJson() const {
+  json::Array array;
+  array.reserve(pairs_.size());
+  for (const InstructionPair& pair : pairs_) array.push_back(pair.ToJson());
+  return json::Value(std::move(array)).DumpPretty();
+}
+
+Result<InstructionDataset> InstructionDataset::FromJson(
+    const std::string& text) {
+  COACHLM_ASSIGN_OR_RETURN(json::Value doc, json::Parse(text));
+  if (!doc.is_array()) {
+    return Status::ParseError("dataset file must contain a JSON array");
+  }
+  InstructionDataset dataset;
+  for (const json::Value& item : doc.AsArray()) {
+    COACHLM_ASSIGN_OR_RETURN(InstructionPair pair,
+                             InstructionPair::FromJson(item));
+    dataset.Add(std::move(pair));
+  }
+  return dataset;
+}
+
+Status InstructionDataset::SaveJson(const std::string& path) const {
+  return json::WriteFile(path, ToJson());
+}
+
+Result<InstructionDataset> InstructionDataset::LoadJson(
+    const std::string& path) {
+  COACHLM_ASSIGN_OR_RETURN(std::string text, json::ReadFile(path));
+  return FromJson(text);
+}
+
+}  // namespace coachlm

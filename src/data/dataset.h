@@ -1,0 +1,82 @@
+#ifndef COACHLM_DATA_DATASET_H_
+#define COACHLM_DATA_DATASET_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/instruction_pair.h"
+
+namespace coachlm {
+
+/// \brief Summary statistics of a dataset (the quantities of Table VII).
+struct DatasetStats {
+  size_t size = 0;
+  double avg_instruction_words = 0.0;
+  double avg_response_words = 0.0;
+  double avg_instruction_chars = 0.0;
+  double avg_response_chars = 0.0;
+  /// Count per category (categories absent from the dataset are omitted).
+  std::map<Category, size_t> category_counts;
+};
+
+/// \brief An ordered collection of instruction pairs with Alpaca-JSON I/O.
+///
+/// This is the dataset V / D of Section II-F: the unit that flows through
+/// expert revision, CoachLM inference, and instruction tuning.
+class InstructionDataset {
+ public:
+  InstructionDataset() = default;
+  explicit InstructionDataset(std::vector<InstructionPair> pairs)
+      : pairs_(std::move(pairs)) {}
+
+  /// Appends one pair.
+  void Add(InstructionPair pair) { pairs_.push_back(std::move(pair)); }
+
+  size_t size() const { return pairs_.size(); }
+  bool empty() const { return pairs_.empty(); }
+
+  const InstructionPair& operator[](size_t i) const { return pairs_[i]; }
+  InstructionPair& operator[](size_t i) { return pairs_[i]; }
+
+  const std::vector<InstructionPair>& pairs() const { return pairs_; }
+  std::vector<InstructionPair>& pairs() { return pairs_; }
+
+  auto begin() const { return pairs_.begin(); }
+  auto end() const { return pairs_.end(); }
+
+  /// Finds a pair by id; NotFound when absent.
+  Result<InstructionPair> FindById(uint64_t id) const;
+
+  /// Computes length/coverage statistics.
+  DatasetStats ComputeStats() const;
+
+  /// Returns a uniformly random subset of \p n pairs (whole dataset when
+  /// n >= size), preserving original order.
+  InstructionDataset SampleWithoutReplacement(size_t n, Rng* rng) const;
+
+  /// Returns the subset belonging to \p category.
+  InstructionDataset FilterByCategory(Category category) const;
+
+  /// Serializes to an Alpaca-format JSON array (pretty-printed).
+  std::string ToJson() const;
+
+  /// Parses an Alpaca-format JSON array.
+  static Result<InstructionDataset> FromJson(const std::string& text);
+
+  /// Writes the dataset to \p path as JSON.
+  Status SaveJson(const std::string& path) const;
+
+  /// Loads a dataset from an Alpaca-format JSON file.
+  static Result<InstructionDataset> LoadJson(const std::string& path);
+
+ private:
+  std::vector<InstructionPair> pairs_;
+};
+
+}  // namespace coachlm
+
+#endif  // COACHLM_DATA_DATASET_H_

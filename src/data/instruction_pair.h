@@ -1,0 +1,51 @@
+#ifndef COACHLM_DATA_INSTRUCTION_PAIR_H_
+#define COACHLM_DATA_INSTRUCTION_PAIR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/category.h"
+#include "json/json.h"
+
+namespace coachlm {
+
+/// \brief One (INSTRUCTION, RESPONSE) training sample in Alpaca format.
+///
+/// Alpaca splits the instruction into an `instruction` (the task) and an
+/// optional `input` (the payload the task operates on); the `output` is the
+/// RESPONSE of Fig. 1. `id` and `category` are bookkeeping carried through
+/// the pipeline (serialized alongside the Alpaca fields).
+struct InstructionPair {
+  uint64_t id = 0;
+  std::string instruction;
+  std::string input;
+  std::string output;
+  Category category = Category::kGeneralQa;
+
+  /// The INSTRUCTION side as judged by the quality criteria: instruction
+  /// plus input payload, separated by a newline when the input is present.
+  std::string FullInstruction() const;
+
+  /// Total character length of instruction + input + output.
+  size_t TotalChars() const;
+
+  /// True when both the instruction and output fields carry content.
+  bool IsWellFormed() const;
+
+  /// Serializes to an Alpaca-format JSON object (plus id/category fields).
+  json::Value ToJson() const;
+
+  /// Parses an Alpaca-format JSON object. `id`/`category` default when
+  /// absent so third-party Alpaca files load unchanged.
+  static Result<InstructionPair> FromJson(const json::Value& value);
+
+  bool operator==(const InstructionPair& other) const {
+    return id == other.id && instruction == other.instruction &&
+           input == other.input && output == other.output &&
+           category == other.category;
+  }
+};
+
+}  // namespace coachlm
+
+#endif  // COACHLM_DATA_INSTRUCTION_PAIR_H_

@@ -1,0 +1,37 @@
+#include "data/revision_io.h"
+
+#include "json/jsonl.h"
+
+namespace coachlm {
+
+Status SaveRevisions(const std::string& path,
+                     const RevisionDataset& records) {
+  std::vector<json::Value> lines;
+  lines.reserve(records.size());
+  for (const RevisionRecord& record : records) {
+    json::Object obj;
+    obj["original"] = record.original.ToJson();
+    obj["revised"] = record.revised.ToJson();
+    lines.push_back(json::Value(std::move(obj)));
+  }
+  return json::SaveJsonl(path, lines);
+}
+
+Result<RevisionDataset> LoadRevisions(const std::string& path) {
+  COACHLM_ASSIGN_OR_RETURN(std::vector<json::Value> lines,
+                           json::LoadJsonl(path));
+  RevisionDataset records;
+  records.reserve(lines.size());
+  for (const json::Value& line : lines) {
+    RevisionRecord record;
+    COACHLM_ASSIGN_OR_RETURN(record.original,
+                             InstructionPair::FromJson(line.At("original")));
+    COACHLM_ASSIGN_OR_RETURN(record.revised,
+                             InstructionPair::FromJson(line.At("revised")));
+    record.RecomputeDerived();
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace coachlm

@@ -1,0 +1,22 @@
+#ifndef COACHLM_DATA_REVISION_IO_H_
+#define COACHLM_DATA_REVISION_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/revision_record.h"
+
+namespace coachlm {
+
+/// \brief Serializes the expert revision dataset R to JSONL: one record
+/// per line as {"original": {...}, "revised": {...}} (the release format
+/// of the paper's published training data).
+Status SaveRevisions(const std::string& path, const RevisionDataset& records);
+
+/// \brief Loads a revision dataset saved by SaveRevisions(). Derived
+/// fields (edit distance, changed flags) are recomputed on load.
+Result<RevisionDataset> LoadRevisions(const std::string& path);
+
+}  // namespace coachlm
+
+#endif  // COACHLM_DATA_REVISION_IO_H_

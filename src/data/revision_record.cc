@@ -1,0 +1,17 @@
+#include "data/revision_record.h"
+
+#include "text/edit_distance.h"
+
+namespace coachlm {
+
+void RevisionRecord::RecomputeDerived() {
+  instruction_changed =
+      original.FullInstruction() != revised.FullInstruction();
+  response_changed = original.output != revised.output;
+  char_edit_distance =
+      editdist::CharDistance(original.FullInstruction(),
+                             revised.FullInstruction()) +
+      editdist::CharDistance(original.output, revised.output);
+}
+
+}  // namespace coachlm

@@ -1,0 +1,35 @@
+#ifndef COACHLM_DATA_REVISION_RECORD_H_
+#define COACHLM_DATA_REVISION_RECORD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/instruction_pair.h"
+
+namespace coachlm {
+
+/// \brief One element (x, x_r) of the expert revision dataset R
+/// (Section II-F1).
+struct RevisionRecord {
+  /// The original pair x.
+  InstructionPair original;
+  /// The expert-revised pair x_r.
+  InstructionPair revised;
+  /// Character-level edit distance between x and x_r over the concatenated
+  /// instruction+input+output text; used by the α-selection.
+  size_t char_edit_distance = 0;
+  /// True when the INSTRUCTION side differs.
+  bool instruction_changed = false;
+  /// True when the RESPONSE side differs.
+  bool response_changed = false;
+
+  /// Recomputes the derived fields from the text.
+  void RecomputeDerived();
+};
+
+/// The expert revision dataset R = {(x, x_r)}.
+using RevisionDataset = std::vector<RevisionRecord>;
+
+}  // namespace coachlm
+
+#endif  // COACHLM_DATA_REVISION_RECORD_H_

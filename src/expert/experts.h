@@ -1,0 +1,43 @@
+#ifndef COACHLM_EXPERT_EXPERTS_H_
+#define COACHLM_EXPERT_EXPERTS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/category.h"
+
+namespace coachlm {
+namespace expert {
+
+/// \brief The three expert groups of Table I.
+enum class ExpertGroup { kReviseA = 0, kTestSetB = 1, kEvaluateC = 2 };
+
+/// \brief One language expert.
+struct Expert {
+  size_t id = 0;
+  ExpertGroup group = ExpertGroup::kReviseA;
+  double years_experience = 10.0;
+  /// Revision unit (group A only): the task class this expert handles,
+  /// staffed by expertise as in Section II-E2.
+  TaskClass unit = TaskClass::kLanguageTask;
+};
+
+/// \brief The full roster of Table I: 17 experts in group A (units with
+/// average experience 9.4 / 11.2 / 13.1 years), 6 in group B, 3 in
+/// group C, averaging 11.29 / 5.64 / 12.57 years respectively.
+const std::vector<Expert>& Roster();
+
+/// Experts of one group.
+std::vector<Expert> GroupMembers(ExpertGroup group);
+
+/// Group-A experts of one revision unit.
+std::vector<Expert> UnitMembers(TaskClass unit);
+
+/// Mean experience of a set of experts (0 for empty input).
+double MeanExperience(const std::vector<Expert>& experts);
+
+}  // namespace expert
+}  // namespace coachlm
+
+#endif  // COACHLM_EXPERT_EXPERTS_H_

@@ -1,0 +1,112 @@
+#include "expert/filtering.h"
+
+#include <array>
+
+#include "text/lexicons.h"
+#include "text/string_util.h"
+
+namespace coachlm {
+namespace expert {
+namespace {
+
+const std::vector<std::string>& DeadInputMarkers() {
+  static const std::vector<std::string> kMarkers = {
+      "[Link to an article]", "<noinput>", "(see the attachment)",
+      "[DOCUMENT REMOVED]",
+  };
+  return kMarkers;
+}
+
+const std::vector<std::string>& NicheMarkers() {
+  static const std::vector<std::string> kMarkers = {
+      "chords", "drop-D tuning", "renormalization", "Verilog",
+      "pipelined RISC", "legal brief", "patent dispute",
+  };
+  return kMarkers;
+}
+
+const std::vector<std::string>& WorkloadMarkers() {
+  static const std::vector<std::string> kMarkers = {
+      "create a haiku poem preserving", "entire novel",
+      "iambic pentameter", "40-stanza",
+  };
+  return kMarkers;
+}
+
+const std::vector<std::string>& MultiModalMarkers() {
+  static const std::vector<std::string> kMarkers = {
+      "in the photo", "this video", "audio recording", "(binary attachment)",
+  };
+  return kMarkers;
+}
+
+bool ContainsAny(const std::string& text,
+                 const std::vector<std::string>& markers) {
+  for (const std::string& marker : markers) {
+    if (strings::Contains(text, marker)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::string& ExclusionReasonName(ExclusionReason reason) {
+  static const std::array<std::string, 5> kNames = {
+      "Invalid Input", "Beyond Expertise", "Massive Workload", "Multi-modal",
+      "Safety",
+  };
+  return kNames[static_cast<size_t>(reason)];
+}
+
+std::optional<ExclusionReason> PreliminaryFilter::Classify(
+    const InstructionPair& pair) const {
+  const std::string full = pair.FullInstruction();
+  const std::string all = full + " " + pair.output;
+  if (ContainsAny(full, DeadInputMarkers())) {
+    return ExclusionReason::kInvalidInput;
+  }
+  const std::string lower = strings::Lower(all);
+  for (const std::string& term : lexicons::UnsafeTerms()) {
+    if (strings::Contains(lower, strings::Lower(term))) {
+      return ExclusionReason::kSafety;
+    }
+  }
+  if (ContainsAny(full, MultiModalMarkers())) {
+    return ExclusionReason::kMultiModal;
+  }
+  if (ContainsAny(full, WorkloadMarkers())) {
+    return ExclusionReason::kMassiveWorkload;
+  }
+  if (ContainsAny(full, NicheMarkers())) {
+    return ExclusionReason::kBeyondExpertise;
+  }
+  return std::nullopt;
+}
+
+std::optional<ExclusionReason> PreliminaryFilter::Screen(
+    const InstructionPair& pair, Rng* rng, bool* was_retained) const {
+  if (was_retained != nullptr) *was_retained = false;
+  auto reason = Classify(pair);
+  if (reason && rng->NextBool(retain_probability_)) {
+    if (was_retained != nullptr) *was_retained = true;
+    return std::nullopt;
+  }
+  return reason;
+}
+
+size_t FilterStats::TotalExcluded() const {
+  size_t total = 0;
+  for (const auto& [reason, count] : excluded) total += count;
+  return total;
+}
+
+double FilterStats::Ratio(ExclusionReason reason) const {
+  const size_t total = TotalExcluded();
+  if (total == 0) return 0.0;
+  auto it = excluded.find(reason);
+  const size_t count = it == excluded.end() ? 0 : it->second;
+  return static_cast<double>(count) / static_cast<double>(total);
+}
+
+}  // namespace expert
+}  // namespace coachlm

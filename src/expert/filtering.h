@@ -1,0 +1,65 @@
+#ifndef COACHLM_EXPERT_FILTERING_H_
+#define COACHLM_EXPERT_FILTERING_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/rng.h"
+#include "data/instruction_pair.h"
+
+namespace coachlm {
+namespace expert {
+
+/// \brief The exclusion reasons of Table III.
+enum class ExclusionReason {
+  kInvalidInput = 0,
+  kBeyondExpertise,
+  kMassiveWorkload,
+  kMultiModal,
+  kSafety,
+};
+
+/// Display name of an exclusion reason (Table III wording).
+const std::string& ExclusionReasonName(ExclusionReason reason);
+
+/// \brief The preliminary filter of Section II-E1.
+///
+/// Group-A experts screen each sampled pair *by reading it* (not via
+/// generator provenance): dead-reference inputs, overly professional
+/// niches, massive rewriting workloads, multi-modal payloads, and unsafe
+/// content are excluded from revision. As in the paper, a small share of
+/// such pairs is deliberately retained to keep the revision set diverse.
+class PreliminaryFilter {
+ public:
+  /// \param retain_probability chance an otherwise-excluded pair is kept.
+  explicit PreliminaryFilter(double retain_probability = 0.03)
+      : retain_probability_(retain_probability) {}
+
+  /// Classifies one pair; nullopt means the pair passes the filter.
+  std::optional<ExclusionReason> Classify(const InstructionPair& pair) const;
+
+  /// Classify(), plus the diversity-retention coin flip. When a pair is
+  /// classified excludable but retained, \p was_retained is set.
+  std::optional<ExclusionReason> Screen(const InstructionPair& pair,
+                                        Rng* rng, bool* was_retained) const;
+
+ private:
+  double retain_probability_;
+};
+
+/// \brief Counts per exclusion reason (the Table III distribution).
+struct FilterStats {
+  std::map<ExclusionReason, size_t> excluded;
+  size_t retained_for_diversity = 0;
+  size_t passed = 0;
+
+  size_t TotalExcluded() const;
+  /// Share of each reason among excluded pairs.
+  double Ratio(ExclusionReason reason) const;
+};
+
+}  // namespace expert
+}  // namespace coachlm
+
+#endif  // COACHLM_EXPERT_FILTERING_H_

@@ -1,0 +1,92 @@
+#include "expert/pipeline.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace coachlm {
+namespace expert {
+
+double EffortModel::ReviseCost(TaskClass task_class) const {
+  switch (task_class) {
+    case TaskClass::kLanguageTask:
+      return revise_language;
+    case TaskClass::kQa:
+      return revise_qa;
+    case TaskClass::kCreative:
+      return revise_creative;
+  }
+  return revise_qa;
+}
+
+RevisionStudyResult RunRevisionStudy(const InstructionDataset& corpus,
+                                     const synth::ContentEngine& engine,
+                                     const RevisionStudyConfig& config,
+                                     const EffortModel& effort) {
+  RevisionStudyResult result;
+  Rng rng(config.seed);
+  Rng filter_rng = rng.Fork();
+  Rng revise_rng = rng.Fork();
+
+  const InstructionDataset sample =
+      corpus.SampleWithoutReplacement(config.sample_size, &rng);
+
+  PreliminaryFilter filter(config.retain_probability);
+  ExpertReviser reviser(&engine, config.target_score);
+
+  double revision_effort = 0.0;
+  std::unordered_map<uint64_t, InstructionPair> revised_by_id;
+
+  for (const InstructionPair& pair : sample) {
+    bool retained = false;
+    const auto reason = filter.Screen(pair, &filter_rng, &retained);
+    if (retained) ++result.filter_stats.retained_for_diversity;
+    if (reason) {
+      ++result.filter_stats.excluded[*reason];
+      continue;
+    }
+    ++result.filter_stats.passed;
+    ++result.examined_after_filter;
+
+    // Expertise-based assignment: the pair's task class routes it to the
+    // matching expert unit (Section II-E2); the unit determines the effort
+    // model applied below.
+    const TaskClass unit = ClassOf(pair.category);
+
+    const RevisionOutcome outcome = reviser.Revise(pair, &revise_rng);
+    if (!outcome.revised) continue;
+
+    ++result.revised_pairs;
+    revision_effort += effort.ReviseCost(unit);
+    if (outcome.instruction_type) {
+      ++result.instruction_revision_counts[*outcome.instruction_type];
+    }
+    if (outcome.revised_pair.FullInstruction() != pair.FullInstruction()) {
+      ++result.instruction_revised_pairs;
+    }
+    if (outcome.response_type) {
+      ++result.response_revision_counts[*outcome.response_type];
+    }
+
+    RevisionRecord record;
+    record.original = pair;
+    record.revised = outcome.revised_pair;
+    record.RecomputeDerived();
+    result.revisions.push_back(std::move(record));
+    revised_by_id.emplace(pair.id, outcome.revised_pair);
+  }
+
+  result.person_days =
+      static_cast<double>(sample.size()) * effort.examine_per_pair +
+      revision_effort * (1.0 + effort.qc_overhead);
+
+  // Merge: the full corpus with revised pairs substituted in place.
+  result.merged_dataset = corpus;
+  for (InstructionPair& pair : result.merged_dataset.pairs()) {
+    auto it = revised_by_id.find(pair.id);
+    if (it != revised_by_id.end()) pair = it->second;
+  }
+  return result;
+}
+
+}  // namespace expert
+}  // namespace coachlm

@@ -1,0 +1,87 @@
+#ifndef COACHLM_EXPERT_REVISER_H_
+#define COACHLM_EXPERT_REVISER_H_
+
+#include <optional>
+#include <string>
+
+#include "common/rng.h"
+#include "data/instruction_pair.h"
+#include "quality/criteria.h"
+#include "synth/content_engine.h"
+
+namespace coachlm {
+namespace expert {
+
+/// \brief Primary instruction-revision types of Table IV.
+enum class InstructionRevisionType {
+  kAdjustReadability = 0,  ///< language/layout adjustments (68.1%)
+  kRewriteFeasibility,     ///< rewrite infeasible/ambiguous parts (24.9%)
+  kDiversifyContext,       ///< add context/requirements/examples (7.0%)
+};
+
+/// \brief Primary response-revision types of Table IV.
+enum class ResponseRevisionType {
+  kDiversifyExpand = 0,  ///< add angles/explanations/reasoning (43.7%)
+  kRewriteContent,       ///< fluency/relevance/logic rewrites (24.5%)
+  kAdjustLayoutTone,     ///< layout clarity, empathetic tone (23.3%)
+  kCorrectFacts,         ///< miscalculations, factual mistakes (6.7%)
+  kOther,                ///< complex/creative revisions, safety (1.9%)
+};
+
+const std::string& InstructionRevisionTypeName(InstructionRevisionType type);
+const std::string& ResponseRevisionTypeName(ResponseRevisionType type);
+
+/// \brief Result of one expert revision attempt.
+struct RevisionOutcome {
+  /// False when the pair needed no revision (already meets the criteria).
+  bool revised = false;
+  InstructionPair revised_pair;
+  /// Primary revision types per side (set only when that side changed).
+  std::optional<InstructionRevisionType> instruction_type;
+  std::optional<ResponseRevisionType> response_type;
+  /// Quality of the revised pair.
+  quality::PairQuality final_quality;
+  /// Iterations of the revise-and-rescore loop.
+  size_t iterations = 0;
+};
+
+/// \brief Simulates a group-A expert revising one instruction pair.
+///
+/// The workflow follows Section II-E2: (1) identify deficient dimensions
+/// with the Table II criteria, (2) apply dimension-specific repairs —
+/// spelling/grammar fixes, disambiguation, infeasible-clause removal,
+/// layout reflow, tone humanization, fact correction, and full response
+/// rebuilds with expanded reasoning — and (3) loop until the pair scores
+/// at least `target_score`, per "making all necessary revisions". The
+/// expert's world knowledge is the content engine (topic/code banks).
+class ExpertReviser {
+ public:
+  explicit ExpertReviser(const synth::ContentEngine* engine,
+                         double target_score = 95.0)
+      : engine_(engine), target_score_(target_score) {}
+
+  /// True when the criteria identify the pair as lacking in one or more
+  /// dimensions (the 46.8% of Section II-E2).
+  bool IsLacking(const InstructionPair& pair) const;
+
+  /// Revises a pair. When the pair is not lacking, returns with
+  /// revised==false and the pair untouched.
+  RevisionOutcome Revise(const InstructionPair& pair, Rng* rng) const;
+
+ private:
+  void RepairInstruction(InstructionPair* pair, Rng* rng,
+                         std::optional<InstructionRevisionType>* type) const;
+  void RepairResponse(InstructionPair* pair, Rng* rng,
+                      std::optional<ResponseRevisionType>* type) const;
+  /// Adds enrichment (explanations/closing/context) until the target score
+  /// is reached or attempts run out.
+  void Enrich(InstructionPair* pair, Rng* rng, size_t* iterations) const;
+
+  const synth::ContentEngine* engine_;
+  double target_score_;
+};
+
+}  // namespace expert
+}  // namespace coachlm
+
+#endif  // COACHLM_EXPERT_REVISER_H_

@@ -1,0 +1,439 @@
+#include "json/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace coachlm {
+namespace json {
+
+namespace {
+const std::string kEmptyString;
+const Array kEmptyArray;
+const Object kEmptyObject;
+const Value kNullValue;
+}  // namespace
+
+Value::Value(Array a)
+    : type_(Type::kArray), array_(std::make_shared<Array>(std::move(a))) {}
+
+Value::Value(Object o)
+    : type_(Type::kObject), object_(std::make_shared<Object>(std::move(o))) {}
+
+const std::string& Value::AsString() const {
+  return is_string() ? string_ : kEmptyString;
+}
+
+const Array& Value::AsArray() const {
+  return is_array() ? *array_ : kEmptyArray;
+}
+
+Array& Value::AsArray() {
+  if (!is_array()) {
+    type_ = Type::kArray;
+    array_ = std::make_shared<Array>();
+  }
+  return *array_;
+}
+
+const Object& Value::AsObject() const {
+  return is_object() ? *object_ : kEmptyObject;
+}
+
+Object& Value::AsObject() {
+  if (!is_object()) {
+    type_ = Type::kObject;
+    object_ = std::make_shared<Object>();
+  }
+  return *object_;
+}
+
+const Value& Value::At(const std::string& key) const {
+  if (!is_object()) return kNullValue;
+  auto it = object_->find(key);
+  if (it == object_->end()) return kNullValue;
+  return it->second;
+}
+
+Result<std::string> Value::GetString(const std::string& key) const {
+  const Value& v = At(key);
+  if (!v.is_string()) {
+    return Status::ParseError("missing or non-string field '" + key + "'");
+  }
+  return v.AsString();
+}
+
+Result<double> Value::GetNumber(const std::string& key) const {
+  const Value& v = At(key);
+  if (!v.is_number()) {
+    return Status::ParseError("missing or non-number field '" + key + "'");
+  }
+  return v.AsNumber();
+}
+
+Result<bool> Value::GetBool(const std::string& key) const {
+  const Value& v = At(key);
+  if (!v.is_bool()) {
+    return Status::ParseError("missing or non-bool field '" + key + "'");
+  }
+  return v.AsBool();
+}
+
+std::string EscapeString(const std::string& s) {
+  std::string out = "\"";
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void Value::DumpTo(std::string* out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent > 0) {
+      *out += '\n';
+      out->append(static_cast<size_t>(indent * d), ' ');
+    }
+  };
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber: {
+      char buf[40];
+      if (number_ == std::floor(number_) && std::fabs(number_) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(number_));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", number_);
+      }
+      *out += buf;
+      break;
+    }
+    case Type::kString:
+      *out += EscapeString(string_);
+      break;
+    case Type::kArray: {
+      *out += '[';
+      bool first = true;
+      for (const Value& v : *array_) {
+        if (!first) *out += ',';
+        first = false;
+        newline(depth + 1);
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (!array_->empty()) newline(depth);
+      *out += ']';
+      break;
+    }
+    case Type::kObject: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [key, v] : *object_) {
+        if (!first) *out += ',';
+        first = false;
+        newline(depth + 1);
+        *out += EscapeString(key);
+        *out += indent > 0 ? ": " : ":";
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (!object_->empty()) newline(depth);
+      *out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::Dump() const {
+  std::string out;
+  DumpTo(&out, 0, 0);
+  return out;
+}
+
+std::string Value::DumpPretty() const {
+  std::string out;
+  DumpTo(&out, 2, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a raw character range.
+class Parser {
+ public:
+  Parser(const char* begin, const char* end) : p_(begin), end_(end) {}
+
+  Result<Value> ParseDocument() {
+    SkipWs();
+    Value v;
+    COACHLM_RETURN_NOT_OK(ParseValue(&v, 0));
+    SkipWs();
+    if (p_ != end_) return Fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  Status Fail(const std::string& why) const {
+    return Status::ParseError(why + " at offset " +
+                              std::to_string(offset_base_ + consumed()));
+  }
+
+  size_t consumed() const { return static_cast<size_t>(p_ - start_); }
+
+  void SkipWs() {
+    while (p_ != end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  Status ParseValue(Value* out, int depth) {
+    if (depth > 256) return Fail("nesting too deep");
+    if (p_ == end_) return Fail("unexpected end of input");
+    switch (*p_) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        COACHLM_RETURN_NOT_OK(ParseString(&s));
+        *out = Value(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        return ParseLiteral("true", Value(true), out);
+      case 'f':
+        return ParseLiteral("false", Value(false), out);
+      case 'n':
+        return ParseLiteral("null", Value(), out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(const char* lit, Value value, Value* out) {
+    for (const char* c = lit; *c; ++c, ++p_) {
+      if (p_ == end_ || *p_ != *c) return Fail("invalid literal");
+    }
+    *out = std::move(value);
+    return Status::OK();
+  }
+
+  Status ParseNumber(Value* out) {
+    const char* begin = p_;
+    if (p_ != end_ && (*p_ == '-' || *p_ == '+')) ++p_;
+    bool any = false;
+    while (p_ != end_ && (std::isdigit(static_cast<unsigned char>(*p_)) ||
+                          *p_ == '.' || *p_ == 'e' || *p_ == 'E' ||
+                          *p_ == '-' || *p_ == '+')) {
+      any = true;
+      ++p_;
+    }
+    if (!any) return Fail("invalid number");
+    std::string text(begin, p_);
+    char* parse_end = nullptr;
+    const double d = std::strtod(text.c_str(), &parse_end);
+    if (parse_end != text.c_str() + text.size()) return Fail("invalid number");
+    *out = Value(d);
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    ++p_;  // opening quote
+    out->clear();
+    while (p_ != end_) {
+      const unsigned char c = static_cast<unsigned char>(*p_);
+      if (c == '"') {
+        ++p_;
+        return Status::OK();
+      }
+      if (c == '\\') {
+        ++p_;
+        if (p_ == end_) break;
+        switch (*p_) {
+          case '"':
+            *out += '"';
+            break;
+          case '\\':
+            *out += '\\';
+            break;
+          case '/':
+            *out += '/';
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 'b':
+            *out += '\b';
+            break;
+          case 'f':
+            *out += '\f';
+            break;
+          case 'u': {
+            if (end_ - p_ < 5) return Fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char h = p_[i];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Fail("invalid \\u escape");
+              }
+            }
+            p_ += 4;
+            AppendUtf8(code, out);
+            break;
+          }
+          default:
+            return Fail("invalid escape character");
+        }
+        ++p_;
+      } else if (c < 0x20) {
+        return Fail("unescaped control character in string");
+      } else {
+        *out += static_cast<char>(c);
+        ++p_;
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  static void AppendUtf8(unsigned code, std::string* out) {
+    if (code < 0x80) {
+      *out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      *out += static_cast<char>(0xC0 | (code >> 6));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      *out += static_cast<char>(0xE0 | (code >> 12));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  Status ParseArray(Value* out, int depth) {
+    ++p_;  // '['
+    Array items;
+    SkipWs();
+    if (p_ != end_ && *p_ == ']') {
+      ++p_;
+      *out = Value(std::move(items));
+      return Status::OK();
+    }
+    for (;;) {
+      SkipWs();
+      Value v;
+      COACHLM_RETURN_NOT_OK(ParseValue(&v, depth + 1));
+      items.push_back(std::move(v));
+      SkipWs();
+      if (p_ == end_) return Fail("unterminated array");
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == ']') {
+        ++p_;
+        *out = Value(std::move(items));
+        return Status::OK();
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  Status ParseObject(Value* out, int depth) {
+    ++p_;  // '{'
+    Object members;
+    SkipWs();
+    if (p_ != end_ && *p_ == '}') {
+      ++p_;
+      *out = Value(std::move(members));
+      return Status::OK();
+    }
+    for (;;) {
+      SkipWs();
+      if (p_ == end_ || *p_ != '"') return Fail("expected object key");
+      std::string key;
+      COACHLM_RETURN_NOT_OK(ParseString(&key));
+      SkipWs();
+      if (p_ == end_ || *p_ != ':') return Fail("expected ':'");
+      ++p_;
+      SkipWs();
+      Value v;
+      COACHLM_RETURN_NOT_OK(ParseValue(&v, depth + 1));
+      members[std::move(key)] = std::move(v);
+      SkipWs();
+      if (p_ == end_) return Fail("unterminated object");
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == '}') {
+        ++p_;
+        *out = Value(std::move(members));
+        return Status::OK();
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+  const char* start_ = p_;
+  size_t offset_base_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Parse(const std::string& text) {
+  Parser parser(text.data(), text.data() + text.size());
+  return parser.ParseDocument();
+}
+
+}  // namespace json
+}  // namespace coachlm

@@ -1,0 +1,77 @@
+#include "json/jsonl.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace coachlm {
+namespace json {
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failure on '" + path + "'");
+  return buffer.str();
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << content;
+  out.flush();
+  if (!out) return Status::IoError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+Result<std::vector<Value>> ParseLines(const std::string& text,
+                                      bool skip_invalid, size_t* num_invalid) {
+  std::vector<Value> values;
+  if (num_invalid != nullptr) *num_invalid = 0;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++line_no;
+    // Trim trailing CR and surrounding spaces.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty()) {
+      if (pos > text.size()) break;
+      continue;
+    }
+    Result<Value> parsed = Parse(line);
+    if (!parsed.ok()) {
+      if (skip_invalid) {
+        if (num_invalid != nullptr) ++*num_invalid;
+        continue;
+      }
+      return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                parsed.status().message());
+    }
+    values.push_back(std::move(parsed).ValueOrDie());
+  }
+  return values;
+}
+
+Result<std::vector<Value>> LoadJsonl(const std::string& path,
+                                     bool skip_invalid, size_t* num_invalid) {
+  COACHLM_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return ParseLines(text, skip_invalid, num_invalid);
+}
+
+Status SaveJsonl(const std::string& path, const std::vector<Value>& values) {
+  std::string out;
+  for (const Value& v : values) {
+    out += v.Dump();
+    out += '\n';
+  }
+  return WriteFile(path, out);
+}
+
+}  // namespace json
+}  // namespace coachlm

@@ -1,0 +1,40 @@
+#ifndef COACHLM_JSON_JSONL_H_
+#define COACHLM_JSON_JSONL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "json/json.h"
+
+namespace coachlm {
+namespace json {
+
+/// \brief Reads a whole file into a string.
+Result<std::string> ReadFile(const std::string& path);
+
+/// \brief Writes \p content to \p path, replacing any existing file.
+Status WriteFile(const std::string& path, const std::string& content);
+
+/// \brief Parses a JSON-Lines document (one JSON value per non-empty line).
+///
+/// When \p skip_invalid is true, malformed lines are dropped and counted in
+/// \p num_invalid (may be null); otherwise the first malformed line fails
+/// the whole parse. The tolerant mode mirrors the platform's handling of
+/// noisy production logs (Section IV-A).
+Result<std::vector<Value>> ParseLines(const std::string& text,
+                                      bool skip_invalid = false,
+                                      size_t* num_invalid = nullptr);
+
+/// \brief Loads and parses a JSONL file.
+Result<std::vector<Value>> LoadJsonl(const std::string& path,
+                                     bool skip_invalid = false,
+                                     size_t* num_invalid = nullptr);
+
+/// \brief Serializes values one-per-line and writes them to \p path.
+Status SaveJsonl(const std::string& path, const std::vector<Value>& values);
+
+}  // namespace json
+}  // namespace coachlm
+
+#endif  // COACHLM_JSON_JSONL_H_

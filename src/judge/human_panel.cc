@@ -1,0 +1,41 @@
+#include "judge/human_panel.h"
+
+#include <algorithm>
+
+#include "quality/criteria.h"
+
+namespace coachlm {
+namespace judge {
+
+HumanPanel::HumanPanel(uint64_t seed)
+    : reviewers_{{{"R1", +1.5, 3.2}, {"R2", -1.0, 3.0}, {"R3", 0.0, 2.6}}},
+      rng_(seed) {}
+
+PanelScores HumanPanel::Perturb(double base_score) {
+  PanelScores scores;
+  for (size_t i = 0; i < reviewers_.size(); ++i) {
+    const ReviewerProfile& reviewer = reviewers_[i];
+    const double rated = base_score + reviewer.bias +
+                         rng_.NextGaussian(0.0, reviewer.noise_stddev);
+    scores.reviewer[i] = std::clamp(rated, 0.0, 100.0);
+  }
+  return scores;
+}
+
+PanelScores HumanPanel::RateInstruction(const InstructionPair& pair) {
+  return Perturb(quality::InstructionScorer().Score(pair).score);
+}
+
+PanelScores HumanPanel::RateResponse(const InstructionPair& pair) {
+  return Perturb(quality::ResponseScorer().Score(pair).score);
+}
+
+PanelScores HumanPanel::RateResponseText(const InstructionPair& task,
+                                         const std::string& response) {
+  InstructionPair candidate = task;
+  candidate.output = response;
+  return RateResponse(candidate);
+}
+
+}  // namespace judge
+}  // namespace coachlm

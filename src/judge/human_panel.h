@@ -1,0 +1,65 @@
+#ifndef COACHLM_JUDGE_HUMAN_PANEL_H_
+#define COACHLM_JUDGE_HUMAN_PANEL_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/instruction_pair.h"
+
+namespace coachlm {
+namespace judge {
+
+/// \brief One group-C reviewer's rating style.
+struct ReviewerProfile {
+  std::string name;
+  /// Additive strictness offset on the 0-100 scale (negative = stricter).
+  double bias = 0.0;
+  /// Rating noise.
+  double noise_stddev = 3.0;
+};
+
+/// \brief Scores from the three reviewers plus their mean.
+struct PanelScores {
+  std::array<double, 3> reviewer = {0.0, 0.0, 0.0};
+  double Average() const {
+    return (reviewer[0] + reviewer[1] + reviewer[2]) / 3.0;
+  }
+};
+
+/// \brief The three-reviewer human evaluation panel (group C, Table I).
+///
+/// Reviewers independently assign 0-100 scores against the Table II
+/// criteria, blind to sample sources (Section III-A1a). Each reviewer is
+/// the criteria engine plus an individual strictness offset and noise —
+/// correlated but distinct raters, as Tables VIII and X require.
+class HumanPanel {
+ public:
+  explicit HumanPanel(uint64_t seed = 97);
+
+  /// Rates the INSTRUCTION side of a pair.
+  PanelScores RateInstruction(const InstructionPair& pair);
+
+  /// Rates the RESPONSE side of a pair.
+  PanelScores RateResponse(const InstructionPair& pair);
+
+  /// Rates \p response as an answer to \p task.
+  PanelScores RateResponseText(const InstructionPair& task,
+                               const std::string& response);
+
+  const std::array<ReviewerProfile, 3>& reviewers() const {
+    return reviewers_;
+  }
+
+ private:
+  PanelScores Perturb(double base_score);
+
+  std::array<ReviewerProfile, 3> reviewers_;
+  Rng rng_;
+};
+
+}  // namespace judge
+}  // namespace coachlm
+
+#endif  // COACHLM_JUDGE_HUMAN_PANEL_H_

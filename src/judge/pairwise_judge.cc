@@ -1,0 +1,71 @@
+#include "judge/pairwise_judge.h"
+
+#include "quality/criteria.h"
+
+namespace coachlm {
+namespace judge {
+
+JudgeProfile PandaLmProfile() {
+  JudgeProfile profile;
+  profile.name = "PandaLM-7b";
+  // PandaLM reaches 88.3% agreement with GPT-4 (Section III-A1d): a bit
+  // noisier than GPT-4, but free of position bias.
+  profile.noise_stddev = 3.6;
+  profile.tie_margin = 2.5;
+  profile.position_bias = 0.0;
+  return profile;
+}
+
+JudgeProfile Gpt4Profile() {
+  JudgeProfile profile;
+  profile.name = "GPT-4";
+  profile.noise_stddev = 2.8;
+  profile.tie_margin = 2.5;
+  // The reported evaluation bias when swapping candidates [24]: the first
+  // displayed answer reads slightly better to the judge.
+  profile.position_bias = 2.0;
+  return profile;
+}
+
+double PairwiseJudge::PerceivedQuality(const InstructionPair& task,
+                                       const std::string& response,
+                                       Rng* rng) const {
+  InstructionPair candidate = task;
+  candidate.output = response;
+  const quality::QualityScore score =
+      quality::ResponseScorer().Score(candidate);
+  return score.score + rng->NextGaussian(0.0, profile_.noise_stddev);
+}
+
+Verdict PairwiseJudge::Compare(const InstructionPair& task,
+                               const std::string& response_a,
+                               const std::string& response_b,
+                               Rng* rng) const {
+  const double quality_a =
+      PerceivedQuality(task, response_a, rng) + profile_.position_bias;
+  const double quality_b = PerceivedQuality(task, response_b, rng);
+  const double delta = quality_a - quality_b;
+  if (delta > profile_.tie_margin) return Verdict::kWin;
+  if (delta < -profile_.tie_margin) return Verdict::kLose;
+  return Verdict::kTie;
+}
+
+Verdict PairwiseJudge::CompareDebiased(const InstructionPair& task,
+                                       const std::string& response_a,
+                                       const std::string& response_b,
+                                       Rng* rng) const {
+  const Verdict forward = Compare(task, response_a, response_b, rng);
+  const Verdict backward = Flip(Compare(task, response_b, response_a, rng));
+  if (forward == backward) return forward;
+  // Conflicting win/lose verdicts become a tie; win+tie stays win,
+  // lose+tie stays lose.
+  if ((forward == Verdict::kWin && backward == Verdict::kLose) ||
+      (forward == Verdict::kLose && backward == Verdict::kWin)) {
+    return Verdict::kTie;
+  }
+  if (forward == Verdict::kTie) return backward;
+  return forward;
+}
+
+}  // namespace judge
+}  // namespace coachlm

@@ -1,0 +1,66 @@
+#ifndef COACHLM_JUDGE_PAIRWISE_JUDGE_H_
+#define COACHLM_JUDGE_PAIRWISE_JUDGE_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "data/instruction_pair.h"
+#include "judge/verdict.h"
+
+namespace coachlm {
+namespace judge {
+
+/// \brief Behavioural parameters of a comparison judge.
+struct JudgeProfile {
+  std::string name;
+  /// Gaussian noise on each candidate's perceived quality (0-100 scale).
+  double noise_stddev = 3.0;
+  /// Quality margin below which the judge declares a tie.
+  double tie_margin = 2.5;
+  /// Additive bias toward the *first* displayed candidate; GPT-4-style
+  /// judges exhibit this position bias (Section III-A1c), PandaLM is
+  /// trained to remove it.
+  double position_bias = 0.0;
+};
+
+/// \brief A pairwise response judge over the Table II response criteria.
+///
+/// The judge evaluates both candidate responses to the same instruction
+/// with the response scorer, perturbs the scores with its noise/bias
+/// profile, and declares win/tie/lose for the first candidate.
+class PairwiseJudge {
+ public:
+  explicit PairwiseJudge(JudgeProfile profile) : profile_(std::move(profile)) {}
+
+  /// Compares \p response_a (displayed first) against \p response_b for
+  /// the task given by \p task (whose own output field is ignored).
+  Verdict Compare(const InstructionPair& task, const std::string& response_a,
+                  const std::string& response_b, Rng* rng) const;
+
+  /// The swap-and-reconcile protocol of Section III-A1 (from AlpaGasus):
+  /// two ratings with the candidate order swapped; conflicting win/lose
+  /// verdicts become a tie; a win+tie (lose+tie) combination stays a win
+  /// (lose).
+  Verdict CompareDebiased(const InstructionPair& task,
+                          const std::string& response_a,
+                          const std::string& response_b, Rng* rng) const;
+
+  const JudgeProfile& profile() const { return profile_; }
+
+ private:
+  double PerceivedQuality(const InstructionPair& task,
+                          const std::string& response, Rng* rng) const;
+
+  JudgeProfile profile_;
+};
+
+/// The PandaLM judge: locally deployable, order-debiased by training.
+JudgeProfile PandaLmProfile();
+
+/// The GPT-4 judge: stronger rater but position-biased when used raw.
+JudgeProfile Gpt4Profile();
+
+}  // namespace judge
+}  // namespace coachlm
+
+#endif  // COACHLM_JUDGE_PAIRWISE_JUDGE_H_

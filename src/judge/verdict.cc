@@ -1,0 +1,55 @@
+#include "judge/verdict.h"
+
+#include <array>
+
+namespace coachlm {
+namespace judge {
+
+const std::string& VerdictName(Verdict verdict) {
+  static const std::array<std::string, 3> kNames = {"win", "tie", "lose"};
+  return kNames[static_cast<size_t>(verdict)];
+}
+
+Verdict Flip(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kWin:
+      return Verdict::kLose;
+    case Verdict::kLose:
+      return Verdict::kWin;
+    case Verdict::kTie:
+      return Verdict::kTie;
+  }
+  return Verdict::kTie;
+}
+
+void VerdictCounts::Add(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kWin:
+      ++wins;
+      break;
+    case Verdict::kTie:
+      ++ties;
+      break;
+    case Verdict::kLose:
+      ++losses;
+      break;
+  }
+}
+
+WinRates ComputeWinRates(const VerdictCounts& counts) {
+  WinRates rates;
+  const double all = static_cast<double>(counts.Total());
+  if (all == 0) return rates;
+  rates.wr1 = (static_cast<double>(counts.wins) +
+               0.5 * static_cast<double>(counts.ties)) / all;
+  const double decided = all - static_cast<double>(counts.ties);
+  rates.wr2 = decided > 0
+                  ? static_cast<double>(counts.wins) / decided
+                  : 0.0;
+  rates.qs = (static_cast<double>(counts.wins) +
+              static_cast<double>(counts.ties)) / all;
+  return rates;
+}
+
+}  // namespace judge
+}  // namespace coachlm

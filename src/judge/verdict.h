@@ -1,0 +1,47 @@
+#ifndef COACHLM_JUDGE_VERDICT_H_
+#define COACHLM_JUDGE_VERDICT_H_
+
+#include <cstddef>
+#include <string>
+
+namespace coachlm {
+namespace judge {
+
+/// \brief Outcome of a pairwise response comparison, from the first
+/// candidate's perspective.
+enum class Verdict { kWin = 0, kTie, kLose };
+
+/// Stable display name ("win"/"tie"/"lose").
+const std::string& VerdictName(Verdict verdict);
+
+/// The opposite verdict (win <-> lose, tie fixed).
+Verdict Flip(Verdict verdict);
+
+/// \brief Tally of verdicts over a test set.
+struct VerdictCounts {
+  size_t wins = 0;
+  size_t ties = 0;
+  size_t losses = 0;
+
+  size_t Total() const { return wins + ties + losses; }
+  void Add(Verdict verdict);
+};
+
+/// \brief The three win-rate metrics of Section III-C1a.
+struct WinRates {
+  /// WR1 = (#win + 0.5 #tie) / #all.
+  double wr1 = 0.0;
+  /// WR2 = #win / (#all - #tie); 0 when every case tied.
+  double wr2 = 0.0;
+  /// QS = (#win + #tie) / #all — share of responses reaching the
+  /// reference level.
+  double qs = 0.0;
+};
+
+/// Computes all three metrics from a tally.
+WinRates ComputeWinRates(const VerdictCounts& counts);
+
+}  // namespace judge
+}  // namespace coachlm
+
+#endif  // COACHLM_JUDGE_VERDICT_H_

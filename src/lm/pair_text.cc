@@ -1,0 +1,55 @@
+#include "lm/pair_text.h"
+
+#include "text/string_util.h"
+
+namespace coachlm {
+namespace lm {
+namespace {
+
+constexpr char kInstructionHeader[] = "Instruction: ";
+constexpr char kInputHeader[] = "Input: ";
+constexpr char kResponseHeader[] = "Response: ";
+
+}  // namespace
+
+std::string SerializePair(const InstructionPair& pair) {
+  std::string out = kInstructionHeader + pair.instruction + "\n";
+  out += kInputHeader + pair.input + "\n";
+  out += kResponseHeader + pair.output;
+  return out;
+}
+
+Result<InstructionPair> DeserializePair(const std::string& text) {
+  const size_t instruction_at = text.find(kInstructionHeader);
+  const size_t input_at = text.find("\n" + std::string(kInputHeader));
+  const size_t response_at = text.find("\n" + std::string(kResponseHeader));
+  if (instruction_at != 0 || input_at == std::string::npos ||
+      response_at == std::string::npos || response_at < input_at) {
+    return Status::ParseError("not a serialized instruction pair");
+  }
+  InstructionPair pair;
+  const size_t instruction_begin = sizeof(kInstructionHeader) - 1;
+  pair.instruction = text.substr(instruction_begin,
+                                 input_at - instruction_begin);
+  const size_t input_begin = input_at + 1 + sizeof(kInputHeader) - 1;
+  pair.input = text.substr(input_begin, response_at - input_begin);
+  pair.output = text.substr(response_at + 1 + sizeof(kResponseHeader) - 1);
+  if (strings::Trim(pair.instruction).empty()) {
+    return Status::ParseError("serialized pair has an empty instruction");
+  }
+  return pair;
+}
+
+InstructionPair MakeCoachSample(const InstructionPair& original,
+                                const InstructionPair& revised) {
+  InstructionPair sample;
+  sample.id = original.id;
+  sample.category = original.category;
+  sample.instruction = kRevisionPrompt;
+  sample.input = SerializePair(original);
+  sample.output = SerializePair(revised);
+  return sample;
+}
+
+}  // namespace lm
+}  // namespace coachlm

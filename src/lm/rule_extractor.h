@@ -1,0 +1,84 @@
+#ifndef COACHLM_LM_RULE_EXTRACTOR_H_
+#define COACHLM_LM_RULE_EXTRACTOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/revision_record.h"
+#include "lm/rule_store.h"
+
+namespace coachlm {
+namespace lm {
+
+/// \brief Layout-aware word tokenization: newlines become the reserved
+/// token so list/layout edits survive alignment.
+std::vector<std::string> TokenizeWithLayout(const std::string& text);
+
+/// The reserved newline token (alphanumeric, never produced by the corpus).
+inline constexpr char kLayoutNewline[] = "xxNLxx";
+
+/// \brief True when a sentence reads as a warm closing line rather than
+/// topical content. Recognizing tone is backbone pre-training competence
+/// (like spelling); coach tuning decides *when* closings are added, this
+/// predicate only tells appended closings apart from appended facts.
+bool LooksLikeClosing(const std::string& sentence);
+
+/// \brief Length of the robotic-boilerplate prefix of \p text (0 when the
+/// text does not open mechanically). Like LooksLikeClosing, tone
+/// recognition is backbone competence; coach tuning (the evidence that
+/// experts consistently produce warm responses) decides whether the model
+/// acts on it.
+size_t MechanicalOpenerLength(const std::string& text);
+
+/// \brief Learns revision rules from expert (x, x_r) pairs.
+///
+/// This is the statistical core of coach instruction tuning: each record's
+/// instruction and response sides are aligned at word level, the edit
+/// script is segmented into hunks, and each hunk is classified into a typed
+/// rule that accumulates support in the RuleStore. Aggregate statistics
+/// (expansion rate, closing rate, target length) are estimated over the
+/// whole training set — which is exactly why near-identity training pairs
+/// dilute the learned aggressiveness (the α > 0.3 regime of Fig. 5(a)).
+class RuleExtractor {
+ public:
+  /// Instruction/response relatedness feature used to learn the rewrite
+  /// policy. The trainer injects the backbone's associative relatedness so
+  /// training-time and inference-time features match; the default is plain
+  /// lexical overlap.
+  using RelatednessFn = std::function<double(const InstructionPair&)>;
+
+  explicit RuleExtractor(RelatednessFn relatedness = {});
+
+  /// Consumes one expert revision record.
+  void Consume(const RevisionRecord& record);
+
+  /// Finalizes aggregate statistics and returns the learned store.
+  RuleStore Finalize() const;
+
+  /// Number of records consumed so far.
+  size_t consumed() const { return consumed_; }
+
+ private:
+  void LearnInstructionSide(const RevisionRecord& record);
+  void LearnResponseSide(const RevisionRecord& record);
+
+  RelatednessFn relatedness_;
+  RuleStore store_;
+  size_t consumed_ = 0;
+  size_t total_appended_sentences_ = 0;
+  size_t closings_added_ = 0;
+  size_t contexts_added_ = 0;
+  size_t rewrites_ = 0;
+  double total_target_words_ = 0.0;
+  /// Rewrite-policy evidence: instruction/response overlap of originals
+  /// that experts rewrote vs merely patched.
+  double rewritten_overlap_sum_ = 0.0;
+  double patched_overlap_sum_ = 0.0;
+  size_t patched_count_ = 0;
+};
+
+}  // namespace lm
+}  // namespace coachlm
+
+#endif  // COACHLM_LM_RULE_EXTRACTOR_H_

@@ -1,0 +1,143 @@
+#include "lm/rule_store.h"
+
+#include <algorithm>
+
+namespace coachlm {
+namespace lm {
+namespace {
+
+json::Value TableToJson(const std::map<std::string, size_t>& table) {
+  json::Object obj;
+  for (const auto& [phrase, support] : table) {
+    obj[phrase] = json::Value(static_cast<int64_t>(support));
+  }
+  return json::Value(std::move(obj));
+}
+
+std::map<std::string, size_t> TableFromJson(const json::Value& value) {
+  std::map<std::string, size_t> table;
+  for (const auto& [phrase, support] : value.AsObject()) {
+    table[phrase] = static_cast<size_t>(support.AsInt());
+  }
+  return table;
+}
+
+}  // namespace
+
+std::string RuleStore::BestSubstitution(const std::string& from,
+                                        size_t min_support) const {
+  auto it = token_subs.find(from);
+  if (it == token_subs.end()) return "";
+  std::string best;
+  size_t best_support = 0;
+  for (const auto& [to, support] : it->second) {
+    if (support > best_support) {
+      best_support = support;
+      best = to;
+    }
+  }
+  return best_support >= min_support ? best : "";
+}
+
+std::string RuleStore::BestPhrase(const std::map<std::string, size_t>& table,
+                                  size_t min_support) {
+  std::string best;
+  size_t best_support = 0;
+  for (const auto& [phrase, support] : table) {
+    if (support > best_support) {
+      best_support = support;
+      best = phrase;
+    }
+  }
+  return best_support >= min_support ? best : "";
+}
+
+std::vector<std::string> RuleStore::PhrasesAbove(
+    const std::map<std::string, size_t>& table, size_t min_support) {
+  std::vector<std::pair<std::string, size_t>> entries;
+  for (const auto& [phrase, support] : table) {
+    if (support >= min_support) entries.emplace_back(phrase, support);
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  std::vector<std::string> phrases;
+  phrases.reserve(entries.size());
+  for (auto& [phrase, support] : entries) phrases.push_back(phrase);
+  return phrases;
+}
+
+json::Value RuleStore::ToJson() const {
+  json::Object obj;
+  json::Object subs;
+  for (const auto& [from, targets] : token_subs) {
+    subs[from] = TableToJson(targets);
+  }
+  obj["token_subs"] = json::Value(std::move(subs));
+  obj["capitalize_support"] = json::Value(static_cast<int64_t>(capitalize_support));
+  obj["doubled_removal_support"] =
+      json::Value(static_cast<int64_t>(doubled_removal_support));
+  obj["reflow_support"] = json::Value(static_cast<int64_t>(reflow_support));
+  obj["strip_tokens"] = TableToJson(strip_tokens);
+  obj["opener_removals"] = TableToJson(opener_removals);
+  obj["closings"] = TableToJson(closings);
+  obj["markers"] = TableToJson(markers);
+  obj["context_exemplars"] = TableToJson(context_exemplars);
+  obj["strip_phrases"] = TableToJson(strip_phrases);
+  json::Object fillers;
+  for (const auto& [phrase, replacements] : filler_replacements) {
+    json::Array list;
+    for (const std::string& r : replacements) list.push_back(json::Value(r));
+    fillers[phrase] = json::Value(std::move(list));
+  }
+  obj["filler_replacements"] = json::Value(std::move(fillers));
+  obj["train_pairs"] = json::Value(static_cast<int64_t>(train_pairs));
+  obj["mean_appended_sentences"] = json::Value(mean_appended_sentences);
+  obj["mean_target_response_words"] = json::Value(mean_target_response_words);
+  obj["closing_rate"] = json::Value(closing_rate);
+  obj["context_add_rate"] = json::Value(context_add_rate);
+  obj["rewrite_rate"] = json::Value(rewrite_rate);
+  obj["rewrite_overlap_threshold"] = json::Value(rewrite_overlap_threshold);
+  return json::Value(std::move(obj));
+}
+
+Result<RuleStore> RuleStore::FromJson(const json::Value& value) {
+  if (!value.is_object()) {
+    return Status::ParseError("rule store checkpoint must be an object");
+  }
+  RuleStore store;
+  for (const auto& [from, targets] : value.At("token_subs").AsObject()) {
+    store.token_subs[from] = TableFromJson(targets);
+  }
+  store.capitalize_support =
+      static_cast<size_t>(value.At("capitalize_support").AsInt());
+  store.doubled_removal_support =
+      static_cast<size_t>(value.At("doubled_removal_support").AsInt());
+  store.reflow_support = static_cast<size_t>(value.At("reflow_support").AsInt());
+  store.strip_tokens = TableFromJson(value.At("strip_tokens"));
+  store.opener_removals = TableFromJson(value.At("opener_removals"));
+  store.closings = TableFromJson(value.At("closings"));
+  store.markers = TableFromJson(value.At("markers"));
+  store.context_exemplars = TableFromJson(value.At("context_exemplars"));
+  store.strip_phrases = TableFromJson(value.At("strip_phrases"));
+  for (const auto& [phrase, list] : value.At("filler_replacements").AsObject()) {
+    for (const json::Value& r : list.AsArray()) {
+      store.filler_replacements[phrase].insert(r.AsString());
+    }
+  }
+  store.train_pairs = static_cast<size_t>(value.At("train_pairs").AsInt());
+  store.mean_appended_sentences =
+      value.At("mean_appended_sentences").AsNumber();
+  store.mean_target_response_words =
+      value.At("mean_target_response_words").AsNumber();
+  store.closing_rate = value.At("closing_rate").AsNumber();
+  store.context_add_rate = value.At("context_add_rate").AsNumber();
+  store.rewrite_rate = value.At("rewrite_rate").AsNumber();
+  store.rewrite_overlap_threshold =
+      value.At("rewrite_overlap_threshold").AsNumber();
+  return store;
+}
+
+}  // namespace lm
+}  // namespace coachlm

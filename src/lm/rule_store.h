@@ -1,0 +1,105 @@
+#ifndef COACHLM_LM_RULE_STORE_H_
+#define COACHLM_LM_RULE_STORE_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "json/json.h"
+
+namespace coachlm {
+namespace lm {
+
+/// \brief The parameters CoachLM learns during coach instruction tuning.
+///
+/// This is the "θ_c − θ" of Eq. (1): everything the model knows about *how
+/// experts revise*, estimated purely from expert (x, x_r) text pairs. The
+/// store is serializable — saving it to disk is the analogue of a LoRA
+/// checkpoint.
+///
+/// Every entry carries a support count; inference applies a rule only when
+/// its support clears a threshold, so low-support noise from near-identity
+/// training pairs (the high-α regime of Fig. 5(a)) dilutes behaviour
+/// instead of dominating it.
+struct RuleStore {
+  /// Word-level substitutions observed in expert edits (misspelling ->
+  /// correction, etc.): from -> (to -> support).
+  std::map<std::string, std::map<std::string, size_t>> token_subs;
+
+  /// Support for generic surface normalizations.
+  size_t capitalize_support = 0;        ///< sentence starts re-capitalized
+  size_t doubled_removal_support = 0;   ///< duplicated words removed
+  size_t reflow_support = 0;            ///< list items moved onto own lines
+
+  /// Stray machine markers experts deleted ("OUTPUT:").
+  std::map<std::string, size_t> strip_tokens;
+
+  /// Leading phrases experts removed from responses (mechanical openers).
+  std::map<std::string, size_t> opener_removals;
+
+  /// Final sentences experts appended repeatedly (warm closings).
+  std::map<std::string, size_t> closings;
+
+  /// Leading 2-3 word prefixes of appended sentences ("For example ,").
+  std::map<std::string, size_t> markers;
+
+  /// Sentences experts appended to *instructions* (context scaffolds).
+  std::map<std::string, size_t> context_exemplars;
+
+  /// Instruction phrases experts deleted (infeasible clauses).
+  std::map<std::string, size_t> strip_phrases;
+
+  /// Short instruction phrases replaced with varying content (vague
+  /// fillers -> concrete subject): phrase -> set of observed replacements.
+  std::map<std::string, std::set<std::string>> filler_replacements;
+
+  // --- Aggregate alignment statistics ---
+  /// Number of training pairs consumed.
+  size_t train_pairs = 0;
+  /// Mean number of new content sentences experts appended per response.
+  double mean_appended_sentences = 0.0;
+  /// Mean word count of expert-revised responses.
+  double mean_target_response_words = 0.0;
+  /// Fraction of training pairs whose revision added a warm closing.
+  double closing_rate = 0.0;
+  /// Fraction whose instruction gained a context sentence.
+  double context_add_rate = 0.0;
+  /// Fraction whose response was rewritten wholesale (low overlap).
+  double rewrite_rate = 0.0;
+  /// Learned rewrite policy: experts rewrote responses whose lexical
+  /// overlap with the instruction fell below this threshold (midpoint of
+  /// the two class means, estimated from training pairs). Negative when
+  /// no rewrite was ever observed.
+  double rewrite_overlap_threshold = -1.0;
+
+  /// True when nothing was learned (α = 0 / untrained backbone).
+  bool empty() const { return train_pairs == 0; }
+
+  /// Best substitution for \p from with support >= \p min_support, or an
+  /// empty string.
+  std::string BestSubstitution(const std::string& from,
+                               size_t min_support) const;
+
+  /// Highest-support entry of a phrase table (empty when none clears
+  /// \p min_support).
+  static std::string BestPhrase(const std::map<std::string, size_t>& table,
+                                size_t min_support);
+
+  /// Phrases from \p table with support >= \p min_support, by support desc.
+  static std::vector<std::string> PhrasesAbove(
+      const std::map<std::string, size_t>& table, size_t min_support);
+
+  /// Serializes the full store (a "checkpoint").
+  json::Value ToJson() const;
+
+  /// Restores a store from ToJson() output.
+  static Result<RuleStore> FromJson(const json::Value& value);
+};
+
+}  // namespace lm
+}  // namespace coachlm
+
+#endif  // COACHLM_LM_RULE_STORE_H_

@@ -1,0 +1,145 @@
+#include "platform/platform.h"
+
+#include <chrono>
+
+#include "expert/reviser.h"
+#include "lm/pair_text.h"
+#include "text/edit_distance.h"
+#include "text/string_util.h"
+
+namespace coachlm {
+namespace platform {
+namespace {
+
+synth::CorpusConfig TrafficConfig(const PlatformConfig& config) {
+  synth::CorpusConfig traffic;
+  traffic.size = config.batch_size;
+  traffic.seed = config.seed;
+  // Production traffic is noisier than a curated corpus: user queries are
+  // messy and responses come from the deployed (imperfect) LLM.
+  traffic.deficiency_rate = 0.55;
+  traffic.exclusion_rate = 0.08;
+  return traffic;
+}
+
+}  // namespace
+
+DataPlatform::DataPlatform(PlatformConfig config)
+    : config_(std::move(config)), traffic_(TrafficConfig(config_)) {}
+
+std::vector<UserCase> DataPlatform::CollectUserCases() const {
+  std::vector<UserCase> cases;
+  cases.reserve(config_.batch_size);
+  Rng rng(config_.seed);
+  for (size_t i = 0; i < config_.batch_size; ++i) {
+    InstructionPair pair;
+    std::vector<synth::DefectType> defects;
+    traffic_.GeneratePair(static_cast<uint64_t>(i + 1), &rng, &pair,
+                          &defects);
+    UserCase user_case;
+    user_case.case_id = pair.id;
+    // Wrap in serving-log noise: session header plus the serialized pair.
+    user_case.raw_log = "[session=" + std::to_string(1000 + i) +
+                        " model=prod-v2]\n" + lm::SerializePair(pair);
+    // A slice of traffic is truncated/garbled in transit.
+    if (rng.NextBool(0.015)) {
+      user_case.raw_log =
+          user_case.raw_log.substr(0, user_case.raw_log.size() / 3);
+    }
+    cases.push_back(std::move(user_case));
+  }
+  return cases;
+}
+
+InstructionDataset DataPlatform::ParseWithRuleScripts(
+    const std::vector<UserCase>& cases, size_t* dropped) const {
+  InstructionDataset dataset;
+  size_t drop_count = 0;
+  for (const UserCase& user_case : cases) {
+    // Strip the session header line.
+    const size_t newline = user_case.raw_log.find('\n');
+    if (newline == std::string::npos) {
+      ++drop_count;
+      continue;
+    }
+    const std::string body = user_case.raw_log.substr(newline + 1);
+    auto parsed = lm::DeserializePair(body);
+    if (!parsed.ok() || strings::Trim(parsed->instruction).empty()) {
+      ++drop_count;
+      continue;
+    }
+    InstructionPair pair = std::move(parsed).ValueOrDie();
+    pair.id = user_case.case_id;
+    dataset.Add(std::move(pair));
+  }
+  if (dropped != nullptr) *dropped = drop_count;
+  return dataset;
+}
+
+BatchReport DataPlatform::RunCleaningBatch(const coach::CoachLm* coach) const {
+  BatchReport report;
+  report.with_coach = coach != nullptr;
+
+  const std::vector<UserCase> cases = CollectUserCases();
+  InstructionDataset raw = ParseWithRuleScripts(cases);
+
+  InstructionDataset incoming = raw;
+  if (coach != nullptr) {
+    const auto start = std::chrono::steady_clock::now();
+    coach::RevisionPassStats stats;
+    incoming = coach->ReviseDataset(raw, {}, &stats,
+                                    config_.inference_threads);
+    const auto end = std::chrono::steady_clock::now();
+    report.coach_seconds =
+        std::chrono::duration<double>(end - start).count();
+    if (report.coach_seconds > 0) {
+      report.coach_samples_per_sec =
+          static_cast<double>(raw.size()) / report.coach_seconds;
+    }
+  }
+
+  // Human annotation: each pair is post-edited until it meets the
+  // acceptance criteria. Effort = fixed review + per-character editing of
+  // whatever distance remains between the incoming pair and its accepted
+  // form. The accepted form is what an expert annotator would produce.
+  synth::ContentEngine engine;
+  expert::ExpertReviser annotator(&engine, /*target_score=*/95.0);
+  Rng rng(config_.seed ^ 0xA5A5A5A5ULL);
+  double total_edit_chars = 0.0;
+  for (size_t i = 0; i < incoming.size(); ++i) {
+    const expert::RevisionOutcome outcome =
+        annotator.Revise(incoming[i], &rng);
+    const InstructionPair& accepted =
+        outcome.revised ? outcome.revised_pair : incoming[i];
+    const size_t remaining =
+        editdist::CharDistance(incoming[i].FullInstruction(),
+                               accepted.FullInstruction()) +
+        editdist::CharDistance(incoming[i].output, accepted.output);
+    total_edit_chars += static_cast<double>(remaining);
+  }
+  report.pairs = incoming.size();
+  report.mean_remaining_edit =
+      incoming.empty() ? 0.0
+                       : total_edit_chars / static_cast<double>(incoming.size());
+  report.person_days =
+      static_cast<double>(incoming.size()) * config_.review_cost_pd +
+      total_edit_chars * config_.edit_cost_per_char_pd;
+  if (report.person_days > 0) {
+    report.pairs_per_person_day =
+        static_cast<double>(incoming.size()) / report.person_days;
+  }
+  return report;
+}
+
+double DataPlatform::NetImprovement(const BatchReport& baseline,
+                                    const BatchReport& with_coach) const {
+  if (baseline.pairs_per_person_day <= 0) return 0.0;
+  const double gross = with_coach.pairs_per_person_day /
+                           baseline.pairs_per_person_day - 1.0;
+  // Deduct the improvement attributable to annotators getting better at
+  // the task between batches (Section IV-A's "enhanced proficiency").
+  return gross - config_.annotator_proficiency_gain;
+}
+
+}  // namespace platform
+}  // namespace coachlm

@@ -1,0 +1,40 @@
+#include "quality/accuracy_rater.h"
+
+#include <algorithm>
+
+#include "quality/criteria.h"
+
+namespace coachlm {
+namespace quality {
+
+double AccuracyRater::Rate(const InstructionPair& pair) const {
+  const QualityScore score = ResponseScorer().Score(pair);
+  // The 0-100 rubric maps linearly onto the 0-5 LLM-judge scale: a
+  // flaw-free basic response (80) earns 4.0; advanced quality fills the
+  // 4.0-5.0 band, exactly as "accurate and detailed" responses do for
+  // ChatGPT in the AlpaGasus protocol.
+  return std::clamp(score.score / 20.0, 0.0, 5.0);
+}
+
+AccuracyRater::DatasetRating AccuracyRater::RateDataset(
+    const InstructionDataset& dataset) const {
+  DatasetRating rating;
+  rating.ratings.reserve(dataset.size());
+  size_t above = 0;
+  double sum = 0.0;
+  for (const InstructionPair& pair : dataset) {
+    const double r = Rate(pair);
+    rating.ratings.push_back(r);
+    sum += r;
+    if (r > 4.5) ++above;
+  }
+  if (!dataset.empty()) {
+    rating.mean = sum / static_cast<double>(dataset.size());
+    rating.fraction_above_45 =
+        static_cast<double>(above) / static_cast<double>(dataset.size());
+  }
+  return rating;
+}
+
+}  // namespace quality
+}  // namespace coachlm

@@ -1,0 +1,67 @@
+#ifndef COACHLM_QUALITY_ANALYZERS_H_
+#define COACHLM_QUALITY_ANALYZERS_H_
+
+#include <string>
+
+#include "data/instruction_pair.h"
+
+namespace coachlm {
+namespace quality {
+
+/// \brief Per-dimension text analyzers behind the Table II criteria.
+///
+/// Each analyzer returns a satisfaction degree in [0, 1] (1 = no issues).
+/// The analyzers model a *knowledgeable rater*: like the paper's human
+/// experts and ChatGPT judge, they may consult world knowledge (the topic,
+/// code, and lexicon banks). CoachLM never calls them — it only sees expert
+/// (x, x_r) text pairs.
+namespace analyzers {
+
+// -- INSTRUCTION side --
+
+/// Grammar/spelling/convention quality of the instruction text.
+double InstructionReadability(const InstructionPair& pair);
+
+/// Clarity/feasibility: penalizes vague fillers, logical impossibilities,
+/// requests beyond a text model's ability, and dead references.
+double Feasibility(const InstructionPair& pair);
+
+/// Rich context: scenarios, roles, requirements, examples, step-by-step
+/// cues. 0 for a bare one-clause request.
+double Contextualization(const InstructionPair& pair);
+
+// -- RESPONSE side --
+
+/// Harmlessness of the exchange. 0 when unsafe content is present.
+double Safety(const InstructionPair& pair);
+
+/// Factual/logical/arithmetic correctness of the response.
+double Correctness(const InstructionPair& pair);
+
+/// On-topic effectiveness: the response addresses the instruction.
+double Relevance(const InstructionPair& pair);
+
+/// Coverage: complete sentences, no obvious truncation or omissions.
+double Comprehensiveness(const InstructionPair& pair);
+
+/// Language and layout quality of the response.
+double ResponseReadability(const InstructionPair& pair);
+
+/// Depth and breadth: explanation markers, supporting detail, length.
+double Richness(const InstructionPair& pair);
+
+/// Warm, engaging, personalized tone; penalizes robotic boilerplate.
+double Humanization(const InstructionPair& pair);
+
+/// Lexical overlap helper (Jaccard over non-stopword lower-cased words).
+double ContentOverlap(const std::string& a, const std::string& b);
+
+/// True for categories whose natural answers are short (a slogan, a
+/// sentiment label); richness expectations scale down for these.
+bool IsShortFormCategory(Category category);
+
+}  // namespace analyzers
+}  // namespace quality
+}  // namespace coachlm
+
+#endif  // COACHLM_QUALITY_ANALYZERS_H_

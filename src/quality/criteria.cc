@@ -1,0 +1,96 @@
+#include "quality/criteria.h"
+
+#include <algorithm>
+
+#include "quality/analyzers.h"
+
+namespace coachlm {
+namespace quality {
+
+double QualityScore::Satisfaction(Dimension dimension) const {
+  for (const DimensionFinding& finding : findings) {
+    if (finding.dimension == dimension) return finding.satisfaction;
+  }
+  return 1.0;
+}
+
+bool QualityScore::HasBasicFlaw(double threshold) const {
+  for (const DimensionFinding& finding : findings) {
+    if (LevelOf(finding.dimension) == DimensionLevel::kBasic &&
+        finding.satisfaction < threshold) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool QualityScore::RedLineViolated() const {
+  return Satisfaction(Dimension::kSafety) < 0.5;
+}
+
+QualityScore InstructionScorer::Score(const InstructionPair& pair) const {
+  QualityScore result;
+  const double readability = analyzers::InstructionReadability(pair);
+  const double feasibility = analyzers::Feasibility(pair);
+  const double context = analyzers::Contextualization(pair);
+  result.findings = {
+      {Dimension::kInstructionReadability, readability},
+      {Dimension::kFeasibility, feasibility},
+      {Dimension::kContextualization, context},
+  };
+  const double basic = std::min(readability, feasibility);
+  if (basic >= 0.999) {
+    result.score = 80.0 + 20.0 * context;
+  } else {
+    result.score = 80.0 * basic;
+  }
+  return result;
+}
+
+QualityScore ResponseScorer::Score(const InstructionPair& pair) const {
+  QualityScore result;
+  const double safety = analyzers::Safety(pair);
+  const double correctness = analyzers::Correctness(pair);
+  const double relevance = analyzers::Relevance(pair);
+  const double comprehensiveness = analyzers::Comprehensiveness(pair);
+  const double readability = analyzers::ResponseReadability(pair);
+  const double richness = analyzers::Richness(pair);
+  const double humanization = analyzers::Humanization(pair);
+  result.findings = {
+      {Dimension::kSafety, safety},
+      {Dimension::kCorrectness, correctness},
+      {Dimension::kRelevance, relevance},
+      {Dimension::kComprehensiveness, comprehensiveness},
+      {Dimension::kResponseReadability, readability},
+      {Dimension::kRichness, richness},
+      {Dimension::kHumanization, humanization},
+  };
+  if (safety < 0.5) {
+    // Red line: score lands in [0, 40].
+    result.score = 40.0 * safety;
+    return result;
+  }
+  const double basic = (correctness + relevance + comprehensiveness +
+                        readability) / 4.0;
+  const double basic_min =
+      std::min({correctness, relevance, comprehensiveness, readability});
+  if (basic_min >= 0.999) {
+    const double advanced = (richness + humanization) / 2.0;
+    result.score = 80.0 + 20.0 * advanced;
+  } else {
+    // A basic flaw caps the score at 80; the band [40, 80] reflects how
+    // severe the flaws are (empty/irrelevant answers approach 40).
+    result.score = 40.0 + 40.0 * basic;
+  }
+  return result;
+}
+
+PairQuality ScorePair(const InstructionPair& pair) {
+  PairQuality quality;
+  quality.instruction = InstructionScorer().Score(pair);
+  quality.response = ResponseScorer().Score(pair);
+  return quality;
+}
+
+}  // namespace quality
+}  // namespace coachlm

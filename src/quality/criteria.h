@@ -1,0 +1,69 @@
+#ifndef COACHLM_QUALITY_CRITERIA_H_
+#define COACHLM_QUALITY_CRITERIA_H_
+
+#include <vector>
+
+#include "data/instruction_pair.h"
+#include "quality/dimension.h"
+
+namespace coachlm {
+namespace quality {
+
+/// \brief Outcome of evaluating one dimension.
+struct DimensionFinding {
+  Dimension dimension;
+  /// Satisfaction degree in [0, 1]; 1 means no issues found.
+  double satisfaction = 1.0;
+};
+
+/// \brief A 0-100 score with its per-dimension breakdown, following the
+/// level-capping rules of Table II: a red-line violation caps the score at
+/// 40; any basic-level flaw caps it at 80; the advanced level contributes
+/// the top 20 points.
+struct QualityScore {
+  double score = 0.0;
+  std::vector<DimensionFinding> findings;
+
+  /// Satisfaction of a specific dimension (1.0 when not evaluated).
+  double Satisfaction(Dimension dimension) const;
+
+  /// True when any basic-level dimension fell below \p threshold.
+  bool HasBasicFlaw(double threshold = 0.999) const;
+
+  /// True when the red line (safety) was violated.
+  bool RedLineViolated() const;
+};
+
+/// \brief Scores the INSTRUCTION side of a pair against Table II.
+class InstructionScorer {
+ public:
+  /// Evaluates readability, feasibility, and contextualization.
+  QualityScore Score(const InstructionPair& pair) const;
+};
+
+/// \brief Scores the RESPONSE side of a pair against Table II.
+class ResponseScorer {
+ public:
+  /// Evaluates safety, the four basic dimensions, and the two advanced
+  /// dimensions.
+  QualityScore Score(const InstructionPair& pair) const;
+};
+
+/// \brief Combined pair quality: the mean of instruction and response
+/// scores (used by the expert revise-until loop, which requires >= 95 on
+/// both sides).
+struct PairQuality {
+  QualityScore instruction;
+  QualityScore response;
+  double Combined() const {
+    return (instruction.score + response.score) / 2.0;
+  }
+};
+
+/// Scores both sides of a pair.
+PairQuality ScorePair(const InstructionPair& pair);
+
+}  // namespace quality
+}  // namespace coachlm
+
+#endif  // COACHLM_QUALITY_CRITERIA_H_

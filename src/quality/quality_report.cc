@@ -1,0 +1,102 @@
+#include "quality/quality_report.h"
+
+#include "common/table_writer.h"
+#include "quality/criteria.h"
+
+namespace coachlm {
+namespace quality {
+namespace {
+
+const std::vector<Dimension>& AllDimensions() {
+  static const std::vector<Dimension> kAll = {
+      Dimension::kContextualization,  Dimension::kFeasibility,
+      Dimension::kInstructionReadability,
+      Dimension::kHumanization,       Dimension::kRichness,
+      Dimension::kResponseReadability, Dimension::kComprehensiveness,
+      Dimension::kRelevance,          Dimension::kCorrectness,
+      Dimension::kSafety,
+  };
+  return kAll;
+}
+
+}  // namespace
+
+QualityReport AnalyzeDataset(const InstructionDataset& dataset) {
+  QualityReport report;
+  report.dataset_size = dataset.size();
+  if (dataset.empty()) return report;
+  std::map<Dimension, double> satisfaction_sum;
+  std::map<Dimension, size_t> flaw_count;
+  double instruction_sum = 0.0;
+  double response_sum = 0.0;
+  for (const InstructionPair& pair : dataset) {
+    const PairQuality quality = ScorePair(pair);
+    instruction_sum += quality.instruction.score;
+    response_sum += quality.response.score;
+    auto absorb = [&](const QualityScore& score) {
+      for (const DimensionFinding& finding : score.findings) {
+        satisfaction_sum[finding.dimension] += finding.satisfaction;
+        if (finding.satisfaction < 0.999) ++flaw_count[finding.dimension];
+      }
+    };
+    absorb(quality.instruction);
+    absorb(quality.response);
+  }
+  const double n = static_cast<double>(dataset.size());
+  report.mean_instruction_score = instruction_sum / n;
+  report.mean_response_score = response_sum / n;
+  for (Dimension dimension : AllDimensions()) {
+    QualityReport::DimensionStats stats;
+    stats.mean_satisfaction = satisfaction_sum[dimension] / n;
+    stats.flaw_rate = static_cast<double>(flaw_count[dimension]) / n;
+    report.dimensions[dimension] = stats;
+  }
+  return report;
+}
+
+std::string QualityReport::ToAscii() const {
+  TableWriter table({"Dimension", "Level", "Mean satisfaction",
+                     "Flaw rate"});
+  for (const auto& [dimension, stats] : dimensions) {
+    const char* level =
+        LevelOf(dimension) == DimensionLevel::kRedLine   ? "red line"
+        : LevelOf(dimension) == DimensionLevel::kBasic   ? "basic"
+                                                         : "advanced";
+    table.AddRow({DimensionName(dimension), level,
+                  TableWriter::Num(stats.mean_satisfaction, 3),
+                  TableWriter::Pct(stats.flaw_rate)});
+  }
+  std::string out = table.ToAscii();
+  out += "mean scores: instruction " +
+         TableWriter::Num(mean_instruction_score) + ", response " +
+         TableWriter::Num(mean_response_score) + " (n=" +
+         std::to_string(dataset_size) + ")\n";
+  return out;
+}
+
+std::string QualityReport::Compare(const QualityReport& before,
+                                   const QualityReport& after) {
+  TableWriter table({"Dimension", "Level", "Flaw rate before",
+                     "Flaw rate after", "Delta"});
+  for (const auto& [dimension, before_stats] : before.dimensions) {
+    auto it = after.dimensions.find(dimension);
+    if (it == after.dimensions.end()) continue;
+    const char* level =
+        LevelOf(dimension) == DimensionLevel::kRedLine   ? "red line"
+        : LevelOf(dimension) == DimensionLevel::kBasic   ? "basic"
+                                                         : "advanced";
+    const double delta = it->second.flaw_rate - before_stats.flaw_rate;
+    table.AddRow({DimensionName(dimension), level,
+                  TableWriter::Pct(before_stats.flaw_rate),
+                  TableWriter::Pct(it->second.flaw_rate),
+                  (delta <= 0 ? "" : "+") + TableWriter::Pct(delta)});
+  }
+  std::string out = table.ToAscii();
+  out += "mean response score: " +
+         TableWriter::Num(before.mean_response_score) + " -> " +
+         TableWriter::Num(after.mean_response_score) + "\n";
+  return out;
+}
+
+}  // namespace quality
+}  // namespace coachlm

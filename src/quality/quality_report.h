@@ -1,0 +1,48 @@
+#ifndef COACHLM_QUALITY_QUALITY_REPORT_H_
+#define COACHLM_QUALITY_QUALITY_REPORT_H_
+
+#include <map>
+#include <string>
+
+#include "data/dataset.h"
+#include "quality/dimension.h"
+
+namespace coachlm {
+namespace quality {
+
+/// \brief Per-dimension diagnostic profile of a dataset.
+///
+/// The Fig. 4 rating tells *that* a dataset improved; this report tells
+/// *where*: mean satisfaction and flaw rate for each of the nine Table II
+/// dimensions, so a data engineer can see which deficiency classes a
+/// revision pass (or a filtering baseline) actually addressed.
+struct QualityReport {
+  struct DimensionStats {
+    /// Mean satisfaction in [0, 1] across the dataset.
+    double mean_satisfaction = 0.0;
+    /// Share of pairs whose satisfaction fell below 0.999 (flawed).
+    double flaw_rate = 0.0;
+  };
+
+  size_t dataset_size = 0;
+  /// Mean 0-100 scores of the two sides.
+  double mean_instruction_score = 0.0;
+  double mean_response_score = 0.0;
+  std::map<Dimension, DimensionStats> dimensions;
+
+  /// Renders an aligned ASCII table of the report.
+  std::string ToAscii() const;
+
+  /// Renders a comparison table of two reports ("before" vs "after").
+  static std::string Compare(const QualityReport& before,
+                             const QualityReport& after);
+};
+
+/// \brief Scores every pair of \p dataset against the Table II criteria
+/// and aggregates the per-dimension statistics.
+QualityReport AnalyzeDataset(const InstructionDataset& dataset);
+
+}  // namespace quality
+}  // namespace coachlm
+
+#endif  // COACHLM_QUALITY_QUALITY_REPORT_H_

@@ -1,0 +1,39 @@
+#ifndef COACHLM_SYNTH_ARITH_H_
+#define COACHLM_SYNTH_ARITH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace coachlm {
+namespace synth {
+
+/// \brief A two-operand arithmetic problem embedded in a math instruction.
+///
+/// Math pairs are the one place where correctness is *exactly* checkable:
+/// the generator embeds "Calculate 47 + 38", the correctness analyzer
+/// recomputes the result, and the expert repair re-derives it — no oracle
+/// metadata needed anywhere.
+struct ArithProblem {
+  int64_t lhs = 0;
+  int64_t rhs = 0;
+  char op = '+';  // one of + - *
+
+  /// The correct result.
+  int64_t Answer() const;
+
+  /// Renders "47 + 38".
+  std::string Expression() const;
+};
+
+/// \brief Finds the first "A <op> B" pattern in \p text (op in {+,-,*,x}).
+/// Returns nullopt when no well-formed problem is present.
+std::optional<ArithProblem> ParseArithProblem(const std::string& text);
+
+/// \brief Finds the first "= N" stated result in \p text.
+std::optional<int64_t> ParseStatedResult(const std::string& text);
+
+}  // namespace synth
+}  // namespace coachlm
+
+#endif  // COACHLM_SYNTH_ARITH_H_

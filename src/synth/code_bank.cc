@@ -1,0 +1,148 @@
+#include "synth/code_bank.h"
+
+namespace coachlm {
+namespace synth {
+
+const std::vector<CodeTask>& CodeTasks() {
+  static const std::vector<CodeTask> kTasks = {
+      {"computes the factorial of a number", "factorial",
+       "def factorial(n):\n"
+       "    result = 1\n"
+       "    for i in range(2, n + 1):\n"
+       "        result *= i\n"
+       "    return result",
+       "def factorial(n):\n"
+       "    result = 0\n"
+       "    for i in range(2, n + 1):\n"
+       "        result *= i\n"
+       "    return result",
+       "the accumulator is initialized to 0, so every product is zero",
+       {"The loop multiplies the accumulator by each integer from 2 up to "
+        "n.",
+        "Starting the accumulator at 1 makes factorial(0) and factorial(1) "
+        "return 1, matching the mathematical definition.",
+        "An iterative loop avoids the recursion depth limit for large n."}},
+      {"reverses a string", "reverse_string",
+       "def reverse_string(s):\n"
+       "    return s[::-1]",
+       "def reverse_string(s):\n"
+       "    return s[1:-1]",
+       "the slice drops the first and last characters instead of reversing",
+       {"The slice notation s[::-1] walks the string backwards with a step "
+        "of -1.",
+        "Python strings are immutable, so the slice returns a new string.",
+        "This runs in linear time with respect to the string length."}},
+      {"checks whether a number is prime", "is_prime",
+       "def is_prime(n):\n"
+       "    if n < 2:\n"
+       "        return False\n"
+       "    i = 2\n"
+       "    while i * i <= n:\n"
+       "        if n % i == 0:\n"
+       "            return False\n"
+       "        i += 1\n"
+       "    return True",
+       "def is_prime(n):\n"
+       "    if n < 2:\n"
+       "        return False\n"
+       "    for i in range(2, n):\n"
+       "        if n % i == 0:\n"
+       "            return True\n"
+       "    return False",
+       "the return values inside the loop are inverted",
+       {"Trial division only needs to test divisors up to the square root "
+        "of n.",
+        "Numbers below 2 are excluded because primality is defined for "
+        "integers greater than 1.",
+        "The while loop exits early on the first divisor found."}},
+      {"finds the largest element in a list", "find_max",
+       "def find_max(items):\n"
+       "    largest = items[0]\n"
+       "    for value in items[1:]:\n"
+       "        if value > largest:\n"
+       "            largest = value\n"
+       "    return largest",
+       "def find_max(items):\n"
+       "    largest = 0\n"
+       "    for value in items:\n"
+       "        if value > largest:\n"
+       "            largest = value\n"
+       "    return largest",
+       "seeding with 0 fails for lists of all-negative numbers",
+       {"Seeding the running maximum with the first element handles "
+        "negative values correctly.",
+        "The single pass gives linear time complexity.",
+        "An empty list should be rejected before calling this function."}},
+      {"counts the vowels in a sentence", "count_vowels",
+       "def count_vowels(text):\n"
+       "    return sum(1 for ch in text.lower() if ch in 'aeiou')",
+       "def count_vowels(text):\n"
+       "    return sum(1 for ch in text if ch in 'aeiou')",
+       "upper-case vowels are missed because the text is not lower-cased",
+       {"Lower-casing first makes the membership test case-insensitive.",
+        "The generator expression avoids building an intermediate list.",
+        "Membership in a short string is a constant-time check per "
+        "character."}},
+      {"computes the Fibonacci sequence up to n terms", "fibonacci",
+       "def fibonacci(n):\n"
+       "    sequence = []\n"
+       "    a, b = 0, 1\n"
+       "    for _ in range(n):\n"
+       "        sequence.append(a)\n"
+       "        a, b = b, a + b\n"
+       "    return sequence",
+       "def fibonacci(n):\n"
+       "    sequence = []\n"
+       "    a, b = 0, 1\n"
+       "    for _ in range(n):\n"
+       "        sequence.append(b)\n"
+       "        a, b = b, a + b\n"
+       "    return sequence",
+       "appending b instead of a skips the leading zero of the sequence",
+       {"The tuple assignment advances both state variables in one step.",
+        "Appending before advancing keeps the sequence zero-indexed.",
+        "Each term needs only the previous two, so memory use is "
+        "constant apart from the output list."}},
+      {"removes duplicate values from a list while keeping order",
+       "dedupe",
+       "def dedupe(items):\n"
+       "    seen = set()\n"
+       "    result = []\n"
+       "    for value in items:\n"
+       "        if value not in seen:\n"
+       "            seen.add(value)\n"
+       "            result.append(value)\n"
+       "    return result",
+       "def dedupe(items):\n"
+       "    return list(set(items))",
+       "converting through a set loses the original order of the items",
+       {"The set gives constant-time membership checks.",
+        "Appending only unseen values preserves first-occurrence order.",
+        "This runs in linear time for hashable items."}},
+      {"converts temperatures from Celsius to Fahrenheit",
+       "celsius_to_fahrenheit",
+       "def celsius_to_fahrenheit(celsius):\n"
+       "    return celsius * 9 / 5 + 32",
+       "def celsius_to_fahrenheit(celsius):\n"
+       "    return celsius * 5 / 9 + 32",
+       "the conversion factor is inverted (5/9 instead of 9/5)",
+       {"The formula scales by 9/5 and then offsets by 32.",
+        "Using true division keeps the result exact for fractional "
+        "inputs.",
+        "Zero Celsius maps to 32 Fahrenheit, a quick sanity check."}},
+  };
+  return kTasks;
+}
+
+const CodeTask* FindCodeTaskIn(const std::string& text) {
+  for (const CodeTask& task : CodeTasks()) {
+    if (text.find(task.name) != std::string::npos ||
+        text.find(task.description) != std::string::npos) {
+      return &task;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace synth
+}  // namespace coachlm

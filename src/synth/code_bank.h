@@ -1,0 +1,41 @@
+#ifndef COACHLM_SYNTH_CODE_BANK_H_
+#define COACHLM_SYNTH_CODE_BANK_H_
+
+#include <string>
+#include <vector>
+
+namespace coachlm {
+namespace synth {
+
+/// \brief A small programming task with a reference solution.
+///
+/// The coding categories (kCoding, kCodeExplanation, kDebuggingHelp) draw
+/// from this bank. Code pairs matter for the reproduction: the paper notes
+/// that AlpaGasus' aggressive filtering of code-related pairs weakened its
+/// coding ability, which our Table IX bench must reproduce.
+struct CodeTask {
+  /// Short description used inside instructions ("computes the factorial
+  /// of a number").
+  std::string description;
+  /// Identifier-ish name ("factorial").
+  std::string name;
+  /// Reference Python solution.
+  std::string code;
+  /// A buggy variant (for kDebuggingHelp instructions).
+  std::string buggy_code;
+  /// One-line description of the bug.
+  std::string bug_note;
+  /// Explanation sentences about how the solution works.
+  std::vector<std::string> explanation;
+};
+
+/// Returns the global bank of code tasks.
+const std::vector<CodeTask>& CodeTasks();
+
+/// Finds the code task whose name occurs in \p text; nullptr when none.
+const CodeTask* FindCodeTaskIn(const std::string& text);
+
+}  // namespace synth
+}  // namespace coachlm
+
+#endif  // COACHLM_SYNTH_CODE_BANK_H_

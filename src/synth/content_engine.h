@@ -1,0 +1,89 @@
+#ifndef COACHLM_SYNTH_CONTENT_ENGINE_H_
+#define COACHLM_SYNTH_CONTENT_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/instruction_pair.h"
+#include "synth/code_bank.h"
+#include "synth/topic_bank.h"
+
+namespace coachlm {
+namespace synth {
+
+/// \brief Knobs controlling how elaborate a generated response is.
+struct ResponseRichness {
+  /// Number of explanation/background sentences to include (0..4).
+  size_t explanations = 1;
+  /// Whether to end with a warm closing line (humanization dimension).
+  bool closing = false;
+  /// Whether to include a rich instruction context (contextualization).
+  bool context = false;
+};
+
+/// \brief Composes instructions and responses from the topic/code banks.
+///
+/// The engine encodes the "knowledge" that, in the paper, lives in the
+/// teacher LLM (which generated ALPACA52K) and in the human experts'
+/// heads. Both the corpus generator and the expert revision simulator call
+/// into it; CoachLM never does — it must learn revision behaviour from
+/// expert (x, x_r) pairs alone.
+class ContentEngine {
+ public:
+  ContentEngine() = default;
+
+  /// Builds a defect-free pair for the category/topic with the requested
+  /// richness. Ids are caller-assigned.
+  InstructionPair BuildCleanPair(uint64_t id, Category category,
+                                 const Topic& topic,
+                                 const ResponseRichness& richness,
+                                 Rng* rng) const;
+
+  /// Rebuilds a correct, rich response for an existing pair by analyzing
+  /// its instruction text (recovering the topic / code task / arithmetic
+  /// problem). This is the expert's "rewrite from scratch" capability.
+  /// When the instruction is too ambiguous to recover a subject, the
+  /// fallback topic is used.
+  std::string RebuildResponse(const InstructionPair& pair,
+                              const ResponseRichness& richness,
+                              Rng* rng) const;
+
+  /// Produces a context/requirement sentence enriching an instruction
+  /// (the Contextualization dimension of Table II).
+  std::string ContextSentence(Category category, const Topic& topic,
+                              Rng* rng) const;
+
+  /// Explanation sentences about the topic, at most its detail count.
+  /// Details already present (case-insensitively) in \p avoid are skipped.
+  std::vector<std::string> ExplanationSentences(
+      const Topic& topic, Rng* rng, size_t count,
+      const std::string& avoid = "") const;
+
+  /// A warm closing line.
+  std::string ClosingLine(Rng* rng) const;
+
+  /// The instruction text for the category/topic (no context enrichment).
+  std::string InstructionText(Category category, const Topic& topic,
+                              Rng* rng) const;
+
+  /// Optional input payload for categories that carry one (passages to
+  /// summarize, sentences to correct, ...); empty otherwise.
+  std::string InputText(Category category, const Topic& topic,
+                        Rng* rng) const;
+
+  /// The direct core answer, consistent with InstructionText/InputText for
+  /// the same (category, topic, rng sequence). For deterministic categories
+  /// (math, grammar) the answer derives from \p pair_text analysis.
+  std::string CoreAnswer(Category category, const Topic& topic,
+                         const std::string& instruction_text,
+                         const std::string& input_text, Rng* rng) const;
+
+  /// Topic recovered from a pair's text, or a deterministic fallback.
+  const Topic& TopicFor(const InstructionPair& pair) const;
+};
+
+}  // namespace synth
+}  // namespace coachlm
+
+#endif  // COACHLM_SYNTH_CONTENT_ENGINE_H_

@@ -1,0 +1,78 @@
+#ifndef COACHLM_SYNTH_DEFECT_H_
+#define COACHLM_SYNTH_DEFECT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/instruction_pair.h"
+#include "synth/content_engine.h"
+
+namespace coachlm {
+namespace synth {
+
+/// \brief Typed quality defects injected into the synthetic corpus.
+///
+/// The first group mirrors Table II's quality dimensions (these make a pair
+/// *deficient* — the 46.8% of Section II-E); the second group mirrors
+/// Table III's exclusion reasons (these make a pair *unsuitable* for
+/// revision). The generator records which defects it injected, but that
+/// provenance is visible only to tests — the expert simulator detects
+/// deficiencies by analyzing the text, and CoachLM learns repairs from
+/// expert revision pairs.
+enum class DefectType : uint8_t {
+  // -- Quality defects (revisable) --
+  kEmptyResponse = 0,      ///< output removed entirely
+  kTruncatedResponse,      ///< output cut off mid-sentence
+  kMissingExplanation,     ///< explanations/background stripped (thin answer)
+  kSpellingNoise,          ///< misspelled words in the response
+  kInstructionSpellingNoise,  ///< misspelled words in the instruction
+  kGrammarNoise,           ///< decapitalized sentences, doubled words
+  kBrokenLayout,           ///< flattened lists, stray markers, bad spacing
+  kAmbiguousInstruction,   ///< topic replaced by vague filler
+  kInfeasibleInstruction,  ///< contradictory requirement appended
+  kIrrelevantResponse,     ///< response about a different topic
+  kFactualError,           ///< correct fact swapped for the corrupted one
+  kMechanicalTone,         ///< robotic boilerplate opener, no warmth
+  kMissingContext,         ///< instruction context stripped (advanced dim)
+  // -- Exclusion defects (Table III) --
+  kInvalidInput,           ///< key content replaced by a dead reference
+  kBeyondExpertise,        ///< overly professional niche request
+  kMassiveWorkload,        ///< poem/lyrics requiring full rewriting
+  kMultiModal,             ///< refers to an image/audio payload
+  kUnsafe,                 ///< toxic/sensitive request or response
+};
+
+/// Number of defect types.
+constexpr size_t kNumDefectTypes = 18;
+
+/// Stable snake_case name of a defect type.
+const std::string& DefectName(DefectType type);
+
+/// True for the Table III exclusion group.
+bool IsExclusionDefect(DefectType type);
+
+/// \brief Applies defects to clean pairs.
+///
+/// Each Apply* function transforms the pair in place, deterministically
+/// given the Rng. Injection is designed to be *repairable*: every quality
+/// defect has a corresponding expert repair operator that restores (or
+/// improves upon) the clean form.
+class DefectInjector {
+ public:
+  explicit DefectInjector(const ContentEngine* engine) : engine_(engine) {}
+
+  /// Applies \p type to \p pair. Returns false when the defect is not
+  /// applicable (e.g. truncation of an already-empty response) and the pair
+  /// was left unchanged.
+  bool Apply(DefectType type, InstructionPair* pair, Rng* rng) const;
+
+ private:
+  const ContentEngine* engine_;
+};
+
+}  // namespace synth
+}  // namespace coachlm
+
+#endif  // COACHLM_SYNTH_DEFECT_H_

@@ -1,0 +1,196 @@
+#include "synth/generator.h"
+
+#include <algorithm>
+
+namespace coachlm {
+namespace synth {
+namespace {
+
+/// Relative weights of the response-side quality defects, shaped after the
+/// revision-type distribution of Table IV (what experts ended up fixing).
+struct WeightedDefect {
+  DefectType type;
+  double weight;
+};
+
+const std::vector<WeightedDefect>& ResponseDefects() {
+  static const std::vector<WeightedDefect> kWeights = {
+      {DefectType::kMissingExplanation, 30.0},  // comprehensiveness/richness
+      {DefectType::kTruncatedResponse, 12.0},   // (same bucket: thin answers)
+      {DefectType::kIrrelevantResponse, 8.0},   // relevance rewrites
+      {DefectType::kSpellingNoise, 9.0},        // readability rewrites
+      {DefectType::kGrammarNoise, 8.0},
+      {DefectType::kBrokenLayout, 12.0},        // layout adjustments
+      {DefectType::kMechanicalTone, 11.0},      // tone adjustments
+      {DefectType::kFactualError, 7.0},         // corrections
+      {DefectType::kEmptyResponse, 3.0},        // misc severe
+  };
+  return kWeights;
+}
+
+/// Instruction-side defects, shaped after Table IV's instruction rows
+/// (readability 68.1%, feasibility 24.9%, contextualization 7.0%).
+const std::vector<WeightedDefect>& InstructionDefects() {
+  static const std::vector<WeightedDefect> kWeights = {
+      {DefectType::kInstructionSpellingNoise, 68.0},
+      {DefectType::kAmbiguousInstruction, 15.0},
+      {DefectType::kInfeasibleInstruction, 10.0},
+      {DefectType::kMissingContext, 7.0},
+  };
+  return kWeights;
+}
+
+/// Exclusion defects with Table III ratios.
+const std::vector<WeightedDefect>& ExclusionDefects() {
+  static const std::vector<WeightedDefect> kWeights = {
+      {DefectType::kInvalidInput, 41.7},
+      {DefectType::kBeyondExpertise, 27.7},
+      {DefectType::kMassiveWorkload, 8.2},
+      {DefectType::kMultiModal, 6.5},
+      {DefectType::kUnsafe, 15.9},
+  };
+  return kWeights;
+}
+
+DefectType PickWeighted(const std::vector<WeightedDefect>& defects,
+                        Rng* rng) {
+  std::vector<double> weights;
+  weights.reserve(defects.size());
+  for (const WeightedDefect& d : defects) weights.push_back(d.weight);
+  return defects[rng->NextCategorical(weights)].type;
+}
+
+}  // namespace
+
+bool SynthCorpus::IsExcludedClass(size_t i) const {
+  for (DefectType d : defects[i]) {
+    if (IsExclusionDefect(d)) return true;
+  }
+  return false;
+}
+
+bool SynthCorpus::IsDeficient(size_t i) const {
+  for (DefectType d : defects[i]) {
+    if (!IsExclusionDefect(d)) return true;
+  }
+  return false;
+}
+
+SynthCorpusGenerator::SynthCorpusGenerator(CorpusConfig config)
+    : config_(config), injector_(&engine_) {}
+
+Category SynthCorpusGenerator::PickCategory(Rng* rng) const {
+  const auto& all = AllCategories();
+  std::vector<double> weights(all.size(), 1.0);
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == Category::kCoding || all[i] == Category::kCodeExplanation ||
+        all[i] == Category::kDebuggingHelp) {
+      weights[i] = config_.code_category_weight;
+    }
+  }
+  return all[rng->NextCategorical(weights)];
+}
+
+const Topic& SynthCorpusGenerator::PickTopic(Category category,
+                                             Rng* rng) const {
+  const auto& topics = Topics();
+  // Domain-affine categories sample from matching domains so e.g.
+  // science_qa instructions are about science topics.
+  auto pick_domain = [&](const std::string& domain) -> const Topic& {
+    std::vector<const Topic*> matching;
+    for (const Topic& t : topics) {
+      if (t.domain == domain) matching.push_back(&t);
+    }
+    if (matching.empty()) return rng->Pick(topics);
+    return *matching[rng->NextBelow(matching.size())];
+  };
+  switch (category) {
+    case Category::kScienceQa:
+      return pick_domain("science");
+    case Category::kHistoryQa:
+      return pick_domain("history");
+    case Category::kHealthAdvice: {
+      // Health advice topics: the daily-life wellness subjects.
+      for (const Topic& t : topics) {
+        if (t.name == "healthy eating" && rng->NextBool(0.5)) return t;
+        if (t.name == "regular exercise") return t;
+      }
+      return rng->Pick(topics);
+    }
+    default:
+      return rng->Pick(topics);
+  }
+}
+
+void SynthCorpusGenerator::GeneratePair(
+    uint64_t id, Rng* rng, InstructionPair* pair,
+    std::vector<DefectType>* defects) const {
+  defects->clear();
+  const Category category = PickCategory(rng);
+  const Topic& topic = PickTopic(category, rng);
+
+  // Clean pairs vary in richness: the ALPACA52K baseline mostly carries
+  // thin-to-moderate answers (avg 43.9 words), so richness skews low.
+  ResponseRichness richness;
+  richness.explanations = static_cast<size_t>(rng->NextCategorical(
+      {0.30, 0.38, 0.22, 0.10}));  // 0..3 explanation sentences
+  richness.closing = rng->NextBool(0.15);
+  richness.context = rng->NextBool(0.15);
+  if (category == Category::kCoding ||
+      category == Category::kCodeExplanation ||
+      category == Category::kDebuggingHelp) {
+    // Teacher-LLM code answers in the corpus are terse (code, little
+    // prose) — the trait that makes filtering baselines drop them and
+    // regress on coding (Section II-A(3)).
+    richness.explanations = std::min<size_t>(richness.explanations, 1);
+    richness.closing = false;
+  }
+  *pair = engine_.BuildCleanPair(id, category, topic, richness, rng);
+
+  if (rng->NextBool(config_.exclusion_rate)) {
+    const DefectType d = PickWeighted(ExclusionDefects(), rng);
+    if (injector_.Apply(d, pair, rng)) defects->push_back(d);
+    return;  // excluded pairs carry only their exclusion defect
+  }
+
+  if (rng->NextBool(config_.deficiency_rate)) {
+    const DefectType response_defect = PickWeighted(ResponseDefects(), rng);
+    if (injector_.Apply(response_defect, pair, rng)) {
+      defects->push_back(response_defect);
+    }
+    if (rng->NextBool(config_.instruction_defect_rate)) {
+      const DefectType instruction_defect =
+          PickWeighted(InstructionDefects(), rng);
+      if (injector_.Apply(instruction_defect, pair, rng)) {
+        defects->push_back(instruction_defect);
+      }
+    }
+    // Retry once if no defect stuck (e.g. truncation on a short answer),
+    // keeping the realized deficiency rate close to the configured one.
+    if (defects->empty()) {
+      const DefectType fallback = DefectType::kMissingExplanation;
+      if (injector_.Apply(fallback, pair, rng)) {
+        defects->push_back(fallback);
+      } else if (injector_.Apply(DefectType::kMechanicalTone, pair, rng)) {
+        defects->push_back(DefectType::kMechanicalTone);
+      }
+    }
+  }
+}
+
+SynthCorpus SynthCorpusGenerator::Generate() const {
+  SynthCorpus corpus;
+  corpus.defects.reserve(config_.size);
+  Rng rng(config_.seed);
+  for (size_t i = 0; i < config_.size; ++i) {
+    InstructionPair pair;
+    std::vector<DefectType> defects;
+    GeneratePair(static_cast<uint64_t>(i + 1), &rng, &pair, &defects);
+    corpus.dataset.Add(std::move(pair));
+    corpus.defects.push_back(std::move(defects));
+  }
+  return corpus;
+}
+
+}  // namespace synth
+}  // namespace coachlm

@@ -1,0 +1,51 @@
+#ifndef COACHLM_SYNTH_TOPIC_BANK_H_
+#define COACHLM_SYNTH_TOPIC_BANK_H_
+
+#include <string>
+#include <vector>
+
+namespace coachlm {
+namespace synth {
+
+/// \brief A topic the corpus generator (and the expert oracle) can speak
+/// about.
+///
+/// Each topic carries a small amount of "world knowledge": one checkable
+/// fact with a corrupted counterpart (the FactualError defect swaps them),
+/// and detail sentences that serve as explanation/richness content. The
+/// topic bank is the stand-in for the pre-training knowledge that both the
+/// teacher LLM (which generated ALPACA52K) and the human experts share.
+struct Topic {
+  /// Display name appearing verbatim in instructions ("photosynthesis").
+  std::string name;
+  /// Broad domain ("science", "history", "technology", ...).
+  std::string domain;
+  /// A correct factual statement about the topic.
+  std::string fact;
+  /// The same statement with a factual corruption.
+  std::string wrong_fact;
+  /// Supporting detail sentences (explanations, background, examples).
+  std::vector<std::string> details;
+};
+
+/// \brief Returns the global topic bank (deterministic, ~48 topics across
+/// science, history, technology, daily life, business, and arts).
+const std::vector<Topic>& Topics();
+
+/// \brief Finds the first topic whose name occurs in \p text (case
+/// sensitive, names are lower-case); returns nullptr when none matches.
+const Topic* FindTopicIn(const std::string& text);
+
+/// \brief True when \p text speaks about \p topic: it mentions the topic's
+/// name, or contains its fact / one of its detail sentences (knowledgeable
+/// raters recognize a topic's content even when the name is not repeated).
+bool TopicOwnsText(const Topic& topic, const std::string& text);
+
+/// \brief Finds a topic that owns \p text per TopicOwnsText; nullptr when
+/// none does.
+const Topic* FindOwningTopic(const std::string& text);
+
+}  // namespace synth
+}  // namespace coachlm
+
+#endif  // COACHLM_SYNTH_TOPIC_BANK_H_

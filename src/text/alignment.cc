@@ -1,0 +1,127 @@
+#include "text/alignment.h"
+
+#include <algorithm>
+
+namespace coachlm {
+namespace align {
+
+EditScript Align(const std::vector<std::string>& source,
+                 const std::vector<std::string>& target) {
+  const size_t n = source.size();
+  const size_t m = target.size();
+  // Full DP matrix for backtrace; sequences here are sentences/paragraphs,
+  // short enough that O(n*m) space is acceptable.
+  std::vector<std::vector<size_t>> dp(n + 1, std::vector<size_t>(m + 1));
+  for (size_t i = 0; i <= n; ++i) dp[i][0] = i;
+  for (size_t j = 0; j <= m; ++j) dp[0][j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      const size_t sub =
+          dp[i - 1][j - 1] + (source[i - 1] == target[j - 1] ? 0 : 1);
+      dp[i][j] = std::min({sub, dp[i - 1][j] + 1, dp[i][j - 1] + 1});
+    }
+  }
+  // Backtrace from (n, m), preferring Keep/Subst, then Delete, then Insert.
+  EditScript reversed;
+  size_t i = n;
+  size_t j = m;
+  while (i > 0 || j > 0) {
+    if (i > 0 && j > 0 &&
+        dp[i][j] ==
+            dp[i - 1][j - 1] + (source[i - 1] == target[j - 1] ? 0 : 1)) {
+      AlignOp op;
+      op.kind = source[i - 1] == target[j - 1] ? OpKind::kKeep : OpKind::kSubst;
+      op.src_index = i - 1;
+      op.tgt_index = j - 1;
+      op.src = source[i - 1];
+      op.tgt = target[j - 1];
+      reversed.push_back(std::move(op));
+      --i;
+      --j;
+    } else if (i > 0 && dp[i][j] == dp[i - 1][j] + 1) {
+      AlignOp op;
+      op.kind = OpKind::kDelete;
+      op.src_index = i - 1;
+      op.tgt_index = j;  // position before which deletion happens
+      op.src = source[i - 1];
+      reversed.push_back(std::move(op));
+      --i;
+    } else {
+      AlignOp op;
+      op.kind = OpKind::kInsert;
+      op.src_index = i;  // insertion point in source coordinates
+      op.tgt_index = j - 1;
+      op.tgt = target[j - 1];
+      reversed.push_back(std::move(op));
+      --j;
+    }
+  }
+  std::reverse(reversed.begin(), reversed.end());
+  return reversed;
+}
+
+std::vector<std::string> ApplyScript(const std::vector<std::string>& source,
+                                     const EditScript& script) {
+  std::vector<std::string> out;
+  out.reserve(source.size());
+  for (const AlignOp& op : script) {
+    switch (op.kind) {
+      case OpKind::kKeep:
+        if (op.src_index < source.size()) out.push_back(source[op.src_index]);
+        break;
+      case OpKind::kSubst:
+      case OpKind::kInsert:
+        out.push_back(op.tgt);
+        break;
+      case OpKind::kDelete:
+        break;
+    }
+  }
+  return out;
+}
+
+size_t EditCount(const EditScript& script) {
+  size_t count = 0;
+  for (const AlignOp& op : script) {
+    if (op.kind != OpKind::kKeep) ++count;
+  }
+  return count;
+}
+
+std::vector<Hunk> ExtractHunks(const EditScript& script) {
+  std::vector<Hunk> hunks;
+  Hunk current;
+  bool open = false;
+  auto flush = [&] {
+    if (open) {
+      hunks.push_back(std::move(current));
+      current = Hunk();
+      open = false;
+    }
+  };
+  for (const AlignOp& op : script) {
+    if (op.kind == OpKind::kKeep) {
+      flush();
+      continue;
+    }
+    if (!open) {
+      open = true;
+      current.src_begin =
+          op.kind == OpKind::kInsert ? op.src_index : op.src_index;
+      current.src_end = current.src_begin;
+    }
+    if (op.kind != OpKind::kInsert) {
+      current.src_end = op.src_index + 1;
+      current.src_tokens.push_back(op.src);
+    }
+    if (op.kind != OpKind::kDelete) {
+      current.tgt_tokens.push_back(op.tgt);
+    }
+    current.ops.push_back(op);
+  }
+  flush();
+  return hunks;
+}
+
+}  // namespace align
+}  // namespace coachlm

@@ -1,0 +1,80 @@
+#ifndef COACHLM_TEXT_ALIGNMENT_H_
+#define COACHLM_TEXT_ALIGNMENT_H_
+
+#include <string>
+#include <vector>
+
+namespace coachlm {
+
+/// \brief Token-level alignment between an original and a revised sequence.
+///
+/// CoachLM's rule learner decomposes each expert revision (x, x_r) into an
+/// edit script obtained from the Levenshtein backtrace. The script is the
+/// raw material from which typed EditOps (lm/edit_op.h) are extracted.
+namespace align {
+
+/// One step in the alignment.
+enum class OpKind {
+  kKeep,    ///< token unchanged
+  kSubst,   ///< source token replaced by target token
+  kInsert,  ///< target token inserted
+  kDelete,  ///< source token removed
+};
+
+/// \brief A single alignment step referencing positions in both sequences.
+struct AlignOp {
+  OpKind kind;
+  /// Index into the source sequence (valid except for kInsert).
+  size_t src_index = 0;
+  /// Index into the target sequence (valid except for kDelete).
+  size_t tgt_index = 0;
+  /// Source token (empty for kInsert).
+  std::string src;
+  /// Target token (empty for kDelete).
+  std::string tgt;
+};
+
+/// Full edit script transforming the source token sequence into the target.
+using EditScript = std::vector<AlignOp>;
+
+/// \brief Computes a minimal edit script between two token sequences.
+///
+/// Ties are broken preferring Keep > Subst > Delete > Insert so scripts are
+/// deterministic. Quadratic time/space in sequence lengths.
+EditScript Align(const std::vector<std::string>& source,
+                 const std::vector<std::string>& target);
+
+/// \brief Applies an edit script to \p source, returning the target tokens.
+/// The script must have been produced against a source of identical length
+/// (only src lengths are checked; tokens themselves are taken on faith so
+/// scripts can be replayed against near-identical inputs).
+std::vector<std::string> ApplyScript(const std::vector<std::string>& source,
+                                     const EditScript& script);
+
+/// \brief Number of non-Keep operations in the script.
+size_t EditCount(const EditScript& script);
+
+/// \brief A maximal run of consecutive non-Keep operations.
+///
+/// Hunks group character- or token-local changes (a spelling fix) and large
+/// structural ones (an appended explanation) into single analyzable units.
+struct Hunk {
+  /// Operations of this hunk, in order.
+  EditScript ops;
+  /// First source index touched (or position for pure insertions).
+  size_t src_begin = 0;
+  /// One-past-last source index touched.
+  size_t src_end = 0;
+  /// Concatenated source tokens removed/replaced.
+  std::vector<std::string> src_tokens;
+  /// Concatenated target tokens inserted/replacing.
+  std::vector<std::string> tgt_tokens;
+};
+
+/// \brief Groups an edit script into hunks of consecutive edits.
+std::vector<Hunk> ExtractHunks(const EditScript& script);
+
+}  // namespace align
+}  // namespace coachlm
+
+#endif  // COACHLM_TEXT_ALIGNMENT_H_

@@ -1,0 +1,89 @@
+#include "text/edit_distance.h"
+
+#include <algorithm>
+
+#include "text/tokenizer.h"
+
+namespace coachlm {
+namespace editdist {
+namespace {
+
+/// Two-row dynamic program shared by the char and token variants.
+template <typename Seq>
+size_t Levenshtein(const Seq& a, const Seq& b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return m;
+  if (m == 0) return n;
+  std::vector<size_t> prev(m + 1);
+  std::vector<size_t> curr(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      const size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, sub});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+}  // namespace
+
+size_t CharDistance(const std::string& a, const std::string& b) {
+  return Levenshtein(a, b);
+}
+
+size_t CharDistanceBounded(const std::string& a, const std::string& b,
+                           size_t bound) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  const size_t diff = n > m ? n - m : m - n;
+  if (diff > bound) return bound + 1;
+  if (n == 0) return m;
+  if (m == 0) return n;
+  const size_t kInf = bound + 1;
+  std::vector<size_t> prev(m + 1, kInf);
+  std::vector<size_t> curr(m + 1, kInf);
+  for (size_t j = 0; j <= std::min(m, bound); ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    // Only cells within the diagonal band |i - j| <= bound can stay <= bound.
+    const size_t j_lo = i > bound ? i - bound : 1;
+    const size_t j_hi = std::min(m, i + bound);
+    if (j_lo > j_hi) return bound + 1;
+    std::fill(curr.begin(), curr.end(), kInf);
+    if (j_lo == 1) curr[0] = i <= bound ? i : kInf;
+    size_t row_min = kInf;
+    for (size_t j = j_lo; j <= j_hi; ++j) {
+      const size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      size_t best = sub;
+      if (prev[j] + 1 < best) best = prev[j] + 1;
+      if (curr[j - 1] + 1 < best) best = curr[j - 1] + 1;
+      curr[j] = std::min(best, kInf);
+      row_min = std::min(row_min, curr[j]);
+    }
+    if (row_min > bound) return bound + 1;
+    std::swap(prev, curr);
+  }
+  return std::min(prev[m], kInf);
+}
+
+size_t TokenDistance(const std::vector<std::string>& a,
+                     const std::vector<std::string>& b) {
+  return Levenshtein(a, b);
+}
+
+size_t WordDistance(const std::string& a, const std::string& b) {
+  return TokenDistance(tokenizer::WordTokenize(a), tokenizer::WordTokenize(b));
+}
+
+double NormalizedCharDistance(const std::string& a, const std::string& b) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 0.0;
+  return static_cast<double>(CharDistance(a, b)) /
+         static_cast<double>(longest);
+}
+
+}  // namespace editdist
+}  // namespace coachlm

@@ -1,0 +1,54 @@
+#ifndef COACHLM_TEXT_LEXICONS_H_
+#define COACHLM_TEXT_LEXICONS_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace coachlm {
+
+/// \brief Shared word lists used by the corpus generator, the quality
+/// analyzers, and the expert revision simulator.
+///
+/// Only the generator and the expert oracle consult these tables directly;
+/// CoachLM must *learn* e.g. the spelling-correction map from expert
+/// revision pairs (see lm/rule_extractor.h), keeping the learning problem
+/// honest.
+namespace lexicons {
+
+/// Common English stopwords (lower-case).
+const std::unordered_set<std::string>& Stopwords();
+
+/// Words/phrases signalling a humanized, empathetic tone.
+const std::vector<std::string>& PolitenessMarkers();
+
+/// Hedge/vague words that reduce instruction feasibility ("maybe", "stuff").
+const std::unordered_set<std::string>& HedgeWords();
+
+/// Terms that trip the safety red line of Table II.
+const std::vector<std::string>& UnsafeTerms();
+
+/// Discourse connectives that indicate explanatory depth ("because",
+/// "therefore", "for example").
+const std::vector<std::string>& ExplanationMarkers();
+
+/// Map from a correctly spelled word to its corrupted form, used by the
+/// defect injector; the expert repairs via the inverse map.
+const std::unordered_map<std::string, std::string>& SpellingCorruptions();
+
+/// Inverse of SpellingCorruptions(): corrupted form -> correct form.
+const std::unordered_map<std::string, std::string>& SpellingRepairs();
+
+/// Ambiguity fillers used by the AmbiguousInstruction defect ("the thing",
+/// "it", "some stuff").
+const std::vector<std::string>& AmbiguityFillers();
+
+/// Mechanical-tone boilerplate openers that the Humanization dimension
+/// penalizes ("As an AI language model , ...").
+const std::vector<std::string>& MechanicalOpeners();
+
+}  // namespace lexicons
+}  // namespace coachlm
+
+#endif  // COACHLM_TEXT_LEXICONS_H_

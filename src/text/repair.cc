@@ -1,0 +1,97 @@
+#include "text/repair.h"
+
+#include <cctype>
+
+#include "text/lexicons.h"
+#include "text/string_util.h"
+#include "text/tokenizer.h"
+
+namespace coachlm {
+namespace repair {
+
+std::string FixKnownSpelling(const std::string& text) {
+  std::string out = text;
+  for (const auto& [bad, good] : lexicons::SpellingRepairs()) {
+    out = strings::ReplaceAll(out, bad, good);
+  }
+  return out;
+}
+
+std::string CapitalizeSentences(const std::string& text) {
+  std::string out = text;
+  bool at_start = true;
+  bool in_code_fence = false;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(out[i]);
+    if (c == '`' && i + 2 < out.size() && out[i + 1] == '`' &&
+        out[i + 2] == '`') {
+      // Code blocks keep their own casing.
+      in_code_fence = !in_code_fence;
+      i += 2;
+      at_start = false;
+      continue;
+    }
+    if (in_code_fence) continue;
+    if (at_start && std::isalpha(c)) {
+      out[i] = static_cast<char>(std::toupper(c));
+      at_start = false;
+    } else if (std::isdigit(c)) {
+      // List markers like "1." keep the following text as-is; a period
+      // right after a digit does not start a new sentence.
+      at_start = false;
+      if (i + 1 < out.size() && out[i + 1] == '.') ++i;
+    } else if (c == '.' || c == '!' || c == '?' || c == '\n') {
+      at_start = true;
+    } else if (!std::isspace(c) && c != '"' && c != '\'' && c != '(' &&
+               c != '-') {
+      at_start = false;
+    }
+  }
+  return out;
+}
+
+std::string RemoveDoubledWords(const std::string& text) {
+  const auto words = tokenizer::WhitespaceTokenize(text);
+  std::string out;
+  const std::string* prev = nullptr;
+  for (const std::string& word : words) {
+    if (prev != nullptr && word.size() > 1 && word == *prev) continue;
+    if (!out.empty()) out += ' ';
+    out += word;
+    prev = &word;
+  }
+  // Preserve leading/trailing newlines coarsely: whitespace tokenization
+  // flattens newlines, so only apply this repair to prose (the callers
+  // check for list structure first).
+  return out;
+}
+
+std::string ReflowLists(const std::string& text) {
+  std::string out = text;
+  out = strings::ReplaceAll(out, " - ", "\n- ");
+  for (char digit = '1'; digit <= '9'; ++digit) {
+    const std::string flat = std::string(" ") + digit + ". ";
+    const std::string lined = std::string("\n") + digit + ". ";
+    out = strings::ReplaceAll(out, flat, lined);
+  }
+  return out;
+}
+
+std::string CollapseSpaces(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  bool prev_space = false;
+  for (char c : text) {
+    if (c == ' ') {
+      if (prev_space) continue;
+      prev_space = true;
+    } else {
+      prev_space = false;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace repair
+}  // namespace coachlm

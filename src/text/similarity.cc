@@ -1,0 +1,47 @@
+#include "text/similarity.h"
+
+#include "text/lexicons.h"
+#include "text/string_util.h"
+#include "text/tokenizer.h"
+
+namespace coachlm {
+namespace similarity {
+
+std::unordered_set<std::string> ContentWords(const std::string& text) {
+  std::unordered_set<std::string> words;
+  for (const std::string& token : tokenizer::WordTokenize(text)) {
+    if (tokenizer::IsPunctuation(token)) continue;
+    const std::string lower = strings::Lower(token);
+    if (lower.size() < 3) continue;
+    if (lexicons::Stopwords().count(lower) > 0) continue;
+    words.insert(lower);
+  }
+  return words;
+}
+
+double ContentOverlap(const std::string& a, const std::string& b) {
+  const auto wa = ContentWords(a);
+  const auto wb = ContentWords(b);
+  if (wa.empty() || wb.empty()) return 0.0;
+  size_t common = 0;
+  for (const std::string& w : wa) {
+    if (wb.count(w) > 0) ++common;
+  }
+  const size_t total = wa.size() + wb.size() - common;
+  return total == 0 ? 0.0
+                    : static_cast<double>(common) / static_cast<double>(total);
+}
+
+double Containment(const std::string& query, const std::string& doc) {
+  const auto wq = ContentWords(query);
+  if (wq.empty()) return 0.0;
+  const auto wd = ContentWords(doc);
+  size_t covered = 0;
+  for (const std::string& w : wq) {
+    if (wd.count(w) > 0) ++covered;
+  }
+  return static_cast<double>(covered) / static_cast<double>(wq.size());
+}
+
+}  // namespace similarity
+}  // namespace coachlm

@@ -1,0 +1,36 @@
+#include "text/vocab.h"
+
+namespace coachlm {
+
+Vocab::Vocab() {
+  Add("<unk>");
+  Add("<s>");
+  Add("</s>");
+}
+
+uint32_t Vocab::Add(const std::string& token) {
+  auto [it, inserted] =
+      index_.emplace(token, static_cast<uint32_t>(tokens_.size()));
+  if (inserted) tokens_.push_back(token);
+  return it->second;
+}
+
+uint32_t Vocab::Lookup(const std::string& token) const {
+  auto it = index_.find(token);
+  return it == index_.end() ? kUnk : it->second;
+}
+
+const std::string& Vocab::Token(uint32_t id) const {
+  if (id >= tokens_.size()) return tokens_[kUnk];
+  return tokens_[id];
+}
+
+std::vector<uint32_t> Vocab::Encode(
+    const std::vector<std::string>& tokens) const {
+  std::vector<uint32_t> ids;
+  ids.reserve(tokens.size());
+  for (const std::string& t : tokens) ids.push_back(Lookup(t));
+  return ids;
+}
+
+}  // namespace coachlm

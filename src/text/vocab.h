@@ -1,0 +1,45 @@
+#ifndef COACHLM_TEXT_VOCAB_H_
+#define COACHLM_TEXT_VOCAB_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace coachlm {
+
+/// \brief Bidirectional token <-> id map for the n-gram language model.
+///
+/// Id 0 is reserved for the unknown token, 1 for begin-of-sequence, and 2
+/// for end-of-sequence.
+class Vocab {
+ public:
+  static constexpr uint32_t kUnk = 0;
+  static constexpr uint32_t kBos = 1;
+  static constexpr uint32_t kEos = 2;
+
+  Vocab();
+
+  /// Adds \p token if absent and returns its id.
+  uint32_t Add(const std::string& token);
+
+  /// Returns the id of \p token, or kUnk when unseen.
+  uint32_t Lookup(const std::string& token) const;
+
+  /// Returns the token for \p id ("<unk>" for out-of-range ids).
+  const std::string& Token(uint32_t id) const;
+
+  /// Number of entries including the three reserved ids.
+  size_t size() const { return tokens_.size(); }
+
+  /// Encodes a token sequence (unknowns map to kUnk).
+  std::vector<uint32_t> Encode(const std::vector<std::string>& tokens) const;
+
+ private:
+  std::unordered_map<std::string, uint32_t> index_;
+  std::vector<std::string> tokens_;
+};
+
+}  // namespace coachlm
+
+#endif  // COACHLM_TEXT_VOCAB_H_

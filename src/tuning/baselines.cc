@@ -1,0 +1,37 @@
+#include "tuning/baselines.h"
+
+#include "quality/accuracy_rater.h"
+#include "text/repair.h"
+#include "text/string_util.h"
+
+namespace coachlm {
+namespace tuning {
+
+InstructionDataset CleanDatasetRuleBased(const InstructionDataset& dataset) {
+  InstructionDataset cleaned = dataset;
+  for (InstructionPair& pair : cleaned.pairs()) {
+    std::string out = pair.output;
+    out = strings::ReplaceAll(out, "OUTPUT:", "");
+    out = strings::Trim(out);
+    if (!strings::Contains(out, "\n") &&
+        (strings::Contains(out, " - ") || strings::Contains(out, " 2. "))) {
+      out = repair::ReflowLists(out);
+    }
+    out = repair::CollapseSpaces(out);
+    pair.output = out;
+  }
+  return cleaned;
+}
+
+InstructionDataset FilterAlpaGasus(const InstructionDataset& dataset,
+                                   double threshold) {
+  quality::AccuracyRater rater;
+  InstructionDataset filtered;
+  for (const InstructionPair& pair : dataset) {
+    if (rater.Rate(pair) >= threshold) filtered.Add(pair);
+  }
+  return filtered;
+}
+
+}  // namespace tuning
+}  // namespace coachlm

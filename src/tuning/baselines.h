@@ -1,0 +1,27 @@
+#ifndef COACHLM_TUNING_BASELINES_H_
+#define COACHLM_TUNING_BASELINES_H_
+
+#include "data/dataset.h"
+
+namespace coachlm {
+namespace tuning {
+
+/// \brief The Alpaca-cleaned baseline's rule-based dataset cleaning.
+///
+/// Mirrors the AlpacaDataCleaned project: regular-expression-style surface
+/// fixes only — stray machine markers removed, flattened lists reflowed,
+/// runaway spacing collapsed. No knowledge-driven repair, no expansion;
+/// the paper finds this barely moves win rates (Table IX).
+InstructionDataset CleanDatasetRuleBased(const InstructionDataset& dataset);
+
+/// \brief The AlpaGasus baseline's filtering: keep only pairs whose
+/// simulated-ChatGPT accuracy rating is at least \p threshold (the paper
+/// keeps ~9k of 52k at 4.5). Raises mean quality, destroys coverage in
+/// sparse categories — the diversity cost of Section II-A(3).
+InstructionDataset FilterAlpaGasus(const InstructionDataset& dataset,
+                                   double threshold = 4.5);
+
+}  // namespace tuning
+}  // namespace coachlm
+
+#endif  // COACHLM_TUNING_BASELINES_H_

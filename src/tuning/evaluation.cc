@@ -1,0 +1,39 @@
+#include "tuning/evaluation.h"
+
+namespace coachlm {
+namespace tuning {
+
+EvalResult EvaluateModel(const TunedModel& model,
+                         const testsets::TestSet& test_set,
+                         const judge::PairwiseJudge& judge, uint64_t seed) {
+  EvalResult result;
+  for (const InstructionPair& item : test_set.items) {
+    Rng rng(seed ^ (item.id * 0x9E3779B97F4A7C15ULL));
+    const std::string response = model.Respond(item, &rng);
+    const judge::Verdict verdict =
+        judge.CompareDebiased(item, response, item.output, &rng);
+    result.counts.Add(verdict);
+  }
+  result.rates = judge::ComputeWinRates(result.counts);
+  return result;
+}
+
+std::map<Category, EvalResult> EvaluateModelPerCategory(
+    const TunedModel& model, const testsets::TestSet& test_set,
+    const judge::PairwiseJudge& judge, uint64_t seed) {
+  std::map<Category, EvalResult> per_category;
+  for (const InstructionPair& item : test_set.items) {
+    Rng rng(seed ^ (item.id * 0x9E3779B97F4A7C15ULL));
+    const std::string response = model.Respond(item, &rng);
+    const judge::Verdict verdict =
+        judge.CompareDebiased(item, response, item.output, &rng);
+    per_category[item.category].counts.Add(verdict);
+  }
+  for (auto& [category, result] : per_category) {
+    result.rates = judge::ComputeWinRates(result.counts);
+  }
+  return per_category;
+}
+
+}  // namespace tuning
+}  // namespace coachlm

@@ -1,0 +1,39 @@
+#ifndef COACHLM_TUNING_EVALUATION_H_
+#define COACHLM_TUNING_EVALUATION_H_
+
+#include <map>
+
+#include "judge/pairwise_judge.h"
+#include "judge/verdict.h"
+#include "testsets/testset.h"
+#include "tuning/tuned_model.h"
+
+namespace coachlm {
+namespace tuning {
+
+/// \brief Win-rate evaluation of one model on one test set.
+struct EvalResult {
+  judge::VerdictCounts counts;
+  judge::WinRates rates;
+};
+
+/// \brief Runs the Section III-C1 protocol: for every test item the model
+/// responds, the judge compares the response against the reference with
+/// the swap-order debiasing, and the verdicts aggregate into WR1/WR2/QS.
+///
+/// Responses and judgments are deterministic in (model, set, judge, seed).
+EvalResult EvaluateModel(const TunedModel& model,
+                         const testsets::TestSet& test_set,
+                         const judge::PairwiseJudge& judge,
+                         uint64_t seed = 5150);
+
+/// Per-category breakdown (used to expose the AlpaGasus coding
+/// regression of Section II-A(3)).
+std::map<Category, EvalResult> EvaluateModelPerCategory(
+    const TunedModel& model, const testsets::TestSet& test_set,
+    const judge::PairwiseJudge& judge, uint64_t seed = 5150);
+
+}  // namespace tuning
+}  // namespace coachlm
+
+#endif  // COACHLM_TUNING_EVALUATION_H_

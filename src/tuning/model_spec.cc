@@ -1,0 +1,34 @@
+#include "tuning/model_spec.h"
+
+namespace coachlm {
+namespace tuning {
+
+ModelSpec Llama7BBase(std::string name) {
+  ModelSpec spec;
+  spec.name = std::move(name);
+  spec.size_label = "7B";
+  spec.base_knowledge = 0.80;
+  spec.base_slip = 0.30;
+  return spec;
+}
+
+ModelSpec Llama13BBase(std::string name) {
+  ModelSpec spec;
+  spec.name = std::move(name);
+  spec.size_label = "13B";
+  spec.base_knowledge = 0.88;
+  spec.base_slip = 0.22;
+  return spec;
+}
+
+ModelSpec Glm6BBase(std::string name) {
+  ModelSpec spec;
+  spec.name = std::move(name);
+  spec.size_label = "6B";
+  spec.base_knowledge = 0.77;
+  spec.base_slip = 0.30;
+  return spec;
+}
+
+}  // namespace tuning
+}  // namespace coachlm

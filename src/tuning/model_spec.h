@@ -1,0 +1,38 @@
+#ifndef COACHLM_TUNING_MODEL_SPEC_H_
+#define COACHLM_TUNING_MODEL_SPEC_H_
+
+#include <string>
+
+namespace coachlm {
+namespace tuning {
+
+/// \brief Capability profile of a base model being instruction-tuned.
+///
+/// `base_knowledge` scales how much of the training data's alignment the
+/// model can express (bigger/better-pre-trained bases express more);
+/// `rl_tuned` marks models with an RLHF stage, which reliably improves
+/// tone (closings, no robotic boilerplate) and safety behaviour.
+struct ModelSpec {
+  std::string name;
+  std::string size_label = "7B";  // "6B" / "7B" / "13B"
+  bool rl_tuned = false;
+  /// Knowledge/capacity factor in (0, 1].
+  double base_knowledge = 0.80;
+  /// Residual generation-slip probability of the base (scaled down by
+  /// training-data quality).
+  double base_slip = 0.30;
+};
+
+/// A 7B LLaMA-class base (Alpaca and its variants).
+ModelSpec Llama7BBase(std::string name);
+
+/// A 13B LLaMA-class base.
+ModelSpec Llama13BBase(std::string name);
+
+/// A 6B GLM-class base.
+ModelSpec Glm6BBase(std::string name);
+
+}  // namespace tuning
+}  // namespace coachlm
+
+#endif  // COACHLM_TUNING_MODEL_SPEC_H_

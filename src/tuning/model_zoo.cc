@@ -1,0 +1,95 @@
+#include "tuning/model_zoo.h"
+
+#include "tuning/baselines.h"
+
+namespace coachlm {
+namespace tuning {
+
+AlignmentProfile UniformProfile(double quality, double coverage) {
+  AlignmentProfile profile;
+  profile.global_quality = quality;
+  for (Category category : AllCategories()) {
+    profile.per_category[category] = CategoryAlignment{quality, coverage};
+  }
+  return profile;
+}
+
+std::vector<ZooEntry> BuildBaselineGroup(const ZooInputs& inputs,
+                                         const InstructionTuner& tuner) {
+  std::vector<ZooEntry> zoo;
+
+  // Vicuna-7b: tuned on 70k user-shared ChatGPT conversations — strong
+  // uniform quality, near-complete coverage.
+  {
+    ModelSpec spec = Llama7BBase("Vicuna-7b");
+    zoo.push_back(
+        {TunedModel(spec, UniformProfile(0.86, 0.90)), "I-tuned", false});
+  }
+  // Alpaca: the original 52k corpus.
+  zoo.push_back({tuner.Tune(Llama7BBase("Alpaca"), *inputs.original),
+                 "I-tuned", false});
+  // Alpaca-cleaned: rule-based surface cleaning of the same corpus.
+  zoo.push_back({tuner.Tune(Llama7BBase("Alpaca-cleaned"),
+                            CleanDatasetRuleBased(*inputs.original)),
+                 "I-tuned", false});
+  // Alpaca-PandaLM: same data, hyper-parameters optimized via PandaLM
+  // (the paper's [24]); modeled as a slightly better-expressed tune.
+  {
+    ModelSpec spec = Llama7BBase("Alpaca-PandaLM");
+    spec.base_knowledge *= 1.06;
+    spec.base_slip *= 0.8;
+    zoo.push_back({tuner.Tune(spec, *inputs.original), "I-tuned", false});
+  }
+  // AlpaGasus: the 4.5-filtered subset (~17.7% of the corpus).
+  zoo.push_back({tuner.Tune(Llama7BBase("AlpaGasus"),
+                            FilterAlpaGasus(*inputs.original)),
+                 "I-tuned", false});
+  // Alpaca-human: expert-revised subset merged back into the corpus.
+  zoo.push_back({tuner.Tune(Llama7BBase("Alpaca-human"),
+                            *inputs.human_merged),
+                 "I-tuned", false});
+  // Alpaca-CoachLM: the CoachLM-revised corpus.
+  zoo.push_back({tuner.Tune(Llama7BBase("Alpaca-CoachLM"),
+                            *inputs.coach_revised),
+                 "I-tuned", false});
+  return zoo;
+}
+
+std::vector<ZooEntry> BuildStrongerGroup() {
+  std::vector<ZooEntry> zoo;
+  {
+    ModelSpec spec = Llama13BBase("LLaMA2-13b-chat");
+    spec.rl_tuned = true;
+    zoo.push_back(
+        {TunedModel(spec, UniformProfile(0.93, 0.97)), "RL-tuned", true});
+  }
+  {
+    ModelSpec spec = Llama13BBase("Vicuna-13b");
+    zoo.push_back(
+        {TunedModel(spec, UniformProfile(0.86, 0.92)), "I-tuned", true});
+  }
+  {
+    ModelSpec spec = Llama7BBase("LLaMA2-7b-chat");
+    spec.rl_tuned = true;
+    zoo.push_back(
+        {TunedModel(spec, UniformProfile(0.93, 0.97)), "RL-tuned", true});
+  }
+  {
+    // ChatGLM edges out ChatGLM2 on several of the paper's test sets
+    // (Table IX); its alignment data reads slightly stronger here.
+    ModelSpec spec = Glm6BBase("ChatGLM");
+    spec.rl_tuned = true;
+    zoo.push_back(
+        {TunedModel(spec, UniformProfile(0.90, 0.93)), "RL-tuned", true});
+  }
+  {
+    ModelSpec spec = Glm6BBase("ChatGLM2");
+    spec.rl_tuned = true;
+    zoo.push_back(
+        {TunedModel(spec, UniformProfile(0.87, 0.93)), "RL-tuned", true});
+  }
+  return zoo;
+}
+
+}  // namespace tuning
+}  // namespace coachlm

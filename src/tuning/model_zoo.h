@@ -1,0 +1,51 @@
+#ifndef COACHLM_TUNING_MODEL_ZOO_H_
+#define COACHLM_TUNING_MODEL_ZOO_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tuning/instruction_tuner.h"
+#include "tuning/tuned_model.h"
+
+namespace coachlm {
+namespace tuning {
+
+/// \brief One Table IX row: a tuned model with its display metadata.
+struct ZooEntry {
+  TunedModel model;
+  std::string type;  ///< "I-tuned" or "RL-tuned"
+  bool stronger_group = false;
+};
+
+/// \brief The datasets the baseline group is tuned on.
+struct ZooInputs {
+  /// The ALPACA52K-like corpus.
+  const InstructionDataset* original = nullptr;
+  /// The corpus with the expert-revised subset merged in (Alpaca-human).
+  const InstructionDataset* human_merged = nullptr;
+  /// The CoachLM-revised corpus (Alpaca-CoachLM).
+  const InstructionDataset* coach_revised = nullptr;
+};
+
+/// \brief Builds the Baseline-LLMs group of Table IX: Vicuna-7b, Alpaca,
+/// Alpaca-cleaned, Alpaca-PandaLM, AlpaGasus, Alpaca-human, and
+/// Alpaca-CoachLM. Every Alpaca variant is an identical 7B base tuned on
+/// its variant's dataset; only the data differs.
+std::vector<ZooEntry> BuildBaselineGroup(const ZooInputs& inputs,
+                                         const InstructionTuner& tuner);
+
+/// \brief Builds the Stronger-LLMs group: LLaMA2-chat 13B/7B, Vicuna-13b,
+/// ChatGLM, ChatGLM2 — larger bases and/or proprietary data and RLHF,
+/// expressed as alignment profiles (their datasets are not public; see
+/// DESIGN.md §1 for the substitution).
+std::vector<ZooEntry> BuildStrongerGroup();
+
+/// A uniform alignment profile over all categories (for models tuned on
+/// proprietary data whose per-category composition is unknown).
+AlignmentProfile UniformProfile(double quality, double coverage);
+
+}  // namespace tuning
+}  // namespace coachlm
+
+#endif  // COACHLM_TUNING_MODEL_ZOO_H_

@@ -1,0 +1,87 @@
+#include "tuning/tuned_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace coachlm {
+namespace tuning {
+namespace {
+
+/// Global vs per-category weighting of alignment. The per-category share
+/// is what makes diversity matter: filtering away a category's data costs
+/// the model more than the global average gains.
+constexpr double kGlobalWeight = 0.45;
+constexpr double kCategoryWeight = 0.55;
+
+/// Contrast transform from measured data alignment to expressed model
+/// quality. Instruction tuning is extremely sensitive to data quality in
+/// the regime the paper studies (a 0.36-point mean-rating gain on the 0-5
+/// scale separates Alpaca from Alpaca-CoachLM by ~20 win-rate points), so
+/// the raw alignment — which lives in a narrow band around 0.8 — is
+/// stretched before it scales the base model's knowledge.
+double ContrastAlign(double align) {
+  return std::clamp((align - 0.45) / 0.42, 0.05, 1.0);
+}
+
+}  // namespace
+
+TunedModel::TunedModel(ModelSpec spec, AlignmentProfile alignment)
+    : spec_(std::move(spec)),
+      alignment_(std::move(alignment)),
+      engine_(std::make_shared<synth::ContentEngine>()),
+      injector_(std::make_shared<synth::DefectInjector>(engine_.get())) {}
+
+double TunedModel::QualityFor(Category category) const {
+  double category_alignment = alignment_.unseen_generalization *
+                              alignment_.global_quality;
+  auto it = alignment_.per_category.find(category);
+  if (it != alignment_.per_category.end() && it->second.coverage > 0.0) {
+    category_alignment = it->second.quality * it->second.coverage;
+  }
+  const double aligned = kGlobalWeight * alignment_.global_quality +
+                         kCategoryWeight * category_alignment;
+  return std::clamp(spec_.base_knowledge * ContrastAlign(aligned) *
+                        alignment_.volume_factor,
+                    0.0, 1.0);
+}
+
+std::string TunedModel::Respond(const InstructionPair& task, Rng* rng) const {
+  const double q =
+      std::clamp(QualityFor(task.category) + rng->NextGaussian(0.0, 0.03),
+                 0.02, 1.0);
+  // Richness tracks alignment: well-tuned models explain more and close
+  // warmly; weakly tuned models answer thinly.
+  synth::ResponseRichness richness;
+  const double expl = q * 6.2 - 1.2 + rng->NextGaussian(0.0, 0.5);
+  richness.explanations = static_cast<size_t>(
+      std::clamp<long long>(std::llround(expl), 0, 4));
+  double closing_p = std::clamp(q - 0.35, 0.02, 0.9);
+  if (spec_.rl_tuned) closing_p = std::min(0.95, closing_p + 0.3);
+  richness.closing = rng->NextBool(closing_p);
+
+  InstructionPair candidate = task;
+  candidate.output = engine_->RebuildResponse(task, richness, rng);
+
+  // Generation slips: the residual error rate scales with both the base
+  // model and how weak the alignment is.
+  const double slip_p = std::clamp(spec_.base_slip * (1.0 - q), 0.0, 0.85);
+  if (rng->NextBool(slip_p)) {
+    static const std::vector<synth::DefectType> kSlips = {
+        synth::DefectType::kTruncatedResponse,
+        synth::DefectType::kMissingExplanation,
+        synth::DefectType::kGrammarNoise,
+        synth::DefectType::kSpellingNoise,
+        synth::DefectType::kMechanicalTone,
+        synth::DefectType::kFactualError,
+        synth::DefectType::kIrrelevantResponse,
+    };
+    std::vector<double> weights = {0.22, 0.22, 0.16, 0.14, 0.12, 0.09, 0.05};
+    if (spec_.rl_tuned) weights[4] = 0.0;  // RLHF removes robotic tone
+    const synth::DefectType slip = kSlips[rng->NextCategorical(weights)];
+    injector_->Apply(slip, &candidate, rng);
+  }
+  return candidate.output;
+}
+
+}  // namespace tuning
+}  // namespace coachlm

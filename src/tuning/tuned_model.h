@@ -1,0 +1,74 @@
+#ifndef COACHLM_TUNING_TUNED_MODEL_H_
+#define COACHLM_TUNING_TUNED_MODEL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "synth/content_engine.h"
+#include "synth/defect.h"
+#include "tuning/model_spec.h"
+
+namespace coachlm {
+namespace tuning {
+
+/// \brief Alignment one category's training data induced.
+struct CategoryAlignment {
+  /// Mean response quality (0-1) of training pairs in the category.
+  double quality = 0.0;
+  /// Coverage saturation n/(n+k): how much data backed this category.
+  double coverage = 0.0;
+};
+
+/// \brief What instruction tuning extracted from a training dataset.
+///
+/// This is the substitution documented in DESIGN.md: the paper's central
+/// claim is that an instruction-tuned model's ability is a function of its
+/// training data's *quality* and *diversity* — so the simulated tuned
+/// model is parameterized by exactly (and only) those two measured
+/// properties, per category and globally.
+struct AlignmentProfile {
+  double global_quality = 0.0;
+  std::map<Category, CategoryAlignment> per_category;
+  /// Alignment granted to categories never seen in training (weak
+  /// cross-task generalization).
+  double unseen_generalization = 0.45;
+  /// Data-volume factor in (0, 1]: instruction tuning on a small dataset
+  /// expresses less of its quality (the paper's AlpaGasus keeps only ~9k
+  /// of 52k pairs and gains little despite far higher-rated data).
+  /// Profile-built models (proprietary data) default to 1.0.
+  double volume_factor = 1.0;
+};
+
+/// \brief An instruction-tuned LLM producing text responses.
+///
+/// `Respond` composes an answer whose richness, tone, and slip rate derive
+/// from `q = base_knowledge * (w_g * global + w_c * align(category))` plus
+/// seeded noise. All judging downstream happens on the produced *text*
+/// through the Table II analyzers — no win rate is ever hard-coded.
+class TunedModel {
+ public:
+  TunedModel(ModelSpec spec, AlignmentProfile alignment);
+
+  /// Effective response quality in [0, 1] for a category (pre-noise).
+  double QualityFor(Category category) const;
+
+  /// Generates a response to the task (the task's own output is ignored).
+  std::string Respond(const InstructionPair& task, Rng* rng) const;
+
+  const ModelSpec& spec() const { return spec_; }
+  const AlignmentProfile& alignment() const { return alignment_; }
+
+ private:
+  ModelSpec spec_;
+  AlignmentProfile alignment_;
+  std::shared_ptr<synth::ContentEngine> engine_;
+  std::shared_ptr<synth::DefectInjector> injector_;
+};
+
+}  // namespace tuning
+}  // namespace coachlm
+
+#endif  // COACHLM_TUNING_TUNED_MODEL_H_

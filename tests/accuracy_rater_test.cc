@@ -1,0 +1,63 @@
+#include "quality/accuracy_rater.h"
+
+#include <gtest/gtest.h>
+
+#include "quality/criteria.h"
+#include "synth/generator.h"
+
+namespace coachlm {
+namespace quality {
+namespace {
+
+TEST(AccuracyRaterTest, RangeIsZeroToFive) {
+  synth::CorpusConfig config;
+  config.size = 500;
+  const auto corpus = synth::SynthCorpusGenerator(config).Generate();
+  AccuracyRater rater;
+  for (const InstructionPair& pair : corpus.dataset) {
+    const double r = rater.Rate(pair);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 5.0);
+  }
+}
+
+TEST(AccuracyRaterTest, MonotoneInResponseScore) {
+  synth::CorpusConfig config;
+  config.size = 300;
+  const auto corpus = synth::SynthCorpusGenerator(config).Generate();
+  AccuracyRater rater;
+  ResponseScorer scorer;
+  for (const InstructionPair& pair : corpus.dataset) {
+    EXPECT_DOUBLE_EQ(rater.Rate(pair), scorer.Score(pair).score / 20.0);
+  }
+}
+
+TEST(AccuracyRaterTest, EmptyDatasetRates) {
+  const auto rating = AccuracyRater().RateDataset(InstructionDataset());
+  EXPECT_EQ(rating.mean, 0.0);
+  EXPECT_EQ(rating.fraction_above_45, 0.0);
+  EXPECT_TRUE(rating.ratings.empty());
+}
+
+TEST(AccuracyRaterTest, DatasetAggregatesMatchIndividuals) {
+  synth::CorpusConfig config;
+  config.size = 200;
+  const auto corpus = synth::SynthCorpusGenerator(config).Generate();
+  AccuracyRater rater;
+  const auto rating = rater.RateDataset(corpus.dataset);
+  ASSERT_EQ(rating.ratings.size(), corpus.dataset.size());
+  double sum = 0;
+  size_t above = 0;
+  for (size_t i = 0; i < corpus.dataset.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rating.ratings[i], rater.Rate(corpus.dataset[i]));
+    sum += rating.ratings[i];
+    if (rating.ratings[i] > 4.5) ++above;
+  }
+  EXPECT_NEAR(rating.mean, sum / corpus.dataset.size(), 1e-12);
+  EXPECT_DOUBLE_EQ(rating.fraction_above_45,
+                   static_cast<double>(above) / corpus.dataset.size());
+}
+
+}  // namespace
+}  // namespace quality
+}  // namespace coachlm

@@ -1,0 +1,90 @@
+#include "text/alignment.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "text/edit_distance.h"
+
+namespace coachlm {
+namespace align {
+namespace {
+
+std::vector<std::string> Words(std::initializer_list<const char*> w) {
+  return std::vector<std::string>(w.begin(), w.end());
+}
+
+TEST(AlignmentTest, IdenticalSequencesAllKeep) {
+  const auto src = Words({"a", "b", "c"});
+  const auto script = Align(src, src);
+  ASSERT_EQ(script.size(), 3u);
+  for (const AlignOp& op : script) EXPECT_EQ(op.kind, OpKind::kKeep);
+  EXPECT_EQ(EditCount(script), 0u);
+}
+
+TEST(AlignmentTest, SubstitutionDetected) {
+  const auto script = Align(Words({"the", "cat"}), Words({"the", "dog"}));
+  ASSERT_EQ(script.size(), 2u);
+  EXPECT_EQ(script[1].kind, OpKind::kSubst);
+  EXPECT_EQ(script[1].src, "cat");
+  EXPECT_EQ(script[1].tgt, "dog");
+}
+
+TEST(AlignmentTest, InsertAndDelete) {
+  const auto ins = Align(Words({"a", "c"}), Words({"a", "b", "c"}));
+  EXPECT_EQ(EditCount(ins), 1u);
+  const auto del = Align(Words({"a", "b", "c"}), Words({"a", "c"}));
+  EXPECT_EQ(EditCount(del), 1u);
+}
+
+TEST(AlignmentTest, EmptySequences) {
+  EXPECT_TRUE(Align({}, {}).empty());
+  const auto all_insert = Align({}, Words({"x", "y"}));
+  EXPECT_EQ(EditCount(all_insert), 2u);
+  const auto all_delete = Align(Words({"x", "y"}), {});
+  EXPECT_EQ(EditCount(all_delete), 2u);
+}
+
+TEST(AlignmentTest, HunksGroupConsecutiveEdits) {
+  // One leading delete pair + one trailing insert pair -> two hunks.
+  // (The kept middle is long enough that substitution paths cost more.)
+  const auto script = Align(Words({"DEL1", "DEL2", "keep", "mid", "tail"}),
+                            Words({"keep", "mid", "tail", "NEW1", "NEW2"}));
+  const auto hunks = ExtractHunks(script);
+  ASSERT_EQ(hunks.size(), 2u);
+  EXPECT_EQ(hunks[0].src_begin, 0u);
+  EXPECT_EQ(hunks[0].src_tokens.size(), 2u);
+  EXPECT_TRUE(hunks[0].tgt_tokens.empty());
+  EXPECT_TRUE(hunks[1].src_tokens.empty());
+  EXPECT_EQ(hunks[1].tgt_tokens.size(), 2u);
+}
+
+class AlignmentPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AlignmentPropertyTest, ScriptReconstructsTargetAndMatchesDistance) {
+  Rng rng(GetParam());
+  auto random_tokens = [&rng]() {
+    std::vector<std::string> tokens;
+    const size_t n = rng.NextBelow(15);
+    static const std::vector<std::string> kVocab = {"a", "b", "c", "d", "e"};
+    for (size_t i = 0; i < n; ++i) tokens.push_back(rng.Pick(kVocab));
+    return tokens;
+  };
+  const auto src = random_tokens();
+  const auto tgt = random_tokens();
+  const auto script = Align(src, tgt);
+  // Applying the script to the source reproduces the target exactly.
+  EXPECT_EQ(ApplyScript(src, script), tgt);
+  // The script is minimal: edit count equals the Levenshtein distance.
+  EXPECT_EQ(EditCount(script), editdist::TokenDistance(src, tgt));
+  // Hunks partition the edits.
+  size_t hunk_ops = 0;
+  for (const Hunk& h : ExtractHunks(script)) hunk_ops += h.ops.size();
+  EXPECT_EQ(hunk_ops, EditCount(script));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, AlignmentPropertyTest,
+                         ::testing::Range<uint64_t>(1, 60));
+
+}  // namespace
+}  // namespace align
+}  // namespace coachlm

@@ -1,0 +1,89 @@
+#include "coach/alpha_selection.h"
+
+#include <gtest/gtest.h>
+
+namespace coachlm {
+namespace coach {
+namespace {
+
+RevisionDataset MakeRevisions(size_t n) {
+  RevisionDataset revisions;
+  for (size_t i = 0; i < n; ++i) {
+    RevisionRecord record;
+    record.original.id = i + 1;
+    record.char_edit_distance = (i * 37) % 500;  // scrambled distances
+    revisions.push_back(record);
+  }
+  return revisions;
+}
+
+TEST(AlphaSelectionTest, AlphaCounts) {
+  EXPECT_EQ(AlphaCount(100, 0.0), 0u);
+  EXPECT_EQ(AlphaCount(100, 0.3), 30u);
+  EXPECT_EQ(AlphaCount(100, 1.0), 100u);
+  EXPECT_EQ(AlphaCount(100, 2.0), 100u);   // clamped
+  EXPECT_EQ(AlphaCount(100, -0.5), 0u);    // clamped
+  EXPECT_EQ(AlphaCount(7, 0.5), 4u);       // rounds
+}
+
+TEST(AlphaSelectionTest, ZeroAlphaEmpty) {
+  EXPECT_TRUE(SelectTopAlpha(MakeRevisions(50), 0.0).empty());
+}
+
+TEST(AlphaSelectionTest, FullAlphaKeepsAll) {
+  EXPECT_EQ(SelectTopAlpha(MakeRevisions(50), 1.0).size(), 50u);
+}
+
+TEST(AlphaSelectionTest, SelectsHighestEditDistances) {
+  const RevisionDataset all = MakeRevisions(100);
+  const RevisionDataset top = SelectTopAlpha(all, 0.2);
+  ASSERT_EQ(top.size(), 20u);
+  // Every selected distance >= every unselected distance.
+  size_t min_selected = SIZE_MAX;
+  for (const RevisionRecord& r : top) {
+    min_selected = std::min(min_selected, r.char_edit_distance);
+  }
+  std::set<uint64_t> selected_ids;
+  for (const RevisionRecord& r : top) selected_ids.insert(r.original.id);
+  for (const RevisionRecord& r : all) {
+    if (selected_ids.count(r.original.id) == 0) {
+      EXPECT_LE(r.char_edit_distance, min_selected);
+    }
+  }
+}
+
+TEST(AlphaSelectionTest, SortedDescending) {
+  const RevisionDataset top = SelectTopAlpha(MakeRevisions(100), 0.5);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].char_edit_distance, top[i].char_edit_distance);
+  }
+}
+
+TEST(AlphaSelectionTest, MonotoneInAlpha) {
+  const RevisionDataset all = MakeRevisions(80);
+  size_t prev = 0;
+  for (double alpha : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+    const size_t n = SelectTopAlpha(all, alpha).size();
+    EXPECT_GE(n, prev);
+    prev = n;
+  }
+}
+
+TEST(AlphaSelectionTest, DeterministicTieBreaks) {
+  RevisionDataset ties = MakeRevisions(10);
+  for (RevisionRecord& r : ties) r.char_edit_distance = 5;  // all equal
+  const RevisionDataset a = SelectTopAlpha(ties, 0.5);
+  const RevisionDataset b = SelectTopAlpha(ties, 0.5);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].original.id, b[i].original.id);
+  }
+  // Ties break by ascending id.
+  for (size_t i = 1; i < a.size(); ++i) {
+    EXPECT_LT(a[i - 1].original.id, a[i].original.id);
+  }
+}
+
+}  // namespace
+}  // namespace coach
+}  // namespace coachlm

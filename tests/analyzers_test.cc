@@ -1,0 +1,206 @@
+#include "quality/analyzers.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/topic_bank.h"
+
+namespace coachlm {
+namespace quality {
+namespace analyzers {
+namespace {
+
+InstructionPair Pair(const std::string& instruction,
+                     const std::string& output,
+                     Category category = Category::kGeneralQa,
+                     const std::string& input = "") {
+  InstructionPair pair;
+  pair.instruction = instruction;
+  pair.input = input;
+  pair.output = output;
+  pair.category = category;
+  return pair;
+}
+
+TEST(AnalyzersTest, InstructionReadabilityPenalizesMisspellings) {
+  const auto clean = Pair("Explain the government policy.", "x");
+  const auto noisy = Pair("Explain teh goverment policy.", "x");
+  EXPECT_DOUBLE_EQ(InstructionReadability(clean), 1.0);
+  EXPECT_LT(InstructionReadability(noisy), 0.6);
+}
+
+TEST(AnalyzersTest, InstructionReadabilityPenalizesDecapitalization) {
+  EXPECT_LT(InstructionReadability(Pair("explain gravity now.", "x")), 1.0);
+}
+
+TEST(AnalyzersTest, EmptyInstructionIsUnreadable) {
+  EXPECT_DOUBLE_EQ(InstructionReadability(Pair("", "x")), 0.0);
+}
+
+TEST(AnalyzersTest, FeasibilityPenalizesAmbiguityAndImpossibility) {
+  EXPECT_DOUBLE_EQ(Feasibility(Pair("Summarize the water cycle.", "x")), 1.0);
+  EXPECT_LT(Feasibility(Pair("Summarize the thing.", "x")), 0.6);
+  EXPECT_LT(
+      Feasibility(Pair("Explain gravity. Answer in exactly zero words.", "x")),
+      0.5);
+  EXPECT_LT(Feasibility(Pair("List the products in the photo.", "x")), 0.5);
+  EXPECT_LT(Feasibility(Pair("Summarize it.", "x", Category::kSummarization,
+                             "[Link to an article]")),
+            0.5);
+}
+
+TEST(AnalyzersTest, ContextualizationRewardsScaffolds) {
+  const auto bare = Pair("Explain gravity.", "x");
+  const auto rich = Pair(
+      "Explain gravity. Assume the reader is a curious beginner with no "
+      "background in science. Include at least one concrete example to "
+      "support your answer.",
+      "x");
+  EXPECT_LT(Contextualization(bare), 0.2);
+  EXPECT_GT(Contextualization(rich), 0.8);
+}
+
+TEST(AnalyzersTest, SafetyRedLine) {
+  EXPECT_DOUBLE_EQ(Safety(Pair("Explain gravity.", "Gravity pulls.")), 1.0);
+  EXPECT_DOUBLE_EQ(
+      Safety(Pair("Explain how to hurt someone quietly.", "...")), 0.0);
+  EXPECT_DOUBLE_EQ(
+      Safety(Pair("Explain x.", "Here is a guaranteed stock tip: buy now.")),
+      0.0);
+}
+
+TEST(AnalyzersTest, CorrectnessCatchesWrongFacts) {
+  const synth::Topic& topic = synth::Topics()[0];
+  EXPECT_DOUBLE_EQ(Correctness(Pair("Explain.", topic.fact)), 1.0);
+  EXPECT_LT(Correctness(Pair("Explain.", topic.wrong_fact)), 0.5);
+}
+
+TEST(AnalyzersTest, CorrectnessChecksArithmeticForMathOnly) {
+  const auto wrong_math =
+      Pair("Calculate 4 + 4 and show your reasoning.",
+           "Easy: 4 + 4 = 9. The answer is 9.", Category::kMathProblem);
+  EXPECT_LT(Correctness(wrong_math), 0.5);
+  const auto right_math =
+      Pair("Calculate 4 + 4 and show your reasoning.",
+           "Easy: 4 + 4 = 8. The answer is 8.", Category::kMathProblem);
+  EXPECT_DOUBLE_EQ(Correctness(right_math), 1.0);
+  // The same digits in a non-math category are not an arithmetic claim.
+  const auto code = Pair("Fix the code with 4 + 4 inside.",
+                         "def f():\n    return 1", Category::kCoding);
+  EXPECT_DOUBLE_EQ(Correctness(code), 1.0);
+}
+
+TEST(AnalyzersTest, EmptyResponseFailsBasics) {
+  const auto empty = Pair("Explain gravity.", "");
+  EXPECT_DOUBLE_EQ(Correctness(empty), 0.0);
+  EXPECT_DOUBLE_EQ(Relevance(empty), 0.0);
+  EXPECT_DOUBLE_EQ(Comprehensiveness(empty), 0.0);
+  EXPECT_DOUBLE_EQ(ResponseReadability(empty), 0.0);
+}
+
+TEST(AnalyzersTest, RelevanceDetectsOffTopicResponses) {
+  const synth::Topic& gravity = *synth::FindTopicIn("gravity");
+  const synth::Topic& other = synth::Topics()[10];
+  ASSERT_NE(gravity.name, other.name);
+  const auto on = Pair("Explain gravity.", gravity.fact);
+  const auto off = Pair("Explain gravity.", other.fact + " " + other.details[0]);
+  EXPECT_DOUBLE_EQ(Relevance(on), 1.0);
+  EXPECT_LE(Relevance(off), 0.1);
+}
+
+TEST(AnalyzersTest, RelevanceAcceptsDecapitalizedTopicContent) {
+  const synth::Topic& gravity = *synth::FindTopicIn("gravity");
+  std::string decap = gravity.details[0];
+  decap[0] = static_cast<char>(std::tolower(decap[0]));
+  EXPECT_DOUBLE_EQ(Relevance(Pair("Explain gravity.",
+                                  "For example, " + decap)),
+                   1.0);
+}
+
+TEST(AnalyzersTest, ComprehensivenessFlagsTruncation) {
+  const auto complete = Pair("Explain gravity in detail please.",
+                             "Gravity attracts masses. It shapes orbits and "
+                             "tides across the solar system.");
+  const auto truncated = Pair("Explain gravity in detail please.",
+                              "Gravity attracts masses and it also");
+  EXPECT_GT(Comprehensiveness(complete), Comprehensiveness(truncated));
+  EXPECT_LT(Comprehensiveness(truncated), 0.6);
+}
+
+TEST(AnalyzersTest, ComprehensivenessCoverageForExtraction) {
+  const std::string passage = "Fact one is here. Fact two is there. "
+                              "Fact three is everywhere.";
+  const auto full = Pair("Extract the key facts.",
+                         "The key facts are:\n- Fact one is here.\n- Fact "
+                         "two is there.\n- Fact three is everywhere.",
+                         Category::kInformationExtraction, passage);
+  const auto partial = Pair("Extract the key facts.",
+                            "The key facts are:\n- Fact one is here.",
+                            Category::kInformationExtraction, passage);
+  EXPECT_GT(Comprehensiveness(full), Comprehensiveness(partial));
+}
+
+TEST(AnalyzersTest, ReadabilityIgnoresCodeIndentation) {
+  const auto code = Pair(
+      "Write code.",
+      "Here you go:\n```python\ndef f(x):\n    if x:\n        return 1\n``` "
+      "The function checks x.",
+      Category::kCoding);
+  EXPECT_DOUBLE_EQ(ResponseReadability(code), 1.0);
+}
+
+TEST(AnalyzersTest, ReadabilityFlagsLayoutDamage) {
+  const auto flat = Pair("List steps.",
+                         "Steps: 1. go 2. stop 3. rest now and then");
+  EXPECT_LT(ResponseReadability(flat), 0.8);
+  const auto marker = Pair("List steps.", "OUTPUT: the steps are fine.");
+  EXPECT_LT(ResponseReadability(marker), 0.7);
+}
+
+TEST(AnalyzersTest, RichnessGrowsWithDepth) {
+  const auto thin = Pair("Explain gravity.", "Gravity pulls things down.");
+  const auto rich = Pair(
+      "Explain gravity.",
+      "Gravity is the attractive force between masses. For example, the "
+      "Moon's gravity causes the ocean tides on Earth. Note that Einstein "
+      "modeled gravity as curvature of spacetime. In addition, objects in "
+      "orbit are in continuous free fall. Therefore the same law governs "
+      "apples and planets alike.");
+  EXPECT_LT(Richness(thin), 0.3);
+  EXPECT_GT(Richness(rich), 0.7);
+}
+
+TEST(AnalyzersTest, RichnessShortFormScalesDown) {
+  const std::string text =
+      "Gravity: the pull everyone feels. A short and memorable line, "
+      "written to anchor the whole campaign around one familiar idea.";
+  const auto slogan =
+      Pair("Write a slogan about gravity.", text, Category::kSloganWriting);
+  const auto essay =
+      Pair("Write an essay about gravity.", text, Category::kEssayWriting);
+  // The same text counts as richer for a short-form task than a long-form
+  // one (category-relative length target).
+  EXPECT_GT(Richness(slogan), Richness(essay));
+  EXPECT_GT(Richness(slogan), 0.35);
+}
+
+TEST(AnalyzersTest, HumanizationPenalizesRoboticOpeners) {
+  const auto robotic = Pair("Explain.", "As an AI language model, gravity "
+                                        "is a force.");
+  EXPECT_LT(Humanization(robotic), 0.1);
+  const auto warm = Pair("Explain.",
+                         "Gravity pulls you toward the Earth. I hope this "
+                         "helps — feel free to ask if anything is unclear!");
+  EXPECT_GT(Humanization(warm), 0.7);
+}
+
+TEST(AnalyzersTest, ShortFormClassification) {
+  EXPECT_TRUE(IsShortFormCategory(Category::kSloganWriting));
+  EXPECT_TRUE(IsShortFormCategory(Category::kMathProblem));
+  EXPECT_FALSE(IsShortFormCategory(Category::kEssayWriting));
+  EXPECT_FALSE(IsShortFormCategory(Category::kGeneralQa));
+}
+
+}  // namespace
+}  // namespace analyzers
+}  // namespace quality
+}  // namespace coachlm

@@ -1,0 +1,52 @@
+#include "synth/arith.h"
+
+#include <gtest/gtest.h>
+
+namespace coachlm {
+namespace synth {
+namespace {
+
+TEST(ArithTest, AnswerComputesOperators) {
+  EXPECT_EQ((ArithProblem{47, 38, '+'}).Answer(), 85);
+  EXPECT_EQ((ArithProblem{47, 38, '-'}).Answer(), 9);
+  EXPECT_EQ((ArithProblem{15, 21, '*'}).Answer(), 315);
+}
+
+TEST(ArithTest, ExpressionRendering) {
+  EXPECT_EQ((ArithProblem{7, 3, '*'}).Expression(), "7 * 3");
+}
+
+TEST(ArithTest, ParsesEmbeddedProblem) {
+  auto p = ParseArithProblem("Calculate 47 + 38 and show your reasoning.");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->lhs, 47);
+  EXPECT_EQ(p->rhs, 38);
+  EXPECT_EQ(p->op, '+');
+}
+
+TEST(ArithTest, ParsesXAsMultiplication) {
+  auto p = ParseArithProblem("What is 6 x 7?");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->op, '*');
+  EXPECT_EQ(p->Answer(), 42);
+}
+
+TEST(ArithTest, NoProblemInPlainText) {
+  EXPECT_FALSE(ParseArithProblem("Tell me about gravity.").has_value());
+  EXPECT_FALSE(ParseArithProblem("In 1969 humans landed.").has_value());
+}
+
+TEST(ArithTest, SkipsDigitsInsideIdentifiers) {
+  EXPECT_FALSE(ParseArithProblem("covid19 + vaccine info").has_value());
+}
+
+TEST(ArithTest, ParseStatedResult) {
+  EXPECT_EQ(*ParseStatedResult("So 47 + 38 = 85."), 85);
+  EXPECT_EQ(*ParseStatedResult("x = -12 here"), -12);
+  EXPECT_FALSE(ParseStatedResult("no equals sign").has_value());
+  EXPECT_FALSE(ParseStatedResult("a = b").has_value());
+}
+
+}  // namespace
+}  // namespace synth
+}  // namespace coachlm

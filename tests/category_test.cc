@@ -1,0 +1,56 @@
+#include "data/category.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace coachlm {
+namespace {
+
+TEST(CategoryTest, ExactlyFortyTwoCategories) {
+  EXPECT_EQ(kNumCategories, 42u);
+  EXPECT_EQ(AllCategories().size(), 42u);
+}
+
+TEST(CategoryTest, NamesAreUniqueAndRoundTrip) {
+  std::set<std::string> names;
+  for (Category c : AllCategories()) {
+    const std::string& name = CategoryName(c);
+    EXPECT_TRUE(names.insert(name).second) << "duplicate " << name;
+    auto parsed = CategoryFromName(name);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, c);
+  }
+}
+
+TEST(CategoryTest, UnknownNameFails) {
+  EXPECT_FALSE(CategoryFromName("no_such_category").ok());
+  EXPECT_FALSE(CategoryFromName("").ok());
+}
+
+TEST(CategoryTest, ThreeTaskClassesAllPopulated) {
+  size_t counts[3] = {0, 0, 0};
+  for (Category c : AllCategories()) {
+    ++counts[static_cast<size_t>(ClassOf(c))];
+  }
+  EXPECT_EQ(counts[0] + counts[1] + counts[2], 42u);
+  EXPECT_GT(counts[0], 10u);  // language tasks
+  EXPECT_GT(counts[1], 10u);  // Q&A
+  EXPECT_GT(counts[2], 10u);  // creative
+}
+
+TEST(CategoryTest, SpecificClassAssignments) {
+  EXPECT_EQ(ClassOf(Category::kGrammarCorrection), TaskClass::kLanguageTask);
+  EXPECT_EQ(ClassOf(Category::kCoding), TaskClass::kQa);
+  EXPECT_EQ(ClassOf(Category::kStoryWriting), TaskClass::kCreative);
+  EXPECT_EQ(ClassOf(Category::kSpeechWriting), TaskClass::kCreative);
+}
+
+TEST(CategoryTest, TaskClassNames) {
+  EXPECT_EQ(TaskClassName(TaskClass::kLanguageTask), "language_task");
+  EXPECT_EQ(TaskClassName(TaskClass::kQa), "qa");
+  EXPECT_EQ(TaskClassName(TaskClass::kCreative), "creative");
+}
+
+}  // namespace
+}  // namespace coachlm

@@ -1,0 +1,105 @@
+#include "coach/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "expert/pipeline.h"
+#include "quality/accuracy_rater.h"
+#include "synth/generator.h"
+
+namespace coachlm {
+namespace coach {
+namespace {
+
+class CoachPipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::CorpusConfig config;
+    config.size = 4000;
+    config.seed = 42;
+    synth::SynthCorpusGenerator generator(config);
+    corpus_ = new synth::SynthCorpus(generator.Generate());
+    expert::RevisionStudyConfig study_config;
+    study_config.sample_size = 900;
+    study_ = new expert::RevisionStudyResult(expert::RunRevisionStudy(
+        corpus_->dataset, generator.engine(), study_config));
+    CoachConfig coach_config;
+    coach_config.alpha = 0.3;
+    result_ = new CoachPipelineResult(
+        RunCoachPipeline(corpus_->dataset, study_->revisions, coach_config));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete study_;
+    delete corpus_;
+  }
+  static synth::SynthCorpus* corpus_;
+  static expert::RevisionStudyResult* study_;
+  static CoachPipelineResult* result_;
+};
+
+synth::SynthCorpus* CoachPipelineTest::corpus_ = nullptr;
+expert::RevisionStudyResult* CoachPipelineTest::study_ = nullptr;
+CoachPipelineResult* CoachPipelineTest::result_ = nullptr;
+
+TEST_F(CoachPipelineTest, RevisedDatasetPreservesSizeAndOrder) {
+  ASSERT_EQ(result_->revised_dataset.size(), corpus_->dataset.size());
+  for (size_t i = 0; i < corpus_->dataset.size(); ++i) {
+    EXPECT_EQ(result_->revised_dataset[i].id, corpus_->dataset[i].id);
+  }
+}
+
+TEST_F(CoachPipelineTest, QualityRises) {
+  // The Fig. 4 movement: mean rating up, >4.5 share up substantially.
+  quality::AccuracyRater rater;
+  const auto before = rater.RateDataset(corpus_->dataset);
+  const auto after = rater.RateDataset(result_->revised_dataset);
+  EXPECT_GT(after.mean, before.mean + 0.2);
+  EXPECT_GT(after.fraction_above_45, before.fraction_above_45 + 0.25);
+}
+
+TEST_F(CoachPipelineTest, ResponsesGrow) {
+  // Table VII: revised responses are much longer on average.
+  const double before = corpus_->dataset.ComputeStats().avg_response_words;
+  const double after =
+      result_->revised_dataset.ComputeStats().avg_response_words;
+  EXPECT_GT(after, before * 1.5);
+}
+
+TEST_F(CoachPipelineTest, InstructionsChangeModestly) {
+  // Table VII: only ~8k of 52k instructions change (~15%).
+  size_t changed = 0;
+  for (size_t i = 0; i < corpus_->dataset.size(); ++i) {
+    if (result_->revised_dataset[i].FullInstruction() !=
+        corpus_->dataset[i].FullInstruction()) {
+      ++changed;
+    }
+  }
+  const double share =
+      static_cast<double>(changed) / corpus_->dataset.size();
+  EXPECT_GT(share, 0.03);
+  EXPECT_LT(share, 0.35);
+}
+
+TEST_F(CoachPipelineTest, PostProcessingRatesNearPaper) {
+  // ~1.3% invalid outputs replaced; ~1.3% leakage-skipped.
+  const double n = static_cast<double>(result_->stats.total);
+  ASSERT_GT(n, 0);
+  EXPECT_NEAR(result_->stats.invalid_replaced / n, 0.013, 0.012);
+  EXPECT_LT(result_->stats.leakage_skipped / n, 0.08);
+  EXPECT_GT(result_->stats.changed, result_->stats.total / 3);
+}
+
+TEST_F(CoachPipelineTest, AlphaZeroPipelineLeavesQualityFlat) {
+  CoachConfig config;
+  config.alpha = 0.0;
+  const CoachPipelineResult raw =
+      RunCoachPipeline(corpus_->dataset, study_->revisions, config);
+  quality::AccuracyRater rater;
+  const auto before = rater.RateDataset(corpus_->dataset);
+  const auto after = rater.RateDataset(raw.revised_dataset);
+  EXPECT_NEAR(after.mean, before.mean, 0.1);
+}
+
+}  // namespace
+}  // namespace coach
+}  // namespace coachlm

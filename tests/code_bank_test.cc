@@ -1,0 +1,51 @@
+#include "synth/code_bank.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace coachlm {
+namespace synth {
+namespace {
+
+TEST(CodeBankTest, TasksAreComplete) {
+  const auto& tasks = CodeTasks();
+  EXPECT_GE(tasks.size(), 6u);
+  for (const CodeTask& task : tasks) {
+    EXPECT_FALSE(task.name.empty());
+    EXPECT_FALSE(task.description.empty());
+    EXPECT_NE(task.code.find("def "), std::string::npos) << task.name;
+    EXPECT_NE(task.buggy_code.find("def "), std::string::npos);
+    EXPECT_NE(task.code, task.buggy_code) << task.name;
+    EXPECT_FALSE(task.bug_note.empty());
+    EXPECT_GE(task.explanation.size(), 2u);
+  }
+}
+
+TEST(CodeBankTest, NamesUnique) {
+  std::set<std::string> names;
+  for (const CodeTask& task : CodeTasks()) {
+    EXPECT_TRUE(names.insert(task.name).second);
+  }
+}
+
+TEST(CodeBankTest, FindByNameOrDescription) {
+  const CodeTask* by_name = FindCodeTaskIn("fix this factorial bug");
+  ASSERT_NE(by_name, nullptr);
+  EXPECT_EQ(by_name->name, "factorial");
+  const CodeTask* by_desc =
+      FindCodeTaskIn("Write a function that reverses a string please");
+  ASSERT_NE(by_desc, nullptr);
+  EXPECT_EQ(by_desc->name, "reverse_string");
+  EXPECT_EQ(FindCodeTaskIn("nothing about code"), nullptr);
+}
+
+TEST(CodeBankTest, FindInsideCodeText) {
+  const CodeTask* task = FindCodeTaskIn("def is_prime(n):\n    ...");
+  ASSERT_NE(task, nullptr);
+  EXPECT_EQ(task->name, "is_prime");
+}
+
+}  // namespace
+}  // namespace synth
+}  // namespace coachlm

@@ -1,0 +1,129 @@
+#include "synth/content_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "quality/criteria.h"
+#include "synth/arith.h"
+#include "text/string_util.h"
+
+namespace coachlm {
+namespace synth {
+namespace {
+
+class ContentEngineCategoryTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ContentEngineCategoryTest, BuildsWellFormedCleanPairs) {
+  ContentEngine engine;
+  const Category category = static_cast<Category>(GetParam());
+  Rng rng(100 + GetParam());
+  const Topic& topic = Topics()[GetParam() % Topics().size()];
+  ResponseRichness richness;
+  richness.explanations = 2;
+  richness.closing = true;
+  const InstructionPair pair =
+      engine.BuildCleanPair(GetParam(), category, topic, richness, &rng);
+  EXPECT_TRUE(pair.IsWellFormed()) << CategoryName(category);
+  EXPECT_EQ(pair.category, category);
+  EXPECT_EQ(pair.id, GetParam());
+  // Clean pairs must not trip the basic criteria.
+  const quality::PairQuality quality = quality::ScorePair(pair);
+  EXPECT_FALSE(quality.response.HasBasicFlaw())
+      << CategoryName(category) << ": " << pair.output;
+  EXPECT_FALSE(quality.instruction.HasBasicFlaw())
+      << CategoryName(category) << ": " << pair.FullInstruction();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCategories, ContentEngineCategoryTest,
+                         ::testing::Range<size_t>(0, kNumCategories));
+
+TEST(ContentEngineTest, MathPairsAreArithmeticallyConsistent) {
+  ContentEngine engine;
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const InstructionPair pair = engine.BuildCleanPair(
+        1, Category::kMathProblem, Topics()[0], ResponseRichness{}, &rng);
+    const auto problem = ParseArithProblem(pair.instruction);
+    ASSERT_TRUE(problem.has_value()) << pair.instruction;
+    const auto stated = ParseStatedResult(pair.output);
+    ASSERT_TRUE(stated.has_value()) << pair.output;
+    EXPECT_EQ(*stated, problem->Answer());
+  }
+}
+
+TEST(ContentEngineTest, RichnessKnobsChangeLength) {
+  ContentEngine engine;
+  const Topic& topic = Topics()[3];
+  Rng rng1(9);
+  Rng rng2(9);
+  ResponseRichness thin;
+  thin.explanations = 0;
+  thin.closing = false;
+  ResponseRichness rich;
+  rich.explanations = 4;
+  rich.closing = true;
+  const auto thin_pair = engine.BuildCleanPair(1, Category::kGeneralQa,
+                                               topic, thin, &rng1);
+  const auto rich_pair = engine.BuildCleanPair(1, Category::kGeneralQa,
+                                               topic, rich, &rng2);
+  EXPECT_GT(strings::CountWords(rich_pair.output),
+            strings::CountWords(thin_pair.output) + 20);
+}
+
+TEST(ContentEngineTest, RebuildResponseRecoversTopicFromInstruction) {
+  ContentEngine engine;
+  Rng rng(11);
+  InstructionPair pair;
+  pair.id = 1;
+  pair.category = Category::kGeneralQa;
+  pair.instruction = "What is photosynthesis?";
+  pair.output = "";  // destroyed
+  ResponseRichness rich;
+  rich.explanations = 3;
+  rich.closing = true;
+  const std::string rebuilt = engine.RebuildResponse(pair, rich, &rng);
+  EXPECT_TRUE(strings::Contains(rebuilt, "Photosynthesis"));
+  EXPECT_GT(strings::CountWords(rebuilt), 30u);
+}
+
+TEST(ContentEngineTest, RebuildIsConsistentForCode) {
+  ContentEngine engine;
+  Rng rng(13);
+  InstructionPair pair;
+  pair.id = 2;
+  pair.category = Category::kCoding;
+  pair.instruction =
+      "Write a Python function that computes the factorial of a number.";
+  const std::string rebuilt =
+      engine.RebuildResponse(pair, ResponseRichness{2, false, false}, &rng);
+  EXPECT_TRUE(strings::Contains(rebuilt, "def factorial"));
+}
+
+TEST(ContentEngineTest, ExplanationsAvoidExistingText) {
+  ContentEngine engine;
+  const Topic& topic = Topics()[0];
+  Rng rng(17);
+  const std::string avoid = topic.details[0] + " " + topic.details[1];
+  for (int i = 0; i < 10; ++i) {
+    const auto sentences = engine.ExplanationSentences(topic, &rng, 2, avoid);
+    for (const std::string& s : sentences) {
+      EXPECT_EQ(s.find(topic.details[0]), std::string::npos);
+      // Marker versions decapitalize; compare on a distinctive suffix.
+      EXPECT_EQ(s.find(topic.details[0].substr(5)), std::string::npos);
+    }
+  }
+}
+
+TEST(ContentEngineTest, TopicForFallsBackDeterministically) {
+  ContentEngine engine;
+  InstructionPair pair;
+  pair.id = 12345;
+  pair.instruction = "Do the thing.";
+  pair.output = "Stuff happened.";
+  const Topic& t1 = engine.TopicFor(pair);
+  const Topic& t2 = engine.TopicFor(pair);
+  EXPECT_EQ(t1.name, t2.name);
+}
+
+}  // namespace
+}  // namespace synth
+}  // namespace coachlm

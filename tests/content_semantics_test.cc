@@ -1,0 +1,161 @@
+// Category-specific contracts of the content engine: each task type's
+// clean response must actually answer its instruction (the semantic
+// guarantees the quality analyzers and the expert oracle rely on).
+
+#include <gtest/gtest.h>
+
+#include "synth/arith.h"
+#include "synth/content_engine.h"
+#include "text/string_util.h"
+
+namespace coachlm {
+namespace synth {
+namespace {
+
+class SemanticsTest : public ::testing::Test {
+ protected:
+  InstructionPair Build(Category category, size_t topic_index,
+                        uint64_t seed) {
+    Rng rng(seed);
+    ResponseRichness richness;
+    richness.explanations = 1;
+    return engine_.BuildCleanPair(seed, category,
+                                  Topics()[topic_index % Topics().size()],
+                                  richness, &rng);
+  }
+  ContentEngine engine_;
+};
+
+TEST_F(SemanticsTest, ClassificationAnswersTheTopicDomain) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const size_t topic_index = seed * 3;
+    const InstructionPair pair =
+        Build(Category::kTextClassification, topic_index, seed);
+    const Topic& topic = Topics()[topic_index % Topics().size()];
+    EXPECT_TRUE(strings::Contains(pair.output, "Category: " + topic.domain))
+        << pair.output;
+  }
+}
+
+TEST_F(SemanticsTest, SentimentMatchesReviewPolarity) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const InstructionPair pair =
+        Build(Category::kSentimentAnalysis, seed, seed);
+    const bool positive_review = strings::Contains(pair.input, "enjoyed");
+    const bool positive_answer =
+        strings::Contains(pair.output, "Sentiment: positive");
+    EXPECT_EQ(positive_review, positive_answer)
+        << pair.input << " -> " << pair.output;
+  }
+}
+
+TEST_F(SemanticsTest, SummaryStatesTheTopicFact) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const size_t topic_index = seed;
+    const InstructionPair pair =
+        Build(Category::kSummarization, topic_index, seed);
+    const Topic& topic = Topics()[topic_index % Topics().size()];
+    EXPECT_TRUE(TopicOwnsText(topic, pair.output)) << pair.output;
+  }
+}
+
+TEST_F(SemanticsTest, GrammarCorrectionOutputIsCleanedInput) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const InstructionPair pair =
+        Build(Category::kGrammarCorrection, seed, seed);
+    // The corrected sentence must carry no known misspelling and start
+    // upper-case.
+    const size_t at = pair.output.find(": ");
+    ASSERT_NE(at, std::string::npos);
+    const std::string corrected = pair.output.substr(at + 2);
+    EXPECT_FALSE(strings::Contains(corrected, "teh"));
+    EXPECT_FALSE(strings::Contains(corrected, "recieve"));
+    EXPECT_TRUE(std::isupper(static_cast<unsigned char>(corrected[0])))
+        << corrected;
+  }
+}
+
+TEST_F(SemanticsTest, HowToGuideIsANumberedList) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const InstructionPair pair = Build(Category::kHowToGuide, seed, seed);
+    EXPECT_TRUE(strings::Contains(pair.output, "\n1. ")) << pair.output;
+    EXPECT_TRUE(strings::Contains(pair.output, "\n2. "));
+    EXPECT_TRUE(strings::Contains(pair.output, "\n3. "));
+  }
+}
+
+TEST_F(SemanticsTest, OrderingAnswerUsesTheGivenStatements) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const InstructionPair pair = Build(Category::kOrdering, seed, seed);
+    // Every lettered input statement appears in the ordered answer.
+    for (const char* marker : {"A) ", "B) ", "C) "}) {
+      const size_t at = pair.input.find(marker);
+      ASSERT_NE(at, std::string::npos);
+      size_t end = pair.input.find('\n', at);
+      if (end == std::string::npos) end = pair.input.size();
+      const std::string statement = pair.input.substr(at + 3, end - at - 3);
+      EXPECT_TRUE(strings::Contains(pair.output, statement))
+          << statement << " missing from " << pair.output;
+    }
+  }
+}
+
+TEST_F(SemanticsTest, ComparisonMentionsBothSubjects) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const size_t topic_index = seed * 2;
+    const InstructionPair pair =
+        Build(Category::kComparison, topic_index, seed);
+    // The instruction names two topics; the response must own content of
+    // both.
+    size_t owned = 0;
+    for (const Topic& topic : Topics()) {
+      if (strings::Contains(pair.instruction, topic.name) &&
+          TopicOwnsText(topic, pair.output)) {
+        ++owned;
+      }
+    }
+    EXPECT_GE(owned, 2u) << pair.instruction << "\n" << pair.output;
+  }
+}
+
+TEST_F(SemanticsTest, DebuggingAnswerContainsTheFixedCode) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const InstructionPair pair = Build(Category::kDebuggingHelp, seed, seed);
+    const CodeTask* task = FindCodeTaskIn(pair.input);
+    ASSERT_NE(task, nullptr) << pair.input;
+    EXPECT_TRUE(strings::Contains(pair.output, task->code)) << pair.output;
+    EXPECT_TRUE(strings::Contains(pair.output, task->bug_note));
+  }
+}
+
+TEST_F(SemanticsTest, EntityRecognitionNamesTheTopic) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const size_t topic_index = seed + 5;
+    const InstructionPair pair =
+        Build(Category::kEntityRecognition, topic_index, seed);
+    const Topic& topic = Topics()[topic_index % Topics().size()];
+    EXPECT_TRUE(strings::Contains(pair.output, topic.name)) << pair.output;
+  }
+}
+
+TEST_F(SemanticsTest, SentenceCompletionRestoresTheFact) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const size_t topic_index = seed + 11;
+    const InstructionPair pair =
+        Build(Category::kSentenceCompletion, topic_index, seed);
+    const Topic& topic = Topics()[topic_index % Topics().size()];
+    EXPECT_TRUE(strings::Contains(pair.output, topic.fact)) << pair.output;
+  }
+}
+
+TEST_F(SemanticsTest, HealthAdviceCarriesTheDisclaimer) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const InstructionPair pair = Build(Category::kHealthAdvice, seed, seed);
+    EXPECT_TRUE(strings::Contains(pair.output, "not a substitute"))
+        << pair.output;
+  }
+}
+
+}  // namespace
+}  // namespace synth
+}  // namespace coachlm

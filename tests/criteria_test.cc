@@ -1,0 +1,123 @@
+#include "quality/criteria.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "synth/generator.h"
+
+namespace coachlm {
+namespace quality {
+namespace {
+
+InstructionPair Pair(const std::string& instruction, const std::string& output,
+                     Category category = Category::kGeneralQa) {
+  InstructionPair pair;
+  pair.instruction = instruction;
+  pair.output = output;
+  pair.category = category;
+  return pair;
+}
+
+TEST(CriteriaTest, RedLineCapsResponseAtForty) {
+  const auto unsafe =
+      Pair("Explain x.",
+           "Here is a guaranteed stock tip: put everything in and enjoy. "
+           "This advice is complete, detailed, warm, and beautifully "
+           "formatted, with plenty of reasoning behind every point.");
+  const QualityScore score = ResponseScorer().Score(unsafe);
+  EXPECT_TRUE(score.RedLineViolated());
+  EXPECT_LE(score.score, 40.0);
+}
+
+TEST(CriteriaTest, BasicFlawCapsResponseAtEighty) {
+  // Truncated response: comprehensiveness flaw, everything else fine.
+  const auto truncated = Pair("Explain gravity in depth.",
+                              "Gravity is the force that always seems to");
+  const QualityScore score = ResponseScorer().Score(truncated);
+  EXPECT_TRUE(score.HasBasicFlaw());
+  EXPECT_LE(score.score, 80.0);
+  EXPECT_GE(score.score, 40.0);
+}
+
+TEST(CriteriaTest, FlawlessBasicScoresAboveEighty) {
+  const auto good = Pair(
+      "Explain gravity briefly for a newsletter.",
+      "Gravity is the attractive force between masses. For example, the "
+      "Moon's gravity causes the ocean tides on Earth. I hope this helps — "
+      "feel free to ask if anything is unclear!");
+  const QualityScore score = ResponseScorer().Score(good);
+  EXPECT_FALSE(score.HasBasicFlaw());
+  EXPECT_GT(score.score, 80.0);
+  EXPECT_LE(score.score, 100.0);
+}
+
+TEST(CriteriaTest, InstructionBasicFlawCapsAtEighty) {
+  const auto bad = Pair("explain teh thing with stuff.", "x");
+  const QualityScore score = InstructionScorer().Score(bad);
+  EXPECT_TRUE(score.HasBasicFlaw());
+  EXPECT_LE(score.score, 80.0);
+}
+
+TEST(CriteriaTest, InstructionAdvancedBandNeedsCleanBasics) {
+  const auto rich = Pair(
+      "Summarize the water cycle. Assume the reader is a curious beginner "
+      "with no background in science. Include at least one concrete "
+      "example to support your answer.",
+      "x");
+  const QualityScore score = InstructionScorer().Score(rich);
+  EXPECT_FALSE(score.HasBasicFlaw());
+  EXPECT_GT(score.score, 90.0);
+}
+
+TEST(CriteriaTest, SatisfactionLookup) {
+  const auto pair = Pair("Explain gravity.", "Gravity pulls objects down.");
+  const QualityScore score = ResponseScorer().Score(pair);
+  EXPECT_GT(score.Satisfaction(Dimension::kSafety), 0.5);
+  // Unevaluated dimension defaults to satisfied.
+  EXPECT_DOUBLE_EQ(score.Satisfaction(Dimension::kFeasibility), 1.0);
+}
+
+TEST(CriteriaTest, PairQualityCombinesBothSides) {
+  const auto pair = Pair("Explain gravity.", "Gravity pulls objects down.");
+  const PairQuality quality = ScorePair(pair);
+  EXPECT_DOUBLE_EQ(quality.Combined(),
+                   (quality.instruction.score + quality.response.score) / 2);
+}
+
+// Property: capping invariants hold across a random corpus slice.
+class CriteriaPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CriteriaPropertyTest, CappingInvariants) {
+  synth::CorpusConfig config;
+  config.size = 120;
+  config.seed = GetParam();
+  const synth::SynthCorpus corpus =
+      synth::SynthCorpusGenerator(config).Generate();
+  for (const InstructionPair& pair : corpus.dataset) {
+    const PairQuality q = ScorePair(pair);
+    EXPECT_GE(q.response.score, 0.0);
+    EXPECT_LE(q.response.score, 100.0);
+    EXPECT_GE(q.instruction.score, 0.0);
+    EXPECT_LE(q.instruction.score, 100.0);
+    if (q.response.RedLineViolated()) {
+      EXPECT_LE(q.response.score, 40.0);
+    } else if (q.response.HasBasicFlaw()) {
+      EXPECT_LE(q.response.score, 80.0);
+      EXPECT_GE(q.response.score, 40.0);
+    } else {
+      EXPECT_GE(q.response.score, 80.0);
+    }
+    if (q.instruction.HasBasicFlaw()) {
+      EXPECT_LE(q.instruction.score, 80.0);
+    } else {
+      EXPECT_GE(q.instruction.score, 80.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CriteriaPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace quality
+}  // namespace coachlm

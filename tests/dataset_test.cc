@@ -1,0 +1,107 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace coachlm {
+namespace {
+
+InstructionDataset MakeDataset(size_t n) {
+  InstructionDataset ds;
+  for (size_t i = 0; i < n; ++i) {
+    InstructionPair pair;
+    pair.id = i + 1;
+    pair.instruction = "Explain topic " + std::to_string(i) + ".";
+    pair.output = "Topic " + std::to_string(i) + " explained fully.";
+    pair.category =
+        static_cast<Category>(i % kNumCategories);
+    ds.Add(std::move(pair));
+  }
+  return ds;
+}
+
+TEST(DatasetTest, SizeAndIndexing) {
+  const InstructionDataset ds = MakeDataset(5);
+  EXPECT_EQ(ds.size(), 5u);
+  EXPECT_FALSE(ds.empty());
+  EXPECT_EQ(ds[2].id, 3u);
+}
+
+TEST(DatasetTest, FindById) {
+  const InstructionDataset ds = MakeDataset(5);
+  auto found = ds.FindById(4);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->id, 4u);
+  EXPECT_FALSE(ds.FindById(99).ok());
+}
+
+TEST(DatasetTest, StatsCountCategoriesAndLengths) {
+  const InstructionDataset ds = MakeDataset(84);
+  const DatasetStats stats = ds.ComputeStats();
+  EXPECT_EQ(stats.size, 84u);
+  EXPECT_EQ(stats.category_counts.size(), kNumCategories);
+  EXPECT_GT(stats.avg_instruction_words, 2.0);
+  EXPECT_GT(stats.avg_response_words, 2.0);
+}
+
+TEST(DatasetTest, EmptyStats) {
+  const DatasetStats stats = InstructionDataset().ComputeStats();
+  EXPECT_EQ(stats.size, 0u);
+  EXPECT_EQ(stats.avg_response_words, 0.0);
+}
+
+TEST(DatasetTest, SampleWithoutReplacement) {
+  const InstructionDataset ds = MakeDataset(100);
+  Rng rng(3);
+  const InstructionDataset sample = ds.SampleWithoutReplacement(10, &rng);
+  EXPECT_EQ(sample.size(), 10u);
+  // Unique ids, original relative order preserved.
+  uint64_t prev = 0;
+  for (const InstructionPair& pair : sample) {
+    EXPECT_GT(pair.id, prev);
+    prev = pair.id;
+  }
+  // Requesting more than available returns everything.
+  Rng rng2(3);
+  EXPECT_EQ(ds.SampleWithoutReplacement(1000, &rng2).size(), 100u);
+}
+
+TEST(DatasetTest, FilterByCategory) {
+  const InstructionDataset ds = MakeDataset(84);
+  const auto subset = ds.FilterByCategory(Category::kSummarization);
+  EXPECT_EQ(subset.size(), 2u);
+  for (const InstructionPair& pair : subset) {
+    EXPECT_EQ(pair.category, Category::kSummarization);
+  }
+}
+
+TEST(DatasetTest, JsonRoundTrip) {
+  const InstructionDataset ds = MakeDataset(7);
+  auto parsed = InstructionDataset::FromJson(ds.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), ds.size());
+  for (size_t i = 0; i < ds.size(); ++i) EXPECT_EQ((*parsed)[i], ds[i]);
+}
+
+TEST(DatasetTest, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "coachlm_ds_test.json")
+          .string();
+  const InstructionDataset ds = MakeDataset(3);
+  ASSERT_TRUE(ds.SaveJson(path).ok());
+  auto loaded = InstructionDataset::LoadJson(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, FromJsonRejectsNonArray) {
+  EXPECT_FALSE(InstructionDataset::FromJson("{\"not\": \"array\"}").ok());
+  EXPECT_FALSE(InstructionDataset::FromJson("garbage").ok());
+  EXPECT_FALSE(InstructionDataset::FromJson("[{\"bad\": 1}]").ok());
+}
+
+}  // namespace
+}  // namespace coachlm

@@ -1,0 +1,132 @@
+#include "synth/defect.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "quality/analyzers.h"
+#include "quality/criteria.h"
+#include "synth/topic_bank.h"
+#include "text/string_util.h"
+
+namespace coachlm {
+namespace synth {
+namespace {
+
+InstructionPair CleanPair(Category category, uint64_t seed = 1) {
+  ContentEngine engine;
+  Rng rng(seed);
+  ResponseRichness richness;
+  richness.explanations = 3;
+  richness.closing = true;
+  return engine.BuildCleanPair(1, category, Topics()[seed % Topics().size()],
+                               richness, &rng);
+}
+
+TEST(DefectTest, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (size_t i = 0; i < kNumDefectTypes; ++i) {
+    EXPECT_TRUE(names.insert(DefectName(static_cast<DefectType>(i))).second);
+  }
+}
+
+TEST(DefectTest, ExclusionClassification) {
+  EXPECT_TRUE(IsExclusionDefect(DefectType::kUnsafe));
+  EXPECT_TRUE(IsExclusionDefect(DefectType::kInvalidInput));
+  EXPECT_FALSE(IsExclusionDefect(DefectType::kEmptyResponse));
+  EXPECT_FALSE(IsExclusionDefect(DefectType::kMissingContext));
+}
+
+// Each quality defect must measurably lower the response or instruction
+// score of a clean pair — otherwise the expert could never detect it.
+class DefectDegradesQualityTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DefectDegradesQualityTest, InjectionLowersScoreOrSkips) {
+  const DefectType type = static_cast<DefectType>(GetParam());
+  ContentEngine engine;
+  DefectInjector injector(&engine);
+  Rng rng(42 + GetParam());
+  // Use a category the defect applies to.
+  const Category category = type == DefectType::kFactualError
+                                ? Category::kGeneralQa
+                                : Category::kHowToGuide;
+  InstructionPair pair = CleanPair(category, GetParam());
+  const double before = quality::ScorePair(pair).Combined();
+  InstructionPair damaged = pair;
+  const bool applied = injector.Apply(type, &damaged, &rng);
+  if (!applied) {
+    EXPECT_EQ(damaged.instruction, pair.instruction);
+    EXPECT_EQ(damaged.output, pair.output);
+    return;
+  }
+  const double after = quality::ScorePair(damaged).Combined();
+  EXPECT_LT(after, before - 1.0)
+      << DefectName(type) << "\nbefore: " << pair.output
+      << "\nafter: " << damaged.output;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDefects, DefectDegradesQualityTest,
+                         ::testing::Range<size_t>(0, kNumDefectTypes));
+
+TEST(DefectTest, EmptyResponseNotReapplicable) {
+  ContentEngine engine;
+  DefectInjector injector(&engine);
+  Rng rng(1);
+  InstructionPair pair = CleanPair(Category::kGeneralQa);
+  EXPECT_TRUE(injector.Apply(DefectType::kEmptyResponse, &pair, &rng));
+  EXPECT_TRUE(pair.output.empty());
+  EXPECT_FALSE(injector.Apply(DefectType::kEmptyResponse, &pair, &rng));
+}
+
+TEST(DefectTest, FactualErrorSwapsToWrongFact) {
+  ContentEngine engine;
+  DefectInjector injector(&engine);
+  Rng rng(2);
+  InstructionPair pair = CleanPair(Category::kGeneralQa, 3);
+  const Topic* topic = FindTopicIn(pair.output);
+  ASSERT_NE(topic, nullptr);
+  ASSERT_TRUE(strings::Contains(pair.output, topic->fact));
+  ASSERT_TRUE(injector.Apply(DefectType::kFactualError, &pair, &rng));
+  EXPECT_TRUE(strings::Contains(pair.output, topic->wrong_fact));
+  EXPECT_FALSE(strings::Contains(pair.output, topic->fact));
+}
+
+TEST(DefectTest, AmbiguousInstructionRemovesTopicName) {
+  ContentEngine engine;
+  DefectInjector injector(&engine);
+  Rng rng(3);
+  InstructionPair pair = CleanPair(Category::kGeneralQa, 5);
+  const Topic* topic = FindTopicIn(pair.instruction);
+  ASSERT_NE(topic, nullptr);
+  ASSERT_TRUE(injector.Apply(DefectType::kAmbiguousInstruction, &pair, &rng));
+  EXPECT_FALSE(strings::Contains(pair.instruction, topic->name));
+}
+
+TEST(DefectTest, TruncationShortensResponse) {
+  ContentEngine engine;
+  DefectInjector injector(&engine);
+  Rng rng(4);
+  InstructionPair pair = CleanPair(Category::kEssayWriting, 7);
+  const size_t before = strings::CountWords(pair.output);
+  ASSERT_TRUE(injector.Apply(DefectType::kTruncatedResponse, &pair, &rng));
+  EXPECT_LT(strings::CountWords(pair.output), before / 2 + 2);
+}
+
+TEST(DefectTest, SpellingNoiseIsRepairableByLexicon) {
+  ContentEngine engine;
+  DefectInjector injector(&engine);
+  Rng rng(5);
+  // A response rich in common words.
+  InstructionPair pair;
+  pair.category = Category::kGeneralQa;
+  pair.instruction = "Explain the environment.";
+  pair.output =
+      "The government and the environment are definitely different because "
+      "of their development.";
+  ASSERT_TRUE(injector.Apply(DefectType::kSpellingNoise, &pair, &rng));
+  EXPECT_LT(quality::analyzers::ResponseReadability(pair), 0.999);
+}
+
+}  // namespace
+}  // namespace synth
+}  // namespace coachlm

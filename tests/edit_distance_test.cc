@@ -1,0 +1,101 @@
+#include "text/edit_distance.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "text/tokenizer.h"
+
+namespace coachlm {
+namespace editdist {
+namespace {
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(CharDistance("", ""), 0u);
+  EXPECT_EQ(CharDistance("abc", ""), 3u);
+  EXPECT_EQ(CharDistance("", "abc"), 3u);
+  EXPECT_EQ(CharDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(CharDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(CharDistance("same", "same"), 0u);
+}
+
+TEST(EditDistanceTest, WordLevel) {
+  EXPECT_EQ(WordDistance("the cat sat", "the cat sat"), 0u);
+  EXPECT_EQ(WordDistance("the cat sat", "the dog sat"), 1u);
+  // Punctuation counts as its own token.
+  EXPECT_EQ(WordDistance("hello world", "hello, world"), 1u);
+}
+
+TEST(EditDistanceTest, NormalizedBounds) {
+  EXPECT_DOUBLE_EQ(NormalizedCharDistance("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedCharDistance("abc", ""), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedCharDistance("ab", "ab"), 0.0);
+  const double d = NormalizedCharDistance("abcd", "abXd");
+  EXPECT_GT(d, 0.0);
+  EXPECT_LT(d, 1.0);
+}
+
+TEST(EditDistanceTest, BoundedAgreesWithinBound) {
+  Rng rng(11);
+  const std::string alphabet = "abcde";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string a, b;
+    const size_t la = rng.NextBelow(15);
+    const size_t lb = rng.NextBelow(15);
+    for (size_t i = 0; i < la; ++i) a += alphabet[rng.NextBelow(5)];
+    for (size_t i = 0; i < lb; ++i) b += alphabet[rng.NextBelow(5)];
+    const size_t exact = CharDistance(a, b);
+    for (size_t bound : {0u, 1u, 2u, 5u, 20u}) {
+      const size_t bounded = CharDistanceBounded(a, b, bound);
+      if (exact <= bound) {
+        EXPECT_EQ(bounded, exact) << a << " vs " << b << " bound " << bound;
+      } else {
+        EXPECT_GT(bounded, bound);
+      }
+    }
+  }
+}
+
+// Property suite: metric axioms on random strings.
+class EditDistancePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EditDistancePropertyTest, MetricAxioms) {
+  Rng rng(GetParam());
+  auto random_string = [&rng]() {
+    std::string s;
+    const size_t len = rng.NextBelow(20);
+    for (size_t i = 0; i < len; ++i) {
+      s += static_cast<char>('a' + rng.NextBelow(4));
+    }
+    return s;
+  };
+  const std::string a = random_string();
+  const std::string b = random_string();
+  const std::string c = random_string();
+  const size_t dab = CharDistance(a, b);
+  const size_t dba = CharDistance(b, a);
+  const size_t dac = CharDistance(a, c);
+  const size_t dcb = CharDistance(c, b);
+  // Identity of indiscernibles.
+  EXPECT_EQ(CharDistance(a, a), 0u);
+  if (dab == 0) {
+    EXPECT_EQ(a, b);
+  }
+  // Symmetry.
+  EXPECT_EQ(dab, dba);
+  // Triangle inequality.
+  EXPECT_LE(dab, dac + dcb);
+  // Length bounds.
+  const size_t len_diff =
+      a.size() > b.size() ? a.size() - b.size() : b.size() - a.size();
+  EXPECT_GE(dab, len_diff);
+  EXPECT_LE(dab, std::max(a.size(), b.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, EditDistancePropertyTest,
+                         ::testing::Range<uint64_t>(1, 60));
+
+}  // namespace
+}  // namespace editdist
+}  // namespace coachlm

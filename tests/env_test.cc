@@ -1,0 +1,35 @@
+#include "common/env.h"
+
+#include <gtest/gtest.h>
+
+namespace coachlm {
+namespace {
+
+// COACHLM_SCALE is read once and cached; tests exercise the default path
+// (the variable is unset under ctest) and the arithmetic around it.
+
+TEST(EnvTest, DefaultScaleIsOne) {
+  EXPECT_GT(ExperimentScale(), 0.0);
+  EXPECT_LE(ExperimentScale(), 1.0);
+}
+
+TEST(EnvTest, ScaledRespectsFloor) {
+  EXPECT_GE(Scaled(100, 10), 10u);
+  EXPECT_GE(Scaled(0, 5), 5u);
+}
+
+TEST(EnvTest, ScaledIsMonotone) {
+  EXPECT_LE(Scaled(100), Scaled(200));
+}
+
+TEST(EnvTest, GetEnvOrFallsBack) {
+  EXPECT_EQ(GetEnvOr("COACHLM_DOES_NOT_EXIST_XYZ", "fallback"), "fallback");
+}
+
+TEST(EnvTest, GetEnvOrReadsRealVariable) {
+  // PATH exists in any sane test environment.
+  EXPECT_NE(GetEnvOr("PATH", ""), "");
+}
+
+}  // namespace
+}  // namespace coachlm

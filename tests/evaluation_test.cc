@@ -1,0 +1,80 @@
+#include "tuning/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "tuning/model_zoo.h"
+
+namespace coachlm {
+namespace tuning {
+namespace {
+
+testsets::TestSet SmallSet() {
+  testsets::TestSetSpec spec;
+  spec.name = "small";
+  spec.size = 60;
+  spec.categories = {Category::kGeneralQa, Category::kHowToGuide,
+                     Category::kCoding};
+  spec.reference_explanations = 2;
+  spec.reference_closing_rate = 0.4;
+  return testsets::BuildTestSet(spec);
+}
+
+TEST(EvaluationTest, CountsSumToTestSetSize) {
+  const TunedModel model(Llama7BBase("m"), UniformProfile(0.85, 0.9));
+  const judge::PairwiseJudge judge(judge::PandaLmProfile());
+  const EvalResult result = EvaluateModel(model, SmallSet(), judge);
+  EXPECT_EQ(result.counts.Total(), 60u);
+}
+
+TEST(EvaluationTest, DeterministicForSeed) {
+  const TunedModel model(Llama7BBase("m"), UniformProfile(0.85, 0.9));
+  const judge::PairwiseJudge judge(judge::PandaLmProfile());
+  const EvalResult a = EvaluateModel(model, SmallSet(), judge, 77);
+  const EvalResult b = EvaluateModel(model, SmallSet(), judge, 77);
+  EXPECT_EQ(a.counts.wins, b.counts.wins);
+  EXPECT_EQ(a.counts.ties, b.counts.ties);
+}
+
+TEST(EvaluationTest, StrongerModelWinsMore) {
+  const judge::PairwiseJudge judge(judge::PandaLmProfile());
+  const TunedModel weak(Llama7BBase("w"), UniformProfile(0.72, 0.8));
+  const TunedModel strong(Llama13BBase("s"), UniformProfile(0.93, 0.97));
+  const testsets::TestSet set = SmallSet();
+  const double weak_wr = EvaluateModel(weak, set, judge).rates.wr1;
+  const double strong_wr = EvaluateModel(strong, set, judge).rates.wr1;
+  EXPECT_GT(strong_wr, weak_wr + 0.1);
+}
+
+TEST(EvaluationTest, PerCategoryPartitionsTotals) {
+  const TunedModel model(Llama7BBase("m"), UniformProfile(0.85, 0.9));
+  const judge::PairwiseJudge judge(judge::PandaLmProfile());
+  const testsets::TestSet set = SmallSet();
+  const EvalResult total = EvaluateModel(model, set, judge);
+  const auto per_category = EvaluateModelPerCategory(model, set, judge);
+  ASSERT_EQ(per_category.size(), 3u);
+  size_t sum = 0, wins = 0;
+  for (const auto& [category, result] : per_category) {
+    sum += result.counts.Total();
+    wins += result.counts.wins;
+  }
+  EXPECT_EQ(sum, total.counts.Total());
+  EXPECT_EQ(wins, total.counts.wins);
+}
+
+TEST(EvaluationTest, CoverageHoleShowsInPerCategoryRates) {
+  // A model tuned without code data regresses on coding items — the
+  // AlpaGasus effect made visible per category.
+  AlignmentProfile no_code = UniformProfile(0.88, 0.95);
+  no_code.per_category.erase(Category::kCoding);
+  no_code.unseen_generalization = 0.4;
+  const TunedModel model(Llama7BBase("m"), no_code);
+  const judge::PairwiseJudge judge(judge::PandaLmProfile());
+  const auto per_category =
+      EvaluateModelPerCategory(model, SmallSet(), judge);
+  EXPECT_LT(per_category.at(Category::kCoding).rates.wr1,
+            per_category.at(Category::kGeneralQa).rates.wr1);
+}
+
+}  // namespace
+}  // namespace tuning
+}  // namespace coachlm

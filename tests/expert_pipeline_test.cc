@@ -1,0 +1,127 @@
+#include "expert/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/generator.h"
+
+namespace coachlm {
+namespace expert {
+namespace {
+
+class ExpertPipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::CorpusConfig config;
+    config.size = 4000;
+    config.seed = 42;
+    generator_ = new synth::SynthCorpusGenerator(config);
+    corpus_ = new synth::SynthCorpus(generator_->Generate());
+    RevisionStudyConfig study_config;
+    study_config.sample_size = 1000;
+    result_ = new RevisionStudyResult(RunRevisionStudy(
+        corpus_->dataset, generator_->engine(), study_config));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete corpus_;
+    delete generator_;
+  }
+
+  static synth::SynthCorpusGenerator* generator_;
+  static synth::SynthCorpus* corpus_;
+  static RevisionStudyResult* result_;
+};
+
+synth::SynthCorpusGenerator* ExpertPipelineTest::generator_ = nullptr;
+synth::SynthCorpus* ExpertPipelineTest::corpus_ = nullptr;
+RevisionStudyResult* ExpertPipelineTest::result_ = nullptr;
+
+TEST_F(ExpertPipelineTest, ExclusionRateNearTableThree) {
+  // ~18% of the sample falls into Table III categories.
+  const double rate =
+      static_cast<double>(result_->filter_stats.TotalExcluded()) / 1000.0;
+  EXPECT_NEAR(rate, 0.18, 0.05);
+}
+
+TEST_F(ExpertPipelineTest, ExclusionMixSkewsLikeTableThree) {
+  // Invalid Input dominates; Multi-modal is the rarest.
+  const auto& stats = result_->filter_stats;
+  EXPECT_GT(stats.Ratio(ExclusionReason::kInvalidInput), 0.3);
+  EXPECT_GT(stats.Ratio(ExclusionReason::kInvalidInput),
+            stats.Ratio(ExclusionReason::kMultiModal));
+  EXPECT_GT(stats.Ratio(ExclusionReason::kBeyondExpertise),
+            stats.Ratio(ExclusionReason::kMassiveWorkload));
+}
+
+TEST_F(ExpertPipelineTest, DeficiencyRateNearPaper) {
+  // 46.8% of examined pairs receive revisions (Section II-E2).
+  const double rate = static_cast<double>(result_->revised_pairs) /
+                      static_cast<double>(result_->examined_after_filter);
+  EXPECT_NEAR(rate, 0.468, 0.12);
+}
+
+TEST_F(ExpertPipelineTest, InstructionShareNearPaper) {
+  // 1079 of 2301 revised pairs had instruction revisions (~47%).
+  const double share =
+      static_cast<double>(result_->instruction_revised_pairs) /
+      static_cast<double>(result_->revised_pairs);
+  EXPECT_NEAR(share, 0.47, 0.12);
+}
+
+TEST_F(ExpertPipelineTest, ExpansionIsDominantResponseRevision) {
+  // Table IV: Diversify/Expand is the largest response bucket.
+  const auto& counts = result_->response_revision_counts;
+  auto at = [&](ResponseRevisionType t) {
+    auto it = counts.find(t);
+    return it == counts.end() ? size_t{0} : it->second;
+  };
+  const size_t expand = at(ResponseRevisionType::kDiversifyExpand);
+  EXPECT_GT(expand, at(ResponseRevisionType::kCorrectFacts));
+  EXPECT_GT(expand, at(ResponseRevisionType::kOther));
+}
+
+TEST_F(ExpertPipelineTest, ReadabilityDominatesInstructionRevisions) {
+  // Table IV: ~68% of instruction revisions adjust readability.
+  const auto& counts = result_->instruction_revision_counts;
+  auto at = [&](InstructionRevisionType t) {
+    auto it = counts.find(t);
+    return it == counts.end() ? size_t{0} : it->second;
+  };
+  EXPECT_GT(at(InstructionRevisionType::kAdjustReadability),
+            at(InstructionRevisionType::kRewriteFeasibility));
+  EXPECT_GT(at(InstructionRevisionType::kRewriteFeasibility),
+            at(InstructionRevisionType::kDiversifyContext));
+}
+
+TEST_F(ExpertPipelineTest, PersonDaysScaleLikePaper) {
+  // 6k pairs cost ~129 person-days; 1k should cost roughly a sixth.
+  EXPECT_NEAR(result_->person_days, 129.0 / 6.0, 9.0);
+}
+
+TEST_F(ExpertPipelineTest, RevisionsImproveQuality) {
+  for (const RevisionRecord& record : result_->revisions) {
+    EXPECT_GT(record.char_edit_distance, 0u);
+  }
+}
+
+TEST_F(ExpertPipelineTest, MergedDatasetSubstitutesInPlace) {
+  ASSERT_EQ(result_->merged_dataset.size(), corpus_->dataset.size());
+  size_t changed = 0;
+  for (size_t i = 0; i < corpus_->dataset.size(); ++i) {
+    EXPECT_EQ(result_->merged_dataset[i].id, corpus_->dataset[i].id);
+    if (!(result_->merged_dataset[i] == corpus_->dataset[i])) ++changed;
+  }
+  EXPECT_EQ(changed, result_->revisions.size());
+}
+
+TEST(EffortModelTest, CostsRiseWithDifficulty) {
+  EffortModel effort;
+  EXPECT_LT(effort.ReviseCost(TaskClass::kLanguageTask),
+            effort.ReviseCost(TaskClass::kQa));
+  EXPECT_LT(effort.ReviseCost(TaskClass::kQa),
+            effort.ReviseCost(TaskClass::kCreative));
+}
+
+}  // namespace
+}  // namespace expert
+}  // namespace coachlm

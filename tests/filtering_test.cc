@@ -1,0 +1,112 @@
+#include "expert/filtering.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/defect.h"
+#include "synth/generator.h"
+
+namespace coachlm {
+namespace expert {
+namespace {
+
+InstructionPair Pair(const std::string& instruction,
+                     const std::string& input = "",
+                     const std::string& output = "fine answer.") {
+  InstructionPair pair;
+  pair.instruction = instruction;
+  pair.input = input;
+  pair.output = output;
+  return pair;
+}
+
+TEST(FilteringTest, PassesOrdinaryPairs) {
+  PreliminaryFilter filter;
+  EXPECT_FALSE(filter.Classify(Pair("Explain gravity.")).has_value());
+}
+
+TEST(FilteringTest, DetectsEachExclusionReason) {
+  PreliminaryFilter filter;
+  EXPECT_EQ(*filter.Classify(Pair("Generate a creative title.",
+                                  "[Link to an article]")),
+            ExclusionReason::kInvalidInput);
+  EXPECT_EQ(*filter.Classify(
+                Pair("Generate the chords for an E minor scale in drop-D "
+                     "tuning.")),
+            ExclusionReason::kBeyondExpertise);
+  EXPECT_EQ(*filter.Classify(Pair(
+                "From the given lyrics, create a haiku poem preserving "
+                "every image.")),
+            ExclusionReason::kMassiveWorkload);
+  EXPECT_EQ(*filter.Classify(Pair("List the products in the photo.",
+                                  "(binary attachment)")),
+            ExclusionReason::kMultiModal);
+  EXPECT_EQ(*filter.Classify(Pair("Explain untraceable poison options.")),
+            ExclusionReason::kSafety);
+}
+
+TEST(FilteringTest, SafetyChecksResponseToo) {
+  PreliminaryFilter filter;
+  EXPECT_EQ(*filter.Classify(Pair("Give advice.", "",
+                                  "Buy this guaranteed stock tip today.")),
+            ExclusionReason::kSafety);
+}
+
+TEST(FilteringTest, RetentionKeepsSomeExcludablePairs) {
+  PreliminaryFilter filter(/*retain_probability=*/0.5);
+  Rng rng(7);
+  size_t retained = 0;
+  for (int i = 0; i < 200; ++i) {
+    bool was_retained = false;
+    const auto reason = filter.Screen(
+        Pair("List the products in the photo."), &rng, &was_retained);
+    if (was_retained) {
+      EXPECT_FALSE(reason.has_value());
+      ++retained;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(retained) / 200.0, 0.5, 0.1);
+}
+
+TEST(FilteringTest, StatsRatios) {
+  FilterStats stats;
+  stats.excluded[ExclusionReason::kInvalidInput] = 30;
+  stats.excluded[ExclusionReason::kSafety] = 10;
+  EXPECT_EQ(stats.TotalExcluded(), 40u);
+  EXPECT_DOUBLE_EQ(stats.Ratio(ExclusionReason::kInvalidInput), 0.75);
+  EXPECT_DOUBLE_EQ(stats.Ratio(ExclusionReason::kMultiModal), 0.0);
+}
+
+TEST(FilteringTest, CatchesInjectedExclusionDefects) {
+  // Every pair the generator marks as exclusion-class must be caught by
+  // the text-analysis filter — without looking at provenance.
+  synth::CorpusConfig config;
+  config.size = 2000;
+  const auto corpus = synth::SynthCorpusGenerator(config).Generate();
+  PreliminaryFilter filter;
+  size_t excluded_class = 0, caught = 0, false_positives = 0;
+  for (size_t i = 0; i < corpus.dataset.size(); ++i) {
+    const bool is_excluded = corpus.IsExcludedClass(i);
+    const bool flagged = filter.Classify(corpus.dataset[i]).has_value();
+    if (is_excluded) {
+      ++excluded_class;
+      if (flagged) ++caught;
+    } else if (flagged) {
+      ++false_positives;
+    }
+  }
+  ASSERT_GT(excluded_class, 100u);
+  EXPECT_GT(static_cast<double>(caught) / excluded_class, 0.95);
+  EXPECT_LT(static_cast<double>(false_positives) /
+                (corpus.dataset.size() - excluded_class),
+            0.02);
+}
+
+TEST(FilteringTest, ReasonNamesMatchTableThree) {
+  EXPECT_EQ(ExclusionReasonName(ExclusionReason::kInvalidInput),
+            "Invalid Input");
+  EXPECT_EQ(ExclusionReasonName(ExclusionReason::kSafety), "Safety");
+}
+
+}  // namespace
+}  // namespace expert
+}  // namespace coachlm

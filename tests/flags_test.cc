@@ -1,0 +1,61 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace coachlm {
+namespace {
+
+Result<Flags> ParseArgs(std::vector<const char*> argv,
+                        std::vector<std::string> known) {
+  argv.insert(argv.begin(), "coachlm");
+  return Flags::Parse(static_cast<int>(argv.size()), argv.data(), known);
+}
+
+TEST(FlagsTest, CommandAndValues) {
+  auto flags = ParseArgs({"train", "--alpha", "0.3", "--out=x.json"},
+                         {"alpha", "out"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->command(), "train");
+  EXPECT_DOUBLE_EQ(flags->GetDouble("alpha", 0), 0.3);
+  EXPECT_EQ(flags->GetString("out"), "x.json");
+}
+
+TEST(FlagsTest, SwitchesHaveNoValue) {
+  auto flags = ParseArgs({"revise", "--verify", "--threads", "4"},
+                         {"verify", "threads"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_TRUE(flags->Has("verify"));
+  EXPECT_EQ(flags->GetInt("threads", 0), 4);
+}
+
+TEST(FlagsTest, UnknownFlagFailsFast) {
+  auto flags = ParseArgs({"train", "--alhpa", "0.3"}, {"alpha"});
+  EXPECT_FALSE(flags.ok());
+  EXPECT_NE(flags.status().message().find("alhpa"), std::string::npos);
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  auto flags = ParseArgs({"rate", "a.json", "b.json"}, {});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->command(), "rate");
+  ASSERT_EQ(flags->positional().size(), 2u);
+  EXPECT_EQ(flags->positional()[0], "a.json");
+}
+
+TEST(FlagsTest, FallbacksOnAbsentOrUnparseable) {
+  auto flags = ParseArgs({"x", "--alpha", "notanumber"}, {"alpha"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_DOUBLE_EQ(flags->GetDouble("alpha", 7.0), 7.0);
+  EXPECT_EQ(flags->GetInt("missing", 9), 9);
+  EXPECT_EQ(flags->GetString("missing", "d"), "d");
+}
+
+TEST(FlagsTest, EmptyArgvIsValid) {
+  const char* argv[] = {"coachlm"};
+  auto flags = Flags::Parse(1, argv, {});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_TRUE(flags->command().empty());
+}
+
+}  // namespace
+}  // namespace coachlm

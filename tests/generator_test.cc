@@ -1,0 +1,102 @@
+#include "synth/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "quality/accuracy_rater.h"
+
+namespace coachlm {
+namespace synth {
+namespace {
+
+CorpusConfig SmallConfig() {
+  CorpusConfig config;
+  config.size = 3000;
+  config.seed = 42;
+  return config;
+}
+
+TEST(GeneratorTest, ProducesRequestedSizeWithUniqueIds) {
+  const SynthCorpus corpus = SynthCorpusGenerator(SmallConfig()).Generate();
+  EXPECT_EQ(corpus.dataset.size(), 3000u);
+  EXPECT_EQ(corpus.defects.size(), 3000u);
+  std::set<uint64_t> ids;
+  for (const InstructionPair& pair : corpus.dataset) {
+    EXPECT_TRUE(ids.insert(pair.id).second);
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  const SynthCorpus a = SynthCorpusGenerator(SmallConfig()).Generate();
+  const SynthCorpus b = SynthCorpusGenerator(SmallConfig()).Generate();
+  ASSERT_EQ(a.dataset.size(), b.dataset.size());
+  for (size_t i = 0; i < a.dataset.size(); ++i) {
+    EXPECT_EQ(a.dataset[i], b.dataset[i]);
+    EXPECT_EQ(a.defects[i], b.defects[i]);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  CorpusConfig other = SmallConfig();
+  other.seed = 43;
+  const SynthCorpus a = SynthCorpusGenerator(SmallConfig()).Generate();
+  const SynthCorpus b = SynthCorpusGenerator(other).Generate();
+  size_t differing = 0;
+  for (size_t i = 0; i < a.dataset.size(); ++i) {
+    if (!(a.dataset[i] == b.dataset[i])) ++differing;
+  }
+  EXPECT_GT(differing, a.dataset.size() / 2);
+}
+
+TEST(GeneratorTest, RatesMatchConfiguration) {
+  const SynthCorpus corpus = SynthCorpusGenerator(SmallConfig()).Generate();
+  size_t excluded = 0, deficient = 0;
+  for (size_t i = 0; i < corpus.dataset.size(); ++i) {
+    if (corpus.IsExcludedClass(i)) ++excluded;
+    else if (corpus.IsDeficient(i)) ++deficient;
+  }
+  const double n = static_cast<double>(corpus.dataset.size());
+  EXPECT_NEAR(excluded / n, 0.18, 0.03);
+  // Deficiency applies to the non-excluded share.
+  EXPECT_NEAR(deficient / (n - excluded), 0.468, 0.05);
+}
+
+TEST(GeneratorTest, CoversEveryCategory) {
+  const SynthCorpus corpus = SynthCorpusGenerator(SmallConfig()).Generate();
+  const DatasetStats stats = corpus.dataset.ComputeStats();
+  EXPECT_EQ(stats.category_counts.size(), kNumCategories);
+}
+
+TEST(GeneratorTest, CodeCategoriesAreSparse) {
+  const SynthCorpus corpus = SynthCorpusGenerator(SmallConfig()).Generate();
+  const DatasetStats stats = corpus.dataset.ComputeStats();
+  const size_t coding = stats.category_counts.at(Category::kCoding);
+  const size_t general = stats.category_counts.at(Category::kGeneralQa);
+  EXPECT_LT(coding * 2, general);  // weight 0.35 vs 1.0
+}
+
+TEST(GeneratorTest, CalibratedQualityDistribution) {
+  // The headline calibration of Fig. 4's "before" bars: mean ChatGPT-style
+  // rating near 3.95 and roughly 17.7% of pairs above 4.5.
+  CorpusConfig config = SmallConfig();
+  config.size = 6000;
+  const SynthCorpus corpus = SynthCorpusGenerator(config).Generate();
+  const auto rating =
+      quality::AccuracyRater().RateDataset(corpus.dataset);
+  EXPECT_NEAR(rating.mean, 3.95, 0.25);
+  EXPECT_NEAR(rating.fraction_above_45, 0.177, 0.06);
+}
+
+TEST(GeneratorTest, ExcludedPairsCarryOnlyExclusionDefects) {
+  const SynthCorpus corpus = SynthCorpusGenerator(SmallConfig()).Generate();
+  for (size_t i = 0; i < corpus.dataset.size(); ++i) {
+    if (!corpus.IsExcludedClass(i)) continue;
+    EXPECT_EQ(corpus.defects[i].size(), 1u);
+    EXPECT_TRUE(IsExclusionDefect(corpus.defects[i][0]));
+  }
+}
+
+}  // namespace
+}  // namespace synth
+}  // namespace coachlm

@@ -1,0 +1,90 @@
+#include "judge/human_panel.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "synth/topic_bank.h"
+
+namespace coachlm {
+namespace judge {
+namespace {
+
+InstructionPair GoodPair() {
+  const synth::Topic& gravity = *synth::FindTopicIn("gravity");
+  InstructionPair pair;
+  pair.instruction = "Explain gravity for a beginner. Include at least one "
+                     "concrete example to support your answer.";
+  pair.output = gravity.fact + " " + gravity.details[0] + " " +
+                gravity.details[1] +
+                " I hope this helps — feel free to ask if anything is "
+                "unclear!";
+  return pair;
+}
+
+InstructionPair WeakPair() {
+  InstructionPair pair;
+  pair.instruction = "Explain the thing.";
+  pair.output = "it is what it";
+  return pair;
+}
+
+TEST(HumanPanelTest, ThreeReviewersWithDistinctStyles) {
+  HumanPanel panel;
+  ASSERT_EQ(panel.reviewers().size(), 3u);
+  EXPECT_NE(panel.reviewers()[0].bias, panel.reviewers()[1].bias);
+}
+
+TEST(HumanPanelTest, ScoresStayInRange) {
+  HumanPanel panel;
+  for (int i = 0; i < 50; ++i) {
+    const PanelScores scores = panel.RateResponse(GoodPair());
+    for (double s : scores.reviewer) {
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 100.0);
+    }
+  }
+}
+
+TEST(HumanPanelTest, BetterPairsScoreHigherForEveryReviewer) {
+  HumanPanel panel(123);
+  RunningStats good[3], weak[3];
+  for (int i = 0; i < 80; ++i) {
+    const PanelScores g = panel.RateResponse(GoodPair());
+    const PanelScores w = panel.RateResponse(WeakPair());
+    for (int r = 0; r < 3; ++r) {
+      good[r].Add(g.reviewer[r]);
+      weak[r].Add(w.reviewer[r]);
+    }
+  }
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_GT(good[r].mean(), weak[r].mean() + 15.0);
+  }
+}
+
+TEST(HumanPanelTest, InstructionAndResponseRatedIndependently) {
+  HumanPanel panel(7);
+  InstructionPair pair = GoodPair();
+  pair.output = "bad";
+  const double instruction = panel.RateInstruction(pair).Average();
+  const double response = panel.RateResponse(pair).Average();
+  EXPECT_GT(instruction, response + 20.0);
+}
+
+TEST(HumanPanelTest, RateResponseTextSwapsCandidate) {
+  HumanPanel panel(9);
+  const InstructionPair task = GoodPair();
+  const double strong =
+      panel.RateResponseText(task, task.output).Average();
+  const double weak = panel.RateResponseText(task, "nope").Average();
+  EXPECT_GT(strong, weak);
+}
+
+TEST(HumanPanelTest, AverageIsMeanOfReviewers) {
+  PanelScores scores;
+  scores.reviewer = {60.0, 70.0, 80.0};
+  EXPECT_DOUBLE_EQ(scores.Average(), 70.0);
+}
+
+}  // namespace
+}  // namespace judge
+}  // namespace coachlm

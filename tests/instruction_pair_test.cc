@@ -1,0 +1,75 @@
+#include "data/instruction_pair.h"
+
+#include <gtest/gtest.h>
+
+namespace coachlm {
+namespace {
+
+InstructionPair Sample() {
+  InstructionPair pair;
+  pair.id = 7;
+  pair.instruction = "Summarize the passage.";
+  pair.input = "Some text\nwith lines.";
+  pair.output = "A summary.";
+  pair.category = Category::kSummarization;
+  return pair;
+}
+
+TEST(InstructionPairTest, FullInstructionJoinsInput) {
+  InstructionPair pair = Sample();
+  EXPECT_EQ(pair.FullInstruction(),
+            "Summarize the passage.\nSome text\nwith lines.");
+  pair.input.clear();
+  EXPECT_EQ(pair.FullInstruction(), "Summarize the passage.");
+}
+
+TEST(InstructionPairTest, TotalChars) {
+  const InstructionPair pair = Sample();
+  EXPECT_EQ(pair.TotalChars(), pair.instruction.size() + pair.input.size() +
+                                   pair.output.size());
+}
+
+TEST(InstructionPairTest, WellFormedness) {
+  EXPECT_TRUE(Sample().IsWellFormed());
+  InstructionPair empty_out = Sample();
+  empty_out.output = "   ";
+  EXPECT_FALSE(empty_out.IsWellFormed());
+  InstructionPair empty_in = Sample();
+  empty_in.instruction = "";
+  EXPECT_FALSE(empty_in.IsWellFormed());
+}
+
+TEST(InstructionPairTest, JsonRoundTrip) {
+  const InstructionPair pair = Sample();
+  auto parsed = InstructionPair::FromJson(pair.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, pair);
+}
+
+TEST(InstructionPairTest, MinimalAlpacaJsonLoads) {
+  auto doc = json::Parse(
+      R"({"instruction": "Do X.", "input": "", "output": "Done."})");
+  ASSERT_TRUE(doc.ok());
+  auto pair = InstructionPair::FromJson(*doc);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_EQ(pair->instruction, "Do X.");
+  EXPECT_EQ(pair->id, 0u);
+  EXPECT_EQ(pair->category, Category::kGeneralQa);  // default
+}
+
+TEST(InstructionPairTest, RejectsMissingFields) {
+  auto no_output = json::Parse(R"({"instruction": "Do X."})");
+  ASSERT_TRUE(no_output.ok());
+  EXPECT_FALSE(InstructionPair::FromJson(*no_output).ok());
+  EXPECT_FALSE(InstructionPair::FromJson(json::Value(3.0)).ok());
+}
+
+TEST(InstructionPairTest, RejectsUnknownCategory) {
+  auto doc = json::Parse(
+      R"({"instruction": "i", "output": "o", "category": "bogus"})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(InstructionPair::FromJson(*doc).ok());
+}
+
+}  // namespace
+}  // namespace coachlm

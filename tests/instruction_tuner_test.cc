@@ -1,0 +1,78 @@
+#include "tuning/instruction_tuner.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/generator.h"
+
+namespace coachlm {
+namespace tuning {
+namespace {
+
+synth::SynthCorpus SmallCorpus(double deficiency = 0.468) {
+  synth::CorpusConfig config;
+  config.size = 2000;
+  config.seed = 42;
+  config.deficiency_rate = deficiency;
+  return synth::SynthCorpusGenerator(config).Generate();
+}
+
+TEST(InstructionTunerTest, AlignmentCoversSeenCategories) {
+  const auto corpus = SmallCorpus();
+  const AlignmentProfile profile =
+      InstructionTuner().MeasureAlignment(corpus.dataset);
+  EXPECT_GT(profile.global_quality, 0.5);
+  EXPECT_LT(profile.global_quality, 1.0);
+  EXPECT_EQ(profile.per_category.size(), kNumCategories);
+  for (const auto& [category, alignment] : profile.per_category) {
+    EXPECT_GT(alignment.quality, 0.0);
+    EXPECT_LE(alignment.quality, 1.0);
+    EXPECT_GT(alignment.coverage, 0.0);
+    EXPECT_LT(alignment.coverage, 1.0);
+  }
+}
+
+TEST(InstructionTunerTest, CleanerDataScoresHigherAlignment) {
+  const auto noisy = SmallCorpus(0.7);
+  const auto cleanish = SmallCorpus(0.2);
+  InstructionTuner tuner;
+  EXPECT_GT(tuner.MeasureAlignment(cleanish.dataset).global_quality,
+            tuner.MeasureAlignment(noisy.dataset).global_quality);
+}
+
+TEST(InstructionTunerTest, CoverageSaturatesWithRelativeCount) {
+  const auto corpus = SmallCorpus();
+  const AlignmentProfile profile =
+      InstructionTuner().MeasureAlignment(corpus.dataset);
+  // Sparse code categories have lower coverage than frequent ones.
+  EXPECT_LT(profile.per_category.at(Category::kCoding).coverage,
+            profile.per_category.at(Category::kGeneralQa).coverage);
+}
+
+TEST(InstructionTunerTest, EmptyDatasetMeasuresZero) {
+  const AlignmentProfile profile =
+      InstructionTuner().MeasureAlignment(InstructionDataset());
+  EXPECT_EQ(profile.global_quality, 0.0);
+  EXPECT_TRUE(profile.per_category.empty());
+}
+
+TEST(InstructionTunerTest, TuneWiresSpecAndAlignment) {
+  const auto corpus = SmallCorpus();
+  const TunedModel model =
+      InstructionTuner().Tune(Llama7BBase("Alpaca"), corpus.dataset);
+  EXPECT_EQ(model.spec().name, "Alpaca");
+  EXPECT_GT(model.alignment().global_quality, 0.0);
+}
+
+TEST(InstructionTunerTest, FixedCoverageKRespected) {
+  const auto corpus = SmallCorpus();
+  const AlignmentProfile profile =
+      InstructionTuner(1000.0).MeasureAlignment(corpus.dataset);
+  // With k = 1000 and ~48 pairs per category, coverage is low everywhere.
+  for (const auto& [category, alignment] : profile.per_category) {
+    EXPECT_LT(alignment.coverage, 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace tuning
+}  // namespace coachlm

@@ -1,0 +1,107 @@
+#include "json/json.h"
+
+#include <gtest/gtest.h>
+
+namespace coachlm {
+namespace json {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(Parse("null")->is_null());
+  EXPECT_TRUE(Parse("true")->AsBool());
+  EXPECT_FALSE(Parse("false")->AsBool());
+  EXPECT_DOUBLE_EQ(Parse("3.5")->AsNumber(), 3.5);
+  EXPECT_EQ(Parse("-17")->AsInt(), -17);
+  EXPECT_EQ(Parse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonParseTest, NestedStructures) {
+  auto r = Parse(R"({"a": [1, 2, {"b": "c"}], "d": null})");
+  ASSERT_TRUE(r.ok());
+  const Value& v = *r;
+  ASSERT_TRUE(v.is_object());
+  const Array& a = v.At("a").AsArray();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0].AsInt(), 1);
+  EXPECT_EQ(a[2].At("b").AsString(), "c");
+  EXPECT_TRUE(v.At("d").is_null());
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto r = Parse(R"("line\nbreak\ttab\\slash\"quoteA")");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsString(), "line\nbreak\ttab\\slash\"quoteA");
+}
+
+TEST(JsonParseTest, UnicodeEscapeMultibyte) {
+  auto r = Parse(R"("é中")");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsString(), "\xC3\xA9\xE4\xB8\xAD");
+}
+
+TEST(JsonParseTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("[1,]").ok());
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  EXPECT_FALSE(Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Parse("1 2").ok());
+  EXPECT_FALSE(Parse("tru").ok());
+  EXPECT_FALSE(Parse("\"bad\\escape\"").ok());
+  EXPECT_FALSE(Parse("\"ctrl\x01char\"").ok());
+}
+
+TEST(JsonParseTest, RejectsExcessiveNesting) {
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  EXPECT_FALSE(Parse(deep).ok());
+}
+
+TEST(JsonDumpTest, RoundTripsStructure) {
+  Object obj;
+  obj["name"] = Value("CoachLM");
+  obj["alpha"] = Value(0.3);
+  obj["count"] = Value(static_cast<int64_t>(2301));
+  obj["flag"] = Value(true);
+  Array arr;
+  arr.push_back(Value("x\ny"));
+  arr.push_back(Value());
+  obj["items"] = Value(std::move(arr));
+  const Value original{std::move(obj)};
+
+  auto reparsed = Parse(original.Dump());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->Dump(), original.Dump());
+  auto repretty = Parse(original.DumpPretty());
+  ASSERT_TRUE(repretty.ok());
+  EXPECT_EQ(repretty->Dump(), original.Dump());
+}
+
+TEST(JsonDumpTest, IntegersStayIntegers) {
+  EXPECT_EQ(Value(static_cast<int64_t>(52000)).Dump(), "52000");
+  EXPECT_EQ(Value(2.5).Dump(), "2.5");
+}
+
+TEST(JsonValueTest, TypedGettersValidate) {
+  auto v = Parse(R"({"s": "str", "n": 2, "b": false})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v->GetString("s"), "str");
+  EXPECT_EQ(*v->GetNumber("n"), 2.0);
+  EXPECT_EQ(*v->GetBool("b"), false);
+  EXPECT_FALSE(v->GetString("n").ok());
+  EXPECT_FALSE(v->GetNumber("missing").ok());
+}
+
+TEST(JsonValueTest, AtOnNonObjectIsNull) {
+  EXPECT_TRUE(Value(3.0).At("x").is_null());
+  EXPECT_TRUE(Value("s").At("x").is_null());
+}
+
+TEST(JsonValueTest, EscapeStringControlChars) {
+  EXPECT_EQ(EscapeString("a\x02z"), "\"a\\u0002z\"");
+  EXPECT_EQ(EscapeString("tab\t"), "\"tab\\t\"");
+}
+
+}  // namespace
+}  // namespace json
+}  // namespace coachlm

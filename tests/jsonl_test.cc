@@ -1,0 +1,73 @@
+#include "json/jsonl.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace coachlm {
+namespace json {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(JsonlTest, ParseLinesBasic) {
+  auto r = ParseLines("{\"a\":1}\n{\"a\":2}\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ((*r)[1].At("a").AsInt(), 2);
+}
+
+TEST(JsonlTest, SkipsBlankAndCrLfLines) {
+  auto r = ParseLines("{\"a\":1}\r\n\n  \n{\"a\":2}\r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(JsonlTest, StrictModeFailsOnBadLine) {
+  auto r = ParseLines("{\"a\":1}\nnot json\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(JsonlTest, TolerantModeCountsInvalid) {
+  size_t invalid = 0;
+  auto r = ParseLines("{\"a\":1}\nbroken\n{\"a\":3}\n", true, &invalid);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_EQ(invalid, 1u);
+}
+
+TEST(JsonlTest, FileRoundTrip) {
+  const std::string path = TempPath("coachlm_jsonl_test.jsonl");
+  std::vector<Value> values;
+  Object o1;
+  o1["id"] = Value(1);
+  values.push_back(Value(std::move(o1)));
+  Object o2;
+  o2["id"] = Value(2);
+  o2["text"] = Value("multi\nline");
+  values.push_back(Value(std::move(o2)));
+  ASSERT_TRUE(SaveJsonl(path, values).ok());
+
+  auto loaded = LoadJsonl(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[1].At("text").AsString(), "multi\nline");
+  std::remove(path.c_str());
+}
+
+TEST(JsonlTest, ReadMissingFileFails) {
+  EXPECT_FALSE(ReadFile("/nonexistent/dir/file.json").ok());
+  EXPECT_FALSE(LoadJsonl("/nonexistent/dir/file.jsonl").ok());
+}
+
+TEST(JsonlTest, WriteToBadPathFails) {
+  EXPECT_FALSE(WriteFile("/nonexistent/dir/file.json", "x").ok());
+}
+
+}  // namespace
+}  // namespace json
+}  // namespace coachlm

@@ -1,0 +1,51 @@
+#include "text/lexicons.h"
+
+#include <gtest/gtest.h>
+
+namespace coachlm {
+namespace lexicons {
+namespace {
+
+TEST(LexiconsTest, StopwordsContainCoreFunctionWords) {
+  EXPECT_GT(Stopwords().count("the"), 0u);
+  EXPECT_GT(Stopwords().count("and"), 0u);
+  EXPECT_EQ(Stopwords().count("gravity"), 0u);
+}
+
+TEST(LexiconsTest, SpellingRepairsInvertCorruptions) {
+  for (const auto& [good, bad] : SpellingCorruptions()) {
+    auto it = SpellingRepairs().find(bad);
+    ASSERT_NE(it, SpellingRepairs().end()) << bad;
+    EXPECT_EQ(it->second, good);
+  }
+  EXPECT_EQ(SpellingCorruptions().size(), SpellingRepairs().size());
+}
+
+TEST(LexiconsTest, CorruptionsActuallyDiffer) {
+  for (const auto& [good, bad] : SpellingCorruptions()) {
+    EXPECT_NE(good, bad);
+  }
+}
+
+TEST(LexiconsTest, NonEmptyLists) {
+  EXPECT_FALSE(PolitenessMarkers().empty());
+  EXPECT_FALSE(HedgeWords().empty());
+  EXPECT_FALSE(UnsafeTerms().empty());
+  EXPECT_FALSE(ExplanationMarkers().empty());
+  EXPECT_FALSE(AmbiguityFillers().empty());
+  EXPECT_FALSE(MechanicalOpeners().empty());
+}
+
+TEST(LexiconsTest, ExplanationMarkersAreLowerCase) {
+  // Richness matching lower-cases the text, so markers must be lower-case.
+  for (const std::string& marker : ExplanationMarkers()) {
+    for (char c : marker) {
+      EXPECT_FALSE(std::isupper(static_cast<unsigned char>(c)))
+          << marker;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lexicons
+}  // namespace coachlm

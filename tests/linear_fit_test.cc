@@ -1,0 +1,56 @@
+#include "common/linear_fit.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace coachlm {
+namespace {
+
+TEST(LinearFitTest, ExactLine) {
+  auto fit = FitLine({0, 1, 2, 3}, {1, 3, 5, 7});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit->intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit->Predict(10), 21.0, 1e-12);
+}
+
+TEST(LinearFitTest, SolveForX) {
+  auto fit = FitLine({0, 1}, {0, 2});
+  ASSERT_TRUE(fit.ok());
+  auto x = fit->SolveForX(4.0);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(*x, 2.0, 1e-12);
+}
+
+TEST(LinearFitTest, FlatLineCannotInvert) {
+  auto fit = FitLine({0, 1, 2}, {5, 5, 5});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_EQ(fit->slope, 0.0);
+  EXPECT_FALSE(fit->SolveForX(7.0).ok());
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-12);  // constant y fitted exactly
+}
+
+TEST(LinearFitTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(FitLine({1}, {1}).ok());
+  EXPECT_FALSE(FitLine({1, 2}, {1}).ok());
+  EXPECT_FALSE(FitLine({3, 3, 3}, {1, 2, 3}).ok());
+}
+
+TEST(LinearFitTest, NoisyDataRSquaredBelowOne) {
+  Rng rng(3);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i + 10 + rng.NextGaussian(0, 5));
+  }
+  auto fit = FitLine(xs, ys);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 3.0, 0.05);
+  EXPECT_GT(fit->r_squared, 0.99);
+  EXPECT_LT(fit->r_squared, 1.0);
+}
+
+}  // namespace
+}  // namespace coachlm

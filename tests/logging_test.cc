@@ -1,0 +1,36 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace coachlm {
+namespace {
+
+TEST(LoggingTest, LevelThresholdRoundTrip) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, StreamMacroBuildsMessage) {
+  // Suppress output; the macro must still evaluate its operands.
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  COACHLM_LOG_DEBUG << "value " << ++evaluations;
+  EXPECT_EQ(evaluations, 1);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, EmitBelowThresholdIsSilentlyDropped) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  LogMessage(LogLevel::kInfo, "should not crash");
+  LogMessage(LogLevel::kError, "also fine");
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace coachlm

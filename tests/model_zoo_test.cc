@@ -1,0 +1,61 @@
+#include "tuning/model_zoo.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/generator.h"
+
+namespace coachlm {
+namespace tuning {
+namespace {
+
+TEST(ModelZooTest, StrongerGroupMatchesTableNine) {
+  const auto zoo = BuildStrongerGroup();
+  ASSERT_EQ(zoo.size(), 5u);
+  EXPECT_EQ(zoo[0].model.spec().name, "LLaMA2-13b-chat");
+  EXPECT_EQ(zoo[0].type, "RL-tuned");
+  EXPECT_EQ(zoo[1].model.spec().name, "Vicuna-13b");
+  EXPECT_EQ(zoo[1].type, "I-tuned");
+  for (const ZooEntry& entry : zoo) EXPECT_TRUE(entry.stronger_group);
+}
+
+TEST(ModelZooTest, BaselineGroupCoversTableNineRows) {
+  synth::CorpusConfig config;
+  config.size = 1500;
+  const auto corpus = synth::SynthCorpusGenerator(config).Generate();
+  ZooInputs inputs;
+  inputs.original = &corpus.dataset;
+  inputs.human_merged = &corpus.dataset;
+  inputs.coach_revised = &corpus.dataset;
+  const auto zoo = BuildBaselineGroup(inputs, InstructionTuner());
+  ASSERT_EQ(zoo.size(), 7u);
+  std::vector<std::string> names;
+  for (const ZooEntry& entry : zoo) {
+    names.push_back(entry.model.spec().name);
+    EXPECT_FALSE(entry.stronger_group);
+    EXPECT_EQ(entry.type, "I-tuned");
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{
+                       "Vicuna-7b", "Alpaca", "Alpaca-cleaned",
+                       "Alpaca-PandaLM", "AlpaGasus", "Alpaca-human",
+                       "Alpaca-CoachLM"}));
+}
+
+TEST(ModelZooTest, UniformProfileFillsEveryCategory) {
+  const AlignmentProfile profile = UniformProfile(0.9, 0.95);
+  EXPECT_EQ(profile.per_category.size(), kNumCategories);
+  EXPECT_DOUBLE_EQ(profile.global_quality, 0.9);
+  for (const auto& [category, alignment] : profile.per_category) {
+    EXPECT_DOUBLE_EQ(alignment.quality, 0.9);
+    EXPECT_DOUBLE_EQ(alignment.coverage, 0.95);
+  }
+}
+
+TEST(ModelZooTest, BaseSpecsScaleWithSize) {
+  EXPECT_GT(Llama13BBase("x").base_knowledge, Llama7BBase("x").base_knowledge);
+  EXPECT_LT(Llama13BBase("x").base_slip, Llama7BBase("x").base_slip);
+  EXPECT_LT(Glm6BBase("x").base_knowledge, Llama7BBase("x").base_knowledge);
+}
+
+}  // namespace
+}  // namespace tuning
+}  // namespace coachlm

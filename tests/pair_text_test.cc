@@ -1,0 +1,67 @@
+#include "lm/pair_text.h"
+
+#include <gtest/gtest.h>
+
+namespace coachlm {
+namespace lm {
+namespace {
+
+InstructionPair Sample() {
+  InstructionPair pair;
+  pair.id = 9;
+  pair.category = Category::kSummarization;
+  pair.instruction = "Summarize this.";
+  pair.input = "Line one.\nLine two.";
+  pair.output = "A short summary.\nWith a second line.";
+  return pair;
+}
+
+TEST(PairTextTest, SerializeDeserializeRoundTrip) {
+  const InstructionPair pair = Sample();
+  auto parsed = DeserializePair(SerializePair(pair));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->instruction, pair.instruction);
+  EXPECT_EQ(parsed->input, pair.input);
+  EXPECT_EQ(parsed->output, pair.output);
+}
+
+TEST(PairTextTest, EmptyInputAndOutputRoundTrip) {
+  InstructionPair pair;
+  pair.instruction = "Do something.";
+  auto parsed = DeserializePair(SerializePair(pair));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->input, "");
+  EXPECT_EQ(parsed->output, "");
+}
+
+TEST(PairTextTest, RejectsMalformedText) {
+  EXPECT_FALSE(DeserializePair("").ok());
+  EXPECT_FALSE(DeserializePair("random model babble").ok());
+  EXPECT_FALSE(DeserializePair("Instruction: x\nno response section").ok());
+  EXPECT_FALSE(DeserializePair("Response: y\nInput: z").ok());
+  // Empty instruction is invalid.
+  EXPECT_FALSE(
+      DeserializePair("Instruction: \nInput: \nResponse: ok").ok());
+}
+
+TEST(PairTextTest, CoachSampleFollowsFigureThree) {
+  InstructionPair original = Sample();
+  InstructionPair revised = original;
+  revised.output = "A much better summary with detail.";
+  const InstructionPair sample = MakeCoachSample(original, revised);
+  EXPECT_EQ(sample.instruction, kRevisionPrompt);
+  EXPECT_EQ(sample.input, SerializePair(original));
+  EXPECT_EQ(sample.output, SerializePair(revised));
+  EXPECT_EQ(sample.id, original.id);
+}
+
+TEST(PairTextTest, PromptMatchesPaperWording) {
+  const std::string prompt = kRevisionPrompt;
+  EXPECT_NE(prompt.find("Improve the following instruction"),
+            std::string::npos);
+  EXPECT_NE(prompt.find("grammarly corrected"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lm
+}  // namespace coachlm

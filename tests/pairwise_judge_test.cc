@@ -1,0 +1,117 @@
+#include "judge/pairwise_judge.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/topic_bank.h"
+
+namespace coachlm {
+namespace judge {
+namespace {
+
+InstructionPair Task() {
+  InstructionPair task;
+  task.id = 1;
+  task.category = Category::kGeneralQa;
+  task.instruction = "Explain gravity.";
+  return task;
+}
+
+std::string GoodResponse() {
+  const synth::Topic& gravity = *synth::FindTopicIn("gravity");
+  return gravity.fact + " " + gravity.details[0] + " " + gravity.details[1] +
+         " I hope this helps — feel free to ask if anything is unclear!";
+}
+
+std::string WeakResponse() { return "Gravity pulls things"; }
+
+TEST(PairwiseJudgeTest, ClearQualityGapDecidesConsistently) {
+  const PairwiseJudge judge(PandaLmProfile());
+  Rng rng(3);
+  int wins = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (judge.Compare(Task(), GoodResponse(), WeakResponse(), &rng) ==
+        Verdict::kWin) {
+      ++wins;
+    }
+  }
+  EXPECT_GT(wins, 95);
+}
+
+TEST(PairwiseJudgeTest, IdenticalResponsesMostlyTie) {
+  const PairwiseJudge judge(PandaLmProfile());
+  Rng rng(5);
+  int ties = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (judge.Compare(Task(), GoodResponse(), GoodResponse(), &rng) ==
+        Verdict::kTie) {
+      ++ties;
+    }
+  }
+  EXPECT_GT(ties, 60);  // noise makes some comparisons decide randomly
+}
+
+TEST(PairwiseJudgeTest, Gpt4PositionBiasFavorsFirstSlot) {
+  const PairwiseJudge gpt4(Gpt4Profile());
+  Rng rng(7);
+  int first_wins = 0, second_wins = 0;
+  for (int i = 0; i < 400; ++i) {
+    const Verdict v = gpt4.Compare(Task(), GoodResponse(), GoodResponse(),
+                                   &rng);
+    if (v == Verdict::kWin) ++first_wins;
+    if (v == Verdict::kLose) ++second_wins;
+  }
+  EXPECT_GT(first_wins, second_wins + 40);
+}
+
+TEST(PairwiseJudgeTest, DebiasingRemovesPositionBias) {
+  // The Section III-A1 swap protocol: equal candidates should split
+  // symmetrically after debiasing, even under a position-biased judge.
+  const PairwiseJudge gpt4(Gpt4Profile());
+  Rng rng(9);
+  int first_wins = 0, second_wins = 0;
+  for (int i = 0; i < 400; ++i) {
+    const Verdict v =
+        gpt4.CompareDebiased(Task(), GoodResponse(), GoodResponse(), &rng);
+    if (v == Verdict::kWin) ++first_wins;
+    if (v == Verdict::kLose) ++second_wins;
+  }
+  EXPECT_LT(std::abs(first_wins - second_wins), 40);
+}
+
+TEST(PairwiseJudgeTest, DebiasedKeepsClearVerdicts) {
+  const PairwiseJudge judge(PandaLmProfile());
+  Rng rng(11);
+  int wins = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (judge.CompareDebiased(Task(), GoodResponse(), WeakResponse(), &rng) ==
+        Verdict::kWin) {
+      ++wins;
+    }
+  }
+  EXPECT_GT(wins, 95);
+}
+
+TEST(PairwiseJudgeTest, DebiasedIsOrderAntisymmetricOnAverage) {
+  const PairwiseJudge judge(PandaLmProfile());
+  Rng rng_a(13), rng_b(13);
+  VerdictCounts forward, backward;
+  for (int i = 0; i < 200; ++i) {
+    forward.Add(
+        judge.CompareDebiased(Task(), GoodResponse(), WeakResponse(), &rng_a));
+    backward.Add(
+        judge.CompareDebiased(Task(), WeakResponse(), GoodResponse(), &rng_b));
+  }
+  // A vs B wins should roughly equal B vs A losses.
+  EXPECT_NEAR(static_cast<double>(forward.wins),
+              static_cast<double>(backward.losses), 20.0);
+}
+
+TEST(PairwiseJudgeTest, ProfilesMatchPaperRoles) {
+  EXPECT_EQ(PandaLmProfile().position_bias, 0.0);
+  EXPECT_GT(Gpt4Profile().position_bias, 0.0);
+  EXPECT_GT(PandaLmProfile().noise_stddev, Gpt4Profile().noise_stddev);
+}
+
+}  // namespace
+}  // namespace judge
+}  // namespace coachlm

@@ -1,0 +1,95 @@
+#include "platform/platform.h"
+
+#include <gtest/gtest.h>
+
+#include "coach/pipeline.h"
+#include "expert/pipeline.h"
+#include "synth/generator.h"
+
+namespace coachlm {
+namespace platform {
+namespace {
+
+PlatformConfig SmallConfig() {
+  PlatformConfig config;
+  config.batch_size = 600;
+  config.seed = 404;
+  config.inference_threads = 2;
+  return config;
+}
+
+class PlatformTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::CorpusConfig corpus_config;
+    corpus_config.size = 2500;
+    corpus_config.seed = 42;
+    synth::SynthCorpusGenerator generator(corpus_config);
+    const synth::SynthCorpus corpus = generator.Generate();
+    expert::RevisionStudyConfig study_config;
+    study_config.sample_size = 700;
+    const auto study = expert::RunRevisionStudy(
+        corpus.dataset, generator.engine(), study_config);
+    coach::CoachConfig coach_config;
+    auto pipeline =
+        coach::RunCoachPipeline(corpus.dataset, study.revisions, coach_config);
+    coach_ = new coach::CoachLm(std::move(*pipeline.model));
+  }
+  static void TearDownTestSuite() { delete coach_; }
+  static coach::CoachLm* coach_;
+};
+
+coach::CoachLm* PlatformTest::coach_ = nullptr;
+
+TEST_F(PlatformTest, CollectionIsDeterministicAndSized) {
+  DataPlatform platform(SmallConfig());
+  const auto a = platform.CollectUserCases();
+  const auto b = platform.CollectUserCases();
+  ASSERT_EQ(a.size(), 600u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].raw_log, b[i].raw_log);
+  }
+}
+
+TEST_F(PlatformTest, RuleScriptsParseMostAndDropGarbled) {
+  DataPlatform platform(SmallConfig());
+  size_t dropped = 0;
+  const InstructionDataset raw =
+      platform.ParseWithRuleScripts(platform.CollectUserCases(), &dropped);
+  EXPECT_GT(raw.size(), 550u);
+  EXPECT_GT(dropped, 0u);
+  EXPECT_EQ(raw.size() + dropped, 600u);
+  for (const InstructionPair& pair : raw) {
+    EXPECT_FALSE(pair.instruction.empty());
+    // Log headers are stripped.
+    EXPECT_EQ(pair.instruction.find("[session="), std::string::npos);
+  }
+}
+
+TEST_F(PlatformTest, CoachPrecursorCutsAnnotationEffort) {
+  DataPlatform platform(SmallConfig());
+  const BatchReport baseline = platform.RunCleaningBatch(nullptr);
+  const BatchReport with_coach = platform.RunCleaningBatch(coach_);
+  EXPECT_FALSE(baseline.with_coach);
+  EXPECT_TRUE(with_coach.with_coach);
+  EXPECT_EQ(baseline.pairs, with_coach.pairs);
+  // CoachLM-revised pairs leave less editing distance for annotators.
+  EXPECT_LT(with_coach.mean_remaining_edit, baseline.mean_remaining_edit);
+  EXPECT_GT(with_coach.pairs_per_person_day, baseline.pairs_per_person_day);
+  EXPECT_GT(with_coach.coach_samples_per_sec, 1.0);
+  // Section IV-A: the net gain after the proficiency deduction is
+  // meaningfully positive.
+  EXPECT_GT(platform.NetImprovement(baseline, with_coach), 0.05);
+}
+
+TEST_F(PlatformTest, NetImprovementHandlesDegenerateBaseline) {
+  DataPlatform platform(SmallConfig());
+  BatchReport zero;
+  BatchReport anything;
+  anything.pairs_per_person_day = 100;
+  EXPECT_EQ(platform.NetImprovement(zero, anything), 0.0);
+}
+
+}  // namespace
+}  // namespace platform
+}  // namespace coachlm

@@ -1,0 +1,178 @@
+// Cross-cutting property suites: randomized invariants that span modules.
+
+#include <gtest/gtest.h>
+
+#include "coach/pipeline.h"
+#include "common/rng.h"
+#include "expert/filtering.h"
+#include "expert/pipeline.h"
+#include "json/json.h"
+#include "quality/accuracy_rater.h"
+#include "synth/generator.h"
+#include "text/tokenizer.h"
+
+namespace coachlm {
+namespace {
+
+// --- JSON: randomized dump/parse round trip ---
+
+json::Value RandomJson(Rng* rng, int depth) {
+  const size_t kind = rng->NextBelow(depth > 3 ? 4 : 6);
+  switch (kind) {
+    case 0:
+      return json::Value();
+    case 1:
+      return json::Value(rng->NextBool(0.5));
+    case 2:
+      return json::Value(rng->NextDouble(-1e6, 1e6));
+    case 3: {
+      std::string s;
+      const size_t len = rng->NextBelow(12);
+      for (size_t i = 0; i < len; ++i) {
+        // Include escapes and control characters.
+        static const char kChars[] = "ab\"\\\n\t\r xyz{}[]:,";
+        s += kChars[rng->NextBelow(sizeof(kChars) - 1)];
+      }
+      return json::Value(std::move(s));
+    }
+    case 4: {
+      json::Array array;
+      const size_t n = rng->NextBelow(4);
+      for (size_t i = 0; i < n; ++i) array.push_back(RandomJson(rng, depth + 1));
+      return json::Value(std::move(array));
+    }
+    default: {
+      json::Object object;
+      const size_t n = rng->NextBelow(4);
+      for (size_t i = 0; i < n; ++i) {
+        object["k" + std::to_string(i)] = RandomJson(rng, depth + 1);
+      }
+      return json::Value(std::move(object));
+    }
+  }
+}
+
+class JsonRoundTripProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JsonRoundTripProperty, DumpParseDumpIsStable) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    const json::Value value = RandomJson(&rng, 0);
+    const std::string dumped = value.Dump();
+    auto parsed = json::Parse(dumped);
+    ASSERT_TRUE(parsed.ok()) << dumped;
+    EXPECT_EQ(parsed->Dump(), dumped);
+    auto pretty = json::Parse(value.DumpPretty());
+    ASSERT_TRUE(pretty.ok());
+    EXPECT_EQ(pretty->Dump(), dumped);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTripProperty,
+                         ::testing::Range<uint64_t>(1, 16));
+
+// --- Tokenizer: detokenized text is a fixpoint ---
+
+class TokenizerFixpointProperty : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(TokenizerFixpointProperty, DetokenizeTokenizeDetokenizeIsStable) {
+  synth::CorpusConfig config;
+  config.size = 30;
+  config.seed = GetParam();
+  const auto corpus = synth::SynthCorpusGenerator(config).Generate();
+  for (const InstructionPair& pair : corpus.dataset) {
+    // One tokenize/detokenize pass normalizes spacing; a second pass must
+    // be the identity on the normalized form (single-line texts only —
+    // tokenization legitimately flattens newlines).
+    if (pair.output.find('\n') != std::string::npos) continue;
+    const std::string once =
+        tokenizer::Detokenize(tokenizer::WordTokenize(pair.output));
+    const std::string twice =
+        tokenizer::Detokenize(tokenizer::WordTokenize(once));
+    EXPECT_EQ(once, twice) << pair.output;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenizerFixpointProperty,
+                         ::testing::Values(101, 102, 103, 104));
+
+// --- Coach: revising an already-revised dataset must not degrade it ---
+
+TEST(CoachIdempotenceProperty, SecondRevisionPassDoesNotDegradeQuality) {
+  synth::CorpusConfig config;
+  config.size = 1500;
+  config.seed = 42;
+  synth::SynthCorpusGenerator generator(config);
+  const auto corpus = generator.Generate();
+  expert::RevisionStudyConfig study_config;
+  study_config.sample_size = 500;
+  const auto study = expert::RunRevisionStudy(corpus.dataset,
+                                              generator.engine(),
+                                              study_config);
+  coach::CoachConfig coach_config;
+  const auto first =
+      coach::RunCoachPipeline(corpus.dataset, study.revisions, coach_config);
+  coach::RevisionPassStats stats;
+  const auto second =
+      first.model->ReviseDataset(first.revised_dataset, {}, &stats);
+  quality::AccuracyRater rater;
+  const double after_first = rater.RateDataset(first.revised_dataset).mean;
+  const double after_second = rater.RateDataset(second).mean;
+  EXPECT_GE(after_second, after_first - 0.05);
+}
+
+// --- Pipeline: revision must never break well-formedness ---
+
+TEST(CoachSafetyProperty, RevisionPreservesWellFormedness) {
+  synth::CorpusConfig config;
+  config.size = 1200;
+  config.seed = 7;
+  synth::SynthCorpusGenerator generator(config);
+  const auto corpus = generator.Generate();
+  expert::RevisionStudyConfig study_config;
+  study_config.sample_size = 400;
+  const auto study = expert::RunRevisionStudy(corpus.dataset,
+                                              generator.engine(),
+                                              study_config);
+  const auto result = coach::RunCoachPipeline(corpus.dataset,
+                                              study.revisions, {});
+  for (size_t i = 0; i < corpus.dataset.size(); ++i) {
+    // The post-processor guarantees a non-degenerate pair: either the
+    // revision parsed cleanly or the original was adopted.
+    if (corpus.dataset[i].IsWellFormed()) {
+      EXPECT_TRUE(result.revised_dataset[i].IsWellFormed())
+          << "id " << corpus.dataset[i].id;
+    }
+  }
+}
+
+// --- Expert: revised pairs never score worse than their originals ---
+
+TEST(ExpertMonotonicityProperty, RevisionNeverLowersCombinedScore) {
+  synth::CorpusConfig config;
+  config.size = 1200;
+  config.seed = 11;
+  synth::SynthCorpusGenerator generator(config);
+  const auto corpus = generator.Generate();
+  expert::ExpertReviser reviser(&generator.engine());
+  expert::PreliminaryFilter filter;
+  Rng rng(5);
+  size_t checked = 0;
+  for (size_t i = 0; i < 400; ++i) {
+    // The study filters exclusion-class pairs before revision; the
+    // monotonicity guarantee only covers revisable pairs.
+    if (filter.Classify(corpus.dataset[i]).has_value()) continue;
+    const auto outcome = reviser.Revise(corpus.dataset[i], &rng);
+    if (!outcome.revised) continue;
+    ++checked;
+    const double before =
+        quality::ScorePair(corpus.dataset[i]).Combined();
+    EXPECT_GE(outcome.final_quality.Combined(), before - 1e-9)
+        << corpus.dataset[i].FullInstruction();
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+}  // namespace
+}  // namespace coachlm

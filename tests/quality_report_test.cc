@@ -1,0 +1,95 @@
+#include "quality/quality_report.h"
+
+#include <gtest/gtest.h>
+
+#include "coach/pipeline.h"
+#include "expert/pipeline.h"
+#include "synth/generator.h"
+
+namespace coachlm {
+namespace quality {
+namespace {
+
+TEST(QualityReportTest, EmptyDataset) {
+  const QualityReport report = AnalyzeDataset(InstructionDataset());
+  EXPECT_EQ(report.dataset_size, 0u);
+  EXPECT_TRUE(report.dimensions.empty());
+}
+
+TEST(QualityReportTest, CoversAllNineDimensions) {
+  synth::CorpusConfig config;
+  config.size = 300;
+  const auto corpus = synth::SynthCorpusGenerator(config).Generate();
+  const QualityReport report = AnalyzeDataset(corpus.dataset);
+  EXPECT_EQ(report.dataset_size, 300u);
+  EXPECT_EQ(report.dimensions.size(), 10u);  // 3 instruction + 7 response
+  for (const auto& [dimension, stats] : report.dimensions) {
+    EXPECT_GE(stats.mean_satisfaction, 0.0);
+    EXPECT_LE(stats.mean_satisfaction, 1.0);
+    EXPECT_GE(stats.flaw_rate, 0.0);
+    EXPECT_LE(stats.flaw_rate, 1.0);
+  }
+  EXPECT_GT(report.mean_response_score, 40.0);
+}
+
+TEST(QualityReportTest, FlawRatesReflectInjectedDefects) {
+  synth::CorpusConfig clean_config;
+  clean_config.size = 400;
+  clean_config.deficiency_rate = 0.0;
+  clean_config.exclusion_rate = 0.0;
+  synth::CorpusConfig dirty_config = clean_config;
+  dirty_config.deficiency_rate = 0.8;
+  const auto clean = synth::SynthCorpusGenerator(clean_config).Generate();
+  const auto dirty = synth::SynthCorpusGenerator(dirty_config).Generate();
+  const QualityReport clean_report = AnalyzeDataset(clean.dataset);
+  const QualityReport dirty_report = AnalyzeDataset(dirty.dataset);
+  EXPECT_GT(
+      dirty_report.dimensions.at(Dimension::kResponseReadability).flaw_rate,
+      clean_report.dimensions.at(Dimension::kResponseReadability).flaw_rate);
+  EXPECT_GT(dirty_report.dimensions.at(Dimension::kComprehensiveness)
+                .flaw_rate,
+            clean_report.dimensions.at(Dimension::kComprehensiveness)
+                .flaw_rate);
+  EXPECT_LT(dirty_report.mean_response_score,
+            clean_report.mean_response_score);
+}
+
+TEST(QualityReportTest, RenderingsContainDimensions) {
+  synth::CorpusConfig config;
+  config.size = 100;
+  const auto corpus = synth::SynthCorpusGenerator(config).Generate();
+  const QualityReport report = AnalyzeDataset(corpus.dataset);
+  const std::string ascii = report.ToAscii();
+  EXPECT_NE(ascii.find("comprehensiveness"), std::string::npos);
+  EXPECT_NE(ascii.find("red line"), std::string::npos);
+  const std::string compare = QualityReport::Compare(report, report);
+  EXPECT_NE(compare.find("Flaw rate before"), std::string::npos);
+}
+
+TEST(QualityReportTest, CoachRevisionReducesBasicFlaws) {
+  synth::CorpusConfig config;
+  config.size = 1200;
+  config.seed = 42;
+  synth::SynthCorpusGenerator generator(config);
+  const auto corpus = generator.Generate();
+  expert::RevisionStudyConfig study_config;
+  study_config.sample_size = 400;
+  const auto study = expert::RunRevisionStudy(corpus.dataset,
+                                              generator.engine(),
+                                              study_config);
+  const auto result =
+      coach::RunCoachPipeline(corpus.dataset, study.revisions, {});
+  const QualityReport before = AnalyzeDataset(corpus.dataset);
+  const QualityReport after = AnalyzeDataset(result.revised_dataset);
+  EXPECT_LT(after.dimensions.at(Dimension::kComprehensiveness).flaw_rate,
+            before.dimensions.at(Dimension::kComprehensiveness).flaw_rate);
+  EXPECT_LT(after.dimensions.at(Dimension::kInstructionReadability).flaw_rate,
+            before.dimensions.at(Dimension::kInstructionReadability).flaw_rate);
+  // Safety is a red line the coach does not (and must not) launder away.
+  EXPECT_NEAR(after.dimensions.at(Dimension::kSafety).flaw_rate,
+              before.dimensions.at(Dimension::kSafety).flaw_rate, 0.01);
+}
+
+}  // namespace
+}  // namespace quality
+}  // namespace coachlm

@@ -1,0 +1,53 @@
+#include "text/repair.h"
+
+#include <gtest/gtest.h>
+
+namespace coachlm {
+namespace repair {
+namespace {
+
+TEST(RepairTest, FixKnownSpelling) {
+  EXPECT_EQ(FixKnownSpelling("teh goverment recieve it"),
+            "the government receive it");
+  EXPECT_EQ(FixKnownSpelling("already clean"), "already clean");
+}
+
+TEST(RepairTest, CapitalizeSentences) {
+  EXPECT_EQ(CapitalizeSentences("first. second! third? done"),
+            "First. Second! Third? Done");
+  EXPECT_EQ(CapitalizeSentences("line one\nline two"),
+            "Line one\nLine two");
+}
+
+TEST(RepairTest, CapitalizeSkipsCodeFences) {
+  const std::string code = "Intro:\n```python\ndef f():\n    return 1\n``` done";
+  const std::string fixed = CapitalizeSentences(code);
+  EXPECT_NE(fixed.find("def f()"), std::string::npos);
+  EXPECT_EQ(fixed.find("Def f()"), std::string::npos);
+}
+
+TEST(RepairTest, CapitalizeSkipsListDigits) {
+  EXPECT_EQ(CapitalizeSentences("1. item stays"), "1. item stays");
+}
+
+TEST(RepairTest, RemoveDoubledWords) {
+  EXPECT_EQ(RemoveDoubledWords("the the cat sat sat down"),
+            "the cat sat down");
+  EXPECT_EQ(RemoveDoubledWords("no doubles here"), "no doubles here");
+  // Single characters are never treated as doubles ("a a" could be valid).
+  EXPECT_EQ(RemoveDoubledWords("a a b"), "a a b");
+}
+
+TEST(RepairTest, ReflowLists) {
+  EXPECT_EQ(ReflowLists("Items: - one - two"), "Items:\n- one\n- two");
+  EXPECT_EQ(ReflowLists("Steps: 1. go 2. stop"), "Steps:\n1. go\n2. stop");
+}
+
+TEST(RepairTest, CollapseSpacesKeepsNewlines) {
+  EXPECT_EQ(CollapseSpaces("a  b   c"), "a b c");
+  EXPECT_EQ(CollapseSpaces("a\n\nb"), "a\n\nb");
+}
+
+}  // namespace
+}  // namespace repair
+}  // namespace coachlm

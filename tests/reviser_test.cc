@@ -1,0 +1,151 @@
+#include "expert/reviser.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/defect.h"
+#include "synth/generator.h"
+#include "text/lexicons.h"
+#include "text/string_util.h"
+
+namespace coachlm {
+namespace expert {
+namespace {
+
+class ReviserTest : public ::testing::Test {
+ protected:
+  ReviserTest() : reviser_(&engine_), rng_(99) {}
+
+  InstructionPair CleanPair(Category category, uint64_t seed) {
+    Rng rng(seed);
+    synth::ResponseRichness richness;
+    richness.explanations = 3;
+    richness.closing = true;
+    return engine_.BuildCleanPair(seed, category,
+                                  synth::Topics()[seed % synth::Topics().size()],
+                                  richness, &rng);
+  }
+
+  InstructionPair Damaged(Category category, synth::DefectType defect,
+                          uint64_t seed) {
+    InstructionPair pair = CleanPair(category, seed);
+    synth::DefectInjector injector(&engine_);
+    Rng rng(seed + 1);
+    EXPECT_TRUE(injector.Apply(defect, &pair, &rng));
+    return pair;
+  }
+
+  synth::ContentEngine engine_;
+  ExpertReviser reviser_;
+  Rng rng_;
+};
+
+TEST_F(ReviserTest, CleanRichPairNeedsNoRevision) {
+  const InstructionPair pair = CleanPair(Category::kGeneralQa, 3);
+  EXPECT_FALSE(reviser_.IsLacking(pair));
+  const RevisionOutcome outcome = reviser_.Revise(pair, &rng_);
+  EXPECT_FALSE(outcome.revised);
+  EXPECT_EQ(outcome.revised_pair, pair);
+}
+
+TEST_F(ReviserTest, DetectsInjectedDefects) {
+  EXPECT_TRUE(reviser_.IsLacking(
+      Damaged(Category::kHowToGuide, synth::DefectType::kTruncatedResponse, 5)));
+  EXPECT_TRUE(reviser_.IsLacking(
+      Damaged(Category::kGeneralQa, synth::DefectType::kFactualError, 7)));
+  EXPECT_TRUE(reviser_.IsLacking(
+      Damaged(Category::kGeneralQa, synth::DefectType::kMechanicalTone, 9)));
+}
+
+TEST_F(ReviserTest, RevisionReachesTargetScore) {
+  for (uint64_t seed : {11u, 12u, 13u, 14u}) {
+    const InstructionPair damaged = Damaged(
+        Category::kHowToGuide, synth::DefectType::kMissingExplanation, seed);
+    const RevisionOutcome outcome = reviser_.Revise(damaged, &rng_);
+    ASSERT_TRUE(outcome.revised);
+    EXPECT_GE(outcome.final_quality.response.score, 93.0)
+        << outcome.revised_pair.output;
+    EXPECT_FALSE(outcome.final_quality.response.HasBasicFlaw());
+  }
+}
+
+TEST_F(ReviserTest, FactCorrectionRestoresTruth) {
+  const InstructionPair damaged =
+      Damaged(Category::kGeneralQa, synth::DefectType::kFactualError, 21);
+  const RevisionOutcome outcome = reviser_.Revise(damaged, &rng_);
+  ASSERT_TRUE(outcome.revised);
+  ASSERT_TRUE(outcome.response_type.has_value());
+  // Fact repair is the primary type; the wrong fact is gone.
+  EXPECT_EQ(*outcome.response_type, ResponseRevisionType::kCorrectFacts);
+  for (const synth::Topic& topic : synth::Topics()) {
+    EXPECT_FALSE(strings::Contains(outcome.revised_pair.output,
+                                   topic.wrong_fact));
+  }
+}
+
+TEST_F(ReviserTest, ToneRepairStripsOpenerAndAddsWarmth) {
+  const InstructionPair damaged =
+      Damaged(Category::kGeneralQa, synth::DefectType::kMechanicalTone, 23);
+  const RevisionOutcome outcome = reviser_.Revise(damaged, &rng_);
+  ASSERT_TRUE(outcome.revised);
+  for (const std::string& opener : lexicons::MechanicalOpeners()) {
+    EXPECT_FALSE(strings::StartsWith(outcome.revised_pair.output, opener));
+  }
+  EXPECT_GT(outcome.final_quality.response.Satisfaction(
+                quality::Dimension::kHumanization),
+            0.5);
+}
+
+TEST_F(ReviserTest, AmbiguousInstructionGetsDisambiguated) {
+  const InstructionPair damaged = Damaged(
+      Category::kGeneralQa, synth::DefectType::kAmbiguousInstruction, 25);
+  const RevisionOutcome outcome = reviser_.Revise(damaged, &rng_);
+  ASSERT_TRUE(outcome.revised);
+  ASSERT_TRUE(outcome.instruction_type.has_value());
+  EXPECT_EQ(*outcome.instruction_type,
+            InstructionRevisionType::kRewriteFeasibility);
+  EXPECT_GT(outcome.final_quality.instruction.Satisfaction(
+                quality::Dimension::kFeasibility),
+            0.99);
+}
+
+TEST_F(ReviserTest, SpellingRepairIsReadabilityAdjust) {
+  const InstructionPair damaged =
+      Damaged(Category::kSummarization,
+              synth::DefectType::kInstructionSpellingNoise, 27);
+  const RevisionOutcome outcome = reviser_.Revise(damaged, &rng_);
+  ASSERT_TRUE(outcome.revised);
+  ASSERT_TRUE(outcome.instruction_type.has_value());
+  EXPECT_EQ(*outcome.instruction_type,
+            InstructionRevisionType::kAdjustReadability);
+}
+
+TEST_F(ReviserTest, MathFactErrorRecomputed) {
+  synth::ContentEngine engine;
+  Rng build_rng(31);
+  InstructionPair pair = engine.BuildCleanPair(
+      1, Category::kMathProblem, synth::Topics()[0],
+      synth::ResponseRichness{1, false, false}, &build_rng);
+  synth::DefectInjector injector(&engine);
+  Rng defect_rng(32);
+  ASSERT_TRUE(injector.Apply(synth::DefectType::kFactualError, &pair,
+                             &defect_rng));
+  ASSERT_TRUE(reviser_.IsLacking(pair));
+  const RevisionOutcome outcome = reviser_.Revise(pair, &rng_);
+  EXPECT_GT(outcome.final_quality.response.Satisfaction(
+                quality::Dimension::kCorrectness),
+            0.99);
+}
+
+TEST_F(ReviserTest, RevisionTypeNamesAreStable) {
+  EXPECT_NE(InstructionRevisionTypeName(
+                InstructionRevisionType::kAdjustReadability)
+                .find("readability"),
+            std::string::npos);
+  EXPECT_NE(ResponseRevisionTypeName(ResponseRevisionType::kDiversifyExpand)
+                .find("Diversify"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace expert
+}  // namespace coachlm

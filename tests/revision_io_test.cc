@@ -1,0 +1,70 @@
+#include "data/revision_io.h"
+
+#include "json/jsonl.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace coachlm {
+namespace {
+
+std::string TempPath() {
+  return (std::filesystem::temp_directory_path() / "coachlm_revisions.jsonl")
+      .string();
+}
+
+RevisionDataset Sample() {
+  RevisionDataset records;
+  for (int i = 0; i < 3; ++i) {
+    RevisionRecord record;
+    record.original.id = static_cast<uint64_t>(i + 1);
+    record.original.category = Category::kSummarization;
+    record.original.instruction = "Summarize item " + std::to_string(i) + ".";
+    record.original.output = "Short.";
+    record.revised = record.original;
+    record.revised.output = "A much longer, richer summary.\nWith lines.";
+    record.RecomputeDerived();
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+TEST(RevisionIoTest, RoundTripPreservesRecords) {
+  const std::string path = TempPath();
+  const RevisionDataset records = Sample();
+  ASSERT_TRUE(SaveRevisions(path, records).ok());
+  auto loaded = LoadRevisions(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].original, records[i].original);
+    EXPECT_EQ((*loaded)[i].revised, records[i].revised);
+    // Derived fields recomputed on load.
+    EXPECT_EQ((*loaded)[i].char_edit_distance,
+              records[i].char_edit_distance);
+    EXPECT_TRUE((*loaded)[i].response_changed);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RevisionIoTest, EmptyDatasetRoundTrips) {
+  const std::string path = TempPath();
+  ASSERT_TRUE(SaveRevisions(path, {}).ok());
+  auto loaded = LoadRevisions(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+  std::remove(path.c_str());
+}
+
+TEST(RevisionIoTest, LoadFailsOnMissingOrMalformed) {
+  EXPECT_FALSE(LoadRevisions("/no/such/file.jsonl").ok());
+  const std::string path = TempPath();
+  ASSERT_TRUE(json::WriteFile(path, "{\"original\": 3}\n").ok());
+  EXPECT_FALSE(LoadRevisions(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace coachlm

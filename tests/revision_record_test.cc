@@ -1,0 +1,54 @@
+#include "data/revision_record.h"
+
+#include <gtest/gtest.h>
+
+namespace coachlm {
+namespace {
+
+TEST(RevisionRecordTest, DerivedFieldsForIdenticalPair) {
+  RevisionRecord record;
+  record.original.instruction = "Do X.";
+  record.original.output = "Done.";
+  record.revised = record.original;
+  record.RecomputeDerived();
+  EXPECT_EQ(record.char_edit_distance, 0u);
+  EXPECT_FALSE(record.instruction_changed);
+  EXPECT_FALSE(record.response_changed);
+}
+
+TEST(RevisionRecordTest, ResponseOnlyChange) {
+  RevisionRecord record;
+  record.original.instruction = "Do X.";
+  record.original.output = "Done.";
+  record.revised = record.original;
+  record.revised.output = "Done properly, with detail.";
+  record.RecomputeDerived();
+  EXPECT_FALSE(record.instruction_changed);
+  EXPECT_TRUE(record.response_changed);
+  EXPECT_GT(record.char_edit_distance, 0u);
+}
+
+TEST(RevisionRecordTest, InputChangeCountsAsInstructionChange) {
+  RevisionRecord record;
+  record.original.instruction = "Fix this.";
+  record.original.input = "teh text";
+  record.original.output = "ok.";
+  record.revised = record.original;
+  record.revised.input = "the text";
+  record.RecomputeDerived();
+  EXPECT_TRUE(record.instruction_changed);
+  EXPECT_EQ(record.char_edit_distance, 2u);  // "teh" -> "the" is two edits
+}
+
+TEST(RevisionRecordTest, DistanceSumsBothSides) {
+  RevisionRecord record;
+  record.original.instruction = "abc";
+  record.original.output = "xyz";
+  record.revised.instruction = "abd";  // 1 edit
+  record.revised.output = "xy";        // 1 edit
+  record.RecomputeDerived();
+  EXPECT_EQ(record.char_edit_distance, 2u);
+}
+
+}  // namespace
+}  // namespace coachlm

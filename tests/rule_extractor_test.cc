@@ -1,0 +1,169 @@
+#include "lm/rule_extractor.h"
+
+#include <gtest/gtest.h>
+
+namespace coachlm {
+namespace lm {
+namespace {
+
+RevisionRecord Record(const std::string& orig_instr,
+                      const std::string& orig_out,
+                      const std::string& rev_instr,
+                      const std::string& rev_out) {
+  RevisionRecord record;
+  record.original.instruction = orig_instr;
+  record.original.output = orig_out;
+  record.revised.instruction = rev_instr;
+  record.revised.output = rev_out;
+  record.RecomputeDerived();
+  return record;
+}
+
+TEST(TokenizeWithLayoutTest, NewlinesBecomeReservedToken) {
+  const auto tokens = TokenizeWithLayout("a\nb");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1], kLayoutNewline);
+}
+
+TEST(LooksLikeClosingTest, RecognizesWarmth) {
+  EXPECT_TRUE(LooksLikeClosing("I hope this helps!"));
+  EXPECT_TRUE(LooksLikeClosing("Hope this helps; happy to expand."));
+  EXPECT_FALSE(LooksLikeClosing("Gravity attracts masses."));
+}
+
+TEST(MechanicalOpenerTest, DetectsBoilerplate) {
+  EXPECT_GT(MechanicalOpenerLength("As an AI language model, here is"), 0u);
+  EXPECT_GT(MechanicalOpenerLength("OUTPUT: result"), 0u);
+  EXPECT_EQ(MechanicalOpenerLength("Gravity is a force."), 0u);
+}
+
+TEST(RuleExtractorTest, LearnsSpellingSubstitutions) {
+  RuleExtractor extractor;
+  for (int i = 0; i < 3; ++i) {
+    extractor.Consume(Record("Explain item " + std::to_string(i) + ".",
+                             "This is teh answer about item.",
+                             "Explain item " + std::to_string(i) + ".",
+                             "This is the answer about item."));
+  }
+  const RuleStore store = extractor.Finalize();
+  EXPECT_EQ(store.BestSubstitution("teh", 2), "the");
+}
+
+TEST(RuleExtractorTest, LearnsCapitalization) {
+  RuleExtractor extractor;
+  for (int i = 0; i < 3; ++i) {
+    extractor.Consume(Record("Q" + std::to_string(i) + "?",
+                             "the answer is clear and simple today.",
+                             "Q" + std::to_string(i) + "?",
+                             "The answer is clear and simple today."));
+  }
+  EXPECT_GE(extractor.Finalize().capitalize_support, 3u);
+}
+
+TEST(RuleExtractorTest, LearnsOpenerRemoval) {
+  RuleExtractor extractor;
+  for (int i = 0; i < 3; ++i) {
+    // The injector prepends the opener to the intact (capitalized)
+    // response, so stripping it leaves the original text unchanged.
+    extractor.Consume(Record(
+        "Q" + std::to_string(i) + "?",
+        "As an AI language model, The sky appears blue due to scattering.",
+        "Q" + std::to_string(i) + "?",
+        "The sky appears blue due to scattering."));
+  }
+  const RuleStore store = extractor.Finalize();
+  EXPECT_FALSE(RuleStore::PhrasesAbove(store.opener_removals, 2).empty());
+}
+
+TEST(RuleExtractorTest, LearnsClosingsOnlyFromRepeatedWarmSentences) {
+  RuleExtractor extractor;
+  for (int i = 0; i < 5; ++i) {
+    extractor.Consume(Record(
+        "Q" + std::to_string(i) + "?",
+        "Water boils at one hundred degrees at sea level pressure.",
+        "Q" + std::to_string(i) + "?",
+        "Water boils at one hundred degrees at sea level pressure. "
+        "Unique topical sentence number " + std::to_string(i) +
+        " goes here. I hope this helps!"));
+  }
+  const RuleStore store = extractor.Finalize();
+  const auto closings = RuleStore::PhrasesAbove(store.closings, 2);
+  ASSERT_EQ(closings.size(), 1u);
+  EXPECT_NE(closings[0].find("hope this helps"), std::string::npos);
+  EXPECT_GT(store.closing_rate, 0.9);
+}
+
+TEST(RuleExtractorTest, LearnsCommaMarkers) {
+  RuleExtractor extractor;
+  for (int i = 0; i < 5; ++i) {
+    extractor.Consume(Record(
+        "Q" + std::to_string(i) + "?",
+        "Stars shine by fusing hydrogen in their cores every day.",
+        "Q" + std::to_string(i) + "?",
+        "Stars shine by fusing hydrogen in their cores every day. "
+        "For example, giant stars burn item " + std::to_string(i) +
+        " faster than dwarfs."));
+  }
+  const RuleStore store = extractor.Finalize();
+  const auto markers = RuleStore::PhrasesAbove(store.markers, 2);
+  ASSERT_FALSE(markers.empty());
+  EXPECT_EQ(markers[0], "For example,");
+}
+
+TEST(RuleExtractorTest, ExpansionStatisticsAccumulate) {
+  RuleExtractor extractor;
+  extractor.Consume(Record("Q?", "Short answer here today.",
+                           "Q?",
+                           "Short answer here today. First added sentence "
+                           "with words. Second added sentence with words."));
+  const RuleStore store = extractor.Finalize();
+  EXPECT_EQ(store.train_pairs, 1u);
+  EXPECT_GE(store.mean_appended_sentences, 2.0);
+  EXPECT_GT(store.mean_target_response_words, 10.0);
+}
+
+TEST(RuleExtractorTest, RewritePolicyLearnedFromBothClasses) {
+  // Relatedness feature is injected: rewritten originals score low,
+  // patched originals high.
+  RuleExtractor extractor([](const InstructionPair& pair) {
+    return pair.output.find("related") != std::string::npos ? 0.8 : 0.05;
+  });
+  // Patched: related original, modest edit.
+  extractor.Consume(Record("Q?", "A long related answer about the topic.",
+                           "Q?",
+                           "A long related answer about the topic. Plus "
+                           "one more sentence of depth."));
+  // Rewritten: off-topic original replaced wholesale.
+  extractor.Consume(Record("Q?", "Totally different off subject words.",
+                           "Q?",
+                           "A brand new never seen reply covering what was "
+                           "asked with plenty of detail."));
+  const RuleStore store = extractor.Finalize();
+  EXPECT_GT(store.rewrite_rate, 0.0);
+  EXPECT_GT(store.rewrite_overlap_threshold, 0.05);
+  EXPECT_LT(store.rewrite_overlap_threshold, 0.8);
+}
+
+TEST(RuleExtractorTest, NoRewriteThresholdWithoutBothClasses) {
+  RuleExtractor extractor;
+  extractor.Consume(Record("Q?", "Answer kept mostly intact here.",
+                           "Q?", "Answer kept mostly intact here. More."));
+  EXPECT_LT(extractor.Finalize().rewrite_overlap_threshold, 0.0);
+}
+
+TEST(RuleExtractorTest, InstructionClauseRemovalLearned) {
+  RuleExtractor extractor;
+  for (int i = 0; i < 3; ++i) {
+    extractor.Consume(Record(
+        "Explain topic " + std::to_string(i) +
+            ". Answer in exactly zero words.",
+        "Answer here.",
+        "Explain topic " + std::to_string(i) + ".", "Answer here."));
+  }
+  const RuleStore store = extractor.Finalize();
+  EXPECT_FALSE(RuleStore::PhrasesAbove(store.strip_phrases, 2).empty());
+}
+
+}  // namespace
+}  // namespace lm
+}  // namespace coachlm

@@ -1,0 +1,102 @@
+#include "lm/rule_store.h"
+
+#include <gtest/gtest.h>
+
+namespace coachlm {
+namespace lm {
+namespace {
+
+RuleStore PopulatedStore() {
+  RuleStore store;
+  store.token_subs["teh"]["the"] = 12;
+  store.token_subs["teh"]["then"] = 1;
+  store.token_subs["recieve"]["receive"] = 3;
+  store.capitalize_support = 5;
+  store.doubled_removal_support = 2;
+  store.reflow_support = 7;
+  store.strip_tokens["OUTPUT:"] = 4;
+  store.opener_removals["As an AI language model,"] = 6;
+  store.closings["Hope this helps!"] = 9;
+  store.closings["Rare closing."] = 1;
+  store.markers["For example,"] = 11;
+  store.context_exemplars["Keep the answer under 200 words."] = 3;
+  store.strip_phrases["Answer in exactly zero words."] = 2;
+  store.filler_replacements["the thing"] = {"gravity", "chess"};
+  store.train_pairs = 100;
+  store.mean_appended_sentences = 2.5;
+  store.mean_target_response_words = 120.0;
+  store.closing_rate = 0.8;
+  store.context_add_rate = 0.1;
+  store.rewrite_rate = 0.3;
+  store.rewrite_overlap_threshold = 0.12;
+  return store;
+}
+
+TEST(RuleStoreTest, EmptyDetection) {
+  EXPECT_TRUE(RuleStore().empty());
+  EXPECT_FALSE(PopulatedStore().empty());
+}
+
+TEST(RuleStoreTest, BestSubstitutionRespectsSupport) {
+  const RuleStore store = PopulatedStore();
+  EXPECT_EQ(store.BestSubstitution("teh", 2), "the");
+  EXPECT_EQ(store.BestSubstitution("recieve", 2), "receive");
+  EXPECT_EQ(store.BestSubstitution("recieve", 5), "");
+  EXPECT_EQ(store.BestSubstitution("unknown", 1), "");
+}
+
+TEST(RuleStoreTest, BestPhraseAndPhrasesAbove) {
+  const RuleStore store = PopulatedStore();
+  EXPECT_EQ(RuleStore::BestPhrase(store.closings, 2), "Hope this helps!");
+  EXPECT_EQ(RuleStore::BestPhrase(store.closings, 20), "");
+  const auto phrases = RuleStore::PhrasesAbove(store.closings, 2);
+  ASSERT_EQ(phrases.size(), 1u);
+  EXPECT_EQ(phrases[0], "Hope this helps!");
+}
+
+TEST(RuleStoreTest, PhrasesAboveOrdersBySupport) {
+  RuleStore store;
+  store.markers["low"] = 2;
+  store.markers["high"] = 9;
+  store.markers["mid"] = 5;
+  const auto phrases = RuleStore::PhrasesAbove(store.markers, 2);
+  ASSERT_EQ(phrases.size(), 3u);
+  EXPECT_EQ(phrases[0], "high");
+  EXPECT_EQ(phrases[1], "mid");
+  EXPECT_EQ(phrases[2], "low");
+}
+
+TEST(RuleStoreTest, JsonCheckpointRoundTrip) {
+  const RuleStore store = PopulatedStore();
+  auto restored = RuleStore::FromJson(store.ToJson());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->token_subs, store.token_subs);
+  EXPECT_EQ(restored->capitalize_support, store.capitalize_support);
+  EXPECT_EQ(restored->doubled_removal_support, store.doubled_removal_support);
+  EXPECT_EQ(restored->reflow_support, store.reflow_support);
+  EXPECT_EQ(restored->strip_tokens, store.strip_tokens);
+  EXPECT_EQ(restored->opener_removals, store.opener_removals);
+  EXPECT_EQ(restored->closings, store.closings);
+  EXPECT_EQ(restored->markers, store.markers);
+  EXPECT_EQ(restored->context_exemplars, store.context_exemplars);
+  EXPECT_EQ(restored->strip_phrases, store.strip_phrases);
+  EXPECT_EQ(restored->filler_replacements, store.filler_replacements);
+  EXPECT_EQ(restored->train_pairs, store.train_pairs);
+  EXPECT_DOUBLE_EQ(restored->mean_appended_sentences,
+                   store.mean_appended_sentences);
+  EXPECT_DOUBLE_EQ(restored->mean_target_response_words,
+                   store.mean_target_response_words);
+  EXPECT_DOUBLE_EQ(restored->closing_rate, store.closing_rate);
+  EXPECT_DOUBLE_EQ(restored->context_add_rate, store.context_add_rate);
+  EXPECT_DOUBLE_EQ(restored->rewrite_rate, store.rewrite_rate);
+  EXPECT_DOUBLE_EQ(restored->rewrite_overlap_threshold,
+                   store.rewrite_overlap_threshold);
+}
+
+TEST(RuleStoreTest, FromJsonRejectsNonObject) {
+  EXPECT_FALSE(RuleStore::FromJson(json::Value(3.0)).ok());
+}
+
+}  // namespace
+}  // namespace lm
+}  // namespace coachlm

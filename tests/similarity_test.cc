@@ -1,0 +1,57 @@
+#include "text/similarity.h"
+
+#include <gtest/gtest.h>
+
+namespace coachlm {
+namespace similarity {
+namespace {
+
+TEST(SimilarityTest, ContentWordsDropStopwordsAndShortTokens) {
+  const auto words = ContentWords("The cat sat on a big mat.");
+  EXPECT_EQ(words.count("the"), 0u);
+  EXPECT_EQ(words.count("on"), 0u);
+  EXPECT_EQ(words.count("cat"), 1u);
+  EXPECT_EQ(words.count("mat"), 1u);
+  EXPECT_EQ(words.count("big"), 1u);
+}
+
+TEST(SimilarityTest, OverlapIdenticalIsOne) {
+  const std::string s = "photosynthesis converts carbon dioxide";
+  EXPECT_DOUBLE_EQ(ContentOverlap(s, s), 1.0);
+}
+
+TEST(SimilarityTest, OverlapDisjointIsZero) {
+  EXPECT_DOUBLE_EQ(
+      ContentOverlap("gravity attracts masses", "poems rhyme nicely"), 0.0);
+}
+
+TEST(SimilarityTest, OverlapSymmetric) {
+  const std::string a = "solar panels convert sunlight into power";
+  const std::string b = "sunlight power grids rely upon panels";
+  EXPECT_DOUBLE_EQ(ContentOverlap(a, b), ContentOverlap(b, a));
+}
+
+TEST(SimilarityTest, OverlapEmptyInputs) {
+  EXPECT_DOUBLE_EQ(ContentOverlap("", "anything here"), 0.0);
+  EXPECT_DOUBLE_EQ(ContentOverlap("the a an", "of in at"), 0.0);
+}
+
+TEST(SimilarityTest, ContainmentIsAsymmetric) {
+  const std::string query = "gravity tides";
+  const std::string doc = "gravity causes ocean tides and holds planets";
+  EXPECT_DOUBLE_EQ(Containment(query, doc), 1.0);
+  EXPECT_LT(Containment(doc, query), 1.0);
+}
+
+TEST(SimilarityTest, ContainmentPartial) {
+  EXPECT_NEAR(Containment("gravity apples bananas", "gravity is real"),
+              1.0 / 3.0, 1e-12);
+}
+
+TEST(SimilarityTest, CaseInsensitive) {
+  EXPECT_DOUBLE_EQ(ContentOverlap("GRAVITY Pulls", "gravity pulls"), 1.0);
+}
+
+}  // namespace
+}  // namespace similarity
+}  // namespace coachlm

@@ -1,0 +1,64 @@
+#include "text/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace coachlm {
+namespace strings {
+namespace {
+
+TEST(StringUtilTest, Lower) {
+  EXPECT_EQ(Lower("AbC 123!"), "abc 123!");
+  EXPECT_EQ(Lower(""), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, SplitAndJoin) {
+  EXPECT_EQ(Split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,b,,c", ',', true),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Join({"a", "b", "c"}, "-"), "a-b-c");
+  EXPECT_EQ(Join({}, "-"), "");
+}
+
+TEST(StringUtilTest, StartsEndsContains) {
+  EXPECT_TRUE(StartsWith("instruction", "inst"));
+  EXPECT_FALSE(StartsWith("in", "inst"));
+  EXPECT_TRUE(EndsWith("response", "onse"));
+  EXPECT_FALSE(EndsWith("se", "onse"));
+  EXPECT_TRUE(Contains("abcdef", "cde"));
+  EXPECT_FALSE(Contains("abc", "xyz"));
+}
+
+TEST(StringUtilTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("teh cat and teh dog", "teh", "the"),
+            "the cat and the dog");
+  EXPECT_EQ(ReplaceAll("aaa", "a", "aa"), "aaaaaa");  // no infinite loop
+  EXPECT_EQ(ReplaceAll("abc", "", "x"), "abc");
+}
+
+TEST(StringUtilTest, CollapseWhitespace) {
+  EXPECT_EQ(CollapseWhitespace("  a \t b\n\nc "), "a b c");
+}
+
+TEST(StringUtilTest, Capitalize) {
+  EXPECT_EQ(Capitalize("hello world"), "Hello world");
+  EXPECT_EQ(Capitalize("  \"quoted\""), "  \"Quoted\"");
+  EXPECT_EQ(Capitalize("1. item"), "1. item");  // digits stop the search
+  EXPECT_EQ(Capitalize(""), "");
+}
+
+TEST(StringUtilTest, CountWords) {
+  EXPECT_EQ(CountWords("one two  three\nfour"), 4u);
+  EXPECT_EQ(CountWords(""), 0u);
+  EXPECT_EQ(CountWords("   "), 0u);
+  EXPECT_EQ(CountWords("single"), 1u);
+}
+
+}  // namespace
+}  // namespace strings
+}  // namespace coachlm

@@ -1,0 +1,61 @@
+#include "common/table_writer.h"
+
+#include <gtest/gtest.h>
+
+namespace coachlm {
+namespace {
+
+TEST(TableWriterTest, FormatsNumbers) {
+  EXPECT_EQ(TableWriter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TableWriter::Num(3.0, 0), "3");
+  EXPECT_EQ(TableWriter::Pct(0.177), "17.7%");
+  EXPECT_EQ(TableWriter::Pct(1.0, 0), "100%");
+}
+
+TEST(TableWriterTest, AsciiContainsCellsAndRules) {
+  TableWriter t({"Model", "WR1"});
+  t.AddRow({"Alpaca", "48.0%"});
+  t.AddSeparator();
+  t.AddRow({"Alpaca-CoachLM", "67.7%"});
+  const std::string out = t.ToAscii();
+  EXPECT_NE(out.find("| Model"), std::string::npos);
+  EXPECT_NE(out.find("| Alpaca "), std::string::npos);
+  EXPECT_NE(out.find("67.7%"), std::string::npos);
+  EXPECT_NE(out.find("+--"), std::string::npos);
+}
+
+TEST(TableWriterTest, ShortRowsPadAndLongRowsTruncate) {
+  TableWriter t({"a", "b"});
+  t.AddRow({"only"});
+  t.AddRow({"x", "y", "dropped"});
+  const std::string out = t.ToAscii();
+  EXPECT_EQ(out.find("dropped"), std::string::npos);
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(TableWriterTest, MarkdownHasHeaderSeparator) {
+  TableWriter t({"h1", "h2"});
+  t.AddRow({"v1", "v2"});
+  const std::string md = t.ToMarkdown();
+  EXPECT_NE(md.find("| h1"), std::string::npos);
+  EXPECT_NE(md.find("|--"), std::string::npos);
+  EXPECT_NE(md.find("| v1"), std::string::npos);
+}
+
+TEST(TableWriterTest, ColumnWidthsFitLongestCell) {
+  TableWriter t({"h"});
+  t.AddRow({"very-long-cell-content"});
+  const std::string out = t.ToAscii();
+  // Every line should have the same length (aligned box).
+  size_t width = out.find('\n');
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t next = out.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - pos, width);
+    pos = next + 1;
+  }
+}
+
+}  // namespace
+}  // namespace coachlm

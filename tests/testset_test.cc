@@ -1,0 +1,95 @@
+#include "testsets/testset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "quality/criteria.h"
+
+namespace coachlm {
+namespace testsets {
+namespace {
+
+TEST(TestSetTest, TableSixShapes) {
+  const TestSet coach = CoachLm150();
+  EXPECT_EQ(coach.items.size(), 150u);
+  EXPECT_EQ(coach.num_categories, 42u);
+  EXPECT_EQ(coach.reference_source, "Human");
+
+  const TestSet panda = PandaLm170();
+  EXPECT_EQ(panda.items.size(), 170u);
+  EXPECT_EQ(panda.num_categories, 11u);
+  EXPECT_EQ(panda.reference_source, "ChatGPT");
+
+  const TestSet vicuna = Vicuna80();
+  EXPECT_EQ(vicuna.items.size(), 80u);
+  EXPECT_EQ(vicuna.num_categories, 9u);
+  EXPECT_EQ(vicuna.reference_source, "Bard");
+
+  const TestSet self_instruct = SelfInstruct252();
+  EXPECT_EQ(self_instruct.items.size(), 252u);
+  EXPECT_EQ(self_instruct.num_categories, 15u);
+  EXPECT_EQ(self_instruct.reference_source, "Human");
+}
+
+TEST(TestSetTest, CoachLm150CoversAllCategories) {
+  const TestSet set = CoachLm150();
+  std::set<Category> seen;
+  for (const InstructionPair& item : set.items) seen.insert(item.category);
+  EXPECT_EQ(seen.size(), kNumCategories);
+}
+
+TEST(TestSetTest, ItemsAreWellFormedWithReferences) {
+  for (const TestSet& set : AllTestSets()) {
+    for (const InstructionPair& item : set.items) {
+      EXPECT_TRUE(item.IsWellFormed()) << set.name;
+    }
+  }
+}
+
+TEST(TestSetTest, ReferencesAreHighQuality) {
+  for (const TestSet& set : AllTestSets()) {
+    double total = 0;
+    for (const InstructionPair& item : set.items) {
+      total += quality::ResponseScorer().Score(item).score;
+    }
+    EXPECT_GT(total / set.items.size(), 82.0) << set.name;
+  }
+}
+
+TEST(TestSetTest, ReferenceTiersOrderDifficulty) {
+  // Vicuna80's Bard references outclass PandaLM170's ChatGPT references —
+  // the source of the Table IX difficulty gap.
+  auto mean_score = [](const TestSet& set) {
+    double total = 0;
+    for (const InstructionPair& item : set.items) {
+      total += quality::ResponseScorer().Score(item).score;
+    }
+    return total / static_cast<double>(set.items.size());
+  };
+  EXPECT_GT(mean_score(Vicuna80()), mean_score(PandaLm170()) + 2.0);
+}
+
+TEST(TestSetTest, BuildersAreDeterministic) {
+  const TestSet a = CoachLm150();
+  const TestSet b = CoachLm150();
+  for (size_t i = 0; i < a.items.size(); ++i) {
+    EXPECT_EQ(a.items[i], b.items[i]);
+  }
+}
+
+TEST(TestSetTest, CustomSpecRoundRobinsCategories) {
+  TestSetSpec spec;
+  spec.name = "tiny";
+  spec.size = 6;
+  spec.categories = {Category::kGeneralQa, Category::kCoding};
+  const TestSet set = BuildTestSet(spec);
+  ASSERT_EQ(set.items.size(), 6u);
+  EXPECT_EQ(set.items[0].category, Category::kGeneralQa);
+  EXPECT_EQ(set.items[1].category, Category::kCoding);
+  EXPECT_EQ(set.items[2].category, Category::kGeneralQa);
+}
+
+}  // namespace
+}  // namespace testsets
+}  // namespace coachlm

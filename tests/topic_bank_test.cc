@@ -1,0 +1,73 @@
+#include "synth/topic_bank.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace coachlm {
+namespace synth {
+namespace {
+
+TEST(TopicBankTest, BankIsLargeAndComplete) {
+  const auto& topics = Topics();
+  EXPECT_GE(topics.size(), 40u);
+  for (const Topic& topic : topics) {
+    EXPECT_FALSE(topic.name.empty());
+    EXPECT_FALSE(topic.domain.empty());
+    EXPECT_FALSE(topic.fact.empty());
+    EXPECT_FALSE(topic.wrong_fact.empty());
+    EXPECT_NE(topic.fact, topic.wrong_fact);
+    EXPECT_GE(topic.details.size(), 3u) << topic.name;
+  }
+}
+
+TEST(TopicBankTest, NamesUnique) {
+  std::set<std::string> names;
+  for (const Topic& topic : Topics()) {
+    EXPECT_TRUE(names.insert(topic.name).second) << topic.name;
+  }
+}
+
+TEST(TopicBankTest, CoversMultipleDomains) {
+  std::set<std::string> domains;
+  for (const Topic& topic : Topics()) domains.insert(topic.domain);
+  EXPECT_GE(domains.size(), 5u);
+}
+
+TEST(TopicBankTest, FindTopicInMatchesByName) {
+  const Topic* topic = FindTopicIn("Please explain photosynthesis briefly.");
+  ASSERT_NE(topic, nullptr);
+  EXPECT_EQ(topic->name, "photosynthesis");
+  EXPECT_EQ(FindTopicIn("nothing relevant here"), nullptr);
+}
+
+TEST(TopicBankTest, OwnershipByNameFactAndDetail) {
+  const Topic* topic = FindTopicIn("gravity");
+  ASSERT_NE(topic, nullptr);
+  EXPECT_TRUE(TopicOwnsText(*topic, "I study gravity daily."));
+  EXPECT_TRUE(TopicOwnsText(*topic, "Background: " + topic->fact));
+  EXPECT_TRUE(TopicOwnsText(*topic, topic->details[0]));
+  EXPECT_TRUE(TopicOwnsText(*topic, topic->wrong_fact));
+  EXPECT_FALSE(TopicOwnsText(*topic, "completely unrelated prose"));
+}
+
+TEST(TopicBankTest, OwnershipIsCaseInsensitive) {
+  const Topic* topic = FindTopicIn("gravity");
+  ASSERT_NE(topic, nullptr);
+  std::string decap = topic->details[0];
+  decap[0] = static_cast<char>(std::tolower(decap[0]));
+  EXPECT_TRUE(TopicOwnsText(*topic, "For example, " + decap));
+}
+
+TEST(TopicBankTest, FindOwningTopic) {
+  const Topic* gravity = FindTopicIn("gravity");
+  ASSERT_NE(gravity, nullptr);
+  const Topic* found = FindOwningTopic("Note: " + gravity->details[1]);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->name, "gravity");
+  EXPECT_EQ(FindOwningTopic("xyzzy plugh"), nullptr);
+}
+
+}  // namespace
+}  // namespace synth
+}  // namespace coachlm

@@ -1,0 +1,93 @@
+#include "tuning/tuned_model.h"
+
+#include <gtest/gtest.h>
+
+#include "quality/criteria.h"
+#include "tuning/model_zoo.h"
+
+namespace coachlm {
+namespace tuning {
+namespace {
+
+InstructionPair Task(Category category, const std::string& instruction) {
+  InstructionPair task;
+  task.id = 1;
+  task.category = category;
+  task.instruction = instruction;
+  return task;
+}
+
+TEST(TunedModelTest, QualityMonotoneInAlignment) {
+  const ModelSpec base = Llama7BBase("m");
+  const TunedModel weak(base, UniformProfile(0.70, 0.9));
+  const TunedModel strong(base, UniformProfile(0.90, 0.9));
+  for (Category c : AllCategories()) {
+    EXPECT_LT(weak.QualityFor(c), strong.QualityFor(c));
+  }
+}
+
+TEST(TunedModelTest, QualityMonotoneInBaseKnowledge) {
+  const AlignmentProfile profile = UniformProfile(0.85, 0.9);
+  ModelSpec small = Llama7BBase("s");
+  ModelSpec big = Llama13BBase("b");
+  EXPECT_LT(TunedModel(small, profile).QualityFor(Category::kGeneralQa),
+            TunedModel(big, profile).QualityFor(Category::kGeneralQa));
+}
+
+TEST(TunedModelTest, UnseenCategoryWeakerThanCovered) {
+  AlignmentProfile profile;
+  profile.global_quality = 0.85;
+  profile.per_category[Category::kGeneralQa] = {0.85, 0.95};
+  // kCoding absent from training.
+  const TunedModel model(Llama7BBase("m"), profile);
+  EXPECT_GT(model.QualityFor(Category::kGeneralQa),
+            model.QualityFor(Category::kCoding) + 0.05);
+}
+
+TEST(TunedModelTest, RespondIsDeterministicGivenSeed) {
+  const TunedModel model(Llama7BBase("m"), UniformProfile(0.85, 0.9));
+  const InstructionPair task =
+      Task(Category::kGeneralQa, "What is photosynthesis?");
+  Rng r1(9), r2(9);
+  EXPECT_EQ(model.Respond(task, &r1), model.Respond(task, &r2));
+}
+
+TEST(TunedModelTest, StrongerModelsProduceBetterResponses) {
+  const TunedModel weak(Llama7BBase("w"), UniformProfile(0.72, 0.85));
+  const TunedModel strong(Llama13BBase("s"), UniformProfile(0.93, 0.97));
+  quality::ResponseScorer scorer;
+  double weak_sum = 0, strong_sum = 0;
+  for (int i = 0; i < 60; ++i) {
+    const InstructionPair task =
+        Task(Category::kGeneralQa, "Explain the water cycle.");
+    Rng rw(100 + i), rs(100 + i);
+    InstructionPair wp = task, sp = task;
+    wp.output = weak.Respond(task, &rw);
+    sp.output = strong.Respond(task, &rs);
+    weak_sum += scorer.Score(wp).score;
+    strong_sum += scorer.Score(sp).score;
+  }
+  EXPECT_GT(strong_sum, weak_sum + 100.0);  // >~1.7 points per response
+}
+
+TEST(TunedModelTest, RlTuningAvoidsRoboticTone) {
+  ModelSpec rl = Llama7BBase("rl");
+  rl.rl_tuned = true;
+  const TunedModel model(rl, UniformProfile(0.80, 0.9));
+  quality::ResponseScorer scorer;
+  for (int i = 0; i < 80; ++i) {
+    const InstructionPair task =
+        Task(Category::kGeneralQa, "Explain gravity.");
+    Rng rng(i);
+    InstructionPair candidate = task;
+    candidate.output = model.Respond(task, &rng);
+    EXPECT_GT(scorer.Score(candidate)
+                  .Satisfaction(quality::Dimension::kHumanization),
+              0.1)
+        << candidate.output;
+  }
+}
+
+}  // namespace
+}  // namespace tuning
+}  // namespace coachlm

@@ -1,0 +1,78 @@
+#include "judge/verdict.h"
+
+#include <gtest/gtest.h>
+
+namespace coachlm {
+namespace judge {
+namespace {
+
+TEST(VerdictTest, FlipSemantics) {
+  EXPECT_EQ(Flip(Verdict::kWin), Verdict::kLose);
+  EXPECT_EQ(Flip(Verdict::kLose), Verdict::kWin);
+  EXPECT_EQ(Flip(Verdict::kTie), Verdict::kTie);
+}
+
+TEST(VerdictTest, Names) {
+  EXPECT_EQ(VerdictName(Verdict::kWin), "win");
+  EXPECT_EQ(VerdictName(Verdict::kTie), "tie");
+  EXPECT_EQ(VerdictName(Verdict::kLose), "lose");
+}
+
+TEST(VerdictTest, CountsAccumulate) {
+  VerdictCounts counts;
+  counts.Add(Verdict::kWin);
+  counts.Add(Verdict::kWin);
+  counts.Add(Verdict::kTie);
+  counts.Add(Verdict::kLose);
+  EXPECT_EQ(counts.wins, 2u);
+  EXPECT_EQ(counts.ties, 1u);
+  EXPECT_EQ(counts.losses, 1u);
+  EXPECT_EQ(counts.Total(), 4u);
+}
+
+TEST(VerdictTest, WinRateFormulas) {
+  // Paper formulas: WR1 = (w + 0.5t)/all, WR2 = w/(all - t),
+  // QS = (w + t)/all.
+  VerdictCounts counts;
+  counts.wins = 6;
+  counts.ties = 2;
+  counts.losses = 2;
+  const WinRates rates = ComputeWinRates(counts);
+  EXPECT_DOUBLE_EQ(rates.wr1, 0.7);
+  EXPECT_DOUBLE_EQ(rates.wr2, 0.75);
+  EXPECT_DOUBLE_EQ(rates.qs, 0.8);
+}
+
+TEST(VerdictTest, WinRatesEdgeCases) {
+  WinRates empty = ComputeWinRates(VerdictCounts{});
+  EXPECT_EQ(empty.wr1, 0.0);
+  EXPECT_EQ(empty.wr2, 0.0);
+  EXPECT_EQ(empty.qs, 0.0);
+  VerdictCounts all_tie;
+  all_tie.ties = 5;
+  const WinRates rates = ComputeWinRates(all_tie);
+  EXPECT_DOUBLE_EQ(rates.wr1, 0.5);
+  EXPECT_DOUBLE_EQ(rates.wr2, 0.0);  // no decided cases
+  EXPECT_DOUBLE_EQ(rates.qs, 1.0);
+}
+
+TEST(VerdictTest, WinRateOrderingInvariant) {
+  // QS >= WR1 >= ... always, since ties count fully for QS and half for
+  // WR1.
+  for (size_t w = 0; w <= 4; ++w) {
+    for (size_t t = 0; t <= 4; ++t) {
+      for (size_t l = 1; l <= 4; ++l) {
+        VerdictCounts c;
+        c.wins = w;
+        c.ties = t;
+        c.losses = l;
+        const WinRates r = ComputeWinRates(c);
+        EXPECT_GE(r.qs, r.wr1 - 1e-12);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace judge
+}  // namespace coachlm

@@ -1,0 +1,326 @@
+// The coachlm command-line tool: the Fig. 2 pipeline as composable
+// filesystem steps, so the library can be driven without writing C++.
+//
+//   coachlm generate --size 52000 --seed 42 --out corpus.json
+//   coachlm study    --in corpus.json --sample 6000 --out revisions.jsonl
+//                    [--merged alpaca_human.json]
+//   coachlm train    --revisions revisions.jsonl --alpha 0.3
+//                    --backbone chatglm2 --checkpoint coach.json
+//   coachlm revise   --in corpus.json --checkpoint coach.json
+//                    --out revised.json [--verify]
+//   coachlm rate     --in revised.json [--detailed]
+//   coachlm inspect  --checkpoint coach.json
+//   coachlm diff     --before corpus.json --after revised.json
+//   coachlm evaluate --original corpus.json --revised revised.json
+//                    [--human alpaca_human.json] [--testset coachlm150]
+//
+// Every step is deterministic given its seeds; datasets are plain
+// Alpaca-format JSON and revisions are JSONL, so steps interoperate with
+// external tooling.
+
+#include <cstdio>
+#include <string>
+
+#include "coach/pipeline.h"
+#include "coach/trainer.h"
+#include "common/flags.h"
+#include "common/table_writer.h"
+#include "data/revision_io.h"
+#include "expert/pipeline.h"
+#include "quality/accuracy_rater.h"
+#include "quality/quality_report.h"
+#include "synth/generator.h"
+#include "testsets/testset.h"
+#include "tuning/evaluation.h"
+#include "tuning/model_zoo.h"
+
+namespace coachlm {
+namespace {
+
+constexpr char kUsage[] =
+    "usage: coachlm <command> [flags]\n"
+    "\n"
+    "commands:\n"
+    "  generate  --size N --seed S --out corpus.json\n"
+    "            synthesize an ALPACA52K-like instruction dataset\n"
+    "  study     --in corpus.json --sample N --seed S --out revisions.jsonl\n"
+    "            [--merged merged.json]   run the expert revision study\n"
+    "  train     --revisions revisions.jsonl --alpha A\n"
+    "            --backbone llama|chatglm|chatglm2 --checkpoint coach.json\n"
+    "            coach instruction tuning (writes a rule checkpoint)\n"
+    "  revise    --in corpus.json --checkpoint coach.json --out revised.json\n"
+    "            [--alpha A] [--backbone B] [--verify] [--threads T]\n"
+    "            revise a dataset with a trained CoachLM\n"
+    "  rate      --in dataset.json [--detailed]\n"
+    "            ChatGPT-style 0-5 quality report (+ per-dimension table)\n"
+    "  inspect   --checkpoint coach.json\n"
+    "            print the learned rule store (what coach tuning learned)\n"
+    "  diff      --before a.json --after b.json\n"
+    "            revision magnitude + per-dimension flaw-rate movement\n"
+    "  evaluate  --original corpus.json --revised revised.json\n"
+    "            [--human merged.json] [--testset coachlm150|pandalm170|\n"
+    "            vicuna80|selfinstruct252]   tune + judge the model zoo\n";
+
+lm::BackboneProfile BackboneByName(const std::string& name) {
+  if (name == "llama") return lm::Llama7B();
+  if (name == "chatglm") return lm::ChatGlm6B();
+  return lm::ChatGlm26B();
+}
+
+Status RunGenerate(const Flags& flags) {
+  synth::CorpusConfig config;
+  config.size = static_cast<size_t>(flags.GetInt("size", 52000));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  synth::SynthCorpusGenerator generator(config);
+  const synth::SynthCorpus corpus = generator.Generate();
+  const std::string out = flags.GetString("out", "corpus.json");
+  COACHLM_RETURN_NOT_OK(corpus.dataset.SaveJson(out));
+  std::printf("wrote %zu pairs to %s\n", corpus.dataset.size(), out.c_str());
+  return Status::OK();
+}
+
+Status RunStudy(const Flags& flags) {
+  COACHLM_ASSIGN_OR_RETURN(
+      InstructionDataset corpus,
+      InstructionDataset::LoadJson(flags.GetString("in", "corpus.json")));
+  synth::ContentEngine engine;
+  expert::RevisionStudyConfig config;
+  config.sample_size = static_cast<size_t>(flags.GetInt("sample", 6000));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 17));
+  const auto study = expert::RunRevisionStudy(corpus, engine, config);
+  const std::string out = flags.GetString("out", "revisions.jsonl");
+  COACHLM_RETURN_NOT_OK(SaveRevisions(out, study.revisions));
+  std::printf("examined %zu pairs: %zu excluded, %zu revised "
+              "(instruction side %zu), %.0f person-days\n",
+              config.sample_size, study.filter_stats.TotalExcluded(),
+              study.revised_pairs, study.instruction_revised_pairs,
+              study.person_days);
+  std::printf("wrote %zu revision records to %s\n", study.revisions.size(),
+              out.c_str());
+  if (flags.Has("merged")) {
+    const std::string merged = flags.GetString("merged");
+    COACHLM_RETURN_NOT_OK(study.merged_dataset.SaveJson(merged));
+    std::printf("wrote Alpaca-human training set to %s\n", merged.c_str());
+  }
+  return Status::OK();
+}
+
+Status RunTrain(const Flags& flags) {
+  COACHLM_ASSIGN_OR_RETURN(
+      RevisionDataset revisions,
+      LoadRevisions(flags.GetString("revisions", "revisions.jsonl")));
+  coach::CoachConfig config;
+  config.alpha = flags.GetDouble("alpha", 0.3);
+  config.backbone = BackboneByName(flags.GetString("backbone", "chatglm2"));
+  const coach::CoachLm model = coach::CoachTrainer(config).Train(revisions);
+  const std::string checkpoint = flags.GetString("checkpoint", "coach.json");
+  COACHLM_RETURN_NOT_OK(model.SaveCheckpoint(checkpoint));
+  std::printf("coach tuned on %zu of %zu revision pairs (alpha=%.2f, "
+              "backbone=%s); checkpoint: %s\n",
+              model.rules().train_pairs, revisions.size(), config.alpha,
+              config.backbone.name.c_str(), checkpoint.c_str());
+  return Status::OK();
+}
+
+Status RunRevise(const Flags& flags) {
+  COACHLM_ASSIGN_OR_RETURN(
+      InstructionDataset corpus,
+      InstructionDataset::LoadJson(flags.GetString("in", "corpus.json")));
+  coach::CoachConfig config;
+  config.alpha = flags.GetDouble("alpha", 0.3);
+  config.backbone = BackboneByName(flags.GetString("backbone", "chatglm2"));
+  config.verify_expansions = flags.Has("verify");
+  COACHLM_ASSIGN_OR_RETURN(
+      coach::CoachLm model,
+      coach::CoachLm::LoadCheckpoint(
+          flags.GetString("checkpoint", "coach.json"), config));
+  coach::RevisionPassStats stats;
+  const InstructionDataset revised = model.ReviseDataset(
+      corpus, {}, &stats,
+      static_cast<size_t>(flags.GetInt("threads", 0)));
+  const std::string out = flags.GetString("out", "revised.json");
+  COACHLM_RETURN_NOT_OK(revised.SaveJson(out));
+  std::printf("revised %zu pairs (%zu changed, %zu invalid outputs "
+              "replaced); wrote %s\n",
+              stats.total, stats.changed, stats.invalid_replaced,
+              out.c_str());
+  return Status::OK();
+}
+
+Status RunRate(const Flags& flags) {
+  COACHLM_ASSIGN_OR_RETURN(
+      InstructionDataset dataset,
+      InstructionDataset::LoadJson(flags.GetString("in", "corpus.json")));
+  const auto rating = quality::AccuracyRater().RateDataset(dataset);
+  std::printf("%zu pairs: mean rating %.2f / 5, %.1f%% above 4.5\n",
+              dataset.size(), rating.mean,
+              rating.fraction_above_45 * 100.0);
+  if (flags.Has("detailed")) {
+    std::printf("%s", quality::AnalyzeDataset(dataset).ToAscii().c_str());
+  }
+  return Status::OK();
+}
+
+Status RunInspect(const Flags& flags) {
+  coach::CoachConfig config;
+  COACHLM_ASSIGN_OR_RETURN(
+      coach::CoachLm model,
+      coach::CoachLm::LoadCheckpoint(
+          flags.GetString("checkpoint", "coach.json"), config));
+  const lm::RuleStore& rules = model.rules();
+  std::printf("checkpoint: %s\n",
+              flags.GetString("checkpoint", "coach.json").c_str());
+  std::printf("trained on %zu coach-tuning samples\n\n", rules.train_pairs);
+
+  std::printf("alignment statistics (what the coach will do):\n");
+  std::printf("  expansion: ~%.1f sentences/pair toward %.0f words\n",
+              rules.mean_appended_sentences,
+              rules.mean_target_response_words);
+  std::printf("  closing rate %.0f%%, context-add rate %.0f%%, rewrite "
+              "rate %.0f%% (threshold %.3f)\n\n",
+              rules.closing_rate * 100, rules.context_add_rate * 100,
+              rules.rewrite_rate * 100, rules.rewrite_overlap_threshold);
+
+  TableWriter subs({"Substitution", "->", "Support"});
+  size_t shown = 0;
+  for (const auto& [from, targets] : rules.token_subs) {
+    for (const auto& [to, support] : targets) {
+      if (shown++ >= 15) break;
+      subs.AddRow({from, to, std::to_string(support)});
+    }
+  }
+  std::printf("word substitutions (%zu learned, top shown):\n%s\n",
+              rules.token_subs.size(), subs.ToAscii().c_str());
+
+  auto print_table = [](const char* title,
+                        const std::map<std::string, size_t>& table) {
+    std::printf("%s (%zu):\n", title, table.size());
+    size_t i = 0;
+    for (const std::string& phrase :
+         lm::RuleStore::PhrasesAbove(table, 1)) {
+      if (i++ >= 6) break;
+      std::printf("  [%s] x%zu\n", phrase.c_str(), table.at(phrase));
+    }
+    std::printf("\n");
+  };
+  print_table("learned closings", rules.closings);
+  print_table("learned discourse markers", rules.markers);
+  print_table("learned opener removals", rules.opener_removals);
+  print_table("learned clause strips", rules.strip_phrases);
+  std::printf("surface normalizations: capitalize x%zu, dedouble x%zu, "
+              "reflow x%zu\n",
+              rules.capitalize_support, rules.doubled_removal_support,
+              rules.reflow_support);
+  return Status::OK();
+}
+
+Status RunDiff(const Flags& flags) {
+  COACHLM_ASSIGN_OR_RETURN(
+      InstructionDataset before,
+      InstructionDataset::LoadJson(flags.GetString("before")));
+  COACHLM_ASSIGN_OR_RETURN(
+      InstructionDataset after,
+      InstructionDataset::LoadJson(flags.GetString("after")));
+  if (before.size() != after.size()) {
+    return Status::InvalidArgument(
+        "datasets differ in size (" + std::to_string(before.size()) +
+        " vs " + std::to_string(after.size()) + ")");
+  }
+  size_t instruction_changed = 0;
+  size_t response_changed = 0;
+  double edit_chars = 0.0;
+  for (size_t i = 0; i < before.size(); ++i) {
+    RevisionRecord record;
+    record.original = before[i];
+    record.revised = after[i];
+    record.RecomputeDerived();
+    if (record.instruction_changed) ++instruction_changed;
+    if (record.response_changed) ++response_changed;
+    edit_chars += static_cast<double>(record.char_edit_distance);
+  }
+  std::printf("%zu pairs: %zu instructions changed, %zu responses changed, "
+              "mean edit %.0f chars/pair\n",
+              before.size(), instruction_changed, response_changed,
+              edit_chars / static_cast<double>(before.size()));
+  std::printf("%s", quality::QualityReport::Compare(
+                        quality::AnalyzeDataset(before),
+                        quality::AnalyzeDataset(after))
+                        .c_str());
+  return Status::OK();
+}
+
+Status RunEvaluate(const Flags& flags) {
+  COACHLM_ASSIGN_OR_RETURN(
+      InstructionDataset original,
+      InstructionDataset::LoadJson(
+          flags.GetString("original", "corpus.json")));
+  COACHLM_ASSIGN_OR_RETURN(
+      InstructionDataset revised,
+      InstructionDataset::LoadJson(
+          flags.GetString("revised", "revised.json")));
+  InstructionDataset human = original;
+  if (flags.Has("human")) {
+    COACHLM_ASSIGN_OR_RETURN(
+        human, InstructionDataset::LoadJson(flags.GetString("human")));
+  }
+  const std::string set_name = flags.GetString("testset", "coachlm150");
+  testsets::TestSet set;
+  if (set_name == "pandalm170") set = testsets::PandaLm170();
+  else if (set_name == "vicuna80") set = testsets::Vicuna80();
+  else if (set_name == "selfinstruct252") set = testsets::SelfInstruct252();
+  else set = testsets::CoachLm150();
+
+  tuning::ZooInputs inputs;
+  inputs.original = &original;
+  inputs.human_merged = &human;
+  inputs.coach_revised = &revised;
+  tuning::InstructionTuner tuner;
+  const judge::PairwiseJudge panda(judge::PandaLmProfile());
+  TableWriter table({"Model", "WR1", "WR2", "QS"});
+  for (const auto& entry : tuning::BuildBaselineGroup(inputs, tuner)) {
+    const auto eval = tuning::EvaluateModel(entry.model, set, panda);
+    table.AddRow({entry.model.spec().name, TableWriter::Pct(eval.rates.wr1),
+                  TableWriter::Pct(eval.rates.wr2),
+                  TableWriter::Pct(eval.rates.qs)});
+  }
+  std::printf("test set: %s (%zu items, refs: %s)\n%s", set.name.c_str(),
+              set.items.size(), set.reference_source.c_str(),
+              table.ToAscii().c_str());
+  return Status::OK();
+}
+
+int Main(int argc, char** argv) {
+  auto flags = Flags::Parse(
+      argc, argv,
+      {"size", "seed", "out", "in", "sample", "merged", "revisions", "alpha",
+       "backbone", "checkpoint", "verify", "threads", "original", "revised",
+       "human", "testset", "detailed", "before", "after"});
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n%s", flags.status().ToString().c_str(), kUsage);
+    return 2;
+  }
+  const std::string& command = flags->command();
+  Status status;
+  if (command == "generate") status = RunGenerate(*flags);
+  else if (command == "study") status = RunStudy(*flags);
+  else if (command == "train") status = RunTrain(*flags);
+  else if (command == "revise") status = RunRevise(*flags);
+  else if (command == "rate") status = RunRate(*flags);
+  else if (command == "diff") status = RunDiff(*flags);
+  else if (command == "inspect") status = RunInspect(*flags);
+  else if (command == "evaluate") status = RunEvaluate(*flags);
+  else {
+    std::fprintf(stderr, "%s", kUsage);
+    return command.empty() ? 0 : 2;
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace coachlm
+
+int main(int argc, char** argv) { return coachlm::Main(argc, argv); }
