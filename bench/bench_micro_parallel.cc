@@ -1,0 +1,187 @@
+// Pipeline throughput across execution-context widths: every corpus-scale
+// stage runs at 1/2/4/N threads on one long-lived ExecutionContext each,
+// reporting pairs (or items) per second and the speedup over the serial
+// width. Outputs are hashed and compared across widths, so the run doubles
+// as an end-to-end determinism check at bench scale.
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/execution.h"
+#include "common/table_writer.h"
+#include "judge/pairwise_judge.h"
+#include "quality/accuracy_rater.h"
+#include "testsets/testset.h"
+#include "tuning/evaluation.h"
+#include "tuning/instruction_tuner.h"
+#include "tuning/model_spec.h"
+
+namespace coachlm {
+namespace bench {
+namespace {
+
+double Seconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+std::vector<size_t> Widths() {
+  std::vector<size_t> widths = {1, 2, 4};
+  const size_t hardware = ExecutionContext::Default().num_threads();
+  if (hardware > 4) widths.push_back(hardware);
+  return widths;
+}
+
+uint64_t Fnv1a(const std::string& text, uint64_t h) {
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t HashDataset(const InstructionDataset& dataset) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const InstructionPair& pair : dataset) {
+    h = Fnv1a(pair.ToJson().Dump(), h);
+  }
+  return h;
+}
+
+int Run() {
+  PrintHeader("parallel throughput",
+              "corpus-scale stages at 1/2/4/N execution-context threads");
+  // Speedups are bounded by the physical core count: on a single-core
+  // host every width timeshares one CPU and the table degenerates to ~1x
+  // (while still exercising the determinism contract).
+  std::printf("hardware threads: %u\n",
+              std::thread::hardware_concurrency());
+
+  synth::CorpusConfig corpus_config;
+  corpus_config.size = Scaled(12000, 1200);
+  corpus_config.seed = 42;
+  synth::SynthCorpusGenerator generator(corpus_config);
+  const synth::SynthCorpus corpus = generator.Generate();
+
+  expert::RevisionStudyConfig study_config;
+  study_config.sample_size = Scaled(3000, 300);
+  const auto study = expert::RunRevisionStudy(corpus.dataset,
+                                              generator.engine(),
+                                              study_config);
+  coach::CoachConfig coach_config;
+  coach_config.alpha = 0.3;
+  const coach::CoachLm model =
+      coach::CoachTrainer(coach_config).Train(study.revisions);
+
+  const tuning::InstructionTuner tuner;
+  const tuning::TunedModel tuned =
+      tuner.Tune(tuning::Llama7BBase("bench"), corpus.dataset);
+  const judge::PairwiseJudge panda(judge::PandaLmProfile());
+  const testsets::TestSet test_set = testsets::CoachLm150();
+
+  const std::vector<size_t> widths = Widths();
+  struct Stage {
+    std::string name;
+    size_t items;
+    std::function<uint64_t(const ExecutionContext&)> run;
+  };
+  const std::vector<Stage> stages = {
+      {"generate", corpus_config.size,
+       [&](const ExecutionContext& exec) {
+         return HashDataset(generator.Generate(exec).dataset);
+       }},
+      {"expert study", study_config.sample_size,
+       [&](const ExecutionContext& exec) {
+         return HashDataset(expert::RunRevisionStudy(corpus.dataset,
+                                                     generator.engine(),
+                                                     study_config, {}, exec)
+                                .merged_dataset);
+       }},
+      {"coach revise", corpus.dataset.size(),
+       [&](const ExecutionContext& exec) {
+         return HashDataset(
+             model.ReviseDataset(corpus.dataset, {}, nullptr, exec));
+       }},
+      {"rate", corpus.dataset.size(),
+       [&](const ExecutionContext& exec) {
+         const auto rating =
+             quality::AccuracyRater().RateDataset(corpus.dataset, exec);
+         uint64_t h = 1469598103934665603ULL;
+         for (double r : rating.ratings) {
+           h = Fnv1a(std::to_string(r), h);
+         }
+         return h;
+       }},
+      {"judge evaluate", test_set.items.size(),
+       [&](const ExecutionContext& exec) {
+         const auto eval = tuning::EvaluateModel(tuned, test_set, panda,
+                                                 /*seed=*/5150, exec);
+         return (eval.counts.wins << 16) ^ (eval.counts.ties << 8) ^
+                eval.counts.losses;
+       }},
+  };
+
+  std::vector<std::string> header = {"Stage"};
+  for (size_t width : widths) {
+    header.push_back("t=" + std::to_string(width) + " (items/s)");
+  }
+  header.push_back("speedup@4");
+  TableWriter table(header);
+
+  std::vector<double> total_seconds(widths.size(), 0.0);
+  bool all_identical = true;
+  for (const Stage& stage : stages) {
+    std::vector<std::string> row = {stage.name};
+    double serial_seconds = 0.0;
+    double at4_seconds = 0.0;
+    uint64_t serial_hash = 0;
+    for (size_t w = 0; w < widths.size(); ++w) {
+      const ExecutionContext exec(widths[w]);
+      uint64_t hash = 0;
+      const double seconds = Seconds([&] { hash = stage.run(exec); });
+      total_seconds[w] += seconds;
+      if (widths[w] == 1) {
+        serial_seconds = seconds;
+        serial_hash = hash;
+      } else if (hash != serial_hash) {
+        all_identical = false;
+      }
+      if (widths[w] == 4) at4_seconds = seconds;
+      row.push_back(TableWriter::Num(
+          static_cast<double>(stage.items) / seconds, 0));
+    }
+    row.push_back(at4_seconds > 0
+                      ? TableWriter::Num(serial_seconds / at4_seconds, 2) + "x"
+                      : "-");
+    table.AddRow(row);
+  }
+
+  std::vector<std::string> total_row = {"end-to-end"};
+  for (size_t w = 0; w < widths.size(); ++w) {
+    total_row.push_back(TableWriter::Num(total_seconds[w], 2) + " s");
+  }
+  double at4_total = 0.0;
+  for (size_t w = 0; w < widths.size(); ++w) {
+    if (widths[w] == 4) at4_total = total_seconds[w];
+  }
+  total_row.push_back(
+      at4_total > 0 ? TableWriter::Num(total_seconds[0] / at4_total, 2) + "x"
+                    : "-");
+  table.AddRow(total_row);
+
+  std::printf("%s", table.ToAscii().c_str());
+  std::printf("outputs byte-identical across widths: %s\n",
+              all_identical ? "yes" : "NO (determinism violation)");
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace coachlm
+
+int main() { return coachlm::bench::Run(); }

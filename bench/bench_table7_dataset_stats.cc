@@ -4,7 +4,7 @@
 
 #include "bench_common.h"
 #include "common/table_writer.h"
-#include "common/threadpool.h"
+#include "common/execution.h"
 #include "text/edit_distance.h"
 
 using namespace coachlm;
@@ -22,8 +22,7 @@ int main() {
 
   std::vector<size_t> instr_ed(before.size());
   std::vector<size_t> resp_ed(before.size());
-  ThreadPool pool;
-  pool.ParallelFor(before.size(), [&](size_t i) {
+  ExecutionContext::Default().ParallelFor(before.size(), [&](size_t i) {
     instr_ed[i] = editdist::WordDistance(before[i].FullInstruction(),
                                          after[i].FullInstruction());
     resp_ed[i] = editdist::WordDistance(before[i].output, after[i].output);

@@ -5,7 +5,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/threadpool.h"
 #include "json/jsonl.h"
 #include "lm/pair_text.h"
 #include "lm/rule_extractor.h"
@@ -305,11 +304,10 @@ InstructionPair CoachLm::Revise(const InstructionPair& pair, Rng* rng,
 InstructionDataset CoachLm::ReviseDataset(
     const InstructionDataset& dataset,
     const std::unordered_set<std::string>& training_instructions,
-    RevisionPassStats* stats, size_t num_threads) const {
+    RevisionPassStats* stats, const ExecutionContext& exec) const {
   std::vector<InstructionPair> revised(dataset.size());
   std::vector<RevisionPassStats> shard_stats(dataset.size());
-  ThreadPool pool(num_threads);
-  pool.ParallelFor(dataset.size(), [&](size_t i) {
+  exec.ParallelFor(dataset.size(), [&](size_t i) {
     const InstructionPair& pair = dataset[i];
     RevisionPassStats& s = shard_stats[i];
     if (training_instructions.count(lm::SerializePair(pair)) > 0) {
@@ -322,9 +320,11 @@ InstructionDataset CoachLm::ReviseDataset(
     }
     // Deterministic per-pair stream: thread scheduling cannot change
     // results.
-    Rng rng(config_.seed ^ (pair.id * 0x9E3779B97F4A7C15ULL));
+    Rng rng = DeriveRng(config_.seed, pair.id);
     revised[i] = Revise(pair, &rng, &s);
   });
+  // Serial fold in dataset order (the counters are commutative, but a
+  // fixed order keeps the path schedule-independent by construction).
   if (stats != nullptr) {
     for (const RevisionPassStats& s : shard_stats) {
       stats->total += s.total;
@@ -334,6 +334,18 @@ InstructionDataset CoachLm::ReviseDataset(
     }
   }
   return InstructionDataset(std::move(revised));
+}
+
+InstructionDataset CoachLm::ReviseDataset(
+    const InstructionDataset& dataset,
+    const std::unordered_set<std::string>& training_instructions,
+    RevisionPassStats* stats, size_t num_threads) const {
+  if (num_threads == 0) {
+    return ReviseDataset(dataset, training_instructions, stats,
+                         ExecutionContext::Default());
+  }
+  const ExecutionContext exec(num_threads);
+  return ReviseDataset(dataset, training_instructions, stats, exec);
 }
 
 Status CoachLm::SaveCheckpoint(const std::string& path) const {

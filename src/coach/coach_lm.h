@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "coach/coach_config.h"
+#include "common/execution.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "data/dataset.h"
@@ -51,10 +52,19 @@ class CoachLm {
   InstructionPair Revise(const InstructionPair& pair, Rng* rng,
                          RevisionPassStats* stats = nullptr) const;
 
-  /// Revises a whole dataset in parallel (deterministically: each pair's
-  /// randomness derives from the config seed and the pair id). Pairs whose
-  /// serialized form (lm::SerializePair) is in \p training_instructions
-  /// are adopted unchanged (the data-leakage guard).
+  /// Revises a whole dataset over \p exec (deterministically: each pair's
+  /// randomness derives from the config seed and the pair id, so results
+  /// are byte-identical at any thread count). Pairs whose serialized form
+  /// (lm::SerializePair) is in \p training_instructions are adopted
+  /// unchanged (the data-leakage guard).
+  InstructionDataset ReviseDataset(
+      const InstructionDataset& dataset,
+      const std::unordered_set<std::string>& training_instructions,
+      RevisionPassStats* stats, const ExecutionContext& exec) const;
+
+  /// Legacy thread-count entry point: \p num_threads = 0 uses
+  /// ExecutionContext::Default(); otherwise a dedicated context of that
+  /// width is constructed for the call.
   InstructionDataset ReviseDataset(
       const InstructionDataset& dataset,
       const std::unordered_set<std::string>& training_instructions,

@@ -1,31 +1,45 @@
 #include "coach/pipeline.h"
 
-#include "coach/alpha_selection.h"
-#include "lm/pair_text.h"
-
 namespace coachlm {
 namespace coach {
 
 CoachPipelineResult RunCoachPipeline(const InstructionDataset& corpus,
                                      const RevisionDataset& revisions,
                                      const CoachConfig& config,
-                                     size_t num_threads) {
+                                     const ExecutionContext& exec) {
   CoachPipelineResult result;
   CoachTrainer trainer(config);
-  result.model = trainer.Train(revisions);
+  // Build C_alpha once: training consumes the samples below, and the
+  // leakage guard reuses each sample's input text — which *is* the
+  // serialized original (lm::MakeCoachSample) — so nothing is α-selected
+  // or serialized a second time.
+  const InstructionDataset coach_dataset = trainer.BuildCoachDataset(revisions);
+  result.model = trainer.TrainOnCoachDataset(coach_dataset);
 
   // The leakage guard: pairs used in training are not revised. Matching
   // on the full serialized pair (instruction + input + output) keeps the
   // guard precise in the synthetic corpus, where short instruction texts
   // recur across unrelated pairs.
   std::unordered_set<std::string> training_instructions;
-  for (const RevisionRecord& record :
-       SelectTopAlpha(revisions, config.alpha)) {
-    training_instructions.insert(lm::SerializePair(record.original));
+  training_instructions.reserve(coach_dataset.size());
+  for (const InstructionPair& sample : coach_dataset) {
+    training_instructions.insert(sample.input);
   }
   result.revised_dataset = result.model->ReviseDataset(
-      corpus, training_instructions, &result.stats, num_threads);
+      corpus, training_instructions, &result.stats, exec);
   return result;
+}
+
+CoachPipelineResult RunCoachPipeline(const InstructionDataset& corpus,
+                                     const RevisionDataset& revisions,
+                                     const CoachConfig& config,
+                                     size_t num_threads) {
+  if (num_threads == 0) {
+    return RunCoachPipeline(corpus, revisions, config,
+                            ExecutionContext::Default());
+  }
+  const ExecutionContext exec(num_threads);
+  return RunCoachPipeline(corpus, revisions, config, exec);
 }
 
 }  // namespace coach

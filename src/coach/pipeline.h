@@ -5,6 +5,7 @@
 
 #include "coach/coach_lm.h"
 #include "coach/trainer.h"
+#include "common/execution.h"
 #include "data/dataset.h"
 #include "data/revision_record.h"
 
@@ -21,11 +22,20 @@ struct CoachPipelineResult {
   RevisionPassStats stats;
 };
 
-/// \brief Trains CoachLM on R and revises \p corpus with it.
+/// \brief Trains CoachLM on R and revises \p corpus with it over \p exec.
 ///
 /// The leakage guard skips corpus pairs whose instruction appeared in the
-/// coach-tuning samples (Section III-B1). \p num_threads = 0 uses all
-/// hardware threads.
+/// coach-tuning samples (Section III-B1). C_α is built once: training
+/// consumes the samples and the guard reuses each sample's serialized
+/// original, so no record is α-selected or serialized twice. The revision
+/// pass is byte-identical at any thread count.
+CoachPipelineResult RunCoachPipeline(const InstructionDataset& corpus,
+                                     const RevisionDataset& revisions,
+                                     const CoachConfig& config,
+                                     const ExecutionContext& exec);
+
+/// Legacy thread-count entry point: \p num_threads = 0 uses
+/// ExecutionContext::Default().
 CoachPipelineResult RunCoachPipeline(const InstructionDataset& corpus,
                                      const RevisionDataset& revisions,
                                      const CoachConfig& config = {},

@@ -19,7 +19,11 @@ InstructionDataset CoachTrainer::BuildCoachDataset(
 }
 
 CoachLm CoachTrainer::Train(const RevisionDataset& revisions) const {
-  const InstructionDataset coach_dataset = BuildCoachDataset(revisions);
+  return TrainOnCoachDataset(BuildCoachDataset(revisions));
+}
+
+CoachLm CoachTrainer::TrainOnCoachDataset(
+    const InstructionDataset& coach_dataset) const {
   // The rewrite-policy feature is computed with the backbone's associative
   // memory so training and inference see the same signal.
   lm::BackboneModel backbone(config_.backbone);

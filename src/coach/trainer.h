@@ -23,6 +23,13 @@ class CoachTrainer {
   /// Trains a CoachLm from the expert revision dataset R.
   CoachLm Train(const RevisionDataset& revisions) const;
 
+  /// Trains directly from a pre-built coach-tuning dataset (the output of
+  /// BuildCoachDataset). Callers that also need the serialized samples —
+  /// e.g. the pipeline's leakage guard, which reads each original back out
+  /// of sample.input — build C_α once and reuse it here instead of paying
+  /// for α-selection and serialization twice.
+  CoachLm TrainOnCoachDataset(const InstructionDataset& coach_dataset) const;
+
   /// The serialized coach-tuning dataset C_α (for inspection / export).
   InstructionDataset BuildCoachDataset(const RevisionDataset& revisions) const;
 

@@ -1,0 +1,85 @@
+#include "common/execution.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "common/env.h"
+
+namespace coachlm {
+namespace {
+
+size_t ResolveThreads(size_t num_threads) {
+  if (num_threads != 0) return num_threads;
+  const size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
+size_t DefaultThreads() {
+  const std::string env = GetEnvOr("COACHLM_THREADS", "");
+  if (!env.empty()) {
+    const long parsed = std::strtol(env.c_str(), nullptr, 10);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  return 0;  // hardware concurrency
+}
+
+}  // namespace
+
+ExecutionContext::ExecutionContext(size_t num_threads)
+    : num_threads_(ResolveThreads(num_threads)) {}
+
+ExecutionContext& ExecutionContext::Default() {
+  static ExecutionContext* context = new ExecutionContext(DefaultThreads());
+  return *context;
+}
+
+const ExecutionContext& ExecutionContext::Serial() {
+  static const ExecutionContext* context = new ExecutionContext(1);
+  return *context;
+}
+
+ThreadPool* ExecutionContext::pool() const {
+  if (num_threads_ <= 1) return nullptr;
+  std::call_once(pool_once_, [this] {
+    pool_ = std::make_unique<ThreadPool>(num_threads_ - 1);
+  });
+  return pool_.get();
+}
+
+void ExecutionContext::ParallelFor(size_t n,
+                                   const std::function<void(size_t)>& fn,
+                                   size_t grain) const {
+  if (n == 0) return;
+  ThreadPool* workers = pool();
+  if (workers == nullptr || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  workers->ParallelFor(n, fn, grain);
+}
+
+Status ExecutionContext::ParallelForStatus(
+    size_t n, const std::function<Status(size_t)>& fn, size_t grain) const {
+  std::atomic<size_t> first_bad{n};
+  std::mutex mu;
+  Status bad = Status::OK();
+  ParallelFor(
+      n,
+      [&](size_t i) {
+        // Items past an already-recorded failure cannot change the result
+        // (lowest index wins), so skip them.
+        if (i > first_bad.load(std::memory_order_relaxed)) return;
+        Status status = fn(i);
+        if (status.ok()) return;
+        std::lock_guard<std::mutex> lock(mu);
+        if (i < first_bad.load(std::memory_order_relaxed)) {
+          first_bad.store(i, std::memory_order_relaxed);
+          bad = std::move(status);
+        }
+      },
+      grain);
+  return first_bad.load() < n ? bad : Status::OK();
+}
+
+}  // namespace coachlm

@@ -1,0 +1,126 @@
+#ifndef COACHLM_COMMON_EXECUTION_H_
+#define COACHLM_COMMON_EXECUTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/threadpool.h"
+
+namespace coachlm {
+
+/// Golden-ratio multiplier used to derive independent per-item RNG streams
+/// from a stage seed and an item id (the splitmix64 increment). Every
+/// corpus-scale stage keys its randomness this way so that results are
+/// bit-identical at any thread count: item i's stream depends only on
+/// (seed, id), never on how many items some other thread processed first.
+inline constexpr uint64_t kStreamSeedMultiplier = 0x9E3779B97F4A7C15ULL;
+
+/// Derives the seed of item \p id's private RNG stream under \p seed.
+inline constexpr uint64_t DeriveStreamSeed(uint64_t seed, uint64_t id) {
+  return seed ^ (id * kStreamSeedMultiplier);
+}
+
+/// Convenience: the per-item RNG itself.
+inline Rng DeriveRng(uint64_t seed, uint64_t id) {
+  return Rng(DeriveStreamSeed(seed, id));
+}
+
+/// Mixes a stage tag into a seed (splitmix64 finalizer) so two stages that
+/// share a config seed still draw from unrelated stream families.
+constexpr uint64_t MixSeed(uint64_t seed, uint64_t tag) {
+  uint64_t z = seed + tag * kStreamSeedMultiplier;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// \brief Shared execution layer for every corpus-scale pipeline stage.
+///
+/// Owns one long-lived ThreadPool (created lazily on first parallel call)
+/// instead of each stage rebuilding a pool per invocation. A context built
+/// with `num_threads == 1` never spins up threads at all — every loop runs
+/// inline on the caller — which, combined with per-item RNG streams
+/// (DeriveRng above), yields the determinism contract the test suite
+/// enforces: a stage's output is a pure function of its inputs and seeds,
+/// byte-identical at 1, 2, or N threads.
+///
+/// The calling thread participates in the work, so `num_threads` is the
+/// total number of runners (a context of 4 uses 3 pool workers + the
+/// caller). Loop bodies must not throw and must not re-enter the same
+/// context (no nested parallel sections).
+class ExecutionContext {
+ public:
+  /// \param num_threads total worker count; 0 = hardware concurrency.
+  explicit ExecutionContext(size_t num_threads = 0);
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  /// Process-wide shared context (hardware concurrency, overridable with
+  /// the COACHLM_THREADS environment variable). Stage entry points default
+  /// to this so existing callers parallelize without code changes.
+  static ExecutionContext& Default();
+
+  /// A context that always runs inline on the calling thread.
+  static const ExecutionContext& Serial();
+
+  size_t num_threads() const { return num_threads_; }
+
+  /// Runs fn(i) for i in [0, n) across the pool in contiguous chunks and
+  /// waits for completion. \p grain is the chunk length (0 = auto: enough
+  /// chunks for ~8 per runner, so uneven items still load-balance).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   size_t grain = 0) const;
+
+  /// ParallelFor with Status propagation: returns the status of the
+  /// *lowest-indexed* failing item (so the result is deterministic no
+  /// matter which thread hit its failure first), or OK. Once a failure is
+  /// recorded, later-indexed items may be skipped.
+  Status ParallelForStatus(size_t n, const std::function<Status(size_t)>& fn,
+                           size_t grain = 0) const;
+
+  /// Maps fn over [0, n) into a vector in index order.
+  template <typename Fn>
+  auto ParallelMap(size_t n, Fn&& fn, size_t grain = 0) const
+      -> std::vector<decltype(fn(size_t{0}))> {
+    using T = decltype(fn(size_t{0}));
+    std::vector<T> out(n);
+    ParallelFor(
+        n, [&](size_t i) { out[i] = fn(i); }, grain);
+    return out;
+  }
+
+  /// Parallel map + *serial* fold in index order. The fold order is fixed
+  /// regardless of thread count, so floating-point accumulations stay
+  /// bit-identical to a plain serial loop.
+  template <typename Acc, typename Fn, typename Fold>
+  Acc ParallelReduce(size_t n, Fn&& map, Acc init, Fold&& fold,
+                     size_t grain = 0) const {
+    auto values = ParallelMap(n, std::forward<Fn>(map), grain);
+    Acc acc = std::move(init);
+    for (size_t i = 0; i < values.size(); ++i) {
+      fold(&acc, std::move(values[i]), i);
+    }
+    return acc;
+  }
+
+ private:
+  /// The lazily created pool (num_threads_ - 1 workers); nullptr until the
+  /// first parallel call, and never created for a 1-thread context.
+  ThreadPool* pool() const;
+
+  size_t num_threads_;
+  mutable std::once_flag pool_once_;
+  mutable std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace coachlm
+
+#endif  // COACHLM_COMMON_EXECUTION_H_

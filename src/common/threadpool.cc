@@ -1,6 +1,8 @@
 #include "common/threadpool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace coachlm {
 
@@ -38,22 +40,53 @@ void ThreadPool::Wait() {
   idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                             size_t grain) {
   if (n == 0) return;
-  // Chunk into roughly 4 tasks per worker to amortize queue overhead while
-  // keeping load balance for non-uniform work (long responses revise slower).
-  const size_t chunks = std::min(n, workers_.size() * 4);
-  std::atomic<size_t> next{0};
-  for (size_t c = 0; c < chunks; ++c) {
-    Submit([&, n] {
-      for (;;) {
-        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
-        fn(i);
-      }
+  const size_t runners = workers_.size() + 1;  // workers + calling thread
+  if (grain == 0) {
+    // ~8 chunks per runner: coarse enough to amortize the queue mutex,
+    // fine enough to load-balance non-uniform work (long responses revise
+    // slower than short ones).
+    grain = std::max<size_t>(1, n / (runners * 8));
+  }
+  const size_t num_chunks = (n + grain - 1) / grain;
+
+  // Per-call completion state: concurrent ParallelFor calls on the same
+  // pool must not wait on each other's tasks (the shared in_flight_
+  // counter in Wait() would).
+  struct CallState {
+    std::atomic<size_t> next_chunk{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t active_helpers = 0;
+  };
+  auto state = std::make_shared<CallState>();
+
+  auto run_chunks = [state, n, grain, num_chunks, &fn] {
+    for (;;) {
+      const size_t c = state->next_chunk.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const size_t begin = c * grain;
+      const size_t end = std::min(n, begin + grain);
+      for (size_t i = begin; i < end; ++i) fn(i);
+    }
+  };
+
+  const size_t helpers =
+      std::min(workers_.size(), num_chunks > 0 ? num_chunks - 1 : size_t{0});
+  state->active_helpers = helpers;
+  for (size_t t = 0; t < helpers; ++t) {
+    Submit([state, run_chunks] {
+      run_chunks();
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (--state->active_helpers == 0) state->done_cv.notify_all();
     });
   }
-  Wait();
+  run_chunks();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] { return state->active_helpers == 0; });
 }
 
 void ThreadPool::WorkerLoop() {

@@ -1,7 +1,8 @@
 #include "expert/pipeline.h"
 
+#include <optional>
 #include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 namespace coachlm {
 namespace expert {
@@ -18,14 +19,30 @@ double EffortModel::ReviseCost(TaskClass task_class) const {
   return revise_qa;
 }
 
+namespace {
+
+/// Per-pair screening + revision outcome, computed in parallel and folded
+/// serially (in sample order) so the study result is schedule-independent.
+struct PairOutcome {
+  std::optional<ExclusionReason> exclusion;
+  bool retained = false;
+  bool examined = false;
+  RevisionOutcome revision;
+};
+
+/// Stage tag decoupling the expert streams from other stages sharing the
+/// same config seed (the synthetic generator also keys streams by pair id).
+constexpr uint64_t kExpertStreamTag = 0x45585045;  // "EXPE"
+
+}  // namespace
+
 RevisionStudyResult RunRevisionStudy(const InstructionDataset& corpus,
                                      const synth::ContentEngine& engine,
                                      const RevisionStudyConfig& config,
-                                     const EffortModel& effort) {
+                                     const EffortModel& effort,
+                                     const ExecutionContext& exec) {
   RevisionStudyResult result;
   Rng rng(config.seed);
-  Rng filter_rng = rng.Fork();
-  Rng revise_rng = rng.Fork();
 
   const InstructionDataset sample =
       corpus.SampleWithoutReplacement(config.sample_size, &rng);
@@ -33,15 +50,32 @@ RevisionStudyResult RunRevisionStudy(const InstructionDataset& corpus,
   PreliminaryFilter filter(config.retain_probability);
   ExpertReviser reviser(&engine, config.target_score);
 
-  double revision_effort = 0.0;
-  std::unordered_map<uint64_t, InstructionPair> revised_by_id;
+  // One expert per pair: each sampled pair is screened and revised under
+  // its own id-derived RNG stream, so the loop parallelizes with
+  // byte-identical results at any thread count.
+  const uint64_t stream_seed = MixSeed(config.seed, kExpertStreamTag);
+  const std::vector<PairOutcome> outcomes = exec.ParallelMap(
+      sample.size(), [&](size_t i) {
+        const InstructionPair& pair = sample[i];
+        Rng pair_rng = DeriveRng(stream_seed, pair.id);
+        PairOutcome out;
+        out.exclusion = filter.Screen(pair, &pair_rng, &out.retained);
+        if (!out.exclusion) {
+          out.examined = true;
+          out.revision = reviser.Revise(pair, &pair_rng);
+        }
+        return out;
+      });
 
-  for (const InstructionPair& pair : sample) {
-    bool retained = false;
-    const auto reason = filter.Screen(pair, &filter_rng, &retained);
-    if (retained) ++result.filter_stats.retained_for_diversity;
-    if (reason) {
-      ++result.filter_stats.excluded[*reason];
+  double revision_effort = 0.0;
+  std::unordered_map<uint64_t, const InstructionPair*> revised_by_id;
+
+  for (size_t i = 0; i < sample.size(); ++i) {
+    const InstructionPair& pair = sample[i];
+    const PairOutcome& out = outcomes[i];
+    if (out.retained) ++result.filter_stats.retained_for_diversity;
+    if (out.exclusion) {
+      ++result.filter_stats.excluded[*out.exclusion];
       continue;
     }
     ++result.filter_stats.passed;
@@ -52,7 +86,7 @@ RevisionStudyResult RunRevisionStudy(const InstructionDataset& corpus,
     // model applied below.
     const TaskClass unit = ClassOf(pair.category);
 
-    const RevisionOutcome outcome = reviser.Revise(pair, &revise_rng);
+    const RevisionOutcome& outcome = out.revision;
     if (!outcome.revised) continue;
 
     ++result.revised_pairs;
@@ -72,7 +106,7 @@ RevisionStudyResult RunRevisionStudy(const InstructionDataset& corpus,
     record.revised = outcome.revised_pair;
     record.RecomputeDerived();
     result.revisions.push_back(std::move(record));
-    revised_by_id.emplace(pair.id, outcome.revised_pair);
+    revised_by_id.emplace(pair.id, &outcome.revised_pair);
   }
 
   result.person_days =
@@ -81,10 +115,11 @@ RevisionStudyResult RunRevisionStudy(const InstructionDataset& corpus,
 
   // Merge: the full corpus with revised pairs substituted in place.
   result.merged_dataset = corpus;
-  for (InstructionPair& pair : result.merged_dataset.pairs()) {
-    auto it = revised_by_id.find(pair.id);
-    if (it != revised_by_id.end()) pair = it->second;
-  }
+  auto& merged = result.merged_dataset.pairs();
+  exec.ParallelFor(merged.size(), [&](size_t i) {
+    auto it = revised_by_id.find(merged[i].id);
+    if (it != revised_by_id.end()) merged[i] = *it->second;
+  });
   return result;
 }
 

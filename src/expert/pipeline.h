@@ -3,6 +3,7 @@
 
 #include <map>
 
+#include "common/execution.h"
 #include "common/rng.h"
 #include "data/dataset.h"
 #include "data/revision_record.h"
@@ -70,10 +71,15 @@ struct RevisionStudyResult {
 /// paper: "these excluded pairs still participated in subsequent LLM
 /// training for fair comparison"), with revised pairs replacing their
 /// originals.
-RevisionStudyResult RunRevisionStudy(const InstructionDataset& corpus,
-                                     const synth::ContentEngine& engine,
-                                     const RevisionStudyConfig& config = {},
-                                     const EffortModel& effort = {});
+///
+/// Screening and revision run in parallel over \p exec: each sampled pair
+/// draws from its own id-derived RNG stream (one expert per pair, exactly
+/// the paper's per-pair assignment), so the study is byte-identical at any
+/// thread count.
+RevisionStudyResult RunRevisionStudy(
+    const InstructionDataset& corpus, const synth::ContentEngine& engine,
+    const RevisionStudyConfig& config = {}, const EffortModel& effort = {},
+    const ExecutionContext& exec = ExecutionContext::Default());
 
 }  // namespace expert
 }  // namespace coachlm

@@ -1,6 +1,7 @@
 #include "platform/platform.h"
 
 #include <chrono>
+#include <optional>
 
 #include "expert/reviser.h"
 #include "lm/pair_text.h"
@@ -25,17 +26,19 @@ synth::CorpusConfig TrafficConfig(const PlatformConfig& config) {
 }  // namespace
 
 DataPlatform::DataPlatform(PlatformConfig config)
-    : config_(std::move(config)), traffic_(TrafficConfig(config_)) {}
+    : config_(std::move(config)),
+      traffic_(TrafficConfig(config_)),
+      exec_(config_.inference_threads) {}
 
 std::vector<UserCase> DataPlatform::CollectUserCases() const {
-  std::vector<UserCase> cases;
-  cases.reserve(config_.batch_size);
-  Rng rng(config_.seed);
-  for (size_t i = 0; i < config_.batch_size; ++i) {
+  // Each case runs under its own id-derived stream (generation plus the
+  // truncation coin), so collection parallelizes deterministically.
+  return exec_.ParallelMap(config_.batch_size, [&](size_t i) {
+    const uint64_t id = static_cast<uint64_t>(i + 1);
+    Rng rng = DeriveRng(config_.seed, id);
     InstructionPair pair;
     std::vector<synth::DefectType> defects;
-    traffic_.GeneratePair(static_cast<uint64_t>(i + 1), &rng, &pair,
-                          &defects);
+    traffic_.GeneratePair(id, &rng, &pair, &defects);
     UserCase user_case;
     user_case.case_id = pair.id;
     // Wrap in serving-log noise: session header plus the serialized pair.
@@ -46,31 +49,38 @@ std::vector<UserCase> DataPlatform::CollectUserCases() const {
       user_case.raw_log =
           user_case.raw_log.substr(0, user_case.raw_log.size() / 3);
     }
-    cases.push_back(std::move(user_case));
-  }
-  return cases;
+    return user_case;
+  });
 }
 
 InstructionDataset DataPlatform::ParseWithRuleScripts(
     const std::vector<UserCase>& cases, size_t* dropped) const {
+  // Parse in parallel; fold in case order so the dataset (and the drop
+  // count) is identical to the serial pass.
+  const std::vector<std::optional<InstructionPair>> parsed_cases =
+      exec_.ParallelMap(
+          cases.size(), [&](size_t i) -> std::optional<InstructionPair> {
+            const UserCase& user_case = cases[i];
+            // Strip the session header line.
+            const size_t newline = user_case.raw_log.find('\n');
+            if (newline == std::string::npos) return std::nullopt;
+            const std::string body = user_case.raw_log.substr(newline + 1);
+            auto parsed = lm::DeserializePair(body);
+            if (!parsed.ok() || strings::Trim(parsed->instruction).empty()) {
+              return std::nullopt;
+            }
+            InstructionPair pair = std::move(parsed).ValueOrDie();
+            pair.id = user_case.case_id;
+            return pair;
+          });
   InstructionDataset dataset;
   size_t drop_count = 0;
-  for (const UserCase& user_case : cases) {
-    // Strip the session header line.
-    const size_t newline = user_case.raw_log.find('\n');
-    if (newline == std::string::npos) {
+  for (const std::optional<InstructionPair>& pair : parsed_cases) {
+    if (!pair.has_value()) {
       ++drop_count;
       continue;
     }
-    const std::string body = user_case.raw_log.substr(newline + 1);
-    auto parsed = lm::DeserializePair(body);
-    if (!parsed.ok() || strings::Trim(parsed->instruction).empty()) {
-      ++drop_count;
-      continue;
-    }
-    InstructionPair pair = std::move(parsed).ValueOrDie();
-    pair.id = user_case.case_id;
-    dataset.Add(std::move(pair));
+    dataset.Add(*pair);
   }
   if (dropped != nullptr) *dropped = drop_count;
   return dataset;
@@ -87,8 +97,7 @@ BatchReport DataPlatform::RunCleaningBatch(const coach::CoachLm* coach) const {
   if (coach != nullptr) {
     const auto start = std::chrono::steady_clock::now();
     coach::RevisionPassStats stats;
-    incoming = coach->ReviseDataset(raw, {}, &stats,
-                                    config_.inference_threads);
+    incoming = coach->ReviseDataset(raw, {}, &stats, exec_);
     const auto end = std::chrono::steady_clock::now();
     report.coach_seconds =
         std::chrono::duration<double>(end - start).count();
@@ -104,19 +113,24 @@ BatchReport DataPlatform::RunCleaningBatch(const coach::CoachLm* coach) const {
   // form. The accepted form is what an expert annotator would produce.
   synth::ContentEngine engine;
   expert::ExpertReviser annotator(&engine, /*target_score=*/95.0);
-  Rng rng(config_.seed ^ 0xA5A5A5A5ULL);
+  // One annotator stream per pair (keyed by case id, decoupled from the
+  // collection streams by the tag), folded in batch order.
+  const uint64_t annotate_seed = config_.seed ^ 0xA5A5A5A5ULL;
+  const std::vector<double> edit_chars =
+      exec_.ParallelMap(incoming.size(), [&](size_t i) {
+        Rng rng = DeriveRng(annotate_seed, incoming[i].id);
+        const expert::RevisionOutcome outcome =
+            annotator.Revise(incoming[i], &rng);
+        const InstructionPair& accepted =
+            outcome.revised ? outcome.revised_pair : incoming[i];
+        const size_t remaining =
+            editdist::CharDistance(incoming[i].FullInstruction(),
+                                   accepted.FullInstruction()) +
+            editdist::CharDistance(incoming[i].output, accepted.output);
+        return static_cast<double>(remaining);
+      });
   double total_edit_chars = 0.0;
-  for (size_t i = 0; i < incoming.size(); ++i) {
-    const expert::RevisionOutcome outcome =
-        annotator.Revise(incoming[i], &rng);
-    const InstructionPair& accepted =
-        outcome.revised ? outcome.revised_pair : incoming[i];
-    const size_t remaining =
-        editdist::CharDistance(incoming[i].FullInstruction(),
-                               accepted.FullInstruction()) +
-        editdist::CharDistance(incoming[i].output, accepted.output);
-    total_edit_chars += static_cast<double>(remaining);
-  }
+  for (const double chars : edit_chars) total_edit_chars += chars;
   report.pairs = incoming.size();
   report.mean_remaining_edit =
       incoming.empty() ? 0.0

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "coach/coach_lm.h"
+#include "common/execution.h"
 #include "data/dataset.h"
 #include "synth/generator.h"
 
@@ -34,7 +35,10 @@ struct PlatformConfig {
   /// Proficiency improvement of annotators between consecutive batches
   /// (deducted when reporting the net CoachLM gain, as in Section IV-A).
   double annotator_proficiency_gain = 0.04;
-  /// Worker threads for CoachLM inference (0 = hardware).
+  /// Threads for the platform's execution context: collection, parsing,
+  /// CoachLM inference, and annotation all run on it (0 = hardware).
+  /// Every stage derives per-case RNG streams, so the batch is
+  /// byte-identical at any thread count.
   size_t inference_threads = 0;
 };
 
@@ -81,10 +85,14 @@ class DataPlatform {
                         const BatchReport& with_coach) const;
 
   const PlatformConfig& config() const { return config_; }
+  const ExecutionContext& exec() const { return exec_; }
 
  private:
   PlatformConfig config_;
   synth::SynthCorpusGenerator traffic_;
+  /// One long-lived context for every corpus-scale stage of the platform
+  /// (sized by PlatformConfig::inference_threads).
+  ExecutionContext exec_;
 };
 
 }  // namespace platform

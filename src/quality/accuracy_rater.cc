@@ -17,14 +17,15 @@ double AccuracyRater::Rate(const InstructionPair& pair) const {
 }
 
 AccuracyRater::DatasetRating AccuracyRater::RateDataset(
-    const InstructionDataset& dataset) const {
+    const InstructionDataset& dataset, const ExecutionContext& exec) const {
   DatasetRating rating;
-  rating.ratings.reserve(dataset.size());
+  rating.ratings =
+      exec.ParallelMap(dataset.size(), [&](size_t i) { return Rate(dataset[i]); });
+  // Serial fold in dataset order keeps the mean bit-identical to the
+  // single-threaded pass.
   size_t above = 0;
   double sum = 0.0;
-  for (const InstructionPair& pair : dataset) {
-    const double r = Rate(pair);
-    rating.ratings.push_back(r);
+  for (const double r : rating.ratings) {
     sum += r;
     if (r > 4.5) ++above;
   }

@@ -1,6 +1,7 @@
 #ifndef COACHLM_QUALITY_ACCURACY_RATER_H_
 #define COACHLM_QUALITY_ACCURACY_RATER_H_
 
+#include "common/execution.h"
 #include "data/dataset.h"
 #include "data/instruction_pair.h"
 
@@ -28,8 +29,12 @@ class AccuracyRater {
     std::vector<double> ratings;
   };
 
-  /// Rates every pair in \p dataset.
-  DatasetRating RateDataset(const InstructionDataset& dataset) const;
+  /// Rates every pair in \p dataset. Scoring parallelizes over \p exec;
+  /// the aggregation folds in dataset order, so the result (including the
+  /// floating-point mean) is bit-identical at any thread count.
+  DatasetRating RateDataset(
+      const InstructionDataset& dataset,
+      const ExecutionContext& exec = ExecutionContext::Default()) const;
 };
 
 }  // namespace quality

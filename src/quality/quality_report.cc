@@ -21,16 +21,21 @@ const std::vector<Dimension>& AllDimensions() {
 
 }  // namespace
 
-QualityReport AnalyzeDataset(const InstructionDataset& dataset) {
+QualityReport AnalyzeDataset(const InstructionDataset& dataset,
+                             const ExecutionContext& exec) {
   QualityReport report;
   report.dataset_size = dataset.size();
   if (dataset.empty()) return report;
+  // Criteria scoring dominates the cost; score in parallel and fold the
+  // per-dimension sums serially in dataset order (bit-identical at any
+  // thread count).
+  const std::vector<PairQuality> qualities = exec.ParallelMap(
+      dataset.size(), [&](size_t i) { return ScorePair(dataset[i]); });
   std::map<Dimension, double> satisfaction_sum;
   std::map<Dimension, size_t> flaw_count;
   double instruction_sum = 0.0;
   double response_sum = 0.0;
-  for (const InstructionPair& pair : dataset) {
-    const PairQuality quality = ScorePair(pair);
+  for (const PairQuality& quality : qualities) {
     instruction_sum += quality.instruction.score;
     response_sum += quality.response.score;
     auto absorb = [&](const QualityScore& score) {

@@ -4,6 +4,7 @@
 #include <map>
 #include <string>
 
+#include "common/execution.h"
 #include "data/dataset.h"
 #include "quality/dimension.h"
 
@@ -39,8 +40,12 @@ struct QualityReport {
 };
 
 /// \brief Scores every pair of \p dataset against the Table II criteria
-/// and aggregates the per-dimension statistics.
-QualityReport AnalyzeDataset(const InstructionDataset& dataset);
+/// and aggregates the per-dimension statistics. Scoring parallelizes over
+/// \p exec; sums fold in dataset order, so the report is bit-identical at
+/// any thread count.
+QualityReport AnalyzeDataset(
+    const InstructionDataset& dataset,
+    const ExecutionContext& exec = ExecutionContext::Default());
 
 }  // namespace quality
 }  // namespace coachlm

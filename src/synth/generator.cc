@@ -178,17 +178,19 @@ void SynthCorpusGenerator::GeneratePair(
   }
 }
 
-SynthCorpus SynthCorpusGenerator::Generate() const {
+SynthCorpus SynthCorpusGenerator::Generate(
+    const ExecutionContext& exec) const {
+  std::vector<InstructionPair> pairs(config_.size);
   SynthCorpus corpus;
-  corpus.defects.reserve(config_.size);
-  Rng rng(config_.seed);
-  for (size_t i = 0; i < config_.size; ++i) {
-    InstructionPair pair;
-    std::vector<DefectType> defects;
-    GeneratePair(static_cast<uint64_t>(i + 1), &rng, &pair, &defects);
-    corpus.dataset.Add(std::move(pair));
-    corpus.defects.push_back(std::move(defects));
-  }
+  corpus.defects.resize(config_.size);
+  // Each pair draws from its own id-derived stream, so the corpus is a
+  // pure function of the config no matter how the loop is scheduled.
+  exec.ParallelFor(config_.size, [&](size_t i) {
+    const uint64_t id = static_cast<uint64_t>(i + 1);
+    Rng rng = DeriveRng(config_.seed, id);
+    GeneratePair(id, &rng, &pairs[i], &corpus.defects[i]);
+  });
+  corpus.dataset = InstructionDataset(std::move(pairs));
   return corpus;
 }
 

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/execution.h"
 #include "common/rng.h"
 #include "data/dataset.h"
 #include "synth/content_engine.h"
@@ -49,15 +50,21 @@ struct SynthCorpus {
 };
 
 /// \brief Deterministic generator of the synthetic instruction corpus.
+///
+/// Pair i draws from its own counter-derived RNG stream
+/// (DeriveRng(seed, id)), so generation parallelizes over \p exec with
+/// byte-identical output at any thread count.
 class SynthCorpusGenerator {
  public:
   explicit SynthCorpusGenerator(CorpusConfig config);
 
   /// Generates the corpus described by the config.
-  SynthCorpus Generate() const;
+  SynthCorpus Generate(
+      const ExecutionContext& exec = ExecutionContext::Default()) const;
 
   /// Generates a single pair (clean or deficient) with the given id; used
-  /// by streaming consumers such as the platform simulator.
+  /// by streaming consumers such as the platform simulator. Callers wanting
+  /// schedule-independent output pass DeriveRng(seed, id) as \p rng.
   void GeneratePair(uint64_t id, Rng* rng, InstructionPair* pair,
                     std::vector<DefectType>* defects) const;
 

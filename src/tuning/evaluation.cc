@@ -1,17 +1,34 @@
 #include "tuning/evaluation.h"
 
+#include <vector>
+
 namespace coachlm {
 namespace tuning {
+namespace {
+
+/// One item's verdict under its own id-derived stream: response generation
+/// and the debiased comparison share the stream, exactly as in the serial
+/// protocol.
+judge::Verdict JudgeItem(const TunedModel& model,
+                         const judge::PairwiseJudge& judge,
+                         const InstructionPair& item, uint64_t seed) {
+  Rng rng = DeriveRng(seed, item.id);
+  const std::string response = model.Respond(item, &rng);
+  return judge.CompareDebiased(item, response, item.output, &rng);
+}
+
+}  // namespace
 
 EvalResult EvaluateModel(const TunedModel& model,
                          const testsets::TestSet& test_set,
-                         const judge::PairwiseJudge& judge, uint64_t seed) {
+                         const judge::PairwiseJudge& judge, uint64_t seed,
+                         const ExecutionContext& exec) {
   EvalResult result;
-  for (const InstructionPair& item : test_set.items) {
-    Rng rng(seed ^ (item.id * 0x9E3779B97F4A7C15ULL));
-    const std::string response = model.Respond(item, &rng);
-    const judge::Verdict verdict =
-        judge.CompareDebiased(item, response, item.output, &rng);
+  const std::vector<judge::Verdict> verdicts =
+      exec.ParallelMap(test_set.items.size(), [&](size_t i) {
+        return JudgeItem(model, judge, test_set.items[i], seed);
+      });
+  for (const judge::Verdict verdict : verdicts) {
     result.counts.Add(verdict);
   }
   result.rates = judge::ComputeWinRates(result.counts);
@@ -20,14 +37,15 @@ EvalResult EvaluateModel(const TunedModel& model,
 
 std::map<Category, EvalResult> EvaluateModelPerCategory(
     const TunedModel& model, const testsets::TestSet& test_set,
-    const judge::PairwiseJudge& judge, uint64_t seed) {
+    const judge::PairwiseJudge& judge, uint64_t seed,
+    const ExecutionContext& exec) {
+  const std::vector<judge::Verdict> verdicts =
+      exec.ParallelMap(test_set.items.size(), [&](size_t i) {
+        return JudgeItem(model, judge, test_set.items[i], seed);
+      });
   std::map<Category, EvalResult> per_category;
-  for (const InstructionPair& item : test_set.items) {
-    Rng rng(seed ^ (item.id * 0x9E3779B97F4A7C15ULL));
-    const std::string response = model.Respond(item, &rng);
-    const judge::Verdict verdict =
-        judge.CompareDebiased(item, response, item.output, &rng);
-    per_category[item.category].counts.Add(verdict);
+  for (size_t i = 0; i < test_set.items.size(); ++i) {
+    per_category[test_set.items[i].category].counts.Add(verdicts[i]);
   }
   for (auto& [category, result] : per_category) {
     result.rates = judge::ComputeWinRates(result.counts);

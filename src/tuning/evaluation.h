@@ -3,6 +3,7 @@
 
 #include <map>
 
+#include "common/execution.h"
 #include "judge/pairwise_judge.h"
 #include "judge/verdict.h"
 #include "testsets/testset.h"
@@ -21,17 +22,21 @@ struct EvalResult {
 /// responds, the judge compares the response against the reference with
 /// the swap-order debiasing, and the verdicts aggregate into WR1/WR2/QS.
 ///
-/// Responses and judgments are deterministic in (model, set, judge, seed).
-EvalResult EvaluateModel(const TunedModel& model,
-                         const testsets::TestSet& test_set,
-                         const judge::PairwiseJudge& judge,
-                         uint64_t seed = 5150);
+/// Responses and judgments are deterministic in (model, set, judge, seed):
+/// each item runs under its own id-derived RNG stream, so the evaluation
+/// parallelizes over \p exec with byte-identical verdicts at any thread
+/// count.
+EvalResult EvaluateModel(
+    const TunedModel& model, const testsets::TestSet& test_set,
+    const judge::PairwiseJudge& judge, uint64_t seed = 5150,
+    const ExecutionContext& exec = ExecutionContext::Default());
 
 /// Per-category breakdown (used to expose the AlpaGasus coding
 /// regression of Section II-A(3)).
 std::map<Category, EvalResult> EvaluateModelPerCategory(
     const TunedModel& model, const testsets::TestSet& test_set,
-    const judge::PairwiseJudge& judge, uint64_t seed = 5150);
+    const judge::PairwiseJudge& judge, uint64_t seed = 5150,
+    const ExecutionContext& exec = ExecutionContext::Default());
 
 }  // namespace tuning
 }  // namespace coachlm

@@ -9,16 +9,19 @@ namespace coachlm {
 namespace tuning {
 
 AlignmentProfile InstructionTuner::MeasureAlignment(
-    const InstructionDataset& dataset) const {
+    const InstructionDataset& dataset, const ExecutionContext& exec) const {
   AlignmentProfile profile;
   quality::AccuracyRater rater;
+  // Rate in parallel, then fold the sums serially in dataset order — the
+  // floating-point accumulation matches the single-threaded pass exactly.
+  const std::vector<double> ratings = exec.ParallelMap(
+      dataset.size(), [&](size_t i) { return rater.Rate(dataset[i]) / 5.0; });
   std::map<Category, std::pair<double, size_t>> sums;  // sum, count
   double global_sum = 0.0;
-  for (const InstructionPair& pair : dataset) {
-    const double rating = rater.Rate(pair) / 5.0;
-    global_sum += rating;
-    auto& [sum, count] = sums[pair.category];
-    sum += rating;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    global_sum += ratings[i];
+    auto& [sum, count] = sums[dataset[i].category];
+    sum += ratings[i];
     ++count;
   }
   if (!dataset.empty()) {
@@ -45,8 +48,9 @@ AlignmentProfile InstructionTuner::MeasureAlignment(
 }
 
 TunedModel InstructionTuner::Tune(const ModelSpec& spec,
-                                  const InstructionDataset& dataset) const {
-  return TunedModel(spec, MeasureAlignment(dataset));
+                                  const InstructionDataset& dataset,
+                                  const ExecutionContext& exec) const {
+  return TunedModel(spec, MeasureAlignment(dataset, exec));
 }
 
 }  // namespace tuning

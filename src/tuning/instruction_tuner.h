@@ -1,6 +1,7 @@
 #ifndef COACHLM_TUNING_INSTRUCTION_TUNER_H_
 #define COACHLM_TUNING_INSTRUCTION_TUNER_H_
 
+#include "common/execution.h"
 #include "data/dataset.h"
 #include "tuning/tuned_model.h"
 
@@ -23,12 +24,17 @@ class InstructionTuner {
   explicit InstructionTuner(double coverage_k = 0.0)
       : coverage_k_(coverage_k) {}
 
-  /// Measures \p dataset into an alignment profile.
-  AlignmentProfile MeasureAlignment(const InstructionDataset& dataset) const;
+  /// Measures \p dataset into an alignment profile. Rating parallelizes
+  /// over \p exec; the sums fold in dataset order, so the profile is
+  /// bit-identical at any thread count.
+  AlignmentProfile MeasureAlignment(
+      const InstructionDataset& dataset,
+      const ExecutionContext& exec = ExecutionContext::Default()) const;
 
   /// Tunes \p spec on \p dataset.
-  TunedModel Tune(const ModelSpec& spec,
-                  const InstructionDataset& dataset) const;
+  TunedModel Tune(const ModelSpec& spec, const InstructionDataset& dataset,
+                  const ExecutionContext& exec =
+                      ExecutionContext::Default()) const;
 
  private:
   double coverage_k_;

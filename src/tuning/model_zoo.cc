@@ -15,7 +15,8 @@ AlignmentProfile UniformProfile(double quality, double coverage) {
 }
 
 std::vector<ZooEntry> BuildBaselineGroup(const ZooInputs& inputs,
-                                         const InstructionTuner& tuner) {
+                                         const InstructionTuner& tuner,
+                                         const ExecutionContext& exec) {
   std::vector<ZooEntry> zoo;
 
   // Vicuna-7b: tuned on 70k user-shared ChatGPT conversations — strong
@@ -26,11 +27,11 @@ std::vector<ZooEntry> BuildBaselineGroup(const ZooInputs& inputs,
         {TunedModel(spec, UniformProfile(0.86, 0.90)), "I-tuned", false});
   }
   // Alpaca: the original 52k corpus.
-  zoo.push_back({tuner.Tune(Llama7BBase("Alpaca"), *inputs.original),
+  zoo.push_back({tuner.Tune(Llama7BBase("Alpaca"), *inputs.original, exec),
                  "I-tuned", false});
   // Alpaca-cleaned: rule-based surface cleaning of the same corpus.
   zoo.push_back({tuner.Tune(Llama7BBase("Alpaca-cleaned"),
-                            CleanDatasetRuleBased(*inputs.original)),
+                            CleanDatasetRuleBased(*inputs.original), exec),
                  "I-tuned", false});
   // Alpaca-PandaLM: same data, hyper-parameters optimized via PandaLM
   // (the paper's [24]); modeled as a slightly better-expressed tune.
@@ -38,19 +39,19 @@ std::vector<ZooEntry> BuildBaselineGroup(const ZooInputs& inputs,
     ModelSpec spec = Llama7BBase("Alpaca-PandaLM");
     spec.base_knowledge *= 1.06;
     spec.base_slip *= 0.8;
-    zoo.push_back({tuner.Tune(spec, *inputs.original), "I-tuned", false});
+    zoo.push_back({tuner.Tune(spec, *inputs.original, exec), "I-tuned", false});
   }
   // AlpaGasus: the 4.5-filtered subset (~17.7% of the corpus).
   zoo.push_back({tuner.Tune(Llama7BBase("AlpaGasus"),
-                            FilterAlpaGasus(*inputs.original)),
+                            FilterAlpaGasus(*inputs.original), exec),
                  "I-tuned", false});
   // Alpaca-human: expert-revised subset merged back into the corpus.
   zoo.push_back({tuner.Tune(Llama7BBase("Alpaca-human"),
-                            *inputs.human_merged),
+                            *inputs.human_merged, exec),
                  "I-tuned", false});
   // Alpaca-CoachLM: the CoachLM-revised corpus.
   zoo.push_back({tuner.Tune(Llama7BBase("Alpaca-CoachLM"),
-                            *inputs.coach_revised),
+                            *inputs.coach_revised, exec),
                  "I-tuned", false});
   return zoo;
 }

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/execution.h"
 #include "data/dataset.h"
 #include "tuning/instruction_tuner.h"
 #include "tuning/tuned_model.h"
@@ -32,8 +33,9 @@ struct ZooInputs {
 /// Alpaca-cleaned, Alpaca-PandaLM, AlpaGasus, Alpaca-human, and
 /// Alpaca-CoachLM. Every Alpaca variant is an identical 7B base tuned on
 /// its variant's dataset; only the data differs.
-std::vector<ZooEntry> BuildBaselineGroup(const ZooInputs& inputs,
-                                         const InstructionTuner& tuner);
+std::vector<ZooEntry> BuildBaselineGroup(
+    const ZooInputs& inputs, const InstructionTuner& tuner,
+    const ExecutionContext& exec = ExecutionContext::Default());
 
 /// \brief Builds the Stronger-LLMs group: LLaMA2-chat 13B/7B, Vicuna-13b,
 /// ChatGLM, ChatGLM2 — larger bases and/or proprietary data and RLHF,

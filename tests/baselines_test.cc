@@ -12,7 +12,9 @@ namespace {
 
 synth::SynthCorpus SmallCorpus() {
   synth::CorpusConfig config;
-  config.size = 3000;
+  // Large enough that per-category survival rates (a few percent of the
+  // corpus are code-related) are stable statistics, not sampling noise.
+  config.size = 12000;
   config.seed = 42;
   return synth::SynthCorpusGenerator(config).Generate();
 }

@@ -1,0 +1,150 @@
+#ifndef COACHLM_TESTS_DETERMINISM_FIXTURE_H_
+#define COACHLM_TESTS_DETERMINISM_FIXTURE_H_
+
+// Hand-built fixture shared by the determinism suite (and used once to
+// record the pre-refactor serial golden hashes). The pairs are written out
+// literally — NOT drawn from the synthetic generator — so the fixture's
+// inputs stay byte-stable no matter how corpus generation evolves; the
+// recorded goldens then pin the *stage* outputs (coach revision, judge
+// evaluation) across refactors and thread counts.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "data/dataset.h"
+#include "data/instruction_pair.h"
+#include "data/revision_record.h"
+#include "testsets/testset.h"
+
+namespace coachlm {
+namespace testfix {
+
+inline InstructionPair MakePair(uint64_t id, std::string instruction,
+                                std::string input, std::string output,
+                                Category category = Category::kGeneralQa) {
+  InstructionPair pair;
+  pair.id = id;
+  pair.instruction = std::move(instruction);
+  pair.input = std::move(input);
+  pair.output = std::move(output);
+  pair.category = category;
+  return pair;
+}
+
+/// A small corpus with the defect classes the coach knows how to repair:
+/// typos, thin answers, robotic openers, and one clean pair.
+inline InstructionDataset FixtureCorpus() {
+  InstructionDataset corpus;
+  corpus.Add(MakePair(1, "Explain teh water cycle.", "",
+                      "As an AI language model, I can say water evaporates "
+                      "and then it rains.",
+                      Category::kScienceQa));
+  corpus.Add(MakePair(2, "Summarize the passage.",
+                      "The printing press changed Europe. Books became "
+                      "cheap. Literacy spread quickly across cities.",
+                      "Books got cheaper.", Category::kSummarization));
+  corpus.Add(MakePair(3, "Write a short note about regular exercise.", "",
+                      "Exercise is good. It helps health.",
+                      Category::kHealthAdvice));
+  corpus.Add(MakePair(4, "List three benefits of teh sun.", "",
+                      "It gives light. It gives warmth. It helps plants.",
+                      Category::kGeneralQa));
+  corpus.Add(MakePair(5, "Describe photosynthesis in one paragraph.", "",
+                      "Photosynthesis is the process by which plants turn "
+                      "sunlight, water, and carbon dioxide into sugars and "
+                      "oxygen, powering nearly every food chain on Earth.",
+                      Category::kScienceQa));
+  corpus.Add(MakePair(6, "Give advice for a job interview.", "",
+                      "Be on time.", Category::kGeneralQa));
+  return corpus;
+}
+
+/// Expert revisions teaching the coach concrete behaviours: the
+/// "teh"->"the" substitution, opener removal, expansion, and closings.
+inline RevisionDataset FixtureRevisions() {
+  RevisionDataset revisions;
+  auto add = [&revisions](InstructionPair original, InstructionPair revised) {
+    RevisionRecord record;
+    record.original = std::move(original);
+    record.revised = std::move(revised);
+    record.RecomputeDerived();
+    revisions.push_back(std::move(record));
+  };
+  add(MakePair(101, "Explain teh seasons.", "",
+               "As an AI language model, I think seasons come from tilt."),
+      MakePair(101, "Explain the seasons.", "",
+               "Seasons come from the tilt of the Earth's axis as it "
+               "orbits the sun. The tilted hemisphere receives more "
+               "direct light in summer. I hope this helps!"));
+  add(MakePair(102, "Describe teh moon.", "",
+               "The moon orbits Earth."),
+      MakePair(102, "Describe the moon.", "",
+               "The moon orbits Earth roughly every 27 days. Its gravity "
+               "drives the ocean tides. For example, spring tides occur "
+               "when the sun and moon align. I hope this helps!"));
+  add(MakePair(103, "Give tips for studying.", "",
+               "Study every day."),
+      MakePair(103, "Give tips for studying.", "",
+               "Study a little every day instead of cramming. Take short "
+               "breaks to stay focused. Reviewing notes before sleep also "
+               "improves recall. Good luck with your studies!"));
+  add(MakePair(104, "Summarize teh article.", "Rivers move soil downhill.",
+               "As an AI language model, I say rivers move soil."),
+      MakePair(104, "Summarize the article.", "Rivers move soil downhill.",
+               "Rivers carry soil downhill and deposit it in floodplains. "
+               "This steady transport builds fertile land over time. I "
+               "hope this helps!"));
+  return revisions;
+}
+
+/// A tiny test set for the judge/evaluation golden.
+inline testsets::TestSet FixtureTestSet() {
+  testsets::TestSet set;
+  set.name = "fixture8";
+  set.reference_source = "Human";
+  set.num_categories = 3;
+  uint64_t id = 201;
+  set.items.Add(MakePair(id++, "Explain why leaves change color.", "",
+                         "Leaves change color because chlorophyll breaks "
+                         "down in autumn, unmasking yellow and orange "
+                         "pigments that were present all along.",
+                         Category::kScienceQa));
+  set.items.Add(MakePair(id++, "Summarize the sentence.",
+                         "Trade routes connected distant ancient cities.",
+                         "Ancient trade routes linked far-apart cities.",
+                         Category::kSummarization));
+  set.items.Add(MakePair(id++, "Suggest a healthy breakfast.", "",
+                         "A healthy breakfast could be oatmeal with fruit "
+                         "and nuts, which provides fiber, vitamins, and "
+                         "steady energy for the morning.",
+                         Category::kHealthAdvice));
+  set.items.Add(MakePair(id++, "Name a use of magnets.", "",
+                         "Magnets are used in electric motors, where "
+                         "magnetic fields convert current into motion.",
+                         Category::kScienceQa));
+  return set;
+}
+
+/// FNV-1a over a string — a tiny, platform-stable content hash.
+inline uint64_t Fnv1a(const std::string& text, uint64_t h = 1469598103934665603ULL) {
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Order-sensitive content hash of a dataset (full JSON of every pair).
+inline uint64_t HashDataset(const InstructionDataset& dataset) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const InstructionPair& pair : dataset) {
+    h = Fnv1a(pair.ToJson().Dump(), h);
+  }
+  return h;
+}
+
+}  // namespace testfix
+}  // namespace coachlm
+
+#endif  // COACHLM_TESTS_DETERMINISM_FIXTURE_H_

@@ -1,0 +1,183 @@
+// Cross-thread determinism contract of the execution layer: every
+// corpus-scale stage must produce byte-identical output at any thread
+// count, and the stages whose per-item streams predate the ExecutionContext
+// refactor (coach revision, judge evaluation) must still match goldens
+// captured from the pre-refactor serial implementation.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "coach/coach_lm.h"
+#include "coach/pipeline.h"
+#include "coach/trainer.h"
+#include "common/execution.h"
+#include "determinism_fixture.h"
+#include "expert/pipeline.h"
+#include "judge/pairwise_judge.h"
+#include "platform/platform.h"
+#include "quality/accuracy_rater.h"
+#include "synth/generator.h"
+#include "tuning/evaluation.h"
+#include "tuning/instruction_tuner.h"
+#include "tuning/model_spec.h"
+
+namespace coachlm {
+namespace {
+
+// Goldens captured from the pre-refactor build (serial ThreadPool path)
+// on the hand-written fixture of determinism_fixture.h.
+constexpr uint64_t kReviseGoldenHash = 2150533821516449979ULL;
+constexpr uint64_t kRespondGoldenHash = 5410964517598395273ULL;
+
+class DeterminismTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  size_t threads() const { return GetParam(); }
+};
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, DeterminismTest,
+                         ::testing::Values(1, 2, 8),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "threads" + std::to_string(info.param);
+                         });
+
+TEST_P(DeterminismTest, ReviseDatasetMatchesPreRefactorGolden) {
+  coach::CoachConfig config;
+  config.alpha = 1.0;
+  const coach::CoachLm model =
+      coach::CoachTrainer(config).Train(testfix::FixtureRevisions());
+  const ExecutionContext exec(threads());
+  coach::RevisionPassStats stats;
+  const InstructionDataset revised =
+      model.ReviseDataset(testfix::FixtureCorpus(), {}, &stats, exec);
+  EXPECT_EQ(testfix::HashDataset(revised), kReviseGoldenHash);
+  EXPECT_EQ(stats.total, 6u);
+  EXPECT_EQ(stats.changed, 6u);
+  EXPECT_EQ(stats.invalid_replaced, 0u);
+}
+
+TEST_P(DeterminismTest, CoachPipelineIsThreadInvariant) {
+  coach::CoachConfig config;
+  config.alpha = 1.0;
+  const ExecutionContext exec(threads());
+  const auto parallel = coach::RunCoachPipeline(
+      testfix::FixtureCorpus(), testfix::FixtureRevisions(), config, exec);
+  const auto serial = coach::RunCoachPipeline(
+      testfix::FixtureCorpus(), testfix::FixtureRevisions(), config,
+      ExecutionContext::Serial());
+  EXPECT_EQ(testfix::HashDataset(parallel.revised_dataset),
+            testfix::HashDataset(serial.revised_dataset));
+  EXPECT_EQ(parallel.stats.leakage_skipped, serial.stats.leakage_skipped);
+  EXPECT_EQ(parallel.stats.changed, serial.stats.changed);
+}
+
+TEST_P(DeterminismTest, CorpusGenerationIsThreadInvariant) {
+  synth::CorpusConfig config;
+  config.size = 400;
+  config.seed = 42;
+  synth::SynthCorpusGenerator generator(config);
+  const ExecutionContext exec(threads());
+  const synth::SynthCorpus parallel = generator.Generate(exec);
+  const synth::SynthCorpus serial =
+      generator.Generate(ExecutionContext::Serial());
+  EXPECT_EQ(testfix::HashDataset(parallel.dataset),
+            testfix::HashDataset(serial.dataset));
+  ASSERT_EQ(parallel.defects.size(), serial.defects.size());
+  for (size_t i = 0; i < parallel.defects.size(); ++i) {
+    EXPECT_EQ(parallel.defects[i], serial.defects[i]) << "pair " << i;
+  }
+}
+
+TEST_P(DeterminismTest, JudgeEvaluationMatchesPreRefactorGolden) {
+  const ExecutionContext exec(threads());
+  const tuning::TunedModel tuned = tuning::InstructionTuner().Tune(
+      tuning::Llama7BBase("golden"), testfix::FixtureCorpus(), exec);
+  const judge::PairwiseJudge panda(judge::PandaLmProfile());
+  const auto eval = tuning::EvaluateModel(tuned, testfix::FixtureTestSet(),
+                                          panda, /*seed=*/5150, exec);
+  EXPECT_EQ(eval.counts.wins, 0u);
+  EXPECT_EQ(eval.counts.ties, 1u);
+  EXPECT_EQ(eval.counts.losses, 3u);
+  // Byte-level check of the generated responses, not just the verdict
+  // tally: the per-item streams must replay the pre-refactor sequence.
+  uint64_t h = 1469598103934665603ULL;
+  for (const InstructionPair& item : testfix::FixtureTestSet().items) {
+    Rng rng = DeriveRng(5150, item.id);
+    h = testfix::Fnv1a(tuned.Respond(item, &rng), h);
+  }
+  EXPECT_EQ(h, kRespondGoldenHash);
+}
+
+TEST_P(DeterminismTest, ExpertStudyIsThreadInvariant) {
+  synth::CorpusConfig corpus_config;
+  corpus_config.size = 300;
+  corpus_config.seed = 7;
+  const synth::SynthCorpus corpus =
+      synth::SynthCorpusGenerator(corpus_config)
+          .Generate(ExecutionContext::Serial());
+  synth::ContentEngine engine;
+  expert::RevisionStudyConfig config;
+  config.sample_size = 120;
+  const ExecutionContext exec(threads());
+  const auto parallel =
+      expert::RunRevisionStudy(corpus.dataset, engine, config, {}, exec);
+  const auto serial = expert::RunRevisionStudy(corpus.dataset, engine, config,
+                                               {}, ExecutionContext::Serial());
+  EXPECT_EQ(parallel.revised_pairs, serial.revised_pairs);
+  EXPECT_EQ(parallel.examined_after_filter, serial.examined_after_filter);
+  EXPECT_EQ(parallel.person_days, serial.person_days);
+  EXPECT_EQ(testfix::HashDataset(parallel.merged_dataset),
+            testfix::HashDataset(serial.merged_dataset));
+  ASSERT_EQ(parallel.revisions.size(), serial.revisions.size());
+  for (size_t i = 0; i < parallel.revisions.size(); ++i) {
+    EXPECT_EQ(parallel.revisions[i].revised.output,
+              serial.revisions[i].revised.output);
+  }
+}
+
+TEST_P(DeterminismTest, PlatformBatchIsThreadInvariant) {
+  platform::PlatformConfig config;
+  config.batch_size = 250;
+  config.inference_threads = threads();
+  const platform::DataPlatform parallel_platform(config);
+  config.inference_threads = 1;
+  const platform::DataPlatform serial_platform(config);
+
+  size_t parallel_dropped = 0;
+  size_t serial_dropped = 0;
+  const InstructionDataset parallel_raw = parallel_platform.ParseWithRuleScripts(
+      parallel_platform.CollectUserCases(), &parallel_dropped);
+  const InstructionDataset serial_raw = serial_platform.ParseWithRuleScripts(
+      serial_platform.CollectUserCases(), &serial_dropped);
+  EXPECT_EQ(parallel_dropped, serial_dropped);
+  EXPECT_EQ(testfix::HashDataset(parallel_raw),
+            testfix::HashDataset(serial_raw));
+
+  const auto parallel_report = parallel_platform.RunCleaningBatch(nullptr);
+  const auto serial_report = serial_platform.RunCleaningBatch(nullptr);
+  EXPECT_EQ(parallel_report.pairs, serial_report.pairs);
+  // Exact double equality: the edit-char sum folds in batch order.
+  EXPECT_EQ(parallel_report.mean_remaining_edit,
+            serial_report.mean_remaining_edit);
+  EXPECT_EQ(parallel_report.person_days, serial_report.person_days);
+}
+
+TEST_P(DeterminismTest, DatasetRatingIsThreadInvariant) {
+  synth::CorpusConfig config;
+  config.size = 300;
+  config.seed = 11;
+  const synth::SynthCorpus corpus = synth::SynthCorpusGenerator(config)
+                                        .Generate(ExecutionContext::Serial());
+  const ExecutionContext exec(threads());
+  quality::AccuracyRater rater;
+  const auto parallel = rater.RateDataset(corpus.dataset, exec);
+  const auto serial =
+      rater.RateDataset(corpus.dataset, ExecutionContext::Serial());
+  // Exact double equality — the mean folds in dataset order.
+  EXPECT_EQ(parallel.mean, serial.mean);
+  EXPECT_EQ(parallel.fraction_above_45, serial.fraction_above_45);
+  EXPECT_EQ(parallel.ratings, serial.ratings);
+}
+
+}  // namespace
+}  // namespace coachlm

@@ -1,0 +1,154 @@
+#include "common/execution.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace coachlm {
+namespace {
+
+TEST(StreamSeedTest, DeriveMatchesTheHistoricIdiom) {
+  // The derivation must stay bit-compatible with the inlined expression
+  // the coach inference path shipped with — checkpointed corpora depend
+  // on it.
+  const uint64_t seed = 1234;
+  const uint64_t id = 77;
+  EXPECT_EQ(DeriveStreamSeed(seed, id),
+            seed ^ (id * 0x9E3779B97F4A7C15ULL));
+}
+
+TEST(StreamSeedTest, DistinctIdsYieldDistinctStreams) {
+  const uint64_t seed = 42;
+  EXPECT_NE(DeriveStreamSeed(seed, 1), DeriveStreamSeed(seed, 2));
+  Rng a = DeriveRng(seed, 1);
+  Rng b = DeriveRng(seed, 2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(StreamSeedTest, MixSeedDecouplesStageFamilies) {
+  // Two stages keyed by the same (seed, id) must not replay each other's
+  // streams once tagged.
+  const uint64_t seed = 42;
+  const uint64_t mixed = MixSeed(seed, 0x45585045);
+  EXPECT_NE(mixed, seed);
+  EXPECT_NE(DeriveStreamSeed(mixed, 5), DeriveStreamSeed(seed, 5));
+  // And the finalizer is a bijection-grade mixer: different tags differ.
+  EXPECT_NE(MixSeed(seed, 1), MixSeed(seed, 2));
+}
+
+TEST(ExecutionContextTest, SerialContextHasOneThread) {
+  EXPECT_EQ(ExecutionContext::Serial().num_threads(), 1u);
+}
+
+TEST(ExecutionContextTest, DefaultContextHasAtLeastOneThread) {
+  EXPECT_GE(ExecutionContext::Default().num_threads(), 1u);
+}
+
+TEST(ExecutionContextTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ExecutionContext exec(8);
+  std::vector<std::atomic<int>> hits(5000);
+  exec.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ExecutionContextTest, ParallelForRunsInlineWhenSerial) {
+  ExecutionContext exec(1);
+  std::vector<int> hits(100, 0);  // no atomics: single-threaded by contract
+  exec.ParallelFor(hits.size(), [&](size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ExecutionContextTest, ParallelForHonorsExplicitGrain) {
+  ExecutionContext exec(4);
+  std::vector<std::atomic<int>> hits(97);
+  exec.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); },
+                   /*grain=*/10);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ExecutionContextTest, ParallelForZeroIsNoop) {
+  ExecutionContext exec(4);
+  bool called = false;
+  exec.ParallelFor(0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ExecutionContextTest, ParallelMapPreservesIndexOrder) {
+  ExecutionContext exec(8);
+  const std::vector<std::string> out = exec.ParallelMap(
+      1000, [](size_t i) { return "item-" + std::to_string(i); });
+  ASSERT_EQ(out.size(), 1000u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], "item-" + std::to_string(i));
+  }
+}
+
+TEST(ExecutionContextTest, ParallelReduceFoldsInIndexOrder) {
+  // The fold must be the exact serial left fold: with a non-commutative
+  // fold function the result pins the order.
+  ExecutionContext exec(8);
+  const std::string folded = exec.ParallelReduce(
+      26, [](size_t i) { return std::string(1, static_cast<char>('a' + i)); },
+      std::string(),
+      [](std::string* acc, std::string value, size_t) { *acc += value; });
+  EXPECT_EQ(folded, "abcdefghijklmnopqrstuvwxyz");
+}
+
+TEST(ExecutionContextTest, ParallelReduceMatchesSerialFloatSum) {
+  // Bit-identical floating-point aggregation across widths — the core
+  // determinism contract of the execution layer.
+  auto value = [](size_t i) {
+    return 1.0 / static_cast<double>(i + 1) * ((i % 3 == 0) ? 1.0 : -0.5);
+  };
+  auto sum_with = [&](size_t threads) {
+    ExecutionContext exec(threads);
+    return exec.ParallelReduce(
+        10000, value, 0.0,
+        [](double* acc, double v, size_t) { *acc += v; });
+  };
+  const double serial = sum_with(1);
+  EXPECT_EQ(serial, sum_with(2));
+  EXPECT_EQ(serial, sum_with(8));
+}
+
+TEST(ExecutionContextTest, ParallelForStatusReportsLowestFailingIndex) {
+  ExecutionContext exec(8);
+  const Status status = exec.ParallelForStatus(1000, [](size_t i) {
+    if (i == 700 || i == 31 || i == 999) {
+      return Status::InvalidArgument("bad item " + std::to_string(i));
+    }
+    return Status::OK();
+  });
+  // Deterministic regardless of which failing index a thread hits first.
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("bad item 31"), std::string::npos);
+}
+
+TEST(ExecutionContextTest, ParallelForStatusOkWhenAllSucceed) {
+  ExecutionContext exec(4);
+  std::atomic<size_t> ran{0};
+  const Status status = exec.ParallelForStatus(500, [&](size_t) {
+    ran.fetch_add(1);
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(ran.load(), 500u);
+}
+
+TEST(ExecutionContextTest, ConcurrentParallelForsOnDefaultDoNotInterfere) {
+  // Nested use: a ParallelFor issued from inside another context's task
+  // (via Default()) must not corrupt either call's completion tracking.
+  ExecutionContext outer(4);
+  std::atomic<size_t> total{0};
+  outer.ParallelFor(8, [&](size_t) {
+    ExecutionContext inner(2);
+    inner.ParallelFor(100, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 800u);
+}
+
+}  // namespace
+}  // namespace coachlm

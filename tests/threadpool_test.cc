@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace coachlm {
@@ -53,6 +54,41 @@ TEST(ThreadPoolTest, ReusableAcrossBatches) {
 TEST(ThreadPoolTest, DefaultSizeUsesHardware) {
   ThreadPool pool;
   EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForExplicitGrainCoversEveryIndex) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1003);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); },
+                   /*grain=*/64);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForGrainLargerThanRangeStillCompletes) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.ParallelFor(10, [&](size_t) { count.fetch_add(1); }, /*grain=*/1000);
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallsDoNotInterfere) {
+  // Two threads issuing ParallelFor on the same pool: each call has its
+  // own completion latch, so neither may return before its own indices
+  // are all done.
+  ThreadPool pool(4);
+  std::atomic<long> sum_a{0};
+  std::atomic<long> sum_b{0};
+  std::thread other([&] {
+    pool.ParallelFor(2000, [&](size_t i) {
+      sum_b.fetch_add(static_cast<long>(i));
+    });
+    EXPECT_EQ(sum_b.load(), 1999L * 2000L / 2);
+  });
+  pool.ParallelFor(2000, [&](size_t i) {
+    sum_a.fetch_add(static_cast<long>(i));
+  });
+  EXPECT_EQ(sum_a.load(), 1999L * 2000L / 2);
+  other.join();
 }
 
 }  // namespace

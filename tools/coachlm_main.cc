@@ -23,6 +23,7 @@
 
 #include "coach/pipeline.h"
 #include "coach/trainer.h"
+#include "common/execution.h"
 #include "common/flags.h"
 #include "common/table_writer.h"
 #include "data/revision_io.h"
@@ -41,25 +42,41 @@ constexpr char kUsage[] =
     "usage: coachlm <command> [flags]\n"
     "\n"
     "commands:\n"
-    "  generate  --size N --seed S --out corpus.json\n"
+    "  generate  --size N --seed S --out corpus.json [--threads T]\n"
     "            synthesize an ALPACA52K-like instruction dataset\n"
     "  study     --in corpus.json --sample N --seed S --out revisions.jsonl\n"
-    "            [--merged merged.json]   run the expert revision study\n"
+    "            [--merged merged.json] [--threads T]\n"
+    "            run the expert revision study\n"
     "  train     --revisions revisions.jsonl --alpha A\n"
     "            --backbone llama|chatglm|chatglm2 --checkpoint coach.json\n"
     "            coach instruction tuning (writes a rule checkpoint)\n"
     "  revise    --in corpus.json --checkpoint coach.json --out revised.json\n"
     "            [--alpha A] [--backbone B] [--verify] [--threads T]\n"
     "            revise a dataset with a trained CoachLM\n"
-    "  rate      --in dataset.json [--detailed]\n"
+    "  rate      --in dataset.json [--detailed] [--threads T]\n"
     "            ChatGPT-style 0-5 quality report (+ per-dimension table)\n"
     "  inspect   --checkpoint coach.json\n"
     "            print the learned rule store (what coach tuning learned)\n"
-    "  diff      --before a.json --after b.json\n"
+    "  diff      --before a.json --after b.json [--threads T]\n"
     "            revision magnitude + per-dimension flaw-rate movement\n"
     "  evaluate  --original corpus.json --revised revised.json\n"
     "            [--human merged.json] [--testset coachlm150|pandalm170|\n"
-    "            vicuna80|selfinstruct252]   tune + judge the model zoo\n";
+    "            vicuna80|selfinstruct252] [--threads T]\n"
+    "            tune + judge the model zoo\n"
+    "\n"
+    "--threads T sizes the command\'s execution context (0 = default:\n"
+    "COACHLM_THREADS or hardware concurrency); results are byte-identical\n"
+    "at any thread count.\n";
+
+/// The command's execution context, sized by --threads (0 = default:
+/// COACHLM_THREADS, then hardware concurrency). Commands run once per
+/// process, so a function-local static covers the one non-default width.
+const ExecutionContext& FlagExec(const Flags& flags) {
+  const size_t threads = static_cast<size_t>(flags.GetInt("threads", 0));
+  if (threads == 0) return ExecutionContext::Default();
+  static const ExecutionContext exec(threads);
+  return exec;
+}
 
 lm::BackboneProfile BackboneByName(const std::string& name) {
   if (name == "llama") return lm::Llama7B();
@@ -72,7 +89,7 @@ Status RunGenerate(const Flags& flags) {
   config.size = static_cast<size_t>(flags.GetInt("size", 52000));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   synth::SynthCorpusGenerator generator(config);
-  const synth::SynthCorpus corpus = generator.Generate();
+  const synth::SynthCorpus corpus = generator.Generate(FlagExec(flags));
   const std::string out = flags.GetString("out", "corpus.json");
   COACHLM_RETURN_NOT_OK(corpus.dataset.SaveJson(out));
   std::printf("wrote %zu pairs to %s\n", corpus.dataset.size(), out.c_str());
@@ -87,7 +104,8 @@ Status RunStudy(const Flags& flags) {
   expert::RevisionStudyConfig config;
   config.sample_size = static_cast<size_t>(flags.GetInt("sample", 6000));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 17));
-  const auto study = expert::RunRevisionStudy(corpus, engine, config);
+  const auto study =
+      expert::RunRevisionStudy(corpus, engine, config, {}, FlagExec(flags));
   const std::string out = flags.GetString("out", "revisions.jsonl");
   COACHLM_RETURN_NOT_OK(SaveRevisions(out, study.revisions));
   std::printf("examined %zu pairs: %zu excluded, %zu revised "
@@ -135,9 +153,8 @@ Status RunRevise(const Flags& flags) {
       coach::CoachLm::LoadCheckpoint(
           flags.GetString("checkpoint", "coach.json"), config));
   coach::RevisionPassStats stats;
-  const InstructionDataset revised = model.ReviseDataset(
-      corpus, {}, &stats,
-      static_cast<size_t>(flags.GetInt("threads", 0)));
+  const InstructionDataset revised =
+      model.ReviseDataset(corpus, {}, &stats, FlagExec(flags));
   const std::string out = flags.GetString("out", "revised.json");
   COACHLM_RETURN_NOT_OK(revised.SaveJson(out));
   std::printf("revised %zu pairs (%zu changed, %zu invalid outputs "
@@ -151,12 +168,15 @@ Status RunRate(const Flags& flags) {
   COACHLM_ASSIGN_OR_RETURN(
       InstructionDataset dataset,
       InstructionDataset::LoadJson(flags.GetString("in", "corpus.json")));
-  const auto rating = quality::AccuracyRater().RateDataset(dataset);
+  const auto rating =
+      quality::AccuracyRater().RateDataset(dataset, FlagExec(flags));
   std::printf("%zu pairs: mean rating %.2f / 5, %.1f%% above 4.5\n",
               dataset.size(), rating.mean,
               rating.fraction_above_45 * 100.0);
   if (flags.Has("detailed")) {
-    std::printf("%s", quality::AnalyzeDataset(dataset).ToAscii().c_str());
+    std::printf(
+        "%s",
+        quality::AnalyzeDataset(dataset, FlagExec(flags)).ToAscii().c_str());
   }
   return Status::OK();
 }
@@ -243,8 +263,8 @@ Status RunDiff(const Flags& flags) {
               before.size(), instruction_changed, response_changed,
               edit_chars / static_cast<double>(before.size()));
   std::printf("%s", quality::QualityReport::Compare(
-                        quality::AnalyzeDataset(before),
-                        quality::AnalyzeDataset(after))
+                        quality::AnalyzeDataset(before, FlagExec(flags)),
+                        quality::AnalyzeDataset(after, FlagExec(flags)))
                         .c_str());
   return Status::OK();
 }
@@ -275,10 +295,12 @@ Status RunEvaluate(const Flags& flags) {
   inputs.human_merged = &human;
   inputs.coach_revised = &revised;
   tuning::InstructionTuner tuner;
+  const ExecutionContext& exec = FlagExec(flags);
   const judge::PairwiseJudge panda(judge::PandaLmProfile());
   TableWriter table({"Model", "WR1", "WR2", "QS"});
-  for (const auto& entry : tuning::BuildBaselineGroup(inputs, tuner)) {
-    const auto eval = tuning::EvaluateModel(entry.model, set, panda);
+  for (const auto& entry : tuning::BuildBaselineGroup(inputs, tuner, exec)) {
+    const auto eval =
+        tuning::EvaluateModel(entry.model, set, panda, /*seed=*/5150, exec);
     table.AddRow({entry.model.spec().name, TableWriter::Pct(eval.rates.wr1),
                   TableWriter::Pct(eval.rates.wr2),
                   TableWriter::Pct(eval.rates.qs)});
@@ -297,6 +319,13 @@ int Main(int argc, char** argv) {
        "human", "testset", "detailed", "before", "after"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n%s", flags.status().ToString().c_str(), kUsage);
+    return 2;
+  }
+  const int64_t threads = flags->GetInt("threads", 0);
+  if (threads < 0 || threads > 1024) {
+    std::fprintf(stderr,
+                 "error: --threads must be between 0 and 1024 (got %lld)\n",
+                 static_cast<long long>(threads));
     return 2;
   }
   const std::string& command = flags->command();
