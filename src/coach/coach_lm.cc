@@ -301,37 +301,177 @@ InstructionPair CoachLm::Revise(const InstructionPair& pair, Rng* rng,
   return revised;
 }
 
+namespace {
+
+/// One pair's outcome in a fault-tolerant / checkpointed revision pass:
+/// the revised pair plus the per-item stat flags, serializable to one
+/// JSONL line so completed work survives a crash.
+struct RevisedItemRecord {
+  InstructionPair pair;
+  bool invalid_replaced = false;
+  bool leakage_skipped = false;
+  bool changed = false;
+  bool quarantined = false;
+  bool recovered = false;
+
+  enum Flag : int64_t {
+    kInvalid = 1,
+    kLeakage = 2,
+    kChanged = 4,
+    kQuarantined = 8,
+    kRecovered = 16,
+  };
+
+  std::string ToLine() const {
+    json::Object o;
+    o["pair"] = pair.ToJson();
+    int64_t flags = 0;
+    if (invalid_replaced) flags |= kInvalid;
+    if (leakage_skipped) flags |= kLeakage;
+    if (changed) flags |= kChanged;
+    if (quarantined) flags |= kQuarantined;
+    if (recovered) flags |= kRecovered;
+    o["flags"] = json::Value(flags);
+    return json::Value(std::move(o)).Dump();
+  }
+
+  static Result<RevisedItemRecord> FromLine(const std::string& line) {
+    COACHLM_ASSIGN_OR_RETURN(json::Value value, json::Parse(line));
+    RevisedItemRecord record;
+    COACHLM_ASSIGN_OR_RETURN(record.pair,
+                             InstructionPair::FromJson(value.At("pair")));
+    COACHLM_ASSIGN_OR_RETURN(double flags, value.GetNumber("flags"));
+    const auto bits = static_cast<int64_t>(flags);
+    record.invalid_replaced = (bits & kInvalid) != 0;
+    record.leakage_skipped = (bits & kLeakage) != 0;
+    record.changed = (bits & kChanged) != 0;
+    record.quarantined = (bits & kQuarantined) != 0;
+    record.recovered = (bits & kRecovered) != 0;
+    return record;
+  }
+};
+
+}  // namespace
+
 InstructionDataset CoachLm::ReviseDataset(
     const InstructionDataset& dataset,
     const std::unordered_set<std::string>& training_instructions,
-    RevisionPassStats* stats, const ExecutionContext& exec) const {
-  std::vector<InstructionPair> revised(dataset.size());
-  std::vector<RevisionPassStats> shard_stats(dataset.size());
-  exec.ParallelFor(dataset.size(), [&](size_t i) {
+    RevisionPassStats* stats, const ExecutionContext& exec,
+    PipelineRuntime* runtime, StageCheckpointer* checkpoint) const {
+  if (runtime == nullptr) runtime = PipelineRuntime::Default();
+  const bool checkpointed = checkpoint != nullptr && checkpoint->enabled();
+
+  if (!runtime->active() && !checkpointed) {
+    // Hot path: no injection, no retry envelope, no journaling — exactly
+    // the schedule-independent pass the determinism suite pins down.
+    std::vector<InstructionPair> revised(dataset.size());
+    std::vector<RevisionPassStats> shard_stats(dataset.size());
+    exec.ParallelFor(dataset.size(), [&](size_t i) {
+      const InstructionPair& pair = dataset[i];
+      RevisionPassStats& s = shard_stats[i];
+      if (training_instructions.count(lm::SerializePair(pair)) > 0) {
+        // Leakage guard: instructions seen in coach training are adopted
+        // unchanged in the revised dataset.
+        ++s.total;
+        ++s.leakage_skipped;
+        revised[i] = pair;
+        return;
+      }
+      // Deterministic per-pair stream: thread scheduling cannot change
+      // results.
+      Rng rng = DeriveRng(config_.seed, pair.id);
+      revised[i] = Revise(pair, &rng, &s);
+    });
+    // Serial fold in dataset order (the counters are commutative, but a
+    // fixed order keeps the path schedule-independent by construction).
+    if (stats != nullptr) {
+      for (const RevisionPassStats& s : shard_stats) {
+        stats->total += s.total;
+        stats->invalid_replaced += s.invalid_replaced;
+        stats->leakage_skipped += s.leakage_skipped;
+        stats->changed += s.changed;
+      }
+    }
+    return InstructionDataset(std::move(revised));
+  }
+
+  // Fault-tolerant / checkpointed path. Each item resolves to a record;
+  // revision runs under the runtime envelope so a permanently-failing pair
+  // degrades to its original text instead of aborting the pass.
+  auto revise_one = [&](size_t i) {
+    RevisedItemRecord record;
     const InstructionPair& pair = dataset[i];
-    RevisionPassStats& s = shard_stats[i];
     if (training_instructions.count(lm::SerializePair(pair)) > 0) {
-      // Leakage guard: instructions seen in coach training are adopted
-      // unchanged in the revised dataset.
-      ++s.total;
-      ++s.leakage_skipped;
-      revised[i] = pair;
-      return;
+      record.pair = pair;
+      record.leakage_skipped = true;
+      return record;
     }
-    // Deterministic per-pair stream: thread scheduling cannot change
-    // results.
-    Rng rng = DeriveRng(config_.seed, pair.id);
-    revised[i] = Revise(pair, &rng, &s);
-  });
-  // Serial fold in dataset order (the counters are commutative, but a
-  // fixed order keeps the path schedule-independent by construction).
-  if (stats != nullptr) {
-    for (const RevisionPassStats& s : shard_stats) {
-      stats->total += s.total;
-      stats->invalid_replaced += s.invalid_replaced;
-      stats->leakage_skipped += s.leakage_skipped;
-      stats->changed += s.changed;
+    InstructionPair out;
+    RevisionPassStats s;
+    int attempts = 0;
+    const Status status = runtime->Run(
+        FaultSite::kRevise, pair.id,
+        [&] {
+          // The attempt re-derives the pair's stream from scratch, so a
+          // retried item produces exactly the bytes a fault-free run
+          // would.
+          RevisionPassStats attempt_stats;
+          Rng rng = DeriveRng(config_.seed, pair.id);
+          out = Revise(pair, &rng, &attempt_stats);
+          s = attempt_stats;
+          return Status::OK();
+        },
+        &attempts);
+    if (!status.ok()) {
+      record.pair = pair;
+      record.quarantined = true;
+      return record;
     }
+    record.pair = std::move(out);
+    record.invalid_replaced = s.invalid_replaced > 0;
+    record.changed = s.changed > 0;
+    record.recovered = attempts > 1;
+    return record;
+  };
+
+  std::vector<RevisedItemRecord> records(dataset.size());
+  size_t resumed = 0;
+  if (checkpointed) {
+    Status commit_error = Status::OK();
+    resumed = RunCheckpointedLoop(
+        checkpoint, exec, &records, revise_one,
+        [](const RevisedItemRecord& record) { return record.ToLine(); },
+        [](const std::string& line, RevisedItemRecord* record) {
+          Result<RevisedItemRecord> decoded = RevisedItemRecord::FromLine(line);
+          if (!decoded.ok()) return false;
+          *record = std::move(decoded).ValueOrDie();
+          return true;
+        },
+        &commit_error);
+    if (!commit_error.ok()) {
+      // A failing journal must not fail the pass; record the loss of
+      // crash-safety with the progress cursor as provenance.
+      runtime->QuarantineRecordFailure(FaultSite::kIo, dataset.size(),
+                                       commit_error);
+    }
+  } else {
+    exec.ParallelFor(dataset.size(),
+                     [&](size_t i) { records[i] = revise_one(i); });
+  }
+
+  std::vector<InstructionPair> revised;
+  revised.reserve(records.size());
+  if (stats != nullptr) stats->resumed += resumed;
+  for (RevisedItemRecord& record : records) {
+    if (stats != nullptr) {
+      ++stats->total;
+      stats->invalid_replaced += record.invalid_replaced ? 1 : 0;
+      stats->leakage_skipped += record.leakage_skipped ? 1 : 0;
+      stats->changed += record.changed ? 1 : 0;
+      stats->quarantined += record.quarantined ? 1 : 0;
+      stats->recovered += record.recovered ? 1 : 0;
+    }
+    revised.push_back(std::move(record.pair));
   }
   return InstructionDataset(std::move(revised));
 }

@@ -6,9 +6,11 @@
 #include <unordered_set>
 
 #include "coach/coach_config.h"
+#include "common/checkpoint.h"
 #include "common/execution.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/runtime.h"
 #include "data/dataset.h"
 #include "lm/backbone.h"
 #include "lm/rule_store.h"
@@ -27,6 +29,13 @@ struct RevisionPassStats {
   size_t leakage_skipped = 0;
   /// Pairs whose text actually changed.
   size_t changed = 0;
+  /// Pairs whose revision failed permanently (retries exhausted): adopted
+  /// unchanged in the output and routed to the runtime's quarantine log.
+  size_t quarantined = 0;
+  /// Pairs that needed more than one attempt but recovered via retry.
+  size_t recovered = 0;
+  /// Pairs restored from a checkpoint instead of being recomputed.
+  size_t resumed = 0;
 };
 
 /// \brief The trained coach language model θ_c.
@@ -57,10 +66,24 @@ class CoachLm {
   /// are byte-identical at any thread count). Pairs whose serialized form
   /// (lm::SerializePair) is in \p training_instructions are adopted
   /// unchanged (the data-leakage guard).
+  ///
+  /// \p runtime (nullptr = PipelineRuntime::Default()) wraps each pair's
+  /// inference in fault injection + retry at FaultSite::kRevise: pairs
+  /// that fail permanently fall back to their original text, count as
+  /// `quarantined`, and land in the runtime's quarantine log — the stage
+  /// never aborts. Under a purely transient fault plan the output is
+  /// byte-identical to the fault-free run.
+  ///
+  /// \p checkpoint (optional) makes the pass crash-safe: every
+  /// checkpoint-interval pairs the revised prefix is journaled, and a
+  /// rerun that calls StageCheckpointer::Resume() first recomputes only
+  /// the remainder, to the same bytes.
   InstructionDataset ReviseDataset(
       const InstructionDataset& dataset,
       const std::unordered_set<std::string>& training_instructions,
-      RevisionPassStats* stats, const ExecutionContext& exec) const;
+      RevisionPassStats* stats, const ExecutionContext& exec,
+      PipelineRuntime* runtime = nullptr,
+      StageCheckpointer* checkpoint = nullptr) const;
 
   /// Legacy thread-count entry point: \p num_threads = 0 uses
   /// ExecutionContext::Default(); otherwise a dedicated context of that

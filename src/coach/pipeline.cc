@@ -7,6 +7,16 @@ CoachPipelineResult RunCoachPipeline(const InstructionDataset& corpus,
                                      const RevisionDataset& revisions,
                                      const CoachConfig& config,
                                      const ExecutionContext& exec) {
+  return RunCoachPipeline(corpus, revisions, config, exec,
+                          /*runtime=*/nullptr, /*checkpoint=*/nullptr);
+}
+
+CoachPipelineResult RunCoachPipeline(const InstructionDataset& corpus,
+                                     const RevisionDataset& revisions,
+                                     const CoachConfig& config,
+                                     const ExecutionContext& exec,
+                                     PipelineRuntime* runtime,
+                                     StageCheckpointer* checkpoint) {
   CoachPipelineResult result;
   CoachTrainer trainer(config);
   // Build C_alpha once: training consumes the samples below, and the
@@ -26,7 +36,7 @@ CoachPipelineResult RunCoachPipeline(const InstructionDataset& corpus,
     training_instructions.insert(sample.input);
   }
   result.revised_dataset = result.model->ReviseDataset(
-      corpus, training_instructions, &result.stats, exec);
+      corpus, training_instructions, &result.stats, exec, runtime, checkpoint);
   return result;
 }
 

@@ -34,6 +34,18 @@ CoachPipelineResult RunCoachPipeline(const InstructionDataset& corpus,
                                      const CoachConfig& config,
                                      const ExecutionContext& exec);
 
+/// Fault-tolerant variant: the revision pass runs under \p runtime
+/// (nullptr = PipelineRuntime::Default()) so per-pair inference faults are
+/// retried and permanent failures degrade to the original pair + a
+/// quarantine record instead of aborting. \p checkpoint (optional) journals
+/// the revision pass for crash-safe resume — see CoachLm::ReviseDataset.
+CoachPipelineResult RunCoachPipeline(const InstructionDataset& corpus,
+                                     const RevisionDataset& revisions,
+                                     const CoachConfig& config,
+                                     const ExecutionContext& exec,
+                                     PipelineRuntime* runtime,
+                                     StageCheckpointer* checkpoint = nullptr);
+
 /// Legacy thread-count entry point: \p num_threads = 0 uses
 /// ExecutionContext::Default().
 CoachPipelineResult RunCoachPipeline(const InstructionDataset& corpus,

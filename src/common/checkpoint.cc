@@ -1,0 +1,178 @@
+#include "common/checkpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "json/json.h"
+#include "json/jsonl.h"
+
+namespace coachlm {
+
+Status AtomicWriteFile(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IoError("cannot open '" + tmp + "' for writing");
+    }
+    out << content;
+    out.flush();
+    if (!out) return Status::IoError("write failure on '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+std::string ConfigFingerprint(const std::string& description) {
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const char c : description) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+StageCheckpointer::StageCheckpointer(std::string dir, std::string stage,
+                                     std::string fingerprint, size_t interval)
+    : dir_(std::move(dir)),
+      stage_(std::move(stage)),
+      fingerprint_(std::move(fingerprint)),
+      interval_(interval == 0 ? 2048 : interval) {
+  if (enabled()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+  }
+}
+
+std::string StageCheckpointer::manifest_path() const {
+  return (std::filesystem::path(dir_) / (stage_ + ".manifest.json")).string();
+}
+
+std::string StageCheckpointer::payload_path() const {
+  return (std::filesystem::path(dir_) / (stage_ + ".ckpt.jsonl")).string();
+}
+
+std::vector<std::string> StageCheckpointer::Resume() {
+  resumed_ = false;
+  payload_bytes_ = 0;
+  completed_ = 0;
+  if (!enabled()) return {};
+
+  const Result<std::string> manifest_text = json::ReadFile(manifest_path());
+  if (!manifest_text.ok()) return {};
+  const Result<json::Value> manifest = json::Parse(*manifest_text);
+  if (!manifest.ok()) return {};
+  const Result<std::string> stage = manifest->GetString("stage");
+  const Result<std::string> fingerprint = manifest->GetString("fingerprint");
+  const Result<double> completed = manifest->GetNumber("completed");
+  const Result<double> payload_bytes = manifest->GetNumber("payload_bytes");
+  if (!stage.ok() || !fingerprint.ok() || !completed.ok() ||
+      !payload_bytes.ok() || *stage != stage_ ||
+      *fingerprint != fingerprint_) {
+    return {};
+  }
+
+  Result<std::string> payload = json::ReadFile(payload_path());
+  if (!payload.ok()) return {};
+  const auto manifest_bytes = static_cast<uint64_t>(*payload_bytes);
+  if (payload->size() < manifest_bytes) return {};  // inconsistent pair
+  // Bytes beyond the manifest are a torn tail (or an un-manifested chunk)
+  // from a crash mid-append: the manifest is authoritative, discard them.
+  payload->resize(manifest_bytes);
+
+  // Belt and braces: the committed prefix must itself be clean JSONL with
+  // exactly the advertised item count; a torn line inside it means the
+  // manifest lied, so restart from scratch rather than resume wrongly.
+  json::ParseLinesInfo info;
+  const Result<std::vector<json::Value>> parsed =
+      json::ParseLinesRecoverable(*payload, &info);
+  if (!parsed.ok() || info.truncated() ||
+      parsed->size() != static_cast<size_t>(*completed)) {
+    return {};
+  }
+
+  std::vector<std::string> lines;
+  lines.reserve(parsed->size());
+  size_t pos = 0;
+  while (pos < payload->size()) {
+    size_t nl = payload->find('\n', pos);
+    if (nl == std::string::npos) nl = payload->size();
+    if (nl > pos) lines.push_back(payload->substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  if (lines.size() != parsed->size()) return {};
+
+  payload_bytes_ = manifest_bytes;
+  completed_ = lines.size();
+  resumed_ = true;
+  return lines;
+}
+
+Status StageCheckpointer::Commit(size_t completed_total,
+                                 const std::vector<std::string>& new_lines) {
+  if (!enabled()) return Status::OK();
+  std::string chunk;
+  for (const std::string& line : new_lines) {
+    chunk += line;
+    chunk += '\n';
+  }
+  {
+    // First commit of a fresh (non-resumed) run truncates any stale
+    // payload; later commits append after the bytes the manifest covers.
+    const auto mode = (resumed_ || commits_ > 0)
+                          ? (std::ios::binary | std::ios::app)
+                          : (std::ios::binary | std::ios::trunc);
+    std::ofstream out(payload_path(), mode);
+    if (!out) {
+      return Status::IoError("cannot open checkpoint payload '" +
+                             payload_path() + "'");
+    }
+    out << chunk;
+    out.flush();
+    if (!out) {
+      return Status::IoError("write failure on checkpoint payload '" +
+                             payload_path() + "'");
+    }
+  }
+  payload_bytes_ += chunk.size();
+  completed_ = completed_total;
+
+  json::Object manifest;
+  manifest["stage"] = json::Value(stage_);
+  manifest["fingerprint"] = json::Value(fingerprint_);
+  manifest["completed"] = json::Value(static_cast<int64_t>(completed_));
+  manifest["payload_bytes"] =
+      json::Value(static_cast<int64_t>(payload_bytes_));
+  COACHLM_RETURN_NOT_OK(
+      AtomicWriteFile(manifest_path(), json::Value(manifest).Dump() + "\n"));
+
+  ++commits_;
+  if (crash_after_commits_ > 0 && commits_ >= crash_after_commits_) {
+    std::fprintf(stderr,
+                 "[checkpoint] simulated crash after commit %d of stage %s\n",
+                 commits_, stage_.c_str());
+    std::_Exit(17);
+  }
+  return Status::OK();
+}
+
+Status StageCheckpointer::Finish() {
+  if (!enabled()) return Status::OK();
+  std::error_code ec;
+  std::filesystem::remove(manifest_path(), ec);
+  std::filesystem::remove(payload_path(), ec);
+  payload_bytes_ = 0;
+  completed_ = 0;
+  commits_ = 0;
+  resumed_ = false;
+  return Status::OK();
+}
+
+}  // namespace coachlm

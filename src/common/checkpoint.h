@@ -1,0 +1,140 @@
+#ifndef COACHLM_COMMON_CHECKPOINT_H_
+#define COACHLM_COMMON_CHECKPOINT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/execution.h"
+#include "common/result.h"
+
+namespace coachlm {
+
+/// \brief Writes \p content to \p path atomically: the bytes land in a
+/// sibling temp file first and rename into place, so readers never observe
+/// a half-written file even if the writer dies mid-write.
+Status AtomicWriteFile(const std::string& path, const std::string& content);
+
+/// \brief Stable 64-bit FNV-1a fingerprint of a configuration description,
+/// hex-encoded. Checkpoints carry it so a resume against a different
+/// configuration is rejected instead of silently mixing outputs.
+std::string ConfigFingerprint(const std::string& description);
+
+/// \brief Crash-safe progress journal for one corpus-scale stage.
+///
+/// Layout under the checkpoint directory:
+///   <stage>.ckpt.jsonl      partial output, one serialized item per line,
+///                           appended chunk by chunk
+///   <stage>.manifest.json   {stage, fingerprint, completed, payload_bytes},
+///                           atomically renamed into place after each append
+///
+/// The manifest is the source of truth: payload bytes beyond
+/// `payload_bytes` are a torn tail from a crash mid-append and are
+/// discarded on resume. Because every stage is deterministic per item, a
+/// resumed run reprocesses only items >= `completed` and the concatenated
+/// output is byte-identical to an uninterrupted run.
+class StageCheckpointer {
+ public:
+  /// \p dir empty disables checkpointing (every call becomes a no-op).
+  /// \p fingerprint should come from ConfigFingerprint over everything the
+  /// stage's output depends on. \p interval is the commit chunk size.
+  StageCheckpointer(std::string dir, std::string stage,
+                    std::string fingerprint, size_t interval = 2048);
+
+  bool enabled() const { return !dir_.empty(); }
+  size_t interval() const { return interval_; }
+
+  /// Attempts to resume: with a manifest matching this stage and
+  /// fingerprint, returns the lines of every completed item (in item
+  /// order) and arms subsequent Commits to append after them. Missing,
+  /// mismatched, or inconsistent checkpoints return an empty vector and
+  /// the next Commit starts the payload fresh.
+  std::vector<std::string> Resume();
+
+  /// Appends \p new_lines to the payload, then atomically publishes a
+  /// manifest recording \p completed_total items. Crash-ordering contract:
+  /// payload bytes are flushed before the manifest names them.
+  Status Commit(size_t completed_total,
+                const std::vector<std::string>& new_lines);
+
+  /// Removes the checkpoint files after a successful run.
+  Status Finish();
+
+  std::string manifest_path() const;
+  std::string payload_path() const;
+
+  /// Testing aid for crash/resume drills: the process exits (without
+  /// cleanup) right after the Nth successful Commit, simulating a kill
+  /// mid-stage at a deterministic point.
+  void set_crash_after_commits(int n) { crash_after_commits_ = n; }
+
+ private:
+  std::string dir_;
+  std::string stage_;
+  std::string fingerprint_;
+  size_t interval_;
+  uint64_t payload_bytes_ = 0;
+  size_t completed_ = 0;
+  bool resumed_ = false;
+  int commits_ = 0;
+  int crash_after_commits_ = 0;
+};
+
+/// \brief Drives a chunked, crash-safe stage loop over \p records.
+///
+/// First restores the journaled prefix: each resumed line is decoded with
+/// `decode(line, &record) -> bool`; an undecodable or oversized journal is
+/// discarded (Finish) and the stage restarts from item 0, never resuming
+/// into a mismatched run. The remainder is computed in interval-sized
+/// chunks over \p exec with `compute(i) -> Record`, and each finished chunk
+/// is journaled via `encode(record) -> std::string` + Commit, so a kill at
+/// any point loses at most one chunk of work.
+///
+/// Returns the number of records restored from the journal rather than
+/// recomputed. A journal-write failure never fails the loop (the stage
+/// keeps its in-memory results, only crash-safety degrades); the last such
+/// error is reported through \p commit_error when non-null.
+template <typename Record, typename Compute, typename Encode, typename Decode>
+size_t RunCheckpointedLoop(StageCheckpointer* checkpoint,
+                           const ExecutionContext& exec,
+                           std::vector<Record>* records, Compute&& compute,
+                           Encode&& encode, Decode&& decode,
+                           Status* commit_error = nullptr) {
+  const size_t n = records->size();
+  size_t done = 0;
+  const std::vector<std::string> lines = checkpoint->Resume();
+  if (lines.size() <= n) {
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (!decode(lines[i], &(*records)[i])) break;
+      done = i + 1;
+    }
+  }
+  if (done != lines.size()) {
+    checkpoint->Finish();
+    done = 0;
+  }
+  const size_t restored = done;
+  while (done < n) {
+    const size_t chunk_end = std::min(n, done + checkpoint->interval());
+    exec.ParallelFor(chunk_end - done, [&](size_t k) {
+      (*records)[done + k] = compute(done + k);
+    });
+    std::vector<std::string> chunk;
+    chunk.reserve(chunk_end - done);
+    for (size_t i = done; i < chunk_end; ++i) {
+      chunk.push_back(encode((*records)[i]));
+    }
+    Status committed = checkpoint->Commit(chunk_end, chunk);
+    if (!committed.ok() && commit_error != nullptr) {
+      *commit_error = std::move(committed);
+    }
+    done = chunk_end;
+  }
+  return restored;
+}
+
+}  // namespace coachlm
+
+#endif  // COACHLM_COMMON_CHECKPOINT_H_

@@ -1,0 +1,51 @@
+#ifndef COACHLM_COMMON_CLOCK_H_
+#define COACHLM_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace coachlm {
+
+/// \brief Injectable time source for the retry/backoff layer.
+///
+/// Production code uses SystemClock (steady_clock + real sleeps); tests
+/// inject a FakeClock so retry schedules are asserted without sleeping.
+/// Implementations must be safe to call from multiple threads.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic now, in microseconds since an arbitrary epoch.
+  virtual int64_t NowMicros() const = 0;
+
+  /// Blocks the calling thread for \p micros microseconds.
+  virtual void SleepMicros(int64_t micros) = 0;
+
+  /// The process-wide real clock.
+  static Clock* System();
+};
+
+/// \brief Deterministic clock for tests: SleepMicros advances time
+/// instantly, so backoff schedules are observable without real delay.
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(int64_t start_micros = 0) : now_(start_micros) {}
+
+  int64_t NowMicros() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+
+  void SleepMicros(int64_t micros) override {
+    if (micros > 0) now_.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+  /// Total virtual time slept since construction minus the start offset.
+  int64_t elapsed_micros() const { return NowMicros(); }
+
+ private:
+  std::atomic<int64_t> now_;
+};
+
+}  // namespace coachlm
+
+#endif  // COACHLM_COMMON_CLOCK_H_

@@ -82,4 +82,12 @@ Status ExecutionContext::ParallelForStatus(
   return first_bad.load() < n ? bad : Status::OK();
 }
 
+std::vector<Status> ExecutionContext::ParallelMapStatus(
+    size_t n, const std::function<Status(size_t)>& fn, size_t grain) const {
+  std::vector<Status> statuses(n);
+  ParallelFor(
+      n, [&](size_t i) { statuses[i] = fn(i); }, grain);
+  return statuses;
+}
+
 }  // namespace coachlm

@@ -86,6 +86,14 @@ class ExecutionContext {
   Status ParallelForStatus(size_t n, const std::function<Status(size_t)>& fn,
                            size_t grain = 0) const;
 
+  /// Fault-collecting variant: runs *every* item to completion (a failing
+  /// item never stops its siblings) and returns the per-item Status vector
+  /// in index order. This is the graceful-degradation primitive: callers
+  /// route the failed indices to quarantine instead of aborting the stage.
+  std::vector<Status> ParallelMapStatus(
+      size_t n, const std::function<Status(size_t)>& fn,
+      size_t grain = 0) const;
+
   /// Maps fn over [0, n) into a vector in index order.
   template <typename Fn>
   auto ParallelMap(size_t n, Fn&& fn, size_t grain = 0) const

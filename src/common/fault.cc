@@ -1,0 +1,177 @@
+#include "common/fault.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "common/execution.h"
+#include "common/rng.h"
+
+namespace coachlm {
+namespace {
+
+/// Per-site stream-family tag mixed into the plan seed so two sites never
+/// replay each other's fault streams for the same item.
+constexpr uint64_t SiteTag(FaultSite site) {
+  return 0xFA171000ULL + static_cast<uint64_t>(site);
+}
+
+const char* const kSiteNames[kNumFaultSites] = {
+    "collect", "parse", "revise", "judge", "tune", "io",
+};
+
+std::vector<std::string> SplitOn(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t next = text.find(sep, pos);
+    if (next == std::string::npos) next = text.size();
+    parts.push_back(text.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return parts;
+}
+
+Result<double> ParseRate(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double rate = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || rate < 0.0 || rate > 1.0) {
+    return Status::InvalidArgument("fault plan: '" + key +
+                                   "' must be a rate in [0, 1], got '" +
+                                   value + "'");
+  }
+  return rate;
+}
+
+}  // namespace
+
+const char* FaultSiteToString(FaultSite site) {
+  const int index = static_cast<int>(site);
+  if (index < 0 || index >= kNumFaultSites) return "unknown";
+  return kSiteNames[index];
+}
+
+Result<FaultSite> FaultSiteFromString(const std::string& name) {
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    if (name == kSiteNames[i]) return static_cast<FaultSite>(i);
+  }
+  return Status::InvalidArgument("unknown fault site '" + name +
+                                 "' (want collect|parse|revise|judge|tune|io)");
+}
+
+Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.empty()) {
+    plan.transient_rate = 0.0;
+    return plan;
+  }
+  for (const std::string& token : SplitOn(spec, ',')) {
+    if (token.empty()) continue;
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      // A bare number is shorthand for the transient rate.
+      COACHLM_ASSIGN_OR_RETURN(plan.transient_rate, ParseRate("rate", token));
+      continue;
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "rate" || key == "transient") {
+      COACHLM_ASSIGN_OR_RETURN(plan.transient_rate, ParseRate(key, value));
+    } else if (key == "permanent") {
+      COACHLM_ASSIGN_OR_RETURN(plan.permanent_rate, ParseRate(key, value));
+    } else if (key == "continuation") {
+      COACHLM_ASSIGN_OR_RETURN(plan.burst_continuation, ParseRate(key, value));
+    } else if (key == "seed") {
+      plan.seed = static_cast<uint64_t>(
+          std::strtoull(value.c_str(), nullptr, 10));
+    } else if (key == "latency_us") {
+      plan.latency_us = std::strtoll(value.c_str(), nullptr, 10);
+    } else if (key == "latency_ms") {
+      plan.latency_us = std::strtoll(value.c_str(), nullptr, 10) * 1000;
+    } else if (key == "sites") {
+      if (value == "all") {
+        plan.site_mask = kAllFaultSites;
+      } else {
+        plan.site_mask = 0;
+        for (const std::string& name : SplitOn(value, '+')) {
+          if (name.empty()) continue;
+          COACHLM_ASSIGN_OR_RETURN(FaultSite site, FaultSiteFromString(name));
+          plan.site_mask |= FaultSiteBit(site);
+        }
+      }
+    } else {
+      return Status::InvalidArgument("fault plan: unknown key '" + key + "'");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out = "rate=" + std::to_string(transient_rate) +
+                    ",permanent=" + std::to_string(permanent_rate) +
+                    ",continuation=" + std::to_string(burst_continuation) +
+                    ",seed=" + std::to_string(seed) +
+                    ",latency_us=" + std::to_string(latency_us) + ",sites=";
+  if (site_mask == kAllFaultSites) {
+    out += "all";
+  } else {
+    bool first = true;
+    for (int i = 0; i < kNumFaultSites; ++i) {
+      if ((site_mask & (1u << i)) == 0) continue;
+      if (!first) out += '+';
+      out += kSiteNames[i];
+      first = false;
+    }
+  }
+  return out;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(plan), enabled_(plan.active()) {}
+
+Status FaultInjector::Inject(FaultSite site, uint64_t item_id, int attempt,
+                             Clock* clock) const {
+  if (!enabled_) return Status::OK();
+  if ((plan_.site_mask & FaultSiteBit(site)) == 0) return Status::OK();
+  // The item's fault destiny is a pure function of (seed, site, item_id):
+  // re-deriving the stream on every call keeps Inject stateless, so the
+  // answer for a given attempt never depends on who asked first.
+  Rng rng = DeriveRng(MixSeed(plan_.seed, SiteTag(site)), item_id);
+  const bool permanent = rng.NextBool(plan_.permanent_rate);
+  const bool transient = rng.NextBool(plan_.transient_rate);
+  int burst = 0;
+  if (transient) {
+    burst = 1;
+    while (burst < kMaxTransientBurst &&
+           rng.NextBool(plan_.burst_continuation)) {
+      ++burst;
+    }
+  }
+  const uint64_t code_pick = rng.NextBelow(3);
+
+  const std::string where = std::string(FaultSiteToString(site)) + "/item " +
+                            std::to_string(item_id) + " attempt " +
+                            std::to_string(attempt);
+  if (permanent) {
+    stats_.permanent_injected.fetch_add(1, std::memory_order_relaxed);
+    if (clock != nullptr) clock->SleepMicros(plan_.latency_us);
+    return Status::Internal("injected permanent fault at " + where);
+  }
+  if (transient && attempt <= burst) {
+    stats_.transient_injected.fetch_add(1, std::memory_order_relaxed);
+    if (clock != nullptr) clock->SleepMicros(plan_.latency_us);
+    // Rotate through the transient codes so multi-failure bursts exercise
+    // every retryable path, still deterministically.
+    switch ((code_pick + static_cast<uint64_t>(attempt)) % 3) {
+      case 0:
+        return Status::Unavailable("injected transient fault at " + where);
+      case 1:
+        return Status::DeadlineExceeded("injected transient fault at " +
+                                        where);
+      default:
+        return Status::IoError("injected transient fault at " + where);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace coachlm

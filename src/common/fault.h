@@ -1,0 +1,146 @@
+#ifndef COACHLM_COMMON_FAULT_H_
+#define COACHLM_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace coachlm {
+
+/// \brief Named fault-injection sites, one per corpus-scale stage class.
+///
+/// Every per-record operation that talks to something fallible (a backend,
+/// a parser over untrusted bytes, the filesystem) is wrapped in exactly one
+/// site, so a fault plan can target e.g. only revision-time inference.
+enum class FaultSite {
+  kCollect = 0,  // traffic collection / corpus generation
+  kParse,        // rule-script parsing of raw logs
+  kRevise,       // CoachLM inference
+  kJudge,        // pairwise judging
+  kTune,         // instruction tuning / alignment measurement
+  kIo,           // checkpoint & dataset file I/O
+};
+
+inline constexpr int kNumFaultSites = 6;
+
+/// Stable lowercase name ("collect", "parse", ...).
+const char* FaultSiteToString(FaultSite site);
+
+/// Parses a site name; InvalidArgument on unknown names.
+Result<FaultSite> FaultSiteFromString(const std::string& name);
+
+/// Bit for \p site in FaultPlan::site_mask.
+inline constexpr uint32_t FaultSiteBit(FaultSite site) {
+  return 1u << static_cast<int>(site);
+}
+
+inline constexpr uint32_t kAllFaultSites = (1u << kNumFaultSites) - 1;
+
+/// \brief Declarative description of the faults to inject into a run.
+///
+/// The plan is pure data: equal plans injected into equal workloads produce
+/// equal fault streams, because the injector keys every decision on
+/// (seed, site, item_id) only. The default plan injects nothing.
+struct FaultPlan {
+  uint64_t seed = 404;
+  /// Probability an item experiences a transient fault burst at a site.
+  /// Bursts are bounded (<= kMaxTransientBurst consecutive failures), so a
+  /// retry policy with more attempts than the bound always recovers.
+  double transient_rate = 0.0;
+  /// Probability an item fails *permanently* at a site: every attempt
+  /// fails, and the record is routed to quarantine.
+  double permanent_rate = 0.0;
+  /// Probability a transient burst continues past each failure (geometric
+  /// tail, still capped at kMaxTransientBurst).
+  double burst_continuation = 0.4;
+  /// Simulated latency added to each injected failure (microseconds).
+  int64_t latency_us = 0;
+  /// Which sites inject (default: all).
+  uint32_t site_mask = kAllFaultSites;
+
+  /// True when the plan can inject anything at all.
+  bool active() const {
+    return (transient_rate > 0.0 || permanent_rate > 0.0) && site_mask != 0;
+  }
+
+  /// Parses a plan spec. Accepted forms:
+  ///   ""                                  -> inactive plan
+  ///   "0.05"                              -> transient_rate 5%, all sites
+  ///   "rate=0.05,permanent=0.001,seed=7,sites=revise+io,latency_us=100,
+  ///    continuation=0.4"                  -> full control
+  /// `sites=all` restores the default mask.
+  static Result<FaultPlan> Parse(const std::string& spec);
+
+  /// Canonical spec string that re-parses to this plan.
+  std::string ToString() const;
+};
+
+/// Upper bound on consecutive transient failures for one (site, item):
+/// any retry policy allowing more than this many attempts deterministically
+/// retries its way through every transient fault in a plan.
+inline constexpr int kMaxTransientBurst = 3;
+
+/// \brief Counters of what an injector actually did (all sites pooled).
+///
+/// Copy/move snapshot the counters (relaxed loads) so the owning injector
+/// stays movable; concurrent increments race benignly with a snapshot.
+struct FaultInjectorStats {
+  std::atomic<uint64_t> transient_injected{0};
+  std::atomic<uint64_t> permanent_injected{0};
+
+  FaultInjectorStats() = default;
+  FaultInjectorStats(const FaultInjectorStats& other)
+      : transient_injected(
+            other.transient_injected.load(std::memory_order_relaxed)),
+        permanent_injected(
+            other.permanent_injected.load(std::memory_order_relaxed)) {}
+  FaultInjectorStats& operator=(const FaultInjectorStats& other) {
+    transient_injected.store(
+        other.transient_injected.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    permanent_injected.store(
+        other.permanent_injected.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    return *this;
+  }
+};
+
+/// \brief Deterministic, seeded fault injector.
+///
+/// `Inject(site, item_id, attempt)` is a pure function of the plan and its
+/// arguments: the decision stream for an item derives from
+/// DeriveRng(MixSeed(seed, site_tag), item_id), exactly the keying used for
+/// per-item work streams, so fault placement is independent of thread
+/// count, scheduling, and call order. A default-constructed injector is
+/// disabled and its hot path is a single predictable branch.
+class FaultInjector {
+ public:
+  /// Disabled injector: Inject() always returns OK.
+  FaultInjector() = default;
+
+  explicit FaultInjector(FaultPlan plan);
+
+  bool enabled() const { return enabled_; }
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Returns the fault (if any) that \p attempt (1-based) of \p item_id's
+  /// operation at \p site should observe. When a failure is injected and
+  /// the plan carries latency, sleeps \p clock for it (nullptr = no sleep).
+  Status Inject(FaultSite site, uint64_t item_id, int attempt,
+                Clock* clock = nullptr) const;
+
+  const FaultInjectorStats& stats() const { return stats_; }
+
+ private:
+  FaultPlan plan_;
+  bool enabled_ = false;
+  mutable FaultInjectorStats stats_;
+};
+
+}  // namespace coachlm
+
+#endif  // COACHLM_COMMON_FAULT_H_

@@ -1,0 +1,91 @@
+#include "common/quarantine.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "json/jsonl.h"
+
+namespace coachlm {
+namespace {
+
+Result<StatusCode> StatusCodeFromString(const std::string& name) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kDeadlineExceeded); ++c) {
+    const StatusCode code = static_cast<StatusCode>(c);
+    if (name == StatusCodeToString(code)) return code;
+  }
+  return Status::InvalidArgument("unknown status code '" + name + "'");
+}
+
+}  // namespace
+
+json::Value QuarantineRecord::ToJson() const {
+  json::Object o;
+  o["item_id"] = json::Value(static_cast<int64_t>(item_id));
+  o["site"] = json::Value(FaultSiteToString(site));
+  o["code"] = json::Value(StatusCodeToString(code));
+  o["message"] = json::Value(message);
+  o["attempts"] = json::Value(attempts);
+  return json::Value(std::move(o));
+}
+
+Result<QuarantineRecord> QuarantineRecord::FromJson(const json::Value& value) {
+  QuarantineRecord record;
+  COACHLM_ASSIGN_OR_RETURN(double id, value.GetNumber("item_id"));
+  record.item_id = static_cast<uint64_t>(id);
+  COACHLM_ASSIGN_OR_RETURN(std::string site, value.GetString("site"));
+  COACHLM_ASSIGN_OR_RETURN(record.site, FaultSiteFromString(site));
+  COACHLM_ASSIGN_OR_RETURN(std::string code, value.GetString("code"));
+  COACHLM_ASSIGN_OR_RETURN(record.code, StatusCodeFromString(code));
+  COACHLM_ASSIGN_OR_RETURN(record.message, value.GetString("message"));
+  COACHLM_ASSIGN_OR_RETURN(double attempts, value.GetNumber("attempts"));
+  record.attempts = static_cast<int>(attempts);
+  return record;
+}
+
+void QuarantineLog::Add(QuarantineRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(std::move(record));
+}
+
+size_t QuarantineLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+std::vector<QuarantineRecord> QuarantineLog::records() const {
+  std::vector<QuarantineRecord> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = records_;
+  }
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const QuarantineRecord& a, const QuarantineRecord& b) {
+              return std::tie(a.site, a.item_id, a.message) <
+                     std::tie(b.site, b.item_id, b.message);
+            });
+  return snapshot;
+}
+
+Status QuarantineLog::Save(const std::string& path) const {
+  std::vector<json::Value> lines;
+  for (const QuarantineRecord& record : records()) {
+    lines.push_back(record.ToJson());
+  }
+  return json::SaveJsonl(path, lines);
+}
+
+Result<std::vector<QuarantineRecord>> QuarantineLog::Load(
+    const std::string& path) {
+  COACHLM_ASSIGN_OR_RETURN(std::vector<json::Value> lines,
+                           json::LoadJsonl(path));
+  std::vector<QuarantineRecord> records;
+  records.reserve(lines.size());
+  for (const json::Value& line : lines) {
+    COACHLM_ASSIGN_OR_RETURN(QuarantineRecord record,
+                             QuarantineRecord::FromJson(line));
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace coachlm

@@ -1,0 +1,66 @@
+#ifndef COACHLM_COMMON_QUARANTINE_H_
+#define COACHLM_COMMON_QUARANTINE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/result.h"
+#include "json/json.h"
+
+namespace coachlm {
+
+/// \brief Error provenance of one permanently-failed record.
+///
+/// Serialized one-per-line into the quarantine JSONL so operators can
+/// reprocess or triage exactly the records a run could not handle, instead
+/// of the run aborting on the first of them.
+struct QuarantineRecord {
+  uint64_t item_id = 0;
+  FaultSite site = FaultSite::kCollect;
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+  /// Attempts spent before giving up (1 = failed without retrying).
+  int attempts = 0;
+
+  json::Value ToJson() const;
+  static Result<QuarantineRecord> FromJson(const json::Value& value);
+
+  bool operator==(const QuarantineRecord& other) const {
+    return item_id == other.item_id && site == other.site &&
+           code == other.code && message == other.message &&
+           attempts == other.attempts;
+  }
+};
+
+/// \brief Thread-safe collector of quarantined records.
+///
+/// Workers Add() from any thread; records() and Save() return them sorted
+/// by (site, item_id), so the quarantine file is deterministic no matter
+/// which thread lost which record first.
+class QuarantineLog {
+ public:
+  void Add(QuarantineRecord record);
+
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// Sorted snapshot (by site, then item_id, then message).
+  std::vector<QuarantineRecord> records() const;
+
+  /// Writes the sorted records as JSONL.
+  Status Save(const std::string& path) const;
+
+  /// Loads a quarantine JSONL written by Save().
+  static Result<std::vector<QuarantineRecord>> Load(const std::string& path);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<QuarantineRecord> records_;
+};
+
+}  // namespace coachlm
+
+#endif  // COACHLM_COMMON_QUARANTINE_H_

@@ -1,0 +1,25 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/execution.h"
+#include "common/rng.h"
+
+namespace coachlm {
+
+int64_t RetryPolicy::BackoffMicros(int next_attempt,
+                                   uint64_t jitter_key) const {
+  if (next_attempt <= 1 || initial_backoff_us <= 0) return 0;
+  double backoff = static_cast<double>(initial_backoff_us) *
+                   std::pow(backoff_multiplier,
+                            static_cast<double>(next_attempt - 2));
+  backoff = std::min(backoff, static_cast<double>(max_backoff_us));
+  // Deterministic jitter in [0.5, 1.0): decorrelates retry storms across
+  // items without introducing schedule-dependent randomness.
+  Rng rng = DeriveRng(jitter_key, static_cast<uint64_t>(next_attempt));
+  const double jitter = 0.5 + 0.5 * rng.NextDouble();
+  return static_cast<int64_t>(backoff * jitter);
+}
+
+}  // namespace coachlm

@@ -1,0 +1,83 @@
+#ifndef COACHLM_COMMON_RETRY_H_
+#define COACHLM_COMMON_RETRY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace coachlm {
+
+/// \brief Retry schedule for transient failures: bounded attempts,
+/// exponential backoff with deterministic jitter, optional per-call
+/// deadline.
+///
+/// The defaults allow one more attempt than the injector's maximum
+/// transient burst (fault.h), so any purely-transient fault plan is
+/// guaranteed to retry through to success.
+struct RetryPolicy {
+  /// Total attempts including the first (must be >= 1).
+  int max_attempts = 4;
+  /// Backoff before the second attempt; doubles (times multiplier) after
+  /// each further failure.
+  int64_t initial_backoff_us = 1000;
+  double backoff_multiplier = 2.0;
+  /// Cap on a single backoff sleep.
+  int64_t max_backoff_us = 200000;
+  /// Overall deadline for the call including backoff (0 = none). Once
+  /// exceeded, the loop stops with DeadlineExceeded even if attempts
+  /// remain.
+  int64_t deadline_us = 0;
+
+  /// The backoff before attempt \p next_attempt (2-based: the sleep after
+  /// the first failure precedes attempt 2). Jitter is deterministic in
+  /// (jitter_key, next_attempt) — a pure function, not a global RNG — so
+  /// retry timing is reproducible per item.
+  int64_t BackoffMicros(int next_attempt, uint64_t jitter_key) const;
+};
+
+/// \brief What a retried call produced: the final status and how many
+/// attempts it took.
+struct RetryOutcome {
+  Status status;
+  int attempts = 0;
+};
+
+/// \brief Runs \p op under \p policy: re-attempts while the status is
+/// transient (Status::IsTransient), sleeping the backoff on \p clock
+/// between attempts. Non-transient failures and OK return immediately.
+///
+/// \p op receives the 1-based attempt number. \p jitter_key seeds the
+/// deterministic backoff jitter (callers pass a per-item key). A template
+/// rather than std::function: the retry envelope wraps every record of
+/// every corpus-scale stage, so the per-call closure must not allocate.
+template <typename Op>
+RetryOutcome RetryWithBackoff(const RetryPolicy& policy, Clock* clock,
+                              uint64_t jitter_key, Op&& op) {
+  RetryOutcome outcome;
+  const int max_attempts = std::max(1, policy.max_attempts);
+  const int64_t start = clock->NowMicros();
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    outcome.attempts = attempt;
+    outcome.status = op(attempt);
+    if (outcome.status.ok() || !outcome.status.IsTransient()) return outcome;
+    if (attempt == max_attempts) return outcome;
+    const int64_t backoff = policy.BackoffMicros(attempt + 1, jitter_key);
+    if (policy.deadline_us > 0 &&
+        clock->NowMicros() - start + backoff >= policy.deadline_us) {
+      outcome.status = Status::DeadlineExceeded(
+          "retry deadline exceeded after " + std::to_string(attempt) +
+          " attempt(s): " + outcome.status.ToString());
+      return outcome;
+    }
+    clock->SleepMicros(backoff);
+  }
+  return outcome;
+}
+
+}  // namespace coachlm
+
+#endif  // COACHLM_COMMON_RETRY_H_

@@ -1,0 +1,65 @@
+#include "common/runtime.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/env.h"
+#include "common/execution.h"
+
+namespace coachlm {
+
+uint64_t PipelineRuntime::JitterKey(FaultSite site, uint64_t item_id) {
+  return MixSeed(item_id, 0xBAC0FF00ULL + static_cast<uint64_t>(site));
+}
+
+PipelineRuntime* PipelineRuntime::Default() {
+  static PipelineRuntime* runtime = [] {
+    const std::string spec = GetEnvOr("COACHLM_FAULT_PLAN", "");
+    if (spec.empty()) return new PipelineRuntime();
+    const Result<FaultPlan> plan = FaultPlan::Parse(spec);
+    if (!plan.ok()) {
+      std::fprintf(stderr,
+                   "warning: ignoring COACHLM_FAULT_PLAN: %s\n",
+                   plan.status().ToString().c_str());
+      return new PipelineRuntime();
+    }
+    RetryPolicy policy;
+    const std::string retry_max = GetEnvOr("COACHLM_RETRY_MAX", "");
+    if (!retry_max.empty()) {
+      const long parsed = std::strtol(retry_max.c_str(), nullptr, 10);
+      if (parsed > 0) policy.max_attempts = static_cast<int>(parsed);
+    }
+    return new PipelineRuntime(FaultInjector(*plan), policy);
+  }();
+  return runtime;
+}
+
+Status PipelineRuntime::FinishRun(FaultSite site, uint64_t item_id,
+                                  RetryOutcome outcome, int* attempts_out) {
+  attempts_.fetch_add(static_cast<uint64_t>(outcome.attempts),
+                      std::memory_order_relaxed);
+  if (outcome.status.ok()) {
+    if (outcome.attempts > 1) {
+      recovered_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    QuarantineRecordFailure(site, item_id, outcome.status, outcome.attempts);
+  }
+  if (attempts_out != nullptr) *attempts_out = outcome.attempts;
+  return outcome.status;
+}
+
+void PipelineRuntime::QuarantineRecordFailure(FaultSite site,
+                                              uint64_t item_id,
+                                              const Status& status,
+                                              int attempts) {
+  QuarantineRecord record;
+  record.item_id = item_id;
+  record.site = site;
+  record.code = status.code();
+  record.message = status.message();
+  record.attempts = attempts;
+  quarantine_.Add(std::move(record));
+}
+
+}  // namespace coachlm

@@ -24,6 +24,8 @@ enum class StatusCode {
   kParseError,
   kInternal,
   kNotImplemented,
+  kUnavailable,
+  kDeadlineExceeded,
 };
 
 /// \brief Returns a stable human-readable name for a status code.
@@ -76,10 +78,26 @@ class Status {
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
   /// @}
 
   /// Returns true when the status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// True for failures that a retry may clear: a backend being briefly
+  /// unavailable, a call exceeding its deadline, or an I/O hiccup. The
+  /// retry layer (retry.h) only re-attempts transient failures; everything
+  /// else (bad data, bad config) fails fast.
+  bool IsTransient() const {
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kDeadlineExceeded ||
+           code_ == StatusCode::kIoError;
+  }
 
   /// Returns the status code.
   StatusCode code() const { return code_; }

@@ -24,15 +24,26 @@ Status WriteFile(const std::string& path, const std::string& content) {
   return Status::OK();
 }
 
-Result<std::vector<Value>> ParseLines(const std::string& text,
-                                      bool skip_invalid, size_t* num_invalid) {
+namespace {
+
+enum class LineFailureMode { kStrict, kSkipInvalid, kRecoverTornTail };
+
+Result<std::vector<Value>> ParseLinesImpl(const std::string& text,
+                                          LineFailureMode mode,
+                                          size_t* num_invalid,
+                                          ParseLinesInfo* info) {
   std::vector<Value> values;
   if (num_invalid != nullptr) *num_invalid = 0;
+  if (info != nullptr) *info = ParseLinesInfo();
   size_t line_no = 0;
   size_t pos = 0;
   while (pos <= text.size()) {
+    const size_t line_start = pos;
     size_t nl = text.find('\n', pos);
-    if (nl == std::string::npos) nl = text.size();
+    // A line without its '\n' terminator is by construction the last one;
+    // if it then fails to parse, it is a torn write, not corruption.
+    const bool terminated = nl != std::string::npos;
+    if (!terminated) nl = text.size();
     std::string line = text.substr(pos, nl - pos);
     pos = nl + 1;
     ++line_no;
@@ -46,9 +57,20 @@ Result<std::vector<Value>> ParseLines(const std::string& text,
     }
     Result<Value> parsed = Parse(line);
     if (!parsed.ok()) {
-      if (skip_invalid) {
+      if (mode == LineFailureMode::kSkipInvalid) {
         if (num_invalid != nullptr) ++*num_invalid;
         continue;
+      }
+      if (!terminated) {
+        if (mode == LineFailureMode::kRecoverTornTail) {
+          if (info != nullptr) info->truncated_offset = line_start;
+          return values;
+        }
+        return Status::ParseError(
+            "truncated final line at byte offset " +
+            std::to_string(line_start) +
+            " (crash artifact; recoverable via ParseLinesRecoverable): " +
+            parsed.status().message());
       }
       return Status::ParseError("line " + std::to_string(line_no) + ": " +
                                 parsed.status().message());
@@ -58,10 +80,32 @@ Result<std::vector<Value>> ParseLines(const std::string& text,
   return values;
 }
 
+}  // namespace
+
+Result<std::vector<Value>> ParseLines(const std::string& text,
+                                      bool skip_invalid, size_t* num_invalid) {
+  return ParseLinesImpl(text,
+                        skip_invalid ? LineFailureMode::kSkipInvalid
+                                     : LineFailureMode::kStrict,
+                        num_invalid, nullptr);
+}
+
+Result<std::vector<Value>> ParseLinesRecoverable(const std::string& text,
+                                                 ParseLinesInfo* info) {
+  return ParseLinesImpl(text, LineFailureMode::kRecoverTornTail, nullptr,
+                        info);
+}
+
 Result<std::vector<Value>> LoadJsonl(const std::string& path,
                                      bool skip_invalid, size_t* num_invalid) {
   COACHLM_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
   return ParseLines(text, skip_invalid, num_invalid);
+}
+
+Result<std::vector<Value>> LoadJsonlRecoverable(const std::string& path,
+                                                ParseLinesInfo* info) {
+  COACHLM_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return ParseLinesRecoverable(text, info);
 }
 
 Status SaveJsonl(const std::string& path, const std::vector<Value>& values) {

@@ -22,14 +22,45 @@ Status WriteFile(const std::string& path, const std::string& content);
 /// \p num_invalid (may be null); otherwise the first malformed line fails
 /// the whole parse. The tolerant mode mirrors the platform's handling of
 /// noisy production logs (Section IV-A).
+///
+/// A malformed *final* line that is missing its newline terminator is a
+/// crash artifact (a writer died mid-append), not corruption: strict mode
+/// reports it with its byte offset so callers can recover the intact
+/// prefix via ParseLinesRecoverable instead of discarding the whole file.
 Result<std::vector<Value>> ParseLines(const std::string& text,
                                       bool skip_invalid = false,
                                       size_t* num_invalid = nullptr);
+
+/// \brief Detail channel of ParseLinesRecoverable.
+struct ParseLinesInfo {
+  /// Byte offset where a torn (unterminated, unparseable) final line
+  /// begins; std::string::npos when the document ends cleanly.
+  size_t truncated_offset = static_cast<size_t>(-1);
+
+  bool truncated() const {
+    return truncated_offset != static_cast<size_t>(-1);
+  }
+};
+
+/// \brief Like strict ParseLines, but treats a torn final line — the
+/// signature of a writer killed mid-append — as a recoverable condition:
+/// the values of every complete line are returned and \p info (may be
+/// null) reports the byte offset where the torn tail begins, so a resuming
+/// writer can truncate the file there and continue. Malformed lines that
+/// *are* newline-terminated still fail the parse: those are corruption,
+/// not a crash artifact.
+Result<std::vector<Value>> ParseLinesRecoverable(const std::string& text,
+                                                 ParseLinesInfo* info);
 
 /// \brief Loads and parses a JSONL file.
 Result<std::vector<Value>> LoadJsonl(const std::string& path,
                                      bool skip_invalid = false,
                                      size_t* num_invalid = nullptr);
+
+/// \brief Loads a JSONL file tolerating a torn final line (see
+/// ParseLinesRecoverable).
+Result<std::vector<Value>> LoadJsonlRecoverable(const std::string& path,
+                                                ParseLinesInfo* info);
 
 /// \brief Serializes values one-per-line and writes them to \p path.
 Status SaveJsonl(const std::string& path, const std::vector<Value>& values);

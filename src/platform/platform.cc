@@ -30,10 +30,12 @@ DataPlatform::DataPlatform(PlatformConfig config)
       traffic_(TrafficConfig(config_)),
       exec_(config_.inference_threads) {}
 
-std::vector<UserCase> DataPlatform::CollectUserCases() const {
+std::vector<UserCase> DataPlatform::CollectUserCases(
+    PipelineRuntime* runtime) const {
+  if (runtime == nullptr) runtime = PipelineRuntime::Default();
   // Each case runs under its own id-derived stream (generation plus the
   // truncation coin), so collection parallelizes deterministically.
-  return exec_.ParallelMap(config_.batch_size, [&](size_t i) {
+  auto build_case = [&](size_t i) {
     const uint64_t id = static_cast<uint64_t>(i + 1);
     Rng rng = DeriveRng(config_.seed, id);
     InstructionPair pair;
@@ -50,28 +52,68 @@ std::vector<UserCase> DataPlatform::CollectUserCases() const {
           user_case.raw_log.substr(0, user_case.raw_log.size() / 3);
     }
     return user_case;
-  });
+  };
+  if (!runtime->active()) {
+    return exec_.ParallelMap(config_.batch_size, build_case);
+  }
+  // Fault-tolerant path: a case whose collection fails permanently is lost
+  // traffic — dropped from the batch, recorded in quarantine by Run().
+  struct Slot {
+    UserCase user_case;
+    bool dropped = false;
+  };
+  std::vector<Slot> slots =
+      exec_.ParallelMap(config_.batch_size, [&](size_t i) {
+        Slot slot;
+        const Status status =
+            runtime->Run(FaultSite::kCollect, static_cast<uint64_t>(i + 1),
+                         [&] {
+                           slot.user_case = build_case(i);
+                           return Status::OK();
+                         });
+        slot.dropped = !status.ok();
+        return slot;
+      });
+  std::vector<UserCase> cases;
+  cases.reserve(slots.size());
+  for (Slot& slot : slots) {
+    if (!slot.dropped) cases.push_back(std::move(slot.user_case));
+  }
+  return cases;
 }
 
 InstructionDataset DataPlatform::ParseWithRuleScripts(
-    const std::vector<UserCase>& cases, size_t* dropped) const {
+    const std::vector<UserCase>& cases, size_t* dropped,
+    PipelineRuntime* runtime) const {
+  if (runtime == nullptr) runtime = PipelineRuntime::Default();
   // Parse in parallel; fold in case order so the dataset (and the drop
-  // count) is identical to the serial pass.
+  // count) is identical to the serial pass. Each parse runs under the
+  // runtime at FaultSite::kParse: a genuinely unparseable log fails with a
+  // non-transient ParseError, which an active runtime quarantines with
+  // provenance (an inactive runtime just drops it, the legacy behavior).
   const std::vector<std::optional<InstructionPair>> parsed_cases =
       exec_.ParallelMap(
           cases.size(), [&](size_t i) -> std::optional<InstructionPair> {
             const UserCase& user_case = cases[i];
-            // Strip the session header line.
-            const size_t newline = user_case.raw_log.find('\n');
-            if (newline == std::string::npos) return std::nullopt;
-            const std::string body = user_case.raw_log.substr(newline + 1);
-            auto parsed = lm::DeserializePair(body);
-            if (!parsed.ok() || strings::Trim(parsed->instruction).empty()) {
-              return std::nullopt;
-            }
-            InstructionPair pair = std::move(parsed).ValueOrDie();
-            pair.id = user_case.case_id;
-            return pair;
+            std::optional<InstructionPair> out;
+            runtime->Run(FaultSite::kParse, user_case.case_id, [&] {
+              // Strip the session header line.
+              const size_t newline = user_case.raw_log.find('\n');
+              if (newline == std::string::npos) {
+                return Status::ParseError("log record has no body");
+              }
+              const std::string body = user_case.raw_log.substr(newline + 1);
+              auto parsed = lm::DeserializePair(body);
+              if (!parsed.ok()) return parsed.status();
+              if (strings::Trim(parsed->instruction).empty()) {
+                return Status::ParseError("parsed pair has empty instruction");
+              }
+              InstructionPair pair = std::move(parsed).ValueOrDie();
+              pair.id = user_case.case_id;
+              out = std::move(pair);
+              return Status::OK();
+            });
+            return out;
           });
   InstructionDataset dataset;
   size_t drop_count = 0;
@@ -86,18 +128,27 @@ InstructionDataset DataPlatform::ParseWithRuleScripts(
   return dataset;
 }
 
-BatchReport DataPlatform::RunCleaningBatch(const coach::CoachLm* coach) const {
+BatchReport DataPlatform::RunCleaningBatch(
+    const coach::CoachLm* coach, PipelineRuntime* runtime,
+    coachlm::StageCheckpointer* checkpoint) const {
+  if (runtime == nullptr) runtime = PipelineRuntime::Default();
   BatchReport report;
   report.with_coach = coach != nullptr;
+  const size_t quarantined_before = runtime->quarantined_records();
+  const size_t recovered_before = runtime->recovered_records();
 
-  const std::vector<UserCase> cases = CollectUserCases();
-  InstructionDataset raw = ParseWithRuleScripts(cases);
+  const std::vector<UserCase> cases = CollectUserCases(runtime);
+  report.dropped += config_.batch_size - cases.size();
+  size_t parse_dropped = 0;
+  InstructionDataset raw = ParseWithRuleScripts(cases, &parse_dropped, runtime);
+  report.dropped += parse_dropped;
 
   InstructionDataset incoming = raw;
   if (coach != nullptr) {
     const auto start = std::chrono::steady_clock::now();
     coach::RevisionPassStats stats;
-    incoming = coach->ReviseDataset(raw, {}, &stats, exec_);
+    incoming = coach->ReviseDataset(raw, {}, &stats, exec_, runtime,
+                                    checkpoint);
     const auto end = std::chrono::steady_clock::now();
     report.coach_seconds =
         std::chrono::duration<double>(end - start).count();
@@ -142,6 +193,8 @@ BatchReport DataPlatform::RunCleaningBatch(const coach::CoachLm* coach) const {
     report.pairs_per_person_day =
         static_cast<double>(incoming.size()) / report.person_days;
   }
+  report.quarantined = runtime->quarantined_records() - quarantined_before;
+  report.recovered = runtime->recovered_records() - recovered_before;
   return report;
 }
 

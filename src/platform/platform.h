@@ -46,6 +46,14 @@ struct PlatformConfig {
 struct BatchReport {
   size_t pairs = 0;
   bool with_coach = false;
+  /// Cases lost during collection or parsing (unparseable logs plus
+  /// permanently-failed collection records).
+  size_t dropped = 0;
+  /// Records that exhausted retries somewhere in the batch and were routed
+  /// to the runtime's quarantine log instead of aborting the batch.
+  size_t quarantined = 0;
+  /// Records that recovered via retry after transient faults.
+  size_t recovered = 0;
   /// Wall-clock seconds spent in CoachLM inference (0 without coach).
   double coach_seconds = 0.0;
   /// CoachLM inference throughput (samples/second).
@@ -65,18 +73,35 @@ class DataPlatform {
   explicit DataPlatform(PlatformConfig config);
 
   /// Collects a batch of raw user cases from the deployed LLMs (simulated
-  /// online traffic; noisy queries, LLM-generated responses).
-  std::vector<UserCase> CollectUserCases() const;
+  /// online traffic; noisy queries, LLM-generated responses). Collection
+  /// runs under \p runtime (nullptr = PipelineRuntime::Default()) at
+  /// FaultSite::kCollect: transient faults retry to identical bytes and
+  /// permanently-failed cases are dropped + quarantined.
+  std::vector<UserCase> CollectUserCases(
+      PipelineRuntime* runtime = nullptr) const;
 
   /// Rule-based scripts: parse logs into raw instruction pairs and drop
-  /// unparseable cases. Returns the raw dataset.
+  /// unparseable cases. Returns the raw dataset. Under an *active*
+  /// \p runtime each parse runs at FaultSite::kParse and every dropped
+  /// case — unparseable log or injected permanent fault — lands in the
+  /// quarantine log with its ParseError / fault provenance.
   InstructionDataset ParseWithRuleScripts(
-      const std::vector<UserCase>& cases, size_t* dropped = nullptr) const;
+      const std::vector<UserCase>& cases, size_t* dropped = nullptr,
+      PipelineRuntime* runtime = nullptr) const;
 
   /// Runs a full cleaning batch. When \p coach is non-null the CoachLM
   /// precursor revises raw pairs before human annotation, cutting the
   /// post-editing distance annotators must close.
-  BatchReport RunCleaningBatch(const coach::CoachLm* coach) const;
+  ///
+  /// \p runtime (nullptr = PipelineRuntime::Default()) threads fault
+  /// tolerance through every stage of the batch; the report's
+  /// dropped/quarantined/recovered counters summarize what it absorbed.
+  /// \p checkpoint (optional) journals the CoachLM revision pass (the
+  /// batch's dominant stage) for crash-safe resume.
+  BatchReport RunCleaningBatch(const coach::CoachLm* coach,
+                               PipelineRuntime* runtime = nullptr,
+                               coachlm::StageCheckpointer* checkpoint =
+                                   nullptr) const;
 
   /// Net efficiency improvement of a with-coach batch over a baseline
   /// batch, after deducting the annotator-proficiency effect

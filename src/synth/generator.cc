@@ -1,6 +1,9 @@
 #include "synth/generator.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "json/json.h"
 
 namespace coachlm {
 namespace synth {
@@ -190,6 +193,109 @@ SynthCorpus SynthCorpusGenerator::Generate(
     Rng rng = DeriveRng(config_.seed, id);
     GeneratePair(id, &rng, &pairs[i], &corpus.defects[i]);
   });
+  corpus.dataset = InstructionDataset(std::move(pairs));
+  return corpus;
+}
+
+namespace {
+
+/// One id's outcome in a fault-tolerant / checkpointed generation pass,
+/// serializable to a JSONL checkpoint line. Dropped records keep their
+/// slot in the journal (so resume cursors stay item-aligned) but are
+/// excluded from the assembled corpus.
+struct GeneratedItemRecord {
+  InstructionPair pair;
+  std::vector<DefectType> defects;
+  bool dropped = false;
+
+  std::string ToLine() const {
+    json::Object o;
+    o["pair"] = pair.ToJson();
+    json::Array defect_codes;
+    defect_codes.reserve(defects.size());
+    for (DefectType defect : defects) {
+      defect_codes.emplace_back(static_cast<int64_t>(defect));
+    }
+    o["defects"] = json::Value(std::move(defect_codes));
+    o["dropped"] = json::Value(dropped);
+    return json::Value(std::move(o)).Dump();
+  }
+
+  static bool FromLine(const std::string& line, GeneratedItemRecord* record) {
+    Result<json::Value> parsed = json::Parse(line);
+    if (!parsed.ok()) return false;
+    const json::Value& value = parsed.ValueOrDie();
+    Result<InstructionPair> pair = InstructionPair::FromJson(value.At("pair"));
+    if (!pair.ok()) return false;
+    const json::Value& defect_codes = value.At("defects");
+    if (!defect_codes.is_array()) return false;
+    Result<bool> dropped = value.GetBool("dropped");
+    if (!dropped.ok()) return false;
+    record->pair = std::move(pair).ValueOrDie();
+    record->defects.clear();
+    for (const json::Value& code : defect_codes.AsArray()) {
+      record->defects.push_back(static_cast<DefectType>(code.AsInt()));
+    }
+    record->dropped = dropped.ValueOrDie();
+    return true;
+  }
+};
+
+}  // namespace
+
+SynthCorpus SynthCorpusGenerator::Generate(const ExecutionContext& exec,
+                                           PipelineRuntime* runtime,
+                                           StageCheckpointer* checkpoint) const {
+  if (runtime == nullptr) runtime = PipelineRuntime::Default();
+  const bool checkpointed = checkpoint != nullptr && checkpoint->enabled();
+  if (!runtime->active() && !checkpointed) return Generate(exec);
+
+  auto generate_one = [&](size_t i) {
+    GeneratedItemRecord record;
+    const uint64_t id = static_cast<uint64_t>(i + 1);
+    const Status status = runtime->Run(FaultSite::kCollect, id, [&] {
+      // Each attempt restarts the id's private stream, so the attempt
+      // that succeeds emits the fault-free bytes.
+      Rng rng = DeriveRng(config_.seed, id);
+      record.pair = InstructionPair();
+      record.defects.clear();
+      GeneratePair(id, &rng, &record.pair, &record.defects);
+      return Status::OK();
+    });
+    if (!status.ok()) {
+      // Collection degrades by dropping the record: the remaining corpus
+      // is still a pure function of (config, fault plan).
+      record = GeneratedItemRecord();
+      record.dropped = true;
+    }
+    return record;
+  };
+
+  std::vector<GeneratedItemRecord> records(config_.size);
+  if (checkpointed) {
+    Status commit_error = Status::OK();
+    RunCheckpointedLoop(
+        checkpoint, exec, &records, generate_one,
+        [](const GeneratedItemRecord& record) { return record.ToLine(); },
+        &GeneratedItemRecord::FromLine, &commit_error);
+    if (!commit_error.ok()) {
+      runtime->QuarantineRecordFailure(FaultSite::kIo, config_.size,
+                                       commit_error);
+    }
+  } else {
+    exec.ParallelFor(config_.size,
+                     [&](size_t i) { records[i] = generate_one(i); });
+  }
+
+  SynthCorpus corpus;
+  std::vector<InstructionPair> pairs;
+  pairs.reserve(records.size());
+  corpus.defects.reserve(records.size());
+  for (GeneratedItemRecord& record : records) {
+    if (record.dropped) continue;
+    pairs.push_back(std::move(record.pair));
+    corpus.defects.push_back(std::move(record.defects));
+  }
   corpus.dataset = InstructionDataset(std::move(pairs));
   return corpus;
 }

@@ -3,8 +3,10 @@
 
 #include <vector>
 
+#include "common/checkpoint.h"
 #include "common/execution.h"
 #include "common/rng.h"
+#include "common/runtime.h"
 #include "data/dataset.h"
 #include "synth/content_engine.h"
 #include "synth/defect.h"
@@ -61,6 +63,17 @@ class SynthCorpusGenerator {
   /// Generates the corpus described by the config.
   SynthCorpus Generate(
       const ExecutionContext& exec = ExecutionContext::Default()) const;
+
+  /// Fault-tolerant / checkpointed generation. Each pair's synthesis runs
+  /// under \p runtime (nullptr = PipelineRuntime::Default()) at
+  /// FaultSite::kCollect: transient faults retry to the exact bytes the
+  /// fault-free run produces (every attempt re-derives the pair's stream),
+  /// and permanently-failed ids are *dropped* from the corpus and recorded
+  /// in the runtime's quarantine log — collection never aborts. With an
+  /// enabled \p checkpoint the pass journals finished chunks and resumes a
+  /// killed run to byte-identical output.
+  SynthCorpus Generate(const ExecutionContext& exec, PipelineRuntime* runtime,
+                       StageCheckpointer* checkpoint = nullptr) const;
 
   /// Generates a single pair (clean or deficient) with the given id; used
   /// by streaming consumers such as the platform simulator. Callers wanting

@@ -1,5 +1,6 @@
 #include "tuning/evaluation.h"
 
+#include <optional>
 #include <vector>
 
 namespace coachlm {
@@ -17,19 +18,37 @@ judge::Verdict JudgeItem(const TunedModel& model,
   return judge.CompareDebiased(item, response, item.output, &rng);
 }
 
+/// All verdicts, judged under the runtime at FaultSite::kJudge. A nullopt
+/// slot is an item whose judgment failed permanently: Run() has already
+/// quarantined it, and the aggregations below skip it.
+std::vector<std::optional<judge::Verdict>> JudgeTestSet(
+    const TunedModel& model, const testsets::TestSet& test_set,
+    const judge::PairwiseJudge& judge, uint64_t seed,
+    const ExecutionContext& exec, PipelineRuntime* runtime) {
+  return exec.ParallelMap(
+      test_set.items.size(), [&](size_t i) -> std::optional<judge::Verdict> {
+        std::optional<judge::Verdict> verdict;
+        runtime->Run(FaultSite::kJudge, test_set.items[i].id, [&] {
+          verdict = JudgeItem(model, judge, test_set.items[i], seed);
+          return Status::OK();
+        });
+        return verdict;
+      });
+}
+
 }  // namespace
 
 EvalResult EvaluateModel(const TunedModel& model,
                          const testsets::TestSet& test_set,
                          const judge::PairwiseJudge& judge, uint64_t seed,
-                         const ExecutionContext& exec) {
+                         const ExecutionContext& exec,
+                         PipelineRuntime* runtime) {
+  if (runtime == nullptr) runtime = PipelineRuntime::Default();
   EvalResult result;
-  const std::vector<judge::Verdict> verdicts =
-      exec.ParallelMap(test_set.items.size(), [&](size_t i) {
-        return JudgeItem(model, judge, test_set.items[i], seed);
-      });
-  for (const judge::Verdict verdict : verdicts) {
-    result.counts.Add(verdict);
+  const std::vector<std::optional<judge::Verdict>> verdicts =
+      JudgeTestSet(model, test_set, judge, seed, exec, runtime);
+  for (const std::optional<judge::Verdict>& verdict : verdicts) {
+    if (verdict.has_value()) result.counts.Add(*verdict);
   }
   result.rates = judge::ComputeWinRates(result.counts);
   return result;
@@ -38,14 +57,14 @@ EvalResult EvaluateModel(const TunedModel& model,
 std::map<Category, EvalResult> EvaluateModelPerCategory(
     const TunedModel& model, const testsets::TestSet& test_set,
     const judge::PairwiseJudge& judge, uint64_t seed,
-    const ExecutionContext& exec) {
-  const std::vector<judge::Verdict> verdicts =
-      exec.ParallelMap(test_set.items.size(), [&](size_t i) {
-        return JudgeItem(model, judge, test_set.items[i], seed);
-      });
+    const ExecutionContext& exec, PipelineRuntime* runtime) {
+  if (runtime == nullptr) runtime = PipelineRuntime::Default();
+  const std::vector<std::optional<judge::Verdict>> verdicts =
+      JudgeTestSet(model, test_set, judge, seed, exec, runtime);
   std::map<Category, EvalResult> per_category;
   for (size_t i = 0; i < test_set.items.size(); ++i) {
-    per_category[test_set.items[i].category].counts.Add(verdicts[i]);
+    if (!verdicts[i].has_value()) continue;
+    per_category[test_set.items[i].category].counts.Add(*verdicts[i]);
   }
   for (auto& [category, result] : per_category) {
     result.rates = judge::ComputeWinRates(result.counts);

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/execution.h"
+#include "common/runtime.h"
 #include "judge/pairwise_judge.h"
 #include "judge/verdict.h"
 #include "testsets/testset.h"
@@ -26,17 +27,24 @@ struct EvalResult {
 /// each item runs under its own id-derived RNG stream, so the evaluation
 /// parallelizes over \p exec with byte-identical verdicts at any thread
 /// count.
+///
+/// Each item's judgment runs under \p runtime (nullptr =
+/// PipelineRuntime::Default()) at FaultSite::kJudge: an item that fails
+/// permanently is skipped (excluded from the verdict counts, recorded in
+/// quarantine) instead of failing the evaluation.
 EvalResult EvaluateModel(
     const TunedModel& model, const testsets::TestSet& test_set,
     const judge::PairwiseJudge& judge, uint64_t seed = 5150,
-    const ExecutionContext& exec = ExecutionContext::Default());
+    const ExecutionContext& exec = ExecutionContext::Default(),
+    PipelineRuntime* runtime = nullptr);
 
 /// Per-category breakdown (used to expose the AlpaGasus coding
 /// regression of Section II-A(3)).
 std::map<Category, EvalResult> EvaluateModelPerCategory(
     const TunedModel& model, const testsets::TestSet& test_set,
     const judge::PairwiseJudge& judge, uint64_t seed = 5150,
-    const ExecutionContext& exec = ExecutionContext::Default());
+    const ExecutionContext& exec = ExecutionContext::Default(),
+    PipelineRuntime* runtime = nullptr);
 
 }  // namespace tuning
 }  // namespace coachlm

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 
 #include "quality/accuracy_rater.h"
 
@@ -9,23 +10,38 @@ namespace coachlm {
 namespace tuning {
 
 AlignmentProfile InstructionTuner::MeasureAlignment(
-    const InstructionDataset& dataset, const ExecutionContext& exec) const {
+    const InstructionDataset& dataset, const ExecutionContext& exec,
+    PipelineRuntime* runtime) const {
+  if (runtime == nullptr) runtime = PipelineRuntime::Default();
   AlignmentProfile profile;
   quality::AccuracyRater rater;
   // Rate in parallel, then fold the sums serially in dataset order — the
   // floating-point accumulation matches the single-threaded pass exactly.
-  const std::vector<double> ratings = exec.ParallelMap(
-      dataset.size(), [&](size_t i) { return rater.Rate(dataset[i]) / 5.0; });
+  // A pair whose rating fails permanently (FaultSite::kTune) is excluded
+  // from the fold: the profile degrades to the measurable subset instead
+  // of the measurement aborting.
+  const std::vector<std::optional<double>> ratings = exec.ParallelMap(
+      dataset.size(), [&](size_t i) -> std::optional<double> {
+        std::optional<double> rating;
+        runtime->Run(FaultSite::kTune, dataset[i].id, [&] {
+          rating = rater.Rate(dataset[i]) / 5.0;
+          return Status::OK();
+        });
+        return rating;
+      });
   std::map<Category, std::pair<double, size_t>> sums;  // sum, count
   double global_sum = 0.0;
+  size_t rated = 0;
   for (size_t i = 0; i < dataset.size(); ++i) {
-    global_sum += ratings[i];
+    if (!ratings[i].has_value()) continue;
+    ++rated;
+    global_sum += *ratings[i];
     auto& [sum, count] = sums[dataset[i].category];
-    sum += ratings[i];
+    sum += *ratings[i];
     ++count;
   }
-  if (!dataset.empty()) {
-    profile.global_quality = global_sum / static_cast<double>(dataset.size());
+  if (rated > 0) {
+    profile.global_quality = global_sum / static_cast<double>(rated);
   }
   // Volume: small training sets express less of their quality. Gentle
   // saturation — a 52k corpus sits at ~0.99, a 9k filtered subset at ~0.96
@@ -49,8 +65,9 @@ AlignmentProfile InstructionTuner::MeasureAlignment(
 
 TunedModel InstructionTuner::Tune(const ModelSpec& spec,
                                   const InstructionDataset& dataset,
-                                  const ExecutionContext& exec) const {
-  return TunedModel(spec, MeasureAlignment(dataset, exec));
+                                  const ExecutionContext& exec,
+                                  PipelineRuntime* runtime) const {
+  return TunedModel(spec, MeasureAlignment(dataset, exec, runtime));
 }
 
 }  // namespace tuning

@@ -2,6 +2,7 @@
 #define COACHLM_TUNING_INSTRUCTION_TUNER_H_
 
 #include "common/execution.h"
+#include "common/runtime.h"
 #include "data/dataset.h"
 #include "tuning/tuned_model.h"
 
@@ -26,15 +27,19 @@ class InstructionTuner {
 
   /// Measures \p dataset into an alignment profile. Rating parallelizes
   /// over \p exec; the sums fold in dataset order, so the profile is
-  /// bit-identical at any thread count.
+  /// bit-identical at any thread count. Each pair's rating runs under
+  /// \p runtime (nullptr = PipelineRuntime::Default()) at FaultSite::kTune:
+  /// a permanently-failed pair is excluded from the profile (and
+  /// quarantined) rather than aborting the measurement.
   AlignmentProfile MeasureAlignment(
       const InstructionDataset& dataset,
-      const ExecutionContext& exec = ExecutionContext::Default()) const;
+      const ExecutionContext& exec = ExecutionContext::Default(),
+      PipelineRuntime* runtime = nullptr) const;
 
   /// Tunes \p spec on \p dataset.
   TunedModel Tune(const ModelSpec& spec, const InstructionDataset& dataset,
-                  const ExecutionContext& exec =
-                      ExecutionContext::Default()) const;
+                  const ExecutionContext& exec = ExecutionContext::Default(),
+                  PipelineRuntime* runtime = nullptr) const;
 
  private:
   double coverage_k_;

@@ -138,6 +138,76 @@ TEST(ExecutionContextTest, ParallelForStatusOkWhenAllSucceed) {
   EXPECT_EQ(ran.load(), 500u);
 }
 
+TEST(ExecutionContextTest, ParallelForStatusWorkerFailureDoesNotDeadlock) {
+  // A failing item must not wedge the barrier: every invocation returns,
+  // and repeated rounds with failures at different indices still complete.
+  ExecutionContext exec(4);
+  for (size_t bad = 0; bad < 40; bad += 7) {
+    const Status status = exec.ParallelForStatus(40, [&](size_t i) {
+      if (i == bad) return Status::Internal("boom " + std::to_string(i));
+      return Status::OK();
+    });
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.message(), "boom " + std::to_string(bad));
+  }
+}
+
+TEST(ExecutionContextTest, ParallelForStatusSiblingsBeforeFailureComplete) {
+  // Deterministic contract: items below the failing index always run, no
+  // matter how the scheduler interleaved the chunks.
+  ExecutionContext exec(4);
+  constexpr size_t kBad = 350;
+  std::atomic<size_t> ran_below{0};
+  const Status status = exec.ParallelForStatus(
+      500,
+      [&](size_t i) {
+        if (i < kBad) ran_below.fetch_add(1);
+        if (i == kBad) return Status::Unavailable("down");
+        return Status::OK();
+      },
+      /*grain=*/1);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(ran_below.load(), kBad);
+}
+
+TEST(ExecutionContextTest, ParallelMapStatusCollectsEveryFailure) {
+  // The graceful-degradation primitive: a failing item never stops its
+  // siblings, and the per-item vector is in index order.
+  ExecutionContext exec(4);
+  std::atomic<size_t> ran{0};
+  const std::vector<Status> statuses = exec.ParallelMapStatus(97, [&](size_t i) {
+    ran.fetch_add(1);
+    if (i % 10 == 3) return Status::Unavailable("flaky " + std::to_string(i));
+    return Status::OK();
+  });
+  EXPECT_EQ(ran.load(), 97u);
+  ASSERT_EQ(statuses.size(), 97u);
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    if (i % 10 == 3) {
+      EXPECT_EQ(statuses[i].code(), StatusCode::kUnavailable);
+      EXPECT_EQ(statuses[i].message(), "flaky " + std::to_string(i));
+    } else {
+      EXPECT_TRUE(statuses[i].ok());
+    }
+  }
+}
+
+TEST(ExecutionContextTest, ParallelMapStatusDeterministicAcrossWidths) {
+  auto run = [](size_t threads) {
+    ExecutionContext exec(threads);
+    return exec.ParallelMapStatus(64, [](size_t i) {
+      if (i % 9 == 0) return Status::Internal("bad " + std::to_string(i));
+      return Status::OK();
+    });
+  };
+  const std::vector<Status> serial = run(1);
+  const std::vector<Status> wide = run(8);
+  ASSERT_EQ(serial.size(), wide.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], wide[i]) << "index " << i;
+  }
+}
+
 TEST(ExecutionContextTest, ConcurrentParallelForsOnDefaultDoNotInterfere) {
   // Nested use: a ParallelFor issued from inside another context's task
   // (via Default()) must not corrupt either call's completion tracking.

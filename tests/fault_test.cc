@@ -1,0 +1,200 @@
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace coachlm {
+namespace {
+
+TEST(FaultSiteTest, NamesRoundTrip) {
+  for (int s = 0; s < kNumFaultSites; ++s) {
+    const FaultSite site = static_cast<FaultSite>(s);
+    const auto parsed = FaultSiteFromString(FaultSiteToString(site));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, site);
+  }
+  EXPECT_FALSE(FaultSiteFromString("warp-core").ok());
+}
+
+TEST(FaultPlanTest, DefaultIsInactive) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.active());
+}
+
+TEST(FaultPlanTest, ParseEmptyIsInactive) {
+  const auto plan = FaultPlan::Parse("");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->active());
+}
+
+TEST(FaultPlanTest, ParseBareRate) {
+  const auto plan = FaultPlan::Parse("0.05");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(plan->transient_rate, 0.05);
+  EXPECT_DOUBLE_EQ(plan->permanent_rate, 0.0);
+  EXPECT_EQ(plan->site_mask, kAllFaultSites);
+  EXPECT_TRUE(plan->active());
+}
+
+TEST(FaultPlanTest, ParseFullSpec) {
+  const auto plan = FaultPlan::Parse(
+      "rate=0.1,permanent=0.01,seed=7,latency_us=250,continuation=0.5,"
+      "sites=revise+io");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(plan->transient_rate, 0.1);
+  EXPECT_DOUBLE_EQ(plan->permanent_rate, 0.01);
+  EXPECT_EQ(plan->seed, 7u);
+  EXPECT_EQ(plan->latency_us, 250);
+  EXPECT_DOUBLE_EQ(plan->burst_continuation, 0.5);
+  EXPECT_EQ(plan->site_mask,
+            FaultSiteBit(FaultSite::kRevise) | FaultSiteBit(FaultSite::kIo));
+}
+
+TEST(FaultPlanTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(FaultPlan::Parse("rate=lots").ok());
+  EXPECT_FALSE(FaultPlan::Parse("sites=warp").ok());
+  EXPECT_FALSE(FaultPlan::Parse("nonsense=1").ok());
+}
+
+TEST(FaultPlanTest, ToStringRoundTrips) {
+  const auto plan = FaultPlan::Parse("rate=0.05,permanent=0.002,seed=9");
+  ASSERT_TRUE(plan.ok());
+  const auto reparsed = FaultPlan::Parse(plan->ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_DOUBLE_EQ(reparsed->transient_rate, plan->transient_rate);
+  EXPECT_DOUBLE_EQ(reparsed->permanent_rate, plan->permanent_rate);
+  EXPECT_EQ(reparsed->seed, plan->seed);
+  EXPECT_EQ(reparsed->site_mask, plan->site_mask);
+}
+
+TEST(FaultInjectorTest, DisabledInjectsNothing) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.enabled());
+  for (uint64_t id = 0; id < 100; ++id) {
+    EXPECT_TRUE(injector.Inject(FaultSite::kRevise, id, 1).ok());
+  }
+}
+
+TEST(FaultInjectorTest, InjectIsAPureFunctionOfItsArguments) {
+  FaultPlan plan;
+  plan.transient_rate = 0.2;
+  plan.permanent_rate = 0.02;
+  FaultInjector injector(plan);
+  // Calling in any order, any number of times, yields the same statuses.
+  std::vector<Status> forward;
+  for (uint64_t id = 0; id < 200; ++id) {
+    forward.push_back(injector.Inject(FaultSite::kRevise, id, 1));
+  }
+  for (uint64_t id = 200; id-- > 0;) {
+    EXPECT_EQ(injector.Inject(FaultSite::kRevise, id, 1), forward[id]);
+  }
+}
+
+TEST(FaultInjectorTest, TransientRateIsApproximatelyHonored) {
+  FaultPlan plan;
+  plan.transient_rate = 0.05;
+  FaultInjector injector(plan);
+  size_t failed = 0;
+  for (uint64_t id = 0; id < 10000; ++id) {
+    if (!injector.Inject(FaultSite::kRevise, id, 1).ok()) ++failed;
+  }
+  EXPECT_GT(failed, 350u);
+  EXPECT_LT(failed, 650u);
+}
+
+TEST(FaultInjectorTest, TransientBurstsAreBounded) {
+  // Every transient burst clears within kMaxTransientBurst attempts, so a
+  // policy with kMaxTransientBurst + 1 attempts always recovers.
+  FaultPlan plan;
+  plan.transient_rate = 0.3;
+  plan.burst_continuation = 0.95;  // long geometric tail, still capped
+  FaultInjector injector(plan);
+  for (uint64_t id = 0; id < 2000; ++id) {
+    const Status attempt_after_burst =
+        injector.Inject(FaultSite::kParse, id, kMaxTransientBurst + 1);
+    EXPECT_TRUE(attempt_after_burst.ok()) << "item " << id;
+  }
+}
+
+TEST(FaultInjectorTest, PermanentFaultsFailEveryAttempt) {
+  FaultPlan plan;
+  plan.permanent_rate = 0.05;
+  FaultInjector injector(plan);
+  size_t doomed = 0;
+  for (uint64_t id = 0; id < 2000; ++id) {
+    if (injector.Inject(FaultSite::kJudge, id, 1).ok()) continue;
+    ++doomed;
+    for (int attempt = 2; attempt <= 8; ++attempt) {
+      EXPECT_FALSE(injector.Inject(FaultSite::kJudge, id, attempt).ok());
+    }
+  }
+  EXPECT_GT(doomed, 0u);
+}
+
+TEST(FaultInjectorTest, InjectedTransientCodesAreTransient) {
+  FaultPlan plan;
+  plan.transient_rate = 0.5;
+  FaultInjector injector(plan);
+  std::set<StatusCode> seen;
+  for (uint64_t id = 0; id < 500; ++id) {
+    const Status status = injector.Inject(FaultSite::kIo, id, 1);
+    if (status.ok()) continue;
+    EXPECT_TRUE(status.IsTransient()) << status.ToString();
+    seen.insert(status.code());
+  }
+  // The injector rotates through all three transient codes.
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(FaultInjectorTest, SiteMaskRestrictsInjection) {
+  FaultPlan plan;
+  plan.transient_rate = 1.0;
+  plan.site_mask = FaultSiteBit(FaultSite::kRevise);
+  FaultInjector injector(plan);
+  EXPECT_FALSE(injector.Inject(FaultSite::kRevise, 1, 1).ok());
+  EXPECT_TRUE(injector.Inject(FaultSite::kCollect, 1, 1).ok());
+  EXPECT_TRUE(injector.Inject(FaultSite::kIo, 1, 1).ok());
+}
+
+TEST(FaultInjectorTest, SitesDrawFromIndependentStreams) {
+  FaultPlan plan;
+  plan.transient_rate = 0.2;
+  FaultInjector injector(plan);
+  size_t differing = 0;
+  for (uint64_t id = 0; id < 500; ++id) {
+    const bool a = injector.Inject(FaultSite::kCollect, id, 1).ok();
+    const bool b = injector.Inject(FaultSite::kRevise, id, 1).ok();
+    if (a != b) ++differing;
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+TEST(FaultInjectorTest, LatencySleepsTheClockOnFailure) {
+  FaultPlan plan;
+  plan.transient_rate = 1.0;
+  plan.latency_us = 500;
+  FaultInjector injector(plan);
+  FakeClock clock;
+  const int64_t before = clock.NowMicros();
+  ASSERT_FALSE(injector.Inject(FaultSite::kTune, 42, 1, &clock).ok());
+  EXPECT_EQ(clock.NowMicros() - before, 500);
+}
+
+TEST(FaultInjectorTest, StatsCountInjections) {
+  FaultPlan plan;
+  plan.transient_rate = 0.5;
+  plan.permanent_rate = 0.05;
+  FaultInjector injector(plan);
+  for (uint64_t id = 0; id < 300; ++id) {
+    injector.Inject(FaultSite::kRevise, id, 1).ok();
+  }
+  EXPECT_GT(injector.stats().transient_injected.load(), 0u);
+  EXPECT_GT(injector.stats().permanent_injected.load(), 0u);
+}
+
+}  // namespace
+}  // namespace coachlm

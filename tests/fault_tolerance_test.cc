@@ -1,0 +1,256 @@
+// End-to-end fault-tolerance guarantees: transient fault plans leave every
+// stage byte-identical to the fault-free run, permanent failures degrade to
+// quarantine instead of aborting, and checkpointed stages resume to the
+// same bytes.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "coach/coach_lm.h"
+#include "coach/trainer.h"
+#include "common/checkpoint.h"
+#include "common/clock.h"
+#include "common/execution.h"
+#include "common/fault.h"
+#include "common/runtime.h"
+#include "expert/pipeline.h"
+#include "lm/pair_text.h"
+#include "platform/platform.h"
+#include "synth/generator.h"
+
+namespace coachlm {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string DatasetBytes(const InstructionDataset& dataset) {
+  std::string bytes;
+  for (const auto& pair : dataset) {
+    bytes += std::to_string(pair.id);
+    bytes += '\x1f';
+    bytes += lm::SerializePair(pair);
+    bytes += '\x1e';
+  }
+  return bytes;
+}
+
+PipelineRuntime MakeRuntime(double transient_rate, double permanent_rate,
+                            Clock* clock) {
+  FaultPlan plan;
+  plan.transient_rate = transient_rate;
+  plan.permanent_rate = permanent_rate;
+  plan.seed = 9;
+  return PipelineRuntime(FaultInjector(plan), RetryPolicy(), clock);
+}
+
+/// Shared small trained coach + corpus, built once for the suite.
+class FaultToleranceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::CorpusConfig config;
+    config.size = 1500;
+    config.seed = 42;
+    synth::SynthCorpusGenerator generator(config);
+    corpus_ = new synth::SynthCorpus(generator.Generate());
+    expert::RevisionStudyConfig study_config;
+    study_config.sample_size = 400;
+    const auto study = expert::RunRevisionStudy(
+        corpus_->dataset, generator.engine(), study_config);
+    coach::CoachConfig coach_config;
+    model_ = new coach::CoachLm(
+        coach::CoachTrainer(coach_config).Train(study.revisions));
+    ExecutionContext exec(4);
+    baseline_ = new InstructionDataset(model_->ReviseDataset(
+        corpus_->dataset, {}, nullptr, exec, /*runtime=*/nullptr,
+        /*checkpoint=*/nullptr));
+  }
+  static void TearDownTestSuite() {
+    delete baseline_;
+    delete model_;
+    delete corpus_;
+  }
+
+  static synth::SynthCorpus* corpus_;
+  static coach::CoachLm* model_;
+  /// Fault-free revision of corpus_->dataset (the reference bytes).
+  static InstructionDataset* baseline_;
+};
+
+synth::SynthCorpus* FaultToleranceTest::corpus_ = nullptr;
+coach::CoachLm* FaultToleranceTest::model_ = nullptr;
+InstructionDataset* FaultToleranceTest::baseline_ = nullptr;
+
+TEST_F(FaultToleranceTest, TransientPlanIsByteIdenticalToFaultFree) {
+  FakeClock clock;  // backoff advances virtual time only; no real sleeps
+  PipelineRuntime runtime = MakeRuntime(0.05, 0.0, &clock);
+  ExecutionContext exec(4);
+  coach::RevisionPassStats stats;
+  const InstructionDataset revised = model_->ReviseDataset(
+      corpus_->dataset, {}, &stats, exec, &runtime);
+
+  EXPECT_EQ(DatasetBytes(revised), DatasetBytes(*baseline_));
+  EXPECT_GT(runtime.recovered_records(), 0u);
+  EXPECT_GT(stats.recovered, 0u);
+  EXPECT_EQ(stats.quarantined, 0u);
+  EXPECT_TRUE(runtime.quarantine().empty());
+  EXPECT_GT(runtime.total_attempts(), static_cast<uint64_t>(stats.total));
+}
+
+TEST_F(FaultToleranceTest, TransientPlanIsDeterministicAcrossThreadCounts) {
+  auto run = [&](size_t threads, coach::RevisionPassStats* stats) {
+    FakeClock clock;
+    PipelineRuntime runtime = MakeRuntime(0.05, 0.0, &clock);
+    ExecutionContext exec(threads);
+    return DatasetBytes(
+        model_->ReviseDataset(corpus_->dataset, {}, stats, exec, &runtime));
+  };
+  coach::RevisionPassStats serial_stats, wide_stats;
+  EXPECT_EQ(run(1, &serial_stats), run(8, &wide_stats));
+  EXPECT_EQ(serial_stats.recovered, wide_stats.recovered);
+  EXPECT_EQ(serial_stats.quarantined, wide_stats.quarantined);
+}
+
+TEST_F(FaultToleranceTest, PermanentFaultsQuarantineWithProvenance) {
+  FakeClock clock;
+  PipelineRuntime runtime = MakeRuntime(0.0, 0.01, &clock);
+  ExecutionContext exec(4);
+  coach::RevisionPassStats stats;
+  const InstructionDataset revised = model_->ReviseDataset(
+      corpus_->dataset, {}, &stats, exec, &runtime);
+
+  // The stage never aborts: every input pair is present in the output.
+  ASSERT_EQ(revised.size(), corpus_->dataset.size());
+  const auto quarantined = runtime.quarantine().records();
+  ASSERT_GT(quarantined.size(), 0u);
+  EXPECT_EQ(stats.quarantined, quarantined.size());
+  std::unordered_set<uint64_t> doomed_ids;
+  for (const auto& record : quarantined) {
+    EXPECT_EQ(record.site, FaultSite::kRevise);
+    EXPECT_GE(record.attempts, 1);
+    EXPECT_FALSE(record.message.empty());
+    doomed_ids.insert(record.item_id);
+  }
+  // Quarantined pairs fall back to their original text; everything else
+  // matches the fault-free revision.
+  for (size_t i = 0; i < revised.size(); ++i) {
+    if (doomed_ids.count(corpus_->dataset[i].id) > 0) {
+      EXPECT_EQ(lm::SerializePair(revised[i]),
+                lm::SerializePair(corpus_->dataset[i]));
+    } else {
+      EXPECT_EQ(lm::SerializePair(revised[i]),
+                lm::SerializePair((*baseline_)[i]));
+    }
+  }
+}
+
+TEST_F(FaultToleranceTest, CheckpointResumeReproducesIdenticalBytes) {
+  const std::string dir =
+      (fs::temp_directory_path() / "coachlm_ft_resume_test").string();
+  fs::remove_all(dir);
+  const std::string fingerprint = ConfigFingerprint("ft-resume-test");
+  ExecutionContext exec(4);
+
+  // First run journals the whole stage (interval 256 => several commits)
+  // and is "killed" before Finish(): the checkpoint files stay behind.
+  {
+    StageCheckpointer checkpoint(dir, "revise", fingerprint, 256);
+    checkpoint.Resume();
+    const InstructionDataset first = model_->ReviseDataset(
+        corpus_->dataset, {}, nullptr, exec, /*runtime=*/nullptr,
+        &checkpoint);
+    EXPECT_EQ(DatasetBytes(first), DatasetBytes(*baseline_));
+    ASSERT_TRUE(fs::exists(checkpoint.manifest_path()));
+  }
+
+  // Chop the journal down to its first 2 commits to simulate a crash
+  // mid-stage, then resume: only the remainder is recomputed and the
+  // output is byte-identical.
+  {
+    StageCheckpointer full(dir, "revise", fingerprint, 256);
+    const std::vector<std::string> lines = full.Resume();
+    ASSERT_EQ(lines.size(), corpus_->dataset.size());
+    ASSERT_TRUE(full.Finish().ok());
+    StageCheckpointer partial(dir, "revise", fingerprint, 256);
+    ASSERT_TRUE(
+        partial
+            .Commit(512, std::vector<std::string>(lines.begin(),
+                                                  lines.begin() + 512))
+            .ok());
+  }
+  StageCheckpointer resumed(dir, "revise", fingerprint, 256);
+  coach::RevisionPassStats stats;
+  const InstructionDataset second = model_->ReviseDataset(
+      corpus_->dataset, {}, &stats, exec, /*runtime=*/nullptr, &resumed);
+  EXPECT_EQ(stats.resumed, 512u);
+  EXPECT_EQ(DatasetBytes(second), DatasetBytes(*baseline_));
+  fs::remove_all(dir);
+}
+
+TEST_F(FaultToleranceTest, CheckpointedRunUnderFaultsStaysIdentical) {
+  const std::string dir =
+      (fs::temp_directory_path() / "coachlm_ft_faulty_ckpt_test").string();
+  fs::remove_all(dir);
+  FakeClock clock;
+  PipelineRuntime runtime = MakeRuntime(0.05, 0.0, &clock);
+  StageCheckpointer checkpoint(dir, "revise", ConfigFingerprint("ft-faulty"),
+                               512);
+  checkpoint.Resume();
+  ExecutionContext exec(4);
+  const InstructionDataset revised = model_->ReviseDataset(
+      corpus_->dataset, {}, nullptr, exec, &runtime, &checkpoint);
+  EXPECT_EQ(DatasetBytes(revised), DatasetBytes(*baseline_));
+  fs::remove_all(dir);
+}
+
+TEST_F(FaultToleranceTest, InactiveRuntimeMatchesLegacyPath) {
+  PipelineRuntime inactive;
+  ASSERT_FALSE(inactive.active());
+  ExecutionContext exec(4);
+  const InstructionDataset revised = model_->ReviseDataset(
+      corpus_->dataset, {}, nullptr, exec, &inactive);
+  EXPECT_EQ(DatasetBytes(revised), DatasetBytes(*baseline_));
+  EXPECT_EQ(inactive.total_attempts(), 0u);
+}
+
+TEST(PlatformFaultToleranceTest, BatchDegradesGracefullyUnderFaults) {
+  platform::PlatformConfig config;
+  config.batch_size = 500;
+  config.seed = 404;
+  config.inference_threads = 2;
+  platform::DataPlatform data_platform(config);
+
+  // Fault-free reference batch.
+  const auto clean_cases = data_platform.CollectUserCases();
+  size_t clean_dropped = 0;
+  const InstructionDataset clean =
+      data_platform.ParseWithRuleScripts(clean_cases, &clean_dropped);
+
+  // Collection + parsing under combined transient and permanent faults:
+  // transient faults retry to the same cases, permanent ones drop and
+  // quarantine with provenance.
+  FakeClock clock;
+  PipelineRuntime runtime = MakeRuntime(0.05, 0.01, &clock);
+  const auto faulty_cases = data_platform.CollectUserCases(&runtime);
+  EXPECT_LT(faulty_cases.size(), clean_cases.size());
+  size_t faulty_dropped = 0;
+  const InstructionDataset faulty = data_platform.ParseWithRuleScripts(
+      faulty_cases, &faulty_dropped, &runtime);
+  EXPECT_GT(faulty.size(), 0u);
+  EXPECT_GT(runtime.quarantined_records(), 0u);
+  EXPECT_GT(runtime.recovered_records(), 0u);
+
+  // Every surviving case is byte-identical to its fault-free twin.
+  std::unordered_set<std::string> clean_serialized;
+  for (const auto& pair : clean) {
+    clean_serialized.insert(lm::SerializePair(pair));
+  }
+  for (const auto& pair : faulty) {
+    EXPECT_EQ(clean_serialized.count(lm::SerializePair(pair)), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace coachlm

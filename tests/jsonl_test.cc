@@ -40,6 +40,64 @@ TEST(JsonlTest, TolerantModeCountsInvalid) {
   EXPECT_EQ(invalid, 1u);
 }
 
+TEST(JsonlTest, StrictModeReportsTornFinalLineWithOffset) {
+  // A final line without its newline that fails to parse is a crash
+  // artifact: strict mode must say so, with the byte offset of the tear.
+  const std::string text = "{\"a\":1}\n{\"a\":2}\n{\"a\":";
+  auto r = ParseLines(text);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("truncated final line"),
+            std::string::npos);
+  EXPECT_NE(r.status().message().find("byte offset 16"), std::string::npos);
+}
+
+TEST(JsonlTest, RecoverableModeReturnsIntactPrefix) {
+  const std::string text = "{\"a\":1}\n{\"a\":2}\n{\"a\":";
+  ParseLinesInfo info;
+  auto r = ParseLinesRecoverable(text, &info);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_TRUE(info.truncated());
+  EXPECT_EQ(info.truncated_offset, 16u);
+}
+
+TEST(JsonlTest, RecoverableModeCleanDocumentNotTruncated) {
+  ParseLinesInfo info;
+  auto r = ParseLinesRecoverable("{\"a\":1}\n{\"a\":2}\n", &info);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_FALSE(info.truncated());
+}
+
+TEST(JsonlTest, RecoverableModeAcceptsUnterminatedValidFinalLine) {
+  // A valid final line merely missing its newline parses fine and is not
+  // a tear.
+  ParseLinesInfo info;
+  auto r = ParseLinesRecoverable("{\"a\":1}\n{\"a\":2}", &info);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_FALSE(info.truncated());
+}
+
+TEST(JsonlTest, RecoverableModeStillFailsOnTerminatedBadLine) {
+  // A malformed line *with* its newline is corruption, not a torn tail.
+  ParseLinesInfo info;
+  EXPECT_FALSE(ParseLinesRecoverable("broken\n{\"a\":1}\n", &info).ok());
+  EXPECT_FALSE(ParseLinesRecoverable("{\"a\":1}\nbroken\n", &info).ok());
+}
+
+TEST(JsonlTest, LoadJsonlRecoverableRoundTrip) {
+  const std::string path = TempPath("coachlm_jsonl_torn.jsonl");
+  ASSERT_TRUE(WriteFile(path, "{\"id\":1}\n{\"id\":2}\n{\"id\"").ok());
+  ParseLinesInfo info;
+  auto loaded = LoadJsonlRecoverable(path, &info);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_TRUE(info.truncated());
+  EXPECT_EQ(info.truncated_offset, 18u);
+  std::remove(path.c_str());
+}
+
 TEST(JsonlTest, FileRoundTrip) {
   const std::string path = TempPath("coachlm_jsonl_test.jsonl");
   std::vector<Value> values;

@@ -1,0 +1,107 @@
+#include "common/quarantine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+namespace coachlm {
+namespace {
+
+QuarantineRecord MakeRecord(uint64_t item_id, FaultSite site,
+                            StatusCode code, const std::string& message,
+                            int attempts) {
+  QuarantineRecord record;
+  record.item_id = item_id;
+  record.site = site;
+  record.code = code;
+  record.message = message;
+  record.attempts = attempts;
+  return record;
+}
+
+TEST(QuarantineRecordTest, JsonRoundTrip) {
+  const QuarantineRecord record =
+      MakeRecord(42, FaultSite::kRevise, StatusCode::kUnavailable,
+                 "backend down", 4);
+  const auto restored = QuarantineRecord::FromJson(record.ToJson());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, record);
+}
+
+TEST(QuarantineRecordTest, FromJsonRejectsMalformedInput) {
+  EXPECT_FALSE(QuarantineRecord::FromJson(json::Value("a string")).ok());
+  json::Object missing_fields;
+  missing_fields["item_id"] = json::Value(1);
+  EXPECT_FALSE(
+      QuarantineRecord::FromJson(json::Value(missing_fields)).ok());
+}
+
+TEST(QuarantineLogTest, RecordsAreSortedBySiteThenItemId) {
+  QuarantineLog log;
+  log.Add(MakeRecord(9, FaultSite::kRevise, StatusCode::kIoError, "x", 1));
+  log.Add(MakeRecord(2, FaultSite::kCollect, StatusCode::kInternal, "y", 1));
+  log.Add(MakeRecord(1, FaultSite::kRevise, StatusCode::kIoError, "z", 2));
+  const std::vector<QuarantineRecord> sorted = log.records();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].site, FaultSite::kCollect);
+  EXPECT_EQ(sorted[1].item_id, 1u);
+  EXPECT_EQ(sorted[2].item_id, 9u);
+}
+
+TEST(QuarantineLogTest, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "coachlm_quarantine.jsonl")
+          .string();
+  QuarantineLog log;
+  log.Add(MakeRecord(7, FaultSite::kParse, StatusCode::kParseError,
+                     "no body", 1));
+  log.Add(MakeRecord(3, FaultSite::kJudge, StatusCode::kInternal,
+                     "injected permanent fault", 4));
+  ASSERT_TRUE(log.Save(path).ok());
+
+  const auto loaded = QuarantineLog::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, log.records());
+  std::remove(path.c_str());
+}
+
+TEST(QuarantineLogTest, AddIsThreadSafe) {
+  QuarantineLog log;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < 100; ++i) {
+        log.Add(MakeRecord(static_cast<uint64_t>(t * 100 + i),
+                           FaultSite::kTune, StatusCode::kUnavailable,
+                           "down", 1));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(log.size(), 800u);
+  // Sorted snapshot covers every distinct id exactly once.
+  const std::vector<QuarantineRecord> sorted = log.records();
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(sorted[i].item_id, i);
+  }
+}
+
+TEST(QuarantineLogTest, EmptyLogSavesEmptyFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       "coachlm_quarantine_empty.jsonl")
+          .string();
+  QuarantineLog log;
+  EXPECT_TRUE(log.empty());
+  ASSERT_TRUE(log.Save(path).ok());
+  const auto loaded = QuarantineLog::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace coachlm

@@ -38,9 +38,31 @@ TEST(StatusTest, ReturnNotOkMacroPropagates) {
 }
 
 TEST(StatusTest, AllCodesHaveNames) {
-  for (int c = 0; c <= static_cast<int>(StatusCode::kNotImplemented); ++c) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kDeadlineExceeded); ++c) {
     EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
   }
+}
+
+TEST(StatusTest, TransientCodes) {
+  EXPECT_EQ(Status::Unavailable("backend down").code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable),
+            std::string("Unavailable"));
+  EXPECT_EQ(Status::DeadlineExceeded("too slow").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            std::string("DeadlineExceeded"));
+}
+
+TEST(StatusTest, IsTransientClassifiesRetryableCodes) {
+  EXPECT_TRUE(Status::Unavailable("x").IsTransient());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsTransient());
+  EXPECT_TRUE(Status::IoError("x").IsTransient());
+  EXPECT_FALSE(Status::OK().IsTransient());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsTransient());
+  EXPECT_FALSE(Status::ParseError("x").IsTransient());
+  EXPECT_FALSE(Status::Internal("x").IsTransient());
+  EXPECT_FALSE(Status::NotFound("x").IsTransient());
 }
 
 TEST(ResultTest, HoldsValue) {

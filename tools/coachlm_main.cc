@@ -13,18 +13,30 @@
 //   coachlm diff     --before corpus.json --after revised.json
 //   coachlm evaluate --original corpus.json --revised revised.json
 //                    [--human alpaca_human.json] [--testset coachlm150]
+//   coachlm pipeline --size 5000 --seed 42 --out revised.json
+//                    [--checkpoint-dir ckpt --resume]
 //
 // Every step is deterministic given its seeds; datasets are plain
 // Alpaca-format JSON and revisions are JSONL, so steps interoperate with
 // external tooling.
+//
+// Fault tolerance (generate / revise / pipeline): --fault-plan injects
+// deterministic transient/permanent faults, --retry-max bounds retries,
+// --quarantine saves permanently-failed records, and --checkpoint-dir +
+// --resume make a killed run continue to byte-identical output.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "coach/pipeline.h"
 #include "coach/trainer.h"
+#include "common/checkpoint.h"
 #include "common/execution.h"
+#include "common/fault.h"
 #include "common/flags.h"
+#include "common/retry.h"
+#include "common/runtime.h"
 #include "common/table_writer.h"
 #include "data/revision_io.h"
 #include "expert/pipeline.h"
@@ -63,10 +75,26 @@ constexpr char kUsage[] =
     "            [--human merged.json] [--testset coachlm150|pandalm170|\n"
     "            vicuna80|selfinstruct252] [--threads T]\n"
     "            tune + judge the model zoo\n"
+    "  pipeline  --size N --seed S --sample N --alpha A --backbone B\n"
+    "            --out revised.json [--threads T]\n"
+    "            generate -> study -> train -> revise in one run\n"
     "\n"
     "--threads T sizes the command\'s execution context (0 = default:\n"
     "COACHLM_THREADS or hardware concurrency); results are byte-identical\n"
-    "at any thread count.\n";
+    "at any thread count.\n"
+    "\n"
+    "fault tolerance (generate, revise, pipeline):\n"
+    "  --fault-plan SPEC       inject deterministic faults, e.g. \"0.05\" or\n"
+    "                          \"rate=0.05,permanent=0.001,seed=7,\n"
+    "                          sites=revise+io\" (default: COACHLM_FAULT_PLAN)\n"
+    "  --retry-max N           attempts per record before quarantine (4)\n"
+    "  --quarantine FILE       save permanently-failed records as JSONL\n"
+    "  --checkpoint-dir DIR    journal progress for crash-safe runs\n"
+    "  --checkpoint-interval N items journaled per commit (2048)\n"
+    "  --resume                continue from the journal in --checkpoint-dir\n"
+    "                          (omitting it restarts the stage fresh)\n"
+    "  --crash-after-commits N testing: kill the process after the Nth\n"
+    "                          checkpoint commit\n";
 
 /// The command's execution context, sized by --threads (0 = default:
 /// COACHLM_THREADS, then hardware concurrency). Commands run once per
@@ -84,16 +112,82 @@ lm::BackboneProfile BackboneByName(const std::string& name) {
   return lm::ChatGlm26B();
 }
 
+/// Builds the command's fault-tolerance runtime from --fault-plan and
+/// --retry-max. Returns nullptr when neither flag is present — callers then
+/// use PipelineRuntime::Default(), which honors COACHLM_FAULT_PLAN /
+/// COACHLM_RETRY_MAX.
+Result<std::unique_ptr<PipelineRuntime>> MakeRuntime(const Flags& flags) {
+  if (!flags.Has("fault-plan") && !flags.Has("retry-max")) {
+    return std::unique_ptr<PipelineRuntime>();
+  }
+  COACHLM_ASSIGN_OR_RETURN(FaultPlan plan,
+                           FaultPlan::Parse(flags.GetString("fault-plan")));
+  RetryPolicy policy;
+  policy.max_attempts = static_cast<int>(
+      flags.GetInt("retry-max", policy.max_attempts));
+  if (policy.max_attempts < 1) {
+    return Status::InvalidArgument("--retry-max must be >= 1");
+  }
+  return std::make_unique<PipelineRuntime>(FaultInjector(plan), policy);
+}
+
+/// The checkpointer for \p stage, enabled by --checkpoint-dir. Without
+/// --resume any prior journal is discarded first, so a re-run starts
+/// fresh; with it, the stage continues from the journaled cursor.
+StageCheckpointer MakeCheckpointer(const Flags& flags,
+                                   const std::string& stage,
+                                   const std::string& fingerprint) {
+  StageCheckpointer checkpoint(
+      flags.GetString("checkpoint-dir"), stage, ConfigFingerprint(fingerprint),
+      static_cast<size_t>(flags.GetInt("checkpoint-interval", 2048)));
+  if (checkpoint.enabled() && !flags.Has("resume")) checkpoint.Finish();
+  if (checkpoint.enabled() && flags.Has("crash-after-commits")) {
+    checkpoint.set_crash_after_commits(
+        static_cast<int>(flags.GetInt("crash-after-commits", 0)));
+  }
+  return checkpoint;
+}
+
+/// Prints what the runtime absorbed and saves the quarantine log when
+/// --quarantine was given.
+Status ReportRuntime(const PipelineRuntime& runtime, const Flags& flags) {
+  if (runtime.recovered_records() > 0 || runtime.quarantined_records() > 0) {
+    std::printf("runtime: %llu records recovered via retry, "
+                "%zu quarantined\n",
+                static_cast<unsigned long long>(runtime.recovered_records()),
+                runtime.quarantined_records());
+  }
+  if (flags.Has("quarantine")) {
+    const std::string path =
+        flags.GetString("quarantine", "quarantine.jsonl");
+    COACHLM_RETURN_NOT_OK(runtime.quarantine().Save(path));
+    std::printf("wrote %zu quarantine records to %s\n",
+                runtime.quarantine().size(), path.c_str());
+  }
+  return Status::OK();
+}
+
 Status RunGenerate(const Flags& flags) {
   synth::CorpusConfig config;
   config.size = static_cast<size_t>(flags.GetInt("size", 52000));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   synth::SynthCorpusGenerator generator(config);
-  const synth::SynthCorpus corpus = generator.Generate(FlagExec(flags));
+  COACHLM_ASSIGN_OR_RETURN(std::unique_ptr<PipelineRuntime> owned,
+                           MakeRuntime(flags));
+  PipelineRuntime* runtime =
+      owned != nullptr ? owned.get() : PipelineRuntime::Default();
+  StageCheckpointer checkpoint = MakeCheckpointer(
+      flags, "generate",
+      "generate size=" + std::to_string(config.size) +
+          " seed=" + std::to_string(config.seed) +
+          " plan=" + runtime->injector().plan().ToString());
+  const synth::SynthCorpus corpus =
+      generator.Generate(FlagExec(flags), runtime, &checkpoint);
+  if (checkpoint.enabled()) COACHLM_RETURN_NOT_OK(checkpoint.Finish());
   const std::string out = flags.GetString("out", "corpus.json");
   COACHLM_RETURN_NOT_OK(corpus.dataset.SaveJson(out));
   std::printf("wrote %zu pairs to %s\n", corpus.dataset.size(), out.c_str());
-  return Status::OK();
+  return ReportRuntime(*runtime, flags);
 }
 
 Status RunStudy(const Flags& flags) {
@@ -152,16 +246,27 @@ Status RunRevise(const Flags& flags) {
       coach::CoachLm model,
       coach::CoachLm::LoadCheckpoint(
           flags.GetString("checkpoint", "coach.json"), config));
+  COACHLM_ASSIGN_OR_RETURN(std::unique_ptr<PipelineRuntime> owned,
+                           MakeRuntime(flags));
+  PipelineRuntime* runtime =
+      owned != nullptr ? owned.get() : PipelineRuntime::Default();
+  StageCheckpointer checkpoint = MakeCheckpointer(
+      flags, "revise",
+      "revise in=" + flags.GetString("in", "corpus.json") +
+          " alpha=" + std::to_string(config.alpha) +
+          " backbone=" + config.backbone.name +
+          " plan=" + runtime->injector().plan().ToString());
   coach::RevisionPassStats stats;
-  const InstructionDataset revised =
-      model.ReviseDataset(corpus, {}, &stats, FlagExec(flags));
+  const InstructionDataset revised = model.ReviseDataset(
+      corpus, {}, &stats, FlagExec(flags), runtime, &checkpoint);
+  if (checkpoint.enabled()) COACHLM_RETURN_NOT_OK(checkpoint.Finish());
   const std::string out = flags.GetString("out", "revised.json");
   COACHLM_RETURN_NOT_OK(revised.SaveJson(out));
   std::printf("revised %zu pairs (%zu changed, %zu invalid outputs "
-              "replaced); wrote %s\n",
+              "replaced, %zu quarantined, %zu resumed); wrote %s\n",
               stats.total, stats.changed, stats.invalid_replaced,
-              out.c_str());
-  return Status::OK();
+              stats.quarantined, stats.resumed, out.c_str());
+  return ReportRuntime(*runtime, flags);
 }
 
 Status RunRate(const Flags& flags) {
@@ -311,12 +416,70 @@ Status RunEvaluate(const Flags& flags) {
   return Status::OK();
 }
 
+Status RunPipeline(const Flags& flags) {
+  // The Fig. 2 flow in one process: synthesize a corpus, run the expert
+  // study, train CoachLM, revise the corpus. The revision pass — the
+  // dominant stage — is the one journaled under --checkpoint-dir.
+  synth::CorpusConfig corpus_config;
+  corpus_config.size = static_cast<size_t>(flags.GetInt("size", 52000));
+  corpus_config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  COACHLM_ASSIGN_OR_RETURN(std::unique_ptr<PipelineRuntime> owned,
+                           MakeRuntime(flags));
+  PipelineRuntime* runtime =
+      owned != nullptr ? owned.get() : PipelineRuntime::Default();
+  const ExecutionContext& exec = FlagExec(flags);
+
+  synth::SynthCorpusGenerator generator(corpus_config);
+  const synth::SynthCorpus corpus = generator.Generate(exec, runtime);
+  std::printf("generated %zu pairs\n", corpus.dataset.size());
+
+  synth::ContentEngine engine;
+  expert::RevisionStudyConfig study_config;
+  study_config.sample_size = static_cast<size_t>(flags.GetInt("sample", 6000));
+  study_config.seed = static_cast<uint64_t>(flags.GetInt("study-seed", 17));
+  const auto study = expert::RunRevisionStudy(corpus.dataset, engine,
+                                              study_config, {}, exec);
+  std::printf("study: %zu revision records from %zu sampled pairs\n",
+              study.revisions.size(), study_config.sample_size);
+
+  coach::CoachConfig coach_config;
+  coach_config.alpha = flags.GetDouble("alpha", 0.3);
+  coach_config.backbone =
+      BackboneByName(flags.GetString("backbone", "chatglm2"));
+
+  StageCheckpointer checkpoint = MakeCheckpointer(
+      flags, "pipeline-revise",
+      "pipeline size=" + std::to_string(corpus_config.size) +
+          " seed=" + std::to_string(corpus_config.seed) +
+          " sample=" + std::to_string(study_config.sample_size) +
+          " study-seed=" + std::to_string(study_config.seed) +
+          " alpha=" + std::to_string(coach_config.alpha) +
+          " backbone=" + coach_config.backbone.name +
+          " plan=" + runtime->injector().plan().ToString());
+  const coach::CoachPipelineResult result = coach::RunCoachPipeline(
+      corpus.dataset, study.revisions, coach_config, exec, runtime,
+      &checkpoint);
+  if (checkpoint.enabled()) COACHLM_RETURN_NOT_OK(checkpoint.Finish());
+
+  const std::string out = flags.GetString("out", "revised.json");
+  COACHLM_RETURN_NOT_OK(result.revised_dataset.SaveJson(out));
+  std::printf("revised %zu pairs (%zu changed, %zu invalid outputs "
+              "replaced, %zu quarantined, %zu recovered, %zu resumed); "
+              "wrote %s\n",
+              result.stats.total, result.stats.changed,
+              result.stats.invalid_replaced, result.stats.quarantined,
+              result.stats.recovered, result.stats.resumed, out.c_str());
+  return ReportRuntime(*runtime, flags);
+}
+
 int Main(int argc, char** argv) {
   auto flags = Flags::Parse(
       argc, argv,
       {"size", "seed", "out", "in", "sample", "merged", "revisions", "alpha",
        "backbone", "checkpoint", "verify", "threads", "original", "revised",
-       "human", "testset", "detailed", "before", "after"});
+       "human", "testset", "detailed", "before", "after", "fault-plan",
+       "retry-max", "quarantine", "checkpoint-dir", "resume",
+       "crash-after-commits", "checkpoint-interval", "study-seed"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n%s", flags.status().ToString().c_str(), kUsage);
     return 2;
@@ -338,6 +501,7 @@ int Main(int argc, char** argv) {
   else if (command == "diff") status = RunDiff(*flags);
   else if (command == "inspect") status = RunInspect(*flags);
   else if (command == "evaluate") status = RunEvaluate(*flags);
+  else if (command == "pipeline") status = RunPipeline(*flags);
   else {
     std::fprintf(stderr, "%s", kUsage);
     return command.empty() ? 0 : 2;
