@@ -361,7 +361,7 @@ InstructionDataset CoachLm::ReviseDataset(
   if (runtime == nullptr) runtime = PipelineRuntime::Default();
   const bool checkpointed = checkpoint != nullptr && checkpoint->enabled();
 
-  if (!runtime->active() && !checkpointed) {
+  if (!runtime->governed() && !checkpointed) {
     // Hot path: no injection, no retry envelope, no journaling — exactly
     // the schedule-independent pass the determinism suite pins down.
     std::vector<InstructionPair> revised(dataset.size());
@@ -398,6 +398,10 @@ InstructionDataset CoachLm::ReviseDataset(
   // Fault-tolerant / checkpointed path. Each item resolves to a record;
   // revision runs under the runtime envelope so a permanently-failing pair
   // degrades to its original text instead of aborting the pass.
+  CancelToken* cancel = runtime->cancel_token();
+  // In the non-checkpointed branch this marks which items the token cut
+  // off, so they can be quarantined once, in index order, after the loop.
+  std::vector<uint8_t>* cancel_hit = nullptr;
   auto revise_one = [&](size_t i) {
     RevisedItemRecord record;
     const InstructionPair& pair = dataset[i];
@@ -425,6 +429,9 @@ InstructionDataset CoachLm::ReviseDataset(
     if (!status.ok()) {
       record.pair = pair;
       record.quarantined = true;
+      if (cancel_hit != nullptr && cancel != nullptr && cancel->cancelled()) {
+        (*cancel_hit)[i] = 1;
+      }
       return record;
     }
     record.pair = std::move(out);
@@ -438,7 +445,14 @@ InstructionDataset CoachLm::ReviseDataset(
   size_t resumed = 0;
   if (checkpointed) {
     Status commit_error = Status::OK();
-    resumed = RunCheckpointedLoop(
+    GovernedLoopOptions options;
+    options.cancel = cancel;
+    options.watchdog = runtime->watchdog();
+    options.commit_error = &commit_error;
+    // Overlap chunk compute with journal IO; the checkpointer's admission
+    // gate bounds buffered chunks, so memory stays O(chunk), not O(corpus).
+    options.async_commits = true;
+    const GovernedLoopResult loop = RunGovernedCheckpointedLoop(
         checkpoint, exec, &records, revise_one,
         [](const RevisedItemRecord& record) { return record.ToLine(); },
         [](const std::string& line, RevisedItemRecord* record) {
@@ -447,16 +461,45 @@ InstructionDataset CoachLm::ReviseDataset(
           *record = std::move(decoded).ValueOrDie();
           return true;
         },
-        &commit_error);
+        options);
+    resumed = loop.restored;
     if (!commit_error.ok()) {
       // A failing journal must not fail the pass; record the loss of
       // crash-safety with the progress cursor as provenance.
       runtime->QuarantineRecordFailure(FaultSite::kIo, dataset.size(),
                                        commit_error);
     }
+    if (loop.cancelled) {
+      // The run was cut off: the checkpoint covers exactly
+      // [0, loop.completed), so pass the unprocessed originals through and
+      // quarantine them with the cancellation cause — a later --resume
+      // picks them up and lands byte-identical to an uninterrupted run.
+      const Status cause = cancel->status();
+      for (size_t i = loop.completed; i < dataset.size(); ++i) {
+        records[i] = RevisedItemRecord();
+        records[i].pair = dataset[i];
+        records[i].quarantined = true;
+        runtime->QuarantineRecordFailure(FaultSite::kRevise, dataset[i].id,
+                                         cause, 0);
+      }
+    }
   } else {
-    exec.ParallelFor(dataset.size(),
-                     [&](size_t i) { records[i] = revise_one(i); });
+    std::vector<uint8_t> hit(dataset.size(), 0);
+    cancel_hit = &hit;
+    exec.ParallelFor(dataset.size(), [&](size_t i) {
+      records[i] = revise_one(i);
+      if (StallWatchdog* wd = runtime->watchdog()) wd->Tick();
+    });
+    cancel_hit = nullptr;
+    if (cancel != nullptr && cancel->cancelled()) {
+      const Status cause = cancel->status();
+      for (size_t i = 0; i < hit.size(); ++i) {
+        if (hit[i] != 0) {
+          runtime->QuarantineRecordFailure(FaultSite::kRevise, dataset[i].id,
+                                           cause, 0);
+        }
+      }
+    }
   }
 
   std::vector<InstructionPair> revised;

@@ -1,0 +1,38 @@
+#include "common/cancel.h"
+
+#include <chrono>
+
+namespace coachlm {
+
+void StallWatchdog::Start(int64_t poll_interval_micros) {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  if (thread_.joinable()) return;
+  stopping_ = false;
+  thread_ = std::thread([this, poll_interval_micros] {
+    std::unique_lock<std::mutex> lock(thread_mu_);
+    while (!stopping_) {
+      // Real-time wait (not clock_->SleepMicros): the watchdog must keep
+      // polling even while governed work is blocked, and must wake
+      // promptly on Stop().
+      thread_cv_.wait_for(lock,
+                          std::chrono::microseconds(poll_interval_micros),
+                          [this] { return stopping_; });
+      if (stopping_) break;
+      lock.unlock();
+      Poll();
+      lock.lock();
+    }
+  });
+}
+
+void StallWatchdog::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    if (!thread_.joinable()) return;
+    stopping_ = true;
+  }
+  thread_cv_.notify_all();
+  thread_.join();
+}
+
+}  // namespace coachlm

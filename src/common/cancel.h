@@ -1,0 +1,167 @@
+#ifndef COACHLM_COMMON_CANCEL_H_
+#define COACHLM_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace coachlm {
+
+/// \brief Cooperative cancellation with an optional wall-clock deadline.
+///
+/// A token is shared by a coordinator (the CLI's --deadline-ms handling, a
+/// stall watchdog, a signal handler) and the workers it governs: workers
+/// poll cancelled() at item boundaries and stop producing new work; the
+/// runtime quarantines whatever they did not reach and still commits a
+/// valid checkpoint so --resume can finish the run later.
+///
+/// The deadline rides on the injectable Clock, so tests drive expiry with
+/// a FakeClock and zero real waiting. Expiry is detected lazily: the first
+/// cancelled() call at or past the deadline flips the token to
+/// kDeadlineExceeded. Explicit Cancel() and deadline expiry race benignly —
+/// the first cause wins and is the status() every caller observes.
+///
+/// Thread-safe; polling is one relaxed atomic load on the fast path.
+class CancelToken {
+ public:
+  /// A token with no deadline; only explicit Cancel() trips it.
+  CancelToken() : clock_(Clock::System()) {}
+
+  /// A token that self-cancels once \p clock reaches \p deadline_micros
+  /// (absolute, in the clock's epoch).
+  CancelToken(Clock* clock, int64_t deadline_micros)
+      : clock_(clock), deadline_micros_(deadline_micros), has_deadline_(true) {}
+
+  /// Convenience: a deadline \p budget_micros from the clock's now.
+  static CancelToken AfterMicros(Clock* clock, int64_t budget_micros) {
+    return CancelToken(clock, clock->NowMicros() + budget_micros);
+  }
+
+  /// True once the token is cancelled (explicitly or by deadline expiry).
+  bool cancelled() const {
+    if (cancelled_.load(std::memory_order_acquire)) return true;
+    if (has_deadline_ && clock_->NowMicros() >= deadline_micros_) {
+      // Lazy expiry: first observer records the cause.
+      const_cast<CancelToken*>(this)->Cancel(Status::DeadlineExceeded(
+          "wall-clock budget exhausted after " +
+          std::to_string(deadline_micros_) + "us"));
+      return true;
+    }
+    return false;
+  }
+
+  /// Trips the token with \p cause. The first call wins; later calls (and
+  /// a racing deadline expiry) are ignored so status() is stable.
+  void Cancel(Status cause) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cancelled_.load(std::memory_order_relaxed)) return;
+    cause_ = std::move(cause);
+    cancelled_.store(true, std::memory_order_release);
+  }
+
+  /// The cancellation cause: OK while live, then kCancelled /
+  /// kDeadlineExceeded (or whatever Cancel() recorded) forever after.
+  Status status() const {
+    if (!cancelled()) return Status::OK();
+    std::lock_guard<std::mutex> lock(mu_);
+    return cause_;
+  }
+
+  /// Microseconds until the deadline (never negative), or a large positive
+  /// value when the token has no deadline. Used to cap retry backoff so a
+  /// sleep never overshoots the budget.
+  int64_t remaining_micros() const {
+    if (!has_deadline_) return kNoDeadline;
+    const int64_t left = deadline_micros_ - clock_->NowMicros();
+    return left > 0 ? left : 0;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+
+  static constexpr int64_t kNoDeadline = INT64_MAX / 2;
+
+ private:
+  Clock* clock_;
+  int64_t deadline_micros_ = 0;
+  bool has_deadline_ = false;
+  std::atomic<bool> cancelled_{false};
+  mutable std::mutex mu_;
+  Status cause_;
+};
+
+/// \brief Detects a frozen pipeline stage and cancels it.
+///
+/// Progress sites call Tick() whenever an item completes; the watchdog
+/// trips when Poll() observes no tick for longer than \p stall_micros and
+/// cancels the governed token with kDeadlineExceeded naming the stalled
+/// stage. Tests drive Poll() manually against a FakeClock; production can
+/// Start() a background thread that polls on a real-time cadence.
+class StallWatchdog {
+ public:
+  /// \p token is cancelled when a stall is detected; must outlive the
+  /// watchdog. \p stage names the governed work in the cancel status.
+  StallWatchdog(Clock* clock, CancelToken* token, std::string stage,
+                int64_t stall_micros)
+      : clock_(clock),
+        token_(token),
+        stage_(std::move(stage)),
+        stall_micros_(stall_micros),
+        last_tick_micros_(clock->NowMicros()) {}
+
+  ~StallWatchdog() { Stop(); }
+
+  /// Records forward progress. Cheap enough for per-item call sites.
+  void Tick() {
+    last_tick_micros_.store(clock_->NowMicros(), std::memory_order_relaxed);
+  }
+
+  /// Checks for a stall; returns true (and cancels the token, once) when
+  /// the last tick is older than the stall budget.
+  bool Poll() {
+    const int64_t idle =
+        clock_->NowMicros() - last_tick_micros_.load(std::memory_order_relaxed);
+    if (idle < stall_micros_) return false;
+    if (!fired_.exchange(true)) {
+      token_->Cancel(Status::DeadlineExceeded(
+          "stage '" + stage_ + "' stalled: no progress for " +
+          std::to_string(idle) + "us (budget " +
+          std::to_string(stall_micros_) + "us)"));
+    }
+    return true;
+  }
+
+  /// True once a stall has been detected (by Poll or the thread).
+  bool fired() const { return fired_.load(std::memory_order_relaxed); }
+
+  /// Starts a background thread polling every \p poll_interval_micros of
+  /// *real* time. Only meaningful with the system clock; FakeClock tests
+  /// use Poll() directly.
+  void Start(int64_t poll_interval_micros);
+
+  /// Stops the background thread, if running. Idempotent.
+  void Stop();
+
+ private:
+  Clock* clock_;
+  CancelToken* token_;
+  std::string stage_;
+  int64_t stall_micros_;
+  std::atomic<int64_t> last_tick_micros_;
+  std::atomic<bool> fired_{false};
+
+  std::mutex thread_mu_;
+  std::condition_variable thread_cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace coachlm
+
+#endif  // COACHLM_COMMON_CANCEL_H_

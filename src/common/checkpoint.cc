@@ -163,6 +163,78 @@ Status StageCheckpointer::Commit(size_t completed_total,
   return Status::OK();
 }
 
+StageCheckpointer::~StageCheckpointer() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    committer_stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (committer_.joinable()) committer_.join();
+}
+
+void StageCheckpointer::CommitAsync(size_t completed_total,
+                                    std::vector<std::string> new_lines) {
+  if (!enabled()) return;
+  if (max_pending_commits_ == 0) {
+    const Status committed = Commit(completed_total, new_lines);
+    if (!committed.ok()) {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      async_error_ = committed;
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  if (!committer_.joinable()) {
+    committer_stop_ = false;
+    committer_ = std::thread([this] { CommitterLoop(); });
+  }
+  // The admission gate: while the committer is this far behind, producing
+  // more encoded chunks would only grow memory, so the compute loop waits
+  // here — backpressure, not buffering.
+  queue_cv_.wait(lock,
+                 [this] { return pending_.size() < max_pending_commits_; });
+  PendingCommit commit;
+  commit.completed_total = completed_total;
+  commit.lines = std::move(new_lines);
+  pending_.push_back(std::move(commit));
+  lock.unlock();
+  queue_cv_.notify_all();
+}
+
+Status StageCheckpointer::Drain() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  queue_cv_.wait(lock, [this] { return pending_.empty() && !committer_busy_; });
+  Status error = async_error_;
+  async_error_ = Status::OK();
+  return error;
+}
+
+void StageCheckpointer::CommitterLoop() {
+  for (;;) {
+    PendingCommit commit;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [this] { return committer_stop_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stop requested and queue drained
+      commit = std::move(pending_.front());
+      pending_.pop_front();
+      committer_busy_ = true;
+    }
+    // Notify producers *after* marking busy so Drain() cannot observe an
+    // empty queue while this chunk is still landing.
+    queue_cv_.notify_all();
+    const Status committed = Commit(commit.completed_total, commit.lines);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      committer_busy_ = false;
+      if (!committed.ok()) async_error_ = committed;
+    }
+    queue_cv_.notify_all();
+  }
+}
+
 Status StageCheckpointer::Finish() {
   if (!enabled()) return Status::OK();
   std::error_code ec;

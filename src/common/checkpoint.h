@@ -2,11 +2,16 @@
 #define COACHLM_COMMON_CHECKPOINT_H_
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/execution.h"
 #include "common/result.h"
 
@@ -59,6 +64,29 @@ class StageCheckpointer {
   Status Commit(size_t completed_total,
                 const std::vector<std::string>& new_lines);
 
+  /// Hands \p new_lines to the background committer thread (started
+  /// lazily) and returns once the chunk is *enqueued* — which may block:
+  /// admission is gated on a high watermark of \p max_pending_commits
+  /// (see set_max_pending_commits), so a stalled disk applies backpressure
+  /// to the compute loop instead of letting encoded chunks accumulate
+  /// O(corpus) in memory. Chunks commit strictly in enqueue order,
+  /// preserving the payload-before-manifest crash contract.
+  ///
+  /// Commit errors surface at the next Drain(). Do not interleave with
+  /// synchronous Commit() calls without Drain() in between.
+  void CommitAsync(size_t completed_total, std::vector<std::string> new_lines);
+
+  /// Waits for every enqueued chunk to land and returns the last commit
+  /// error (OK when all committed cleanly). Must be called before Finish()
+  /// or destruction when CommitAsync was used; the destructor drains too,
+  /// swallowing errors.
+  Status Drain();
+
+  /// High watermark for CommitAsync admission (default 2): while this many
+  /// chunks are pending, the producer blocks. 0 makes CommitAsync
+  /// synchronous.
+  void set_max_pending_commits(size_t n) { max_pending_commits_ = n; }
+
   /// Removes the checkpoint files after a successful run.
   Status Finish();
 
@@ -70,7 +98,19 @@ class StageCheckpointer {
   /// mid-stage at a deterministic point.
   void set_crash_after_commits(int n) { crash_after_commits_ = n; }
 
+ public:
+  ~StageCheckpointer();
+
  private:
+  struct PendingCommit {
+    size_t completed_total = 0;
+    std::vector<std::string> lines;
+  };
+
+  /// Body of the background committer thread: pops chunks in order and
+  /// applies Commit().
+  void CommitterLoop();
+
   std::string dir_;
   std::string stage_;
   std::string fingerprint_;
@@ -80,6 +120,17 @@ class StageCheckpointer {
   bool resumed_ = false;
   int commits_ = 0;
   int crash_after_commits_ = 0;
+
+  // Async commit queue (CommitAsync/Drain). queue_mu_ guards the deque and
+  // flags; the committer thread is the only caller of Commit() while live.
+  size_t max_pending_commits_ = 2;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingCommit> pending_;
+  bool committer_stop_ = false;
+  bool committer_busy_ = false;
+  Status async_error_;
+  std::thread committer_;
 };
 
 /// \brief Drives a chunked, crash-safe stage loop over \p records.
@@ -96,12 +147,47 @@ class StageCheckpointer {
 /// recomputed. A journal-write failure never fails the loop (the stage
 /// keeps its in-memory results, only crash-safety degrades); the last such
 /// error is reported through \p commit_error when non-null.
+/// Resource-governance knobs for RunGovernedCheckpointedLoop. All optional;
+/// the zero value reproduces the ungoverned loop.
+struct GovernedLoopOptions {
+  /// Wall-clock budget / external cancellation. Checked at chunk
+  /// boundaries and per item inside a chunk.
+  const CancelToken* cancel = nullptr;
+  /// Stall detector; Tick()ed once per completed item so a frozen stage is
+  /// distinguishable from a slow one.
+  StallWatchdog* watchdog = nullptr;
+  /// Overlap chunk compute with journal IO through the checkpointer's
+  /// bounded commit queue (backpressure caps memory at
+  /// O(max_pending_commits x chunk), not O(corpus)).
+  bool async_commits = false;
+  /// Receives the last journal-write error (journal failures degrade
+  /// crash-safety, never the stage results).
+  Status* commit_error = nullptr;
+};
+
+/// What the governed loop did. `records[0, completed)` hold valid results
+/// (restored + computed-and-committed); on cancellation the caller owns
+/// quarantining `[completed, n)` — the loop has already ensured the
+/// checkpoint covers exactly the completed prefix, so a later --resume
+/// recomputes the remainder and lands byte-identical to an uninterrupted
+/// run.
+struct GovernedLoopResult {
+  size_t restored = 0;
+  size_t completed = 0;
+  bool cancelled = false;
+};
+
+/// RunCheckpointedLoop with cancellation, stall detection, and commit
+/// backpressure. Cancellation is chunk-atomic: a chunk whose compute
+/// window overlapped the token tripping is discarded, not committed —
+/// some of its items were skipped mid-flight, and journaling a partial
+/// chunk would poison resume byte-identity.
 template <typename Record, typename Compute, typename Encode, typename Decode>
-size_t RunCheckpointedLoop(StageCheckpointer* checkpoint,
-                           const ExecutionContext& exec,
-                           std::vector<Record>* records, Compute&& compute,
-                           Encode&& encode, Decode&& decode,
-                           Status* commit_error = nullptr) {
+GovernedLoopResult RunGovernedCheckpointedLoop(
+    StageCheckpointer* checkpoint, const ExecutionContext& exec,
+    std::vector<Record>* records, Compute&& compute, Encode&& encode,
+    Decode&& decode, const GovernedLoopOptions& options = {}) {
+  GovernedLoopResult result;
   const size_t n = records->size();
   size_t done = 0;
   const std::vector<std::string> lines = checkpoint->Resume();
@@ -115,24 +201,67 @@ size_t RunCheckpointedLoop(StageCheckpointer* checkpoint,
     checkpoint->Finish();
     done = 0;
   }
-  const size_t restored = done;
+  result.restored = done;
   while (done < n) {
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      result.cancelled = true;
+      break;
+    }
     const size_t chunk_end = std::min(n, done + checkpoint->interval());
-    exec.ParallelFor(chunk_end - done, [&](size_t k) {
-      (*records)[done + k] = compute(done + k);
-    });
+    exec.ParallelFor(
+        chunk_end - done,
+        [&](size_t k) {
+          (*records)[done + k] = compute(done + k);
+          if (options.watchdog != nullptr) options.watchdog->Tick();
+        },
+        /*grain=*/0, options.cancel);
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      // The token tripped while this chunk was in flight: some items were
+      // skipped, so the chunk is partial. Discard it rather than journal
+      // a hole.
+      result.cancelled = true;
+      break;
+    }
     std::vector<std::string> chunk;
     chunk.reserve(chunk_end - done);
     for (size_t i = done; i < chunk_end; ++i) {
       chunk.push_back(encode((*records)[i]));
     }
-    Status committed = checkpoint->Commit(chunk_end, chunk);
-    if (!committed.ok() && commit_error != nullptr) {
-      *commit_error = std::move(committed);
+    if (options.async_commits) {
+      checkpoint->CommitAsync(chunk_end, std::move(chunk));
+    } else {
+      Status committed = checkpoint->Commit(chunk_end, chunk);
+      if (!committed.ok() && options.commit_error != nullptr) {
+        *options.commit_error = std::move(committed);
+      }
     }
     done = chunk_end;
   }
-  return restored;
+  if (options.async_commits) {
+    Status drained = checkpoint->Drain();
+    if (!drained.ok() && options.commit_error != nullptr) {
+      *options.commit_error = std::move(drained);
+    }
+  }
+  result.completed = done;
+  return result;
+}
+
+/// Ungoverned wrapper (the PR-2 era signature): no cancellation, no
+/// watchdog, synchronous commits. Returns the restored-prefix length.
+template <typename Record, typename Compute, typename Encode, typename Decode>
+size_t RunCheckpointedLoop(StageCheckpointer* checkpoint,
+                           const ExecutionContext& exec,
+                           std::vector<Record>* records, Compute&& compute,
+                           Encode&& encode, Decode&& decode,
+                           Status* commit_error = nullptr) {
+  GovernedLoopOptions options;
+  options.commit_error = commit_error;
+  return RunGovernedCheckpointedLoop(
+             checkpoint, exec, records, std::forward<Compute>(compute),
+             std::forward<Encode>(encode), std::forward<Decode>(decode),
+             options)
+      .restored;
 }
 
 }  // namespace coachlm

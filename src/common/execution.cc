@@ -49,8 +49,20 @@ ThreadPool* ExecutionContext::pool() const {
 
 void ExecutionContext::ParallelFor(size_t n,
                                    const std::function<void(size_t)>& fn,
-                                   size_t grain) const {
+                                   size_t grain,
+                                   const CancelToken* cancel) const {
   if (n == 0) return;
+  if (cancel != nullptr) {
+    // Wrap once here so every execution path (inline and pooled) gets the
+    // same per-item gate: an item whose turn comes after the token trips
+    // never starts.
+    const std::function<void(size_t)> gated = [&fn, cancel](size_t i) {
+      if (cancel->cancelled()) return;
+      fn(i);
+    };
+    ParallelFor(n, gated, grain, nullptr);
+    return;
+  }
   ThreadPool* workers = pool();
   if (workers == nullptr || n == 1) {
     for (size_t i = 0; i < n; ++i) fn(i);
@@ -59,8 +71,10 @@ void ExecutionContext::ParallelFor(size_t n,
   workers->ParallelFor(n, fn, grain);
 }
 
-Status ExecutionContext::ParallelForStatus(
-    size_t n, const std::function<Status(size_t)>& fn, size_t grain) const {
+Status ExecutionContext::ParallelForStatus(size_t n,
+                                           const std::function<Status(size_t)>& fn,
+                                           size_t grain,
+                                           const CancelToken* cancel) const {
   std::atomic<size_t> first_bad{n};
   std::mutex mu;
   Status bad = Status::OK();
@@ -70,7 +84,9 @@ Status ExecutionContext::ParallelForStatus(
         // Items past an already-recorded failure cannot change the result
         // (lowest index wins), so skip them.
         if (i > first_bad.load(std::memory_order_relaxed)) return;
-        Status status = fn(i);
+        Status status = (cancel != nullptr && cancel->cancelled())
+                            ? cancel->status()
+                            : fn(i);
         if (status.ok()) return;
         std::lock_guard<std::mutex> lock(mu);
         if (i < first_bad.load(std::memory_order_relaxed)) {
@@ -83,10 +99,17 @@ Status ExecutionContext::ParallelForStatus(
 }
 
 std::vector<Status> ExecutionContext::ParallelMapStatus(
-    size_t n, const std::function<Status(size_t)>& fn, size_t grain) const {
+    size_t n, const std::function<Status(size_t)>& fn, size_t grain,
+    const CancelToken* cancel) const {
   std::vector<Status> statuses(n);
   ParallelFor(
-      n, [&](size_t i) { statuses[i] = fn(i); }, grain);
+      n,
+      [&](size_t i) {
+        statuses[i] = (cancel != nullptr && cancel->cancelled())
+                          ? cancel->status()
+                          : fn(i);
+      },
+      grain);
   return statuses;
 }
 

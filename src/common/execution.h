@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/threadpool.h"
@@ -76,32 +77,43 @@ class ExecutionContext {
   /// Runs fn(i) for i in [0, n) across the pool in contiguous chunks and
   /// waits for completion. \p grain is the chunk length (0 = auto: enough
   /// chunks for ~8 per runner, so uneven items still load-balance).
+  ///
+  /// When \p cancel is given, items whose turn comes after the token trips
+  /// are skipped (fn is never entered for them); in-flight items always run
+  /// to completion — cancellation is cooperative, never preemptive.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
-                   size_t grain = 0) const;
+                   size_t grain = 0,
+                   const CancelToken* cancel = nullptr) const;
 
   /// ParallelFor with Status propagation: returns the status of the
   /// *lowest-indexed* failing item (so the result is deterministic no
   /// matter which thread hit its failure first), or OK. Once a failure is
-  /// recorded, later-indexed items may be skipped.
+  /// recorded, later-indexed items may be skipped. A tripped \p cancel
+  /// token makes unstarted items fail with the token's status.
   Status ParallelForStatus(size_t n, const std::function<Status(size_t)>& fn,
-                           size_t grain = 0) const;
+                           size_t grain = 0,
+                           const CancelToken* cancel = nullptr) const;
 
   /// Fault-collecting variant: runs *every* item to completion (a failing
   /// item never stops its siblings) and returns the per-item Status vector
   /// in index order. This is the graceful-degradation primitive: callers
   /// route the failed indices to quarantine instead of aborting the stage.
+  /// Items skipped by a tripped \p cancel token carry the token's status
+  /// in their slot, so the caller quarantines them like any other failure.
   std::vector<Status> ParallelMapStatus(
-      size_t n, const std::function<Status(size_t)>& fn,
-      size_t grain = 0) const;
+      size_t n, const std::function<Status(size_t)>& fn, size_t grain = 0,
+      const CancelToken* cancel = nullptr) const;
 
-  /// Maps fn over [0, n) into a vector in index order.
+  /// Maps fn over [0, n) into a vector in index order. Items skipped after
+  /// \p cancel trips are left default-constructed.
   template <typename Fn>
-  auto ParallelMap(size_t n, Fn&& fn, size_t grain = 0) const
+  auto ParallelMap(size_t n, Fn&& fn, size_t grain = 0,
+                   const CancelToken* cancel = nullptr) const
       -> std::vector<decltype(fn(size_t{0}))> {
     using T = decltype(fn(size_t{0}));
     std::vector<T> out(n);
     ParallelFor(
-        n, [&](size_t i) { out[i] = fn(i); }, grain);
+        n, [&](size_t i) { out[i] = fn(i); }, grain, cancel);
     return out;
   }
 

@@ -57,4 +57,18 @@ int64_t Flags::GetInt(const std::string& name, int64_t fallback) const {
   return end == it->second.c_str() ? fallback : parsed;
 }
 
+Result<int64_t> Flags::GetIntStrict(const std::string& name,
+                                    int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("--" + name +
+                                   " expects an integer, got '" + it->second +
+                                   "'");
+  }
+  return static_cast<int64_t>(parsed);
+}
+
 }  // namespace coachlm

@@ -37,6 +37,14 @@ class Flags {
   /// Integer value of --name, or \p fallback when absent/unparseable.
   int64_t GetInt(const std::string& name, int64_t fallback) const;
 
+  /// Strict integer value of --name: \p fallback when absent, but a
+  /// present, non-integer value ("abc", "3x", "1.5", empty) is an
+  /// InvalidArgument instead of silently becoming the fallback. CLI flag
+  /// validation uses this so typos fail the invocation with a usage
+  /// error rather than running with a default the user did not ask for.
+  Result<int64_t> GetIntStrict(const std::string& name,
+                               int64_t fallback) const;
+
   /// Positional arguments after the command.
   const std::vector<std::string>& positional() const { return positional_; }
 

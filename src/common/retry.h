@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "common/cancel.h"
 #include "common/clock.h"
 #include "common/status.h"
 
@@ -54,18 +55,28 @@ struct RetryOutcome {
 /// deterministic backoff jitter (callers pass a per-item key). A template
 /// rather than std::function: the retry envelope wraps every record of
 /// every corpus-scale stage, so the per-call closure must not allocate.
+///
+/// An optional \p cancel token short-circuits the loop: a cancelled token
+/// stops before the first attempt and between attempts (returning the
+/// token's status), and a pending deadline caps each backoff sleep so the
+/// loop never sleeps past the run's wall-clock budget.
 template <typename Op>
 RetryOutcome RetryWithBackoff(const RetryPolicy& policy, Clock* clock,
-                              uint64_t jitter_key, Op&& op) {
+                              uint64_t jitter_key, Op&& op,
+                              const CancelToken* cancel = nullptr) {
   RetryOutcome outcome;
   const int max_attempts = std::max(1, policy.max_attempts);
   const int64_t start = clock->NowMicros();
+  if (cancel != nullptr && cancel->cancelled()) {
+    outcome.status = cancel->status();
+    return outcome;
+  }
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     outcome.attempts = attempt;
     outcome.status = op(attempt);
     if (outcome.status.ok() || !outcome.status.IsTransient()) return outcome;
     if (attempt == max_attempts) return outcome;
-    const int64_t backoff = policy.BackoffMicros(attempt + 1, jitter_key);
+    int64_t backoff = policy.BackoffMicros(attempt + 1, jitter_key);
     if (policy.deadline_us > 0 &&
         clock->NowMicros() - start + backoff >= policy.deadline_us) {
       outcome.status = Status::DeadlineExceeded(
@@ -73,7 +84,20 @@ RetryOutcome RetryWithBackoff(const RetryPolicy& policy, Clock* clock,
           " attempt(s): " + outcome.status.ToString());
       return outcome;
     }
+    if (cancel != nullptr) {
+      if (cancel->cancelled()) {
+        outcome.status = cancel->status();
+        return outcome;
+      }
+      // Never sleep past the run budget: the point of a backoff under a
+      // deadline is to wake in time to notice cancellation.
+      backoff = std::min(backoff, cancel->remaining_micros());
+    }
     clock->SleepMicros(backoff);
+    if (cancel != nullptr && cancel->cancelled()) {
+      outcome.status = cancel->status();
+      return outcome;
+    }
   }
   return outcome;
 }

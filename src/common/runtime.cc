@@ -42,7 +42,10 @@ Status PipelineRuntime::FinishRun(FaultSite site, uint64_t item_id,
     if (outcome.attempts > 1) {
       recovered_.fetch_add(1, std::memory_order_relaxed);
     }
-  } else {
+  } else if (cancel_ == nullptr || !cancel_->cancelled()) {
+    // Under run-level cancellation the caller quarantines the whole
+    // unprocessed remainder once, in index order; per-item quarantine here
+    // would double-log those items in a schedule-dependent order.
     QuarantineRecordFailure(site, item_id, outcome.status, outcome.attempts);
   }
   if (attempts_out != nullptr) *attempts_out = outcome.attempts;

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "common/cancel.h"
 #include "common/clock.h"
 #include "common/fault.h"
 #include "common/quarantine.h"
@@ -47,6 +48,24 @@ class PipelineRuntime {
 
   bool active() const { return active_; }
 
+  /// Attaches a cancellation token (wall-clock deadline, stall watchdog,
+  /// or external cancel). Not owned; must outlive the runtime's use. Set
+  /// before the governed stages start — not synchronized with Run().
+  void set_cancel_token(CancelToken* token) { cancel_ = token; }
+  CancelToken* cancel_token() const { return cancel_; }
+
+  /// Attaches a stall watchdog. Stages Tick() it per completed item so a
+  /// frozen stage is distinguishable from a slow one; the watchdog's Poll
+  /// (manual or background-thread) cancels the token above on stall.
+  void set_watchdog(StallWatchdog* watchdog) { watchdog_ = watchdog; }
+  StallWatchdog* watchdog() const { return watchdog_; }
+
+  /// True when Run() does real work: fault injection is active *or* a
+  /// cancel token is attached. Stages use this (not active()) to pick
+  /// between the instrumented path and the zero-overhead fast path, so a
+  /// deadline governs a run even without a fault plan.
+  bool governed() const { return active_ || cancel_ != nullptr; }
+
   /// Runs \p op for record \p item_id at \p site under injection + retry.
   /// Permanent failures (retries exhausted, or a non-transient error) are
   /// recorded in the quarantine log with provenance and returned; the
@@ -61,11 +80,20 @@ class PipelineRuntime {
   Status Run(FaultSite site, uint64_t item_id, Op&& op,
              int* attempts_out = nullptr) {
     if (!active_) {
+      // A cancelled run stops admitting work even without fault injection;
+      // unreached items surface the token's status. Quarantining them is
+      // the caller's job (once, in index order over the whole remainder),
+      // which keeps the quarantine log deterministic under any schedule.
+      if (cancel_ != nullptr && cancel_->cancelled()) {
+        if (attempts_out != nullptr) *attempts_out = 0;
+        return cancel_->status();
+      }
       if (attempts_out != nullptr) *attempts_out = 1;
       return op();
     }
     RetryOutcome outcome = RetryWithBackoff(
-        policy_, clock_, JitterKey(site, item_id), [&](int attempt) {
+        policy_, clock_, JitterKey(site, item_id),
+        [&](int attempt) {
           // Faults fire before the work, modeling the call to a flaky
           // dependency failing up front: the succeeding attempt then runs
           // the (deterministic) work exactly once, which is what makes a
@@ -73,7 +101,8 @@ class PipelineRuntime {
           Status injected = injector_.Inject(site, item_id, attempt, clock_);
           if (!injected.ok()) return injected;
           return op();
-        });
+        },
+        cancel_);
     return FinishRun(site, item_id, std::move(outcome), attempts_out);
   }
 
@@ -109,6 +138,8 @@ class PipelineRuntime {
   FaultInjector injector_;
   RetryPolicy policy_;
   Clock* clock_;
+  CancelToken* cancel_ = nullptr;
+  StallWatchdog* watchdog_ = nullptr;
   bool active_ = false;
   QuarantineLog quarantine_;
   std::atomic<uint64_t> recovered_{0};

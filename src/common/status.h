@@ -26,6 +26,8 @@ enum class StatusCode {
   kNotImplemented,
   kUnavailable,
   kDeadlineExceeded,
+  kResourceExhausted,
+  kCancelled,
 };
 
 /// \brief Returns a stable human-readable name for a status code.
@@ -83,6 +85,12 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   /// @}
 

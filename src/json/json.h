@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "json/parse_limits.h"
 
 namespace coachlm {
 namespace json {
@@ -96,8 +97,16 @@ class Value {
   std::shared_ptr<Object> object_;
 };
 
-/// \brief Parses a JSON document. Rejects trailing garbage, unterminated
-/// strings, invalid escapes, and documents nested deeper than 256 levels.
+/// \brief Parses a JSON document under \p limits.
+///
+/// The parser is iterative (an explicit frame stack, no recursion), so a
+/// nesting bomb is rejected by the depth limit before any stack-overflow
+/// risk. Rejects trailing garbage, unterminated strings, invalid escapes,
+/// and every ParseLimits violation — each with a typed Status carrying the
+/// byte offset.
+Result<Value> Parse(const std::string& text, const ParseLimits& limits);
+
+/// \brief Parses under the process-wide ParseLimits::Default().
 Result<Value> Parse(const std::string& text);
 
 /// \brief Escapes a string into a JSON string literal (with quotes).

@@ -15,6 +15,27 @@ Result<std::string> ReadFile(const std::string& path) {
   return buffer.str();
 }
 
+Result<std::string> ReadFileLimited(const std::string& path,
+                                    size_t max_bytes) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  const std::streamoff size = in.tellg();
+  if (size < 0) return Status::IoError("cannot size '" + path + "'");
+  if (static_cast<unsigned long long>(size) > max_bytes) {
+    return Status::ResourceExhausted(
+        "'" + path + "' is " + std::to_string(size) +
+        " bytes, over the max_input_bytes=" + std::to_string(max_bytes) +
+        " budget");
+  }
+  std::string out(static_cast<size_t>(size), '\0');
+  in.seekg(0);
+  in.read(out.empty() ? nullptr : &out[0], size);
+  if (in.bad() || in.gcount() != size) {
+    return Status::IoError("read failure on '" + path + "'");
+  }
+  return out;
+}
+
 Status WriteFile(const std::string& path, const std::string& content) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IoError("cannot open '" + path + "' for writing");
@@ -29,6 +50,7 @@ namespace {
 enum class LineFailureMode { kStrict, kSkipInvalid, kRecoverTornTail };
 
 Result<std::vector<Value>> ParseLinesImpl(const std::string& text,
+                                          const ParseLimits& limits,
                                           LineFailureMode mode,
                                           size_t* num_invalid,
                                           ParseLinesInfo* info) {
@@ -55,7 +77,15 @@ Result<std::vector<Value>> ParseLinesImpl(const std::string& text,
       if (pos > text.size()) break;
       continue;
     }
-    Result<Value> parsed = Parse(line);
+    // A line over the record budget is rejected without parsing it: the
+    // line length alone is the violation.
+    Result<Value> parsed =
+        line.size() > limits.max_record_bytes
+            ? Result<Value>(Status::ResourceExhausted(
+                  "record of " + std::to_string(line.size()) +
+                  " bytes exceeds max_record_bytes=" +
+                  std::to_string(limits.max_record_bytes)))
+            : Parse(line, limits);
     if (!parsed.ok()) {
       if (mode == LineFailureMode::kSkipInvalid) {
         if (num_invalid != nullptr) ++*num_invalid;
@@ -72,8 +102,11 @@ Result<std::vector<Value>> ParseLinesImpl(const std::string& text,
             " (crash artifact; recoverable via ParseLinesRecoverable): " +
             parsed.status().message());
       }
-      return Status::ParseError("line " + std::to_string(line_no) + ": " +
-                                parsed.status().message());
+      // Keep the underlying code (resource, range, argument, parse) so
+      // quarantine records stay typed through the "line N:" wrapping.
+      return Status(parsed.status().code(),
+                    "line " + std::to_string(line_no) + ": " +
+                        parsed.status().message());
     }
     values.push_back(std::move(parsed).ValueOrDie());
   }
@@ -83,29 +116,45 @@ Result<std::vector<Value>> ParseLinesImpl(const std::string& text,
 }  // namespace
 
 Result<std::vector<Value>> ParseLines(const std::string& text,
+                                      const ParseLimits& limits,
                                       bool skip_invalid, size_t* num_invalid) {
-  return ParseLinesImpl(text,
+  return ParseLinesImpl(text, limits,
                         skip_invalid ? LineFailureMode::kSkipInvalid
                                      : LineFailureMode::kStrict,
                         num_invalid, nullptr);
 }
 
+Result<std::vector<Value>> ParseLines(const std::string& text,
+                                      bool skip_invalid, size_t* num_invalid) {
+  return ParseLines(text, ParseLimits::Default(), skip_invalid, num_invalid);
+}
+
+Result<std::vector<Value>> ParseLinesRecoverable(const std::string& text,
+                                                 const ParseLimits& limits,
+                                                 ParseLinesInfo* info) {
+  return ParseLinesImpl(text, limits, LineFailureMode::kRecoverTornTail,
+                        nullptr, info);
+}
+
 Result<std::vector<Value>> ParseLinesRecoverable(const std::string& text,
                                                  ParseLinesInfo* info) {
-  return ParseLinesImpl(text, LineFailureMode::kRecoverTornTail, nullptr,
-                        info);
+  return ParseLinesRecoverable(text, ParseLimits::Default(), info);
 }
 
 Result<std::vector<Value>> LoadJsonl(const std::string& path,
                                      bool skip_invalid, size_t* num_invalid) {
-  COACHLM_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
-  return ParseLines(text, skip_invalid, num_invalid);
+  const ParseLimits& limits = ParseLimits::Default();
+  COACHLM_ASSIGN_OR_RETURN(std::string text,
+                           ReadFileLimited(path, limits.max_input_bytes));
+  return ParseLines(text, limits, skip_invalid, num_invalid);
 }
 
 Result<std::vector<Value>> LoadJsonlRecoverable(const std::string& path,
                                                 ParseLinesInfo* info) {
-  COACHLM_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
-  return ParseLinesRecoverable(text, info);
+  const ParseLimits& limits = ParseLimits::Default();
+  COACHLM_ASSIGN_OR_RETURN(std::string text,
+                           ReadFileLimited(path, limits.max_input_bytes));
+  return ParseLinesRecoverable(text, limits, info);
 }
 
 Status SaveJsonl(const std::string& path, const std::vector<Value>& values) {

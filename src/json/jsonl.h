@@ -13,6 +13,13 @@ namespace json {
 /// \brief Reads a whole file into a string.
 Result<std::string> ReadFile(const std::string& path);
 
+/// \brief Reads a whole file into a string, rejecting files larger than
+/// \p max_bytes with kResourceExhausted *before* buffering any content —
+/// the size is checked from the open stream, so a multi-GB artifact never
+/// reaches memory.
+Result<std::string> ReadFileLimited(const std::string& path,
+                                    size_t max_bytes);
+
 /// \brief Writes \p content to \p path, replacing any existing file.
 Status WriteFile(const std::string& path, const std::string& content);
 
@@ -27,6 +34,17 @@ Status WriteFile(const std::string& path, const std::string& content);
 /// crash artifact (a writer died mid-append), not corruption: strict mode
 /// reports it with its byte offset so callers can recover the intact
 /// prefix via ParseLinesRecoverable instead of discarding the whole file.
+/// Every line is parsed under \p limits; a line longer than
+/// limits.max_record_bytes is rejected (kResourceExhausted) without being
+/// parsed at all. In strict mode the wrapping "line N:" status preserves
+/// the underlying code (kResourceExhausted / kOutOfRange /
+/// kInvalidArgument / kParseError) so quarantine records stay typed.
+Result<std::vector<Value>> ParseLines(const std::string& text,
+                                      const ParseLimits& limits,
+                                      bool skip_invalid = false,
+                                      size_t* num_invalid = nullptr);
+
+/// \brief ParseLines under the process-wide ParseLimits::Default().
 Result<std::vector<Value>> ParseLines(const std::string& text,
                                       bool skip_invalid = false,
                                       size_t* num_invalid = nullptr);
@@ -52,7 +70,14 @@ struct ParseLinesInfo {
 Result<std::vector<Value>> ParseLinesRecoverable(const std::string& text,
                                                  ParseLinesInfo* info);
 
-/// \brief Loads and parses a JSONL file.
+/// \brief ParseLinesRecoverable under explicit \p limits.
+Result<std::vector<Value>> ParseLinesRecoverable(const std::string& text,
+                                                 const ParseLimits& limits,
+                                                 ParseLinesInfo* info);
+
+/// \brief Loads and parses a JSONL file under the process-wide limits:
+/// the file itself is size-capped by max_input_bytes (via
+/// ReadFileLimited) and each line by max_record_bytes.
 Result<std::vector<Value>> LoadJsonl(const std::string& path,
                                      bool skip_invalid = false,
                                      size_t* num_invalid = nullptr);

@@ -1,0 +1,158 @@
+#include "json/parse_limits.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "common/env.h"
+
+namespace coachlm {
+namespace json {
+namespace {
+
+Result<size_t> ParseSize(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || value[0] == '-') {
+    return Status::InvalidArgument("parse limits: '" + key +
+                                   "' must be a non-negative integer, got '" +
+                                   value + "'");
+  }
+  return static_cast<size_t>(parsed);
+}
+
+Result<bool> ParseAllow(const std::string& key, const std::string& value) {
+  if (value == "allow") return true;
+  if (value == "reject") return false;
+  return Status::InvalidArgument("parse limits: '" + key +
+                                 "' must be allow|reject, got '" + value +
+                                 "'");
+}
+
+ParseLimits* ProcessDefault() {
+  static ParseLimits* limits = [] {
+    auto* out = new ParseLimits();
+    const std::string spec = GetEnvOr("COACHLM_PARSE_LIMITS", "");
+    if (spec.empty()) return out;
+    const Result<ParseLimits> parsed = ParseLimits::FromSpec(spec);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "warning: ignoring COACHLM_PARSE_LIMITS: %s\n",
+                   parsed.status().ToString().c_str());
+      return out;
+    }
+    *out = *parsed;
+    return out;
+  }();
+  return limits;
+}
+
+}  // namespace
+
+const ParseLimits& ParseLimits::Default() { return *ProcessDefault(); }
+
+void ParseLimits::SetProcessDefault(const ParseLimits& limits) {
+  *ProcessDefault() = limits;
+}
+
+ParseLimits ParseLimits::Unlimited() {
+  ParseLimits limits;
+  const size_t unbounded = std::numeric_limits<size_t>::max();
+  limits.max_input_bytes = unbounded;
+  // Depth stays finite even in "unlimited" mode: the parser is iterative,
+  // but each level still allocates a frame, so a true bomb must not be
+  // able to exhaust memory through depth alone.
+  limits.max_depth = 1u << 16;
+  limits.max_string_bytes = unbounded;
+  limits.max_array_elements = unbounded;
+  limits.max_object_members = unbounded;
+  limits.max_total_values = unbounded;
+  limits.max_record_bytes = unbounded;
+  limits.allow_embedded_nul = true;
+  limits.allow_duplicate_keys = true;
+  limits.allow_nonfinite_numbers = true;
+  limits.utf8_policy = Utf8Policy::kLenient;
+  return limits;
+}
+
+Result<ParseLimits> ParseLimits::FromSpec(const std::string& spec) {
+  ParseLimits limits;
+  if (spec.empty()) return limits;
+  if (spec == "unlimited") return Unlimited();
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t next = spec.find(',', pos);
+    if (next == std::string::npos) next = spec.size();
+    const std::string token = spec.substr(pos, next - pos);
+    pos = next + 1;
+    if (token.empty()) continue;
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("parse limits: expected key=value, got '" +
+                                     token + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "max_input_bytes") {
+      COACHLM_ASSIGN_OR_RETURN(limits.max_input_bytes, ParseSize(key, value));
+    } else if (key == "max_depth") {
+      COACHLM_ASSIGN_OR_RETURN(limits.max_depth, ParseSize(key, value));
+    } else if (key == "max_string_bytes") {
+      COACHLM_ASSIGN_OR_RETURN(limits.max_string_bytes, ParseSize(key, value));
+    } else if (key == "max_array_elements") {
+      COACHLM_ASSIGN_OR_RETURN(limits.max_array_elements,
+                               ParseSize(key, value));
+    } else if (key == "max_object_members") {
+      COACHLM_ASSIGN_OR_RETURN(limits.max_object_members,
+                               ParseSize(key, value));
+    } else if (key == "max_total_values") {
+      COACHLM_ASSIGN_OR_RETURN(limits.max_total_values, ParseSize(key, value));
+    } else if (key == "max_record_bytes") {
+      COACHLM_ASSIGN_OR_RETURN(limits.max_record_bytes, ParseSize(key, value));
+    } else if (key == "nul") {
+      COACHLM_ASSIGN_OR_RETURN(limits.allow_embedded_nul,
+                               ParseAllow(key, value));
+    } else if (key == "dup_keys") {
+      COACHLM_ASSIGN_OR_RETURN(limits.allow_duplicate_keys,
+                               ParseAllow(key, value));
+    } else if (key == "nonfinite") {
+      COACHLM_ASSIGN_OR_RETURN(limits.allow_nonfinite_numbers,
+                               ParseAllow(key, value));
+    } else if (key == "utf8") {
+      if (value == "strict") limits.utf8_policy = Utf8Policy::kStrict;
+      else if (value == "replace") limits.utf8_policy = Utf8Policy::kReplace;
+      else if (value == "lenient") limits.utf8_policy = Utf8Policy::kLenient;
+      else
+        return Status::InvalidArgument(
+            "parse limits: utf8 must be strict|replace|lenient, got '" +
+            value + "'");
+    } else {
+      return Status::InvalidArgument("parse limits: unknown key '" + key +
+                                     "'");
+    }
+  }
+  return limits;
+}
+
+std::string ParseLimits::ToString() const {
+  auto allow = [](bool b) { return b ? "allow" : "reject"; };
+  std::string out =
+      "max_input_bytes=" + std::to_string(max_input_bytes) +
+      ",max_depth=" + std::to_string(max_depth) +
+      ",max_string_bytes=" + std::to_string(max_string_bytes) +
+      ",max_array_elements=" + std::to_string(max_array_elements) +
+      ",max_object_members=" + std::to_string(max_object_members) +
+      ",max_total_values=" + std::to_string(max_total_values) +
+      ",max_record_bytes=" + std::to_string(max_record_bytes) +
+      ",nul=" + allow(allow_embedded_nul) +
+      ",dup_keys=" + allow(allow_duplicate_keys) +
+      ",nonfinite=" + allow(allow_nonfinite_numbers) + ",utf8=";
+  switch (utf8_policy) {
+    case Utf8Policy::kStrict: out += "strict"; break;
+    case Utf8Policy::kReplace: out += "replace"; break;
+    case Utf8Policy::kLenient: out += "lenient"; break;
+  }
+  return out;
+}
+
+}  // namespace json
+}  // namespace coachlm

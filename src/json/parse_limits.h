@@ -1,0 +1,97 @@
+#ifndef COACHLM_JSON_PARSE_LIMITS_H_
+#define COACHLM_JSON_PARSE_LIMITS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/result.h"
+
+namespace coachlm {
+namespace json {
+
+/// \brief What to do with invalid UTF-8 byte sequences in string values.
+enum class Utf8Policy {
+  /// Reject the document (ParseError with the byte offset). The hardened
+  /// default: torn multi-byte sequences in production logs are corruption.
+  kStrict = 0,
+  /// Substitute each invalid byte with U+FFFD and keep parsing.
+  kReplace,
+  /// Pass raw bytes through untouched (the legacy, pre-hardening behavior).
+  kLenient,
+};
+
+/// \brief Resource and validity bounds enforced by json::Parse and the
+/// jsonl line readers on untrusted input.
+///
+/// The platform ingests raw online traffic (Section IV), where degenerate
+/// documents — nesting bombs, multi-GB lines, torn UTF-8, 1e999 — are
+/// ordinary, not exceptional. Every bound here turns a potential stack
+/// overflow / OOM / silent-truncation into a typed Status carrying the
+/// byte offset, which the ingestion stages quarantine instead of crashing
+/// on. Violations of size/count bounds return kResourceExhausted; value
+/// policies (NUL, non-finite numbers) return kInvalidArgument /
+/// kOutOfRange; malformed syntax stays kParseError.
+struct ParseLimits {
+  /// Whole-document byte budget (also enforced by ReadFileLimited before
+  /// the bytes are ever pulled into memory).
+  size_t max_input_bytes = 256u << 20;
+  /// Maximum container nesting depth (the document root is depth 0, its
+  /// elements depth 1, ...). Alpaca-format data is depth <= 3; anything
+  /// near this bound is hostile.
+  size_t max_depth = 32;
+  /// Maximum decoded bytes of a single string value or object key.
+  size_t max_string_bytes = 8u << 20;
+  /// Maximum elements in one array.
+  size_t max_array_elements = 1u << 20;
+  /// Maximum members in one object.
+  size_t max_object_members = 1u << 16;
+  /// Maximum values in the whole document (scalars + containers): bounds
+  /// total allocation even when every individual container is legal.
+  size_t max_total_values = 8u << 20;
+  /// Maximum bytes of a single JSONL record (one line). Also the cap the
+  /// platform applies to one raw log record before parsing it.
+  size_t max_record_bytes = 4u << 20;
+  /// Reject strings containing U+0000 (reachable only via the u0000
+  /// escape; raw NULs are already rejected as control characters).
+  bool allow_embedded_nul = false;
+  /// Reject objects that bind the same key twice instead of silently
+  /// keeping one binding.
+  bool allow_duplicate_keys = false;
+  /// Reject numbers that overflow double (e.g. 1e999 -> inf) instead of
+  /// materializing a non-finite value.
+  bool allow_nonfinite_numbers = false;
+  Utf8Policy utf8_policy = Utf8Policy::kStrict;
+
+  /// The process-wide limits every default parse runs under: hardened
+  /// defaults, overridable once via COACHLM_PARSE_LIMITS (a FromSpec
+  /// string; a malformed spec warns and keeps the defaults) or
+  /// SetProcessDefault (the CLI's --max-record-bytes / --max-json-depth).
+  static const ParseLimits& Default();
+
+  /// Replaces the process-wide defaults. Call before parsing starts (the
+  /// CLI does this during flag handling); not synchronized with readers.
+  static void SetProcessDefault(const ParseLimits& limits);
+
+  /// Effectively unbounded limits with every legacy-compat policy
+  /// (lenient UTF-8, NULs, duplicate keys, non-finite numbers allowed).
+  /// For trusted in-process round-trips and tests only.
+  static ParseLimits Unlimited();
+
+  /// Parses a spec like
+  ///   "max_depth=64,max_record_bytes=1048576,utf8=replace,nul=allow,
+  ///    dup_keys=allow,nonfinite=allow"
+  /// on top of the hardened defaults. Keys: max_input_bytes, max_depth,
+  /// max_string_bytes, max_array_elements, max_object_members,
+  /// max_total_values, max_record_bytes (sizes take plain byte counts);
+  /// utf8=strict|replace|lenient; nul|dup_keys|nonfinite=allow|reject.
+  /// "unlimited" as the whole spec yields Unlimited().
+  static Result<ParseLimits> FromSpec(const std::string& spec);
+
+  /// Canonical spec string that FromSpec round-trips.
+  std::string ToString() const;
+};
+
+}  // namespace json
+}  // namespace coachlm
+
+#endif  // COACHLM_JSON_PARSE_LIMITS_H_

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "expert/reviser.h"
+#include "json/parse_limits.h"
 #include "lm/pair_text.h"
 #include "text/edit_distance.h"
 #include "text/string_util.h"
@@ -97,6 +98,19 @@ InstructionDataset DataPlatform::ParseWithRuleScripts(
             const UserCase& user_case = cases[i];
             std::optional<InstructionPair> out;
             runtime->Run(FaultSite::kParse, user_case.case_id, [&] {
+              // Record-size gate first: an oversized raw log is rejected on
+              // its length alone (kResourceExhausted, non-transient, so an
+              // active runtime quarantines it without burning retries) —
+              // never parsed, never copied.
+              const size_t record_cap =
+                  json::ParseLimits::Default().max_record_bytes;
+              if (user_case.raw_log.size() > record_cap) {
+                return Status::ResourceExhausted(
+                    "raw log record of " +
+                    std::to_string(user_case.raw_log.size()) +
+                    " bytes exceeds max_record_bytes=" +
+                    std::to_string(record_cap));
+              }
               // Strip the session header line.
               const size_t newline = user_case.raw_log.find('\n');
               if (newline == std::string::npos) {

@@ -248,8 +248,10 @@ SynthCorpus SynthCorpusGenerator::Generate(const ExecutionContext& exec,
                                            StageCheckpointer* checkpoint) const {
   if (runtime == nullptr) runtime = PipelineRuntime::Default();
   const bool checkpointed = checkpoint != nullptr && checkpoint->enabled();
-  if (!runtime->active() && !checkpointed) return Generate(exec);
+  if (!runtime->governed() && !checkpointed) return Generate(exec);
 
+  CancelToken* cancel = runtime->cancel_token();
+  std::vector<uint8_t>* cancel_hit = nullptr;
   auto generate_one = [&](size_t i) {
     GeneratedItemRecord record;
     const uint64_t id = static_cast<uint64_t>(i + 1);
@@ -267,6 +269,9 @@ SynthCorpus SynthCorpusGenerator::Generate(const ExecutionContext& exec,
       // is still a pure function of (config, fault plan).
       record = GeneratedItemRecord();
       record.dropped = true;
+      if (cancel_hit != nullptr && cancel != nullptr && cancel->cancelled()) {
+        (*cancel_hit)[i] = 1;
+      }
     }
     return record;
   };
@@ -274,17 +279,47 @@ SynthCorpus SynthCorpusGenerator::Generate(const ExecutionContext& exec,
   std::vector<GeneratedItemRecord> records(config_.size);
   if (checkpointed) {
     Status commit_error = Status::OK();
-    RunCheckpointedLoop(
+    GovernedLoopOptions options;
+    options.cancel = cancel;
+    options.watchdog = runtime->watchdog();
+    options.commit_error = &commit_error;
+    options.async_commits = true;
+    const GovernedLoopResult loop = RunGovernedCheckpointedLoop(
         checkpoint, exec, &records, generate_one,
         [](const GeneratedItemRecord& record) { return record.ToLine(); },
-        &GeneratedItemRecord::FromLine, &commit_error);
+        &GeneratedItemRecord::FromLine, options);
     if (!commit_error.ok()) {
       runtime->QuarantineRecordFailure(FaultSite::kIo, config_.size,
                                        commit_error);
     }
+    if (loop.cancelled) {
+      const Status cause = cancel->status();
+      for (size_t i = loop.completed; i < records.size(); ++i) {
+        records[i] = GeneratedItemRecord();
+        records[i].dropped = true;
+        runtime->QuarantineRecordFailure(FaultSite::kCollect,
+                                         static_cast<uint64_t>(i + 1), cause,
+                                         0);
+      }
+    }
   } else {
-    exec.ParallelFor(config_.size,
-                     [&](size_t i) { records[i] = generate_one(i); });
+    std::vector<uint8_t> hit(config_.size, 0);
+    cancel_hit = &hit;
+    exec.ParallelFor(config_.size, [&](size_t i) {
+      records[i] = generate_one(i);
+      if (StallWatchdog* wd = runtime->watchdog()) wd->Tick();
+    });
+    cancel_hit = nullptr;
+    if (cancel != nullptr && cancel->cancelled()) {
+      const Status cause = cancel->status();
+      for (size_t i = 0; i < hit.size(); ++i) {
+        if (hit[i] != 0) {
+          runtime->QuarantineRecordFailure(FaultSite::kCollect,
+                                           static_cast<uint64_t>(i + 1), cause,
+                                           0);
+        }
+      }
+    }
   }
 
   SynthCorpus corpus;

@@ -1,0 +1,324 @@
+// Hostile-input hardening: every adversarial artifact — nesting bombs,
+// oversized records, torn UTF-8, embedded NULs, duplicate keys, 1e999 —
+// must come back as a *typed* Status (never a crash, hang, or unbounded
+// allocation), in both strict parses and recoverable JSONL modes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/runtime.h"
+#include "json/json.h"
+#include "json/jsonl.h"
+#include "json/parse_limits.h"
+#include "platform/platform.h"
+
+namespace coachlm {
+namespace {
+
+namespace fs = std::filesystem;
+
+json::ParseLimits Hardened() { return json::ParseLimits(); }
+
+std::string Nest(size_t depth) {
+  std::string doc;
+  doc.reserve(depth * 2 + 4);
+  for (size_t i = 0; i < depth; ++i) doc += '[';
+  doc += '1';
+  for (size_t i = 0; i < depth; ++i) doc += ']';
+  return doc;
+}
+
+TEST(AdversarialParseTest, NestingBombIsResourceExhausted) {
+  // 64 deep: comfortably beyond the hardened default of 32, far below any
+  // stack-overflow risk (the parser is iterative).
+  const auto parsed = json::Parse(Nest(64), Hardened());
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(parsed.status().message().find("max_depth"), std::string::npos);
+  EXPECT_NE(parsed.status().message().find("offset"), std::string::npos);
+}
+
+TEST(AdversarialParseTest, MassiveNestingBombStaysIterative) {
+  // A million levels would overflow any recursive parser's stack long
+  // before the depth check; the iterative parser rejects it at frame 32.
+  const auto parsed = json::Parse(Nest(1u << 20), Hardened());
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AdversarialParseTest, DepthWithinLimitParses) {
+  json::ParseLimits limits;
+  limits.max_depth = 70;
+  EXPECT_TRUE(json::Parse(Nest(64), limits).ok());
+}
+
+TEST(AdversarialParseTest, NonFiniteNumberIsOutOfRange) {
+  const auto parsed = json::Parse("[1e999]", Hardened());
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kOutOfRange);
+
+  json::ParseLimits lenient;
+  lenient.allow_nonfinite_numbers = true;
+  EXPECT_TRUE(json::Parse("[1e999]", lenient).ok());
+}
+
+TEST(AdversarialParseTest, EmbeddedNulEscapeIsInvalidArgument) {
+  const auto parsed = json::Parse("\"a\\u0000b\"", Hardened());
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+
+  json::ParseLimits lenient;
+  lenient.allow_embedded_nul = true;
+  const auto allowed = json::Parse("\"a\\u0000b\"", lenient);
+  ASSERT_TRUE(allowed.ok());
+  EXPECT_EQ(allowed->AsString().size(), 3u);
+  EXPECT_EQ(allowed->AsString()[1], '\0');
+}
+
+TEST(AdversarialParseTest, RawControlByteStaysParseError) {
+  const std::string doc = std::string("\"a") + '\0' + "b\"";
+  const auto parsed = json::Parse(doc, Hardened());
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+}
+
+TEST(AdversarialParseTest, DuplicateKeysRejected) {
+  const auto parsed = json::Parse("{\"k\":1,\"k\":2}", Hardened());
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+  EXPECT_NE(parsed.status().message().find("duplicate"), std::string::npos);
+
+  json::ParseLimits lenient;
+  lenient.allow_duplicate_keys = true;
+  const auto allowed = json::Parse("{\"k\":1,\"k\":2}", lenient);
+  ASSERT_TRUE(allowed.ok());
+  EXPECT_EQ(allowed->At("k").AsNumber(), 2.0);  // last binding wins
+}
+
+TEST(AdversarialParseTest, TornUtf8StrictRejectsWithOffset) {
+  // 0xE4 opens a 3-byte sequence that never completes.
+  const std::string doc = "\"abc\xE4z\"";
+  const auto parsed = json::Parse(doc, Hardened());
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+  EXPECT_NE(parsed.status().message().find("UTF-8"), std::string::npos);
+}
+
+TEST(AdversarialParseTest, TornUtf8ReplacePolicySubstitutes) {
+  json::ParseLimits limits;
+  limits.utf8_policy = json::Utf8Policy::kReplace;
+  const auto parsed = json::Parse("\"a\xE4z\"", limits);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "a\xEF\xBF\xBDz");  // U+FFFD
+}
+
+TEST(AdversarialParseTest, TornUtf8LenientPassesRawBytes) {
+  json::ParseLimits limits;
+  limits.utf8_policy = json::Utf8Policy::kLenient;
+  const auto parsed = json::Parse("\"a\xE4z\"", limits);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "a\xE4z");
+}
+
+TEST(AdversarialParseTest, ValidUtf8PassesStrict) {
+  // 2-, 3-, and 4-byte sequences plus a surrogate-pair escape.
+  const auto parsed =
+      json::Parse("\"\xC3\xA9 \xE4\xB8\xAD \xF0\x9F\x98\x80 \\uD83D\\uDE00\"",
+                  Hardened());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_NE(parsed->AsString().find("\xF0\x9F\x98\x80"), std::string::npos);
+}
+
+TEST(AdversarialParseTest, UnpairedSurrogateEscapeStrictRejected) {
+  EXPECT_FALSE(json::Parse("\"\\uD800\"", Hardened()).ok());
+  EXPECT_FALSE(json::Parse("\"\\uDC00\"", Hardened()).ok());
+  json::ParseLimits replace;
+  replace.utf8_policy = json::Utf8Policy::kReplace;
+  const auto parsed = json::Parse("\"\\uD800\"", replace);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "\xEF\xBF\xBD");
+}
+
+TEST(AdversarialParseTest, OverlongAndSurrogateUtf8BytesRejected) {
+  // C0 80: overlong NUL. ED A0 80: UTF-8-encoded surrogate.
+  EXPECT_FALSE(json::Parse("\"\xC0\x80\"", Hardened()).ok());
+  EXPECT_FALSE(json::Parse("\"\xED\xA0\x80\"", Hardened()).ok());
+}
+
+TEST(AdversarialParseTest, StringBombIsResourceExhausted) {
+  json::ParseLimits limits;
+  limits.max_string_bytes = 64;
+  const std::string doc = "\"" + std::string(1000, 'x') + "\"";
+  const auto parsed = json::Parse(doc, limits);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AdversarialParseTest, ArrayAndObjectBombsAreResourceExhausted) {
+  json::ParseLimits limits;
+  limits.max_array_elements = 8;
+  limits.max_object_members = 4;
+  std::string many = "[";
+  for (int i = 0; i < 100; ++i) many += "0,";
+  many += "0]";
+  auto parsed = json::Parse(many, limits);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kResourceExhausted);
+
+  std::string wide = "{";
+  for (int i = 0; i < 20; ++i) {
+    wide += "\"k" + std::to_string(i) + "\":0,";
+  }
+  wide += "\"z\":0}";
+  parsed = json::Parse(wide, limits);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AdversarialParseTest, TotalValueBombIsResourceExhausted) {
+  // Every container stays under its own cap, but the document as a whole
+  // exceeds the global value budget.
+  json::ParseLimits limits;
+  limits.max_total_values = 50;
+  std::string doc = "[";
+  for (int i = 0; i < 30; ++i) doc += "[1,2],";
+  doc += "[]]";
+  const auto parsed = json::Parse(doc, limits);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AdversarialParseTest, InputByteBudgetEnforcedUpFront) {
+  json::ParseLimits limits;
+  limits.max_input_bytes = 16;
+  const auto parsed = json::Parse("[1,2,3,4,5,6,7,8,9]", limits);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AdversarialJsonlTest, OversizedLineStrictIsTypedAndOffsetNamed) {
+  json::ParseLimits limits;
+  limits.max_record_bytes = 128;
+  // A "10MB single line" scaled down: the line is rejected on length
+  // alone, without being parsed.
+  const std::string big = "{\"k\":\"" + std::string(4096, 'x') + "\"}";
+  const std::string text = "{\"ok\":1}\n" + big + "\n{\"ok\":2}\n";
+
+  const auto strict = json::ParseLines(text, limits);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(strict.status().message().find("line 2"), std::string::npos);
+
+  size_t invalid = 0;
+  const auto tolerant =
+      json::ParseLines(text, limits, /*skip_invalid=*/true, &invalid);
+  ASSERT_TRUE(tolerant.ok());
+  EXPECT_EQ(tolerant->size(), 2u);
+  EXPECT_EQ(invalid, 1u);
+}
+
+TEST(AdversarialJsonlTest, StrictLineWrappingPreservesStatusCode) {
+  const auto nul = json::ParseLines("{\"ok\":1}\n\"\\u0000\"\n", Hardened());
+  ASSERT_FALSE(nul.ok());
+  EXPECT_EQ(nul.status().code(), StatusCode::kInvalidArgument);
+
+  const auto inf = json::ParseLines("1e999\n", Hardened());
+  ASSERT_FALSE(inf.ok());
+  EXPECT_EQ(inf.status().code(), StatusCode::kOutOfRange);
+
+  const auto bomb = json::ParseLines(Nest(64) + "\n", Hardened());
+  ASSERT_FALSE(bomb.ok());
+  EXPECT_EQ(bomb.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AdversarialJsonlTest, RecoverableModeStillStopsAtHostileTornTail) {
+  // A torn tail that is *also* hostile (unterminated + oversized) must
+  // recover the clean prefix exactly as a benign torn tail would.
+  json::ParseLimits limits;
+  limits.max_record_bytes = 64;
+  const std::string text =
+      "{\"a\":1}\n{\"b\":2}\n{\"torn\":\"" + std::string(500, 'y');
+  json::ParseLinesInfo info;
+  const auto parsed = json::ParseLinesRecoverable(text, limits, &info);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 2u);
+  ASSERT_TRUE(info.truncated());
+  EXPECT_EQ(info.truncated_offset, std::string("{\"a\":1}\n{\"b\":2}\n").size());
+}
+
+TEST(AdversarialJsonlTest, ReadFileLimitedRejectsOversizeBeforeBuffering) {
+  const fs::path dir =
+      fs::temp_directory_path() / "coachlm_adversarial_readfile";
+  fs::create_directories(dir);
+  const std::string path = (dir / "big.jsonl").string();
+  ASSERT_TRUE(json::WriteFile(path, std::string(4096, 'x')).ok());
+
+  const auto rejected = json::ReadFileLimited(path, 1024);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+
+  const auto accepted = json::ReadFileLimited(path, 1u << 20);
+  ASSERT_TRUE(accepted.ok());
+  EXPECT_EQ(accepted->size(), 4096u);
+  fs::remove_all(dir);
+}
+
+TEST(AdversarialParseTest, ParseLimitsSpecRoundTripsAndRejectsGarbage) {
+  const auto parsed = json::ParseLimits::FromSpec(
+      "max_depth=64,max_record_bytes=1048576,utf8=replace,nul=allow");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->max_depth, 64u);
+  EXPECT_EQ(parsed->max_record_bytes, 1048576u);
+  EXPECT_EQ(parsed->utf8_policy, json::Utf8Policy::kReplace);
+  EXPECT_TRUE(parsed->allow_embedded_nul);
+  const auto round = json::ParseLimits::FromSpec(parsed->ToString());
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->ToString(), parsed->ToString());
+
+  EXPECT_FALSE(json::ParseLimits::FromSpec("max_depth=abc").ok());
+  EXPECT_FALSE(json::ParseLimits::FromSpec("no_such_key=1").ok());
+  EXPECT_FALSE(json::ParseLimits::FromSpec("utf8=bogus").ok());
+  EXPECT_FALSE(json::ParseLimits::FromSpec("max_depth").ok());
+  ASSERT_TRUE(json::ParseLimits::FromSpec("unlimited").ok());
+}
+
+TEST(AdversarialPlatformTest, OversizedRawLogIsQuarantinedNotParsed) {
+  // An active runtime routes the oversized record to quarantine with the
+  // typed status; the batch otherwise proceeds.
+  json::ParseLimits tight = json::ParseLimits::Default();
+  tight.max_record_bytes = 256;
+  json::ParseLimits::SetProcessDefault(tight);
+
+  platform::PlatformConfig config;
+  platform::DataPlatform data_platform(config);
+  std::vector<platform::UserCase> cases;
+  platform::UserCase ok_case;
+  ok_case.case_id = 1;
+  ok_case.raw_log = "[session=1]\nInstruction: say hi\nInput: \nResponse: hi";
+  platform::UserCase bomb;
+  bomb.case_id = 2;
+  bomb.raw_log = "header\n" + std::string(1u << 20, 'x');
+  cases.push_back(ok_case);
+  cases.push_back(bomb);
+
+  // No injected faults; the runtime is active for quarantine accounting.
+  PipelineRuntime runtime{FaultInjector(FaultPlan()), RetryPolicy()};
+  size_t dropped = 0;
+  const InstructionDataset parsed =
+      data_platform.ParseWithRuleScripts(cases, &dropped, &runtime);
+
+  EXPECT_EQ(dropped, 1u);
+  ASSERT_EQ(runtime.quarantined_records(), 1u);
+  const auto records = runtime.quarantine().records();
+  EXPECT_EQ(records[0].item_id, 2u);
+  EXPECT_EQ(records[0].code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(parsed.size(), 1u);
+
+  json::ParseLimits::SetProcessDefault(json::ParseLimits());
+}
+
+}  // namespace
+}  // namespace coachlm

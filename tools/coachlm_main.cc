@@ -25,19 +25,23 @@
 // --quarantine saves permanently-failed records, and --checkpoint-dir +
 // --resume make a killed run continue to byte-identical output.
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
 
 #include "coach/pipeline.h"
 #include "coach/trainer.h"
+#include "common/cancel.h"
 #include "common/checkpoint.h"
+#include "common/clock.h"
 #include "common/execution.h"
 #include "common/fault.h"
 #include "common/flags.h"
 #include "common/retry.h"
 #include "common/runtime.h"
 #include "common/table_writer.h"
+#include "json/parse_limits.h"
 #include "data/revision_io.h"
 #include "expert/pipeline.h"
 #include "quality/accuracy_rater.h"
@@ -94,7 +98,21 @@ constexpr char kUsage[] =
     "  --resume                continue from the journal in --checkpoint-dir\n"
     "                          (omitting it restarts the stage fresh)\n"
     "  --crash-after-commits N testing: kill the process after the Nth\n"
-    "                          checkpoint commit\n";
+    "                          checkpoint commit\n"
+    "\n"
+    "resource governance (generate, revise, pipeline):\n"
+    "  --deadline-ms N         wall-clock budget: the run cancels\n"
+    "                          cooperatively at the deadline, quarantines\n"
+    "                          unprocessed records, and (with\n"
+    "                          --checkpoint-dir) leaves a valid journal for\n"
+    "                          --resume\n"
+    "  --stall-timeout-ms N    cancel the run when no record completes for\n"
+    "                          N ms (frozen-stage watchdog)\n"
+    "  --max-record-bytes N    reject any single record/line larger than N\n"
+    "                          bytes (default 4194304)\n"
+    "  --max-json-depth N      reject JSON nested deeper than N containers\n"
+    "                          (default 32)\n"
+    "full parse-limit spec: COACHLM_PARSE_LIMITS (see ParseLimits::FromSpec)\n";
 
 /// The command's execution context, sized by --threads (0 = default:
 /// COACHLM_THREADS, then hardware concurrency). Commands run once per
@@ -123,26 +141,79 @@ Result<std::unique_ptr<PipelineRuntime>> MakeRuntime(const Flags& flags) {
   COACHLM_ASSIGN_OR_RETURN(FaultPlan plan,
                            FaultPlan::Parse(flags.GetString("fault-plan")));
   RetryPolicy policy;
-  policy.max_attempts = static_cast<int>(
-      flags.GetInt("retry-max", policy.max_attempts));
+  COACHLM_ASSIGN_OR_RETURN(
+      const int64_t retry_max,
+      flags.GetIntStrict("retry-max", policy.max_attempts));
+  policy.max_attempts = static_cast<int>(retry_max);
   if (policy.max_attempts < 1) {
     return Status::InvalidArgument("--retry-max must be >= 1");
   }
   return std::make_unique<PipelineRuntime>(FaultInjector(plan), policy);
 }
 
+/// The wall-clock budget and stall watchdog of a governed command. Owns
+/// the CancelToken the runtime polls; keep it alive until the command
+/// returns.
+struct Governance {
+  std::unique_ptr<CancelToken> token;
+  std::unique_ptr<StallWatchdog> watchdog;
+
+  bool cancelled() const { return token != nullptr && token->cancelled(); }
+};
+
+/// Builds governance from --deadline-ms / --stall-timeout-ms and attaches
+/// it to \p runtime. With neither flag the runtime keeps its zero-overhead
+/// ungoverned path.
+Governance MakeGovernance(const Flags& flags, PipelineRuntime* runtime) {
+  Governance governance;
+  const int64_t deadline_ms = flags.GetInt("deadline-ms", 0);
+  const int64_t stall_ms = flags.GetInt("stall-timeout-ms", 0);
+  if (deadline_ms <= 0 && stall_ms <= 0) return governance;
+  Clock* clock = Clock::System();
+  governance.token =
+      deadline_ms > 0
+          ? std::make_unique<CancelToken>(
+                clock, clock->NowMicros() + deadline_ms * 1000)
+          : std::make_unique<CancelToken>();
+  runtime->set_cancel_token(governance.token.get());
+  if (stall_ms > 0) {
+    governance.watchdog = std::make_unique<StallWatchdog>(
+        clock, governance.token.get(), flags.command(), stall_ms * 1000);
+    runtime->set_watchdog(governance.watchdog.get());
+    // Poll a few times per stall budget so detection lag stays small
+    // relative to the budget itself.
+    governance.watchdog->Start(
+        std::max<int64_t>(stall_ms * 1000 / 4, 10000));
+  }
+  return governance;
+}
+
+/// Prints why a governed run stopped early. The command still exits 0:
+/// its outputs are written (unprocessed records pass through, quarantined)
+/// and a checkpointed run can continue with --resume.
+void ReportCancellation(const Governance& governance, bool checkpointed) {
+  if (!governance.cancelled()) return;
+  std::printf("run cancelled: %s%s\n",
+              governance.token->status().ToString().c_str(),
+              checkpointed ? " (checkpoint kept; re-run with --resume to "
+                             "finish)"
+                           : "");
+}
+
 /// The checkpointer for \p stage, enabled by --checkpoint-dir. Without
 /// --resume any prior journal is discarded first, so a re-run starts
 /// fresh; with it, the stage continues from the journaled cursor.
-StageCheckpointer MakeCheckpointer(const Flags& flags,
-                                   const std::string& stage,
-                                   const std::string& fingerprint) {
-  StageCheckpointer checkpoint(
+std::unique_ptr<StageCheckpointer> MakeCheckpointer(
+    const Flags& flags, const std::string& stage,
+    const std::string& fingerprint) {
+  // Heap-allocated: the checkpointer owns its async-commit thread and is
+  // therefore not movable.
+  auto checkpoint = std::make_unique<StageCheckpointer>(
       flags.GetString("checkpoint-dir"), stage, ConfigFingerprint(fingerprint),
       static_cast<size_t>(flags.GetInt("checkpoint-interval", 2048)));
-  if (checkpoint.enabled() && !flags.Has("resume")) checkpoint.Finish();
-  if (checkpoint.enabled() && flags.Has("crash-after-commits")) {
-    checkpoint.set_crash_after_commits(
+  if (checkpoint->enabled() && !flags.Has("resume")) checkpoint->Finish();
+  if (checkpoint->enabled() && flags.Has("crash-after-commits")) {
+    checkpoint->set_crash_after_commits(
         static_cast<int>(flags.GetInt("crash-after-commits", 0)));
   }
   return checkpoint;
@@ -176,17 +247,22 @@ Status RunGenerate(const Flags& flags) {
                            MakeRuntime(flags));
   PipelineRuntime* runtime =
       owned != nullptr ? owned.get() : PipelineRuntime::Default();
-  StageCheckpointer checkpoint = MakeCheckpointer(
+  const Governance governance = MakeGovernance(flags, runtime);
+  std::unique_ptr<StageCheckpointer> checkpoint = MakeCheckpointer(
       flags, "generate",
       "generate size=" + std::to_string(config.size) +
           " seed=" + std::to_string(config.seed) +
           " plan=" + runtime->injector().plan().ToString());
   const synth::SynthCorpus corpus =
-      generator.Generate(FlagExec(flags), runtime, &checkpoint);
-  if (checkpoint.enabled()) COACHLM_RETURN_NOT_OK(checkpoint.Finish());
+      generator.Generate(FlagExec(flags), runtime, checkpoint.get());
+  // A cancelled run keeps its journal so --resume can finish the work.
+  if (checkpoint->enabled() && !governance.cancelled()) {
+    COACHLM_RETURN_NOT_OK(checkpoint->Finish());
+  }
   const std::string out = flags.GetString("out", "corpus.json");
   COACHLM_RETURN_NOT_OK(corpus.dataset.SaveJson(out));
   std::printf("wrote %zu pairs to %s\n", corpus.dataset.size(), out.c_str());
+  ReportCancellation(governance, checkpoint->enabled());
   return ReportRuntime(*runtime, flags);
 }
 
@@ -250,7 +326,8 @@ Status RunRevise(const Flags& flags) {
                            MakeRuntime(flags));
   PipelineRuntime* runtime =
       owned != nullptr ? owned.get() : PipelineRuntime::Default();
-  StageCheckpointer checkpoint = MakeCheckpointer(
+  const Governance governance = MakeGovernance(flags, runtime);
+  std::unique_ptr<StageCheckpointer> checkpoint = MakeCheckpointer(
       flags, "revise",
       "revise in=" + flags.GetString("in", "corpus.json") +
           " alpha=" + std::to_string(config.alpha) +
@@ -258,14 +335,17 @@ Status RunRevise(const Flags& flags) {
           " plan=" + runtime->injector().plan().ToString());
   coach::RevisionPassStats stats;
   const InstructionDataset revised = model.ReviseDataset(
-      corpus, {}, &stats, FlagExec(flags), runtime, &checkpoint);
-  if (checkpoint.enabled()) COACHLM_RETURN_NOT_OK(checkpoint.Finish());
+      corpus, {}, &stats, FlagExec(flags), runtime, checkpoint.get());
+  if (checkpoint->enabled() && !governance.cancelled()) {
+    COACHLM_RETURN_NOT_OK(checkpoint->Finish());
+  }
   const std::string out = flags.GetString("out", "revised.json");
   COACHLM_RETURN_NOT_OK(revised.SaveJson(out));
   std::printf("revised %zu pairs (%zu changed, %zu invalid outputs "
               "replaced, %zu quarantined, %zu resumed); wrote %s\n",
               stats.total, stats.changed, stats.invalid_replaced,
               stats.quarantined, stats.resumed, out.c_str());
+  ReportCancellation(governance, checkpoint->enabled());
   return ReportRuntime(*runtime, flags);
 }
 
@@ -427,6 +507,7 @@ Status RunPipeline(const Flags& flags) {
                            MakeRuntime(flags));
   PipelineRuntime* runtime =
       owned != nullptr ? owned.get() : PipelineRuntime::Default();
+  const Governance governance = MakeGovernance(flags, runtime);
   const ExecutionContext& exec = FlagExec(flags);
 
   synth::SynthCorpusGenerator generator(corpus_config);
@@ -447,7 +528,7 @@ Status RunPipeline(const Flags& flags) {
   coach_config.backbone =
       BackboneByName(flags.GetString("backbone", "chatglm2"));
 
-  StageCheckpointer checkpoint = MakeCheckpointer(
+  std::unique_ptr<StageCheckpointer> checkpoint = MakeCheckpointer(
       flags, "pipeline-revise",
       "pipeline size=" + std::to_string(corpus_config.size) +
           " seed=" + std::to_string(corpus_config.seed) +
@@ -458,8 +539,10 @@ Status RunPipeline(const Flags& flags) {
           " plan=" + runtime->injector().plan().ToString());
   const coach::CoachPipelineResult result = coach::RunCoachPipeline(
       corpus.dataset, study.revisions, coach_config, exec, runtime,
-      &checkpoint);
-  if (checkpoint.enabled()) COACHLM_RETURN_NOT_OK(checkpoint.Finish());
+      checkpoint.get());
+  if (checkpoint->enabled() && !governance.cancelled()) {
+    COACHLM_RETURN_NOT_OK(checkpoint->Finish());
+  }
 
   const std::string out = flags.GetString("out", "revised.json");
   COACHLM_RETURN_NOT_OK(result.revised_dataset.SaveJson(out));
@@ -469,7 +552,73 @@ Status RunPipeline(const Flags& flags) {
               result.stats.total, result.stats.changed,
               result.stats.invalid_replaced, result.stats.quarantined,
               result.stats.recovered, result.stats.resumed, out.c_str());
+  ReportCancellation(governance, checkpoint->enabled());
   return ReportRuntime(*runtime, flags);
+}
+
+/// Validates every flag that must be numeric / well-formed before any
+/// command runs, so a typo is a usage error (exit 2), never a silently
+/// substituted default. Returns the first violation.
+Status ValidateFlags(const Flags& flags) {
+  // Strictly-integer flags, with their lower bounds. An explicit
+  // `--threads 0` is rejected even though the *absent* flag defaults to 0
+  // (auto): passing zero workers is always a mistake.
+  struct IntFlag {
+    const char* name;
+    int64_t min;
+    int64_t max;
+  };
+  constexpr int64_t kMax = INT64_MAX;
+  const IntFlag int_flags[] = {
+      {"size", 0, kMax},
+      {"seed", 0, kMax},
+      {"sample", 0, kMax},
+      {"study-seed", 0, kMax},
+      {"threads", 1, 1024},
+      {"retry-max", 1, kMax},
+      {"checkpoint-interval", 1, kMax},
+      {"crash-after-commits", 1, kMax},
+      {"deadline-ms", 1, kMax},
+      {"stall-timeout-ms", 1, kMax},
+      {"max-record-bytes", 1, kMax},
+      {"max-json-depth", 1, kMax},
+  };
+  for (const IntFlag& spec : int_flags) {
+    if (!flags.Has(spec.name)) continue;
+    COACHLM_ASSIGN_OR_RETURN(const int64_t value,
+                             flags.GetIntStrict(spec.name, 0));
+    if (value < spec.min || value > spec.max) {
+      return Status::InvalidArgument(
+          "--" + std::string(spec.name) + " must be " +
+          (spec.max == kMax
+               ? ">= " + std::to_string(spec.min)
+               : "between " + std::to_string(spec.min) + " and " +
+                     std::to_string(spec.max)) +
+          " (got " + std::to_string(value) + ")");
+    }
+  }
+  if (flags.Has("fault-plan")) {
+    // Surface unknown sites / malformed specs as usage errors up front,
+    // not mid-command.
+    COACHLM_RETURN_NOT_OK(
+        FaultPlan::Parse(flags.GetString("fault-plan")).status());
+  }
+  return Status::OK();
+}
+
+/// Applies --max-record-bytes / --max-json-depth on top of the
+/// environment-configured process-wide parse limits.
+void ApplyParseLimitFlags(const Flags& flags) {
+  if (!flags.Has("max-record-bytes") && !flags.Has("max-json-depth")) return;
+  json::ParseLimits limits = json::ParseLimits::Default();
+  if (flags.Has("max-record-bytes")) {
+    limits.max_record_bytes =
+        static_cast<size_t>(flags.GetInt("max-record-bytes", 0));
+  }
+  if (flags.Has("max-json-depth")) {
+    limits.max_depth = static_cast<size_t>(flags.GetInt("max-json-depth", 0));
+  }
+  json::ParseLimits::SetProcessDefault(limits);
 }
 
 int Main(int argc, char** argv) {
@@ -479,18 +628,19 @@ int Main(int argc, char** argv) {
        "backbone", "checkpoint", "verify", "threads", "original", "revised",
        "human", "testset", "detailed", "before", "after", "fault-plan",
        "retry-max", "quarantine", "checkpoint-dir", "resume",
-       "crash-after-commits", "checkpoint-interval", "study-seed"});
+       "crash-after-commits", "checkpoint-interval", "study-seed",
+       "deadline-ms", "stall-timeout-ms", "max-record-bytes",
+       "max-json-depth"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n%s", flags.status().ToString().c_str(), kUsage);
     return 2;
   }
-  const int64_t threads = flags->GetInt("threads", 0);
-  if (threads < 0 || threads > 1024) {
-    std::fprintf(stderr,
-                 "error: --threads must be between 0 and 1024 (got %lld)\n",
-                 static_cast<long long>(threads));
+  const Status valid = ValidateFlags(*flags);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "%s\n%s", valid.ToString().c_str(), kUsage);
     return 2;
   }
+  ApplyParseLimitFlags(*flags);
   const std::string& command = flags->command();
   Status status;
   if (command == "generate") status = RunGenerate(*flags);
