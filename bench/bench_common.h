@@ -7,15 +7,28 @@
 // expert sample).
 
 #include <cstdio>
+#include <functional>
 #include <memory>
 
 #include "coach/pipeline.h"
+#include "common/clock.h"
 #include "common/env.h"
 #include "expert/pipeline.h"
 #include "synth/generator.h"
 
 namespace coachlm {
 namespace bench {
+
+/// Wall-clock seconds spent in \p fn, read through the sanctioned Clock
+/// (common/clock.h is the one place allowed to touch steady_clock), so
+/// benches stay determinism-raw-clock clean: timings are wall time, but the
+/// *data* a bench emits never depends on them.
+inline double Seconds(const std::function<void()>& fn) {
+  Clock* clock = Clock::System();
+  const int64_t start_micros = clock->NowMicros();
+  fn();
+  return static_cast<double>(clock->NowMicros() - start_micros) / 1e6;
+}
 
 /// Everything the experiments share: the corpus, the expert study, and the
 /// coach pipeline output at the main-experiment settings (alpha = 0.3,

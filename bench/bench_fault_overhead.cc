@@ -5,7 +5,6 @@
 // corpus; min-of-N timing suppresses scheduler noise and the outputs are
 // hashed so the run doubles as a byte-identity check.
 
-#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -21,13 +20,6 @@
 using namespace coachlm;
 
 namespace {
-
-double Seconds(const std::function<void()>& fn) {
-  const auto start = std::chrono::steady_clock::now();
-  fn();
-  const auto end = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(end - start).count();
-}
 
 uint64_t HashDataset(const InstructionDataset& dataset) {
   uint64_t h = 1469598103934665603ULL;
@@ -61,11 +53,11 @@ int main() {
   // one untimed warm-up rep primes allocators and page cache.
   model.ReviseDataset(dataset, {}, nullptr, exec);
   for (int rep = 0; rep < kReps; ++rep) {
-    fast_path = std::min(fast_path, Seconds([&] {
+    fast_path = std::min(fast_path, bench::Seconds([&] {
       fast_hash = HashDataset(model.ReviseDataset(dataset, {}, nullptr, exec,
                                                   /*runtime=*/nullptr));
     }));
-    envelope = std::min(envelope, Seconds([&] {
+    envelope = std::min(envelope, bench::Seconds([&] {
       envelope_hash = HashDataset(
           model.ReviseDataset(dataset, {}, nullptr, exec, &enveloped));
     }));

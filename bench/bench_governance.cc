@@ -6,7 +6,6 @@
 // doubles as a byte-identity check — governance that never trips must not
 // change a single byte.
 
-#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -22,13 +21,6 @@
 using namespace coachlm;
 
 namespace {
-
-double Seconds(const std::function<void()>& fn) {
-  const auto start = std::chrono::steady_clock::now();
-  fn();
-  const auto end = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(end - start).count();
-}
 
 uint64_t HashDataset(const InstructionDataset& dataset) {
   uint64_t h = 1469598103934665603ULL;
@@ -72,11 +64,11 @@ int main() {
   // one untimed warm-up rep primes allocators and page cache.
   model.ReviseDataset(dataset, {}, nullptr, exec);
   for (int rep = 0; rep < kReps; ++rep) {
-    ungoverned = std::min(ungoverned, Seconds([&] {
+    ungoverned = std::min(ungoverned, bench::Seconds([&] {
       ungoverned_hash = HashDataset(model.ReviseDataset(
           dataset, {}, nullptr, exec, /*runtime=*/nullptr));
     }));
-    governed_time = std::min(governed_time, Seconds([&] {
+    governed_time = std::min(governed_time, bench::Seconds([&] {
       governed_hash = HashDataset(
           model.ReviseDataset(dataset, {}, nullptr, exec, &governed));
     }));

@@ -4,7 +4,6 @@
 // width. Outputs are hashed and compared across widths, so the run doubles
 // as an end-to-end determinism check at bench scale.
 
-#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,13 +21,6 @@
 namespace coachlm {
 namespace bench {
 namespace {
-
-double Seconds(const std::function<void()>& fn) {
-  const auto start = std::chrono::steady_clock::now();
-  fn();
-  const auto end = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(end - start).count();
-}
 
 std::vector<size_t> Widths() {
   std::vector<size_t> widths = {1, 2, 4};

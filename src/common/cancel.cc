@@ -9,18 +9,18 @@ void StallWatchdog::Start(int64_t poll_interval_micros) {
   if (thread_.joinable()) return;
   stopping_ = false;
   thread_ = std::thread([this, poll_interval_micros] {
-    std::unique_lock<std::mutex> lock(thread_mu_);
+    std::unique_lock<std::mutex> wait_lock(thread_mu_);
     while (!stopping_) {
       // Real-time wait (not clock_->SleepMicros): the watchdog must keep
       // polling even while governed work is blocked, and must wake
       // promptly on Stop().
-      thread_cv_.wait_for(lock,
+      thread_cv_.wait_for(wait_lock,
                           std::chrono::microseconds(poll_interval_micros),
                           [this] { return stopping_; });
       if (stopping_) break;
-      lock.unlock();
+      wait_lock.unlock();
       Poll();
-      lock.lock();
+      wait_lock.lock();
     }
   });
 }

@@ -68,7 +68,7 @@ class CancelToken {
 
   /// The cancellation cause: OK while live, then kCancelled /
   /// kDeadlineExceeded (or whatever Cancel() recorded) forever after.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (!cancelled()) return Status::OK();
     std::lock_guard<std::mutex> lock(mu_);
     return cause_;

@@ -164,7 +164,9 @@ Status StageCheckpointer::Commit(size_t completed_total,
 }
 
 StageCheckpointer::~StageCheckpointer() {
-  Drain();
+  // Best-effort final flush: a destructor cannot propagate failure, and a
+  // lost tail commit only costs re-doing those items on resume.
+  (void)Drain();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     committer_stop_ = true;

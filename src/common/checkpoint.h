@@ -20,7 +20,7 @@ namespace coachlm {
 /// \brief Writes \p content to \p path atomically: the bytes land in a
 /// sibling temp file first and rename into place, so readers never observe
 /// a half-written file even if the writer dies mid-write.
-Status AtomicWriteFile(const std::string& path, const std::string& content);
+[[nodiscard]] Status AtomicWriteFile(const std::string& path, const std::string& content);
 
 /// \brief Stable 64-bit FNV-1a fingerprint of a configuration description,
 /// hex-encoded. Checkpoints carry it so a resume against a different
@@ -61,7 +61,7 @@ class StageCheckpointer {
   /// Appends \p new_lines to the payload, then atomically publishes a
   /// manifest recording \p completed_total items. Crash-ordering contract:
   /// payload bytes are flushed before the manifest names them.
-  Status Commit(size_t completed_total,
+  [[nodiscard]] Status Commit(size_t completed_total,
                 const std::vector<std::string>& new_lines);
 
   /// Hands \p new_lines to the background committer thread (started
@@ -80,7 +80,7 @@ class StageCheckpointer {
   /// error (OK when all committed cleanly). Must be called before Finish()
   /// or destruction when CommitAsync was used; the destructor drains too,
   /// swallowing errors.
-  Status Drain();
+  [[nodiscard]] Status Drain();
 
   /// High watermark for CommitAsync admission (default 2): while this many
   /// chunks are pending, the producer blocks. 0 makes CommitAsync
@@ -88,7 +88,7 @@ class StageCheckpointer {
   void set_max_pending_commits(size_t n) { max_pending_commits_ = n; }
 
   /// Removes the checkpoint files after a successful run.
-  Status Finish();
+  [[nodiscard]] Status Finish();
 
   std::string manifest_path() const;
   std::string payload_path() const;
@@ -198,7 +198,9 @@ GovernedLoopResult RunGovernedCheckpointedLoop(
     }
   }
   if (done != lines.size()) {
-    checkpoint->Finish();
+    // A corrupt/mismatched journal means "start fresh"; if discarding it
+    // fails too, the next Commit rewrites the manifest anyway.
+    (void)checkpoint->Finish();
     done = 0;
   }
   result.restored = done;

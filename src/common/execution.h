@@ -90,7 +90,7 @@ class ExecutionContext {
   /// matter which thread hit its failure first), or OK. Once a failure is
   /// recorded, later-indexed items may be skipped. A tripped \p cancel
   /// token makes unstarted items fail with the token's status.
-  Status ParallelForStatus(size_t n, const std::function<Status(size_t)>& fn,
+  [[nodiscard]] Status ParallelForStatus(size_t n, const std::function<Status(size_t)>& fn,
                            size_t grain = 0,
                            const CancelToken* cancel = nullptr) const;
 

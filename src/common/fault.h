@@ -31,7 +31,7 @@ inline constexpr int kNumFaultSites = 6;
 const char* FaultSiteToString(FaultSite site);
 
 /// Parses a site name; InvalidArgument on unknown names.
-Result<FaultSite> FaultSiteFromString(const std::string& name);
+[[nodiscard]] Result<FaultSite> FaultSiteFromString(const std::string& name);
 
 /// Bit for \p site in FaultPlan::site_mask.
 inline constexpr uint32_t FaultSiteBit(FaultSite site) {
@@ -73,7 +73,7 @@ struct FaultPlan {
   ///   "rate=0.05,permanent=0.001,seed=7,sites=revise+io,latency_us=100,
   ///    continuation=0.4"                  -> full control
   /// `sites=all` restores the default mask.
-  static Result<FaultPlan> Parse(const std::string& spec);
+  [[nodiscard]] static Result<FaultPlan> Parse(const std::string& spec);
 
   /// Canonical spec string that re-parses to this plan.
   std::string ToString() const;
@@ -130,7 +130,7 @@ class FaultInjector {
   /// Returns the fault (if any) that \p attempt (1-based) of \p item_id's
   /// operation at \p site should observe. When a failure is injected and
   /// the plan carries latency, sleeps \p clock for it (nullptr = no sleep).
-  Status Inject(FaultSite site, uint64_t item_id, int attempt,
+  [[nodiscard]] Status Inject(FaultSite site, uint64_t item_id, int attempt,
                 Clock* clock = nullptr) const;
 
   const FaultInjectorStats& stats() const { return stats_; }

@@ -26,14 +26,14 @@ struct LinearFit {
   double Predict(double x) const { return slope * x + intercept; }
 
   /// Solves Predict(x) == y for x. Requires a non-zero slope.
-  Result<double> SolveForX(double y) const;
+  [[nodiscard]] Result<double> SolveForX(double y) const;
 };
 
 /// \brief Fits a least-squares line to the given points.
 ///
 /// Fails with InvalidArgument when fewer than two points are supplied or the
 /// x values are all identical (degenerate design matrix).
-Result<LinearFit> FitLine(const std::vector<double>& xs,
+[[nodiscard]] Result<LinearFit> FitLine(const std::vector<double>& xs,
                           const std::vector<double>& ys);
 
 }  // namespace coachlm

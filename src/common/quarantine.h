@@ -26,7 +26,7 @@ struct QuarantineRecord {
   int attempts = 0;
 
   json::Value ToJson() const;
-  static Result<QuarantineRecord> FromJson(const json::Value& value);
+  [[nodiscard]] static Result<QuarantineRecord> FromJson(const json::Value& value);
 
   bool operator==(const QuarantineRecord& other) const {
     return item_id == other.item_id && site == other.site &&
@@ -51,10 +51,10 @@ class QuarantineLog {
   std::vector<QuarantineRecord> records() const;
 
   /// Writes the sorted records as JSONL.
-  Status Save(const std::string& path) const;
+  [[nodiscard]] Status Save(const std::string& path) const;
 
   /// Loads a quarantine JSONL written by Save().
-  static Result<std::vector<QuarantineRecord>> Load(const std::string& path);
+  [[nodiscard]] static Result<std::vector<QuarantineRecord>> Load(const std::string& path);
 
  private:
   mutable std::mutex mu_;

@@ -19,8 +19,12 @@ namespace coachlm {
 ///   if (!r.ok()) return r.status();
 ///   InstructionDataset ds = std::move(r).ValueOrDie();
 /// \endcode
+///
+/// Like Status, the class is [[nodiscard]]: discarding a Result silently
+/// drops the error it may carry, so call sites must consume it or cast to
+/// `(void)` with a justification.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a Result holding a value.
   Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -34,7 +38,7 @@ class Result {
   bool ok() const { return std::holds_alternative<T>(state_); }
 
   /// Returns the held status (OK when a value is held).
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::OK();
     return std::get<Status>(state_);
   }

@@ -77,7 +77,7 @@ class PipelineRuntime {
   /// the disabled path must stay within the <1% overhead budget that
   /// bench_fault_overhead guards.
   template <typename Op>
-  Status Run(FaultSite site, uint64_t item_id, Op&& op,
+  [[nodiscard]] Status Run(FaultSite site, uint64_t item_id, Op&& op,
              int* attempts_out = nullptr) {
     if (!active_) {
       // A cancelled run stops admitting work even without fault injection;
@@ -132,7 +132,7 @@ class PipelineRuntime {
 
   /// Books the finished envelope: attempt counters, recovery accounting,
   /// and quarantine on permanent failure.
-  Status FinishRun(FaultSite site, uint64_t item_id, RetryOutcome outcome,
+  [[nodiscard]] Status FinishRun(FaultSite site, uint64_t item_id, RetryOutcome outcome,
                    int* attempts_out);
 
   FaultInjector injector_;

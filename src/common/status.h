@@ -39,7 +39,12 @@ const char* StatusCodeToString(StatusCode code);
 /// the API boundary; they return Status (or Result<T>, see result.h) and the
 /// caller decides how to react. A default-constructed Status is OK and
 /// carries no allocation.
-class Status {
+///
+/// The class is [[nodiscard]]: every function returning a Status by value
+/// is implicitly warn-on-discard, so an ignored error is a compile error
+/// under -Werror. Intentional drops must be spelled `(void)` with a comment
+/// saying why (coachlm_lint enforces the same contract textually).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -49,47 +54,47 @@ class Status {
       : code_(code), message_(std::move(message)) {}
 
   /// Returns an OK status.
-  static Status OK() { return Status(); }
+  [[nodiscard]] static Status OK() { return Status(); }
 
   /// \name Factory helpers, one per error code.
   /// @{
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status IoError(std::string msg) {
+  [[nodiscard]] static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
-  static Status ParseError(std::string msg) {
+  [[nodiscard]] static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status NotImplemented(std::string msg) {
+  [[nodiscard]] static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
-  static Status Unavailable(std::string msg) {
+  [[nodiscard]] static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
-  static Status DeadlineExceeded(std::string msg) {
+  [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
-  static Status ResourceExhausted(std::string msg) {
+  [[nodiscard]] static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
-  static Status Cancelled(std::string msg) {
+  [[nodiscard]] static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
   /// @}

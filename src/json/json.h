@@ -73,9 +73,9 @@ class Value {
 
   /// Looks up \p key in an object value; errors when not an object or the
   /// key is missing / has the wrong type.
-  Result<std::string> GetString(const std::string& key) const;
-  Result<double> GetNumber(const std::string& key) const;
-  Result<bool> GetBool(const std::string& key) const;
+  [[nodiscard]] Result<std::string> GetString(const std::string& key) const;
+  [[nodiscard]] Result<double> GetNumber(const std::string& key) const;
+  [[nodiscard]] Result<bool> GetBool(const std::string& key) const;
 
   /// Returns the member \p key or null when absent / not an object.
   const Value& At(const std::string& key) const;
@@ -104,10 +104,10 @@ class Value {
 /// risk. Rejects trailing garbage, unterminated strings, invalid escapes,
 /// and every ParseLimits violation — each with a typed Status carrying the
 /// byte offset.
-Result<Value> Parse(const std::string& text, const ParseLimits& limits);
+[[nodiscard]] Result<Value> Parse(const std::string& text, const ParseLimits& limits);
 
 /// \brief Parses under the process-wide ParseLimits::Default().
-Result<Value> Parse(const std::string& text);
+[[nodiscard]] Result<Value> Parse(const std::string& text);
 
 /// \brief Escapes a string into a JSON string literal (with quotes).
 std::string EscapeString(const std::string& s);

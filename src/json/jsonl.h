@@ -11,17 +11,17 @@ namespace coachlm {
 namespace json {
 
 /// \brief Reads a whole file into a string.
-Result<std::string> ReadFile(const std::string& path);
+[[nodiscard]] Result<std::string> ReadFile(const std::string& path);
 
 /// \brief Reads a whole file into a string, rejecting files larger than
 /// \p max_bytes with kResourceExhausted *before* buffering any content —
 /// the size is checked from the open stream, so a multi-GB artifact never
 /// reaches memory.
-Result<std::string> ReadFileLimited(const std::string& path,
+[[nodiscard]] Result<std::string> ReadFileLimited(const std::string& path,
                                     size_t max_bytes);
 
 /// \brief Writes \p content to \p path, replacing any existing file.
-Status WriteFile(const std::string& path, const std::string& content);
+[[nodiscard]] Status WriteFile(const std::string& path, const std::string& content);
 
 /// \brief Parses a JSON-Lines document (one JSON value per non-empty line).
 ///
@@ -39,13 +39,13 @@ Status WriteFile(const std::string& path, const std::string& content);
 /// parsed at all. In strict mode the wrapping "line N:" status preserves
 /// the underlying code (kResourceExhausted / kOutOfRange /
 /// kInvalidArgument / kParseError) so quarantine records stay typed.
-Result<std::vector<Value>> ParseLines(const std::string& text,
+[[nodiscard]] Result<std::vector<Value>> ParseLines(const std::string& text,
                                       const ParseLimits& limits,
                                       bool skip_invalid = false,
                                       size_t* num_invalid = nullptr);
 
 /// \brief ParseLines under the process-wide ParseLimits::Default().
-Result<std::vector<Value>> ParseLines(const std::string& text,
+[[nodiscard]] Result<std::vector<Value>> ParseLines(const std::string& text,
                                       bool skip_invalid = false,
                                       size_t* num_invalid = nullptr);
 
@@ -67,28 +67,28 @@ struct ParseLinesInfo {
 /// writer can truncate the file there and continue. Malformed lines that
 /// *are* newline-terminated still fail the parse: those are corruption,
 /// not a crash artifact.
-Result<std::vector<Value>> ParseLinesRecoverable(const std::string& text,
+[[nodiscard]] Result<std::vector<Value>> ParseLinesRecoverable(const std::string& text,
                                                  ParseLinesInfo* info);
 
 /// \brief ParseLinesRecoverable under explicit \p limits.
-Result<std::vector<Value>> ParseLinesRecoverable(const std::string& text,
+[[nodiscard]] Result<std::vector<Value>> ParseLinesRecoverable(const std::string& text,
                                                  const ParseLimits& limits,
                                                  ParseLinesInfo* info);
 
 /// \brief Loads and parses a JSONL file under the process-wide limits:
 /// the file itself is size-capped by max_input_bytes (via
 /// ReadFileLimited) and each line by max_record_bytes.
-Result<std::vector<Value>> LoadJsonl(const std::string& path,
+[[nodiscard]] Result<std::vector<Value>> LoadJsonl(const std::string& path,
                                      bool skip_invalid = false,
                                      size_t* num_invalid = nullptr);
 
 /// \brief Loads a JSONL file tolerating a torn final line (see
 /// ParseLinesRecoverable).
-Result<std::vector<Value>> LoadJsonlRecoverable(const std::string& path,
+[[nodiscard]] Result<std::vector<Value>> LoadJsonlRecoverable(const std::string& path,
                                                 ParseLinesInfo* info);
 
 /// \brief Serializes values one-per-line and writes them to \p path.
-Status SaveJsonl(const std::string& path, const std::vector<Value>& values);
+[[nodiscard]] Status SaveJsonl(const std::string& path, const std::vector<Value>& values);
 
 }  // namespace json
 }  // namespace coachlm

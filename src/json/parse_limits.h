@@ -85,7 +85,7 @@ struct ParseLimits {
   /// max_total_values, max_record_bytes (sizes take plain byte counts);
   /// utf8=strict|replace|lenient; nul|dup_keys|nonfinite=allow|reject.
   /// "unlimited" as the whole spec yields Unlimited().
-  static Result<ParseLimits> FromSpec(const std::string& spec);
+  [[nodiscard]] static Result<ParseLimits> FromSpec(const std::string& spec);
 
   /// Canonical spec string that FromSpec round-trips.
   std::string ToString() const;

@@ -57,9 +57,8 @@ MemoryDoc BuildDoc(const std::string& subject,
       key_source += " " + sentence;
     }
   }
-  for (const std::string& word : similarity::ContentWords(key_source)) {
-    doc.key_words.push_back(word);
-  }
+  const auto words = similarity::ContentWords(key_source);
+  doc.key_words.assign(words.begin(), words.end());
   std::sort(doc.key_words.begin(), doc.key_words.end());
   return doc;
 }

@@ -1,6 +1,6 @@
 #include "platform/platform.h"
 
-#include <chrono>
+#include <cstdint>
 #include <optional>
 
 #include "expert/reviser.h"
@@ -97,7 +97,10 @@ InstructionDataset DataPlatform::ParseWithRuleScripts(
           cases.size(), [&](size_t i) -> std::optional<InstructionPair> {
             const UserCase& user_case = cases[i];
             std::optional<InstructionPair> out;
-            runtime->Run(FaultSite::kParse, user_case.case_id, [&] {
+            // Per-item failures are absorbed, not propagated: the runtime
+            // quarantines exhausted records and `out` stays empty, which
+            // the caller counts as a drop.
+            (void)runtime->Run(FaultSite::kParse, user_case.case_id, [&] {
               // Record-size gate first: an oversized raw log is rejected on
               // its length alone (kResourceExhausted, non-transient, so an
               // active runtime quarantines it without burning retries) —
@@ -159,13 +162,13 @@ BatchReport DataPlatform::RunCleaningBatch(
 
   InstructionDataset incoming = raw;
   if (coach != nullptr) {
-    const auto start = std::chrono::steady_clock::now();
+    Clock* clock = config_.clock != nullptr ? config_.clock : Clock::System();
+    const int64_t start_micros = clock->NowMicros();
     coach::RevisionPassStats stats;
     incoming = coach->ReviseDataset(raw, {}, &stats, exec_, runtime,
                                     checkpoint);
-    const auto end = std::chrono::steady_clock::now();
     report.coach_seconds =
-        std::chrono::duration<double>(end - start).count();
+        static_cast<double>(clock->NowMicros() - start_micros) / 1e6;
     if (report.coach_seconds > 0) {
       report.coach_samples_per_sec =
           static_cast<double>(raw.size()) / report.coach_seconds;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "coach/coach_lm.h"
+#include "common/clock.h"
 #include "common/execution.h"
 #include "data/dataset.h"
 #include "synth/generator.h"
@@ -40,6 +41,11 @@ struct PlatformConfig {
   /// Every stage derives per-case RNG streams, so the batch is
   /// byte-identical at any thread count.
   size_t inference_threads = 0;
+  /// Time source for the throughput numbers in BatchReport (non-owning;
+  /// nullptr = Clock::System()). Tests inject a FakeClock so
+  /// coach_seconds/coach_samples_per_sec are asserted exactly instead of
+  /// smoke-checked against the wall clock.
+  Clock* clock = nullptr;
 };
 
 /// \brief Throughput report for one cleaned batch.

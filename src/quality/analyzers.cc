@@ -29,6 +29,7 @@ size_t CountMisspellings(const std::string& text) {
            std::isalpha(static_cast<unsigned char>(lower[i])) != 0;
   };
   size_t count = 0;
+  // COACHLM_LINT_ALLOW(determinism-unordered-serialization): order-insensitive count; the '+=' only advances this iteration's scan cursor.
   for (const auto& [bad, good] : lexicons::SpellingRepairs()) {
     (void)good;
     size_t pos = 0;

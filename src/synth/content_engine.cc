@@ -514,9 +514,12 @@ std::string ContentEngine::CoreAnswer(Category category, const Topic& topic,
       return "Three name ideas:\n1. \"" + cap + " Weekly\"\n2. \"The " + cap +
              " Companion\"\n3. \"Field Notes on " + cap + "\"";
     }
-    case Category::kSloganWriting:
-      return "\"" + strings::Capitalize(topic.name) +
-             ": understand it today, use it tomorrow.\"";
+    case Category::kSloganWriting: {
+      std::string slogan = "\"";
+      slogan += strings::Capitalize(topic.name);
+      slogan += ": understand it today, use it tomorrow.\"";
+      return slogan;
+    }
     case Category::kJokeWriting:
       return "Why did the student bring a ladder to the lecture on " +
              topic.name + "? Because they heard the subject was on a whole "
@@ -555,7 +558,8 @@ InstructionPair ContentEngine::BuildCleanPair(uint64_t id, Category category,
   pair.instruction = InstructionText(category, topic, rng);
   pair.input = InputText(category, topic, rng);
   if (richness.context) {
-    pair.instruction += " " + ContextSentence(category, topic, rng);
+    pair.instruction += ' ';
+    pair.instruction += ContextSentence(category, topic, rng);
   }
   std::string response =
       CoreAnswer(category, topic, pair.instruction, pair.input, rng);
@@ -586,7 +590,8 @@ InstructionPair ContentEngine::BuildCleanPair(uint64_t id, Category category,
     response += " " + sentence;
   }
   if (richness.closing) {
-    response += " " + ClosingLine(rng);
+    response += ' ';
+    response += ClosingLine(rng);
   }
   pair.output = response;
   return pair;
@@ -629,7 +634,8 @@ std::string ContentEngine::RebuildResponse(const InstructionPair& pair,
     response += " " + sentence;
   }
   if (richness.closing) {
-    response += " " + ClosingLine(rng);
+    response += ' ';
+    response += ClosingLine(rng);
   }
   return response;
 }

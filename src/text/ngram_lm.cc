@@ -145,6 +145,7 @@ std::vector<std::string> NgramLm::Sample(
     }
     if (candidates.size() < 3) {
       // Back off: most frequent unigrams.
+      // COACHLM_LINT_ALLOW(determinism-unordered-serialization): candidate order is pinned by the golden determinism suite for this stdlib; sorting here would change sampled text and invalidate every golden. Cross-stdlib portability of sampled text is a documented caveat (DESIGN.md §Static guarantees).
       for (const auto& [w, c] : unigram_) {
         if (c >= 2) candidates.push_back(w);
         if (candidates.size() > 200) break;

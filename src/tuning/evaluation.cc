@@ -28,7 +28,9 @@ std::vector<std::optional<judge::Verdict>> JudgeTestSet(
   return exec.ParallelMap(
       test_set.items.size(), [&](size_t i) -> std::optional<judge::Verdict> {
         std::optional<judge::Verdict> verdict;
-        runtime->Run(FaultSite::kJudge, test_set.items[i].id, [&] {
+        // Per-item failures are absorbed: the runtime quarantines the
+        // record and a nullopt verdict marks the item unjudged.
+        (void)runtime->Run(FaultSite::kJudge, test_set.items[i].id, [&] {
           verdict = JudgeItem(model, judge, test_set.items[i], seed);
           return Status::OK();
         });

@@ -23,7 +23,9 @@ AlignmentProfile InstructionTuner::MeasureAlignment(
   const std::vector<std::optional<double>> ratings = exec.ParallelMap(
       dataset.size(), [&](size_t i) -> std::optional<double> {
         std::optional<double> rating;
-        runtime->Run(FaultSite::kTune, dataset[i].id, [&] {
+        // Per-item failures are absorbed: the runtime quarantines the
+        // record and a nullopt rating excludes it from the mean.
+        (void)runtime->Run(FaultSite::kTune, dataset[i].id, [&] {
           rating = rater.Rate(dataset[i]) / 5.0;
           return Status::OK();
         });

@@ -37,8 +37,8 @@ class DeterminismTest : public ::testing::TestWithParam<size_t> {
 
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, DeterminismTest,
                          ::testing::Values(1, 2, 8),
-                         [](const ::testing::TestParamInfo<size_t>& info) {
-                           return "threads" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<size_t>& param) {
+                           return "threads" + std::to_string(param.param);
                          });
 
 TEST_P(DeterminismTest, ReviseDatasetMatchesPreRefactorGolden) {

@@ -13,6 +13,7 @@ TEST(LexiconsTest, StopwordsContainCoreFunctionWords) {
 }
 
 TEST(LexiconsTest, SpellingRepairsInvertCorruptions) {
+  // COACHLM_LINT_ALLOW(determinism-unordered-serialization): each iteration asserts independently; '<<' streams into that iteration's failure message only.
   for (const auto& [good, bad] : SpellingCorruptions()) {
     auto it = SpellingRepairs().find(bad);
     ASSERT_NE(it, SpellingRepairs().end()) << bad;

@@ -2,13 +2,35 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
+
 #include "coach/pipeline.h"
+#include "common/clock.h"
 #include "expert/pipeline.h"
 #include "synth/generator.h"
 
 namespace coachlm {
 namespace platform {
 namespace {
+
+/// Advances a fixed delta on every read, so the start/stop NowMicros()
+/// pair around the coach pass yields an exact, assertable coach_seconds.
+class SteppingClock : public Clock {
+ public:
+  explicit SteppingClock(int64_t step_micros) : step_(step_micros) {}
+
+  int64_t NowMicros() const override {
+    return step_ * (1 + reads_.fetch_add(1, std::memory_order_relaxed));
+  }
+  void SleepMicros(int64_t /*micros*/) override {}
+
+  int64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+
+ private:
+  const int64_t step_;
+  mutable std::atomic<int64_t> reads_{0};
+};
 
 PlatformConfig SmallConfig() {
   PlatformConfig config;
@@ -80,6 +102,30 @@ TEST_F(PlatformTest, CoachPrecursorCutsAnnotationEffort) {
   // Section IV-A: the net gain after the proficiency deduction is
   // meaningfully positive.
   EXPECT_GT(platform.NetImprovement(baseline, with_coach), 0.05);
+}
+
+TEST_F(PlatformTest, InjectedClockTimesTheCoachPassExactly) {
+  PlatformConfig config = SmallConfig();
+  SteppingClock clock(/*step_micros=*/250000);
+  config.clock = &clock;
+  DataPlatform platform(config);
+  const BatchReport report = platform.RunCleaningBatch(coach_);
+  // Exactly one start/stop read pair, 0.25 virtual seconds apart.
+  EXPECT_EQ(clock.reads(), 2);
+  EXPECT_DOUBLE_EQ(report.coach_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(report.coach_samples_per_sec,
+                   static_cast<double>(report.pairs) / 0.25);
+}
+
+TEST_F(PlatformTest, BaselineBatchNeverReadsTheClock) {
+  PlatformConfig config = SmallConfig();
+  SteppingClock clock(/*step_micros=*/250000);
+  config.clock = &clock;
+  DataPlatform platform(config);
+  const BatchReport report = platform.RunCleaningBatch(nullptr);
+  // No coach pass, no timing: the injected clock stays untouched.
+  EXPECT_EQ(clock.reads(), 0);
+  EXPECT_DOUBLE_EQ(report.coach_seconds, 0.0);
 }
 
 TEST_F(PlatformTest, NetImprovementHandlesDegenerateBaseline) {

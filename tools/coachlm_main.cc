@@ -211,7 +211,11 @@ std::unique_ptr<StageCheckpointer> MakeCheckpointer(
   auto checkpoint = std::make_unique<StageCheckpointer>(
       flags.GetString("checkpoint-dir"), stage, ConfigFingerprint(fingerprint),
       static_cast<size_t>(flags.GetInt("checkpoint-interval", 2048)));
-  if (checkpoint->enabled() && !flags.Has("resume")) checkpoint->Finish();
+  if (checkpoint->enabled() && !flags.Has("resume")) {
+    // Discarding a stale journal is best-effort: if it survives, the
+    // fingerprint check rejects it at the next Resume anyway.
+    (void)checkpoint->Finish();
+  }
   if (checkpoint->enabled() && flags.Has("crash-after-commits")) {
     checkpoint->set_crash_after_commits(
         static_cast<int>(flags.GetInt("crash-after-commits", 0)));

@@ -1,0 +1,64 @@
+// coachlm_lint: the repo-native invariant checker.
+//
+// Usage: coachlm_lint <path>...
+//
+// Walks the given files/directories, harvests Status/Result and unordered-
+// container declarations, and enforces the determinism and error-discipline
+// rules documented in DESIGN.md ("Static guarantees"). Prints findings as
+// `file:line: [rule] message` and exits 1 when any unsuppressed finding
+// remains, 2 on usage or I/O errors, 0 on a clean tree — so CI can gate
+// merges on it exactly like a compiler warning.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <path>...\n"
+               "  Lints .cc/.h/.cpp/.hpp files under the given paths.\n"
+               "  Rules: %s %s\n         %s %s\n         %s %s\n"
+               "  Suppress one finding with\n"
+               "    // COACHLM_LINT_ALLOW(rule): <justification>\n"
+               "  on the offending line or the line above.\n",
+               argv0, coachlm::lint::kRuleBannedSymbol,
+               coachlm::lint::kRuleRawClock,
+               coachlm::lint::kRuleUnorderedSerialization,
+               coachlm::lint::kRuleDiscardedStatus,
+               coachlm::lint::kRuleUnsafeFn,
+               coachlm::lint::kRuleIncludeHygiene);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return Usage(argv[0]);
+    if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "coachlm_lint: unknown flag '%s'\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+    roots.push_back(arg);
+  }
+  if (roots.empty()) return Usage(argv[0]);
+
+  const auto report = coachlm::lint::LintTree(roots);
+  if (!report.ok()) {
+    std::fprintf(stderr, "coachlm_lint: %s\n",
+                 report.status().ToString().c_str());
+    return 2;
+  }
+  for (const coachlm::lint::Finding& finding : report->findings) {
+    std::printf("%s\n", coachlm::lint::FormatFinding(finding).c_str());
+  }
+  std::fprintf(stderr, "coachlm_lint: %zu finding(s) in %zu file(s)\n",
+               report->findings.size(), report->files_scanned);
+  return report->findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over every first-party translation unit with a
+# content-hash cache: a file whose (source + .clang-tidy) digest already
+# has a stamp in the cache directory is skipped, so an unchanged tree
+# re-lints in seconds. CI persists the cache directory across runs and
+# busts it via its own key when any source or the config changes.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir]
+#   build-dir (default: build) must contain compile_commands.json
+#   (configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON).
+#   TIDY_CACHE_DIR overrides the cache location (default: .tidy-cache).
+set -euo pipefail
+
+build_dir=${1:-build}
+cache_dir=${TIDY_CACHE_DIR:-.tidy-cache}
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "error: ${build_dir}/compile_commands.json not found" >&2
+  echo "       configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+mkdir -p "${cache_dir}"
+
+config_hash=$(sha256sum .clang-tidy | cut -d' ' -f1)
+failures=0
+checked=0
+skipped=0
+while IFS= read -r file; do
+  digest=$( { echo "${config_hash}"; sha256sum "${file}"; } \
+            | sha256sum | cut -d' ' -f1)
+  stamp="${cache_dir}/${digest}"
+  if [[ -f "${stamp}" ]]; then
+    skipped=$((skipped + 1))
+    continue
+  fi
+  checked=$((checked + 1))
+  if clang-tidy -p "${build_dir}" --quiet "${file}"; then
+    touch "${stamp}"
+  else
+    failures=$((failures + 1))
+  fi
+done < <(git ls-files 'src/**/*.cc' 'tools/**/*.cc' 'bench/**/*.cc')
+
+echo "run_clang_tidy: ${checked} checked, ${skipped} cached, \
+${failures} failed" >&2
+exit $((failures > 0 ? 1 : 0))
