@@ -13,6 +13,7 @@
 #include "coach/pipeline.h"
 #include "common/clock.h"
 #include "common/env.h"
+#include "common/report.h"
 #include "expert/pipeline.h"
 #include "synth/generator.h"
 
@@ -75,6 +76,18 @@ inline void PrintHeader(const char* artifact, const char* description) {
   std::printf("(synthetic reproduction; COACHLM_SCALE=%.3f)\n",
               ExperimentScale());
   std::printf("=============================================================\n");
+  // Every bench emits at least one measurement through the shared report
+  // schema: when COACHLM_BENCH_REPORT names a file, one compact
+  // kind="bench" line per process is appended at exit (the BENCH_*.json
+  // trajectory CI accumulates). Benches add their headline numbers with
+  // Record().
+  BenchReport::SetArtifact(artifact);
+  BenchReport::Record("scale", ExperimentScale(), "ratio");
+}
+
+/// Buffers one headline measurement for this bench's report line.
+inline void Record(const char* name, double value, const char* unit) {
+  BenchReport::Record(name, value, unit);
 }
 
 }  // namespace bench

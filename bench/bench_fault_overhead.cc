@@ -76,6 +76,9 @@ int main() {
   std::printf("%s", table.ToAscii().c_str());
   std::printf("envelope overhead: %+.3f%% (budget < 1%%, min of %d reps)\n",
               overhead_pct, kReps);
+  bench::Record("fast_path_seconds", fast_path, "s");
+  bench::Record("envelope_seconds", envelope, "s");
+  bench::Record("envelope_overhead", overhead_pct, "%");
 
   if (fast_hash != envelope_hash) {
     std::printf("FAIL: envelope output diverged from fast path "

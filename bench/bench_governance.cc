@@ -87,6 +87,9 @@ int main() {
   std::printf("%s", table.ToAscii().c_str());
   std::printf("governance overhead: %+.3f%% (budget < 1%%, min of %d reps)\n",
               overhead_pct, kReps);
+  bench::Record("ungoverned_seconds", ungoverned, "s");
+  bench::Record("governed_seconds", governed_time, "s");
+  bench::Record("governance_overhead", overhead_pct, "%");
 
   if (token.cancelled()) {
     std::printf("FAIL: the idle-pressure token tripped: %s\n",

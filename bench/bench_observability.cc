@@ -1,0 +1,102 @@
+// Overhead guard for the observability layer on the revise hot loop.
+//
+// Two budgets, both < 1% against the same baseline:
+//   - disarmed: instrumentation compiled in but Observability disabled (the
+//     default for every run without --metrics-out) — each site is one
+//     relaxed load and a branch, so this path must be free;
+//   - armed: metrics + tracing collecting (real clock), the cost an
+//     operator pays for a run report.
+// Since the disarmed path is a strict subset of the armed one, holding the
+// armed budget bounds both; measuring them separately catches a regression
+// that sneaks per-item work behind the Enabled() check. The revised
+// datasets are hashed so the run doubles as a byte-identity check:
+// instrumentation must observe the pipeline, never steer it.
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "bench_common.h"
+#include "common/execution.h"
+#include "common/trace.h"
+#include "common/table_writer.h"
+#include "lm/pair_text.h"
+
+using namespace coachlm;
+
+namespace {
+
+uint64_t HashDataset(const InstructionDataset& dataset) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const InstructionPair& pair : dataset) {
+    const std::string text = lm::SerializePair(pair);
+    for (unsigned char c : text) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Guard", "observability overhead on revise stage");
+  const bench::World world = bench::BuildWorld(true);
+  const coach::CoachLm& model = *world.coach.model;
+  const InstructionDataset& dataset = world.corpus.dataset;
+  const ExecutionContext exec;
+
+  constexpr int kReps = 7;
+  double disarmed = 1e300, armed = 1e300;
+  uint64_t disarmed_hash = 0, armed_hash = 0;
+  // Interleave the reps so slow drift (thermal, cache) hits both equally;
+  // one untimed warm-up rep primes allocators and page cache. Each armed
+  // rep resets the collected state so the trace does not grow across reps.
+  model.ReviseDataset(dataset, {}, nullptr, exec);
+  for (int rep = 0; rep < kReps; ++rep) {
+    Observability::Default().Disable();
+    disarmed = std::min(disarmed, bench::Seconds([&] {
+      disarmed_hash = HashDataset(model.ReviseDataset(dataset, {}, nullptr,
+                                                      exec));
+    }));
+    Observability::Default().Enable(/*deterministic=*/false);
+    armed = std::min(armed, bench::Seconds([&] {
+      armed_hash = HashDataset(model.ReviseDataset(dataset, {}, nullptr,
+                                                   exec));
+    }));
+  }
+  Observability::Default().Disable();
+
+  const double overhead_pct = (armed / disarmed - 1.0) * 100.0;
+  TableWriter table({"Path", "min seconds", "pairs/s"});
+  const auto rate = [&](double s) {
+    return std::to_string(
+        static_cast<long long>(static_cast<double>(dataset.size()) / s));
+  };
+  table.AddRow({"observability disarmed", std::to_string(disarmed),
+                rate(disarmed)});
+  table.AddRow({"observability armed (metrics + trace)",
+                std::to_string(armed), rate(armed)});
+  std::printf("%s", table.ToAscii().c_str());
+  std::printf("armed overhead: %+.3f%% (budget < 1%%, min of %d reps)\n",
+              overhead_pct, kReps);
+  bench::Record("disarmed_seconds", disarmed, "s");
+  bench::Record("armed_seconds", armed, "s");
+  bench::Record("armed_overhead", overhead_pct, "%");
+
+  if (disarmed_hash != armed_hash) {
+    std::printf("FAIL: armed output diverged from disarmed "
+                "(%016llx vs %016llx)\n",
+                static_cast<unsigned long long>(armed_hash),
+                static_cast<unsigned long long>(disarmed_hash));
+    return 1;
+  }
+  if (overhead_pct >= 1.0) {
+    std::printf("FAIL: observability exceeds the 1%% budget\n");
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "json/jsonl.h"
 #include "lm/pair_text.h"
 #include "lm/rule_extractor.h"
@@ -351,6 +353,27 @@ struct RevisedItemRecord {
   }
 };
 
+/// Emits the revision pass's folded totals plus the response-length
+/// distribution. Runs after the serial fold on the driver thread, so one
+/// bulk update per counter — nothing touches the parallel hot loop.
+void EmitReviseMetrics(const RevisionPassStats& totals,
+                       const std::vector<InstructionPair>& revised) {
+  if (!Observability::Enabled()) return;
+  CountMetric("revise.items_in", totals.total);
+  CountMetric("revise.items_changed", totals.changed);
+  CountMetric("revise.items_invalid_replaced", totals.invalid_replaced);
+  CountMetric("revise.items_leakage_skipped", totals.leakage_skipped);
+  CountMetric("revise.items_quarantined", totals.quarantined);
+  CountMetric("revise.items_recovered", totals.recovered);
+  CountMetric("revise.items_resumed", totals.resumed);
+  if (MetricHistogram* chars =
+          MetricsRegistry::Default().FindHistogram("revise.response_chars")) {
+    for (const InstructionPair& pair : revised) {
+      chars->Observe(static_cast<int64_t>(pair.output.size()));
+    }
+  }
+}
+
 }  // namespace
 
 InstructionDataset CoachLm::ReviseDataset(
@@ -358,6 +381,7 @@ InstructionDataset CoachLm::ReviseDataset(
     const std::unordered_set<std::string>& training_instructions,
     RevisionPassStats* stats, const ExecutionContext& exec,
     PipelineRuntime* runtime, StageCheckpointer* checkpoint) const {
+  const StageSpan span("revise");
   if (runtime == nullptr) runtime = PipelineRuntime::Default();
   const bool checkpointed = checkpoint != nullptr && checkpoint->enabled();
 
@@ -384,13 +408,19 @@ InstructionDataset CoachLm::ReviseDataset(
     });
     // Serial fold in dataset order (the counters are commutative, but a
     // fixed order keeps the path schedule-independent by construction).
+    RevisionPassStats totals;
+    for (const RevisionPassStats& s : shard_stats) {
+      totals.total += s.total;
+      totals.invalid_replaced += s.invalid_replaced;
+      totals.leakage_skipped += s.leakage_skipped;
+      totals.changed += s.changed;
+    }
+    EmitReviseMetrics(totals, revised);
     if (stats != nullptr) {
-      for (const RevisionPassStats& s : shard_stats) {
-        stats->total += s.total;
-        stats->invalid_replaced += s.invalid_replaced;
-        stats->leakage_skipped += s.leakage_skipped;
-        stats->changed += s.changed;
-      }
+      stats->total += totals.total;
+      stats->invalid_replaced += totals.invalid_replaced;
+      stats->leakage_skipped += totals.leakage_skipped;
+      stats->changed += totals.changed;
     }
     return InstructionDataset(std::move(revised));
   }
@@ -504,17 +534,26 @@ InstructionDataset CoachLm::ReviseDataset(
 
   std::vector<InstructionPair> revised;
   revised.reserve(records.size());
-  if (stats != nullptr) stats->resumed += resumed;
+  RevisionPassStats totals;
+  totals.resumed = resumed;
   for (RevisedItemRecord& record : records) {
-    if (stats != nullptr) {
-      ++stats->total;
-      stats->invalid_replaced += record.invalid_replaced ? 1 : 0;
-      stats->leakage_skipped += record.leakage_skipped ? 1 : 0;
-      stats->changed += record.changed ? 1 : 0;
-      stats->quarantined += record.quarantined ? 1 : 0;
-      stats->recovered += record.recovered ? 1 : 0;
-    }
+    ++totals.total;
+    totals.invalid_replaced += record.invalid_replaced ? 1 : 0;
+    totals.leakage_skipped += record.leakage_skipped ? 1 : 0;
+    totals.changed += record.changed ? 1 : 0;
+    totals.quarantined += record.quarantined ? 1 : 0;
+    totals.recovered += record.recovered ? 1 : 0;
     revised.push_back(std::move(record.pair));
+  }
+  EmitReviseMetrics(totals, revised);
+  if (stats != nullptr) {
+    stats->total += totals.total;
+    stats->invalid_replaced += totals.invalid_replaced;
+    stats->leakage_skipped += totals.leakage_skipped;
+    stats->changed += totals.changed;
+    stats->quarantined += totals.quarantined;
+    stats->recovered += totals.recovered;
+    stats->resumed += totals.resumed;
   }
   return InstructionDataset(std::move(revised));
 }

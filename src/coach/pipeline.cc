@@ -1,5 +1,7 @@
 #include "coach/pipeline.h"
 
+#include "common/trace.h"
+
 namespace coachlm {
 namespace coach {
 
@@ -19,21 +21,25 @@ CoachPipelineResult RunCoachPipeline(const InstructionDataset& corpus,
                                      StageCheckpointer* checkpoint) {
   CoachPipelineResult result;
   CoachTrainer trainer(config);
-  // Build C_alpha once: training consumes the samples below, and the
-  // leakage guard reuses each sample's input text — which *is* the
-  // serialized original (lm::MakeCoachSample) — so nothing is α-selected
-  // or serialized a second time.
-  const InstructionDataset coach_dataset = trainer.BuildCoachDataset(revisions);
-  result.model = trainer.TrainOnCoachDataset(coach_dataset);
-
-  // The leakage guard: pairs used in training are not revised. Matching
-  // on the full serialized pair (instruction + input + output) keeps the
-  // guard precise in the synthetic corpus, where short instruction texts
-  // recur across unrelated pairs.
   std::unordered_set<std::string> training_instructions;
-  training_instructions.reserve(coach_dataset.size());
-  for (const InstructionPair& sample : coach_dataset) {
-    training_instructions.insert(sample.input);
+  {
+    const StageSpan span("train");
+    // Build C_alpha once: training consumes the samples below, and the
+    // leakage guard reuses each sample's input text — which *is* the
+    // serialized original (lm::MakeCoachSample) — so nothing is α-selected
+    // or serialized a second time.
+    const InstructionDataset coach_dataset =
+        trainer.BuildCoachDataset(revisions);
+    result.model = trainer.TrainOnCoachDataset(coach_dataset);
+
+    // The leakage guard: pairs used in training are not revised. Matching
+    // on the full serialized pair (instruction + input + output) keeps the
+    // guard precise in the synthetic corpus, where short instruction texts
+    // recur across unrelated pairs.
+    training_instructions.reserve(coach_dataset.size());
+    for (const InstructionPair& sample : coach_dataset) {
+      training_instructions.insert(sample.input);
+    }
   }
   result.revised_dataset = result.model->ReviseDataset(
       corpus, training_instructions, &result.stats, exec, runtime, checkpoint);

@@ -1,7 +1,10 @@
 #include "coach/trainer.h"
 
+#include <cmath>
+
 #include "coach/alpha_selection.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "lm/pair_text.h"
 #include "lm/rule_extractor.h"
 
@@ -10,6 +13,7 @@ namespace coach {
 
 InstructionDataset CoachTrainer::BuildCoachDataset(
     const RevisionDataset& revisions) const {
+  CountMetric("train.revision_pairs", revisions.size());
   const RevisionDataset selected = SelectTopAlpha(revisions, config_.alpha);
   InstructionDataset dataset;
   for (const RevisionRecord& record : selected) {
@@ -24,6 +28,9 @@ CoachLm CoachTrainer::Train(const RevisionDataset& revisions) const {
 
 CoachLm CoachTrainer::TrainOnCoachDataset(
     const InstructionDataset& coach_dataset) const {
+  CountMetric("train.coach_samples", coach_dataset.size());
+  SetGaugeMetric("train.alpha_x1000",
+                 static_cast<int64_t>(std::llround(config_.alpha * 1000.0)));
   // The rewrite-policy feature is computed with the backbone's associative
   // memory so training and inference see the same signal.
   lm::BackboneModel backbone(config_.backbone);

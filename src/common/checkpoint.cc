@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/metrics.h"
 #include "json/json.h"
 #include "json/jsonl.h"
 
@@ -112,6 +113,7 @@ std::vector<std::string> StageCheckpointer::Resume() {
   payload_bytes_ = manifest_bytes;
   completed_ = lines.size();
   resumed_ = true;
+  CountMetric("checkpoint.items_restored", lines.size());
   return lines;
 }
 
@@ -154,6 +156,8 @@ Status StageCheckpointer::Commit(size_t completed_total,
       AtomicWriteFile(manifest_path(), json::Value(manifest).Dump() + "\n"));
 
   ++commits_;
+  CountMetric("checkpoint.commits");
+  CountMetric("checkpoint.payload_bytes", chunk.size());
   if (crash_after_commits_ > 0 && commits_ >= crash_after_commits_) {
     std::fprintf(stderr,
                  "[checkpoint] simulated crash after commit %d of stage %s\n",

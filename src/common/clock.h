@@ -25,6 +25,36 @@ class Clock {
   static Clock* System();
 };
 
+/// \brief Deterministic clock that advances a fixed step on every
+/// NowMicros() read (and by the requested amount on SleepMicros).
+///
+/// The observability layer's deterministic report mode runs its span
+/// timings on this clock: stage spans are opened and closed serially by
+/// the driver thread, so the *sequence* of reads — and therefore every
+/// reported duration — is a pure function of the program structure, never
+/// of the scheduler or the hardware. Two runs of the same seeded command
+/// produce byte-identical reports at any thread count.
+class SteppingClock : public Clock {
+ public:
+  explicit SteppingClock(int64_t step_micros = 1000, int64_t start_micros = 0)
+      : step_(step_micros), now_(start_micros) {}
+
+  /// Returns the current time, then advances it by the step.
+  int64_t NowMicros() const override {
+    return now_.fetch_add(step_, std::memory_order_relaxed);
+  }
+
+  void SleepMicros(int64_t micros) override {
+    if (micros > 0) now_.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+  int64_t step_micros() const { return step_; }
+
+ private:
+  int64_t step_;
+  mutable std::atomic<int64_t> now_;
+};
+
 /// \brief Deterministic clock for tests: SleepMicros advances time
 /// instantly, so backoff schedules are observable without real delay.
 class FakeClock : public Clock {

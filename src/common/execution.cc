@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "common/clock.h"
 #include "common/env.h"
 
 namespace coachlm {
@@ -63,12 +64,23 @@ void ExecutionContext::ParallelFor(size_t n,
     ParallelFor(n, gated, grain, nullptr);
     return;
   }
+  // Stats are counted only on this cancel-free path: the gated branch above
+  // recurses into this function, so counting there too would double-count
+  // every region.
+  const bool collect = collect_stats_.load(std::memory_order_relaxed);
+  const int64_t start = collect ? Clock::System()->NowMicros() : 0;
   ThreadPool* workers = pool();
   if (workers == nullptr || n == 1) {
     for (size_t i = 0; i < n; ++i) fn(i);
-    return;
+  } else {
+    workers->ParallelFor(n, fn, grain);
   }
-  workers->ParallelFor(n, fn, grain);
+  if (collect) {
+    stat_regions_.fetch_add(1, std::memory_order_relaxed);
+    stat_items_.fetch_add(n, std::memory_order_relaxed);
+    stat_region_wall_micros_.fetch_add(Clock::System()->NowMicros() - start,
+                                       std::memory_order_relaxed);
+  }
 }
 
 Status ExecutionContext::ParallelForStatus(size_t n,

@@ -9,12 +9,22 @@
 #include <utility>
 #include <vector>
 
+#include <atomic>
+
 #include "common/cancel.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/threadpool.h"
 
 namespace coachlm {
+
+/// \brief Snapshot of a context's utilization counters (see
+/// ExecutionContext::stats()). All zeros until stat collection is enabled.
+struct ExecutionStats {
+  uint64_t parallel_regions = 0;   ///< Parallel regions entered.
+  uint64_t items = 0;              ///< Loop items dispatched across regions.
+  int64_t region_wall_micros = 0;  ///< Wall time spent inside regions.
+};
 
 /// Golden-ratio multiplier used to derive independent per-item RNG streams
 /// from a stage seed and an item id (the splitmix64 increment). Every
@@ -73,6 +83,35 @@ class ExecutionContext {
   static const ExecutionContext& Serial();
 
   size_t num_threads() const { return num_threads_; }
+
+  /// \name Utilization stats
+  ///
+  /// Off by default: the run-report writer (--metrics-out) switches
+  /// collection on for the context a run uses, and every parallel region
+  /// then adds its item count and wall time to plain commutative atomics.
+  /// The counters live here (not in the metrics registry) so coachlm_common
+  /// stays free of any observability dependency.
+  /// @{
+  void set_collect_stats(bool collect) const {
+    collect_stats_.store(collect, std::memory_order_relaxed);
+  }
+  bool collect_stats() const {
+    return collect_stats_.load(std::memory_order_relaxed);
+  }
+  ExecutionStats stats() const {
+    ExecutionStats out;
+    out.parallel_regions = stat_regions_.load(std::memory_order_relaxed);
+    out.items = stat_items_.load(std::memory_order_relaxed);
+    out.region_wall_micros =
+        stat_region_wall_micros_.load(std::memory_order_relaxed);
+    return out;
+  }
+  void ResetStats() const {
+    stat_regions_.store(0, std::memory_order_relaxed);
+    stat_items_.store(0, std::memory_order_relaxed);
+    stat_region_wall_micros_.store(0, std::memory_order_relaxed);
+  }
+  /// @}
 
   /// Runs fn(i) for i in [0, n) across the pool in contiguous chunks and
   /// waits for completion. \p grain is the chunk length (0 = auto: enough
@@ -139,6 +178,10 @@ class ExecutionContext {
   size_t num_threads_;
   mutable std::once_flag pool_once_;
   mutable std::unique_ptr<ThreadPool> pool_;
+  mutable std::atomic<bool> collect_stats_{false};
+  mutable std::atomic<uint64_t> stat_regions_{0};
+  mutable std::atomic<uint64_t> stat_items_{0};
+  mutable std::atomic<int64_t> stat_region_wall_micros_{0};
 };
 
 }  // namespace coachlm

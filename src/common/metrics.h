@@ -1,0 +1,170 @@
+#ifndef COACHLM_COMMON_METRICS_H_
+#define COACHLM_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+
+namespace coachlm {
+
+/// \name Metric model
+///
+/// Every metric the system can emit is declared once, statically, in the
+/// catalog (MetricCatalog(), metrics.cc): name, type, unit, owning stage,
+/// and help text. Stages never invent metric names at runtime — the
+/// catalog is the single source of truth that `coachlm metrics` dumps and
+/// tools/check_docs.sh diffs against docs/OBSERVABILITY.md, so a metric
+/// that exists in code but not in the operator guide is a CI failure, not
+/// silent drift.
+/// @{
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+const char* MetricTypeName(MetricType type);
+
+/// \brief Catalog entry describing one metric.
+struct MetricDef {
+  const char* name;   ///< Dotted, stage-prefixed: "revise.items_changed".
+  MetricType type;
+  const char* unit;   ///< "items", "bytes", "micros", "attempts", ...
+  const char* stage;  ///< Owning stage ("revise", "runtime", ...).
+  const char* help;   ///< One-line semantics for the operator guide.
+  /// Histogram upper bucket bounds (ascending, inclusive "<= bound"); null
+  /// for counters/gauges. Bounds are part of the catalog so they can never
+  /// drift silently between runs being diffed.
+  const int64_t* buckets = nullptr;
+  size_t num_buckets = 0;
+};
+
+/// The full static metric catalog, sorted by name.
+const std::vector<MetricDef>& MetricCatalog();
+
+/// @}
+
+/// \brief Monotonically increasing count. Add() is thread-safe and
+/// order-independent: the aggregate is a sum, so the serialized value is
+/// identical no matter which thread incremented first.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Last-written value. Gauges are set from serial (driver-thread)
+/// code — configuration facts like alpha — so last-write-wins is exact.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Fixed-bucket histogram over integer observations.
+///
+/// Buckets are fixed at catalog time and the per-bucket counts, the total
+/// count, and the (integer) sum are all commutative atomics, so merging
+/// observations from any number of threads in any order serializes to the
+/// same bytes. Values are integers by design: a floating-point sum would
+/// depend on accumulation order and break the byte-identity contract.
+class MetricHistogram {
+ public:
+  MetricHistogram(const int64_t* bounds, size_t num_bounds);
+
+  /// Records \p value into bucket i where value <= bounds[i] (the last
+  /// bucket is the overflow bucket).
+  void Observe(int64_t value);
+
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+  /// Per-bucket counts; size() == bounds().size() + 1 (overflow last).
+  std::vector<uint64_t> counts() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::vector<int64_t> bounds_;
+  std::vector<std::atomic<uint64_t>> counts_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// \brief Thread-safe registry holding one instance of every catalog
+/// metric.
+///
+/// Disabled (the default) the registry is inert: every Find* returns
+/// nullptr after one relaxed load, so instrumentation sites cost a
+/// predictable branch — the <1% disabled-overhead budget bench_observability
+/// guards. Serialization iterates metrics in catalog (name) order into
+/// json::Object (std::map), so the report bytes are independent of both
+/// thread schedule and registration order.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+
+  /// Process-wide registry, enabled by the CLI when --metrics-out /
+  /// COACHLM_METRICS_OUT request a run report.
+  static MetricsRegistry& Default();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// \name Lookup
+  /// Return nullptr when the registry is disabled or the name is not in
+  /// the catalog (with the wrong type), so call sites degrade to no-ops.
+  /// @{
+  Counter* FindCounter(const std::string& name);
+  Gauge* FindGauge(const std::string& name);
+  MetricHistogram* FindHistogram(const std::string& name);
+  /// @}
+
+  /// Zeroes every metric (tests and multi-run processes).
+  void Reset();
+
+  /// Serializes all *non-zero* metrics as
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with keys
+  /// in name order. Zero-valued metrics are elided so a report only shows
+  /// what the run touched; the catalog (not the report) enumerates what
+  /// could exist.
+  json::Value ToJson() const;
+
+  /// Tab-separated catalog dump (name, type, unit, stage, help), one
+  /// metric per line in name order — the `coachlm metrics` output that
+  /// tools/check_docs.sh diffs against the operator guide.
+  static std::string CatalogDump();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, MetricHistogram> histograms_;
+};
+
+/// \name Instrumentation helpers
+///
+/// The API stages actually call. All are no-ops (one relaxed load + branch)
+/// while the default registry is disabled. These are for stage-boundary
+/// bulk updates; per-item loops should Find* once and reuse the pointer.
+/// @{
+void CountMetric(const std::string& name, uint64_t delta = 1);
+void SetGaugeMetric(const std::string& name, int64_t value);
+void ObserveMetric(const std::string& name, int64_t value);
+/// @}
+
+}  // namespace coachlm
+
+#endif  // COACHLM_COMMON_METRICS_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <tuple>
 
+#include "common/metrics.h"
 #include "json/jsonl.h"
 
 namespace coachlm {
@@ -43,6 +44,11 @@ Result<QuarantineRecord> QuarantineRecord::FromJson(const json::Value& value) {
 }
 
 void QuarantineLog::Add(QuarantineRecord record) {
+  CountMetric("runtime.records_quarantined");
+  // FaultSite is a closed enum, so every possible name here has a static
+  // catalog entry (runtime.quarantined.<site>).
+  CountMetric(std::string("runtime.quarantined.") +
+              FaultSiteToString(record.site));
   std::lock_guard<std::mutex> lock(mu_);
   records_.push_back(std::move(record));
 }

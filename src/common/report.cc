@@ -1,0 +1,333 @@
+#include "common/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "common/env.h"
+#include "common/metrics.h"
+
+namespace coachlm {
+namespace {
+
+/// Wall time of the first root span, read from the serialized span array so
+/// a still-open root reports its accrued duration consistently with "spans".
+int64_t RootWallMicros(const json::Value& spans) {
+  for (const json::Value& span : spans.AsArray()) {
+    if (span.At("parent").AsInt() == -1) {
+      return span.At("duration_micros").AsInt();
+    }
+  }
+  return 0;
+}
+
+Status SchemaError(const std::string& what) {
+  return Status::ParseError("run report: " + what);
+}
+
+/// Validates one serialized span against its index and returns its fields.
+Status CheckSpan(const json::Value& span, size_t index) {
+  if (!span.is_object()) return SchemaError("span is not an object");
+  if (!span.At("name").is_string() || span.At("name").AsString().empty()) {
+    return SchemaError("span without a name");
+  }
+  const json::Value& parent = span.At("parent");
+  if (!parent.is_number() || parent.AsInt() < -1 ||
+      parent.AsInt() >= static_cast<int64_t>(index)) {
+    return SchemaError("span \"" + span.At("name").AsString() +
+                       "\" has an invalid parent index");
+  }
+  if (!span.At("start_micros").is_number() ||
+      span.At("start_micros").AsInt() < 0) {
+    return SchemaError("span \"" + span.At("name").AsString() +
+                       "\" has an invalid start_micros");
+  }
+  if (!span.At("duration_micros").is_number() ||
+      span.At("duration_micros").AsInt() < 0) {
+    return SchemaError("span \"" + span.At("name").AsString() +
+                       "\" has an invalid duration_micros");
+  }
+  return Status::OK();
+}
+
+Status CheckHistograms(const json::Value& histograms) {
+  if (!histograms.is_object()) return SchemaError("\"histograms\" is not an object");
+  for (const auto& [name, histogram] : histograms.AsObject()) {
+    if (!histogram.is_object() || !histogram.At("buckets").is_array() ||
+        !histogram.At("counts").is_array() ||
+        !histogram.At("count").is_number() ||
+        !histogram.At("sum").is_number()) {
+      return SchemaError("histogram \"" + name + "\" is malformed");
+    }
+    const json::Array& buckets = histogram.At("buckets").AsArray();
+    const json::Array& counts = histogram.At("counts").AsArray();
+    if (counts.size() != buckets.size() + 1) {
+      return SchemaError("histogram \"" + name +
+                         "\" needs counts.size == buckets.size + 1");
+    }
+    int64_t total = 0;
+    for (const json::Value& c : counts) {
+      if (!c.is_number() || c.AsInt() < 0) {
+        return SchemaError("histogram \"" + name + "\" has a negative count");
+      }
+      total += c.AsInt();
+    }
+    if (total != histogram.At("count").AsInt()) {
+      return SchemaError("histogram \"" + name +
+                         "\" bucket counts do not sum to count");
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckBenchReport(const json::Value& report) {
+  if (!report.At("artifact").is_string() ||
+      report.At("artifact").AsString().empty()) {
+    return SchemaError("bench report without an artifact name");
+  }
+  if (!report.At("measurements").is_array()) {
+    return SchemaError("bench report without a measurements array");
+  }
+  for (const json::Value& m : report.At("measurements").AsArray()) {
+    if (!m.is_object() || !m.At("name").is_string() ||
+        m.At("name").AsString().empty() || !m.At("value").is_number() ||
+        !m.At("unit").is_string()) {
+      return SchemaError("bench measurement is malformed");
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckRunReport(const json::Value& report) {
+  if (!report.At("command").is_string()) {
+    return SchemaError("missing \"command\"");
+  }
+  if (!report.At("deterministic").is_bool()) {
+    return SchemaError("missing \"deterministic\"");
+  }
+  if (!report.At("wall_micros").is_number() ||
+      report.At("wall_micros").AsInt() < 0) {
+    return SchemaError("missing \"wall_micros\"");
+  }
+  if (!report.At("spans").is_array()) return SchemaError("missing \"spans\"");
+  const json::Array& spans = report.At("spans").AsArray();
+  for (size_t i = 0; i < spans.size(); ++i) {
+    COACHLM_RETURN_NOT_OK(CheckSpan(spans[i], i));
+  }
+  if (!report.At("counters").is_object()) {
+    return SchemaError("missing \"counters\"");
+  }
+  if (!report.At("gauges").is_object()) return SchemaError("missing \"gauges\"");
+  COACHLM_RETURN_NOT_OK(CheckHistograms(report.At("histograms")));
+  if (!report.At("execution").is_object()) {
+    return SchemaError("missing \"execution\"");
+  }
+  if (!report.At("process").is_object() ||
+      !report.At("process").At("peak_rss_bytes").is_number()) {
+    return SchemaError("missing \"process.peak_rss_bytes\"");
+  }
+
+  // Span coverage: when the root span has children, the named child spans
+  // must account for >= 99% of the root's wall time — otherwise the report
+  // is hiding where the run actually went. Deterministic reports are
+  // exempt: their stepping-clock durations count clock reads, not wall
+  // time, so coverage there is an artifact of span count.
+  if (report.At("deterministic").AsBool()) return Status::OK();
+  int64_t root_index = -1;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].At("parent").AsInt() == -1) {
+      root_index = static_cast<int64_t>(i);
+      break;
+    }
+  }
+  if (root_index >= 0) {
+    const int64_t root_duration =
+        spans[static_cast<size_t>(root_index)].At("duration_micros").AsInt();
+    int64_t covered = 0;
+    bool has_children = false;
+    for (const json::Value& span : spans) {
+      if (span.At("parent").AsInt() != root_index) continue;
+      has_children = true;
+      covered += span.At("duration_micros").AsInt();
+    }
+    if (has_children && root_duration > 0 && covered * 100 < root_duration * 99) {
+      return SchemaError("named spans cover under 99% of the root wall time");
+    }
+  }
+  return Status::OK();
+}
+
+/// Process-wide buffer behind the static BenchReport API.
+struct BenchState {
+  std::mutex mu;
+  std::string artifact;
+  json::Array measurements;
+  bool atexit_registered = false;
+};
+
+BenchState& bench_state() {
+  static BenchState* state = new BenchState();
+  return *state;
+}
+
+extern "C" void FlushBenchReportAtExit() {
+  const std::string path = GetEnvOr("COACHLM_BENCH_REPORT", "");
+  if (path.empty()) return;
+  const Status status = BenchReport::FlushTo(path);
+  if (!status.ok()) {
+    // Exit-time failure has nowhere to surface but stderr; the bench's own
+    // stdout verdict is unaffected.
+    std::fprintf(stderr, "bench report: %s\n", status.ToString().c_str());
+  }
+}
+
+/// Registers the atexit flush once. Call with state->mu held.
+void EnsureAtExitFlush(BenchState* state) {
+  if (state->atexit_registered) return;
+  state->atexit_registered = true;
+  std::atexit(FlushBenchReportAtExit);
+}
+
+}  // namespace
+
+json::Value BuildRunReport(const RunReportOptions& options) {
+  Observability& obs = Observability::Default();
+  const bool deterministic = obs.deterministic();
+
+  json::Object report;
+  report["schema"] = json::Value(1);
+  report["kind"] = json::Value("run");
+  report["command"] = json::Value(options.command);
+  report["deterministic"] = json::Value(deterministic);
+
+  json::Value spans = obs.trace().ToJson();
+  report["wall_micros"] = json::Value(RootWallMicros(spans));
+  report["spans"] = std::move(spans);
+
+  json::Value metrics = obs.metrics().ToJson();
+  json::Object& sections = metrics.AsObject();
+  report["counters"] = std::move(sections["counters"]);
+  report["gauges"] = std::move(sections["gauges"]);
+  report["histograms"] = std::move(sections["histograms"]);
+
+  // The execution and process sections are the volatile part of a report:
+  // thread counts, utilization, and RSS vary run to run, so deterministic
+  // mode pins them to zero to keep the byte-identity contract.
+  json::Object execution;
+  if (deterministic || options.exec == nullptr) {
+    execution["threads"] = json::Value(0);
+    execution["parallel_regions"] = json::Value(0);
+    execution["items"] = json::Value(0);
+    execution["region_wall_micros"] = json::Value(0);
+  } else {
+    const ExecutionStats stats = options.exec->stats();
+    execution["threads"] = json::Value(options.exec->num_threads());
+    execution["parallel_regions"] = json::Value(
+        static_cast<int64_t>(stats.parallel_regions));
+    execution["items"] = json::Value(static_cast<int64_t>(stats.items));
+    execution["region_wall_micros"] = json::Value(stats.region_wall_micros);
+  }
+  report["execution"] = json::Value(std::move(execution));
+
+  json::Object process;
+  process["peak_rss_bytes"] =
+      json::Value(deterministic ? int64_t{0} : PeakRssBytes());
+  report["process"] = json::Value(std::move(process));
+  return json::Value(std::move(report));
+}
+
+Status WriteRunReport(const std::string& path,
+                      const RunReportOptions& options) {
+  const std::string text = BuildRunReport(options).DumpPretty() + "\n";
+  FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open run report file: " + path);
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const int closed = std::fclose(file);
+  if (written != text.size() || closed != 0) {
+    return Status::IoError("cannot write run report file: " + path);
+  }
+  return Status::OK();
+}
+
+Status ValidateRunReport(const json::Value& report) {
+  if (!report.is_object()) return SchemaError("not a JSON object");
+  const json::Value& schema = report.At("schema");
+  if (!schema.is_number() || schema.AsInt() != 1) {
+    return SchemaError("unsupported schema version");
+  }
+  const json::Value& kind = report.At("kind");
+  if (kind.AsString() == "run") return CheckRunReport(report);
+  if (kind.AsString() == "bench") return CheckBenchReport(report);
+  return SchemaError("unknown kind (want \"run\" or \"bench\")");
+}
+
+int64_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<int64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<int64_t>(usage.ru_maxrss) * 1024;  // kilobytes on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+void BenchReport::SetArtifact(const std::string& name) {
+  BenchState& state = bench_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.artifact = name;
+  EnsureAtExitFlush(&state);
+}
+
+void BenchReport::Record(const std::string& name, double value,
+                         const std::string& unit) {
+  BenchState& state = bench_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  json::Object measurement;
+  measurement["name"] = json::Value(name);
+  measurement["value"] = json::Value(value);
+  measurement["unit"] = json::Value(unit);
+  state.measurements.push_back(json::Value(std::move(measurement)));
+  EnsureAtExitFlush(&state);
+}
+
+Status BenchReport::FlushTo(const std::string& path) {
+  BenchState& state = bench_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.measurements.empty()) return Status::OK();
+
+  json::Object line;
+  line["schema"] = json::Value(1);
+  line["kind"] = json::Value("bench");
+  line["artifact"] = json::Value(
+      state.artifact.empty() ? std::string("unnamed") : state.artifact);
+  line["measurements"] = json::Value(state.measurements);
+  const std::string text = json::Value(std::move(line)).Dump() + "\n";
+
+  FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::IoError("cannot open bench report file: " + path);
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const int closed = std::fclose(file);
+  if (written != text.size() || closed != 0) {
+    return Status::IoError("cannot append bench report line: " + path);
+  }
+  // Clear so a test-driven FlushTo followed by the atexit flush cannot
+  // write the same line twice.
+  state.measurements.clear();
+  return Status::OK();
+}
+
+}  // namespace coachlm

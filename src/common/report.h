@@ -1,0 +1,79 @@
+#ifndef COACHLM_COMMON_REPORT_H_
+#define COACHLM_COMMON_REPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/execution.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/trace.h"
+#include "json/json.h"
+
+namespace coachlm {
+
+/// \brief Inputs of a run-report document beyond what the default
+/// Observability already holds.
+struct RunReportOptions {
+  /// The CLI command (or test/bench harness) that produced the run.
+  std::string command;
+  /// The execution context the run actually used; its stats become the
+  /// report's "execution" section. nullptr omits utilization numbers.
+  const ExecutionContext* exec = nullptr;
+};
+
+/// \brief Builds the machine-readable run report (schema version 1) from
+/// the default Observability instance.
+///
+/// Document shape (see docs/OBSERVABILITY.md for the full schema):
+///   {"schema": 1, "kind": "run", "command", "deterministic",
+///    "wall_micros", "spans": [...], "counters": {...}, "gauges": {...},
+///    "histograms": {...}, "execution": {...}, "process": {...}}
+///
+/// Key order is std::map order and metric order is catalog order, so the
+/// serialized bytes depend only on the collected values. In deterministic
+/// mode the volatile sections (execution utilization, peak RSS) are
+/// normalized to zero and timings come from the stepping clock, making a
+/// seeded run's report byte-identical at any thread count.
+json::Value BuildRunReport(const RunReportOptions& options);
+
+/// Serializes BuildRunReport (pretty, trailing newline) to \p path.
+[[nodiscard]] Status WriteRunReport(const std::string& path,
+                                    const RunReportOptions& options);
+
+/// \brief Validates a parsed report against schema version 1: required
+/// keys and types, span parent/array invariants, histogram count
+/// consistency, and — for "run" reports whose root span has children —
+/// that named child spans account for >= 99% of the root's wall time.
+/// Accepts both "run" and "bench" kinds.
+[[nodiscard]] Status ValidateRunReport(const json::Value& report);
+
+/// Peak resident set size of this process in bytes (0 when the platform
+/// does not expose it).
+int64_t PeakRssBytes();
+
+/// \brief Collector for benchmark measurements, emitted through the same
+/// report schema as pipeline runs (kind "bench").
+///
+/// Benches Record() their headline numbers; when the COACHLM_BENCH_REPORT
+/// environment variable names a file, one compact JSON line per process is
+/// appended to it at exit — the trajectory file CI accumulates as
+/// BENCH_pipeline.json. Without the variable, recording is a no-op beyond
+/// buffering.
+class BenchReport {
+ public:
+  /// Names the artifact (e.g. "Table 3") for this process's report line.
+  static void SetArtifact(const std::string& name);
+
+  /// Buffers one measurement; the write happens at process exit.
+  static void Record(const std::string& name, double value,
+                     const std::string& unit);
+
+  /// Appends the buffered line to \p path now (exposed for tests; the
+  /// atexit hook calls this with the environment-configured path).
+  [[nodiscard]] static Status FlushTo(const std::string& path);
+};
+
+}  // namespace coachlm
+
+#endif  // COACHLM_COMMON_REPORT_H_

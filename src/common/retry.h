@@ -40,11 +40,15 @@ struct RetryPolicy {
   int64_t BackoffMicros(int next_attempt, uint64_t jitter_key) const;
 };
 
-/// \brief What a retried call produced: the final status and how many
-/// attempts it took.
+/// \brief What a retried call produced: the final status, how many
+/// attempts it took, and the total backoff scheduled between them.
 struct RetryOutcome {
   Status status;
   int attempts = 0;
+  /// Sum of the backoff sleeps requested between attempts. Kept as a plain
+  /// field (not a metric emission) so retry.h stays observability-free;
+  /// the pipeline runtime folds it into runtime.retry_backoff_micros.
+  int64_t backoff_micros = 0;
 };
 
 /// \brief Runs \p op under \p policy: re-attempts while the status is
@@ -93,6 +97,7 @@ RetryOutcome RetryWithBackoff(const RetryPolicy& policy, Clock* clock,
       // deadline is to wake in time to notice cancellation.
       backoff = std::min(backoff, cancel->remaining_micros());
     }
+    outcome.backoff_micros += backoff;
     clock->SleepMicros(backoff);
     if (cancel != nullptr && cancel->cancelled()) {
       outcome.status = cancel->status();

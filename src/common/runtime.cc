@@ -5,6 +5,7 @@
 
 #include "common/env.h"
 #include "common/execution.h"
+#include "common/metrics.h"
 
 namespace coachlm {
 
@@ -38,9 +39,16 @@ Status PipelineRuntime::FinishRun(FaultSite site, uint64_t item_id,
                                   RetryOutcome outcome, int* attempts_out) {
   attempts_.fetch_add(static_cast<uint64_t>(outcome.attempts),
                       std::memory_order_relaxed);
+  CountMetric("runtime.attempts_total",
+              static_cast<uint64_t>(outcome.attempts));
+  if (outcome.backoff_micros > 0) {
+    CountMetric("runtime.retry_backoff_micros",
+                static_cast<uint64_t>(outcome.backoff_micros));
+  }
   if (outcome.status.ok()) {
     if (outcome.attempts > 1) {
       recovered_.fetch_add(1, std::memory_order_relaxed);
+      CountMetric("runtime.records_recovered");
     }
   } else if (cancel_ == nullptr || !cancel_->cancelled()) {
     // Under run-level cancellation the caller quarantines the whole

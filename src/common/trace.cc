@@ -1,0 +1,116 @@
+#include "common/trace.h"
+
+namespace coachlm {
+
+Trace::Trace(Clock* clock)
+    : clock_(clock != nullptr ? clock : Clock::System()) {}
+
+void Trace::set_clock(Clock* clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = clock != nullptr ? clock : Clock::System();
+}
+
+int Trace::BeginSpan(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now = clock_->NowMicros();
+  if (!epoch_set_) {
+    epoch_micros_ = now;
+    epoch_set_ = true;
+  }
+  Span span;
+  span.name = name;
+  span.parent = stack_.empty() ? -1 : stack_.back();
+  span.start_micros = now - epoch_micros_;
+  const int id = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(span));
+  stack_.push_back(id);
+  return id;
+}
+
+void Trace::EndSpan(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return;
+  const int64_t now = clock_->NowMicros() - epoch_micros_;
+  // Pop everything above (and including) the span: a stage that returned
+  // early leaves its descendants open, and closing them here at the same
+  // instant keeps the parent/child accounting consistent.
+  while (!stack_.empty()) {
+    const int top = stack_.back();
+    stack_.pop_back();
+    if (spans_[top].duration_micros < 0) {
+      spans_[top].duration_micros = now - spans_[top].start_micros;
+    }
+    if (top == id) break;
+  }
+}
+
+std::vector<Trace::Span> Trace::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+json::Value Trace::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  json::Array spans;
+  for (const Span& span : spans_) {
+    json::Object s;
+    s["name"] = json::Value(span.name);
+    s["parent"] = json::Value(static_cast<int64_t>(span.parent));
+    s["start_micros"] = json::Value(span.start_micros);
+    // An open span serializes with the duration it has accrued so far;
+    // the report writer closes the root before serializing, so this only
+    // shows up for crashed/partial traces.
+    s["duration_micros"] = json::Value(
+        span.duration_micros >= 0
+            ? span.duration_micros
+            : clock_->NowMicros() - epoch_micros_ - span.start_micros);
+    spans.push_back(json::Value(std::move(s)));
+  }
+  return json::Value(std::move(spans));
+}
+
+void Trace::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  stack_.clear();
+  epoch_set_ = false;
+  epoch_micros_ = 0;
+}
+
+Observability::Observability() : clock_(Clock::System()), trace_(clock_) {}
+
+Observability& Observability::Default() {
+  static Observability* observability = new Observability();
+  return *observability;
+}
+
+void Observability::Enable(bool deterministic) {
+  deterministic_ = deterministic;
+  if (deterministic) {
+    // One fixed-step clock per enablement: span timings become a pure
+    // function of the span structure, which is what lets seeded reports
+    // byte-compare across runs and thread counts.
+    stepping_ = std::make_unique<SteppingClock>(/*step_micros=*/1000);
+    clock_ = stepping_.get();
+  } else {
+    clock_ = Clock::System();
+  }
+  trace_.Reset();
+  trace_.set_clock(clock_);
+  metrics().Reset();
+  metrics().set_enabled(true);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Observability::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+  metrics().set_enabled(false);
+  metrics().Reset();
+  trace_.Reset();
+  deterministic_ = false;
+  clock_ = Clock::System();
+  trace_.set_clock(clock_);
+  stepping_.reset();
+}
+
+}  // namespace coachlm

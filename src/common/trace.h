@@ -1,0 +1,133 @@
+#ifndef COACHLM_COMMON_TRACE_H_
+#define COACHLM_COMMON_TRACE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "json/json.h"
+
+namespace coachlm {
+
+/// \brief Stage/span tracer: where a run spent its wall time.
+///
+/// Spans are opened and closed *serially by the driver thread* at stage
+/// boundaries (never inside ParallelFor bodies): nesting is tracked with an
+/// explicit stack, so BeginSpan inside an open span records a child. All
+/// timings read through an injectable Clock — the deterministic report mode
+/// runs on a SteppingClock, making every duration a pure function of the
+/// span structure, and tests assert timings exactly instead of
+/// smoke-checking the wall clock.
+class Trace {
+ public:
+  struct Span {
+    std::string name;
+    /// Index of the enclosing span in spans(), -1 for a root.
+    int parent = -1;
+    /// Microseconds since the trace epoch (the first BeginSpan).
+    int64_t start_micros = 0;
+    /// -1 while the span is still open.
+    int64_t duration_micros = -1;
+  };
+
+  /// \p clock is not owned; nullptr = Clock::System().
+  explicit Trace(Clock* clock = nullptr);
+
+  /// Swaps the time source (tests; the deterministic report mode).
+  void set_clock(Clock* clock);
+
+  /// Opens a span as a child of the innermost open span; returns its id.
+  int BeginSpan(const std::string& name);
+
+  /// Closes span \p id (and any still-open descendants above it on the
+  /// stack, so a stage that early-returns cannot corrupt its siblings).
+  void EndSpan(int id);
+
+  /// Snapshot of all spans in begin order.
+  std::vector<Span> spans() const;
+
+  /// Serializes spans in begin order:
+  /// [{"name", "parent", "start_micros", "duration_micros"}, ...].
+  /// Open spans are closed at the current clock reading first.
+  json::Value ToJson() const;
+
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  Clock* clock_;
+  int64_t epoch_micros_ = 0;
+  bool epoch_set_ = false;
+  std::vector<Span> spans_;
+  std::vector<int> stack_;
+};
+
+/// \brief Process-wide observability switchboard.
+///
+/// Disabled (the default) every instrumentation site in the tree is a
+/// relaxed load + branch. The CLI enables it when a run report is
+/// requested (--metrics-out / COACHLM_METRICS_OUT), optionally in
+/// deterministic mode: timings then come from a SteppingClock and the
+/// report writer normalizes volatile fields (threads, RSS, utilization),
+/// so seeded runs byte-compare across repetitions *and* thread counts.
+class Observability {
+ public:
+  /// The process-wide instance.
+  static Observability& Default();
+
+  /// Fast global check for instrumentation sites.
+  static bool Enabled() {
+    return Default().enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms metrics + tracing. \p deterministic swaps in a SteppingClock.
+  void Enable(bool deterministic = false);
+
+  /// Disarms and clears all collected data (tests; multi-run processes).
+  void Disable();
+
+  bool deterministic() const { return deterministic_; }
+
+  /// The trace clock (SteppingClock in deterministic mode).
+  Clock* clock() const { return clock_; }
+
+  MetricsRegistry& metrics() { return MetricsRegistry::Default(); }
+  Trace& trace() { return trace_; }
+
+ private:
+  Observability();
+
+  std::atomic<bool> enabled_{false};
+  bool deterministic_ = false;
+  Clock* clock_;
+  std::unique_ptr<SteppingClock> stepping_;
+  Trace trace_;
+};
+
+/// \brief RAII stage span on the default Observability: a no-op when
+/// observability is disabled. Construct at stage entry on the driver
+/// thread; destruction closes the span.
+class StageSpan {
+ public:
+  explicit StageSpan(const char* name) {
+    if (Observability::Enabled()) {
+      id_ = Observability::Default().trace().BeginSpan(name);
+    }
+  }
+  ~StageSpan() {
+    if (id_ >= 0) Observability::Default().trace().EndSpan(id_);
+  }
+  StageSpan(const StageSpan&) = delete;
+  StageSpan& operator=(const StageSpan&) = delete;
+
+ private:
+  int id_ = -1;
+};
+
+}  // namespace coachlm
+
+#endif  // COACHLM_COMMON_TRACE_H_

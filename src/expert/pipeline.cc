@@ -4,6 +4,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/trace.h"
+
 namespace coachlm {
 namespace expert {
 
@@ -41,6 +44,7 @@ RevisionStudyResult RunRevisionStudy(const InstructionDataset& corpus,
                                      const RevisionStudyConfig& config,
                                      const EffortModel& effort,
                                      const ExecutionContext& exec) {
+  const StageSpan span("study");
   RevisionStudyResult result;
   Rng rng(config.seed);
 
@@ -112,6 +116,9 @@ RevisionStudyResult RunRevisionStudy(const InstructionDataset& corpus,
   result.person_days =
       static_cast<double>(sample.size()) * effort.examine_per_pair +
       revision_effort * (1.0 + effort.qc_overhead);
+  CountMetric("study.items_sampled", sample.size());
+  CountMetric("study.items_excluded", result.filter_stats.TotalExcluded());
+  CountMetric("study.items_revised", result.revised_pairs);
 
   // Merge: the full corpus with revised pairs substituted in place.
   result.merged_dataset = corpus;

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <optional>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "expert/reviser.h"
 #include "json/parse_limits.h"
 #include "lm/pair_text.h"
@@ -148,6 +150,7 @@ InstructionDataset DataPlatform::ParseWithRuleScripts(
 BatchReport DataPlatform::RunCleaningBatch(
     const coach::CoachLm* coach, PipelineRuntime* runtime,
     coachlm::StageCheckpointer* checkpoint) const {
+  const StageSpan span("platform");
   if (runtime == nullptr) runtime = PipelineRuntime::Default();
   BatchReport report;
   report.with_coach = coach != nullptr;
@@ -155,6 +158,7 @@ BatchReport DataPlatform::RunCleaningBatch(
   const size_t recovered_before = runtime->recovered_records();
 
   const std::vector<UserCase> cases = CollectUserCases(runtime);
+  CountMetric("platform.cases_collected", cases.size());
   report.dropped += config_.batch_size - cases.size();
   size_t parse_dropped = 0;
   InstructionDataset raw = ParseWithRuleScripts(cases, &parse_dropped, runtime);
@@ -212,6 +216,9 @@ BatchReport DataPlatform::RunCleaningBatch(
   }
   report.quarantined = runtime->quarantined_records() - quarantined_before;
   report.recovered = runtime->recovered_records() - recovered_before;
+  CountMetric("platform.batches");
+  CountMetric("platform.cases_dropped", report.dropped);
+  CountMetric("platform.cases_quarantined", report.quarantined);
   return report;
 }
 

@@ -1,7 +1,10 @@
 #include "quality/accuracy_rater.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "quality/criteria.h"
 
 namespace coachlm {
@@ -18,6 +21,7 @@ double AccuracyRater::Rate(const InstructionPair& pair) const {
 
 AccuracyRater::DatasetRating AccuracyRater::RateDataset(
     const InstructionDataset& dataset, const ExecutionContext& exec) const {
+  const StageSpan span("rate");
   DatasetRating rating;
   rating.ratings =
       exec.ParallelMap(dataset.size(), [&](size_t i) { return Rate(dataset[i]); });
@@ -25,10 +29,16 @@ AccuracyRater::DatasetRating AccuracyRater::RateDataset(
   // single-threaded pass.
   size_t above = 0;
   double sum = 0.0;
+  MetricHistogram* rating_hist =
+      MetricsRegistry::Default().FindHistogram("rate.rating_x100");
   for (const double r : rating.ratings) {
     sum += r;
     if (r > 4.5) ++above;
+    if (rating_hist != nullptr) {
+      rating_hist->Observe(static_cast<int64_t>(std::llround(r * 100.0)));
+    }
   }
+  CountMetric("rate.items_in", rating.ratings.size());
   if (!dataset.empty()) {
     rating.mean = sum / static_cast<double>(dataset.size());
     rating.fraction_above_45 =

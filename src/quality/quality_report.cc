@@ -1,6 +1,8 @@
 #include "quality/quality_report.h"
 
+#include "common/metrics.h"
 #include "common/table_writer.h"
+#include "common/trace.h"
 #include "quality/criteria.h"
 
 namespace coachlm {
@@ -23,6 +25,8 @@ const std::vector<Dimension>& AllDimensions() {
 
 QualityReport AnalyzeDataset(const InstructionDataset& dataset,
                              const ExecutionContext& exec) {
+  const StageSpan span("rate");
+  CountMetric("rate.items_analyzed", dataset.size());
   QualityReport report;
   report.dataset_size = dataset.size();
   if (dataset.empty()) return report;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "json/json.h"
 
 namespace coachlm {
@@ -246,9 +248,14 @@ struct GeneratedItemRecord {
 SynthCorpus SynthCorpusGenerator::Generate(const ExecutionContext& exec,
                                            PipelineRuntime* runtime,
                                            StageCheckpointer* checkpoint) const {
+  const StageSpan span("generate");
   if (runtime == nullptr) runtime = PipelineRuntime::Default();
   const bool checkpointed = checkpoint != nullptr && checkpoint->enabled();
-  if (!runtime->governed() && !checkpointed) return Generate(exec);
+  if (!runtime->governed() && !checkpointed) {
+    SynthCorpus corpus = Generate(exec);
+    CountMetric("generate.items_out", corpus.dataset.size());
+    return corpus;
+  }
 
   CancelToken* cancel = runtime->cancel_token();
   std::vector<uint8_t>* cancel_hit = nullptr;
@@ -331,6 +338,8 @@ SynthCorpus SynthCorpusGenerator::Generate(const ExecutionContext& exec,
     pairs.push_back(std::move(record.pair));
     corpus.defects.push_back(std::move(record.defects));
   }
+  CountMetric("generate.items_out", pairs.size());
+  CountMetric("generate.items_dropped", records.size() - pairs.size());
   corpus.dataset = InstructionDataset(std::move(pairs));
   return corpus;
 }

@@ -3,6 +3,9 @@
 #include <optional>
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/trace.h"
+
 namespace coachlm {
 namespace tuning {
 namespace {
@@ -25,7 +28,8 @@ std::vector<std::optional<judge::Verdict>> JudgeTestSet(
     const TunedModel& model, const testsets::TestSet& test_set,
     const judge::PairwiseJudge& judge, uint64_t seed,
     const ExecutionContext& exec, PipelineRuntime* runtime) {
-  return exec.ParallelMap(
+  const StageSpan span("judge");
+  std::vector<std::optional<judge::Verdict>> verdicts = exec.ParallelMap(
       test_set.items.size(), [&](size_t i) -> std::optional<judge::Verdict> {
         std::optional<judge::Verdict> verdict;
         // Per-item failures are absorbed: the runtime quarantines the
@@ -36,6 +40,13 @@ std::vector<std::optional<judge::Verdict>> JudgeTestSet(
         });
         return verdict;
       });
+  size_t judged = 0;
+  for (const std::optional<judge::Verdict>& verdict : verdicts) {
+    if (verdict.has_value()) ++judged;
+  }
+  CountMetric("judge.items_judged", judged);
+  CountMetric("judge.items_unjudged", verdicts.size() - judged);
+  return verdicts;
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 #include <map>
 #include <optional>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "quality/accuracy_rater.h"
 
 namespace coachlm {
@@ -12,6 +14,7 @@ namespace tuning {
 AlignmentProfile InstructionTuner::MeasureAlignment(
     const InstructionDataset& dataset, const ExecutionContext& exec,
     PipelineRuntime* runtime) const {
+  const StageSpan span("tune");
   if (runtime == nullptr) runtime = PipelineRuntime::Default();
   AlignmentProfile profile;
   quality::AccuracyRater rater;
@@ -42,6 +45,7 @@ AlignmentProfile InstructionTuner::MeasureAlignment(
     sum += *ratings[i];
     ++count;
   }
+  CountMetric("tune.items_rated", rated);
   if (rated > 0) {
     profile.global_quality = global_sum / static_cast<double>(rated);
   }
@@ -69,6 +73,7 @@ TunedModel InstructionTuner::Tune(const ModelSpec& spec,
                                   const InstructionDataset& dataset,
                                   const ExecutionContext& exec,
                                   PipelineRuntime* runtime) const {
+  CountMetric("tune.models_tuned");
   return TunedModel(spec, MeasureAlignment(dataset, exec, runtime));
 }
 

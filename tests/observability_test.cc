@@ -1,0 +1,242 @@
+// The observability layer's contracts: metric aggregation serializes to
+// the same bytes at any thread count, histogram buckets are pinned by the
+// catalog, run reports round-trip through the JSON parser under default
+// limits and validate against the schema, and span timings on a
+// SteppingClock are exact (not smoke-checked against the wall clock).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/execution.h"
+#include "common/metrics.h"
+#include "common/report.h"
+#include "common/trace.h"
+#include "json/json.h"
+#include "json/parse_limits.h"
+
+namespace coachlm {
+namespace {
+
+/// Every test arms a clean default registry and disarms on the way out, so
+/// suites can run in any order without leaking enabled-state.
+class ObservabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Observability::Default().Disable();
+    Observability::Default().Enable(/*deterministic=*/true);
+  }
+  void TearDown() override { Observability::Default().Disable(); }
+};
+
+/// A deterministic workload hammering counters and a histogram from many
+/// threads: per-item deltas depend only on the item index, so any schedule
+/// must fold to the same totals.
+void HammerRegistry(const ExecutionContext& exec, size_t items) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  Counter* counter = registry.FindCounter("revise.items_changed");
+  MetricHistogram* histogram = registry.FindHistogram("revise.response_chars");
+  ASSERT_NE(counter, nullptr);
+  ASSERT_NE(histogram, nullptr);
+  exec.ParallelFor(items, [&](size_t i) {
+    counter->Add(i % 3);
+    histogram->Observe(static_cast<int64_t>((i * 97) % 9000));
+  });
+  SetGaugeMetric("train.alpha_x1000", 300);
+}
+
+TEST_F(ObservabilityTest, AggregationIsByteIdenticalAcrossThreadCounts) {
+  std::vector<std::string> dumps;
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    MetricsRegistry::Default().Reset();
+    MetricsRegistry::Default().set_enabled(true);
+    const ExecutionContext exec(threads);
+    HammerRegistry(exec, 10000);
+    dumps.push_back(MetricsRegistry::Default().ToJson().Dump());
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
+  EXPECT_EQ(dumps[0], dumps[2]);
+  // Spot-check the fold itself, not just its stability: sum of i % 3 over
+  // 10000 items is 9999.
+  EXPECT_NE(dumps[0].find("\"revise.items_changed\":9999"), std::string::npos)
+      << dumps[0];
+}
+
+TEST_F(ObservabilityTest, HistogramBucketsArePinnedByCatalog) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  const MetricHistogram* chars = registry.FindHistogram("revise.response_chars");
+  ASSERT_NE(chars, nullptr);
+  EXPECT_EQ(chars->bounds(),
+            (std::vector<int64_t>{64, 128, 256, 512, 1024, 2048, 4096, 8192}));
+  const MetricHistogram* ratings = registry.FindHistogram("rate.rating_x100");
+  ASSERT_NE(ratings, nullptr);
+  EXPECT_EQ(ratings->bounds(), (std::vector<int64_t>{50, 100, 150, 200, 250,
+                                                     300, 350, 400, 450, 500}));
+}
+
+TEST_F(ObservabilityTest, HistogramCountsLandInCatalogBuckets) {
+  MetricHistogram* histogram =
+      MetricsRegistry::Default().FindHistogram("revise.response_chars");
+  ASSERT_NE(histogram, nullptr);
+  histogram->Observe(64);     // inclusive upper bound -> bucket 0
+  histogram->Observe(65);     // -> bucket 1
+  histogram->Observe(100000); // -> overflow bucket
+  const std::vector<uint64_t> counts = histogram->counts();
+  ASSERT_EQ(counts.size(), 9u);  // 8 bounds + overflow
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[8], 1u);
+  EXPECT_EQ(histogram->count(), 3u);
+  EXPECT_EQ(histogram->sum(), 64 + 65 + 100000);
+}
+
+TEST_F(ObservabilityTest, DisabledRegistryReturnsNullAndDropsWrites) {
+  Observability::Default().Disable();
+  EXPECT_EQ(MetricsRegistry::Default().FindCounter("revise.items_changed"),
+            nullptr);
+  CountMetric("revise.items_changed", 7);  // must be a silent no-op
+  MetricsRegistry::Default().set_enabled(true);
+  const Counter* counter =
+      MetricsRegistry::Default().FindCounter("revise.items_changed");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value(), 0u);
+}
+
+TEST_F(ObservabilityTest, UnknownOrWrongTypeLookupsDegradeToNoOps) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  EXPECT_EQ(registry.FindCounter("no.such_metric"), nullptr);
+  // Catalog name, wrong type: a histogram is not a counter.
+  EXPECT_EQ(registry.FindCounter("revise.response_chars"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("revise.items_changed"), nullptr);
+}
+
+TEST_F(ObservabilityTest, SteppingClockSpanTimingsAreExact) {
+  // Enable(true) installed a SteppingClock(1000): every NowMicros() read
+  // advances time by exactly 1ms, so span timings are a pure function of
+  // the begin/end sequence. Reads: begin outer (epoch 0), begin inner
+  // (1000), end inner (2000), end outer (3000); durations are end minus
+  // start, so outer spans 3000us and inner 1000us.
+  Trace& trace = Observability::Default().trace();
+  const int outer = trace.BeginSpan("outer");
+  const int inner = trace.BeginSpan("inner");
+  trace.EndSpan(inner);
+  trace.EndSpan(outer);
+  const std::vector<Trace::Span> spans = trace.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[0].start_micros, 0);
+  EXPECT_EQ(spans[0].duration_micros, 3000);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].parent, 0);
+  EXPECT_EQ(spans[1].start_micros, 1000);
+  EXPECT_EQ(spans[1].duration_micros, 1000);
+}
+
+TEST_F(ObservabilityTest, EndSpanClosesOpenDescendants) {
+  Trace& trace = Observability::Default().trace();
+  const int outer = trace.BeginSpan("outer");
+  (void)trace.BeginSpan("leaked");  // a stage that early-returned
+  trace.EndSpan(outer);
+  for (const Trace::Span& span : trace.spans()) {
+    EXPECT_GE(span.duration_micros, 0) << span.name << " left open";
+  }
+}
+
+TEST_F(ObservabilityTest, RunReportRoundTripsAndValidates) {
+  Trace& trace = Observability::Default().trace();
+  const int root = trace.BeginSpan("pipeline");
+  const int child = trace.BeginSpan("revise");
+  CountMetric("revise.items_in", 42);
+  ObserveMetric("revise.response_chars", 300);
+  trace.EndSpan(child);
+  trace.EndSpan(root);
+
+  RunReportOptions options;
+  options.command = "pipeline";
+  const json::Value report = BuildRunReport(options);
+  ASSERT_TRUE(ValidateRunReport(report).ok())
+      << ValidateRunReport(report).ToString();
+
+  // The serialized document must survive our own parser under the default
+  // (untouched) parse limits — reports are consumed by external tooling
+  // through the same front door as every other JSON artifact.
+  const std::string text = report.DumpPretty();
+  auto parsed = json::Parse(text, json::ParseLimits());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Dump(), report.Dump());
+  EXPECT_TRUE(ValidateRunReport(*parsed).ok());
+  EXPECT_EQ(parsed->At("command").AsString(), "pipeline");
+  EXPECT_TRUE(parsed->At("deterministic").AsBool());
+  EXPECT_EQ(parsed->At("counters").At("revise.items_in").AsInt(), 42);
+  // Deterministic mode pins the volatile sections to zero.
+  EXPECT_EQ(parsed->At("process").At("peak_rss_bytes").AsInt(), 0);
+  EXPECT_EQ(parsed->At("execution").At("threads").AsInt(), 0);
+}
+
+TEST_F(ObservabilityTest, ValidateRejectsMalformedReports) {
+  RunReportOptions options;
+  options.command = "pipeline";
+  json::Value report = BuildRunReport(options);
+  report.AsObject()["kind"] = json::Value("neither");
+  EXPECT_FALSE(ValidateRunReport(report).ok());
+  report.AsObject()["kind"] = json::Value("run");
+  report.AsObject().erase("spans");
+  EXPECT_FALSE(ValidateRunReport(report).ok());
+  EXPECT_FALSE(ValidateRunReport(json::Value(3)).ok());
+}
+
+TEST_F(ObservabilityTest, CatalogDumpListsEveryMetricOnce) {
+  const std::string dump = MetricsRegistry::CatalogDump();
+  size_t lines = 0;
+  for (const char c : dump) lines += c == '\n';
+  EXPECT_EQ(lines, MetricCatalog().size());
+  for (const MetricDef& def : MetricCatalog()) {
+    EXPECT_NE(dump.find(def.name), std::string::npos) << def.name;
+  }
+}
+
+TEST_F(ObservabilityTest, BenchReportFlushAppendsValidatableLines) {
+  const std::string path =
+      ::testing::TempDir() + "/observability_test_bench.jsonl";
+  std::remove(path.c_str());
+  BenchReport::SetArtifact("Guard");
+  BenchReport::Record("overhead", 0.25, "%");
+  ASSERT_TRUE(BenchReport::FlushTo(path).ok());
+  // The buffer clears on flush: a second flush must not duplicate the line.
+  ASSERT_TRUE(BenchReport::FlushTo(path).ok());
+  BenchReport::Record("overhead", 0.5, "%");
+  ASSERT_TRUE(BenchReport::FlushTo(path).ok());
+
+  FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string text;
+  char buffer[4096];
+  size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    text.append(buffer, read);
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+
+  size_t lines = 0;
+  size_t start = 0;
+  while (start < text.size()) {
+    const size_t end = text.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    ++lines;
+    auto parsed = json::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_TRUE(ValidateRunReport(*parsed).ok());
+    EXPECT_EQ(parsed->At("kind").AsString(), "bench");
+    EXPECT_EQ(parsed->At("artifact").AsString(), "Guard");
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+}  // namespace
+}  // namespace coachlm

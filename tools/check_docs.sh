@@ -1,0 +1,66 @@
+#!/usr/bin/env sh
+# Doc-drift gate: the operator-facing documentation must cover everything
+# the binary actually exposes.
+#
+#   1. Every `--flag` in `coachlm`'s usage text must appear in README.md
+#      or docs/*.md.
+#   2. Every metric name in the registry's catalog dump
+#      (`coachlm metrics`) must appear in docs/OBSERVABILITY.md.
+#
+# Both sets are extracted from the *built binary*, not from the sources,
+# so adding a flag or a catalog entry without documenting it fails CI —
+# and removing a documented line fails the same way. Usage:
+#
+#   tools/check_docs.sh [BUILD_DIR]     # default: build
+set -u
+
+BUILD_DIR="${1:-build}"
+COACHLM="$BUILD_DIR/tools/coachlm"
+REPO_ROOT="$(dirname "$0")/.."
+
+if [ ! -x "$COACHLM" ]; then
+  echo "check_docs: $COACHLM not found or not executable" \
+       "(build the coachlm target first)" >&2
+  exit 2
+fi
+
+fail=0
+
+# --- 1. CLI flags -----------------------------------------------------
+# The usage text goes to stderr when invoked without a command.
+flags=$("$COACHLM" 2>&1 | grep -o -- '--[a-z][a-z-]*' | sort -u)
+if [ -z "$flags" ]; then
+  echo "check_docs: could not extract any --flags from the usage text" >&2
+  exit 2
+fi
+for flag in $flags; do
+  if ! grep -qr -- "$flag" "$REPO_ROOT/README.md" "$REPO_ROOT/docs"; then
+    echo "check_docs: FAIL: flag '$flag' (from coachlm usage) is not" \
+         "documented in README.md or docs/" >&2
+    fail=1
+  fi
+done
+
+# --- 2. Metric catalog ------------------------------------------------
+# Column 1 of the tab-separated catalog dump is the metric name.
+metrics=$("$COACHLM" metrics | cut -f1)
+if [ -z "$metrics" ]; then
+  echo "check_docs: could not extract the metric catalog" >&2
+  exit 2
+fi
+for metric in $metrics; do
+  if ! grep -q -- "$metric" "$REPO_ROOT/docs/OBSERVABILITY.md"; then
+    echo "check_docs: FAIL: metric '$metric' (from the registry catalog)" \
+         "is not documented in docs/OBSERVABILITY.md" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: documentation drift detected (see above)" >&2
+  exit 1
+fi
+n_flags=$(printf '%s\n' "$flags" | wc -l)
+n_metrics=$(printf '%s\n' "$metrics" | wc -l)
+echo "check_docs: OK ($n_flags flags, $n_metrics metrics all documented)"
+exit 0

@@ -35,12 +35,17 @@
 #include "common/cancel.h"
 #include "common/checkpoint.h"
 #include "common/clock.h"
+#include "common/env.h"
 #include "common/execution.h"
 #include "common/fault.h"
 #include "common/flags.h"
+#include "common/metrics.h"
+#include "common/report.h"
 #include "common/retry.h"
 #include "common/runtime.h"
 #include "common/table_writer.h"
+#include "common/trace.h"
+#include "json/jsonl.h"
 #include "json/parse_limits.h"
 #include "data/revision_io.h"
 #include "expert/pipeline.h"
@@ -82,6 +87,9 @@ constexpr char kUsage[] =
     "  pipeline  --size N --seed S --sample N --alpha A --backbone B\n"
     "            --out revised.json [--threads T]\n"
     "            generate -> study -> train -> revise in one run\n"
+    "  metrics   [--validate report.json]\n"
+    "            print the metric catalog (name, type, unit, stage, help);\n"
+    "            --validate schema-checks a run report or bench trajectory\n"
     "\n"
     "--threads T sizes the command\'s execution context (0 = default:\n"
     "COACHLM_THREADS or hardware concurrency); results are byte-identical\n"
@@ -112,7 +120,19 @@ constexpr char kUsage[] =
     "                          bytes (default 4194304)\n"
     "  --max-json-depth N      reject JSON nested deeper than N containers\n"
     "                          (default 32)\n"
-    "full parse-limit spec: COACHLM_PARSE_LIMITS (see ParseLimits::FromSpec)\n";
+    "full parse-limit spec: COACHLM_PARSE_LIMITS (see ParseLimits::FromSpec)\n"
+    "\n"
+    "observability (every command; see docs/OBSERVABILITY.md):\n"
+    "  --metrics-out FILE      write a machine-readable run report (JSON):\n"
+    "                          per-stage spans and wall time, metric\n"
+    "                          counters/gauges/histograms, thread\n"
+    "                          utilization, peak RSS\n"
+    "                          (default: COACHLM_METRICS_OUT)\n"
+    "  --metrics-deterministic pin the report's volatile fields — span\n"
+    "                          timings from a stepping clock, threads/RSS/\n"
+    "                          utilization zeroed — so a seeded run's\n"
+    "                          report is byte-identical at any thread\n"
+    "                          count (default: COACHLM_METRICS_DETERMINISTIC=1)\n";
 
 /// The command's execution context, sized by --threads (0 = default:
 /// COACHLM_THREADS, then hardware concurrency). Commands run once per
@@ -123,6 +143,23 @@ const ExecutionContext& FlagExec(const Flags& flags) {
   static const ExecutionContext exec(threads);
   return exec;
 }
+
+/// \name Observed dataset IO
+/// Dataset loads/saves wrapped in "load"/"save" spans, so run reports
+/// account for IO wall time explicitly instead of leaving it as uncovered
+/// root-span remainder.
+/// @{
+Result<InstructionDataset> LoadDataset(const std::string& path) {
+  const StageSpan span("load");
+  return InstructionDataset::LoadJson(path);
+}
+
+Status SaveDataset(const InstructionDataset& dataset,
+                   const std::string& path) {
+  const StageSpan span("save");
+  return dataset.SaveJson(path);
+}
+/// @}
 
 lm::BackboneProfile BackboneByName(const std::string& name) {
   if (name == "llama") return lm::Llama7B();
@@ -264,7 +301,7 @@ Status RunGenerate(const Flags& flags) {
     COACHLM_RETURN_NOT_OK(checkpoint->Finish());
   }
   const std::string out = flags.GetString("out", "corpus.json");
-  COACHLM_RETURN_NOT_OK(corpus.dataset.SaveJson(out));
+  COACHLM_RETURN_NOT_OK(SaveDataset(corpus.dataset, out));
   std::printf("wrote %zu pairs to %s\n", corpus.dataset.size(), out.c_str());
   ReportCancellation(governance, checkpoint->enabled());
   return ReportRuntime(*runtime, flags);
@@ -273,7 +310,7 @@ Status RunGenerate(const Flags& flags) {
 Status RunStudy(const Flags& flags) {
   COACHLM_ASSIGN_OR_RETURN(
       InstructionDataset corpus,
-      InstructionDataset::LoadJson(flags.GetString("in", "corpus.json")));
+      LoadDataset(flags.GetString("in", "corpus.json")));
   synth::ContentEngine engine;
   expert::RevisionStudyConfig config;
   config.sample_size = static_cast<size_t>(flags.GetInt("sample", 6000));
@@ -281,7 +318,10 @@ Status RunStudy(const Flags& flags) {
   const auto study =
       expert::RunRevisionStudy(corpus, engine, config, {}, FlagExec(flags));
   const std::string out = flags.GetString("out", "revisions.jsonl");
-  COACHLM_RETURN_NOT_OK(SaveRevisions(out, study.revisions));
+  {
+    const StageSpan save_span("save");
+    COACHLM_RETURN_NOT_OK(SaveRevisions(out, study.revisions));
+  }
   std::printf("examined %zu pairs: %zu excluded, %zu revised "
               "(instruction side %zu), %.0f person-days\n",
               config.sample_size, study.filter_stats.TotalExcluded(),
@@ -291,22 +331,30 @@ Status RunStudy(const Flags& flags) {
               out.c_str());
   if (flags.Has("merged")) {
     const std::string merged = flags.GetString("merged");
-    COACHLM_RETURN_NOT_OK(study.merged_dataset.SaveJson(merged));
+    COACHLM_RETURN_NOT_OK(SaveDataset(study.merged_dataset, merged));
     std::printf("wrote Alpaca-human training set to %s\n", merged.c_str());
   }
   return Status::OK();
 }
 
 Status RunTrain(const Flags& flags) {
-  COACHLM_ASSIGN_OR_RETURN(
-      RevisionDataset revisions,
-      LoadRevisions(flags.GetString("revisions", "revisions.jsonl")));
+  Result<RevisionDataset> loaded = [&] {
+    const StageSpan load_span("load");
+    return LoadRevisions(flags.GetString("revisions", "revisions.jsonl"));
+  }();
+  COACHLM_ASSIGN_OR_RETURN(RevisionDataset revisions, std::move(loaded));
   coach::CoachConfig config;
   config.alpha = flags.GetDouble("alpha", 0.3);
   config.backbone = BackboneByName(flags.GetString("backbone", "chatglm2"));
-  const coach::CoachLm model = coach::CoachTrainer(config).Train(revisions);
+  const coach::CoachLm model = [&] {
+    const StageSpan train_span("train");
+    return coach::CoachTrainer(config).Train(revisions);
+  }();
   const std::string checkpoint = flags.GetString("checkpoint", "coach.json");
-  COACHLM_RETURN_NOT_OK(model.SaveCheckpoint(checkpoint));
+  {
+    const StageSpan save_span("save");
+    COACHLM_RETURN_NOT_OK(model.SaveCheckpoint(checkpoint));
+  }
   std::printf("coach tuned on %zu of %zu revision pairs (alpha=%.2f, "
               "backbone=%s); checkpoint: %s\n",
               model.rules().train_pairs, revisions.size(), config.alpha,
@@ -317,7 +365,7 @@ Status RunTrain(const Flags& flags) {
 Status RunRevise(const Flags& flags) {
   COACHLM_ASSIGN_OR_RETURN(
       InstructionDataset corpus,
-      InstructionDataset::LoadJson(flags.GetString("in", "corpus.json")));
+      LoadDataset(flags.GetString("in", "corpus.json")));
   coach::CoachConfig config;
   config.alpha = flags.GetDouble("alpha", 0.3);
   config.backbone = BackboneByName(flags.GetString("backbone", "chatglm2"));
@@ -344,7 +392,7 @@ Status RunRevise(const Flags& flags) {
     COACHLM_RETURN_NOT_OK(checkpoint->Finish());
   }
   const std::string out = flags.GetString("out", "revised.json");
-  COACHLM_RETURN_NOT_OK(revised.SaveJson(out));
+  COACHLM_RETURN_NOT_OK(SaveDataset(revised, out));
   std::printf("revised %zu pairs (%zu changed, %zu invalid outputs "
               "replaced, %zu quarantined, %zu resumed); wrote %s\n",
               stats.total, stats.changed, stats.invalid_replaced,
@@ -356,7 +404,7 @@ Status RunRevise(const Flags& flags) {
 Status RunRate(const Flags& flags) {
   COACHLM_ASSIGN_OR_RETURN(
       InstructionDataset dataset,
-      InstructionDataset::LoadJson(flags.GetString("in", "corpus.json")));
+      LoadDataset(flags.GetString("in", "corpus.json")));
   const auto rating =
       quality::AccuracyRater().RateDataset(dataset, FlagExec(flags));
   std::printf("%zu pairs: mean rating %.2f / 5, %.1f%% above 4.5\n",
@@ -426,10 +474,10 @@ Status RunInspect(const Flags& flags) {
 Status RunDiff(const Flags& flags) {
   COACHLM_ASSIGN_OR_RETURN(
       InstructionDataset before,
-      InstructionDataset::LoadJson(flags.GetString("before")));
+      LoadDataset(flags.GetString("before")));
   COACHLM_ASSIGN_OR_RETURN(
       InstructionDataset after,
-      InstructionDataset::LoadJson(flags.GetString("after")));
+      LoadDataset(flags.GetString("after")));
   if (before.size() != after.size()) {
     return Status::InvalidArgument(
         "datasets differ in size (" + std::to_string(before.size()) +
@@ -461,16 +509,14 @@ Status RunDiff(const Flags& flags) {
 Status RunEvaluate(const Flags& flags) {
   COACHLM_ASSIGN_OR_RETURN(
       InstructionDataset original,
-      InstructionDataset::LoadJson(
-          flags.GetString("original", "corpus.json")));
+      LoadDataset(flags.GetString("original", "corpus.json")));
   COACHLM_ASSIGN_OR_RETURN(
       InstructionDataset revised,
-      InstructionDataset::LoadJson(
-          flags.GetString("revised", "revised.json")));
+      LoadDataset(flags.GetString("revised", "revised.json")));
   InstructionDataset human = original;
   if (flags.Has("human")) {
     COACHLM_ASSIGN_OR_RETURN(
-        human, InstructionDataset::LoadJson(flags.GetString("human")));
+        human, LoadDataset(flags.GetString("human")));
   }
   const std::string set_name = flags.GetString("testset", "coachlm150");
   testsets::TestSet set;
@@ -549,7 +595,7 @@ Status RunPipeline(const Flags& flags) {
   }
 
   const std::string out = flags.GetString("out", "revised.json");
-  COACHLM_RETURN_NOT_OK(result.revised_dataset.SaveJson(out));
+  COACHLM_RETURN_NOT_OK(SaveDataset(result.revised_dataset, out));
   std::printf("revised %zu pairs (%zu changed, %zu invalid outputs "
               "replaced, %zu quarantined, %zu recovered, %zu resumed); "
               "wrote %s\n",
@@ -610,6 +656,54 @@ Status ValidateFlags(const Flags& flags) {
   return Status::OK();
 }
 
+/// `coachlm metrics`: prints the metric catalog (the registry's single
+/// source of truth, which tools/check_docs.sh diffs against the docs), or
+/// with --validate schema-checks a run report — or a JSONL bench
+/// trajectory, validating each line — against ValidateRunReport.
+Status RunMetrics(const Flags& flags) {
+  if (!flags.Has("validate")) {
+    std::printf("%s", MetricsRegistry::CatalogDump().c_str());
+    return Status::OK();
+  }
+  const std::string path = flags.GetString("validate");
+  COACHLM_ASSIGN_OR_RETURN(const std::string text, json::ReadFile(path));
+  Result<json::Value> whole = json::Parse(text);
+  if (whole.ok()) {
+    COACHLM_RETURN_NOT_OK(ValidateRunReport(*whole));
+    std::printf("%s: valid run report\n", path.c_str());
+    return Status::OK();
+  }
+  // Not a single document: treat as a bench trajectory (one compact report
+  // per line, as CI appends to BENCH_pipeline.json).
+  size_t line_number = 0;
+  size_t validated = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t end = text.find('\n', start);
+    const std::string line =
+        text.substr(start, end == std::string::npos ? end : end - start);
+    ++line_number;
+    start = end == std::string::npos ? text.size() + 1 : end + 1;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    Result<json::Value> parsed = json::Parse(line);
+    if (!parsed.ok()) {
+      return Status::ParseError(path + ":" + std::to_string(line_number) +
+                                ": " + parsed.status().message());
+    }
+    const Status line_status = ValidateRunReport(*parsed);
+    if (!line_status.ok()) {
+      return Status::ParseError(path + ":" + std::to_string(line_number) +
+                                ": " + line_status.message());
+    }
+    ++validated;
+  }
+  if (validated == 0) {
+    return Status::ParseError(path + ": no JSON documents found");
+  }
+  std::printf("%s: valid trajectory (%zu reports)\n", path.c_str(), validated);
+  return Status::OK();
+}
+
 /// Applies --max-record-bytes / --max-json-depth on top of the
 /// environment-configured process-wide parse limits.
 void ApplyParseLimitFlags(const Flags& flags) {
@@ -634,7 +728,7 @@ int Main(int argc, char** argv) {
        "retry-max", "quarantine", "checkpoint-dir", "resume",
        "crash-after-commits", "checkpoint-interval", "study-seed",
        "deadline-ms", "stall-timeout-ms", "max-record-bytes",
-       "max-json-depth"});
+       "max-json-depth", "metrics-out", "metrics-deterministic", "validate"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n%s", flags.status().ToString().c_str(), kUsage);
     return 2;
@@ -646,6 +740,21 @@ int Main(int argc, char** argv) {
   }
   ApplyParseLimitFlags(*flags);
   const std::string& command = flags->command();
+  // Observability: when a report path is configured (flag or environment),
+  // arm metrics + tracing before dispatch and write the report after —
+  // even for a failed run, so operators can see where it got to.
+  const std::string metrics_out =
+      flags->Has("metrics-out") ? flags->GetString("metrics-out")
+                                : GetEnvOr("COACHLM_METRICS_OUT", "");
+  const bool metrics_deterministic =
+      flags->Has("metrics-deterministic") ||
+      GetEnvOr("COACHLM_METRICS_DETERMINISTIC", "") == "1";
+  int root_span = -1;
+  if (!metrics_out.empty() && command != "metrics") {
+    Observability::Default().Enable(metrics_deterministic);
+    FlagExec(*flags).set_collect_stats(true);
+    root_span = Observability::Default().trace().BeginSpan(command);
+  }
   Status status;
   if (command == "generate") status = RunGenerate(*flags);
   else if (command == "study") status = RunStudy(*flags);
@@ -656,9 +765,24 @@ int Main(int argc, char** argv) {
   else if (command == "inspect") status = RunInspect(*flags);
   else if (command == "evaluate") status = RunEvaluate(*flags);
   else if (command == "pipeline") status = RunPipeline(*flags);
+  else if (command == "metrics") status = RunMetrics(*flags);
   else {
     std::fprintf(stderr, "%s", kUsage);
     return command.empty() ? 0 : 2;
+  }
+  if (root_span >= 0) {
+    Observability::Default().trace().EndSpan(root_span);
+    RunReportOptions options;
+    options.command = command;
+    options.exec = &FlagExec(*flags);
+    const Status report_status = WriteRunReport(metrics_out, options);
+    if (!report_status.ok()) {
+      std::fprintf(stderr, "error: run report: %s\n",
+                   report_status.ToString().c_str());
+      if (status.ok()) return 1;
+    } else {
+      std::printf("wrote run report to %s\n", metrics_out.c_str());
+    }
   }
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
