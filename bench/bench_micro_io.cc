@@ -1,0 +1,213 @@
+// Corpus I/O throughput: one synthetic corpus serialized as JSONL and as
+// the binary columnar format, then scanned end-to-end through each
+// backend. Reports records/s and MB/s per path plus the binary-over-JSONL
+// speedup — the number the format exists to move (target: >= 3x on the
+// zero-copy scan). Decoded contents are checksummed and compared across
+// backends, so the run doubles as a cross-format equivalence check.
+
+#include <cstdio>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "bench_common.h"
+#include "common/table_writer.h"
+#include "data/binary_corpus.h"
+#include "data/corpus_io.h"
+#include "data/record_stream.h"
+#include "json/jsonl.h"
+
+namespace coachlm {
+namespace bench {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+uint64_t FoldField(std::string_view text, uint64_t h) {
+  for (const unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t FoldPair(const InstructionPair& pair, uint64_t h) {
+  h ^= pair.id;
+  h *= 1099511628211ULL;
+  h = FoldField(pair.instruction, h);
+  h = FoldField(pair.input, h);
+  h = FoldField(pair.output, h);
+  return h;
+}
+
+constexpr uint64_t kFnvBasis = 1469598103934665603ULL;
+constexpr int kRepeats = 3;
+
+struct ScanResult {
+  double seconds = 0.0;  ///< best of kRepeats
+  uint64_t hash = kFnvBasis;
+  uint64_t records = 0;
+};
+
+template <typename Fn>
+ScanResult BestOf(Fn&& scan_once) {
+  ScanResult best;
+  for (int r = 0; r < kRepeats; ++r) {
+    ScanResult attempt;
+    attempt.seconds = Seconds([&] { attempt = scan_once(attempt); });
+    if (r == 0 || attempt.seconds < best.seconds) best = attempt;
+  }
+  return best;
+}
+
+int Run() {
+  PrintHeader("micro: corpus io",
+              "JSONL vs binary columnar scan throughput, one corpus");
+
+  synth::CorpusConfig config;
+  config.size = Scaled(60000, 4000);
+  config.seed = 42;
+  const synth::SynthCorpus corpus = synth::SynthCorpusGenerator(config)
+                                        .Generate();
+  const InstructionDataset& dataset = corpus.dataset;
+
+  const std::string jsonl_path = TempPath("coachlm_bench_io.jsonl");
+  const std::string binary_path = TempPath("coachlm_bench_io.clmb");
+  CorpusWriteOptions jsonl_options;
+  jsonl_options.format = CorpusFormat::kJsonl;
+  double jsonl_write_seconds = 0.0;
+  double binary_write_seconds = 0.0;
+  Status io = Status::OK();
+  jsonl_write_seconds =
+      Seconds([&] { io = SaveCorpus(jsonl_path, dataset, jsonl_options); });
+  if (io.ok()) {
+    CorpusWriteOptions binary_options;
+    binary_options.format = CorpusFormat::kBinary;
+    binary_write_seconds = Seconds(
+        [&] { io = SaveCorpus(binary_path, dataset, binary_options); });
+  }
+  if (!io.ok()) {
+    std::fprintf(stderr, "bench corpus write failed: %s\n",
+                 io.ToString().c_str());
+    return 1;
+  }
+  const auto file_bytes = [](const std::string& path) {
+    std::error_code ec;
+    const auto bytes = std::filesystem::file_size(path, ec);
+    return ec ? 0.0 : static_cast<double>(bytes);
+  };
+  const double jsonl_bytes = file_bytes(jsonl_path);
+  const double binary_bytes = file_bytes(binary_path);
+
+  // JSONL: the text baseline — full parse + materialized pairs.
+  const ScanResult jsonl = BestOf([&](ScanResult out) {
+    auto reader = JsonlRecordReader::Open(jsonl_path);
+    if (!reader.ok()) return out;
+    InstructionPair pair;
+    while (true) {
+      auto more = (*reader)->Next(&pair);
+      if (!more.ok() || !*more) break;
+      out.hash = FoldPair(pair, out.hash);
+      ++out.records;
+    }
+    return out;
+  });
+
+  // Binary, materialized: same Next() contract as JSONL, mapped blocks.
+  const ScanResult materialized = BestOf([&](ScanResult out) {
+    auto reader = BinaryCorpusReader::Open(binary_path);
+    if (!reader.ok()) return out;
+    InstructionPair pair;
+    while (true) {
+      auto more = (*reader)->Next(&pair);
+      if (!more.ok() || !*more) break;
+      out.hash = FoldPair(pair, out.hash);
+      ++out.records;
+    }
+    return out;
+  });
+
+  // Binary, zero-copy: RecordViews straight into the mapping.
+  const ScanResult zero_copy = BestOf([&](ScanResult out) {
+    auto reader = BinaryCorpusReader::Open(binary_path);
+    if (!reader.ok()) return out;
+    const Status scanned = (*reader)->Scan([&](const RecordView& view) {
+      uint64_t h = out.hash;
+      h ^= view.id;
+      h *= 1099511628211ULL;
+      h = FoldField(view.instruction, h);
+      h = FoldField(view.input, h);
+      h = FoldField(view.output, h);
+      out.hash = h;
+      ++out.records;
+    });
+    if (!scanned.ok()) out.records = 0;
+    return out;
+  });
+
+  struct Row {
+    const char* name;
+    const ScanResult* result;
+    double bytes;
+  };
+  const Row rows[] = {
+      {"jsonl parse", &jsonl, jsonl_bytes},
+      {"binary Next()", &materialized, binary_bytes},
+      {"binary Scan()", &zero_copy, binary_bytes},
+  };
+  TableWriter table({"Path", "records/s", "MB/s", "vs jsonl"});
+  const double jsonl_rate =
+      jsonl.seconds > 0 ? static_cast<double>(jsonl.records) / jsonl.seconds
+                        : 0.0;
+  for (const Row& row : rows) {
+    const double rate =
+        row.result->seconds > 0
+            ? static_cast<double>(row.result->records) / row.result->seconds
+            : 0.0;
+    table.AddRow({row.name, TableWriter::Num(rate, 0),
+                  TableWriter::Num(row.bytes / 1e6 / row.result->seconds, 1),
+                  jsonl_rate > 0 ? TableWriter::Num(rate / jsonl_rate, 2) + "x"
+                                 : "-"});
+  }
+  std::printf("%s", table.ToAscii().c_str());
+  std::printf("file bytes: jsonl %.0f, binary %.0f (%.2fx smaller)\n",
+              jsonl_bytes, binary_bytes,
+              binary_bytes > 0 ? jsonl_bytes / binary_bytes : 0.0);
+  std::printf("write seconds: jsonl %.3f, binary %.3f\n", jsonl_write_seconds,
+              binary_write_seconds);
+
+  const bool hashes_match = jsonl.records == dataset.size() &&
+                            materialized.records == dataset.size() &&
+                            zero_copy.records == dataset.size() &&
+                            jsonl.hash == materialized.hash &&
+                            jsonl.hash == zero_copy.hash;
+  std::printf("decoded contents identical across backends: %s\n",
+              hashes_match ? "yes" : "NO (format equivalence violation)");
+
+  const double scan_rate =
+      zero_copy.seconds > 0
+          ? static_cast<double>(zero_copy.records) / zero_copy.seconds
+          : 0.0;
+  const double speedup = jsonl_rate > 0 ? scan_rate / jsonl_rate : 0.0;
+  Record("jsonl_records_per_sec", jsonl_rate, "records/s");
+  Record("binary_scan_records_per_sec", scan_rate, "records/s");
+  Record("binary_scan_speedup_vs_jsonl", speedup, "ratio");
+  Record("binary_bytes_per_record",
+         dataset.empty() ? 0.0
+                         : binary_bytes / static_cast<double>(dataset.size()),
+         "bytes");
+  std::printf("binary Scan() speedup over jsonl: %.2fx (target >= 3x)\n",
+              speedup);
+
+  std::remove(jsonl_path.c_str());
+  std::remove(binary_path.c_str());
+  return hashes_match && speedup >= 3.0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace coachlm
+
+int main() { return coachlm::bench::Run(); }

@@ -570,6 +570,23 @@ InstructionDataset CoachLm::ReviseDataset(
   return ReviseDataset(dataset, training_instructions, stats, exec);
 }
 
+Result<RevisionPassStats> CoachLm::ReviseRecords(
+    RecordReader* reader, RecordWriter* writer,
+    const std::unordered_set<std::string>& training_instructions,
+    const ExecutionContext& exec, PipelineRuntime* runtime,
+    StageCheckpointer* checkpoint) const {
+  // The revision algorithm parallelizes over random-access pairs, so the
+  // stream materializes once; per-pair id-derived RNG keeps the output
+  // independent of how the stream was sharded.
+  COACHLM_ASSIGN_OR_RETURN(InstructionDataset dataset,
+                           ReadAllRecords(reader));
+  RevisionPassStats stats;
+  const InstructionDataset revised = ReviseDataset(
+      dataset, training_instructions, &stats, exec, runtime, checkpoint);
+  COACHLM_RETURN_NOT_OK(WriteAllRecords(writer, revised));
+  return stats;
+}
+
 Status CoachLm::SaveCheckpoint(const std::string& path) const {
   return json::WriteFile(path, rules_.ToJson().DumpPretty());
 }

@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "common/runtime.h"
 #include "data/dataset.h"
+#include "data/record_stream.h"
 #include "lm/backbone.h"
 #include "lm/rule_store.h"
 
@@ -83,6 +84,18 @@ class CoachLm {
       const std::unordered_set<std::string>& training_instructions,
       RevisionPassStats* stats, const ExecutionContext& exec,
       PipelineRuntime* runtime = nullptr,
+      StageCheckpointer* checkpoint = nullptr) const;
+
+  /// Record-stream form of ReviseDataset: drains \p reader, revises, and
+  /// streams the revised pairs into \p writer (without closing it — the
+  /// caller owns the artifact lifecycle, so shards can share one writer).
+  /// Because every pair's randomness derives from the config seed and the
+  /// *pair id*, never its position, revising a corpus shard by shard and
+  /// concatenating in shard order is byte-identical to revising it whole.
+  [[nodiscard]] Result<RevisionPassStats> ReviseRecords(
+      RecordReader* reader, RecordWriter* writer,
+      const std::unordered_set<std::string>& training_instructions,
+      const ExecutionContext& exec, PipelineRuntime* runtime = nullptr,
       StageCheckpointer* checkpoint = nullptr) const;
 
   /// Legacy thread-count entry point: \p num_threads = 0 uses

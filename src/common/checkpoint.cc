@@ -40,6 +40,16 @@ std::string ConfigFingerprint(const std::string& description) {
   return buffer;
 }
 
+std::string ShardStageName(const std::string& stage, size_t shard_index,
+                           size_t shard_count) {
+  const auto pad5 = [](size_t value) {
+    std::string digits = std::to_string(value);
+    if (digits.size() < 5) digits.insert(0, 5 - digits.size(), '0');
+    return digits;
+  };
+  return stage + ".shard-" + pad5(shard_index) + "-of-" + pad5(shard_count);
+}
+
 StageCheckpointer::StageCheckpointer(std::string dir, std::string stage,
                                      std::string fingerprint, size_t interval)
     : dir_(std::move(dir)),

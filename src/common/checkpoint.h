@@ -27,6 +27,13 @@ namespace coachlm {
 /// configuration is rejected instead of silently mixing outputs.
 std::string ConfigFingerprint(const std::string& description);
 
+/// \brief Stage name of one shard of a sharded pass, e.g.
+/// "revise.shard-00002-of-00008". Each shard checkpoints under its own
+/// journal and is an independent resume unit: killing a sharded run and
+/// resuming recomputes only the unfinished shards' remainders.
+std::string ShardStageName(const std::string& stage, size_t shard_index,
+                           size_t shard_count);
+
 /// \brief Crash-safe progress journal for one corpus-scale stage.
 ///
 /// Layout under the checkpoint directory:

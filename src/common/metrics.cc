@@ -45,6 +45,18 @@ const std::vector<MetricDef>& MetricCatalog() {
        "Pairs dropped from the corpus after permanent collection failure"},
       {"generate.items_out", MetricType::kCounter, "items", "generate",
        "Pairs synthesized into the corpus"},
+      {"io.bytes_read", MetricType::kCounter, "bytes", "io",
+       "Corpus payload bytes read (mapped or buffered) across all backends"},
+      {"io.bytes_written", MetricType::kCounter, "bytes", "io",
+       "Corpus payload bytes written across all backends"},
+      {"io.pool_dedup_hits", MetricType::kCounter, "strings", "io",
+       "Strings deduplicated away by binary-block string pools"},
+      {"io.records_read", MetricType::kCounter, "records", "io",
+       "Instruction pairs decoded from corpus files"},
+      {"io.records_written", MetricType::kCounter, "records", "io",
+       "Instruction pairs encoded into corpus files"},
+      {"io.shards_opened", MetricType::kCounter, "shards", "io",
+       "Shard files opened through manifest readers"},
       {"judge.items_judged", MetricType::kCounter, "items", "judge",
        "Test-set items with a pairwise verdict"},
       {"judge.items_unjudged", MetricType::kCounter, "items", "judge",

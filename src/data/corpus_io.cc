@@ -1,0 +1,158 @@
+#include "data/corpus_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "data/binary_corpus.h"
+
+namespace coachlm {
+namespace {
+
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Reads up to 64 leading bytes — enough for the magic, the manifest key,
+/// or the first JSON token — without loading the file.
+Result<std::string> ReadPrefix(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  char buffer[64];
+  const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+  ::close(fd);
+  if (n < 0) {
+    return Status::IoError("cannot read '" + path + "'");
+  }
+  return std::string(buffer, static_cast<size_t>(n));
+}
+
+char FirstNonWhitespace(const std::string& text) {
+  for (const char c : text) {
+    if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return c;
+  }
+  return '\0';
+}
+
+}  // namespace
+
+Result<CorpusSniff> SniffCorpus(const std::string& path) {
+  COACHLM_ASSIGN_OR_RETURN(const std::string prefix, ReadPrefix(path));
+  CorpusSniff sniff;
+  if (HasBinaryCorpusMagic(prefix)) {
+    sniff.format = CorpusFormat::kBinary;
+    return sniff;
+  }
+  if (EndsWith(path, ".manifest.json") || LooksLikeShardManifest(prefix)) {
+    sniff.sharded = true;
+    sniff.format = CorpusFormat::kAuto;  // The manifest pins it.
+    return sniff;
+  }
+  const char first = FirstNonWhitespace(prefix);
+  if (first == '[') {
+    sniff.format = CorpusFormat::kJson;
+  } else {
+    // '{' (or an empty file, an empty corpus) parses as JSONL.
+    sniff.format = CorpusFormat::kJsonl;
+  }
+  return sniff;
+}
+
+Result<std::unique_ptr<RecordReader>> OpenCorpusReader(
+    const std::string& path, const RecordReadOptions& options) {
+  CorpusSniff sniff;
+  if (options.format == CorpusFormat::kAuto) {
+    COACHLM_ASSIGN_OR_RETURN(sniff, SniffCorpus(path));
+  } else {
+    sniff.format = options.format;
+    // An explicit --format applies to the shards; the manifest is still a
+    // manifest.
+    COACHLM_ASSIGN_OR_RETURN(const std::string prefix, ReadPrefix(path));
+    sniff.sharded =
+        EndsWith(path, ".manifest.json") || LooksLikeShardManifest(prefix);
+  }
+  if (sniff.sharded) {
+    COACHLM_ASSIGN_OR_RETURN(std::unique_ptr<ShardedRecordReader> reader,
+                             ShardedRecordReader::Open(path, options));
+    return std::unique_ptr<RecordReader>(std::move(reader));
+  }
+  RecordReadOptions resolved = options;
+  resolved.format = sniff.format;
+  switch (sniff.format) {
+    case CorpusFormat::kBinary: {
+      COACHLM_ASSIGN_OR_RETURN(std::unique_ptr<BinaryCorpusReader> reader,
+                               BinaryCorpusReader::Open(path, resolved));
+      return std::unique_ptr<RecordReader>(std::move(reader));
+    }
+    case CorpusFormat::kJsonl: {
+      COACHLM_ASSIGN_OR_RETURN(std::unique_ptr<JsonlRecordReader> reader,
+                               JsonlRecordReader::Open(path, resolved));
+      return std::unique_ptr<RecordReader>(std::move(reader));
+    }
+    case CorpusFormat::kJson:
+    case CorpusFormat::kAuto:
+      break;
+  }
+  COACHLM_ASSIGN_OR_RETURN(std::unique_ptr<JsonArrayRecordReader> reader,
+                           JsonArrayRecordReader::Open(path));
+  return std::unique_ptr<RecordReader>(std::move(reader));
+}
+
+CorpusFormat ResolveWriterFormat(const std::string& path, CorpusFormat format,
+                                 bool sharded) {
+  if (format != CorpusFormat::kAuto) return format;
+  if (sharded) return CorpusFormat::kBinary;
+  if (EndsWith(path, ".jsonl")) return CorpusFormat::kJsonl;
+  if (EndsWith(path, ".clmb") || EndsWith(path, ".bin")) {
+    return CorpusFormat::kBinary;
+  }
+  return CorpusFormat::kJson;
+}
+
+Result<std::unique_ptr<RecordWriter>> OpenCorpusWriter(
+    const std::string& path, const CorpusWriteOptions& options) {
+  if (options.shards == 0) {
+    return Status::InvalidArgument("shard count must be at least 1");
+  }
+  const bool sharded = options.shards > 1 || EndsWith(path, ".manifest.json");
+  const CorpusFormat format =
+      ResolveWriterFormat(path, options.format, sharded);
+  if (sharded) {
+    return std::unique_ptr<RecordWriter>(
+        std::make_unique<ShardedRecordWriter>(path, format, options.shards));
+  }
+  switch (format) {
+    case CorpusFormat::kBinary:
+      return std::unique_ptr<RecordWriter>(
+          std::make_unique<BinaryCorpusWriter>(path));
+    case CorpusFormat::kJsonl:
+      return std::unique_ptr<RecordWriter>(
+          std::make_unique<JsonlRecordWriter>(path));
+    case CorpusFormat::kJson:
+    case CorpusFormat::kAuto:
+      break;
+  }
+  return std::unique_ptr<RecordWriter>(
+      std::make_unique<JsonArrayRecordWriter>(path));
+}
+
+Result<InstructionDataset> LoadCorpus(const std::string& path,
+                                      const RecordReadOptions& options) {
+  COACHLM_ASSIGN_OR_RETURN(std::unique_ptr<RecordReader> reader,
+                           OpenCorpusReader(path, options));
+  return ReadAllRecords(reader.get());
+}
+
+Status SaveCorpus(const std::string& path, const InstructionDataset& dataset,
+                  const CorpusWriteOptions& options) {
+  COACHLM_ASSIGN_OR_RETURN(std::unique_ptr<RecordWriter> writer,
+                           OpenCorpusWriter(path, options));
+  COACHLM_RETURN_NOT_OK(WriteAllRecords(writer.get(), dataset));
+  return writer->Close();
+}
+
+}  // namespace coachlm

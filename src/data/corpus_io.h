@@ -1,0 +1,75 @@
+#ifndef COACHLM_DATA_CORPUS_IO_H_
+#define COACHLM_DATA_CORPUS_IO_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "data/record_stream.h"
+#include "data/shard.h"
+
+namespace coachlm {
+
+/// \name Corpus factories
+///
+/// The one place that knows every on-disk corpus shape. Everything above
+/// (stages, CLI commands) asks for a RecordReader / RecordWriter by path
+/// and lets these factories pick the backend.
+/// @{
+
+/// \brief What SniffCorpus concluded about a file.
+struct CorpusSniff {
+  CorpusFormat format = CorpusFormat::kJson;
+  bool sharded = false;  ///< Path is a shard manifest.
+};
+
+/// Identifies a corpus file from its leading bytes: the binary magic, a
+/// shard-manifest object (first key "coachlm_manifest"), a JSON array, or
+/// JSONL (an object on the first line). Empty files sniff as JSONL (an
+/// empty corpus).
+[[nodiscard]] Result<CorpusSniff> SniffCorpus(const std::string& path);
+
+/// Opens \p path with the backend chosen by options.format, or by
+/// sniffing under kAuto. Shard manifests are always recognized (whatever
+/// the requested format — the manifest itself pins its shards' format).
+[[nodiscard]] Result<std::unique_ptr<RecordReader>> OpenCorpusReader(
+    const std::string& path, const RecordReadOptions& options = {});
+
+/// \brief Write-side choices of a corpus artifact.
+struct CorpusWriteOptions {
+  /// Concrete format, or kAuto to resolve from the path's extension:
+  /// ".jsonl" is JSONL, ".clmb"/".bin" is binary, a ".manifest.json"
+  /// sharded target defaults to binary shards, anything else is the
+  /// pretty JSON array the pre-stream CLI wrote.
+  CorpusFormat format = CorpusFormat::kAuto;
+  /// Number of shards. Output is sharded (manifest + shard files) when
+  /// this is > 1 or the path names a ".manifest.json"; 1 writes a single
+  /// file. The CLI rejects 0 before it gets here.
+  size_t shards = 1;
+};
+
+/// Resolves kAuto against \p path per CorpusWriteOptions::format rules.
+CorpusFormat ResolveWriterFormat(const std::string& path, CorpusFormat format,
+                                 bool sharded);
+
+/// Creates the writer for \p path. The artifact is incomplete until
+/// Close() succeeds.
+[[nodiscard]] Result<std::unique_ptr<RecordWriter>> OpenCorpusWriter(
+    const std::string& path, const CorpusWriteOptions& options = {});
+
+/// Materializes the whole corpus at \p path (any backend).
+[[nodiscard]] Result<InstructionDataset> LoadCorpus(
+    const std::string& path, const RecordReadOptions& options = {});
+
+/// Writes \p dataset to \p path (any backend), Close() included.
+[[nodiscard]] Status SaveCorpus(const std::string& path,
+                                const InstructionDataset& dataset,
+                                const CorpusWriteOptions& options = {});
+
+/// @}
+
+}  // namespace coachlm
+
+#endif  // COACHLM_DATA_CORPUS_IO_H_

@@ -35,6 +35,29 @@ DatasetStats InstructionDataset::ComputeStats() const {
   return stats;
 }
 
+DatasetStats MergeDatasetStats(const std::vector<DatasetStats>& parts) {
+  DatasetStats merged;
+  double iw = 0, rw = 0, ic = 0, rc = 0;
+  for (const DatasetStats& part : parts) {
+    const double n = static_cast<double>(part.size);
+    merged.size += part.size;
+    iw += part.avg_instruction_words * n;
+    rw += part.avg_response_words * n;
+    ic += part.avg_instruction_chars * n;
+    rc += part.avg_response_chars * n;
+    for (const auto& [category, count] : part.category_counts) {
+      merged.category_counts[category] += count;
+    }
+  }
+  if (merged.size == 0) return merged;
+  const double total = static_cast<double>(merged.size);
+  merged.avg_instruction_words = iw / total;
+  merged.avg_response_words = rw / total;
+  merged.avg_instruction_chars = ic / total;
+  merged.avg_response_chars = rc / total;
+  return merged;
+}
+
 InstructionDataset InstructionDataset::SampleWithoutReplacement(
     size_t n, Rng* rng) const {
   if (n >= pairs_.size()) return *this;

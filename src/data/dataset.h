@@ -23,6 +23,14 @@ struct DatasetStats {
   std::map<Category, size_t> category_counts;
 };
 
+/// \brief Merges per-shard statistics into whole-corpus statistics.
+///
+/// Averages recombine size-weighted and category counts sum, so the merge
+/// is commutative (any shard order yields the same result up to
+/// floating-point association; the pipeline always merges in manifest
+/// order, which pins the bytes of deterministic-mode run reports).
+DatasetStats MergeDatasetStats(const std::vector<DatasetStats>& parts);
+
 /// \brief An ordered collection of instruction pairs with Alpaca-JSON I/O.
 ///
 /// This is the dataset V / D of Section II-F: the unit that flows through

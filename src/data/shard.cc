@@ -1,0 +1,309 @@
+#include "data/shard.h"
+
+#include <sys/stat.h>
+
+#include <utility>
+
+#include "common/metrics.h"
+#include "data/binary_corpus.h"
+#include "json/jsonl.h"
+
+namespace coachlm {
+namespace {
+
+const char* FormatExtension(CorpusFormat format) {
+  switch (format) {
+    case CorpusFormat::kBinary:
+      return ".clmb";
+    case CorpusFormat::kJsonl:
+      return ".jsonl";
+    case CorpusFormat::kJson:
+      return ".json";
+    case CorpusFormat::kAuto:
+      break;
+  }
+  return ".json";
+}
+
+std::string ZeroPad5(size_t value) {
+  std::string digits = std::to_string(value);
+  if (digits.size() < 5) digits.insert(0, 5 - digits.size(), '0');
+  return digits;
+}
+
+Result<uint64_t> FileSizeBytes(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IoError("cannot stat '" + path + "'");
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+/// Opens a single-file reader of a *known* concrete format — shards never
+/// sniff; the manifest is the source of truth.
+Result<std::unique_ptr<RecordReader>> OpenSingleFileReader(
+    const std::string& path, CorpusFormat format,
+    const RecordReadOptions& options) {
+  switch (format) {
+    case CorpusFormat::kBinary: {
+      COACHLM_ASSIGN_OR_RETURN(std::unique_ptr<BinaryCorpusReader> reader,
+                               BinaryCorpusReader::Open(path, options));
+      return std::unique_ptr<RecordReader>(std::move(reader));
+    }
+    case CorpusFormat::kJsonl: {
+      COACHLM_ASSIGN_OR_RETURN(std::unique_ptr<JsonlRecordReader> reader,
+                               JsonlRecordReader::Open(path, options));
+      return std::unique_ptr<RecordReader>(std::move(reader));
+    }
+    case CorpusFormat::kJson: {
+      COACHLM_ASSIGN_OR_RETURN(std::unique_ptr<JsonArrayRecordReader> reader,
+                               JsonArrayRecordReader::Open(path));
+      return std::unique_ptr<RecordReader>(std::move(reader));
+    }
+    case CorpusFormat::kAuto:
+      break;
+  }
+  return Status::InvalidArgument("shard format must be concrete, not auto");
+}
+
+std::unique_ptr<RecordWriter> MakeSingleFileWriter(const std::string& path,
+                                                   CorpusFormat format) {
+  switch (format) {
+    case CorpusFormat::kBinary:
+      return std::make_unique<BinaryCorpusWriter>(path);
+    case CorpusFormat::kJsonl:
+      return std::make_unique<JsonlRecordWriter>(path);
+    case CorpusFormat::kJson:
+    case CorpusFormat::kAuto:
+      break;
+  }
+  return std::make_unique<JsonArrayRecordWriter>(path);
+}
+
+}  // namespace
+
+uint64_t ShardManifest::TotalRecords() const {
+  uint64_t total = 0;
+  for (const ShardEntry& shard : shards) total += shard.records;
+  return total;
+}
+
+json::Value ShardManifest::ToJson() const {
+  json::Object doc;
+  doc[kShardManifestKey] =
+      json::Value(static_cast<int64_t>(kShardManifestVersion));
+  doc["format"] = json::Value(std::string(CorpusFormatName(format)));
+  json::Array entries;
+  entries.reserve(shards.size());
+  for (const ShardEntry& shard : shards) {
+    json::Object entry;
+    entry["bytes"] = json::Value(static_cast<int64_t>(shard.bytes));
+    entry["file"] = json::Value(shard.file);
+    entry["records"] = json::Value(static_cast<int64_t>(shard.records));
+    entries.push_back(json::Value(std::move(entry)));
+  }
+  doc["shards"] = json::Value(std::move(entries));
+  return json::Value(std::move(doc));
+}
+
+Result<ShardManifest> ShardManifest::FromJson(const json::Value& doc) {
+  if (!doc.is_object()) {
+    return Status::ParseError("shard manifest must be a JSON object");
+  }
+  COACHLM_ASSIGN_OR_RETURN(const double version,
+                           doc.GetNumber(kShardManifestKey));
+  if (static_cast<uint32_t>(version) != kShardManifestVersion) {
+    return Status::ParseError(
+        "unsupported shard manifest version " +
+        std::to_string(static_cast<int64_t>(version)) +
+        " (reader supports version " + std::to_string(kShardManifestVersion) +
+        ")");
+  }
+  COACHLM_ASSIGN_OR_RETURN(const std::string format_name,
+                           doc.GetString("format"));
+  ShardManifest manifest;
+  COACHLM_ASSIGN_OR_RETURN(manifest.format, ParseCorpusFormat(format_name));
+  if (manifest.format == CorpusFormat::kAuto) {
+    return Status::ParseError("shard manifest format must be concrete");
+  }
+  const json::Object& object = doc.AsObject();
+  const auto it = object.find("shards");
+  if (it == object.end() || !it->second.is_array()) {
+    return Status::ParseError("shard manifest is missing the shards array");
+  }
+  for (const json::Value& value : it->second.AsArray()) {
+    ShardEntry entry;
+    COACHLM_ASSIGN_OR_RETURN(entry.file, value.GetString("file"));
+    COACHLM_ASSIGN_OR_RETURN(const double records, value.GetNumber("records"));
+    COACHLM_ASSIGN_OR_RETURN(const double bytes, value.GetNumber("bytes"));
+    entry.records = static_cast<uint64_t>(records);
+    entry.bytes = static_cast<uint64_t>(bytes);
+    if (entry.file.empty()) {
+      return Status::ParseError("shard manifest entry has an empty file name");
+    }
+    manifest.shards.push_back(std::move(entry));
+  }
+  return manifest;
+}
+
+Status ShardManifest::Save(const std::string& path) const {
+  return json::WriteFile(path, ToJson().DumpPretty());
+}
+
+Result<ShardManifest> ShardManifest::Load(const std::string& path) {
+  COACHLM_ASSIGN_OR_RETURN(std::string text, json::ReadFile(path));
+  COACHLM_ASSIGN_OR_RETURN(json::Value doc, json::Parse(text));
+  return FromJson(doc);
+}
+
+bool LooksLikeShardManifest(std::string_view prefix) {
+  size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < prefix.size() &&
+           (prefix[i] == ' ' || prefix[i] == '\t' || prefix[i] == '\n' ||
+            prefix[i] == '\r')) {
+      ++i;
+    }
+  };
+  skip_ws();
+  if (i >= prefix.size() || prefix[i] != '{') return false;
+  ++i;
+  skip_ws();
+  if (i >= prefix.size() || prefix[i] != '"') return false;
+  ++i;
+  const std::string_view key(kShardManifestKey);
+  return prefix.substr(i, key.size()) == key;
+}
+
+std::string ShardFileName(const std::string& manifest_path,
+                          CorpusFormat format, size_t index, size_t count) {
+  const std::string suffix = ".manifest.json";
+  std::string stem = manifest_path;
+  if (stem.size() > suffix.size() &&
+      stem.compare(stem.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    stem.resize(stem.size() - suffix.size());
+  } else {
+    const size_t slash = stem.find_last_of('/');
+    const size_t dot = stem.find_last_of('.');
+    if (dot != std::string::npos &&
+        (slash == std::string::npos || dot > slash)) {
+      stem.resize(dot);
+    }
+  }
+  return stem + ".shard-" + ZeroPad5(index) + "-of-" + ZeroPad5(count) +
+         FormatExtension(format);
+}
+
+std::string DirnameWithSlash(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return std::string();
+  return path.substr(0, slash + 1);
+}
+
+std::vector<size_t> SplitShardCounts(size_t total, size_t shards) {
+  std::vector<size_t> counts;
+  if (shards == 0) return counts;
+  counts.reserve(shards);
+  const size_t base = total / shards;
+  const size_t extra = total % shards;
+  for (size_t i = 0; i < shards; ++i) {
+    counts.push_back(base + (i < extra ? 1 : 0));
+  }
+  return counts;
+}
+
+Result<std::unique_ptr<RecordReader>> OpenShard(
+    const ShardManifest& manifest, const std::string& manifest_path,
+    size_t shard_index, const RecordReadOptions& options) {
+  if (shard_index >= manifest.shards.size()) {
+    return Status::OutOfRange("shard index " + std::to_string(shard_index) +
+                              " out of range for manifest with " +
+                              std::to_string(manifest.shards.size()) +
+                              " shards");
+  }
+  const std::string path =
+      DirnameWithSlash(manifest_path) + manifest.shards[shard_index].file;
+  RecordReadOptions shard_options = options;
+  shard_options.format = manifest.format;
+  CountMetric("io.shards_opened", 1);
+  return OpenSingleFileReader(path, manifest.format, shard_options);
+}
+
+Result<std::unique_ptr<ShardedRecordReader>> ShardedRecordReader::Open(
+    const std::string& manifest_path, const RecordReadOptions& options) {
+  std::unique_ptr<ShardedRecordReader> reader(new ShardedRecordReader());
+  COACHLM_ASSIGN_OR_RETURN(reader->manifest_,
+                           ShardManifest::Load(manifest_path));
+  reader->dir_ = DirnameWithSlash(manifest_path);
+  reader->options_ = options;
+  reader->options_.format = reader->manifest_.format;
+  return reader;
+}
+
+size_t ShardedRecordReader::SizeHint() const {
+  return static_cast<size_t>(manifest_.TotalRecords());
+}
+
+Result<bool> ShardedRecordReader::Next(InstructionPair* pair) {
+  while (true) {
+    if (current_ == nullptr) {
+      if (next_shard_ >= manifest_.shards.size()) return false;
+      const std::string path = dir_ + manifest_.shards[next_shard_].file;
+      CountMetric("io.shards_opened", 1);
+      COACHLM_ASSIGN_OR_RETURN(
+          current_,
+          OpenSingleFileReader(path, manifest_.format, options_));
+      ++next_shard_;
+    }
+    COACHLM_ASSIGN_OR_RETURN(const bool more, current_->Next(pair));
+    if (more) return true;
+    current_.reset();
+  }
+}
+
+ShardedRecordWriter::ShardedRecordWriter(std::string manifest_path,
+                                         CorpusFormat format,
+                                         size_t num_shards)
+    : manifest_path_(std::move(manifest_path)),
+      format_(format == CorpusFormat::kAuto ? CorpusFormat::kBinary : format),
+      num_shards_(num_shards == 0 ? 1 : num_shards) {}
+
+Status ShardedRecordWriter::Write(const InstructionPair& pair) {
+  if (closed_) {
+    return Status::FailedPrecondition("write to closed record writer");
+  }
+  pending_.push_back(pair);
+  return Status::OK();
+}
+
+Status ShardedRecordWriter::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  ShardManifest manifest;
+  manifest.format = format_;
+  const std::vector<size_t> counts =
+      SplitShardCounts(pending_.size(), num_shards_);
+  const std::string dir = DirnameWithSlash(manifest_path_);
+  size_t next = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const std::string path =
+        ShardFileName(manifest_path_, format_, i, counts.size());
+    std::unique_ptr<RecordWriter> writer = MakeSingleFileWriter(path, format_);
+    for (size_t k = 0; k < counts[i]; ++k) {
+      COACHLM_RETURN_NOT_OK(writer->Write(pending_[next++]));
+    }
+    COACHLM_RETURN_NOT_OK(writer->Close());
+    ShardEntry entry;
+    // Manifest entries are manifest-relative so the corpus directory can
+    // move wholesale.
+    entry.file = dir.empty() ? path : path.substr(dir.size());
+    entry.records = counts[i];
+    COACHLM_ASSIGN_OR_RETURN(entry.bytes, FileSizeBytes(path));
+    manifest.shards.push_back(std::move(entry));
+  }
+  // Manifest last: a crash before this line leaves no manifest, so readers
+  // never observe a half-written sharded corpus.
+  return manifest.Save(manifest_path_);
+}
+
+}  // namespace coachlm

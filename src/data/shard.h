@@ -1,0 +1,127 @@
+#ifndef COACHLM_DATA_SHARD_H_
+#define COACHLM_DATA_SHARD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "data/record_stream.h"
+#include "json/json.h"
+
+namespace coachlm {
+
+/// \name Sharded corpus layout (see docs/FORMAT.md)
+///
+/// A sharded corpus is a self-describing manifest — a small JSON object —
+/// plus N shard files in any single-file corpus format. The manifest
+/// records the format and, per shard, the file name (relative to the
+/// manifest), record count, and byte size. Shards partition the corpus
+/// contiguously and in order, so reading shard 0..N-1 back-to-back yields
+/// exactly the unsharded record sequence; that, plus per-item derived RNG
+/// in the stages, is what makes per-shard execution byte-identical to
+/// whole-corpus execution.
+/// @{
+
+/// First key of every manifest object; sorts first under std::map, so it
+/// appears in the opening bytes of the file — which is how sniffing tells
+/// a manifest from an ordinary JSON corpus.
+inline constexpr char kShardManifestKey[] = "coachlm_manifest";
+inline constexpr uint32_t kShardManifestVersion = 1;
+
+/// \brief One shard as recorded in the manifest.
+struct ShardEntry {
+  std::string file;  ///< Relative to the manifest's directory.
+  uint64_t records = 0;
+  uint64_t bytes = 0;
+};
+
+/// \brief The self-describing index of a sharded corpus.
+struct ShardManifest {
+  CorpusFormat format = CorpusFormat::kBinary;
+  std::vector<ShardEntry> shards;
+
+  uint64_t TotalRecords() const;
+
+  json::Value ToJson() const;
+  [[nodiscard]] static Result<ShardManifest> FromJson(const json::Value& doc);
+
+  [[nodiscard]] Status Save(const std::string& path) const;
+  [[nodiscard]] static Result<ShardManifest> Load(const std::string& path);
+};
+
+/// True when \p prefix opens a JSON object whose first key is
+/// kShardManifestKey (whitespace-tolerant).
+bool LooksLikeShardManifest(std::string_view prefix);
+
+/// Canonical shard file name: `<stem>.shard-00002-of-00008<ext>` where the
+/// extension matches \p format. \p stem is the manifest path minus a
+/// trailing ".manifest.json" (or minus its extension otherwise).
+std::string ShardFileName(const std::string& manifest_path,
+                          CorpusFormat format, size_t index, size_t count);
+
+/// Directory prefix of \p path including the trailing slash; empty for a
+/// bare file name. Manifest-relative shard files resolve against this.
+std::string DirnameWithSlash(const std::string& path);
+
+/// Contiguous split of \p total records over \p shards: the first
+/// `total % shards` shards hold one extra record. Returns per-shard counts.
+std::vector<size_t> SplitShardCounts(size_t total, size_t shards);
+
+/// @}
+
+/// \brief Reads a sharded corpus as one record stream.
+///
+/// Shards open lazily in manifest order (counting io.shards_opened), so a
+/// consumer that stops early never touches the remaining files.
+class ShardedRecordReader : public RecordReader {
+ public:
+  [[nodiscard]] static Result<std::unique_ptr<ShardedRecordReader>> Open(
+      const std::string& manifest_path, const RecordReadOptions& options = {});
+
+  [[nodiscard]] Result<bool> Next(InstructionPair* pair) override;
+  size_t SizeHint() const override;
+
+  const ShardManifest& manifest() const { return manifest_; }
+
+ private:
+  ShardedRecordReader() = default;
+
+  ShardManifest manifest_;
+  std::string dir_;
+  RecordReadOptions options_;
+  size_t next_shard_ = 0;
+  std::unique_ptr<RecordReader> current_;
+};
+
+/// \brief Writes a sharded corpus: records buffer in memory and split
+/// contiguously into \p num_shards files at Close(), which writes the
+/// manifest last — so a manifest on disk always describes complete shards.
+class ShardedRecordWriter : public RecordWriter {
+ public:
+  ShardedRecordWriter(std::string manifest_path, CorpusFormat format,
+                      size_t num_shards);
+
+  [[nodiscard]] Status Write(const InstructionPair& pair) override;
+  [[nodiscard]] Status Close() override;
+
+ private:
+  std::string manifest_path_;
+  CorpusFormat format_;
+  size_t num_shards_;
+  std::vector<InstructionPair> pending_;
+  bool closed_ = false;
+};
+
+/// \brief Opens one shard of \p manifest by index — the unit of per-shard
+/// checkpointed execution in the CLI. \p manifest_path anchors relative
+/// shard file names.
+[[nodiscard]] Result<std::unique_ptr<RecordReader>> OpenShard(
+    const ShardManifest& manifest, const std::string& manifest_path,
+    size_t shard_index, const RecordReadOptions& options = {});
+
+}  // namespace coachlm
+
+#endif  // COACHLM_DATA_SHARD_H_

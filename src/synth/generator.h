@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "common/runtime.h"
 #include "data/dataset.h"
+#include "data/record_stream.h"
 #include "synth/content_engine.h"
 #include "synth/defect.h"
 
@@ -74,6 +75,17 @@ class SynthCorpusGenerator {
   /// killed run to byte-identical output.
   SynthCorpus Generate(const ExecutionContext& exec, PipelineRuntime* runtime,
                        StageCheckpointer* checkpoint = nullptr) const;
+
+  /// Record-stream form: synthesizes the corpus and pushes every pair into
+  /// \p writer in id order (defect provenance is dropped — streaming
+  /// consumers never read it). The writer is not closed; the caller owns
+  /// the artifact lifecycle. Same fault/checkpoint semantics as
+  /// Generate(exec, runtime, checkpoint).
+  [[nodiscard]] Status GenerateTo(RecordWriter* writer,
+                                  const ExecutionContext& exec,
+                                  PipelineRuntime* runtime = nullptr,
+                                  StageCheckpointer* checkpoint =
+                                      nullptr) const;
 
   /// Generates a single pair (clean or deficient) with the given id; used
   /// by streaming consumers such as the platform simulator. Callers wanting

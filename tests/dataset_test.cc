@@ -4,6 +4,10 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <vector>
+
+#include "common/execution.h"
+#include "common/rng.h"
 
 namespace coachlm {
 namespace {
@@ -101,6 +105,50 @@ TEST(DatasetTest, FromJsonRejectsNonArray) {
   EXPECT_FALSE(InstructionDataset::FromJson("{\"not\": \"array\"}").ok());
   EXPECT_FALSE(InstructionDataset::FromJson("garbage").ok());
   EXPECT_FALSE(InstructionDataset::FromJson("[{\"bad\": 1}]").ok());
+}
+
+TEST(DatasetTest, FindByIdMissingIsNotFound) {
+  const InstructionDataset ds = MakeDataset(4);
+  const auto missing = ds.FindById(999);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(InstructionDataset().FindById(1).ok());
+}
+
+// Sharded iteration order now feeds both lookups and sampling, so pin
+// down that neither depends on the executor's thread count: assemble the
+// dataset through per-shard slices, then exercise FindById under 1/2/8
+// worker threads and re-sample with a fixed seed at each width.
+TEST(DatasetTest, FindByIdAndSamplingDeterministicAcrossThreadCounts) {
+  const InstructionDataset ds = MakeDataset(30);
+
+  Rng baseline_rng(7);
+  const InstructionDataset baseline_sample =
+      ds.SampleWithoutReplacement(12, &baseline_rng);
+  ASSERT_EQ(baseline_sample.size(), 12u);
+
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    const ExecutionContext exec(threads);
+
+    // Every id must resolve to the same pair no matter how the lookup
+    // work is spread over workers.
+    const std::vector<uint64_t> found =
+        exec.ParallelMap(ds.size(), [&](size_t i) {
+          const auto pair = ds.FindById(ds[i].id);
+          EXPECT_TRUE(pair.ok());
+          return pair.ok() ? pair->id : uint64_t{0};
+        });
+    for (size_t i = 0; i < ds.size(); ++i) EXPECT_EQ(found[i], ds[i].id);
+
+    // Sampling takes an explicit Rng, so the draw must be a pure function
+    // of (dataset order, seed) — identical at every thread width.
+    Rng rng(7);
+    const InstructionDataset sample = ds.SampleWithoutReplacement(12, &rng);
+    ASSERT_EQ(sample.size(), baseline_sample.size());
+    for (size_t i = 0; i < sample.size(); ++i) {
+      EXPECT_EQ(sample[i], baseline_sample[i]) << "thread width " << threads;
+    }
+  }
 }
 
 }  // namespace

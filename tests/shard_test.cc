@@ -1,0 +1,225 @@
+#include "data/shard.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/checkpoint.h"
+#include "data/corpus_io.h"
+#include "data/dataset.h"
+
+namespace coachlm {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+InstructionDataset MakeDataset(size_t n) {
+  InstructionDataset ds;
+  for (size_t i = 0; i < n; ++i) {
+    InstructionPair pair;
+    pair.id = 500 + i;
+    pair.instruction = "Classify item " + std::to_string(i) + ".";
+    pair.input = i % 2 == 0 ? "" : "sample " + std::to_string(i);
+    pair.output = "Item " + std::to_string(i) + " is class " +
+                  std::to_string(i % 3) + ".";
+    pair.category = static_cast<Category>(i % kNumCategories);
+    ds.Add(std::move(pair));
+  }
+  return ds;
+}
+
+void RemoveShardedCorpus(const std::string& manifest_path) {
+  auto manifest = ShardManifest::Load(manifest_path);
+  if (manifest.ok()) {
+    const std::string dir = DirnameWithSlash(manifest_path);
+    for (const ShardEntry& entry : manifest->shards) {
+      std::remove((dir + entry.file).c_str());
+    }
+  }
+  std::remove(manifest_path.c_str());
+}
+
+TEST(ShardManifestTest, JsonRoundTrip) {
+  ShardManifest manifest;
+  manifest.format = CorpusFormat::kBinary;
+  manifest.shards.push_back({"a.shard-00000-of-00002.clmb", 10, 321});
+  manifest.shards.push_back({"a.shard-00001-of-00002.clmb", 9, 300});
+  const json::Value doc = manifest.ToJson();
+  auto parsed = ShardManifest::FromJson(doc);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->format, CorpusFormat::kBinary);
+  ASSERT_EQ(parsed->shards.size(), 2u);
+  EXPECT_EQ(parsed->shards[0].file, "a.shard-00000-of-00002.clmb");
+  EXPECT_EQ(parsed->shards[1].records, 9u);
+  EXPECT_EQ(parsed->shards[1].bytes, 300u);
+  EXPECT_EQ(parsed->TotalRecords(), 19u);
+
+  // The manifest key must be the document's first key so the file is
+  // sniffable from its leading bytes.
+  const std::string text = doc.DumpPretty();
+  const size_t brace = text.find('{');
+  ASSERT_NE(brace, std::string::npos);
+  EXPECT_TRUE(LooksLikeShardManifest(text));
+}
+
+TEST(ShardManifestTest, RejectsAutoFormatAndBadVersion) {
+  ShardManifest manifest;
+  manifest.shards.push_back({"x.clmb", 1, 10});
+  json::Value doc = manifest.ToJson();
+  doc.AsObject()[kShardManifestKey] = json::Value(static_cast<int64_t>(99));
+  EXPECT_FALSE(ShardManifest::FromJson(doc).ok());
+
+  json::Value doc2 = manifest.ToJson();
+  doc2.AsObject()["format"] = json::Value(std::string("auto"));
+  EXPECT_FALSE(ShardManifest::FromJson(doc2).ok());
+}
+
+TEST(ShardLayoutTest, LooksLikeShardManifestNeedsLeadingKey) {
+  EXPECT_TRUE(LooksLikeShardManifest("{\"coachlm_manifest\": 1}"));
+  EXPECT_TRUE(LooksLikeShardManifest("  {\n  \"coachlm_manifest\": 1"));
+  EXPECT_FALSE(LooksLikeShardManifest("{\"format\": \"binary\"}"));
+  EXPECT_FALSE(LooksLikeShardManifest("[{\"id\": 1}]"));
+  EXPECT_FALSE(LooksLikeShardManifest(""));
+}
+
+TEST(ShardLayoutTest, ShardFileNameStripsManifestSuffix) {
+  EXPECT_EQ(ShardFileName("data/corpus.manifest.json", CorpusFormat::kBinary,
+                          2, 8),
+            "data/corpus.shard-00002-of-00008.clmb");
+  EXPECT_EQ(ShardFileName("corpus.json", CorpusFormat::kJsonl, 0, 2),
+            "corpus.shard-00000-of-00002.jsonl");
+}
+
+TEST(ShardLayoutTest, SplitShardCountsIsContiguousAndFair) {
+  const std::vector<size_t> counts = SplitShardCounts(10, 4);
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 3u);
+  EXPECT_EQ(counts[1], 3u);
+  EXPECT_EQ(counts[2], 2u);
+  EXPECT_EQ(counts[3], 2u);
+  size_t total = 0;
+  for (const size_t c : counts) total += c;
+  EXPECT_EQ(total, 10u);
+
+  // More shards than records: trailing shards are legitimately empty.
+  const std::vector<size_t> sparse = SplitShardCounts(2, 4);
+  ASSERT_EQ(sparse.size(), 4u);
+  EXPECT_EQ(sparse[0], 1u);
+  EXPECT_EQ(sparse[1], 1u);
+  EXPECT_EQ(sparse[2], 0u);
+  EXPECT_EQ(sparse[3], 0u);
+}
+
+TEST(ShardStageNameTest, EncodesIndexAndCount) {
+  EXPECT_EQ(ShardStageName("revise", 2, 8), "revise.shard-00002-of-00008");
+  EXPECT_EQ(ShardStageName("revise", 0, 1), "revise.shard-00000-of-00001");
+}
+
+TEST(ShardedIoTest, WriteThenReadPreservesOrder) {
+  const InstructionDataset ds = MakeDataset(17);
+  const std::string manifest_path = TempPath("coachlm_shard.manifest.json");
+  {
+    ShardedRecordWriter writer(manifest_path, CorpusFormat::kBinary, 4);
+    ASSERT_TRUE(WriteAllRecords(&writer, ds).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto manifest = ShardManifest::Load(manifest_path);
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_EQ(manifest->shards.size(), 4u);
+  EXPECT_EQ(manifest->TotalRecords(), ds.size());
+
+  auto reader = ShardedRecordReader::Open(manifest_path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->SizeHint(), ds.size());
+  auto loaded = ReadAllRecords(reader->get());
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), ds.size());
+  for (size_t i = 0; i < ds.size(); ++i) EXPECT_EQ((*loaded)[i], ds[i]);
+  RemoveShardedCorpus(manifest_path);
+}
+
+TEST(ShardedIoTest, PerShardReadersConcatenateToWholeCorpus) {
+  const InstructionDataset ds = MakeDataset(10);
+  const std::string manifest_path =
+      TempPath("coachlm_shard_units.manifest.json");
+  {
+    ShardedRecordWriter writer(manifest_path, CorpusFormat::kBinary, 3);
+    ASSERT_TRUE(WriteAllRecords(&writer, ds).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto manifest = ShardManifest::Load(manifest_path);
+  ASSERT_TRUE(manifest.ok());
+  InstructionDataset combined;
+  for (size_t k = 0; k < manifest->shards.size(); ++k) {
+    auto shard = OpenShard(*manifest, manifest_path, k);
+    ASSERT_TRUE(shard.ok());
+    auto records = ReadAllRecords(shard->get());
+    ASSERT_TRUE(records.ok());
+    EXPECT_EQ(records->size(), manifest->shards[k].records);
+    for (const InstructionPair& pair : records->pairs()) combined.Add(pair);
+  }
+  ASSERT_EQ(combined.size(), ds.size());
+  for (size_t i = 0; i < ds.size(); ++i) EXPECT_EQ(combined[i], ds[i]);
+
+  EXPECT_FALSE(OpenShard(*manifest, manifest_path, 99).ok());
+  RemoveShardedCorpus(manifest_path);
+}
+
+TEST(ShardedIoTest, CorpusIoSniffsManifestAndLoads) {
+  const InstructionDataset ds = MakeDataset(6);
+  const std::string manifest_path =
+      TempPath("coachlm_shard_sniff.manifest.json");
+  CorpusWriteOptions options;
+  options.shards = 2;
+  ASSERT_TRUE(SaveCorpus(manifest_path, ds, options).ok());
+
+  auto sniff = SniffCorpus(manifest_path);
+  ASSERT_TRUE(sniff.ok());
+  EXPECT_TRUE(sniff->sharded);
+
+  auto loaded = LoadCorpus(manifest_path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), ds.size());
+  for (size_t i = 0; i < ds.size(); ++i) EXPECT_EQ((*loaded)[i], ds[i]);
+  RemoveShardedCorpus(manifest_path);
+}
+
+TEST(MergeDatasetStatsTest, MatchesWholeCorpusStats) {
+  const InstructionDataset ds = MakeDataset(25);
+  const DatasetStats whole = ds.ComputeStats();
+
+  // Stats computed per contiguous slice, merged, must equal the whole.
+  const std::vector<size_t> counts = SplitShardCounts(ds.size(), 4);
+  std::vector<DatasetStats> parts;
+  size_t offset = 0;
+  for (const size_t count : counts) {
+    InstructionDataset slice;
+    for (size_t i = 0; i < count; ++i) slice.Add(ds[offset + i]);
+    offset += count;
+    parts.push_back(slice.ComputeStats());
+  }
+  const DatasetStats merged = MergeDatasetStats(parts);
+  EXPECT_EQ(merged.size, whole.size);
+  EXPECT_NEAR(merged.avg_instruction_words, whole.avg_instruction_words, 1e-9);
+  EXPECT_NEAR(merged.avg_response_words, whole.avg_response_words, 1e-9);
+  EXPECT_NEAR(merged.avg_instruction_chars, whole.avg_instruction_chars, 1e-9);
+  EXPECT_NEAR(merged.avg_response_chars, whole.avg_response_chars, 1e-9);
+  EXPECT_EQ(merged.category_counts, whole.category_counts);
+
+  // Deterministic under reordering: merge weights by size, so permuting
+  // the parts cannot change the result.
+  std::vector<DatasetStats> reversed(parts.rbegin(), parts.rend());
+  const DatasetStats remerged = MergeDatasetStats(reversed);
+  EXPECT_EQ(remerged.size, merged.size);
+  EXPECT_NEAR(remerged.avg_instruction_words, merged.avg_instruction_words,
+              1e-9);
+  EXPECT_NEAR(remerged.avg_response_words, merged.avg_response_words, 1e-9);
+
+  EXPECT_EQ(MergeDatasetStats({}).size, 0u);
+}
+
+}  // namespace
+}  // namespace coachlm

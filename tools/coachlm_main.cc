@@ -15,6 +15,8 @@
 //                    [--human alpaca_human.json] [--testset coachlm150]
 //   coachlm pipeline --size 5000 --seed 42 --out revised.json
 //                    [--checkpoint-dir ckpt --resume]
+//   coachlm convert  --in corpus.json --out corpus.manifest.json
+//                    [--shards 4] [--format binary]
 //
 // Every step is deterministic given its seeds; datasets are plain
 // Alpaca-format JSON and revisions are JSONL, so steps interoperate with
@@ -47,7 +49,9 @@
 #include "common/trace.h"
 #include "json/jsonl.h"
 #include "json/parse_limits.h"
+#include "data/corpus_io.h"
 #include "data/revision_io.h"
+#include "data/shard.h"
 #include "expert/pipeline.h"
 #include "quality/accuracy_rater.h"
 #include "quality/quality_report.h"
@@ -87,9 +91,28 @@ constexpr char kUsage[] =
     "  pipeline  --size N --seed S --sample N --alpha A --backbone B\n"
     "            --out revised.json [--threads T]\n"
     "            generate -> study -> train -> revise in one run\n"
+    "  convert   --in corpus.json --out corpus.manifest.json [--shards N]\n"
+    "            [--format json|jsonl|binary]\n"
+    "            re-encode a corpus between backends (JSON / JSONL /\n"
+    "            binary columnar shards; see docs/FORMAT.md)\n"
     "  metrics   [--validate report.json]\n"
     "            print the metric catalog (name, type, unit, stage, help);\n"
     "            --validate schema-checks a run report or bench trajectory\n"
+    "\n"
+    "corpus I/O (every dataset-reading/-writing command; docs/FORMAT.md):\n"
+    "  inputs are sniffed: Alpaca JSON arrays, JSONL, binary columnar\n"
+    "  files, and shard manifests all load through the same record-stream\n"
+    "  interface, byte-identically.\n"
+    "  --format F              output corpus format: auto|json|jsonl|binary\n"
+    "                          (auto resolves from the output path's\n"
+    "                          extension: .jsonl, .clmb/.bin, else JSON)\n"
+    "  --shards N              split the output corpus into N shard files\n"
+    "                          plus a self-describing .manifest.json index\n"
+    "                          (N >= 1; 1 keeps a single file unless the\n"
+    "                          path names a .manifest.json)\n"
+    "  --corpus-manifest FILE  read the input corpus from a shard manifest\n"
+    "                          (overrides --in; must name a .manifest.json;\n"
+    "                          revise checkpoints/resumes shard by shard)\n"
     "\n"
     "--threads T sizes the command\'s execution context (0 = default:\n"
     "COACHLM_THREADS or hardware concurrency); results are byte-identical\n"
@@ -147,19 +170,38 @@ const ExecutionContext& FlagExec(const Flags& flags) {
 /// \name Observed dataset IO
 /// Dataset loads/saves wrapped in "load"/"save" spans, so run reports
 /// account for IO wall time explicitly instead of leaving it as uncovered
-/// root-span remainder.
+/// root-span remainder. All paths go through the corpus_io factories, so
+/// every command reads JSON, JSONL, binary, and sharded corpora alike.
 /// @{
 Result<InstructionDataset> LoadDataset(const std::string& path) {
   const StageSpan span("load");
-  return InstructionDataset::LoadJson(path);
+  return LoadCorpus(path);
 }
 
-Status SaveDataset(const InstructionDataset& dataset,
-                   const std::string& path) {
+Status SaveDataset(const InstructionDataset& dataset, const std::string& path,
+                   const CorpusWriteOptions& options = {}) {
   const StageSpan span("save");
-  return dataset.SaveJson(path);
+  return SaveCorpus(path, dataset, options);
 }
 /// @}
+
+/// Output-side corpus choices from --format / --shards (both validated in
+/// ValidateFlags before any command runs).
+CorpusWriteOptions FlagWriteOptions(const Flags& flags) {
+  CorpusWriteOptions options;
+  options.format = ParseCorpusFormat(flags.GetString("format", "auto"))
+                       .ValueOr(CorpusFormat::kAuto);
+  options.shards = static_cast<size_t>(flags.GetInt("shards", 1));
+  return options;
+}
+
+/// The input corpus path: --corpus-manifest (a shard manifest) overrides
+/// the command's own input flag.
+std::string InputPath(const Flags& flags, const char* flag,
+                      const char* fallback) {
+  if (flags.Has("corpus-manifest")) return flags.GetString("corpus-manifest");
+  return flags.GetString(flag, fallback);
+}
 
 lm::BackboneProfile BackboneByName(const std::string& name) {
   if (name == "llama") return lm::Llama7B();
@@ -301,7 +343,7 @@ Status RunGenerate(const Flags& flags) {
     COACHLM_RETURN_NOT_OK(checkpoint->Finish());
   }
   const std::string out = flags.GetString("out", "corpus.json");
-  COACHLM_RETURN_NOT_OK(SaveDataset(corpus.dataset, out));
+  COACHLM_RETURN_NOT_OK(SaveDataset(corpus.dataset, out, FlagWriteOptions(flags)));
   std::printf("wrote %zu pairs to %s\n", corpus.dataset.size(), out.c_str());
   ReportCancellation(governance, checkpoint->enabled());
   return ReportRuntime(*runtime, flags);
@@ -310,7 +352,7 @@ Status RunGenerate(const Flags& flags) {
 Status RunStudy(const Flags& flags) {
   COACHLM_ASSIGN_OR_RETURN(
       InstructionDataset corpus,
-      LoadDataset(flags.GetString("in", "corpus.json")));
+      LoadDataset(InputPath(flags, "in", "corpus.json")));
   synth::ContentEngine engine;
   expert::RevisionStudyConfig config;
   config.sample_size = static_cast<size_t>(flags.GetInt("sample", 6000));
@@ -363,9 +405,7 @@ Status RunTrain(const Flags& flags) {
 }
 
 Status RunRevise(const Flags& flags) {
-  COACHLM_ASSIGN_OR_RETURN(
-      InstructionDataset corpus,
-      LoadDataset(flags.GetString("in", "corpus.json")));
+  const std::string in = InputPath(flags, "in", "corpus.json");
   coach::CoachConfig config;
   config.alpha = flags.GetDouble("alpha", 0.3);
   config.backbone = BackboneByName(flags.GetString("backbone", "chatglm2"));
@@ -379,32 +419,74 @@ Status RunRevise(const Flags& flags) {
   PipelineRuntime* runtime =
       owned != nullptr ? owned.get() : PipelineRuntime::Default();
   const Governance governance = MakeGovernance(flags, runtime);
-  std::unique_ptr<StageCheckpointer> checkpoint = MakeCheckpointer(
-      flags, "revise",
-      "revise in=" + flags.GetString("in", "corpus.json") +
-          " alpha=" + std::to_string(config.alpha) +
-          " backbone=" + config.backbone.name +
-          " plan=" + runtime->injector().plan().ToString());
+  const std::string fingerprint =
+      "revise in=" + in + " alpha=" + std::to_string(config.alpha) +
+      " backbone=" + config.backbone.name +
+      " plan=" + runtime->injector().plan().ToString();
+
+  COACHLM_ASSIGN_OR_RETURN(const CorpusSniff sniff, SniffCorpus(in));
   coach::RevisionPassStats stats;
-  const InstructionDataset revised = model.ReviseDataset(
-      corpus, {}, &stats, FlagExec(flags), runtime, checkpoint.get());
-  if (checkpoint->enabled() && !governance.cancelled()) {
-    COACHLM_RETURN_NOT_OK(checkpoint->Finish());
+  InstructionDataset revised;
+  bool checkpointed = false;
+  if (sniff.sharded) {
+    // Per-shard resumable execution: every shard is its own checkpoint /
+    // resume unit (shard-qualified stage name and fingerprint), and the
+    // outputs concatenate in shard order — byte-identical to the
+    // whole-corpus pass because each pair's RNG derives from its id, not
+    // its position. A killed run resumes finished shards instantly from
+    // their journals and recomputes only the unfinished remainder.
+    COACHLM_ASSIGN_OR_RETURN(const ShardManifest manifest,
+                             ShardManifest::Load(in));
+    const size_t num_shards = manifest.shards.size();
+    revised.pairs().reserve(static_cast<size_t>(manifest.TotalRecords()));
+    for (size_t k = 0; k < num_shards; ++k) {
+      COACHLM_ASSIGN_OR_RETURN(std::unique_ptr<RecordReader> reader,
+                               OpenShard(manifest, in, k));
+      std::unique_ptr<StageCheckpointer> checkpoint = MakeCheckpointer(
+          flags, ShardStageName("revise", k, num_shards),
+          fingerprint + " shard=" + manifest.shards[k].file);
+      checkpointed = checkpointed || checkpoint->enabled();
+      DatasetRecordWriter writer(&revised);
+      COACHLM_ASSIGN_OR_RETURN(
+          const coach::RevisionPassStats shard_stats,
+          model.ReviseRecords(reader.get(), &writer, {}, FlagExec(flags),
+                              runtime, checkpoint.get()));
+      stats.total += shard_stats.total;
+      stats.invalid_replaced += shard_stats.invalid_replaced;
+      stats.leakage_skipped += shard_stats.leakage_skipped;
+      stats.changed += shard_stats.changed;
+      stats.quarantined += shard_stats.quarantined;
+      stats.recovered += shard_stats.recovered;
+      stats.resumed += shard_stats.resumed;
+      if (checkpoint->enabled() && !governance.cancelled()) {
+        COACHLM_RETURN_NOT_OK(checkpoint->Finish());
+      }
+    }
+  } else {
+    COACHLM_ASSIGN_OR_RETURN(InstructionDataset corpus, LoadDataset(in));
+    std::unique_ptr<StageCheckpointer> checkpoint =
+        MakeCheckpointer(flags, "revise", fingerprint);
+    checkpointed = checkpoint->enabled();
+    revised = model.ReviseDataset(corpus, {}, &stats, FlagExec(flags),
+                                  runtime, checkpoint.get());
+    if (checkpoint->enabled() && !governance.cancelled()) {
+      COACHLM_RETURN_NOT_OK(checkpoint->Finish());
+    }
   }
   const std::string out = flags.GetString("out", "revised.json");
-  COACHLM_RETURN_NOT_OK(SaveDataset(revised, out));
+  COACHLM_RETURN_NOT_OK(SaveDataset(revised, out, FlagWriteOptions(flags)));
   std::printf("revised %zu pairs (%zu changed, %zu invalid outputs "
               "replaced, %zu quarantined, %zu resumed); wrote %s\n",
               stats.total, stats.changed, stats.invalid_replaced,
               stats.quarantined, stats.resumed, out.c_str());
-  ReportCancellation(governance, checkpoint->enabled());
+  ReportCancellation(governance, checkpointed);
   return ReportRuntime(*runtime, flags);
 }
 
 Status RunRate(const Flags& flags) {
   COACHLM_ASSIGN_OR_RETURN(
       InstructionDataset dataset,
-      LoadDataset(flags.GetString("in", "corpus.json")));
+      LoadDataset(InputPath(flags, "in", "corpus.json")));
   const auto rating =
       quality::AccuracyRater().RateDataset(dataset, FlagExec(flags));
   std::printf("%zu pairs: mean rating %.2f / 5, %.1f%% above 4.5\n",
@@ -595,7 +677,8 @@ Status RunPipeline(const Flags& flags) {
   }
 
   const std::string out = flags.GetString("out", "revised.json");
-  COACHLM_RETURN_NOT_OK(SaveDataset(result.revised_dataset, out));
+  COACHLM_RETURN_NOT_OK(
+      SaveDataset(result.revised_dataset, out, FlagWriteOptions(flags)));
   std::printf("revised %zu pairs (%zu changed, %zu invalid outputs "
               "replaced, %zu quarantined, %zu recovered, %zu resumed); "
               "wrote %s\n",
@@ -604,6 +687,20 @@ Status RunPipeline(const Flags& flags) {
               result.stats.recovered, result.stats.resumed, out.c_str());
   ReportCancellation(governance, checkpoint->enabled());
   return ReportRuntime(*runtime, flags);
+}
+
+Status RunConvert(const Flags& flags) {
+  // Re-encode a corpus between backends: JSONL -> sharded binary for
+  // scale, binary -> JSON for interop, and every other combination. The
+  // record values pass through untouched, so a round trip reproduces the
+  // original bytes (the corpus-io CI job cmp-checks exactly that).
+  const std::string in = InputPath(flags, "in", "corpus.json");
+  const std::string out = flags.GetString("out", "corpus.clmb");
+  COACHLM_ASSIGN_OR_RETURN(InstructionDataset dataset, LoadDataset(in));
+  COACHLM_RETURN_NOT_OK(SaveDataset(dataset, out, FlagWriteOptions(flags)));
+  std::printf("converted %zu pairs: %s -> %s\n", dataset.size(), in.c_str(),
+              out.c_str());
+  return Status::OK();
 }
 
 /// Validates every flag that must be numeric / well-formed before any
@@ -623,6 +720,7 @@ Status ValidateFlags(const Flags& flags) {
       {"size", 0, kMax},
       {"seed", 0, kMax},
       {"sample", 0, kMax},
+      {"shards", 1, 100000},
       {"study-seed", 0, kMax},
       {"threads", 1, 1024},
       {"retry-max", 1, kMax},
@@ -652,6 +750,22 @@ Status ValidateFlags(const Flags& flags) {
     // not mid-command.
     COACHLM_RETURN_NOT_OK(
         FaultPlan::Parse(flags.GetString("fault-plan")).status());
+  }
+  if (flags.Has("format")) {
+    // Unknown corpus formats are usage errors, never silently "auto".
+    COACHLM_RETURN_NOT_OK(
+        ParseCorpusFormat(flags.GetString("format")).status());
+  }
+  if (flags.Has("corpus-manifest")) {
+    const std::string manifest = flags.GetString("corpus-manifest");
+    const std::string suffix = ".manifest.json";
+    if (manifest.size() <= suffix.size() ||
+        manifest.compare(manifest.size() - suffix.size(), suffix.size(),
+                         suffix) != 0) {
+      return Status::InvalidArgument(
+          "--corpus-manifest must name a .manifest.json file (got '" +
+          manifest + "')");
+    }
   }
   return Status::OK();
 }
@@ -728,7 +842,8 @@ int Main(int argc, char** argv) {
        "retry-max", "quarantine", "checkpoint-dir", "resume",
        "crash-after-commits", "checkpoint-interval", "study-seed",
        "deadline-ms", "stall-timeout-ms", "max-record-bytes",
-       "max-json-depth", "metrics-out", "metrics-deterministic", "validate"});
+       "max-json-depth", "metrics-out", "metrics-deterministic", "validate",
+       "format", "shards", "corpus-manifest"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n%s", flags.status().ToString().c_str(), kUsage);
     return 2;
@@ -765,6 +880,7 @@ int Main(int argc, char** argv) {
   else if (command == "inspect") status = RunInspect(*flags);
   else if (command == "evaluate") status = RunEvaluate(*flags);
   else if (command == "pipeline") status = RunPipeline(*flags);
+  else if (command == "convert") status = RunConvert(*flags);
   else if (command == "metrics") status = RunMetrics(*flags);
   else {
     std::fprintf(stderr, "%s", kUsage);
