@@ -1,0 +1,246 @@
+// Load bench for the `coachlm serve` daemon: client-observed latency
+// percentiles (p50/p99), throughput, shed-rate under a deliberate
+// overload, and a hot model reload in the middle of live traffic with a
+// hard zero-5xx requirement. By default the bench boots an in-process
+// server on an ephemeral port; set COACHLM_SERVE_PORT to aim the load at
+// an externally booted daemon instead (the CI serve job does both).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/table_writer.h"
+#include "serve/client.h"
+#include "serve/model_host.h"
+#include "serve/serve_config.h"
+#include "serve/server.h"
+
+using namespace coachlm;
+
+namespace {
+
+/// Client-side tally across one load phase.
+struct LoadResult {
+  std::vector<int64_t> latencies_micros;
+  uint64_t ok = 0;
+  uint64_t shed = 0;        // 429 at admission
+  uint64_t client_4xx = 0;  // other 4xx
+  uint64_t server_5xx = 0;  // any 5xx: must be zero in every phase
+  uint64_t transport = 0;   // connect/recv failures
+
+  uint64_t total() const {
+    return ok + shed + client_4xx + server_5xx + transport;
+  }
+};
+
+int64_t Percentile(std::vector<int64_t>* sorted, double p) {
+  if (sorted->empty()) return 0;
+  std::sort(sorted->begin(), sorted->end());
+  const size_t index = static_cast<size_t>(
+      p * static_cast<double>(sorted->size() - 1) + 0.5);
+  return (*sorted)[std::min(index, sorted->size() - 1)];
+}
+
+/// Runs \p threads client threads, each posting \p requests_per_thread
+/// copies of \p body to /v1/revise on \p port.
+LoadResult RunLoad(int port, const std::string& body, int threads,
+                   int requests_per_thread) {
+  std::vector<LoadResult> shards(static_cast<size_t>(threads));
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(threads));
+  Clock* clock = Clock::System();
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      LoadResult& shard = shards[static_cast<size_t>(t)];
+      for (int i = 0; i < requests_per_thread; ++i) {
+        const int64_t start = clock->NowMicros();
+        Result<serve::ParsedHttpResponse> response =
+            serve::HttpFetch(port, "POST", "/v1/revise", body, 30000);
+        const int64_t micros = clock->NowMicros() - start;
+        if (!response.ok()) {
+          ++shard.transport;
+          continue;
+        }
+        shard.latencies_micros.push_back(micros);
+        if (response->status < 400) {
+          ++shard.ok;
+        } else if (response->status == 429) {
+          ++shard.shed;
+        } else if (response->status >= 500) {
+          ++shard.server_5xx;
+        } else {
+          ++shard.client_4xx;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  LoadResult merged;
+  for (LoadResult& shard : shards) {
+    merged.latencies_micros.insert(merged.latencies_micros.end(),
+                                   shard.latencies_micros.begin(),
+                                   shard.latencies_micros.end());
+    merged.ok += shard.ok;
+    merged.shed += shard.shed;
+    merged.client_4xx += shard.client_4xx;
+    merged.server_5xx += shard.server_5xx;
+    merged.transport += shard.transport;
+  }
+  return merged;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Serve",
+                     "revision service load: p50/p99, shedding, hot reload");
+  const int external_port = static_cast<int>(
+      std::strtol(GetEnvOr("COACHLM_SERVE_PORT", "0").c_str(), nullptr, 10));
+
+  // A small deterministic request body (the same three pairs every time).
+  const bench::World world = bench::BuildWorld(true);
+  std::string body;
+  for (size_t i = 0; i < 3 && i < world.corpus.dataset.size(); ++i) {
+    body += world.corpus.dataset[i].ToJson().Dump();
+    body += '\n';
+  }
+
+  // In-process server unless COACHLM_SERVE_PORT points elsewhere.
+  namespace fs = std::filesystem;
+  const std::string checkpoint =
+      (fs::temp_directory_path() / "bench_serve_coach.json").string();
+  std::unique_ptr<serve::ModelHost> host;
+  std::unique_ptr<serve::RevisionServer> server;
+  int port = external_port;
+  if (port <= 0) {
+    if (!world.coach.model->SaveCheckpoint(checkpoint).ok()) {
+      std::fprintf(stderr, "[bench] cannot write %s\n", checkpoint.c_str());
+      return 1;
+    }
+    serve::ServeConfig config;
+    config.port = 0;
+    config.checkpoint = checkpoint;
+    config.coach = world.coach.model->config();
+    config.workers = 4;
+    config.queue_depth = 64;
+    host = std::make_unique<serve::ModelHost>(checkpoint, config.coach);
+    if (!host->Load().ok()) return 1;
+    server = std::make_unique<serve::RevisionServer>(config, host.get());
+    const Status started = server->StartServing();
+    if (!started.ok()) {
+      std::fprintf(stderr, "[bench] %s\n", started.ToString().c_str());
+      return 1;
+    }
+    port = server->port();
+  }
+  std::fprintf(stderr, "[bench] driving 127.0.0.1:%d (%s)\n", port,
+               external_port > 0 ? "external daemon" : "in-process");
+
+  // Phase 1: steady load with a hot reload in the middle. The reload runs
+  // on the main thread while client threads hammer /v1/revise; any 5xx
+  // (from traffic or the reload) fails the bench.
+  const int kThreads = 4;
+  const int kRequests = static_cast<int>(Scaled(150, 20));
+  std::atomic<bool> reload_failed{false};
+  std::thread reloader([&] {
+    Clock::System()->SleepMicros(50000);  // Land mid-burst.
+    Result<serve::ParsedHttpResponse> reload =
+        serve::HttpFetch(port, "POST", "/admin/reload", "", 30000);
+    if (!reload.ok() || reload->status != 200) reload_failed.store(true);
+  });
+  const double elapsed = bench::Seconds([&] {
+    LoadResult steady = RunLoad(port, body, kThreads, kRequests);
+    reloader.join();
+
+    const int64_t p50 = Percentile(&steady.latencies_micros, 0.50);
+    const int64_t p99 = Percentile(&steady.latencies_micros, 0.99);
+    const double requests = static_cast<double>(steady.total());
+    TableWriter table({"Metric", "Value"});
+    table.AddRow({"requests", std::to_string(steady.total())});
+    table.AddRow({"ok", std::to_string(steady.ok)});
+    table.AddRow({"shed (429)", std::to_string(steady.shed)});
+    table.AddRow({"5xx", std::to_string(steady.server_5xx)});
+    table.AddRow({"transport errors", std::to_string(steady.transport)});
+    table.AddRow({"p50 micros", std::to_string(p50)});
+    table.AddRow({"p99 micros", std::to_string(p99)});
+    std::printf("%s", table.ToAscii().c_str());
+    bench::Record("p50_micros", static_cast<double>(p50), "us");
+    bench::Record("p99_micros", static_cast<double>(p99), "us");
+    bench::Record("requests", requests, "count");
+    bench::Record("errors_5xx", static_cast<double>(steady.server_5xx),
+                  "count");
+    if (steady.server_5xx != 0 || steady.transport != 0) {
+      std::fprintf(stderr,
+                   "[bench] FAIL: %llu 5xx / %llu transport errors under "
+                   "steady load\n",
+                   static_cast<unsigned long long>(steady.server_5xx),
+                   static_cast<unsigned long long>(steady.transport));
+      std::exit(1);
+    }
+  });
+  if (reload_failed.load()) {
+    std::fprintf(stderr, "[bench] FAIL: hot reload under traffic failed\n");
+    return 1;
+  }
+  const double rps =
+      static_cast<double>(kThreads) * kRequests / std::max(elapsed, 1e-9);
+  std::printf("steady load: %.0f req/s over %.2fs, hot reload ok\n", rps,
+              elapsed);
+  bench::Record("requests_per_second", rps, "1/s");
+
+  // Phase 2 (in-process only): deliberate overload against a tiny
+  // admission queue to measure the shed-rate the service holds under
+  // pressure instead of collapsing.
+  double shed_rate = 0.0;
+  if (server != nullptr) {
+    server->RequestDrain();
+    server->AwaitDrain();
+    serve::ServeConfig tiny;
+    tiny.port = 0;
+    tiny.checkpoint = checkpoint;
+    tiny.coach = world.coach.model->config();
+    tiny.workers = 1;
+    tiny.queue_depth = 2;
+    tiny.fault_plan =
+        FaultPlan::Parse("rate=1.0,latency_us=20000,sites=serve.revise")
+            .ValueOrDie();
+    serve::ModelHost tiny_host(checkpoint, tiny.coach);
+    if (!tiny_host.Load().ok()) return 1;
+    serve::RevisionServer tiny_server(tiny, &tiny_host);
+    if (!tiny_server.StartServing().ok()) return 1;
+    LoadResult burst = RunLoad(tiny_server.port(), body, 8,
+                               static_cast<int>(Scaled(40, 8)));
+    tiny_server.RequestDrain();
+    tiny_server.AwaitDrain();
+    shed_rate = burst.total() == 0
+                    ? 0.0
+                    : static_cast<double>(burst.shed) /
+                          static_cast<double>(burst.total());
+    std::printf(
+        "overload burst: %llu requests, %llu shed (%.1f%%), %llu 5xx\n",
+        static_cast<unsigned long long>(burst.total()),
+        static_cast<unsigned long long>(burst.shed), shed_rate * 100.0,
+        static_cast<unsigned long long>(burst.server_5xx));
+    if (burst.server_5xx != 0) {
+      std::fprintf(stderr, "[bench] FAIL: 5xx under overload\n");
+      return 1;
+    }
+    if (burst.shed == 0) {
+      std::fprintf(stderr,
+                   "[bench] FAIL: overload produced no sheds (admission "
+                   "control inert?)\n");
+      return 1;
+    }
+    std::error_code ec;
+    fs::remove(checkpoint, ec);
+  }
+  bench::Record("shed_rate", shed_rate, "ratio");
+  return 0;
+}

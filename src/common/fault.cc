@@ -16,7 +16,9 @@ constexpr uint64_t SiteTag(FaultSite site) {
 }
 
 const char* const kSiteNames[kNumFaultSites] = {
-    "collect", "parse", "revise", "judge", "tune", "io",
+    "collect",      "parse",       "revise",
+    "judge",        "tune",        "io",
+    "serve.accept", "serve.parse", "serve.revise",
 };
 
 std::vector<std::string> SplitOn(const std::string& text, char sep) {
@@ -54,8 +56,10 @@ Result<FaultSite> FaultSiteFromString(const std::string& name) {
   for (int i = 0; i < kNumFaultSites; ++i) {
     if (name == kSiteNames[i]) return static_cast<FaultSite>(i);
   }
-  return Status::InvalidArgument("unknown fault site '" + name +
-                                 "' (want collect|parse|revise|judge|tune|io)");
+  return Status::InvalidArgument(
+      "unknown fault site '" + name +
+      "' (want collect|parse|revise|judge|tune|io|serve.accept|serve.parse|"
+      "serve.revise)");
 }
 
 Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {

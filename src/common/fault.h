@@ -23,9 +23,12 @@ enum class FaultSite {
   kJudge,        // pairwise judging
   kTune,         // instruction tuning / alignment measurement
   kIo,           // checkpoint & dataset file I/O
+  kServeAccept,  // serve daemon: accepting a client connection
+  kServeParse,   // serve daemon: parsing one request envelope
+  kServeRevise,  // serve daemon: per-record revision inside a request
 };
 
-inline constexpr int kNumFaultSites = 6;
+inline constexpr int kNumFaultSites = 9;
 
 /// Stable lowercase name ("collect", "parse", ...).
 const char* FaultSiteToString(FaultSite site);

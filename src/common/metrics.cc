@@ -16,6 +16,14 @@ constexpr int64_t kCharBuckets[] = {64, 128, 256, 512, 1024, 2048, 4096,
 constexpr int64_t kRatingBuckets[] = {50,  100, 150, 200, 250,
                                       300, 350, 400, 450, 500};
 
+/// Request-latency buckets for the serve daemon (microseconds): sub-ms
+/// admin/health responses up through multi-second revise bursts under
+/// fault-plan latency. The last catalog bucket is followed by the implicit
+/// overflow bucket.
+constexpr int64_t kLatencyMicroBuckets[] = {
+    100,    250,    500,     1000,    2500,    5000,   10000,
+    25000,  50000,  100000,  250000,  500000,  1000000, 2500000};
+
 }  // namespace
 
 const char* MetricTypeName(MetricType type) {
@@ -108,6 +116,12 @@ const std::vector<MetricDef>& MetricCatalog() {
        "Records quarantined at the parse site"},
       {"runtime.quarantined.revise", MetricType::kCounter, "items", "runtime",
        "Records quarantined at the revise site"},
+      {"runtime.quarantined.serve.accept", MetricType::kCounter, "items",
+       "runtime", "Connections quarantined at the serve.accept site"},
+      {"runtime.quarantined.serve.parse", MetricType::kCounter, "items",
+       "runtime", "Requests quarantined at the serve.parse site"},
+      {"runtime.quarantined.serve.revise", MetricType::kCounter, "items",
+       "runtime", "Served records quarantined at the serve.revise site"},
       {"runtime.quarantined.tune", MetricType::kCounter, "items", "runtime",
        "Records quarantined at the tune site"},
       {"runtime.records_quarantined", MetricType::kCounter, "items",
@@ -118,6 +132,43 @@ const std::vector<MetricDef>& MetricCatalog() {
       {"runtime.retry_backoff_micros", MetricType::kCounter, "micros",
        "runtime",
        "Deterministic backoff scheduled between retry attempts"},
+      {"serve.connections_accepted", MetricType::kCounter, "connections",
+       "serve", "Client connections accepted by the serve listener"},
+      {"serve.latency_admin_micros", MetricType::kHistogram, "micros",
+       "serve", "Request latency of the /admin/reload endpoint",
+       kLatencyMicroBuckets, std::size(kLatencyMicroBuckets)},
+      {"serve.latency_health_micros", MetricType::kHistogram, "micros",
+       "serve",
+       "Request latency of the /healthz, /v1/model and /metrics endpoints",
+       kLatencyMicroBuckets, std::size(kLatencyMicroBuckets)},
+      {"serve.latency_revise_micros", MetricType::kHistogram, "micros",
+       "serve", "Request latency of the /v1/revise endpoint",
+       kLatencyMicroBuckets, std::size(kLatencyMicroBuckets)},
+      {"serve.queue_depth_peak", MetricType::kGauge, "requests", "serve",
+       "High-water mark of the admission queue since startup"},
+      {"serve.records_in", MetricType::kCounter, "records", "serve",
+       "Instruction pairs received in /v1/revise request bodies"},
+      {"serve.records_quarantined", MetricType::kCounter, "records", "serve",
+       "Served records that failed revision permanently (original returned)"},
+      {"serve.records_revised", MetricType::kCounter, "records", "serve",
+       "Instruction pairs revised and returned by /v1/revise"},
+      {"serve.reloads_ok", MetricType::kCounter, "reloads", "serve",
+       "Hot model reloads that validated and swapped the coach artifact"},
+      {"serve.reloads_rejected", MetricType::kCounter, "reloads", "serve",
+       "Hot model reloads rejected (torn/invalid artifact; old model kept)"},
+      {"serve.requests_client_error", MetricType::kCounter, "requests",
+       "serve", "Requests answered with a typed 4xx (hostile body, bad "
+       "endpoint, oversized payload)"},
+      {"serve.requests_deadline_exceeded", MetricType::kCounter, "requests",
+       "serve", "Requests cancelled by the per-request deadline (504)"},
+      {"serve.requests_ok", MetricType::kCounter, "requests", "serve",
+       "Requests answered with 2xx"},
+      {"serve.requests_server_error", MetricType::kCounter, "requests",
+       "serve", "Requests answered with 5xx (injected accept/parse faults, "
+       "internal errors)"},
+      {"serve.requests_shed", MetricType::kCounter, "requests", "serve",
+       "Connections shed with 429 + Retry-After because the admission "
+       "queue was full"},
       {"study.items_excluded", MetricType::kCounter, "items", "study",
        "Sampled pairs screened out by the Table III exclusion filter"},
       {"study.items_revised", MetricType::kCounter, "items", "study",

@@ -1,0 +1,85 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace coachlm {
+namespace serve {
+
+Result<ParsedHttpResponse> HttpFetch(int port, const std::string& method,
+                                     const std::string& target,
+                                     const std::string& body,
+                                     int64_t timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError("client: socket(): " +
+                           std::string(std::strerror(errno)));
+  }
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status =
+        Status::Unavailable("client: connect(127.0.0.1:" +
+                            std::to_string(port) +
+                            "): " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "Host: 127.0.0.1\r\n";
+  if (!body.empty() || method == "POST") {
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "Connection: close\r\n\r\n";
+  request += body;
+
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t wrote = ::send(fd, request.data() + sent,
+                                 request.size() - sent, MSG_NOSIGNAL);
+    if (wrote <= 0) {
+      const Status status = Status::IoError(
+          "client: send(): " + std::string(std::strerror(errno)));
+      ::close(fd);
+      return status;
+    }
+    sent += static_cast<size_t>(wrote);
+  }
+
+  std::string raw;
+  char buffer[16 * 1024];
+  while (true) {
+    const ssize_t got = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (got < 0) {
+      const Status status =
+          (errno == EAGAIN || errno == EWOULDBLOCK)
+              ? Status::DeadlineExceeded("client: response timed out")
+              : Status::IoError("client: recv(): " +
+                                std::string(std::strerror(errno)));
+      ::close(fd);
+      return status;
+    }
+    if (got == 0) break;  // Server closed: the response is complete.
+    raw.append(buffer, static_cast<size_t>(got));
+  }
+  ::close(fd);
+  return ParseHttpResponse(raw);
+}
+
+}  // namespace serve
+}  // namespace coachlm

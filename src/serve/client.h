@@ -1,0 +1,29 @@
+#ifndef COACHLM_SERVE_CLIENT_H_
+#define COACHLM_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "serve/http.h"
+
+namespace coachlm {
+namespace serve {
+
+/// \brief One blocking HTTP exchange against a local server.
+///
+/// The load bench and the serve tests are the callers: connect to
+/// 127.0.0.1:\p port, send \p method \p target with \p body, read until
+/// the server closes (Connection: close framing), parse. \p timeout_ms
+/// bounds connect and each socket wait so a wedged server fails the
+/// client with a typed error instead of hanging the bench.
+[[nodiscard]] Result<ParsedHttpResponse> HttpFetch(int port,
+                                                   const std::string& method,
+                                                   const std::string& target,
+                                                   const std::string& body,
+                                                   int64_t timeout_ms = 5000);
+
+}  // namespace serve
+}  // namespace coachlm
+
+#endif  // COACHLM_SERVE_CLIENT_H_

@@ -1,0 +1,57 @@
+#ifndef COACHLM_SERVE_HANDLER_H_
+#define COACHLM_SERVE_HANDLER_H_
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "serve/http.h"
+#include "serve/model_host.h"
+#include "serve/serve_config.h"
+
+namespace coachlm {
+namespace serve {
+
+/// \brief Everything a request handler needs, transport-free.
+///
+/// The handler is deliberately decoupled from sockets: tests and the
+/// in-process bench call HandleRequest directly with a fabricated
+/// HttpRequest and an injected clock, which is how deadline expiry,
+/// hostile bodies, and fault plans get deterministic coverage without a
+/// network in the loop.
+struct ServeContext {
+  const ServeConfig* config = nullptr;
+  ModelHost* models = nullptr;
+  /// Clock for deadlines + latency metrics (tests inject FakeClock).
+  Clock* clock = nullptr;
+  /// True once the server began draining; new requests get 503.
+  bool draining = false;
+};
+
+/// \brief Routes one parsed request to its endpoint and returns the
+/// response. Never throws; every failure mode — unknown route, wrong
+/// method, hostile JSONL, blown deadline, torn reload artifact — maps to
+/// a typed HTTP status with a JSON error body.
+///
+/// Endpoints:
+///   GET  /healthz       liveness + live model version
+///   GET  /v1/model      model metadata (version, checkpoint, backbone)
+///   POST /v1/revise     JSONL of instruction pairs in, revised JSONL out
+///   POST /admin/reload  hot model reload (typed failure keeps old model)
+///   GET  /metrics       MetricsRegistry snapshot as JSON
+///
+/// \p request_id keys the deterministic fault/RNG streams for this
+/// request (the accept sequence number on the wire path).
+HttpResponse HandleRequest(const ServeContext& context, uint64_t request_id,
+                           const HttpRequest& request);
+
+/// Counts the response into the serve.requests_* metric family and its
+/// endpoint latency histogram. Split from HandleRequest so the socket
+/// server can time the full wire round-trip, while direct callers (tests)
+/// time just the handler.
+void RecordRequestMetrics(const HttpResponse& response,
+                          const std::string& target, int64_t latency_micros);
+
+}  // namespace serve
+}  // namespace coachlm
+
+#endif  // COACHLM_SERVE_HANDLER_H_

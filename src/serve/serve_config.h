@@ -1,0 +1,86 @@
+#ifndef COACHLM_SERVE_SERVE_CONFIG_H_
+#define COACHLM_SERVE_SERVE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "coach/coach_config.h"
+#include "common/fault.h"
+#include "common/retry.h"
+#include "common/status.h"
+#include "json/parse_limits.h"
+#include "serve/http.h"
+
+namespace coachlm {
+namespace serve {
+
+/// \brief Static configuration of one `coachlm serve` daemon.
+///
+/// Everything here is fixed for the server's lifetime; the only mutable
+/// piece of server state is the model snapshot inside ModelHost. The CLI
+/// maps its flags onto this struct and Validate() is the single authority
+/// on what is acceptable — the CLI's exit-2 flag validation and the
+/// library tests both go through it.
+struct ServeConfig {
+  /// TCP port on 127.0.0.1. The CLI requires 1..65535; the library also
+  /// accepts 0 (kernel-assigned ephemeral port) so tests and the in-process
+  /// bench never race for a fixed port.
+  int port = 8080;
+  /// Fixed worker pool size; each worker owns one request at a time.
+  int workers = 4;
+  /// Admission-control bound: accepted connections waiting for a worker.
+  /// A full queue sheds new arrivals with 429 + Retry-After instead of
+  /// queueing silently.
+  int queue_depth = 64;
+  /// Per-request budget. Each request gets a CancelToken deadline of this
+  /// many milliseconds; a blown deadline is a typed 504, never a hang.
+  int64_t request_deadline_ms = 2000;
+  /// Seconds advertised in the Retry-After header of a 429 shed response.
+  int retry_after_seconds = 1;
+  /// Trained coach checkpoint to serve (also the reload source).
+  std::string checkpoint = "coach.json";
+  /// Inference configuration applied to the loaded checkpoint.
+  coach::CoachConfig coach;
+  /// Bounds on the HTTP envelope of every request.
+  HttpLimits http_limits;
+  /// Bounds on the JSONL payload inside a /v1/revise body.
+  json::ParseLimits parse_limits;
+  /// Retry policy applied to transient per-record revise failures.
+  RetryPolicy retry;
+  /// Fault plan driven through serve.accept / serve.parse / serve.revise.
+  FaultPlan fault_plan;
+  /// Accept-loop poll interval: the latency bound on noticing a drain or
+  /// reload signal.
+  int64_t poll_interval_ms = 20;
+
+  [[nodiscard]] Status Validate() const {
+    if (port < 0 || port > 65535) {
+      return Status::InvalidArgument("serve: --port must be in 1..65535, got " +
+                                     std::to_string(port));
+    }
+    if (workers < 1 || workers > 1024) {
+      return Status::InvalidArgument(
+          "serve: --serve-workers must be in 1..1024, got " +
+          std::to_string(workers));
+    }
+    if (queue_depth < 1 || queue_depth > 1000000) {
+      return Status::InvalidArgument(
+          "serve: --queue-depth must be in 1..1000000, got " +
+          std::to_string(queue_depth));
+    }
+    if (request_deadline_ms < 1) {
+      return Status::InvalidArgument(
+          "serve: --request-deadline-ms must be >= 1, got " +
+          std::to_string(request_deadline_ms));
+    }
+    if (checkpoint.empty()) {
+      return Status::InvalidArgument("serve: checkpoint path must be set");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace serve
+}  // namespace coachlm
+
+#endif  // COACHLM_SERVE_SERVE_CONFIG_H_

@@ -1,0 +1,355 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <string>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "serve/handler.h"
+#include "serve/http.h"
+
+namespace coachlm {
+namespace serve {
+namespace {
+
+// Signal handlers may only touch lock-free sig_atomic_t flags; everything
+// else happens on the accept loop's poll tick.
+volatile std::sig_atomic_t g_drain_signalled = 0;
+volatile std::sig_atomic_t g_reload_signalled = 0;
+
+void OnDrainSignal(int /*signum*/) { g_drain_signalled = 1; }
+void OnReloadSignal(int /*signum*/) { g_reload_signalled = 1; }
+
+/// Bounds recv/send on a worker's socket so a stalled client cannot pin a
+/// worker past roughly the request deadline.
+void SetSocketTimeout(int fd, int64_t millis) {
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(millis / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((millis % 1000) * 1000);
+  (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Sends a canned response on a connection whose request was never read
+/// (shed / accept-fault paths), then drains what the client sent before
+/// close(). Closing with unread bytes in the receive buffer turns into a
+/// TCP RST that can destroy the response in flight — the client would see
+/// "connection reset" instead of the typed 429/503 we just wrote. The
+/// drain is bounded (byte cap + the socket's recv timeout) so a hostile
+/// flood cannot pin the accept loop.
+void SendResponseAndDiscard(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t wrote = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                                 MSG_NOSIGNAL);
+    if (wrote <= 0) return;
+    sent += static_cast<size_t>(wrote);
+  }
+  (void)::shutdown(fd, SHUT_WR);
+  char sink[4096];
+  size_t drained = 0;
+  while (drained < (1u << 20)) {
+    const ssize_t got = ::recv(fd, sink, sizeof(sink), 0);
+    if (got <= 0) break;  // EOF, error, or recv timeout: safe to close.
+    drained += static_cast<size_t>(got);
+  }
+}
+
+}  // namespace
+
+void InstallServeSignalHandlers() {
+  struct sigaction action = {};
+  action.sa_handler = OnDrainSignal;
+  sigemptyset(&action.sa_mask);
+  (void)sigaction(SIGTERM, &action, nullptr);
+  (void)sigaction(SIGINT, &action, nullptr);
+  action.sa_handler = OnReloadSignal;
+  (void)sigaction(SIGHUP, &action, nullptr);
+  // A peer closing mid-write must surface as a send error, not SIGPIPE.
+  (void)signal(SIGPIPE, SIG_IGN);
+}
+
+bool ServeDrainSignalled() { return g_drain_signalled != 0; }
+
+bool ConsumeReloadSignal() {
+  if (g_reload_signalled == 0) return false;
+  g_reload_signalled = 0;
+  return true;
+}
+
+void ResetServeSignalsForTest() {
+  g_drain_signalled = 0;
+  g_reload_signalled = 0;
+}
+
+RevisionServer::RevisionServer(const ServeConfig& config, ModelHost* models,
+                               Clock* clock)
+    : config_(config),
+      models_(models),
+      clock_(clock != nullptr ? clock : Clock::System()),
+      queue_(static_cast<size_t>(config.queue_depth)) {}
+
+RevisionServer::~RevisionServer() {
+  RequestDrain();
+  AwaitDrain();
+}
+
+Status RevisionServer::StartServing() {
+  COACHLM_RETURN_NOT_OK(config_.Validate());
+  if (models_->Snapshot() == nullptr) {
+    return Status::FailedPrecondition(
+        "serve: start requires a loaded model (ModelHost::Load first)");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError("serve: socket(): " +
+                           std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(config_.port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status = Status::IoError(
+        "serve: bind(127.0.0.1:" + std::to_string(config_.port) +
+        "): " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, config_.queue_depth) < 0) {
+    const Status status =
+        Status::IoError("serve: listen(): " + std::string(std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound = {};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) <
+      0) {
+    const Status status = Status::IoError("serve: getsockname(): " +
+                                          std::string(std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_.store(fd, std::memory_order_release);
+
+  workers_.reserve(static_cast<size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  COACHLM_LOG_INFO << "serve: listening on 127.0.0.1:" << port_ << " ("
+                   << config_.workers << " workers, queue depth "
+                   << config_.queue_depth << ")";
+  return Status::OK();
+}
+
+void RevisionServer::CloseListener() {
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    // shutdown() wakes a blocked accept/poll before close.
+    (void)::shutdown(fd, SHUT_RDWR);
+    (void)::close(fd);
+  }
+}
+
+void RevisionServer::RequestDrain() {
+  if (draining_.exchange(true, std::memory_order_acq_rel)) return;
+  // Drain order is the contract: listener first (no new admissions), then
+  // the queue (workers answer everything already admitted, then exit).
+  CloseListener();
+  queue_.Shutdown();
+}
+
+ModelHost::ReloadResult RevisionServer::RequestReload() {
+  const ModelHost::ReloadResult result = models_->Reload();
+  if (result.status.ok()) {
+    stats_.reloads_ok.fetch_add(1, std::memory_order_relaxed);
+    COACHLM_LOG_INFO << "serve: model reloaded, version " << result.version;
+  } else {
+    stats_.reloads_rejected.fetch_add(1, std::memory_order_relaxed);
+    CountMetric("serve.reloads_rejected");
+    COACHLM_LOG_WARN << "serve: reload rejected, keeping version "
+                     << result.version << ": " << result.status.ToString();
+  }
+  return result;
+}
+
+void RevisionServer::AcceptLoop() {
+  while (!draining_.load(std::memory_order_acquire)) {
+    if (ServeDrainSignalled()) {
+      RequestDrain();
+      break;
+    }
+    if (ConsumeReloadSignal()) {
+      if (RequestReload().status.ok()) {
+        CountMetric("serve.reloads_ok");
+      }
+    }
+    const int fd = listen_fd_.load(std::memory_order_acquire);
+    if (fd < 0) break;
+    pollfd pfd = {};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int ready =
+        ::poll(&pfd, 1, static_cast<int>(config_.poll_interval_ms));
+    if (ready <= 0) continue;  // Timeout (signal-poll tick) or EINTR.
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) continue;  // Listener closed under us or transient.
+
+    const uint64_t request_id =
+        next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    CountMetric("serve.connections_accepted");
+    SetSocketTimeout(conn, config_.request_deadline_ms);
+
+    // The connection-level fault site: a plan targeting serve.accept turns
+    // admission itself into a typed 503, exercising client retry paths.
+    const FaultInjector injector(config_.fault_plan);
+    const Status injected =
+        injector.Inject(FaultSite::kServeAccept, request_id, 1, nullptr);
+    if (!injected.ok()) {
+      HttpResponse response;
+      response.status = HttpStatusFromStatus(injected);
+      response.body = HttpErrorBody(injected);
+      SendResponseAndDiscard(conn, response.Serialize());
+      (void)::close(conn);
+      RecordRequestMetrics(response, "/", 0);
+      stats_.requests_server_error.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+
+    if (!queue_.TryPush(conn)) {
+      // Admission control: full queue -> explicit shed, bounded memory.
+      HttpResponse response;
+      response.status = 429;
+      response.headers["Retry-After"] =
+          std::to_string(config_.retry_after_seconds);
+      response.body = HttpErrorBody(Status::ResourceExhausted(
+          "serve: admission queue full (depth " +
+          std::to_string(config_.queue_depth) + "); retry after " +
+          std::to_string(config_.retry_after_seconds) + "s"));
+      SendResponseAndDiscard(conn, response.Serialize());
+      (void)::close(conn);
+      RecordRequestMetrics(response, "/", 0);
+      stats_.requests_shed.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    SetGaugeMetric("serve.queue_depth_peak",
+                   static_cast<int64_t>(queue_.peak()));
+  }
+}
+
+void RevisionServer::WorkerLoop() {
+  int fd = -1;
+  while (queue_.Pop(&fd)) {
+    const uint64_t request_id =
+        next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    ServeConnection(fd, request_id);
+    (void)::close(fd);
+  }
+}
+
+void RevisionServer::ServeConnection(int fd, uint64_t request_id) {
+  const int64_t started_micros = clock_->NowMicros();
+  HttpRequestParser parser(config_.http_limits);
+  char buffer[16 * 1024];
+  Status parse_status = Status::OK();
+  while (!parser.complete()) {
+    const ssize_t got = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (got < 0) {
+      parse_status = (errno == EAGAIN || errno == EWOULDBLOCK)
+                         ? Status::DeadlineExceeded(
+                               "serve: timed out reading the request")
+                         : Status::IoError("serve: recv(): " +
+                                           std::string(std::strerror(errno)));
+      break;
+    }
+    if (got == 0) {
+      parse_status =
+          Status::InvalidArgument("serve: client closed before a full request");
+      break;
+    }
+    parse_status = parser.Feed(buffer, static_cast<size_t>(got));
+    if (!parse_status.ok()) break;
+  }
+
+  HttpResponse response;
+  std::string target = "/";
+  if (!parse_status.ok()) {
+    response.status = HttpStatusFromStatus(parse_status);
+    // A read timeout is the *client's* slowness, not an upstream's: 408.
+    if (parse_status.code() == StatusCode::kDeadlineExceeded) {
+      response.status = 408;
+    }
+    response.body = HttpErrorBody(parse_status);
+  } else {
+    ServeContext context;
+    context.config = &config_;
+    context.models = models_;
+    context.clock = clock_;
+    context.draining = draining_.load(std::memory_order_acquire);
+    target = parser.request().target;
+    response = HandleRequest(context, request_id, parser.request());
+    if (target == "/admin/reload") {
+      if (response.status == 200) {
+        stats_.reloads_ok.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        stats_.reloads_rejected.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  SendAll(fd, response.Serialize());
+  RecordRequestMetrics(response, target,
+                       clock_->NowMicros() - started_micros);
+  if (response.status < 400) {
+    stats_.requests_ok.fetch_add(1, std::memory_order_relaxed);
+  } else if (response.status == 504 || response.status == 408) {
+    stats_.requests_deadline.fetch_add(1, std::memory_order_relaxed);
+  } else if (response.status >= 500) {
+    stats_.requests_server_error.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.requests_client_error.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void RevisionServer::SendAll(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t wrote = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                                 MSG_NOSIGNAL);
+    if (wrote <= 0) return;  // Peer gone; nothing more to do for them.
+    sent += static_cast<size_t>(wrote);
+  }
+}
+
+void RevisionServer::AwaitDrain() {
+  if (joined_.exchange(true, std::memory_order_acq_rel)) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  SetGaugeMetric("serve.queue_depth_peak",
+                 static_cast<int64_t>(queue_.peak()));
+  COACHLM_LOG_INFO << "serve: drained ("
+                   << stats_.requests_ok.load(std::memory_order_relaxed)
+                   << " ok, "
+                   << stats_.requests_shed.load(std::memory_order_relaxed)
+                   << " shed)";
+}
+
+}  // namespace serve
+}  // namespace coachlm

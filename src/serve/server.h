@@ -1,0 +1,127 @@
+#ifndef COACHLM_SERVE_SERVER_H_
+#define COACHLM_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "serve/admission.h"
+#include "serve/model_host.h"
+#include "serve/serve_config.h"
+
+namespace coachlm {
+namespace serve {
+
+/// \brief Lifetime counters of one server instance.
+///
+/// All atomics: the accept loop and every worker update them concurrently,
+/// and tests/the bench read them after AwaitDrain() joins everything.
+struct ServerStats {
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> requests_ok{0};          ///< 2xx responses.
+  std::atomic<uint64_t> requests_shed{0};        ///< 429 at admission.
+  std::atomic<uint64_t> requests_client_error{0};  ///< other 4xx + 501.
+  std::atomic<uint64_t> requests_server_error{0};  ///< 5xx except 504.
+  std::atomic<uint64_t> requests_deadline{0};    ///< 504 / 408.
+  std::atomic<uint64_t> reloads_ok{0};
+  std::atomic<uint64_t> reloads_rejected{0};
+};
+
+/// \brief The `coachlm serve` daemon: listener, admission queue, fixed
+/// worker pool, signal-driven drain and reload.
+///
+/// Lifecycle: StartServing() binds 127.0.0.1:port, spawns the accept loop and
+/// `workers` worker threads, and returns. RequestDrain() (or SIGTERM /
+/// SIGINT via InstallServeSignalHandlers) begins graceful shutdown in a
+/// fixed order: the listener closes FIRST (no new work can arrive), then
+/// the admission queue closes (workers answer everything already
+/// admitted), then workers exit. AwaitDrain() joins all of it. SIGHUP (or
+/// RequestReload / POST /admin/reload) hot-swaps the model; in-flight
+/// requests finish on the snapshot they started with.
+///
+/// One request per connection, Connection: close — the protocol stays
+/// trivially correct under drain: every admitted connection gets exactly
+/// one response before its socket closes.
+class RevisionServer {
+ public:
+  /// \p clock times requests and deadlines (tests may inject, though the
+  /// wire path is usually driven with the system clock).
+  RevisionServer(const ServeConfig& config, ModelHost* models,
+                 Clock* clock = nullptr);
+  ~RevisionServer();
+
+  RevisionServer(const RevisionServer&) = delete;
+  RevisionServer& operator=(const RevisionServer&) = delete;
+
+  /// Binds, listens, and spawns the accept loop + worker pool. Fails with
+  /// a typed error if the port is taken or the model is not loaded.
+  [[nodiscard]] Status StartServing();
+
+  /// The bound port (resolves port 0 to the kernel's pick).
+  int port() const { return port_; }
+
+  /// Begins graceful drain (idempotent, callable from any thread or from
+  /// the signal-flag poll): listener closes first, admitted work drains.
+  void RequestDrain();
+
+  /// Hot model reload; returns the outcome (old model stays on failure).
+  ModelHost::ReloadResult RequestReload();
+
+  /// True once RequestDrain() has been observed.
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// Blocks until the accept loop and all workers have exited (requires a
+  /// prior RequestDrain, or an armed signal arriving). Flushes final
+  /// gauges. Idempotent.
+  void AwaitDrain();
+
+  const ServerStats& stats() const { return stats_; }
+  const AdmissionQueue<int>& queue() const { return queue_; }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  /// Reads one request off \p fd, handles it, writes the response. Every
+  /// admitted fd gets a response — even parse failures and timeouts.
+  void ServeConnection(int fd, uint64_t request_id);
+  void SendAll(int fd, const std::string& bytes);
+  void CloseListener();
+
+  const ServeConfig config_;
+  ModelHost* const models_;
+  Clock* const clock_;
+  ServerStats stats_;
+  AdmissionQueue<int> queue_;
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> joined_{false};
+  std::atomic<uint64_t> next_request_id_{0};
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+};
+
+/// \name Signal integration
+///
+/// Handlers only flip `volatile sig_atomic_t` flags; the accept loop polls
+/// them every poll_interval_ms and translates SIGTERM/SIGINT into
+/// RequestDrain() and SIGHUP into RequestReload(). SIGPIPE is ignored
+/// (sends also pass MSG_NOSIGNAL) so a client hanging up mid-response is
+/// an error return, not process death.
+/// @{
+void InstallServeSignalHandlers();
+/// True when SIGTERM/SIGINT arrived since the handlers were installed.
+bool ServeDrainSignalled();
+/// Consumes a pending SIGHUP (returns true at most once per signal).
+bool ConsumeReloadSignal();
+/// Test hook: clears both pending-signal flags.
+void ResetServeSignalsForTest();
+/// @}
+
+}  // namespace serve
+}  // namespace coachlm
+
+#endif  // COACHLM_SERVE_SERVER_H_

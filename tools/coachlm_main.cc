@@ -55,6 +55,9 @@
 #include "expert/pipeline.h"
 #include "quality/accuracy_rater.h"
 #include "quality/quality_report.h"
+#include "serve/model_host.h"
+#include "serve/serve_config.h"
+#include "serve/server.h"
 #include "synth/generator.h"
 #include "testsets/testset.h"
 #include "tuning/evaluation.h"
@@ -98,6 +101,21 @@ constexpr char kUsage[] =
     "  metrics   [--validate report.json]\n"
     "            print the metric catalog (name, type, unit, stage, help);\n"
     "            --validate schema-checks a run report or bench trajectory\n"
+    "  serve     --checkpoint coach.json [--port P] [--serve-workers W]\n"
+    "            [--queue-depth Q] [--request-deadline-ms D]\n"
+    "            long-lived revision service on 127.0.0.1 (docs/SERVING.md):\n"
+    "            POST /v1/revise revises a JSONL body with the loaded\n"
+    "            coach; SIGHUP or POST /admin/reload hot-swaps the\n"
+    "            checkpoint; SIGTERM drains gracefully; a full admission\n"
+    "            queue sheds with 429 + Retry-After\n"
+    "\n"
+    "serving (serve only; batch-only flags like --resume are rejected):\n"
+    "  --port P                listen port on 127.0.0.1 (1..65535; 8080)\n"
+    "  --serve-workers W       fixed worker pool size (1..1024; 4)\n"
+    "  --queue-depth Q         admission queue bound before shedding\n"
+    "                          (1..1000000; 64)\n"
+    "  --request-deadline-ms D per-request budget; a blown deadline is a\n"
+    "                          typed 504 (>= 1; 2000)\n"
     "\n"
     "corpus I/O (every dataset-reading/-writing command; docs/FORMAT.md):\n"
     "  inputs are sniffed: Alpaca JSON arrays, JSONL, binary columnar\n"
@@ -703,6 +721,69 @@ Status RunConvert(const Flags& flags) {
   return Status::OK();
 }
 
+Status RunServe(const Flags& flags) {
+  serve::ServeConfig config;
+  config.port = static_cast<int>(flags.GetInt("port", 8080));
+  config.workers = static_cast<int>(flags.GetInt("serve-workers", 4));
+  config.queue_depth = static_cast<int>(flags.GetInt("queue-depth", 64));
+  config.request_deadline_ms = flags.GetInt("request-deadline-ms", 2000);
+  config.checkpoint = flags.GetString("checkpoint", "coach.json");
+  config.coach.alpha = flags.GetDouble("alpha", 0.3);
+  config.coach.backbone =
+      BackboneByName(flags.GetString("backbone", "chatglm2"));
+  config.coach.verify_expansions = flags.Has("verify");
+  config.parse_limits = json::ParseLimits::Default();
+  if (flags.Has("fault-plan")) {
+    COACHLM_ASSIGN_OR_RETURN(config.fault_plan,
+                             FaultPlan::Parse(flags.GetString("fault-plan")));
+  }
+  if (flags.Has("retry-max")) {
+    config.retry.max_attempts =
+        static_cast<int>(flags.GetInt("retry-max", 4));
+  }
+  COACHLM_RETURN_NOT_OK(config.Validate());
+
+  // The daemon deliberately opens no child spans: the root "serve" span
+  // alone covers the whole resident lifetime in the run report, and
+  // workers are not the driver thread anyway.
+  serve::ModelHost models(config.checkpoint, config.coach);
+  COACHLM_RETURN_NOT_OK(models.Load());
+  serve::InstallServeSignalHandlers();
+  serve::RevisionServer server(config, &models);
+  COACHLM_RETURN_NOT_OK(server.StartServing());
+  std::printf("serving on 127.0.0.1:%d (checkpoint %s, model version %llu); "
+              "SIGTERM drains, SIGHUP reloads\n",
+              server.port(), config.checkpoint.c_str(),
+              static_cast<unsigned long long>(models.version()));
+  std::fflush(stdout);
+  // The accept loop polls the signal flags; this blocks until a drain
+  // (SIGTERM/SIGINT) has been requested AND every admitted request got its
+  // response. Main() then flushes the run report as for any command.
+  server.AwaitDrain();
+  const serve::ServerStats& stats = server.stats();
+  std::printf(
+      "serve drained: %llu connections, %llu ok, %llu shed, %llu client "
+      "errors, %llu server errors, %llu deadline, %llu reloads (%llu "
+      "rejected)\n",
+      static_cast<unsigned long long>(
+          stats.connections_accepted.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          stats.requests_ok.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          stats.requests_shed.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          stats.requests_client_error.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          stats.requests_server_error.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          stats.requests_deadline.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          stats.reloads_ok.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          stats.reloads_rejected.load(std::memory_order_relaxed)));
+  return Status::OK();
+}
+
 /// Validates every flag that must be numeric / well-formed before any
 /// command runs, so a typo is a usage error (exit 2), never a silently
 /// substituted default. Returns the first violation.
@@ -730,6 +811,10 @@ Status ValidateFlags(const Flags& flags) {
       {"stall-timeout-ms", 1, kMax},
       {"max-record-bytes", 1, kMax},
       {"max-json-depth", 1, kMax},
+      {"port", 1, 65535},
+      {"serve-workers", 1, 1024},
+      {"queue-depth", 1, 1000000},
+      {"request-deadline-ms", 1, kMax},
   };
   for (const IntFlag& spec : int_flags) {
     if (!flags.Has(spec.name)) continue;
@@ -755,6 +840,27 @@ Status ValidateFlags(const Flags& flags) {
     // Unknown corpus formats are usage errors, never silently "auto".
     COACHLM_RETURN_NOT_OK(
         ParseCorpusFormat(flags.GetString("format")).status());
+  }
+  if (flags.command() == "serve") {
+    // The daemon is not a batch run: flags that steer batch I/O,
+    // checkpoint/resume, or the whole-run deadline have no meaning for a
+    // resident service and are rejected instead of silently ignored.
+    static const char* const kBatchOnly[] = {
+        "in", "out",
+        "resume", "checkpoint-dir",
+        "checkpoint-interval", "crash-after-commits",
+        "corpus-manifest", "shards",
+        "format", "deadline-ms",
+        "stall-timeout-ms",
+    };
+    for (const char* banned : kBatchOnly) {
+      if (flags.Has(banned)) {
+        return Status::InvalidArgument(
+            "serve: --" + std::string(banned) +
+            " is a batch-only flag (use --request-deadline-ms for the "
+            "per-request budget; see docs/SERVING.md)");
+      }
+    }
   }
   if (flags.Has("corpus-manifest")) {
     const std::string manifest = flags.GetString("corpus-manifest");
@@ -843,7 +949,8 @@ int Main(int argc, char** argv) {
        "crash-after-commits", "checkpoint-interval", "study-seed",
        "deadline-ms", "stall-timeout-ms", "max-record-bytes",
        "max-json-depth", "metrics-out", "metrics-deterministic", "validate",
-       "format", "shards", "corpus-manifest"});
+       "format", "shards", "corpus-manifest", "port", "serve-workers",
+       "queue-depth", "request-deadline-ms"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n%s", flags.status().ToString().c_str(), kUsage);
     return 2;
@@ -882,6 +989,7 @@ int Main(int argc, char** argv) {
   else if (command == "pipeline") status = RunPipeline(*flags);
   else if (command == "convert") status = RunConvert(*flags);
   else if (command == "metrics") status = RunMetrics(*flags);
+  else if (command == "serve") status = RunServe(*flags);
   else {
     std::fprintf(stderr, "%s", kUsage);
     return command.empty() ? 0 : 2;
