@@ -238,9 +238,69 @@ int main() {
                    "control inert?)\n");
       return 1;
     }
+  }
+  bench::Record("shed_rate", shed_rate, "ratio");
+
+  // Phase 3 (in-process only): availability through the resilient client
+  // under the default chaos plan — server-side socket chaos (dripped
+  // reads, torn writes, EINTR storms, stalls) on the worker loops,
+  // client-side chaos including mid-exchange RST on every attempt stream,
+  // and retry-with-backoff riding over all of it. Gate: >= 99% of logical
+  // requests answered.
+  double availability = 1.0;
+  if (server != nullptr) {
+    serve::ServeConfig chaotic;
+    chaotic.port = 0;
+    chaotic.checkpoint = checkpoint;
+    chaotic.coach = world.coach.model->config();
+    chaotic.workers = 4;
+    chaotic.queue_depth = 64;
+    chaotic.fault_plan =
+        FaultPlan::Parse(
+            "rate=0.2,seed=42,latency_us=2000,"
+            "sites=chaos.read+chaos.write+chaos.eintr+chaos.stall")
+            .ValueOrDie();
+    serve::ModelHost chaos_host(checkpoint, chaotic.coach);
+    if (!chaos_host.Load().ok()) return 1;
+    serve::RevisionServer chaos_server(chaotic, &chaos_host);
+    if (!chaos_server.StartServing().ok()) return 1;
+    const FaultPlan client_chaos =
+        FaultPlan::Parse(
+            "rate=0.2,seed=7,latency_us=2000,"
+            "sites=chaos.read+chaos.write+chaos.eintr+chaos.stall+chaos.rst")
+            .ValueOrDie();
+    const int kChaosRequests = static_cast<int>(Scaled(200, 30));
+    int answered = 0;
+    int recovered = 0;
+    for (int i = 0; i < kChaosRequests; ++i) {
+      serve::FetchOptions options;
+      options.chaos = client_chaos;
+      options.retry.max_attempts = 5;
+      options.retry.initial_backoff_us = 500;
+      options.request_id = static_cast<uint64_t>(i);
+      const serve::FetchOutcome outcome = serve::FetchWithRetry(
+          chaos_server.port(), "POST", "/v1/revise", body, options);
+      if (outcome.answered()) ++answered;
+      if (outcome.answered() && outcome.attempts > 1) ++recovered;
+    }
+    chaos_server.RequestDrain();
+    chaos_server.AwaitDrain();
+    availability =
+        static_cast<double>(answered) / static_cast<double>(kChaosRequests);
+    std::printf(
+        "chaos availability: %d/%d answered (%.2f%%), %d recovered by "
+        "retry\n",
+        answered, kChaosRequests, availability * 100.0, recovered);
+    if (availability < 0.99) {
+      std::fprintf(stderr,
+                   "[bench] FAIL: availability %.4f under the default chaos "
+                   "plan (require >= 0.99)\n",
+                   availability);
+      return 1;
+    }
     std::error_code ec;
     fs::remove(checkpoint, ec);
   }
-  bench::Record("shed_rate", shed_rate, "ratio");
+  bench::Record("availability", availability, "ratio");
   return 0;
 }

@@ -19,6 +19,8 @@ const char* const kSiteNames[kNumFaultSites] = {
     "collect",      "parse",       "revise",
     "judge",        "tune",        "io",
     "serve.accept", "serve.parse", "serve.revise",
+    "chaos.read",   "chaos.write", "chaos.rst",
+    "chaos.eintr",  "chaos.stall",
 };
 
 std::vector<std::string> SplitOn(const std::string& text, char sep) {
@@ -59,7 +61,8 @@ Result<FaultSite> FaultSiteFromString(const std::string& name) {
   return Status::InvalidArgument(
       "unknown fault site '" + name +
       "' (want collect|parse|revise|judge|tune|io|serve.accept|serve.parse|"
-      "serve.revise)");
+      "serve.revise|chaos.read|chaos.write|chaos.rst|chaos.eintr|"
+      "chaos.stall)");
 }
 
 Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {

@@ -26,9 +26,14 @@ enum class FaultSite {
   kServeAccept,  // serve daemon: accepting a client connection
   kServeParse,   // serve daemon: parsing one request envelope
   kServeRevise,  // serve daemon: per-record revision inside a request
+  kChaosRead,    // socket chaos: slow-drip reads (slowloris)
+  kChaosWrite,   // socket chaos: short / torn writes
+  kChaosRst,     // socket chaos: hard RST instead of a clean close
+  kChaosEintr,   // socket chaos: EINTR storms on socket syscalls
+  kChaosStall,   // socket chaos: stalled peer (silent latency)
 };
 
-inline constexpr int kNumFaultSites = 9;
+inline constexpr int kNumFaultSites = 14;
 
 /// Stable lowercase name ("collect", "parse", ...).
 const char* FaultSiteToString(FaultSite site);

@@ -132,6 +132,23 @@ const std::vector<MetricDef>& MetricCatalog() {
       {"runtime.retry_backoff_micros", MetricType::kCounter, "micros",
        "runtime",
        "Deterministic backoff scheduled between retry attempts"},
+      {"serve.chaos.eintr_injected", MetricType::kCounter, "ops", "serve",
+       "Socket syscalls interrupted with an injected EINTR (chaos.eintr)"},
+      {"serve.chaos.reads_disturbed", MetricType::kCounter, "ops", "serve",
+       "Socket reads dripped one byte at a time (chaos.read slowloris)"},
+      {"serve.chaos.rst_closes", MetricType::kCounter, "connections",
+       "serve",
+       "Connections torn down with a hard TCP RST instead of a clean close "
+       "(chaos.rst)"},
+      {"serve.chaos.stalls_injected", MetricType::kCounter, "ops", "serve",
+       "Socket operations delayed by an injected peer stall (chaos.stall)"},
+      {"serve.chaos.writes_torn", MetricType::kCounter, "ops", "serve",
+       "Socket writes truncated to force partial-write handling "
+       "(chaos.write)"},
+      {"serve.client.recovered", MetricType::kCounter, "requests", "serve",
+       "Client requests that succeeded only after at least one retry"},
+      {"serve.client.retries", MetricType::kCounter, "attempts", "serve",
+       "Retry attempts the resilient client scheduled beyond the first"},
       {"serve.connections_accepted", MetricType::kCounter, "connections",
        "serve", "Client connections accepted by the serve listener"},
       {"serve.latency_admin_micros", MetricType::kHistogram, "micros",
@@ -169,6 +186,21 @@ const std::vector<MetricDef>& MetricCatalog() {
       {"serve.requests_shed", MetricType::kCounter, "requests", "serve",
        "Connections shed with 429 + Retry-After because the admission "
        "queue was full"},
+      {"serve.supervisor.circuit_opened", MetricType::kCounter, "events",
+       "serve",
+       "Restart circuit-breaker trips (too many worker crashes in the "
+       "window; the supervisor exits)"},
+      {"serve.supervisor.restart_backoff_micros", MetricType::kCounter,
+       "micros", "serve",
+       "Deterministic backoff scheduled before worker respawns"},
+      {"serve.supervisor.workers_crashed", MetricType::kCounter, "workers",
+       "serve",
+       "Worker processes that died (signal or nonzero exit) outside drain"},
+      {"serve.supervisor.workers_respawned", MetricType::kCounter, "workers",
+       "serve", "Worker processes respawned after a crash"},
+      {"serve.supervisor.workers_spawned", MetricType::kCounter, "workers",
+       "serve", "Worker processes forked by the supervisor (initial fleet "
+       "plus respawns)"},
       {"study.items_excluded", MetricType::kCounter, "items", "study",
        "Sampled pairs screened out by the Table III exclusion filter"},
       {"study.items_revised", MetricType::kCounter, "items", "study",
@@ -198,6 +230,27 @@ void MetricHistogram::Observe(int64_t value) {
       1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+Status MetricHistogram::MergeFrom(const std::vector<int64_t>& counts,
+                                  int64_t sum) {
+  if (counts.size() != counts_.size()) {
+    return Status::InvalidArgument(
+        "histogram merge: " + std::to_string(counts.size()) +
+        " bucket counts, want " + std::to_string(counts_.size()));
+  }
+  uint64_t total = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] < 0) {
+      return Status::InvalidArgument("histogram merge: negative bucket count");
+    }
+    counts_[i].fetch_add(static_cast<uint64_t>(counts[i]),
+                         std::memory_order_relaxed);
+    total += static_cast<uint64_t>(counts[i]);
+  }
+  count_.fetch_add(total, std::memory_order_relaxed);
+  sum_.fetch_add(sum, std::memory_order_relaxed);
+  return Status::OK();
 }
 
 std::vector<uint64_t> MetricHistogram::counts() const {

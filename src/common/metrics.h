@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "json/json.h"
 
 namespace coachlm {
@@ -86,6 +87,15 @@ class MetricHistogram {
   /// Records \p value into bucket i where value <= bounds[i] (the last
   /// bucket is the overflow bucket).
   void Observe(int64_t value);
+
+  /// Folds another histogram's serialized state into this one: adds
+  /// \p counts (size must equal counts().size()) bucket-wise and \p sum to
+  /// the running sum. Addition commutes, so merging per-worker reports in
+  /// any order serializes to the same bytes — the property the supervisor's
+  /// merged run report relies on. Rejects a bucket-count mismatch (the
+  /// catalog pins bucket layouts, so a mismatch means a schema drift).
+  [[nodiscard]] Status MergeFrom(const std::vector<int64_t>& counts,
+                                 int64_t sum);
 
   const std::vector<int64_t>& bounds() const { return bounds_; }
   /// Per-bucket counts; size() == bounds().size() + 1 (overflow last).

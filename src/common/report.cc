@@ -242,6 +242,48 @@ json::Value BuildRunReport(const RunReportOptions& options) {
   return json::Value(std::move(report));
 }
 
+Status MergeRunReportMetrics(const json::Value& report) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  if (!registry.enabled()) return Status::OK();
+  if (!report.is_object()) {
+    return SchemaError("merge source is not an object");
+  }
+  const json::Value& counters = report.At("counters");
+  if (!counters.is_object()) return SchemaError("missing \"counters\"");
+  for (const auto& [name, value] : counters.AsObject()) {
+    if (!value.is_number() || value.AsInt() < 0) {
+      return SchemaError("counter \"" + name +
+                         "\" is not a non-negative number");
+    }
+    Counter* counter = registry.FindCounter(name);
+    if (counter != nullptr) counter->Add(static_cast<uint64_t>(value.AsInt()));
+  }
+  const json::Value& gauges = report.At("gauges");
+  if (!gauges.is_object()) return SchemaError("missing \"gauges\"");
+  for (const auto& [name, value] : gauges.AsObject()) {
+    if (!value.is_number()) {
+      return SchemaError("gauge \"" + name + "\" is not a number");
+    }
+    Gauge* gauge = registry.FindGauge(name);
+    if (gauge != nullptr && value.AsInt() > gauge->value()) {
+      gauge->Set(value.AsInt());
+    }
+  }
+  const json::Value& histograms = report.At("histograms");
+  COACHLM_RETURN_NOT_OK(CheckHistograms(histograms));
+  for (const auto& [name, histogram] : histograms.AsObject()) {
+    MetricHistogram* target = registry.FindHistogram(name);
+    if (target == nullptr) continue;
+    std::vector<int64_t> counts;
+    for (const json::Value& c : histogram.At("counts").AsArray()) {
+      counts.push_back(c.AsInt());
+    }
+    COACHLM_RETURN_NOT_OK(
+        target->MergeFrom(counts, histogram.At("sum").AsInt()));
+  }
+  return Status::OK();
+}
+
 Status WriteRunReport(const std::string& path,
                       const RunReportOptions& options) {
   const std::string text = BuildRunReport(options).DumpPretty() + "\n";

@@ -52,6 +52,20 @@ json::Value BuildRunReport(const RunReportOptions& options);
 /// does not expose it).
 int64_t PeakRssBytes();
 
+/// \brief Folds the metric sections of another process's run report into
+/// the default registry: counters add, gauges keep the maximum (every
+/// gauge in the catalog is a peak/configuration fact, so max commutes),
+/// histograms add bucket-wise.
+///
+/// This is how the serve supervisor merges per-worker run reports: each
+/// worker writes a normal schema-v1 report at drain, the parent folds them
+/// all into its own registry, and the report the parent then writes is
+/// schema-identical to a single-process run. Merge order cannot change the
+/// result because every fold is a commutative aggregate. Unknown metric
+/// names are skipped (an older worker's report stays mergeable); malformed
+/// sections are a typed error. No-op when the registry is disabled.
+[[nodiscard]] Status MergeRunReportMetrics(const json::Value& report);
+
 /// \brief Collector for benchmark measurements, emitted through the same
 /// report schema as pipeline runs (kind "bench").
 ///

@@ -5,26 +5,46 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
+#include "common/execution.h"
+#include "common/metrics.h"
+#include "serve/chaos.h"
+
 namespace coachlm {
 namespace serve {
+namespace {
 
-Result<ParsedHttpResponse> HttpFetch(int port, const std::string& method,
+/// Stream-family tag deriving one chaos connection id per attempt, so a
+/// retry never replays the exact fault schedule that killed the previous
+/// attempt.
+constexpr uint64_t kAttemptTag = 0xA77E3970ULL;
+
+/// One wire exchange with client-side chaos applied. \p sent_any reports
+/// whether any request bytes went out before the failure — the fact the
+/// idempotency guard needs.
+Result<ParsedHttpResponse> FetchOnce(int port, const std::string& method,
                                      const std::string& target,
                                      const std::string& body,
-                                     int64_t timeout_ms) {
+                                     const FetchOptions& options, int attempt,
+                                     bool* sent_any) {
+  *sent_any = false;
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IoError("client: socket(): " +
                            std::string(std::strerror(errno)));
   }
   timeval tv;
-  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
-  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  tv.tv_sec = static_cast<time_t>(options.timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((options.timeout_ms % 1000) * 1000);
   (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   (void)setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  const uint64_t connection_id =
+      MixSeed(options.request_id, kAttemptTag + static_cast<uint64_t>(attempt));
+  ChaosSocket socket(fd, options.chaos, connection_id, options.clock);
 
   sockaddr_in addr = {};
   addr.sin_family = AF_INET;
@@ -36,7 +56,7 @@ Result<ParsedHttpResponse> HttpFetch(int port, const std::string& method,
         Status::Unavailable("client: connect(127.0.0.1:" +
                             std::to_string(port) +
                             "): " + std::strerror(errno));
-    ::close(fd);
+    socket.Close();
     return status;
   }
 
@@ -50,35 +70,112 @@ Result<ParsedHttpResponse> HttpFetch(int port, const std::string& method,
 
   size_t sent = 0;
   while (sent < request.size()) {
-    const ssize_t wrote = ::send(fd, request.data() + sent,
-                                 request.size() - sent, MSG_NOSIGNAL);
+    const ssize_t wrote =
+        socket.Send(request.data() + sent, request.size() - sent);
+    if (wrote < 0 && errno == EINTR) continue;  // Interrupted: retry.
     if (wrote <= 0) {
-      const Status status = Status::IoError(
-          "client: send(): " + std::string(std::strerror(errno)));
-      ::close(fd);
+      const Status status =
+          (errno == EAGAIN || errno == EWOULDBLOCK)
+              ? Status::DeadlineExceeded("client: send timed out")
+              : Status::IoError("client: send(): " +
+                                std::string(std::strerror(errno)));
+      socket.Close();
       return status;
     }
     sent += static_cast<size_t>(wrote);
+    *sent_any = true;
+  }
+
+  if (socket.rst_armed()) {
+    // The chaos plan elected this attempt for a mid-exchange reset: the
+    // full request went out, then the connection dies hard before the
+    // response is read. The server must absorb the RST; this client sees
+    // a transient transport error and (if idempotent) retries.
+    socket.Close();
+    return Status::IoError("client: injected RST after request (chaos.rst)");
   }
 
   std::string raw;
   char buffer[16 * 1024];
   while (true) {
-    const ssize_t got = ::recv(fd, buffer, sizeof(buffer), 0);
+    const ssize_t got = socket.Recv(buffer, sizeof(buffer));
     if (got < 0) {
+      if (errno == EINTR) continue;  // Interrupted: retry.
       const Status status =
           (errno == EAGAIN || errno == EWOULDBLOCK)
               ? Status::DeadlineExceeded("client: response timed out")
               : Status::IoError("client: recv(): " +
                                 std::string(std::strerror(errno)));
-      ::close(fd);
+      socket.Close();
       return status;
     }
     if (got == 0) break;  // Server closed: the response is complete.
     raw.append(buffer, static_cast<size_t>(got));
   }
-  ::close(fd);
+  socket.Close();
   return ParseHttpResponse(raw);
+}
+
+/// True for HTTP statuses the server answers when it wants the client to
+/// come back later: admission shed (429) and drain/unavailable (503).
+bool RetryableHttpStatus(int status) {
+  return status == 429 || status == 503;
+}
+
+}  // namespace
+
+Result<ParsedHttpResponse> HttpFetch(int port, const std::string& method,
+                                     const std::string& target,
+                                     const std::string& body,
+                                     int64_t timeout_ms) {
+  FetchOptions options;
+  options.timeout_ms = timeout_ms;
+  options.retry.max_attempts = 1;
+  return FetchWithRetry(port, method, target, body, options).response;
+}
+
+FetchOutcome FetchWithRetry(int port, const std::string& method,
+                            const std::string& target,
+                            const std::string& body,
+                            const FetchOptions& options) {
+  Clock* clock = options.clock != nullptr ? options.clock : Clock::System();
+  const int max_attempts = std::max(1, options.retry.max_attempts);
+  const int64_t start_micros = clock->NowMicros();
+  FetchOutcome outcome;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    outcome.attempts = attempt;
+    bool sent_any = false;
+    Result<ParsedHttpResponse> response =
+        FetchOnce(port, method, target, body, options, attempt, &sent_any);
+    bool retryable = false;
+    if (response.ok()) {
+      retryable = RetryableHttpStatus(response->status);
+      outcome.response = std::move(response);
+      if (!retryable) {
+        if (attempt > 1 && outcome.response->status < 400) {
+          CountMetric("serve.client.recovered");
+        }
+        return outcome;
+      }
+    } else {
+      retryable = response.status().IsTransient() &&
+                  (options.idempotent || !sent_any);
+      outcome.response = std::move(response);
+      if (!retryable) return outcome;
+    }
+    if (attempt == max_attempts) return outcome;
+    const int64_t backoff =
+        options.retry.BackoffMicros(attempt + 1, options.request_id);
+    if (options.retry.deadline_us > 0 &&
+        clock->NowMicros() - start_micros + backoff >=
+            options.retry.deadline_us) {
+      return outcome;  // Out of budget: the last answer stands.
+    }
+    outcome.backoff_micros += backoff;
+    CountMetric("serve.client.retries");
+    clock->SleepMicros(backoff);
+  }
+  return outcome;
 }
 
 }  // namespace serve

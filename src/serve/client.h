@@ -4,24 +4,83 @@
 #include <cstdint>
 #include <string>
 
+#include "common/clock.h"
+#include "common/fault.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "serve/http.h"
 
 namespace coachlm {
 namespace serve {
 
+/// \brief Knobs of one resilient fetch.
+struct FetchOptions {
+  /// Per-attempt socket budget: bounds connect and each recv/send wait.
+  int64_t timeout_ms = 5000;
+  /// Retry schedule across attempts. max_attempts includes the first;
+  /// deadline_us (when set) bounds the whole call including backoff.
+  RetryPolicy retry;
+  /// Whether a failed-after-send attempt may be replayed. The CoachLM
+  /// revision endpoint is deterministic (same body, same answer), so
+  /// replay is safe by default; callers doing non-idempotent work set
+  /// false and a mid-flight transport failure becomes final.
+  bool idempotent = true;
+  /// Client-side socket chaos plan (chaos.* sites): the fetch disturbs its
+  /// OWN socket — slow drips, torn writes, EINTR storms, stalls, and
+  /// mid-exchange RST — so the server opposite and this client's retry
+  /// loop are both exercised. Inactive by default.
+  FaultPlan chaos;
+  /// Stable id of this logical request: keys the deterministic backoff
+  /// jitter and the per-attempt chaos streams.
+  uint64_t request_id = 0;
+  /// Sleeps backoff and serves injected stalls (nullptr = system clock).
+  Clock* clock = nullptr;
+};
+
+/// \brief What a resilient fetch produced.
+struct FetchOutcome {
+  /// The final parsed response, or the last attempt's typed error.
+  Result<ParsedHttpResponse> response =
+      Result<ParsedHttpResponse>(Status::Unavailable("client: no attempt ran"));
+  /// Attempts consumed (>= 1 once the call returns).
+  int attempts = 0;
+  /// Total deterministic backoff scheduled between attempts.
+  int64_t backoff_micros = 0;
+
+  /// True when the exchange ended with a parsed 2xx/3xx response.
+  bool answered() const { return response.ok() && response->status < 400; }
+};
+
 /// \brief One blocking HTTP exchange against a local server.
 ///
-/// The load bench and the serve tests are the callers: connect to
-/// 127.0.0.1:\p port, send \p method \p target with \p body, read until
-/// the server closes (Connection: close framing), parse. \p timeout_ms
-/// bounds connect and each socket wait so a wedged server fails the
-/// client with a typed error instead of hanging the bench.
+/// Single attempt, no chaos: connect to 127.0.0.1:\p port, send \p method
+/// \p target with \p body, read until the server closes (Connection:
+/// close framing), parse. \p timeout_ms bounds connect and each socket
+/// wait so a wedged server fails the client with a typed error instead of
+/// hanging the bench.
 [[nodiscard]] Result<ParsedHttpResponse> HttpFetch(int port,
                                                    const std::string& method,
                                                    const std::string& target,
                                                    const std::string& body,
                                                    int64_t timeout_ms = 5000);
+
+/// \brief Resilient fetch: HttpFetch plus retry-with-backoff on transient
+/// failures and shed responses.
+///
+/// Retries (up to retry.max_attempts, exponential deterministic backoff
+/// keyed on request_id) when an attempt fails with a transient status —
+/// connect refused while a crashed worker respawns, a read cut by a mid-
+/// exchange RST, a timeout — or is answered 429/503 (the server asked for
+/// exactly this). Non-transient errors and every other HTTP status return
+/// immediately. When options.idempotent is false, an attempt that failed
+/// after request bytes were sent is final: replaying it could double-apply
+/// work. Each attempt derives its own chaos stream, so an injected fault
+/// on attempt 1 does not deterministically recur on attempt 2 — which is
+/// what lets availability under the default chaos plan approach 100%.
+[[nodiscard]] FetchOutcome FetchWithRetry(int port, const std::string& method,
+                                          const std::string& target,
+                                          const std::string& body,
+                                          const FetchOptions& options);
 
 }  // namespace serve
 }  // namespace coachlm

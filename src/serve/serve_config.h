@@ -37,6 +37,18 @@ struct ServeConfig {
   int64_t request_deadline_ms = 2000;
   /// Seconds advertised in the Retry-After header of a 429 shed response.
   int retry_after_seconds = 1;
+  /// Socket read timeout (SO_RCVTIMEO): how long a worker waits for the
+  /// peer's next request bytes before answering 408. 0 inherits the
+  /// request deadline, so a dripping slowloris peer can never hold a
+  /// worker past the per-request budget unless explicitly allowed to.
+  int64_t read_timeout_ms = 0;
+  /// Socket write timeout (SO_SNDTIMEO): how long a worker waits for a
+  /// peer that stopped reading its response before dropping it. 0 inherits
+  /// the request deadline.
+  int64_t write_timeout_ms = 0;
+  /// Bind with SO_REUSEPORT so N supervised worker processes can share one
+  /// listening port; the kernel load-balances accepts across them.
+  bool reuse_port = false;
   /// Trained coach checkpoint to serve (also the reload source).
   std::string checkpoint = "coach.json";
   /// Inference configuration applied to the loaded checkpoint.
@@ -73,10 +85,31 @@ struct ServeConfig {
           "serve: --request-deadline-ms must be >= 1, got " +
           std::to_string(request_deadline_ms));
     }
+    if (read_timeout_ms < 0) {
+      return Status::InvalidArgument(
+          "serve: --read-timeout-ms must be >= 1, got " +
+          std::to_string(read_timeout_ms));
+    }
+    if (write_timeout_ms < 0) {
+      return Status::InvalidArgument(
+          "serve: --write-timeout-ms must be >= 1, got " +
+          std::to_string(write_timeout_ms));
+    }
     if (checkpoint.empty()) {
       return Status::InvalidArgument("serve: checkpoint path must be set");
     }
     return Status::OK();
+  }
+
+  /// Effective socket read timeout: the explicit flag, else the request
+  /// deadline.
+  int64_t EffectiveReadTimeoutMs() const {
+    return read_timeout_ms > 0 ? read_timeout_ms : request_deadline_ms;
+  }
+  /// Effective socket write timeout: the explicit flag, else the request
+  /// deadline.
+  int64_t EffectiveWriteTimeoutMs() const {
+    return write_timeout_ms > 0 ? write_timeout_ms : request_deadline_ms;
   }
 };
 

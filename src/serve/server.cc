@@ -14,6 +14,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "serve/chaos.h"
 #include "serve/handler.h"
 #include "serve/http.h"
 
@@ -29,14 +30,22 @@ volatile std::sig_atomic_t g_reload_signalled = 0;
 void OnDrainSignal(int /*signum*/) { g_drain_signalled = 1; }
 void OnReloadSignal(int /*signum*/) { g_reload_signalled = 1; }
 
-/// Bounds recv/send on a worker's socket so a stalled client cannot pin a
-/// worker past roughly the request deadline.
-void SetSocketTimeout(int fd, int64_t millis) {
+timeval TimevalFromMillis(int64_t millis) {
   timeval tv;
   tv.tv_sec = static_cast<time_t>(millis / 1000);
   tv.tv_usec = static_cast<suseconds_t>((millis % 1000) * 1000);
-  (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  (void)setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  return tv;
+}
+
+/// Bounds recv/send on a worker's socket independently, so a dripping
+/// reader (slowloris) hits the read timeout and a peer that stopped
+/// consuming its response hits the write timeout — neither can pin a
+/// worker thread forever.
+void SetSocketTimeouts(int fd, int64_t read_ms, int64_t write_ms) {
+  const timeval read_tv = TimevalFromMillis(read_ms);
+  const timeval write_tv = TimevalFromMillis(write_ms);
+  (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &read_tv, sizeof(read_tv));
+  (void)setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &write_tv, sizeof(write_tv));
 }
 
 /// Sends a canned response on a connection whose request was never read
@@ -51,7 +60,8 @@ void SendResponseAndDiscard(int fd, const std::string& bytes) {
   while (sent < bytes.size()) {
     const ssize_t wrote = ::send(fd, bytes.data() + sent, bytes.size() - sent,
                                  MSG_NOSIGNAL);
-    if (wrote <= 0) return;
+    if (wrote < 0 && errno == EINTR) continue;  // Interrupted: retry.
+    if (wrote <= 0) return;  // Timeout or peer gone: give up.
     sent += static_cast<size_t>(wrote);
   }
   (void)::shutdown(fd, SHUT_WR);
@@ -59,6 +69,7 @@ void SendResponseAndDiscard(int fd, const std::string& bytes) {
   size_t drained = 0;
   while (drained < (1u << 20)) {
     const ssize_t got = ::recv(fd, sink, sizeof(sink), 0);
+    if (got < 0 && errno == EINTR) continue;
     if (got <= 0) break;  // EOF, error, or recv timeout: safe to close.
     drained += static_cast<size_t>(got);
   }
@@ -116,6 +127,17 @@ Status RevisionServer::StartServing() {
   }
   const int one = 1;
   (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (config_.reuse_port) {
+    // Supervised multi-process mode: every worker process binds the same
+    // port and the kernel balances incoming connections across listeners.
+    if (setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) < 0) {
+      const Status status = Status::IoError(
+          "serve: setsockopt(SO_REUSEPORT): " +
+          std::string(std::strerror(errno)));
+      ::close(fd);
+      return status;
+    }
+  }
   sockaddr_in addr = {};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
@@ -214,7 +236,8 @@ void RevisionServer::AcceptLoop() {
         next_request_id_.fetch_add(1, std::memory_order_relaxed);
     stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
     CountMetric("serve.connections_accepted");
-    SetSocketTimeout(conn, config_.request_deadline_ms);
+    SetSocketTimeouts(conn, config_.EffectiveReadTimeoutMs(),
+                      config_.EffectiveWriteTimeoutMs());
 
     // The connection-level fault site: a plan targeting serve.accept turns
     // admission itself into a typed 503, exercising client retry paths.
@@ -268,9 +291,18 @@ void RevisionServer::ServeConnection(int fd, uint64_t request_id) {
   HttpRequestParser parser(config_.http_limits);
   char buffer[16 * 1024];
   Status parse_status = Status::OK();
+  // Server-side chaos disturbs this worker's own syscalls (short reads,
+  // torn writes, EINTR, stalls) to prove the loops below are robust; the
+  // RST site stays client-only — the server must never tear down an
+  // admitted connection on purpose.
+  FaultPlan server_chaos = config_.fault_plan;
+  server_chaos.site_mask &=
+      ~FaultSiteBit(FaultSite::kChaosRst);
+  ChaosSocket socket(fd, server_chaos, request_id, clock_);
   while (!parser.complete()) {
-    const ssize_t got = ::recv(fd, buffer, sizeof(buffer), 0);
+    const ssize_t got = socket.Recv(buffer, sizeof(buffer));
     if (got < 0) {
+      if (errno == EINTR) continue;  // Interrupted (real or injected).
       parse_status = (errno == EAGAIN || errno == EWOULDBLOCK)
                          ? Status::DeadlineExceeded(
                                "serve: timed out reading the request")
@@ -312,7 +344,10 @@ void RevisionServer::ServeConnection(int fd, uint64_t request_id) {
       }
     }
   }
-  SendAll(fd, response.Serialize());
+  // Robust full-write: loops through partial writes and EINTR. A peer
+  // that vanished or stopped reading is their loss — the request was
+  // still answered as far as the drain contract is concerned.
+  (void)socket.SendAll(response.Serialize());
   RecordRequestMetrics(response, target,
                        clock_->NowMicros() - started_micros);
   if (response.status < 400) {
@@ -323,16 +358,6 @@ void RevisionServer::ServeConnection(int fd, uint64_t request_id) {
     stats_.requests_server_error.fetch_add(1, std::memory_order_relaxed);
   } else {
     stats_.requests_client_error.fetch_add(1, std::memory_order_relaxed);
-  }
-}
-
-void RevisionServer::SendAll(int fd, const std::string& bytes) {
-  size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t wrote = ::send(fd, bytes.data() + sent, bytes.size() - sent,
-                                 MSG_NOSIGNAL);
-    if (wrote <= 0) return;  // Peer gone; nothing more to do for them.
-    sent += static_cast<size_t>(wrote);
   }
 }
 

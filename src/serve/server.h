@@ -87,7 +87,6 @@ class RevisionServer {
   /// Reads one request off \p fd, handles it, writes the response. Every
   /// admitted fd gets a response — even parse failures and timeouts.
   void ServeConnection(int fd, uint64_t request_id);
-  void SendAll(int fd, const std::string& bytes);
   void CloseListener();
 
   const ServeConfig config_;

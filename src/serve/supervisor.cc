@@ -1,0 +1,274 @@
+#include "serve/supervisor.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/retry.h"
+#include "serve/server.h"
+
+namespace coachlm {
+namespace serve {
+
+Status SupervisorConfig::Validate() const {
+  if (processes < 1 || processes > 256) {
+    return Status::InvalidArgument(
+        "serve: --serve-processes must be in 1..256, got " +
+        std::to_string(processes));
+  }
+  if (restart_initial_backoff_ms < 0) {
+    return Status::InvalidArgument(
+        "serve: restart_initial_backoff_ms must be >= 0, got " +
+        std::to_string(restart_initial_backoff_ms));
+  }
+  if (restart_backoff_multiplier < 1.0) {
+    return Status::InvalidArgument(
+        "serve: restart_backoff_multiplier must be >= 1.0");
+  }
+  if (restart_max_backoff_ms < restart_initial_backoff_ms) {
+    return Status::InvalidArgument(
+        "serve: restart_max_backoff_ms must be >= the initial backoff");
+  }
+  if (restart_limit < 1) {
+    return Status::InvalidArgument("serve: restart_limit must be >= 1, got " +
+                                   std::to_string(restart_limit));
+  }
+  if (restart_window_ms < 1) {
+    return Status::InvalidArgument(
+        "serve: restart_window_ms must be >= 1, got " +
+        std::to_string(restart_window_ms));
+  }
+  if (poll_interval_ms < 1) {
+    return Status::InvalidArgument(
+        "serve: poll_interval_ms must be >= 1, got " +
+        std::to_string(poll_interval_ms));
+  }
+  return Status::OK();
+}
+
+int64_t RestartBackoffMicros(const SupervisorConfig& config, int failures,
+                             int worker_index) {
+  // The respawn ladder IS a retry schedule: reuse the deterministic
+  // exponential-backoff-with-jitter the record-level retries already use,
+  // keyed on the worker slot so two crashing slots decorrelate.
+  RetryPolicy policy;
+  policy.initial_backoff_us = config.restart_initial_backoff_ms * 1000;
+  policy.backoff_multiplier = config.restart_backoff_multiplier;
+  policy.max_backoff_us = config.restart_max_backoff_ms * 1000;
+  policy.max_attempts = failures + 1;
+  return policy.BackoffMicros(failures + 1,
+                              static_cast<uint64_t>(worker_index));
+}
+
+WorkerSupervisor::WorkerSupervisor(const SupervisorConfig& config,
+                                   WorkerBody body, Clock* clock)
+    : config_(config),
+      body_(std::move(body)),
+      clock_(clock != nullptr ? clock : Clock::System()) {}
+
+pid_t WorkerSupervisor::Spawn(int index) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    // Worker child: run the body, then exit without parent-side atexit
+    // hooks (the body is responsible for its own flushes).
+    std::_Exit(body_(index));
+  }
+  if (pid > 0) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      slots_[static_cast<size_t>(index)].pid = pid;
+    }
+    ++stats_.spawned;
+    CountMetric("serve.supervisor.workers_spawned");
+  }
+  return pid;
+}
+
+Status WorkerSupervisor::Start() {
+  COACHLM_RETURN_NOT_OK(config_.Validate());
+  if (started_) {
+    return Status::FailedPrecondition("serve: supervisor already started");
+  }
+  started_ = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slots_.assign(static_cast<size_t>(config_.processes), WorkerSlot{});
+  }
+  for (int i = 0; i < config_.processes; ++i) {
+    if (Spawn(i) < 0) {
+      const Status status = Status::IoError(
+          "serve: fork() failed for worker " + std::to_string(i));
+      SignalAll(SIGTERM);
+      ReapAll();
+      return status;
+    }
+  }
+  COACHLM_LOG_INFO << "serve: supervisor started " << config_.processes
+                   << " worker processes";
+  return Status::OK();
+}
+
+void WorkerSupervisor::SignalAll(int signum) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const WorkerSlot& slot : slots_) {
+    if (slot.pid > 0) (void)::kill(slot.pid, signum);
+  }
+}
+
+void WorkerSupervisor::ReapAll() {
+  while (true) {
+    std::vector<pid_t> live;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const WorkerSlot& slot : slots_) {
+        if (slot.pid > 0) live.push_back(slot.pid);
+      }
+    }
+    if (live.empty()) return;
+    for (const pid_t pid : live) {
+      int status = 0;
+      // A failure (ECHILD: already reaped) still empties the slot below.
+      (void)::waitpid(pid, &status, 0);
+      std::lock_guard<std::mutex> lock(mu_);
+      for (WorkerSlot& slot : slots_) {
+        if (slot.pid == pid) slot.pid = -1;
+      }
+    }
+  }
+}
+
+void WorkerSupervisor::RequestDrain() {
+  if (draining_.exchange(true, std::memory_order_acq_rel)) return;
+  SignalAll(SIGTERM);
+}
+
+void WorkerSupervisor::RequestReload() { SignalAll(SIGHUP); }
+
+std::vector<pid_t> WorkerSupervisor::WorkerPids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<pid_t> pids;
+  pids.reserve(slots_.size());
+  for (const WorkerSlot& slot : slots_) pids.push_back(slot.pid);
+  return pids;
+}
+
+int WorkerSupervisor::Run() {
+  while (true) {
+    if (!draining_.load(std::memory_order_acquire) && ServeDrainSignalled()) {
+      RequestDrain();
+    }
+    if (ConsumeReloadSignal()) RequestReload();
+
+    // Reap every child that died since the last tick.
+    while (true) {
+      int wait_status = 0;
+      const pid_t pid = ::waitpid(-1, &wait_status, WNOHANG);
+      if (pid <= 0) break;
+      int index = -1;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (size_t i = 0; i < slots_.size(); ++i) {
+          if (slots_[i].pid == pid) {
+            slots_[i].pid = -1;
+            index = static_cast<int>(i);
+            break;
+          }
+        }
+      }
+      if (index < 0) continue;  // Not ours (cannot happen in practice).
+      if (draining_.load(std::memory_order_acquire)) continue;
+
+      // A death outside drain is a crash, whatever the exit status —
+      // crash-only design makes no distinction worth acting on beyond the
+      // log line. Schedule the respawn on the deterministic ladder.
+      const int64_t now = clock_->NowMicros();
+      WorkerSlot& slot = slots_[static_cast<size_t>(index)];
+      ++slot.failures;
+      ++stats_.crashed;
+      CountMetric("serve.supervisor.workers_crashed");
+      if (WIFSIGNALED(wait_status)) {
+        COACHLM_LOG_WARN << "serve: worker " << index << " (pid " << pid
+                         << ") killed by signal " << WTERMSIG(wait_status);
+      } else {
+        COACHLM_LOG_WARN << "serve: worker " << index << " (pid " << pid
+                         << ") exited with status "
+                         << WEXITSTATUS(wait_status);
+      }
+
+      // Circuit breaker: too many deaths inside the window means the fleet
+      // is crash-looping (bad checkpoint, poisoned config) and respawning
+      // harder will not fix it.
+      const int64_t window_micros = config_.restart_window_ms * 1000;
+      crash_times_micros_.push_back(now);
+      crash_times_micros_.erase(
+          std::remove_if(crash_times_micros_.begin(),
+                         crash_times_micros_.end(),
+                         [&](int64_t t) { return now - t > window_micros; }),
+          crash_times_micros_.end());
+      if (static_cast<int>(crash_times_micros_.size()) >
+          config_.restart_limit) {
+        stats_.circuit_opened = true;
+        CountMetric("serve.supervisor.circuit_opened");
+        COACHLM_LOG_WARN << "serve: restart circuit breaker opened ("
+                         << crash_times_micros_.size() << " crashes in "
+                         << config_.restart_window_ms
+                         << " ms); terminating the fleet";
+        SignalAll(SIGTERM);
+        ReapAll();
+        return kSupervisorCircuitExitCode;
+      }
+
+      const int64_t backoff =
+          RestartBackoffMicros(config_, slot.failures, index);
+      slot.respawn_at_micros = now + backoff;
+      CountMetric("serve.supervisor.restart_backoff_micros",
+                  static_cast<uint64_t>(backoff));
+    }
+
+    // Respawn every slot whose backoff has elapsed.
+    if (!draining_.load(std::memory_order_acquire)) {
+      const int64_t now = clock_->NowMicros();
+      for (size_t i = 0; i < slots_.size(); ++i) {
+        bool due = false;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          due = slots_[i].pid < 0 && slots_[i].failures > 0 &&
+                now >= slots_[i].respawn_at_micros;
+        }
+        if (!due) continue;
+        if (Spawn(static_cast<int>(i)) > 0) {
+          ++stats_.respawned;
+          CountMetric("serve.supervisor.workers_respawned");
+          COACHLM_LOG_INFO << "serve: worker " << i << " respawned (failure "
+                           << slots_[i].failures << ")";
+        }
+      }
+    }
+
+    // Drained: every slot empty and no respawns pending.
+    if (draining_.load(std::memory_order_acquire)) {
+      bool all_gone = true;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const WorkerSlot& slot : slots_) {
+          if (slot.pid > 0) {
+            all_gone = false;
+            break;
+          }
+        }
+      }
+      if (all_gone) return 0;
+    }
+    clock_->SleepMicros(config_.poll_interval_ms * 1000);
+  }
+}
+
+}  // namespace serve
+}  // namespace coachlm

@@ -1,0 +1,137 @@
+#ifndef COACHLM_SERVE_SUPERVISOR_H_
+#define COACHLM_SERVE_SUPERVISOR_H_
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace coachlm {
+namespace serve {
+
+/// Exit code of a supervisor whose restart circuit breaker opened: the
+/// fleet is crash-looping, so the parent stops burning restarts and exits
+/// distinguishably (0 = drained, 1 = error, 2 = usage, 3 = circuit).
+inline constexpr int kSupervisorCircuitExitCode = 3;
+
+/// \brief Static configuration of one worker supervisor.
+struct SupervisorConfig {
+  /// Worker processes to keep alive (`coachlm serve --serve-processes N`).
+  int processes = 2;
+  /// Backoff before the first respawn of a worker slot; doubles (times
+  /// multiplier, with deterministic jitter) per consecutive failure of
+  /// that slot, capped at restart_max_backoff_ms. Schedule and jitter
+  /// reuse RetryPolicy::BackoffMicros on the injectable Clock, so the
+  /// respawn times of a crashing slot are reproducible.
+  int64_t restart_initial_backoff_ms = 100;
+  double restart_backoff_multiplier = 2.0;
+  int64_t restart_max_backoff_ms = 5000;
+  /// Circuit breaker: more than this many worker deaths inside
+  /// restart_window_ms trips the breaker — the supervisor SIGTERMs the
+  /// fleet, reaps it, and Run() returns kSupervisorCircuitExitCode.
+  int restart_limit = 8;
+  int64_t restart_window_ms = 60000;
+  /// Supervision loop tick: reap/respawn/signal latency bound.
+  int64_t poll_interval_ms = 20;
+
+  [[nodiscard]] Status Validate() const;
+};
+
+/// The deterministic backoff before the next respawn of \p worker_index
+/// after its \p failures-th consecutive death (failures >= 1). Exposed so
+/// tests can assert the exact respawn schedule the supervisor will follow.
+int64_t RestartBackoffMicros(const SupervisorConfig& config, int failures,
+                             int worker_index);
+
+/// \brief Lifetime counters of one supervisor (parent-process side).
+struct SupervisorStats {
+  uint64_t spawned = 0;    ///< forks, initial fleet + respawns
+  uint64_t crashed = 0;    ///< deaths outside drain (signal or exit != 0)
+  uint64_t respawned = 0;  ///< crashed workers brought back
+  bool circuit_opened = false;
+};
+
+/// \brief Crash-only process supervisor for `coachlm serve`.
+///
+/// Forks `processes` workers, each running the caller-provided body (which
+/// binds the shared port via SO_REUSEPORT and serves until drained). The
+/// parent's only jobs are crash-only supervision: reap dead workers
+/// (SIGSEGV, abort, nonzero exit), respawn them on a deterministic
+/// exponential backoff, trip a circuit breaker when the fleet is
+/// crash-looping, and forward SIGTERM (drain) / SIGHUP (reload) to every
+/// child. It deliberately holds no request state — a worker crash loses
+/// only the connections that worker held, and the resilient client retries
+/// those against the survivors.
+class WorkerSupervisor {
+ public:
+  /// A worker body: runs in the forked child, returns its exit code.
+  /// Index identifies the slot (stable across respawns of that slot).
+  using WorkerBody = std::function<int(int worker_index)>;
+
+  /// \p clock drives backoff scheduling and the poll tick (tests inject).
+  WorkerSupervisor(const SupervisorConfig& config, WorkerBody body,
+                   Clock* clock = nullptr);
+
+  WorkerSupervisor(const WorkerSupervisor&) = delete;
+  WorkerSupervisor& operator=(const WorkerSupervisor&) = delete;
+
+  /// Forks the initial fleet. Fails without forking anything on a bad
+  /// config; a failed fork mid-fleet tears the started workers down.
+  [[nodiscard]] Status Start();
+
+  /// Supervises until the fleet drains (returns 0) or the circuit breaker
+  /// opens (returns kSupervisorCircuitExitCode). Reacts to the process's
+  /// SIGTERM/SIGINT/SIGHUP flags (InstallServeSignalHandlers) as well as
+  /// RequestDrain() from another thread.
+  int Run();
+
+  /// Begins drain: SIGTERM to every live worker, no further respawns.
+  /// Idempotent, callable from any thread.
+  void RequestDrain();
+
+  /// Forwards SIGHUP (hot reload) to every live worker.
+  void RequestReload();
+
+  const SupervisorStats& stats() const { return stats_; }
+
+  /// Live worker pids (respawns change entries; -1 = slot empty). Exposed
+  /// for tests and the CI drill, which SIGSEGVs specific workers.
+  std::vector<pid_t> WorkerPids() const;
+
+ private:
+  struct WorkerSlot {
+    pid_t pid = -1;
+    /// Deaths of this slot so far: rung on the backoff ladder.
+    int failures = 0;
+    int64_t respawn_at_micros = 0;
+  };
+
+  /// Forks slot \p index; returns the child pid (or -1 on fork failure).
+  pid_t Spawn(int index);
+  void SignalAll(int signum);
+  /// Blocks until every child is reaped (used by drain and circuit exit).
+  void ReapAll();
+
+  const SupervisorConfig config_;
+  const WorkerBody body_;
+  Clock* const clock_;
+  SupervisorStats stats_;
+  /// Guards slots_ against WorkerPids() readers on other threads; every
+  /// mutation happens on the Run() thread.
+  mutable std::mutex mu_;
+  std::vector<WorkerSlot> slots_;
+  std::vector<int64_t> crash_times_micros_;  ///< circuit-breaker window
+  std::atomic<bool> draining_{false};
+  bool started_ = false;
+};
+
+}  // namespace serve
+}  // namespace coachlm
+
+#endif  // COACHLM_SERVE_SUPERVISOR_H_

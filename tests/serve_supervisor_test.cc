@@ -1,0 +1,412 @@
+// Crash-only supervision coverage: the deterministic respawn backoff
+// ladder, drain and crash/respawn lifecycles over real forked children,
+// the restart circuit breaker, the SO_REUSEPORT fleet drill (SIGSEGV a
+// worker mid-traffic, the resilient client rides it out), and the
+// run-report merge that folds per-worker metrics into one fleet report.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "coach/coach_lm.h"
+#include "coach/trainer.h"
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/report.h"
+#include "common/trace.h"
+#include "expert/pipeline.h"
+#include "json/json.h"
+#include "serve/client.h"
+#include "serve/model_host.h"
+#include "serve/serve_config.h"
+#include "serve/server.h"
+#include "serve/supervisor.h"
+#include "synth/generator.h"
+
+namespace coachlm {
+namespace serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Config validation and the deterministic backoff ladder.
+// ---------------------------------------------------------------------------
+
+TEST(SupervisorConfigTest, ValidateRejectsBadKnobs) {
+  SupervisorConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.processes = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.processes = 257;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SupervisorConfig();
+  config.restart_backoff_multiplier = 0.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SupervisorConfig();
+  config.restart_max_backoff_ms = config.restart_initial_backoff_ms - 1;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SupervisorConfig();
+  config.restart_limit = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SupervisorConfig();
+  config.restart_window_ms = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SupervisorConfig();
+  config.poll_interval_ms = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(SupervisorBackoffTest, DeterministicExponentialAndCapped) {
+  SupervisorConfig config;
+  config.restart_initial_backoff_ms = 100;
+  config.restart_backoff_multiplier = 2.0;
+  config.restart_max_backoff_ms = 5000;
+
+  // Pure function of (config, failures, worker): reruns agree exactly.
+  EXPECT_EQ(RestartBackoffMicros(config, 1, 0),
+            RestartBackoffMicros(config, 1, 0));
+  EXPECT_EQ(RestartBackoffMicros(config, 3, 2),
+            RestartBackoffMicros(config, 3, 2));
+
+  // Jittered exponential: each rung lands in [nominal/2, nominal], with
+  // the nominal doubling per failure until the cap.
+  for (int failures = 1; failures <= 8; ++failures) {
+    const int64_t nominal =
+        std::min<int64_t>(5000000, 100000LL << (failures - 1));
+    const int64_t backoff = RestartBackoffMicros(config, failures, 0);
+    EXPECT_GE(backoff, nominal / 2) << "failures=" << failures;
+    EXPECT_LE(backoff, nominal) << "failures=" << failures;
+  }
+
+  // Worker index keys the jitter: crashing slots decorrelate.
+  bool any_different = false;
+  for (int failures = 1; failures <= 4 && !any_different; ++failures) {
+    any_different = RestartBackoffMicros(config, failures, 0) !=
+                    RestartBackoffMicros(config, failures, 1);
+  }
+  EXPECT_TRUE(any_different);
+}
+
+// ---------------------------------------------------------------------------
+// Real forked children: drain, crash/respawn, circuit breaker.
+// ---------------------------------------------------------------------------
+
+/// A worker body that waits for the drain signal, then exits cleanly.
+int DrainingWorker(int /*worker_index*/) {
+  ResetServeSignalsForTest();
+  InstallServeSignalHandlers();
+  while (!ServeDrainSignalled()) {
+    Clock::System()->SleepMicros(2000);
+  }
+  return 0;
+}
+
+TEST(WorkerSupervisorTest, DrainReturnsZeroAfterCleanFleetExit) {
+  ResetServeSignalsForTest();
+  SupervisorConfig config;
+  config.processes = 3;
+  config.poll_interval_ms = 5;
+  WorkerSupervisor supervisor(config, DrainingWorker);
+  ASSERT_TRUE(supervisor.Start().ok());
+  EXPECT_EQ(supervisor.WorkerPids().size(), 3u);
+  for (const pid_t pid : supervisor.WorkerPids()) EXPECT_GT(pid, 0);
+
+  std::thread drainer([&supervisor] {
+    Clock::System()->SleepMicros(50000);
+    supervisor.RequestDrain();
+  });
+  EXPECT_EQ(supervisor.Run(), 0);
+  drainer.join();
+  EXPECT_EQ(supervisor.stats().spawned, 3u);
+  EXPECT_EQ(supervisor.stats().crashed, 0u);
+  EXPECT_EQ(supervisor.stats().respawned, 0u);
+  EXPECT_FALSE(supervisor.stats().circuit_opened);
+}
+
+TEST(WorkerSupervisorTest, StartRejectsInvalidConfigAndDoubleStart) {
+  SupervisorConfig bad;
+  bad.processes = 0;
+  WorkerSupervisor invalid(bad, DrainingWorker);
+  EXPECT_FALSE(invalid.Start().ok());
+
+  ResetServeSignalsForTest();
+  SupervisorConfig config;
+  config.processes = 1;
+  config.poll_interval_ms = 5;
+  WorkerSupervisor supervisor(config, DrainingWorker);
+  ASSERT_TRUE(supervisor.Start().ok());
+  EXPECT_EQ(supervisor.Start().code(), StatusCode::kFailedPrecondition);
+  supervisor.RequestDrain();
+  EXPECT_EQ(supervisor.Run(), 0);
+}
+
+TEST(WorkerSupervisorTest, CrashedWorkerIsRespawnedOnTheBackoffLadder) {
+  ResetServeSignalsForTest();
+  const std::string marker =
+      (fs::temp_directory_path() /
+       ("supervisor_respawn_" + std::to_string(::getpid())))
+          .string();
+  std::error_code ec;
+  fs::remove(marker, ec);
+
+  SupervisorConfig config;
+  config.processes = 1;
+  config.poll_interval_ms = 5;
+  config.restart_initial_backoff_ms = 1;
+  config.restart_max_backoff_ms = 10;
+  // First life: drop a marker and die hard (abort). Second life: serve
+  // until drained.
+  auto body = [&marker](int index) -> int {
+    if (!fs::exists(marker)) {
+      std::ofstream(marker) << "died once";
+      std::abort();
+    }
+    return DrainingWorker(index);
+  };
+  WorkerSupervisor supervisor(config, body);
+  ASSERT_TRUE(supervisor.Start().ok());
+  const pid_t first_pid = supervisor.WorkerPids()[0];
+
+  std::thread runner([&supervisor] { EXPECT_EQ(supervisor.Run(), 0); });
+  // Wait (bounded) for the respawned worker to appear under a fresh pid.
+  pid_t second_pid = -1;
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<pid_t> pids = supervisor.WorkerPids();
+    if (pids[0] > 0 && pids[0] != first_pid) {
+      second_pid = pids[0];
+      break;
+    }
+    Clock::System()->SleepMicros(10000);
+  }
+  EXPECT_GT(second_pid, 0);
+  supervisor.RequestDrain();
+  runner.join();
+
+  EXPECT_EQ(supervisor.stats().spawned, 2u);
+  EXPECT_EQ(supervisor.stats().crashed, 1u);
+  EXPECT_EQ(supervisor.stats().respawned, 1u);
+  EXPECT_FALSE(supervisor.stats().circuit_opened);
+  fs::remove(marker, ec);
+}
+
+TEST(WorkerSupervisorTest, CrashLoopTripsTheCircuitBreaker) {
+  ResetServeSignalsForTest();
+  SupervisorConfig config;
+  config.processes = 2;
+  config.poll_interval_ms = 2;
+  config.restart_initial_backoff_ms = 1;
+  config.restart_max_backoff_ms = 2;
+  config.restart_limit = 3;
+  config.restart_window_ms = 60000;
+  // Every life exits nonzero immediately: a poisoned-config crash loop.
+  WorkerSupervisor supervisor(config, [](int) -> int { return 1; });
+  ASSERT_TRUE(supervisor.Start().ok());
+  EXPECT_EQ(supervisor.Run(), kSupervisorCircuitExitCode);
+  EXPECT_TRUE(supervisor.stats().circuit_opened);
+  EXPECT_GE(supervisor.stats().crashed, 4u);  // > restart_limit deaths.
+  // The fleet is fully reaped: no slot holds a live pid.
+  for (const pid_t pid : supervisor.WorkerPids()) EXPECT_LT(pid, 0);
+}
+
+// ---------------------------------------------------------------------------
+// The fleet drill: SO_REUSEPORT workers serving a real checkpoint, one
+// SIGSEGVed mid-traffic, the resilient client rides it out.
+// ---------------------------------------------------------------------------
+
+TEST(WorkerSupervisorTest, FleetSurvivesSigsegvUnderTraffic) {
+  ResetServeSignalsForTest();
+  // A small trained checkpoint for the workers to serve.
+  synth::CorpusConfig corpus_config;
+  corpus_config.size = 200;
+  corpus_config.seed = 42;
+  synth::SynthCorpusGenerator generator(corpus_config);
+  const synth::SynthCorpus corpus = generator.Generate();
+  expert::RevisionStudyConfig study_config;
+  study_config.sample_size = 60;
+  const auto study = expert::RunRevisionStudy(corpus.dataset,
+                                              generator.engine(), study_config);
+  coach::CoachConfig coach_config;
+  coach_config.alpha = 0.3;
+  const coach::CoachLm model(
+      coach::CoachTrainer(coach_config).Train(study.revisions));
+  const std::string checkpoint =
+      (fs::temp_directory_path() /
+       ("supervisor_fleet_coach_" + std::to_string(::getpid()) + ".json"))
+          .string();
+  ASSERT_TRUE(model.SaveCheckpoint(checkpoint).ok());
+
+  // A fixed port every worker can bind via SO_REUSEPORT (probed free).
+  const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(
+      ::bind(probe, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const int port = ntohs(addr.sin_port);
+  ::close(probe);
+
+  ServeConfig serve_config;
+  serve_config.port = port;
+  serve_config.reuse_port = true;
+  serve_config.checkpoint = checkpoint;
+  serve_config.coach = model.config();
+  serve_config.workers = 2;
+  auto body = [&serve_config](int index) -> int {
+    ResetServeSignalsForTest();
+    InstallServeSignalHandlers();
+    ModelHost models(serve_config.checkpoint, serve_config.coach);
+    if (!models.Load().ok()) return 1;
+    RevisionServer server(serve_config, &models);
+    if (!server.StartServing().ok()) return 1 + index;
+    server.AwaitDrain();
+    return 0;
+  };
+
+  SupervisorConfig config;
+  config.processes = 2;
+  config.poll_interval_ms = 5;
+  config.restart_initial_backoff_ms = 1;
+  config.restart_max_backoff_ms = 20;
+  WorkerSupervisor supervisor(config, body);
+  ASSERT_TRUE(supervisor.Start().ok());
+  std::thread runner([&supervisor] { EXPECT_EQ(supervisor.Run(), 0); });
+
+  // Wait for the fleet to answer at all.
+  FetchOptions boot;
+  boot.retry.max_attempts = 30;
+  boot.retry.initial_backoff_us = 20000;
+  boot.retry.max_backoff_us = 100000;
+  boot.request_id = 1;
+  ASSERT_TRUE(FetchWithRetry(port, "GET", "/healthz", "", boot).answered());
+
+  // SIGSEGV one worker mid-traffic; keep fetching through the crash. The
+  // surviving listener answers, refused/reset attempts ride the retry
+  // ladder, and the slot respawns on its deterministic backoff.
+  const std::vector<pid_t> pids = supervisor.WorkerPids();
+  ASSERT_EQ(pids.size(), 2u);
+  ASSERT_GT(pids[0], 0);
+  ASSERT_EQ(::kill(pids[0], SIGSEGV), 0);
+  int answered = 0;
+  constexpr int kRequests = 15;
+  for (int i = 0; i < kRequests; ++i) {
+    FetchOptions options;
+    options.retry.max_attempts = 8;
+    options.retry.initial_backoff_us = 10000;
+    options.retry.max_backoff_us = 100000;
+    options.request_id = static_cast<uint64_t>(100 + i);
+    if (FetchWithRetry(port, "GET", "/healthz", "", options).answered()) {
+      ++answered;
+    }
+  }
+  EXPECT_EQ(answered, kRequests);  // Zero lost requests across the crash.
+
+  // The crashed slot comes back under a fresh pid.
+  pid_t respawned = -1;
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<pid_t> now = supervisor.WorkerPids();
+    if (now[0] > 0 && now[0] != pids[0]) {
+      respawned = now[0];
+      break;
+    }
+    Clock::System()->SleepMicros(10000);
+  }
+  EXPECT_GT(respawned, 0);
+
+  supervisor.RequestDrain();
+  runner.join();
+  EXPECT_GE(supervisor.stats().crashed, 1u);
+  EXPECT_GE(supervisor.stats().respawned, 1u);
+  EXPECT_FALSE(supervisor.stats().circuit_opened);
+  std::error_code ec;
+  fs::remove(checkpoint, ec);
+  ResetServeSignalsForTest();
+}
+
+// ---------------------------------------------------------------------------
+// Run-report merge: per-worker reports fold into one fleet report with the
+// single-process schema.
+// ---------------------------------------------------------------------------
+
+TEST(MergeRunReportTest, CountersAddGaugesMaxHistogramsAccumulate) {
+  Observability::Default().Enable(/*deterministic=*/true);
+  Observability::Default().trace().Reset();
+  MetricsRegistry::Default().Reset();
+  int span = Observability::Default().trace().BeginSpan("serve");
+
+  // "Worker" state: counters, a gauge, a histogram observation.
+  CountMetric("serve.connections_accepted", 5);
+  SetGaugeMetric("serve.queue_depth_peak", 7);
+  ObserveMetric("serve.latency_revise_micros", 1000);
+  Observability::Default().trace().EndSpan(span);
+  RunReportOptions options;
+  options.command = "serve";
+  const json::Value worker_report = BuildRunReport(options);
+  ASSERT_TRUE(ValidateRunReport(worker_report).ok());
+
+  // "Parent" state: fresh registry with its own smaller numbers.
+  MetricsRegistry::Default().Reset();
+  Observability::Default().trace().Reset();
+  span = Observability::Default().trace().BeginSpan("serve");
+  CountMetric("serve.connections_accepted", 3);
+  SetGaugeMetric("serve.queue_depth_peak", 4);
+  ObserveMetric("serve.latency_revise_micros", 2000);
+
+  ASSERT_TRUE(MergeRunReportMetrics(worker_report).ok());
+  // Merging twice is additive for counters and histograms, max for gauges.
+  ASSERT_TRUE(MergeRunReportMetrics(worker_report).ok());
+
+  EXPECT_EQ(
+      MetricsRegistry::Default().FindCounter("serve.connections_accepted")
+          ->value(),
+      13u);  // 3 + 5 + 5.
+  EXPECT_EQ(
+      MetricsRegistry::Default().FindGauge("serve.queue_depth_peak")->value(),
+      7);  // max(4, 7).
+
+  // The merged registry still renders a schema-valid report, and the
+  // histogram carried all three observations.
+  Observability::Default().trace().EndSpan(span);
+  const json::Value merged = BuildRunReport(options);
+  ASSERT_TRUE(ValidateRunReport(merged).ok());
+  int64_t total = 0;
+  for (const json::Value& c : merged.At("histograms")
+                                  .At("serve.latency_revise_micros")
+                                  .At("counts")
+                                  .AsArray()) {
+    total += c.AsInt();
+  }
+  EXPECT_EQ(total, 3);
+  EXPECT_EQ(merged.At("histograms")
+                .At("serve.latency_revise_micros")
+                .At("sum")
+                .AsInt(),
+            4000);
+
+  // Malformed sources are typed schema errors, not crashes or partial
+  // merges of nonsense.
+  EXPECT_FALSE(MergeRunReportMetrics(json::Value("not an object")).ok());
+  json::Value hostile = worker_report;
+  hostile.AsObject()["counters"].AsObject()["serve.connections_accepted"] =
+      json::Value(-1.0);
+  EXPECT_FALSE(MergeRunReportMetrics(hostile).ok());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace coachlm

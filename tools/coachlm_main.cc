@@ -29,6 +29,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -58,6 +59,7 @@
 #include "serve/model_host.h"
 #include "serve/serve_config.h"
 #include "serve/server.h"
+#include "serve/supervisor.h"
 #include "synth/generator.h"
 #include "testsets/testset.h"
 #include "tuning/evaluation.h"
@@ -102,7 +104,8 @@ constexpr char kUsage[] =
     "            print the metric catalog (name, type, unit, stage, help);\n"
     "            --validate schema-checks a run report or bench trajectory\n"
     "  serve     --checkpoint coach.json [--port P] [--serve-workers W]\n"
-    "            [--queue-depth Q] [--request-deadline-ms D]\n"
+    "            [--serve-processes N] [--queue-depth Q]\n"
+    "            [--request-deadline-ms D]\n"
     "            long-lived revision service on 127.0.0.1 (docs/SERVING.md):\n"
     "            POST /v1/revise revises a JSONL body with the loaded\n"
     "            coach; SIGHUP or POST /admin/reload hot-swaps the\n"
@@ -112,10 +115,21 @@ constexpr char kUsage[] =
     "serving (serve only; batch-only flags like --resume are rejected):\n"
     "  --port P                listen port on 127.0.0.1 (1..65535; 8080)\n"
     "  --serve-workers W       fixed worker pool size (1..1024; 4)\n"
+    "  --serve-processes N     crash-only mode: fork N supervised server\n"
+    "                          processes sharing the port via SO_REUSEPORT;\n"
+    "                          crashed workers respawn with deterministic\n"
+    "                          backoff, a crash loop trips a circuit\n"
+    "                          breaker (exit 3) (1..256; 1 = in-process)\n"
     "  --queue-depth Q         admission queue bound before shedding\n"
     "                          (1..1000000; 64)\n"
     "  --request-deadline-ms D per-request budget; a blown deadline is a\n"
     "                          typed 504 (>= 1; 2000)\n"
+    "  --read-timeout-ms N     socket read timeout: a stalled or dripping\n"
+    "                          peer gets a typed 408 instead of pinning a\n"
+    "                          worker (>= 1; default: the request deadline)\n"
+    "  --write-timeout-ms N    socket write timeout: a peer that stops\n"
+    "                          reading its response is dropped (>= 1;\n"
+    "                          default: the request deadline)\n"
     "\n"
     "corpus I/O (every dataset-reading/-writing command; docs/FORMAT.md):\n"
     "  inputs are sniffed: Alpaca JSON arrays, JSONL, binary columnar\n"
@@ -721,12 +735,119 @@ Status RunConvert(const Flags& flags) {
   return Status::OK();
 }
 
+/// Run-report path of worker \p index under a supervised serve: the parent
+/// merges and removes these after the fleet drains.
+std::string WorkerReportPath(const std::string& metrics_out, int index) {
+  return metrics_out + ".worker-" + std::to_string(index);
+}
+
+/// `coachlm serve --serve-processes N` (N > 1): crash-only mode. The
+/// parent process never serves; it forks N workers that each bind the
+/// shared port via SO_REUSEPORT and supervises them — reap on death,
+/// respawn on a deterministic exponential backoff, circuit-break a crash
+/// loop (exit kSupervisorCircuitExitCode), forward SIGTERM (drain) and
+/// SIGHUP (reload) to the fleet. Each worker writes its own run report;
+/// the parent folds them into its registry so Main() emits one merged,
+/// schema-identical report for the whole fleet.
+Status RunServeSupervised(const Flags& flags, serve::ServeConfig config,
+                          int processes) {
+  // Fail fast in the parent: a checkpoint that cannot load would send
+  // every worker into the same crash loop, which the circuit breaker
+  // would stop — but a typed startup error is cheaper and clearer.
+  {
+    serve::ModelHost probe(config.checkpoint, config.coach);
+    COACHLM_RETURN_NOT_OK(probe.Load());
+  }
+  config.reuse_port = true;
+
+  const std::string metrics_out =
+      flags.Has("metrics-out") ? flags.GetString("metrics-out")
+                               : GetEnvOr("COACHLM_METRICS_OUT", "");
+  const bool observed = !metrics_out.empty();
+
+  serve::SupervisorConfig supervisor_config;
+  supervisor_config.processes = processes;
+
+  auto worker_body = [&config, &metrics_out, observed](int index) -> int {
+    // The child inherited the parent's signal flags, metric counts, and
+    // open root span; start clean so its report covers only this worker.
+    serve::ResetServeSignalsForTest();
+    serve::InstallServeSignalHandlers();
+    int worker_span = -1;
+    if (observed) {
+      MetricsRegistry::Default().Reset();
+      Observability::Default().trace().Reset();
+      worker_span = Observability::Default().trace().BeginSpan("serve");
+    }
+    serve::ModelHost models(config.checkpoint, config.coach);
+    if (!models.Load().ok()) return 1;
+    serve::RevisionServer server(config, &models);
+    const Status started = server.StartServing();
+    if (!started.ok()) {
+      std::fprintf(stderr, "serve worker %d: %s\n", index,
+                   started.ToString().c_str());
+      return 1;
+    }
+    server.AwaitDrain();
+    if (worker_span >= 0) {
+      Observability::Default().trace().EndSpan(worker_span);
+      RunReportOptions options;
+      options.command = "serve";
+      const Status report =
+          WriteRunReport(WorkerReportPath(metrics_out, index), options);
+      if (!report.ok()) {
+        std::fprintf(stderr, "serve worker %d: report: %s\n", index,
+                     report.ToString().c_str());
+        return 1;
+      }
+    }
+    return 0;
+  };
+
+  serve::InstallServeSignalHandlers();
+  serve::WorkerSupervisor supervisor(supervisor_config, worker_body);
+  COACHLM_RETURN_NOT_OK(supervisor.Start());
+  std::printf("serving on 127.0.0.1:%d with %d supervised worker processes "
+              "(checkpoint %s); SIGTERM drains, SIGHUP reloads\n",
+              config.port, processes, config.checkpoint.c_str());
+  std::fflush(stdout);
+  const int code = supervisor.Run();
+  const serve::SupervisorStats& stats = supervisor.stats();
+  std::printf(
+      "serve supervisor %s: %llu spawned, %llu crashed, %llu respawned\n",
+      code == 0 ? "drained" : "circuit-broke",
+      static_cast<unsigned long long>(stats.spawned),
+      static_cast<unsigned long long>(stats.crashed),
+      static_cast<unsigned long long>(stats.respawned));
+  if (code != 0) {
+    // Crash loop: exit with the distinguishable circuit-breaker code.
+    // Crash-only exit — no fleet run report; the log is the diagnosis.
+    std::fflush(stdout);
+    std::_Exit(code);
+  }
+  if (observed) {
+    // A worker that crashed and never drained leaves no report — skip it;
+    // its partial counts died with it, which is the crash-only contract.
+    for (int i = 0; i < processes; ++i) {
+      const std::string path = WorkerReportPath(metrics_out, i);
+      Result<std::string> text = json::ReadFile(path);
+      if (!text.ok()) continue;
+      COACHLM_ASSIGN_OR_RETURN(const json::Value report, json::Parse(*text));
+      COACHLM_RETURN_NOT_OK(MergeRunReportMetrics(report));
+      std::remove(path.c_str());
+    }
+  }
+  return Status::OK();
+}
+
 Status RunServe(const Flags& flags) {
   serve::ServeConfig config;
   config.port = static_cast<int>(flags.GetInt("port", 8080));
   config.workers = static_cast<int>(flags.GetInt("serve-workers", 4));
   config.queue_depth = static_cast<int>(flags.GetInt("queue-depth", 64));
   config.request_deadline_ms = flags.GetInt("request-deadline-ms", 2000);
+  config.read_timeout_ms = flags.GetInt("read-timeout-ms", 0);
+  config.write_timeout_ms = flags.GetInt("write-timeout-ms", 0);
   config.checkpoint = flags.GetString("checkpoint", "coach.json");
   config.coach.alpha = flags.GetDouble("alpha", 0.3);
   config.coach.backbone =
@@ -742,6 +863,9 @@ Status RunServe(const Flags& flags) {
         static_cast<int>(flags.GetInt("retry-max", 4));
   }
   COACHLM_RETURN_NOT_OK(config.Validate());
+
+  const int processes = static_cast<int>(flags.GetInt("serve-processes", 1));
+  if (processes > 1) return RunServeSupervised(flags, config, processes);
 
   // The daemon deliberately opens no child spans: the root "serve" span
   // alone covers the whole resident lifetime in the run report, and
@@ -813,8 +937,11 @@ Status ValidateFlags(const Flags& flags) {
       {"max-json-depth", 1, kMax},
       {"port", 1, 65535},
       {"serve-workers", 1, 1024},
+      {"serve-processes", 1, 256},
       {"queue-depth", 1, 1000000},
       {"request-deadline-ms", 1, kMax},
+      {"read-timeout-ms", 1, kMax},
+      {"write-timeout-ms", 1, kMax},
   };
   for (const IntFlag& spec : int_flags) {
     if (!flags.Has(spec.name)) continue;
@@ -950,7 +1077,8 @@ int Main(int argc, char** argv) {
        "deadline-ms", "stall-timeout-ms", "max-record-bytes",
        "max-json-depth", "metrics-out", "metrics-deterministic", "validate",
        "format", "shards", "corpus-manifest", "port", "serve-workers",
-       "queue-depth", "request-deadline-ms"});
+       "serve-processes", "queue-depth", "request-deadline-ms",
+       "read-timeout-ms", "write-timeout-ms"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n%s", flags.status().ToString().c_str(), kUsage);
     return 2;
