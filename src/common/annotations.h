@@ -1,0 +1,50 @@
+#ifndef COACHLM_COMMON_ANNOTATIONS_H_
+#define COACHLM_COMMON_ANNOTATIONS_H_
+
+/// \file
+/// \brief Thread-safety annotation macros, checked twice.
+///
+/// Annotating a field with COACHLM_GUARDED_BY(mu) (and a
+/// held-lock-required helper with COACHLM_REQUIRES(mu)) feeds two
+/// independent analyses:
+///
+///  1. coachlm_lint's concurrency-guarded-field rule (tools/lint) — a
+///     lexical check that runs on every compiler, in every CI leg, and in
+///     tests. It tracks lock_guard/unique_lock/scoped_lock scopes and
+///     flags any access to an annotated field outside one.
+///  2. Clang's -Wthread-safety analysis — precise (path-sensitive,
+///     understands unlock()) but only available under clang. The
+///     COACHLM_THREAD_SAFETY CMake option turns it on in the dedicated CI
+///     leg.
+///
+/// Under compilers without the attribute (GCC in the dev container) the
+/// macros expand to nothing and only the lint rule applies.
+///
+/// COACHLM_NO_THREAD_SAFETY_ANALYSIS exists because libc++/libstdc++ do
+/// not annotate std::unique_lock or condition_variable waits: functions
+/// built around cv.wait(lock, ...) are invisible to clang's analysis and
+/// must opt out of it. The lint rule still covers them — the two checkers
+/// are deliberately complementary.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define COACHLM_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define COACHLM_THREAD_ANNOTATION__(x)  // no-op outside clang
+#endif
+
+/// Declares that the annotated field may only be read or written while
+/// holding \p x.
+#define COACHLM_GUARDED_BY(x) COACHLM_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Declares that callers must hold \p x (and any further arguments)
+/// before calling the annotated function.
+#define COACHLM_REQUIRES(...) \
+  COACHLM_THREAD_ANNOTATION__(exclusive_locks_required(__VA_ARGS__))
+
+/// Opts one function out of clang's analysis — for condition-variable
+/// wait loops the standard library leaves unannotated. Use sparingly and
+/// say why in a comment; the lint rule still applies.
+#define COACHLM_NO_THREAD_SAFETY_ANALYSIS \
+  COACHLM_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // COACHLM_COMMON_ANNOTATIONS_H_

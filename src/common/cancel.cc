@@ -8,7 +8,11 @@ void StallWatchdog::Start(int64_t poll_interval_micros) {
   std::lock_guard<std::mutex> lock(thread_mu_);
   if (thread_.joinable()) return;
   stopping_ = false;
-  thread_ = std::thread([this, poll_interval_micros] {
+  // The unique_lock/wait_for dance is unannotated in the standard library,
+  // so the lambda opts out of clang's analysis; the lint rule still sees
+  // the lexical scope.
+  thread_ = std::thread([this,
+                         poll_interval_micros]() COACHLM_NO_THREAD_SAFETY_ANALYSIS {
     std::unique_lock<std::mutex> wait_lock(thread_mu_);
     while (!stopping_) {
       // Real-time wait (not clock_->SleepMicros): the watchdog must keep

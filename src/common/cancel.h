@@ -9,6 +9,7 @@
 #include <string>
 #include <thread>
 
+#include "common/annotations.h"
 #include "common/clock.h"
 #include "common/status.h"
 
@@ -93,7 +94,7 @@ class CancelToken {
   bool has_deadline_ = false;
   std::atomic<bool> cancelled_{false};
   mutable std::mutex mu_;
-  Status cause_;
+  Status cause_ COACHLM_GUARDED_BY(mu_);
 };
 
 /// \brief Detects a frozen pipeline stage and cancels it.
@@ -158,7 +159,7 @@ class StallWatchdog {
 
   std::mutex thread_mu_;
   std::condition_variable thread_cv_;
-  bool stopping_ = false;
+  bool stopping_ COACHLM_GUARDED_BY(thread_mu_) = false;
   std::thread thread_;
 };
 

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/cancel.h"
 #include "common/execution.h"
 #include "common/result.h"
@@ -133,10 +134,10 @@ class StageCheckpointer {
   size_t max_pending_commits_ = 2;
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<PendingCommit> pending_;
-  bool committer_stop_ = false;
-  bool committer_busy_ = false;
-  Status async_error_;
+  std::deque<PendingCommit> pending_ COACHLM_GUARDED_BY(queue_mu_);
+  bool committer_stop_ COACHLM_GUARDED_BY(queue_mu_) = false;
+  bool committer_busy_ COACHLM_GUARDED_BY(queue_mu_) = false;
+  Status async_error_ COACHLM_GUARDED_BY(queue_mu_);
   std::thread committer_;
 };
 

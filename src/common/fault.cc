@@ -1,9 +1,11 @@
 #include "common/fault.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <vector>
 
 #include "common/execution.h"
+#include "common/logging.h"
 #include "common/rng.h"
 
 namespace coachlm {
@@ -50,7 +52,20 @@ Result<double> ParseRate(const std::string& key, const std::string& value) {
 
 const char* FaultSiteToString(FaultSite site) {
   const int index = static_cast<int>(site);
-  if (index < 0 || index >= kNumFaultSites) return "unknown";
+  if (index < 0 || index >= kNumFaultSites) {
+#ifndef NDEBUG
+    // Debug builds call out the out-of-range site once per process; the
+    // release behavior stays a silent "unknown" so metrics/log labels
+    // degrade instead of crashing.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      LogMessage(LogLevel::kWarning,
+                 "FaultSiteToString: site index " + std::to_string(index) +
+                     " is outside kSiteNames (src/common/fault.cc)");
+    }
+#endif
+    return "unknown";
+  }
   return kSiteNames[index];
 }
 

@@ -1,6 +1,11 @@
 #include "common/metrics.h"
 
 #include <algorithm>
+#include <mutex>
+#include <set>
+
+#include "common/annotations.h"
+#include "common/logging.h"
 
 namespace coachlm {
 namespace {
@@ -296,22 +301,72 @@ MetricsRegistry& MetricsRegistry::Default() {
   return *registry;
 }
 
+namespace {
+
+/// A lookup miss is a deliberate no-op in release builds (instrumentation
+/// must never take a run down), but in debug builds it is almost always a
+/// typo'd or stale name, so each distinct miss logs one warning per
+/// process. Lives behind an atomic so release call sites pay one relaxed
+/// load when the default is off.
+std::atomic<bool> g_warn_unknown_names{
+#ifdef NDEBUG
+    false
+#else
+    true
+#endif
+};
+
+std::mutex g_warned_names_mu;
+
+void WarnUnknownMetricName(const char* kind, const std::string& name) {
+  if (!g_warn_unknown_names.load(std::memory_order_relaxed)) return;
+  {
+    static std::set<std::string>* warned
+        COACHLM_GUARDED_BY(g_warned_names_mu) = new std::set<std::string>();
+    std::lock_guard<std::mutex> lock(g_warned_names_mu);
+    if (!warned->insert(name).second) return;  // already warned once
+  }
+  LogMessage(LogLevel::kWarning,
+             std::string("metric name \"") + name + "\" is not a registered " +
+                 kind +
+                 " in the MetricCatalog (src/common/metrics.cc); the lookup "
+                 "is a no-op");
+}
+
+}  // namespace
+
+void MetricsRegistry::set_warn_on_unknown_names(bool warn) {
+  g_warn_unknown_names.store(warn, std::memory_order_relaxed);
+}
+
 Counter* MetricsRegistry::FindCounter(const std::string& name) {
   if (!enabled()) return nullptr;
   const auto it = counters_.find(name);
-  return it == counters_.end() ? nullptr : &it->second;
+  if (it == counters_.end()) {
+    WarnUnknownMetricName("counter", name);
+    return nullptr;
+  }
+  return &it->second;
 }
 
 Gauge* MetricsRegistry::FindGauge(const std::string& name) {
   if (!enabled()) return nullptr;
   const auto it = gauges_.find(name);
-  return it == gauges_.end() ? nullptr : &it->second;
+  if (it == gauges_.end()) {
+    WarnUnknownMetricName("gauge", name);
+    return nullptr;
+  }
+  return &it->second;
 }
 
 MetricHistogram* MetricsRegistry::FindHistogram(const std::string& name) {
   if (!enabled()) return nullptr;
   const auto it = histograms_.find(name);
-  return it == histograms_.end() ? nullptr : &it->second;
+  if (it == histograms_.end()) {
+    WarnUnknownMetricName("histogram", name);
+    return nullptr;
+  }
+  return &it->second;
 }
 
 void MetricsRegistry::Reset() {

@@ -136,11 +136,20 @@ class MetricsRegistry {
   /// \name Lookup
   /// Return nullptr when the registry is disabled or the name is not in
   /// the catalog (with the wrong type), so call sites degrade to no-ops.
+  /// In debug builds (NDEBUG unset) a lookup miss while enabled logs one
+  /// warning per name per process instead of staying silent — the runtime
+  /// counterpart of coachlm_lint's registry-unknown-name rule, catching
+  /// names built dynamically where the lint only sees literals.
   /// @{
   Counter* FindCounter(const std::string& name);
   Gauge* FindGauge(const std::string& name);
   MetricHistogram* FindHistogram(const std::string& name);
   /// @}
+
+  /// Overrides the unknown-name warning default (on when NDEBUG is unset,
+  /// off otherwise) — the hook metrics_test uses to exercise the warning
+  /// under release builds. Affects the process-wide warn-once state.
+  static void set_warn_on_unknown_names(bool warn);
 
   /// Zeroes every metric (tests and multi-run processes).
   void Reset();

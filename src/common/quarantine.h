@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/fault.h"
 #include "common/result.h"
 #include "json/json.h"
@@ -58,7 +59,7 @@ class QuarantineLog {
 
  private:
   mutable std::mutex mu_;
-  std::vector<QuarantineRecord> records_;
+  std::vector<QuarantineRecord> records_ COACHLM_GUARDED_BY(mu_);
 };
 
 }  // namespace coachlm

@@ -10,6 +10,7 @@
 #include <sys/resource.h>
 #endif
 
+#include "common/annotations.h"
 #include "common/env.h"
 #include "common/metrics.h"
 
@@ -166,9 +167,9 @@ Status CheckRunReport(const json::Value& report) {
 /// Process-wide buffer behind the static BenchReport API.
 struct BenchState {
   std::mutex mu;
-  std::string artifact;
-  json::Array measurements;
-  bool atexit_registered = false;
+  std::string artifact COACHLM_GUARDED_BY(mu);
+  json::Array measurements COACHLM_GUARDED_BY(mu);
+  bool atexit_registered COACHLM_GUARDED_BY(mu) = false;
 };
 
 BenchState& bench_state() {
@@ -187,8 +188,8 @@ extern "C" void FlushBenchReportAtExit() {
   }
 }
 
-/// Registers the atexit flush once. Call with state->mu held.
-void EnsureAtExitFlush(BenchState* state) {
+/// Registers the atexit flush once.
+void EnsureAtExitFlush(BenchState* state) COACHLM_REQUIRES(state->mu) {
   if (state->atexit_registered) return;
   state->atexit_registered = true;
   std::atexit(FlushBenchReportAtExit);

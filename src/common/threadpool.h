@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
+
 namespace coachlm {
 
 /// \brief Fixed-size worker pool for parallel dataset operations.
@@ -51,12 +53,12 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<std::function<void()>> queue_ COACHLM_GUARDED_BY(mu_);
   std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
-  size_t in_flight_ = 0;
-  bool stop_ = false;
+  size_t in_flight_ COACHLM_GUARDED_BY(mu_) = 0;
+  bool stop_ COACHLM_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace coachlm

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/clock.h"
 #include "common/metrics.h"
 #include "json/json.h"
@@ -59,11 +60,11 @@ class Trace {
 
  private:
   mutable std::mutex mu_;
-  Clock* clock_;
-  int64_t epoch_micros_ = 0;
-  bool epoch_set_ = false;
-  std::vector<Span> spans_;
-  std::vector<int> stack_;
+  Clock* clock_;  // set in the ctor init list, hence not annotated
+  int64_t epoch_micros_ COACHLM_GUARDED_BY(mu_) = 0;
+  bool epoch_set_ COACHLM_GUARDED_BY(mu_) = false;
+  std::vector<Span> spans_ COACHLM_GUARDED_BY(mu_);
+  std::vector<int> stack_ COACHLM_GUARDED_BY(mu_);
 };
 
 /// \brief Process-wide observability switchboard.

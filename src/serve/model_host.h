@@ -7,6 +7,7 @@
 #include <string>
 
 #include "coach/coach_lm.h"
+#include "common/annotations.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -87,8 +88,8 @@ class ModelHost {
   const std::string checkpoint_path_;
   const coach::CoachConfig config_;
   mutable std::mutex mutex_;
-  std::shared_ptr<const coach::CoachLm> model_;
-  uint64_t version_ = 0;
+  std::shared_ptr<const coach::CoachLm> model_ COACHLM_GUARDED_BY(mutex_);
+  uint64_t version_ COACHLM_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace serve

@@ -189,8 +189,11 @@ int WorkerSupervisor::Run() {
       // crash-only design makes no distinction worth acting on beyond the
       // log line. Schedule the respawn on the deterministic ladder.
       const int64_t now = clock_->NowMicros();
-      WorkerSlot& slot = slots_[static_cast<size_t>(index)];
-      ++slot.failures;
+      int failures = 0;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        failures = ++slots_[static_cast<size_t>(index)].failures;
+      }
       ++stats_.crashed;
       CountMetric("serve.supervisor.workers_crashed");
       if (WIFSIGNALED(wait_status)) {
@@ -225,29 +228,40 @@ int WorkerSupervisor::Run() {
         return kSupervisorCircuitExitCode;
       }
 
-      const int64_t backoff =
-          RestartBackoffMicros(config_, slot.failures, index);
-      slot.respawn_at_micros = now + backoff;
+      const int64_t backoff = RestartBackoffMicros(config_, failures, index);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        slots_[static_cast<size_t>(index)].respawn_at_micros = now + backoff;
+      }
       CountMetric("serve.supervisor.restart_backoff_micros",
                   static_cast<uint64_t>(backoff));
     }
 
-    // Respawn every slot whose backoff has elapsed.
+    // Respawn every slot whose backoff has elapsed. The due list is
+    // snapshotted under the lock, then the forks happen outside it so a
+    // slow fork never blocks WorkerPids() readers.
     if (!draining_.load(std::memory_order_acquire)) {
       const int64_t now = clock_->NowMicros();
-      for (size_t i = 0; i < slots_.size(); ++i) {
-        bool due = false;
-        {
-          std::lock_guard<std::mutex> lock(mu_);
-          due = slots_[i].pid < 0 && slots_[i].failures > 0 &&
-                now >= slots_[i].respawn_at_micros;
+      struct DueSlot {
+        int index;
+        int failures;
+      };
+      std::vector<DueSlot> due;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (size_t i = 0; i < slots_.size(); ++i) {
+          if (slots_[i].pid < 0 && slots_[i].failures > 0 &&
+              now >= slots_[i].respawn_at_micros) {
+            due.push_back(DueSlot{static_cast<int>(i), slots_[i].failures});
+          }
         }
-        if (!due) continue;
-        if (Spawn(static_cast<int>(i)) > 0) {
+      }
+      for (const DueSlot& slot : due) {
+        if (Spawn(slot.index) > 0) {
           ++stats_.respawned;
           CountMetric("serve.supervisor.workers_respawned");
-          COACHLM_LOG_INFO << "serve: worker " << i << " respawned (failure "
-                           << slots_[i].failures << ")";
+          COACHLM_LOG_INFO << "serve: worker " << slot.index
+                           << " respawned (failure " << slot.failures << ")";
         }
       }
     }

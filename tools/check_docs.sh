@@ -6,6 +6,8 @@
 #      or docs/*.md.
 #   2. Every metric name in the registry's catalog dump
 #      (`coachlm metrics`) must appear in docs/OBSERVABILITY.md.
+#   3. Every lint rule in `coachlm_lint`'s usage text must appear in
+#      docs/LINT.md — the rule catalog cannot lag the checker.
 #
 # Both sets are extracted from the *built binary*, not from the sources,
 # so adding a flag or a catalog entry without documenting it fails CI —
@@ -56,11 +58,34 @@ for metric in $metrics; do
   fi
 done
 
+# --- 3. Lint rules ----------------------------------------------------
+# The usage text lists one rule per indented line under "Rules:".
+LINT="$BUILD_DIR/tools/coachlm_lint"
+if [ ! -x "$LINT" ]; then
+  echo "check_docs: $LINT not found or not executable" \
+       "(build the coachlm_lint target first)" >&2
+  exit 2
+fi
+rules=$("$LINT" 2>&1 | sed -n 's/^    \([a-z][a-z-]*\).*/\1/p' | sort -u)
+if [ -z "$rules" ]; then
+  echo "check_docs: could not extract any rules from the lint usage" >&2
+  exit 2
+fi
+for rule in $rules; do
+  if ! grep -q -- "$rule" "$REPO_ROOT/docs/LINT.md"; then
+    echo "check_docs: FAIL: lint rule '$rule' (from coachlm_lint usage)" \
+         "is not documented in docs/LINT.md" >&2
+    fail=1
+  fi
+done
+
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: documentation drift detected (see above)" >&2
   exit 1
 fi
 n_flags=$(printf '%s\n' "$flags" | wc -l)
 n_metrics=$(printf '%s\n' "$metrics" | wc -l)
-echo "check_docs: OK ($n_flags flags, $n_metrics metrics all documented)"
+n_rules=$(printf '%s\n' "$rules" | wc -l)
+echo "check_docs: OK ($n_flags flags, $n_metrics metrics, $n_rules lint" \
+     "rules all documented)"
 exit 0

@@ -1,0 +1,316 @@
+#include "lint/lexer.h"
+
+#include "text/string_util.h"
+
+namespace coachlm {
+namespace lint {
+namespace {
+
+/// Shared comment/string state machine. With \p keep_strings true, string
+/// and raw-string literal bytes pass through unchanged (the registry-drift
+/// pass reads them); char literals are always blanked.
+std::string StripImpl(const std::string& text, bool keep_strings) {
+  std::string out = text;
+  enum class Mode { kCode, kLine, kBlock, kString, kChar, kRaw };
+  Mode mode = Mode::kCode;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (mode) {
+      case Mode::kCode:
+        if (c == '/' && next == '/') {
+          mode = Mode::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          mode = Mode::kBlock;
+          out[i] = ' ';
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !IsIdentChar(out[i - 1])) &&
+                   i + 2 < out.size() && out[i + 2] == '(') {
+          mode = Mode::kRaw;
+          if (!keep_strings) out[i] = ' ';
+        } else if (c == '"') {
+          mode = Mode::kString;
+          if (!keep_strings) out[i] = ' ';
+        } else if (c == '\'' && (i == 0 || !IsIdentChar(out[i - 1]))) {
+          // The ident-char guard keeps digit separators (1'000) in kCode.
+          mode = Mode::kChar;
+          out[i] = ' ';
+        }
+        break;
+      case Mode::kLine:
+        if (c == '\n') {
+          mode = Mode::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case Mode::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          mode = Mode::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case Mode::kString:
+        if (c == '\\') {
+          if (!keep_strings) out[i] = ' ';
+          if (next != '\n' && i + 1 < out.size()) {
+            ++i;
+            if (!keep_strings) out[i] = ' ';
+          }
+        } else if (c == '"') {
+          if (!keep_strings) out[i] = ' ';
+          mode = Mode::kCode;
+        } else if (c != '\n' && !keep_strings) {
+          out[i] = ' ';
+        }
+        break;
+      case Mode::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n' && i + 1 < out.size()) out[++i] = ' ';
+        } else if (c == '\'') {
+          out[i] = ' ';
+          mode = Mode::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case Mode::kRaw:
+        if (c == ')' && next == '"') {
+          if (!keep_strings) {
+            out[i] = ' ';
+            out[i + 1] = ' ';
+          }
+          ++i;
+          mode = Mode::kCode;
+        } else if (c != '\n' && !keep_strings) {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool IsIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+bool IsSpaceChar(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+std::string StripCommentsAndStrings(const std::string& text) {
+  return StripImpl(text, /*keep_strings=*/false);
+}
+
+std::string StripComments(const std::string& text) {
+  return StripImpl(text, /*keep_strings=*/true);
+}
+
+std::string BlankPreprocessor(std::string text) {
+  size_t i = 0;
+  while (i < text.size()) {
+    size_t j = i;
+    while (j < text.size() && (text[j] == ' ' || text[j] == '\t')) ++j;
+    const bool directive = j < text.size() && text[j] == '#';
+    bool continued = true;
+    while (continued) {
+      continued = false;
+      size_t eol = text.find('\n', i);
+      if (eol == std::string::npos) eol = text.size();
+      if (directive) {
+        if (eol > i && text[eol - 1] == '\\') continued = true;
+        for (size_t k = i; k < eol; ++k) text[k] = ' ';
+      }
+      i = eol + 1;
+      if (i > text.size()) i = text.size();
+      if (!directive) break;
+    }
+  }
+  return text;
+}
+
+std::vector<std::string> SplitRawLines(const std::string& text) {
+  return strings::Split(text, '\n', /*keep_empty=*/true);
+}
+
+std::vector<StringLiteral> ExtractStringLiterals(const std::string& text) {
+  std::vector<StringLiteral> out;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\'' && (i == 0 || !IsIdentChar(text[i - 1]))) {
+      // Char literal: skip to its closing quote.
+      ++i;
+      while (i < text.size() && text[i] != '\'') {
+        if (text[i] == '\\') ++i;
+        ++i;
+      }
+      continue;
+    }
+    if (text[i] == '"' && i > 0 && text[i - 1] == 'R') {
+      // R"(...)": verbatim until the closing )".
+      StringLiteral literal;
+      literal.offset = i;
+      size_t j = i + 2;  // past "(
+      while (j + 1 < text.size() &&
+             !(text[j] == ')' && text[j + 1] == '"')) {
+        literal.value.push_back(text[j]);
+        ++j;
+      }
+      i = j + 1;
+      out.push_back(std::move(literal));
+      continue;
+    }
+    if (text[i] != '"') continue;
+    StringLiteral literal;
+    literal.offset = i;
+    size_t j = i + 1;
+    for (; j < text.size() && text[j] != '"'; ++j) {
+      if (text[j] == '\\' && j + 1 < text.size()) {
+        ++j;
+        switch (text[j]) {
+          case 'n':
+            literal.value.push_back('\n');
+            break;
+          case 't':
+            literal.value.push_back('\t');
+            break;
+          default:
+            literal.value.push_back(text[j]);
+        }
+      } else {
+        literal.value.push_back(text[j]);
+      }
+    }
+    i = j;
+    out.push_back(std::move(literal));
+  }
+  return out;
+}
+
+LineIndex::LineIndex(const std::string& text) {
+  starts_.push_back(0);
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') starts_.push_back(i + 1);
+  }
+}
+
+size_t LineIndex::LineAt(size_t offset) const {
+  size_t lo = 0, hi = starts_.size();
+  while (lo + 1 < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (starts_[mid] <= offset) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo + 1;
+}
+
+bool IsWordAt(const std::string& text, size_t pos, const std::string& word) {
+  if (pos + word.size() > text.size()) return false;
+  if (text.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && IsIdentChar(text[pos - 1])) return false;
+  const size_t end = pos + word.size();
+  if (end < text.size() && IsIdentChar(text[end])) return false;
+  return true;
+}
+
+size_t SkipSpaces(const std::string& text, size_t pos) {
+  while (pos < text.size() && IsSpaceChar(text[pos])) ++pos;
+  return pos;
+}
+
+std::string ReadIdent(const std::string& text, size_t pos, size_t* end) {
+  size_t i = pos;
+  if (i >= text.size() || IsIdentChar(text[i]) == false ||
+      (text[i] >= '0' && text[i] <= '9')) {
+    *end = pos;
+    return "";
+  }
+  while (i < text.size() && IsIdentChar(text[i])) ++i;
+  *end = i;
+  return text.substr(pos, i - pos);
+}
+
+size_t SkipAngles(const std::string& text, size_t pos) {
+  if (pos >= text.size() || text[pos] != '<') return std::string::npos;
+  int depth = 0;
+  for (size_t i = pos; i < text.size(); ++i) {
+    if (text[i] == '<') ++depth;
+    if (text[i] == '>') {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+    if (text[i] == ';' || text[i] == '{') return std::string::npos;
+  }
+  return std::string::npos;
+}
+
+size_t SkipBalanced(const std::string& text, size_t pos, char open,
+                    char close) {
+  if (pos >= text.size() || text[pos] != open) return std::string::npos;
+  int depth = 0;
+  for (size_t i = pos; i < text.size(); ++i) {
+    if (text[i] == open) ++depth;
+    if (text[i] == close) {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+size_t EnclosingScopeEnd(const std::string& text, size_t pos) {
+  int depth = 0;
+  for (size_t i = pos; i < text.size(); ++i) {
+    if (text[i] == '{') ++depth;
+    if (text[i] == '}') {
+      if (depth == 0) return i;
+      --depth;
+    }
+  }
+  return text.size();
+}
+
+std::set<std::string> IdentifierWords(const std::string& text) {
+  std::set<std::string> words;
+  size_t i = 0;
+  while (i < text.size()) {
+    if (IsIdentChar(text[i]) && !(text[i] >= '0' && text[i] <= '9')) {
+      size_t end = 0;
+      words.insert(ReadIdent(text, i, &end));
+      i = end;
+    } else {
+      ++i;
+    }
+  }
+  return words;
+}
+
+const std::set<std::string>& StatementKeywords() {
+  static const std::set<std::string> kSet = {
+      "alignas",  "auto",     "bool",     "break",     "case",     "catch",
+      "char",     "class",    "const",    "constexpr", "continue", "default",
+      "delete",   "do",       "double",   "else",      "enum",     "explicit",
+      "extern",   "float",    "for",      "friend",    "goto",     "if",
+      "inline",   "int",      "long",     "namespace", "new",      "operator",
+      "private",  "protected", "public",  "return",    "short",    "signed",
+      "size_t",   "sizeof",   "static",   "struct",    "switch",   "template",
+      "throw",    "try",      "typedef",  "typename",  "union",    "unsigned",
+      "using",    "virtual",  "void",     "volatile",  "while",
+  };
+  return kSet;
+}
+
+}  // namespace lint
+}  // namespace coachlm

@@ -1,0 +1,93 @@
+#ifndef COACHLM_TOOLS_LINT_LEXER_H_
+#define COACHLM_TOOLS_LINT_LEXER_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace coachlm {
+namespace lint {
+
+/// \name Character classes shared by every pass.
+/// @{
+bool IsIdentChar(char c);
+bool IsSpaceChar(char c);
+/// @}
+
+/// Replaces comments and string/char literals with spaces (newlines kept),
+/// so the rule scanners never fire on prose or literal text. Handles //,
+/// /* */, "..." with escapes, '...' and the simple R"(...)" raw form.
+std::string StripCommentsAndStrings(const std::string& text);
+
+/// Like StripCommentsAndStrings but *keeps* string literals intact: the
+/// registry-drift pass needs the literal metric/fault-site names that the
+/// determinism passes must never see.
+std::string StripComments(const std::string& text);
+
+/// Additionally blanks preprocessor directives (and their continuation
+/// lines) so the statement scanner never glues code across an #include or
+/// #define. Include hygiene reads the raw lines instead.
+std::string BlankPreprocessor(std::string text);
+
+/// Splits on '\n', keeping empty lines (1-based indexing via index + 1).
+std::vector<std::string> SplitRawLines(const std::string& text);
+
+/// \brief One string literal found in comment-stripped source.
+struct StringLiteral {
+  std::string value;  ///< Unescaped content (simple escapes resolved).
+  size_t offset = 0;  ///< Byte offset of the opening quote.
+};
+
+/// Extracts every "..." literal from \p text (which should already be
+/// comment-stripped via StripComments, so prose never leaks in). Raw
+/// literals R"(...)" are included; char literals are not.
+std::vector<StringLiteral> ExtractStringLiterals(const std::string& text);
+
+/// \brief Maps byte offsets to 1-based line numbers.
+class LineIndex {
+ public:
+  explicit LineIndex(const std::string& text);
+
+  /// 1-based line number containing byte \p offset.
+  size_t LineAt(size_t offset) const;
+
+ private:
+  std::vector<size_t> starts_;
+};
+
+/// True when text[pos..pos+word) equals \p word with identifier boundaries
+/// on both sides.
+bool IsWordAt(const std::string& text, size_t pos, const std::string& word);
+
+size_t SkipSpaces(const std::string& text, size_t pos);
+
+/// Reads an identifier at \p pos; returns empty when none starts there.
+std::string ReadIdent(const std::string& text, size_t pos, size_t* end);
+
+/// Skips a balanced <...> starting at \p pos (which must be '<'). Returns
+/// the index just past the matching '>', or npos on imbalance.
+size_t SkipAngles(const std::string& text, size_t pos);
+
+/// Skips a balanced bracket pair ('(' / '{' / '[') starting at \p pos.
+/// Returns the index just past the matching closer, or npos.
+size_t SkipBalanced(const std::string& text, size_t pos, char open,
+                    char close);
+
+/// End (exclusive) of the innermost brace scope containing \p pos: the
+/// index of the first '}' whose matching '{' opened at or before \p pos.
+/// Returns text.size() when \p pos is at namespace/file scope — the
+/// conservative choice for lock scopes, which then extend to EOF.
+size_t EnclosingScopeEnd(const std::string& text, size_t pos);
+
+/// Every identifier word occurring in \p text.
+std::set<std::string> IdentifierWords(const std::string& text);
+
+/// Keywords that can open a statement (so a statement starting with one is
+/// never a bare discarded call).
+const std::set<std::string>& StatementKeywords();
+
+}  // namespace lint
+}  // namespace coachlm
+
+#endif  // COACHLM_TOOLS_LINT_LEXER_H_

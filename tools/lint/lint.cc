@@ -1,678 +1,19 @@
 #include "lint/lint.h"
 
 #include <algorithm>
+#include <cctype>
 #include <filesystem>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "json/jsonl.h"
+#include "lint/lexer.h"
 #include "text/string_util.h"
 
 namespace coachlm {
 namespace lint {
 namespace {
-
-bool IsIdentChar(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-         (c >= '0' && c <= '9') || c == '_';
-}
-
-bool IsSpaceChar(char c) {
-  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
-}
-
-/// Replaces comments and string/char literals with spaces (newlines kept),
-/// so the rule scanners never fire on prose or literal text. Handles //,
-/// /* */, "..." with escapes, '...' and the simple R"(...)" raw form.
-std::string StripCommentsAndStrings(const std::string& text) {
-  std::string out = text;
-  enum class Mode { kCode, kLine, kBlock, kString, kChar, kRaw };
-  Mode mode = Mode::kCode;
-  for (size_t i = 0; i < out.size(); ++i) {
-    const char c = out[i];
-    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
-    switch (mode) {
-      case Mode::kCode:
-        if (c == '/' && next == '/') {
-          mode = Mode::kLine;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          mode = Mode::kBlock;
-          out[i] = ' ';
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || !IsIdentChar(out[i - 1])) &&
-                   i + 2 < out.size() && out[i + 2] == '(') {
-          mode = Mode::kRaw;
-          out[i] = ' ';
-        } else if (c == '"') {
-          mode = Mode::kString;
-          out[i] = ' ';
-        } else if (c == '\'' && (i == 0 || !IsIdentChar(out[i - 1]))) {
-          // The ident-char guard keeps digit separators (1'000) in kCode.
-          mode = Mode::kChar;
-          out[i] = ' ';
-        }
-        break;
-      case Mode::kLine:
-        if (c == '\n') {
-          mode = Mode::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case Mode::kBlock:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          mode = Mode::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case Mode::kString:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (next != '\n' && i + 1 < out.size()) out[++i] = ' ';
-        } else if (c == '"') {
-          out[i] = ' ';
-          mode = Mode::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case Mode::kChar:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (next != '\n' && i + 1 < out.size()) out[++i] = ' ';
-        } else if (c == '\'') {
-          out[i] = ' ';
-          mode = Mode::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case Mode::kRaw:
-        if (c == ')' && next == '"') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          mode = Mode::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-/// Additionally blanks preprocessor directives (and their continuation
-/// lines) so the statement scanner never glues code across an #include or
-/// #define. Include hygiene reads the raw lines instead.
-std::string BlankPreprocessor(std::string text) {
-  size_t i = 0;
-  while (i < text.size()) {
-    size_t j = i;
-    while (j < text.size() && (text[j] == ' ' || text[j] == '\t')) ++j;
-    const bool directive = j < text.size() && text[j] == '#';
-    bool continued = true;
-    while (continued) {
-      continued = false;
-      size_t eol = text.find('\n', i);
-      if (eol == std::string::npos) eol = text.size();
-      if (directive) {
-        if (eol > i && text[eol - 1] == '\\') continued = true;
-        for (size_t k = i; k < eol; ++k) text[k] = ' ';
-      }
-      i = eol + 1;
-      if (i > text.size()) i = text.size();
-      if (!directive) break;
-    }
-  }
-  return text;
-}
-
-std::vector<std::string> SplitRawLines(const std::string& text) {
-  std::vector<std::string> lines = strings::Split(text, '\n',
-                                                  /*keep_empty=*/true);
-  return lines;
-}
-
-class LineIndex {
- public:
-  explicit LineIndex(const std::string& text) {
-    starts_.push_back(0);
-    for (size_t i = 0; i < text.size(); ++i) {
-      if (text[i] == '\n') starts_.push_back(i + 1);
-    }
-  }
-
-  /// 1-based line number containing byte \p offset.
-  size_t LineAt(size_t offset) const {
-    size_t lo = 0, hi = starts_.size();
-    while (lo + 1 < hi) {
-      const size_t mid = (lo + hi) / 2;
-      if (starts_[mid] <= offset) {
-        lo = mid;
-      } else {
-        hi = mid;
-      }
-    }
-    return lo + 1;
-  }
-
- private:
-  std::vector<size_t> starts_;
-};
-
-/// True when text[pos..pos+word) equals \p word with identifier boundaries
-/// on both sides.
-bool IsWordAt(const std::string& text, size_t pos, const std::string& word) {
-  if (pos + word.size() > text.size()) return false;
-  if (text.compare(pos, word.size(), word) != 0) return false;
-  if (pos > 0 && IsIdentChar(text[pos - 1])) return false;
-  const size_t end = pos + word.size();
-  if (end < text.size() && IsIdentChar(text[end])) return false;
-  return true;
-}
-
-size_t SkipSpaces(const std::string& text, size_t pos) {
-  while (pos < text.size() && IsSpaceChar(text[pos])) ++pos;
-  return pos;
-}
-
-/// Reads an identifier at \p pos; returns empty when none starts there.
-std::string ReadIdent(const std::string& text, size_t pos, size_t* end) {
-  size_t i = pos;
-  if (i >= text.size() || IsIdentChar(text[i]) == false ||
-      (text[i] >= '0' && text[i] <= '9')) {
-    *end = pos;
-    return "";
-  }
-  while (i < text.size() && IsIdentChar(text[i])) ++i;
-  *end = i;
-  return text.substr(pos, i - pos);
-}
-
-/// Skips a balanced <...> starting at \p pos (which must be '<'). Returns
-/// the index just past the matching '>', or npos on imbalance.
-size_t SkipAngles(const std::string& text, size_t pos) {
-  if (pos >= text.size() || text[pos] != '<') return std::string::npos;
-  int depth = 0;
-  for (size_t i = pos; i < text.size(); ++i) {
-    if (text[i] == '<') ++depth;
-    if (text[i] == '>') {
-      --depth;
-      if (depth == 0) return i + 1;
-    }
-    if (text[i] == ';' || text[i] == '{') return std::string::npos;
-  }
-  return std::string::npos;
-}
-
-/// Skips a balanced bracket pair ('(' / '{' / '[') starting at \p pos.
-/// Returns the index just past the matching closer, or npos.
-size_t SkipBalanced(const std::string& text, size_t pos, char open,
-                    char close) {
-  if (pos >= text.size() || text[pos] != open) return std::string::npos;
-  int depth = 0;
-  for (size_t i = pos; i < text.size(); ++i) {
-    if (text[i] == open) ++depth;
-    if (text[i] == close) {
-      --depth;
-      if (depth == 0) return i + 1;
-    }
-  }
-  return std::string::npos;
-}
-
-const std::set<std::string>& StatementKeywords() {
-  static const std::set<std::string> kSet = {
-      "alignas",  "auto",     "bool",     "break",     "case",     "catch",
-      "char",     "class",    "const",    "constexpr", "continue", "default",
-      "delete",   "do",       "double",   "else",      "enum",     "explicit",
-      "extern",   "float",    "for",      "friend",    "goto",     "if",
-      "inline",   "int",      "long",     "namespace", "new",      "operator",
-      "private",  "protected", "public",  "return",    "short",    "signed",
-      "size_t",   "sizeof",   "static",   "struct",    "switch",   "template",
-      "throw",    "try",      "typedef",  "typename",  "union",    "unsigned",
-      "using",    "virtual",  "void",     "volatile",  "while",
-  };
-  return kSet;
-}
-
-/// If \p stmt (already trimmed) is a pure call-expression statement —
-/// `a::b->c.Name(...)` spanning the whole statement — returns `Name`;
-/// otherwise returns "".
-std::string CalledName(const std::string& stmt) {
-  if (stmt.empty() || !strings::EndsWith(stmt, ")")) return "";
-  size_t pos = 0;
-  std::string last;
-  while (true) {
-    pos = SkipSpaces(stmt, pos);
-    size_t end = 0;
-    const std::string ident = ReadIdent(stmt, pos, &end);
-    if (ident.empty()) return "";
-    last = ident;
-    pos = SkipSpaces(stmt, end);
-    if (pos >= stmt.size()) return "";
-    if (stmt[pos] == '<') {
-      // Template arguments before the call, e.g. Get<int>(...).
-      const size_t after = SkipAngles(stmt, pos);
-      if (after == std::string::npos) return "";
-      pos = SkipSpaces(stmt, after);
-      if (pos >= stmt.size()) return "";
-    }
-    if (stmt[pos] == '(') {
-      const size_t after = SkipBalanced(stmt, pos, '(', ')');
-      if (after == std::string::npos) return "";
-      // The call must cover the rest of the statement; anything trailing
-      // (operators, member chains) means the value is consumed.
-      return SkipSpaces(stmt, after) >= stmt.size() ? last : "";
-    }
-    if (stmt.compare(pos, 2, "::") == 0 || stmt.compare(pos, 2, "->") == 0) {
-      pos += 2;
-    } else if (stmt[pos] == '.') {
-      pos += 1;
-    } else {
-      return "";
-    }
-  }
-}
-
-/// True when the raw source line carries a non-empty // comment (the
-/// justification requirement for (void)-discarded Status values).
-bool HasExplainingComment(const std::vector<std::string>& raw_lines,
-                          size_t line /*1-based*/) {
-  auto line_has = [&](size_t idx) {
-    if (idx == 0 || idx > raw_lines.size()) return false;
-    const std::string& text = raw_lines[idx - 1];
-    const size_t pos = text.find("//");
-    if (pos == std::string::npos) return false;
-    return !strings::Trim(text.substr(pos + 2)).empty();
-  };
-  return line_has(line) || (line > 1 && line_has(line - 1));
-}
-
-struct Suppression {
-  std::set<std::string> rules;
-  bool has_justification = false;
-};
-
-/// Parses `COACHLM_LINT_ALLOW(rule[,rule...]): justification` out of a raw
-/// source line, if present.
-bool ParseSuppression(const std::string& raw_line, Suppression* out) {
-  static const std::string kMarker = "COACHLM_LINT_ALLOW(";
-  const size_t pos = raw_line.find(kMarker);
-  if (pos == std::string::npos) return false;
-  const size_t open = pos + kMarker.size() - 1;
-  const size_t close = raw_line.find(')', open);
-  if (close == std::string::npos) return false;
-  out->rules.clear();
-  for (const std::string& rule :
-       strings::Split(raw_line.substr(open + 1, close - open - 1), ',')) {
-    const std::string trimmed = strings::Trim(rule);
-    if (!trimmed.empty()) out->rules.insert(trimmed);
-  }
-  out->has_justification = false;
-  const size_t after = SkipSpaces(raw_line, close + 1);
-  if (after < raw_line.size() && raw_line[after] == ':') {
-    out->has_justification =
-        !strings::Trim(raw_line.substr(after + 1)).empty();
-  }
-  return !out->rules.empty();
-}
-
-// ---------------------------------------------------------------------------
-// Rules
-// ---------------------------------------------------------------------------
-
-void CheckBannedSymbols(const std::string& path, const std::string& code,
-                        const LineIndex& lines,
-                        std::vector<Finding>* findings) {
-  struct Banned {
-    const char* word;
-    bool call_only;  // require a following '('
-    const char* message;
-  };
-  static const Banned kBanned[] = {
-      {"random_device", false,
-       "std::random_device is nondeterministic; derive streams from the run "
-       "seed via DeriveRng (common/rng.h)"},
-      {"rand", true,
-       "rand() is nondeterministic across platforms; use the seeded Rng "
-       "streams from common/rng.h"},
-      {"srand", true,
-       "srand() seeds hidden global state; use per-item DeriveRng streams "
-       "instead"},
-      {"time", true,
-       "time() reads the wall clock; inject a Clock (common/clock.h) so the "
-       "call is fake-clock-testable"},
-  };
-  for (const Banned& banned : kBanned) {
-    const std::string word = banned.word;
-    for (size_t pos = code.find(word); pos != std::string::npos;
-         pos = code.find(word, pos + 1)) {
-      if (!IsWordAt(code, pos, word)) continue;
-      if (banned.call_only) {
-        const size_t next = SkipSpaces(code, pos + word.size());
-        if (next >= code.size() || code[next] != '(') continue;
-      }
-      findings->push_back({path, lines.LineAt(pos), kRuleBannedSymbol,
-                           banned.message});
-    }
-  }
-  // Unseeded std::mt19937: a declaration with no constructor argument
-  // falls back to the default seed on every platform differently enough
-  // to matter — and hides the stream from the replay machinery.
-  for (const std::string& engine : {std::string("mt19937"),
-                                    std::string("mt19937_64")}) {
-    for (size_t pos = code.find(engine); pos != std::string::npos;
-         pos = code.find(engine, pos + 1)) {
-      if (!IsWordAt(code, pos, engine)) continue;
-      size_t cursor = SkipSpaces(code, pos + engine.size());
-      if (cursor < code.size() &&
-          (code[cursor] == '>' || code[cursor] == '*' || code[cursor] == '&' ||
-           code[cursor] == ',' || code[cursor] == ')' ||
-           code[cursor] == ':')) {
-        continue;  // template argument, pointer/ref type, or qualifier use
-      }
-      size_t end = 0;
-      const std::string name = ReadIdent(code, cursor, &end);
-      if (!name.empty()) cursor = SkipSpaces(code, end);
-      bool unseeded = false;
-      if (cursor < code.size() && code[cursor] == ';') {
-        unseeded = !name.empty();
-      } else if (cursor < code.size() &&
-                 (code[cursor] == '(' || code[cursor] == '{')) {
-        const char open = code[cursor];
-        const char close = open == '(' ? ')' : '}';
-        const size_t inner = SkipSpaces(code, cursor + 1);
-        unseeded = inner < code.size() && code[inner] == close;
-      }
-      if (unseeded) {
-        findings->push_back(
-            {path, lines.LineAt(pos), kRuleBannedSymbol,
-             "unseeded std::" + engine +
-                 " uses the default seed; seed it from a DeriveRng stream"});
-      }
-    }
-  }
-}
-
-void CheckRawClock(const std::string& path, const std::string& code,
-                   const LineIndex& lines, std::vector<Finding>* findings) {
-  static const char* kClocks[] = {"steady_clock", "system_clock",
-                                  "high_resolution_clock"};
-  for (const char* clock : kClocks) {
-    const std::string word = clock;
-    for (size_t pos = code.find(word); pos != std::string::npos;
-         pos = code.find(word, pos + 1)) {
-      if (!IsWordAt(code, pos, word)) continue;
-      size_t cursor = SkipSpaces(code, pos + word.size());
-      if (code.compare(cursor, 2, "::") != 0) continue;
-      cursor = SkipSpaces(code, cursor + 2);
-      if (!IsWordAt(code, cursor, "now")) continue;
-      cursor = SkipSpaces(code, cursor + 3);
-      if (cursor >= code.size() || code[cursor] != '(') continue;
-      findings->push_back(
-          {path, lines.LineAt(pos), kRuleRawClock,
-           std::string(clock) +
-               "::now() bypasses the injectable Clock; call "
-               "Clock::System()->NowMicros() (common/clock.h) so tests can "
-               "substitute a FakeClock"});
-    }
-  }
-}
-
-void CheckUnorderedSerialization(const std::string& path,
-                                 const std::string& code,
-                                 const LineIndex& lines,
-                                 const SymbolRegistry& registry,
-                                 std::vector<Finding>* findings) {
-  static const char* kSinks[] = {"<<",           ".append(", "push_back(",
-                                 "emplace_back(", "+=",       "WriteFile",
-                                 "SaveJsonl",     "Serialize", "ToJson"};
-  for (size_t pos = code.find("for"); pos != std::string::npos;
-       pos = code.find("for", pos + 1)) {
-    if (!IsWordAt(code, pos, "for")) continue;
-    const size_t open = SkipSpaces(code, pos + 3);
-    if (open >= code.size() || code[open] != '(') continue;
-    const size_t after = SkipBalanced(code, open, '(', ')');
-    if (after == std::string::npos) continue;
-    const std::string header = code.substr(open + 1, after - open - 2);
-    // Locate the range-for ':' at top level (':' but not '::').
-    size_t colon = std::string::npos;
-    int depth = 0;
-    for (size_t i = 0; i < header.size(); ++i) {
-      const char c = header[i];
-      if (c == '(' || c == '<' || c == '[' || c == '{') ++depth;
-      if (c == ')' || c == '>' || c == ']' || c == '}') --depth;
-      if (c == ':' && depth == 0) {
-        const bool double_colon =
-            (i + 1 < header.size() && header[i + 1] == ':') ||
-            (i > 0 && header[i - 1] == ':');
-        if (!double_colon) {
-          colon = i;
-          break;
-        }
-      }
-    }
-    if (colon == std::string::npos) continue;
-    const std::string range = header.substr(colon + 1);
-    bool unordered = range.find("unordered_") != std::string::npos;
-    for (const std::string& symbol : registry.unordered_symbols) {
-      if (unordered) break;
-      for (size_t s = range.find(symbol); s != std::string::npos;
-           s = range.find(symbol, s + 1)) {
-        if (IsWordAt(range, s, symbol)) {
-          unordered = true;
-          break;
-        }
-      }
-    }
-    if (!unordered) continue;
-    // Body extent: a braced block or a single statement.
-    size_t body_begin = SkipSpaces(code, after);
-    size_t body_end;
-    if (body_begin < code.size() && code[body_begin] == '{') {
-      body_end = SkipBalanced(code, body_begin, '{', '}');
-      if (body_end == std::string::npos) continue;
-    } else {
-      body_end = code.find(';', body_begin);
-      if (body_end == std::string::npos) continue;
-    }
-    const std::string body = code.substr(body_begin, body_end - body_begin);
-    for (const char* sink : kSinks) {
-      if (body.find(sink) != std::string::npos) {
-        findings->push_back(
-            {path, lines.LineAt(pos), kRuleUnorderedSerialization,
-             "iteration order of an unordered container reaches an "
-             "order-sensitive sink ('" + std::string(sink) +
-                 "'); copy to a sorted container first or justify with "
-                 "COACHLM_LINT_ALLOW"});
-        break;
-      }
-    }
-  }
-}
-
-void CheckUnsafeFunctions(const std::string& path, const std::string& code,
-                          const LineIndex& lines,
-                          std::vector<Finding>* findings) {
-  struct Unsafe {
-    const char* name;
-    const char* replacement;
-  };
-  static const Unsafe kUnsafe[] = {
-      {"strcpy", "std::string assignment"},
-      {"sprintf", "std::snprintf or std::string formatting"},
-      {"atoi", "ParseInt with a typed Status (flags.cc idiom)"},
-      {"gets", "std::getline"},
-  };
-  for (const Unsafe& fn : kUnsafe) {
-    const std::string word = fn.name;
-    for (size_t pos = code.find(word); pos != std::string::npos;
-         pos = code.find(word, pos + 1)) {
-      if (!IsWordAt(code, pos, word)) continue;
-      const size_t next = SkipSpaces(code, pos + word.size());
-      if (next >= code.size() || code[next] != '(') continue;
-      findings->push_back({path, lines.LineAt(pos), kRuleUnsafeFn,
-                           word + "() is unbounded/untyped; use " +
-                               fn.replacement});
-    }
-  }
-}
-
-void CheckDiscardedStatus(const std::string& path, const std::string& code,
-                          const std::vector<std::string>& raw_lines,
-                          const LineIndex& lines,
-                          const SymbolRegistry& registry,
-                          std::vector<Finding>* findings) {
-  int paren = 0;
-  size_t stmt_start = std::string::npos;
-  auto process = [&](size_t begin, size_t end) {
-    const std::string stmt = strings::Trim(code.substr(begin, end - begin));
-    if (stmt.empty()) return;
-    size_t ident_end = 0;
-    const std::string first = ReadIdent(stmt, 0, &ident_end);
-    if (!first.empty() && StatementKeywords().count(first) > 0) return;
-    std::string rest = stmt;
-    bool voided = false;
-    if (stmt[0] == '(') {
-      // A leading (void) cast marks an intentional drop — but only with an
-      // adjacent comment saying why.
-      const size_t cast_end = SkipBalanced(stmt, 0, '(', ')');
-      if (cast_end == std::string::npos) return;
-      if (strings::Trim(stmt.substr(1, cast_end - 2)) != "void") return;
-      voided = true;
-      rest = strings::Trim(stmt.substr(cast_end));
-    }
-    const std::string called = CalledName(rest);
-    if (called.empty() || registry.status_functions.count(called) == 0) {
-      return;
-    }
-    const size_t line = lines.LineAt(begin);
-    if (!voided) {
-      findings->push_back(
-          {path, line, kRuleDiscardedStatus,
-           "return value of '" + called +
-               "' (Status/Result) is silently discarded; handle it, "
-               "COACHLM_RETURN_NOT_OK it, or cast to (void) with a comment "
-               "explaining why the drop is safe"});
-    } else if (!HasExplainingComment(raw_lines, line)) {
-      findings->push_back(
-          {path, line, kRuleDiscardedStatus,
-           "(void)-discarded Status/Result of '" + called +
-               "' needs an adjacent comment explaining why the drop is "
-               "safe"});
-    }
-  };
-  for (size_t i = 0; i < code.size(); ++i) {
-    const char c = code[i];
-    if (IsSpaceChar(c)) continue;
-    if (stmt_start == std::string::npos && paren == 0 && c != ';' &&
-        c != '{' && c != '}') {
-      stmt_start = i;
-    }
-    if (c == '(' || c == '[') ++paren;
-    if ((c == ')' || c == ']') && paren > 0) --paren;
-    if (paren == 0 && (c == ';' || c == '{' || c == '}')) {
-      if (c == ';' && stmt_start != std::string::npos) {
-        process(stmt_start, i);
-      }
-      stmt_start = std::string::npos;
-    }
-  }
-}
-
-void CheckIncludeHygiene(const std::string& path,
-                         const std::vector<std::string>& raw_lines,
-                         bool treat_as_header,
-                         std::vector<Finding>* findings) {
-  // C headers with C++ replacements; <cstdio> et al. keep symbols in std::.
-  static const std::map<std::string, std::string> kCHeaders = {
-      {"assert.h", "cassert"}, {"ctype.h", "cctype"},
-      {"errno.h", "cerrno"},   {"float.h", "cfloat"},
-      {"limits.h", "climits"}, {"math.h", "cmath"},
-      {"signal.h", "csignal"}, {"stdarg.h", "cstdarg"},
-      {"stddef.h", "cstddef"}, {"stdint.h", "cstdint"},
-      {"stdio.h", "cstdio"},   {"stdlib.h", "cstdlib"},
-      {"string.h", "cstring"}, {"time.h", "ctime"},
-  };
-  std::map<std::string, size_t> seen_includes;
-  std::string guard;
-  size_t guard_line = 0;
-  for (size_t i = 0; i < raw_lines.size(); ++i) {
-    const std::string line = strings::Trim(raw_lines[i]);
-    if (guard.empty() && strings::StartsWith(line, "#ifndef ")) {
-      guard = strings::Trim(line.substr(8));
-      guard_line = i + 1;
-    }
-    if (!strings::StartsWith(line, "#include")) continue;
-    const std::string target = strings::Trim(line.substr(8));
-    if (target.empty()) continue;
-    auto duplicate = seen_includes.find(target);
-    if (duplicate != seen_includes.end()) {
-      findings->push_back({path, i + 1, kRuleIncludeHygiene,
-                           "duplicate #include of " + target +
-                               " (first at line " +
-                               std::to_string(duplicate->second) + ")"});
-    } else {
-      seen_includes.emplace(target, i + 1);
-    }
-    if (target.size() > 2 && target.front() == '<') {
-      const std::string name = target.substr(1, target.find('>') - 1);
-      auto c_header = kCHeaders.find(name);
-      if (c_header != kCHeaders.end()) {
-        findings->push_back({path, i + 1, kRuleIncludeHygiene,
-                             "C header <" + name + "> pollutes the global "
-                             "namespace; include <" + c_header->second +
-                                 "> instead"});
-      }
-    }
-  }
-  if (treat_as_header) {
-    if (guard.empty()) {
-      findings->push_back({path, 1, kRuleIncludeHygiene,
-                           "header is missing a COACHLM_*_H_ include "
-                           "guard"});
-    } else if (!strings::StartsWith(guard, "COACHLM_") ||
-               !strings::EndsWith(guard, "_H_")) {
-      findings->push_back({path, guard_line, kRuleIncludeHygiene,
-                           "include guard '" + guard +
-                               "' must match COACHLM_<PATH>_H_"});
-    }
-  }
-}
-
-std::vector<Finding> ApplySuppressions(
-    std::vector<Finding> findings, const std::vector<std::string>& raw_lines) {
-  std::vector<Finding> out;
-  for (Finding& finding : findings) {
-    bool handled = false;
-    for (size_t line = finding.line;
-         line + 1 >= finding.line && line >= 1 && !handled; --line) {
-      if (line > raw_lines.size()) continue;
-      Suppression suppression;
-      if (!ParseSuppression(raw_lines[line - 1], &suppression)) continue;
-      if (suppression.rules.count(finding.rule) == 0) continue;
-      if (suppression.has_justification) {
-        handled = true;  // suppressed
-      } else {
-        out.push_back({finding.file, line, kRuleSuppressionJustification,
-                       "COACHLM_LINT_ALLOW(" + finding.rule +
-                           ") requires ': <justification>' stating why the "
-                           "violation is safe"});
-        handled = true;
-      }
-    }
-    if (!handled) out.push_back(std::move(finding));
-  }
-  return out;
-}
 
 bool IsSourceExtension(const std::string& path) {
   return strings::EndsWith(path, ".cc") || strings::EndsWith(path, ".cpp") ||
@@ -698,9 +39,83 @@ bool IsClockExempt(const std::string& path) {
          strings::EndsWith(path, "common/clock.cc");
 }
 
+/// The canonical registry sources define every name once, so their own
+/// literals are declarations, not call sites to cross-check.
+bool IsRegistrySource(const std::string& path) {
+  return strings::EndsWith(path, "common/metrics.cc") ||
+         strings::EndsWith(path, "common/fault.cc");
+}
+
 bool SkippedDirectory(const std::string& name) {
   return strings::StartsWith(name, "build") || name == ".git" ||
          name == "lint_fixtures" || name == "third_party";
+}
+
+LintOptions MakeOptions(const std::string& path,
+                        const SymbolRegistry& registry) {
+  LintOptions options;
+  options.registry = registry;
+  options.logical_path = LogicalPath(path);
+  options.treat_as_header = IsHeaderPath(options.logical_path);
+  options.clock_exempt = IsClockExempt(options.logical_path);
+  return options;
+}
+
+/// "serve.accept" -> "kServeAccept": the FaultSite enum-constant spelling
+/// of a canonical site name, so a site referenced only through the enum
+/// (the common case — string names are for CLI specs and metric labels)
+/// still counts as used.
+std::string FaultSiteEnumIdent(const std::string& name) {
+  std::string ident = "k";
+  bool upper = true;
+  for (const char c : name) {
+    if (c == '.' || c == '_' || c == '-') {
+      upper = true;
+      continue;
+    }
+    ident += upper ? static_cast<char>(std::toupper(
+                         static_cast<unsigned char>(c)))
+                   : c;
+    upper = false;
+  }
+  return ident;
+}
+
+bool ContainsWord(const std::string& code, const std::string& word) {
+  for (size_t pos = code.find(word); pos != std::string::npos;
+       pos = code.find(word, pos + 1)) {
+    if (IsWordAt(code, pos, word)) return true;
+  }
+  return false;
+}
+
+/// Reverse registry drift: names registered in the canonical source that no
+/// scanned file references. A name counts as used when a literal matches
+/// it exactly, or when a dot-terminated literal is a prefix of it — the
+/// `"runtime.quarantined." + FaultSiteToString(site)` construction pattern.
+void AppendUnusedNameWarnings(
+    const std::map<std::string, RegisteredName>& names,
+    const std::string& registry_path, const char* kind,
+    const char* fix_hint, const std::set<std::string>& used_literals,
+    const std::vector<std::string>& used_prefixes,
+    std::vector<Finding>* warnings) {
+  for (const auto& [name, registered] : names) {
+    if (used_literals.count(name) > 0) continue;
+    bool prefixed = false;
+    for (const std::string& prefix : used_prefixes) {
+      if (name.size() > prefix.size() &&
+          name.compare(0, prefix.size(), prefix) == 0) {
+        prefixed = true;
+        break;
+      }
+    }
+    if (prefixed) continue;
+    warnings->push_back({registry_path, registered.line,
+                         kRuleRegistryUnusedName,
+                         std::string(kind) + " \"" + name +
+                             "\" is registered but never referenced from "
+                             "the scanned tree; " + fix_hint});
+  }
 }
 
 }  // namespace
@@ -710,78 +125,9 @@ std::string FormatFinding(const Finding& finding) {
          finding.rule + "] " + finding.message;
 }
 
-void HarvestDeclarations(const std::string& content, SymbolRegistry* registry,
-                         bool include_locals) {
-  const std::string code =
-      BlankPreprocessor(StripCommentsAndStrings(content));
-  // Status F(  /  Result<T> F(  /  Status C::F(  declarations.
-  for (const std::string& ret : {std::string("Status"),
-                                 std::string("Result")}) {
-    for (size_t pos = code.find(ret); pos != std::string::npos;
-         pos = code.find(ret, pos + 1)) {
-      if (!IsWordAt(code, pos, ret)) continue;
-      size_t cursor = SkipSpaces(code, pos + ret.size());
-      if (ret == "Result") {
-        const size_t after = SkipAngles(code, cursor);
-        if (after == std::string::npos) continue;
-        cursor = SkipSpaces(code, after);
-      }
-      // Walk a possibly qualified name: Ident (:: Ident)* '('.
-      std::string last;
-      while (true) {
-        size_t end = 0;
-        const std::string ident = ReadIdent(code, cursor, &end);
-        if (ident.empty()) break;
-        last = ident;
-        cursor = SkipSpaces(code, end);
-        if (code.compare(cursor, 2, "::") == 0) {
-          cursor = SkipSpaces(code, cursor + 2);
-          continue;
-        }
-        break;
-      }
-      if (last.empty() || last == "operator") continue;
-      if (cursor < code.size() && code[cursor] == '(') {
-        registry->status_functions.insert(last);
-      }
-    }
-  }
-  // unordered_map< / unordered_set< declarations (members, locals, and
-  // functions returning references to them).
-  for (const std::string& container : {std::string("unordered_map"),
-                                       std::string("unordered_set")}) {
-    for (size_t pos = code.find(container); pos != std::string::npos;
-         pos = code.find(container, pos + 1)) {
-      if (!IsWordAt(code, pos, container)) continue;
-      size_t cursor = SkipSpaces(code, pos + container.size());
-      const size_t after = SkipAngles(code, cursor);
-      if (after == std::string::npos) continue;
-      cursor = SkipSpaces(code, after);
-      while (cursor < code.size() &&
-             (code[cursor] == '&' || code[cursor] == '*')) {
-        cursor = SkipSpaces(code, cursor + 1);
-      }
-      size_t end = 0;
-      const std::string name = ReadIdent(code, cursor, &end);
-      if (name.empty() || name == "const") continue;
-      // Only cross-file-visible names go into a shared registry: functions
-      // returning unordered containers and `name_` members. Plain locals
-      // are harvested per file, so `words` being an unordered_set in one
-      // translation unit cannot flag a vector of the same name elsewhere.
-      const bool is_function =
-          SkipSpaces(code, end) < code.size() &&
-          code[SkipSpaces(code, end)] == '(';
-      const bool is_member = strings::EndsWith(name, "_");
-      if (include_locals || is_function || is_member) {
-        registry->unordered_symbols.insert(name);
-      }
-    }
-  }
-}
-
-std::vector<Finding> LintContent(const std::string& path,
-                                 const std::string& content,
-                                 const LintOptions& options) {
+FileReport LintContentReport(const std::string& path,
+                             const std::string& content,
+                             const LintOptions& options) {
   const std::vector<std::string> raw_lines = SplitRawLines(content);
   const std::string code =
       BlankPreprocessor(StripCommentsAndStrings(content));
@@ -796,23 +142,42 @@ std::vector<Finding> LintContent(const std::string& path,
   CheckDiscardedStatus(path, code, raw_lines, lines, options.registry,
                        &findings);
   CheckIncludeHygiene(path, raw_lines, options.treat_as_header, &findings);
-  findings = ApplySuppressions(std::move(findings), raw_lines);
-  std::sort(findings.begin(), findings.end());
-  findings.erase(std::unique(findings.begin(), findings.end()),
-                 findings.end());
-  return findings;
+  CheckGuardedFields(path, options.logical_path, code, lines,
+                     options.registry, &findings);
+  CheckCancellationPropagation(path, code, lines, options.registry,
+                               &findings);
+  if (!IsRegistrySource(options.logical_path)) {
+    // The registry pass reads literals, which the other passes never see.
+    const std::string code_with_strings = StripComments(content);
+    const LineIndex string_lines(code_with_strings);
+    CheckRegistryNames(path, code_with_strings, string_lines,
+                       options.registry, &findings);
+  }
+  SuppressionOutcome outcome =
+      ApplySuppressions(std::move(findings), raw_lines);
+  FileReport report;
+  report.findings = std::move(outcome.findings);
+  report.suppressions_used = outcome.suppressions_used;
+  std::sort(report.findings.begin(), report.findings.end());
+  report.findings.erase(
+      std::unique(report.findings.begin(), report.findings.end()),
+      report.findings.end());
+  return report;
+}
+
+std::vector<Finding> LintContent(const std::string& path,
+                                 const std::string& content,
+                                 const LintOptions& options) {
+  return LintContentReport(path, content, options).findings;
 }
 
 Result<std::vector<Finding>> LintFile(const std::string& path,
                                       const SymbolRegistry& registry) {
   auto content = json::ReadFile(path);
   if (!content.ok()) return content.status();
-  LintOptions options;
-  options.registry = registry;
-  const std::string logical = LogicalPath(path);
-  options.treat_as_header = IsHeaderPath(logical);
-  options.clock_exempt = IsClockExempt(logical);
-  HarvestDeclarations(*content, &options.registry);
+  LintOptions options = MakeOptions(path, registry);
+  HarvestDeclarations(*content, &options.registry, /*include_locals=*/true,
+                      options.logical_path);
   return LintContent(path, *content, options);
 }
 
@@ -852,32 +217,83 @@ Result<TreeReport> LintTree(const std::vector<std::string>& roots) {
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
   // Pass 1: harvest every file so cross-file calls resolve (a .cc calling
-  // a Status API declared in another header).
+  // a Status API declared in another header), guarded-field annotations
+  // bind to their declaring file, and the canonical name registries load.
   SymbolRegistry registry;
   std::map<std::string, std::string> contents;
+  std::string metric_registry_path, fault_registry_path;
   for (const std::string& file : files) {
     auto content = json::ReadFile(file);
     if (!content.ok()) return content.status();
-    HarvestDeclarations(*content, &registry, /*include_locals=*/false);
+    const std::string logical = LogicalPath(file);
+    HarvestDeclarations(*content, &registry, /*include_locals=*/false,
+                        logical);
+    HarvestNameRegistries(logical, *content, &registry);
+    if (strings::EndsWith(logical, "common/metrics.cc")) {
+      metric_registry_path = file;
+    } else if (strings::EndsWith(logical, "common/fault.cc")) {
+      fault_registry_path = file;
+    }
     contents.emplace(file, std::move(*content));
   }
   // Pass 2: lint, with each file's own locals layered on the shared
-  // registry.
+  // registry; collect the literal pool for the reverse-drift warnings.
   TreeReport report;
   report.files_scanned = files.size();
+  std::set<std::string> used_literals;
+  std::vector<std::string> used_prefixes;
+  std::set<std::string> enum_used_fault_sites;
   for (const std::string& file : files) {
-    LintOptions options;
-    options.registry = registry;
-    const std::string logical = LogicalPath(file);
-    options.treat_as_header = IsHeaderPath(logical);
-    options.clock_exempt = IsClockExempt(logical);
-    HarvestDeclarations(contents[file], &options.registry);
-    const std::vector<Finding> findings =
-        LintContent(file, contents[file], options);
-    report.findings.insert(report.findings.end(), findings.begin(),
-                           findings.end());
+    LintOptions options = MakeOptions(file, registry);
+    HarvestDeclarations(contents[file], &options.registry,
+                        /*include_locals=*/true, options.logical_path);
+    const FileReport file_report =
+        LintContentReport(file, contents[file], options);
+    report.findings.insert(report.findings.end(),
+                           file_report.findings.begin(),
+                           file_report.findings.end());
+    report.suppressions_used += file_report.suppressions_used;
+    if (!IsRegistrySource(options.logical_path)) {
+      const std::string with_strings = StripComments(contents[file]);
+      for (const StringLiteral& literal :
+           ExtractStringLiterals(with_strings)) {
+        used_literals.insert(literal.value);
+        if (!literal.value.empty() && literal.value.back() == '.') {
+          used_prefixes.push_back(literal.value);
+        }
+      }
+      // Fault sites are mostly referenced via FaultSite::kFoo enum
+      // constants, not strings. Count those as uses — except inside the
+      // enum's own declaring header, which names every constant by
+      // definition.
+      if (!strings::EndsWith(options.logical_path, "common/fault.h")) {
+        for (const auto& [name, registered] : registry.fault_sites) {
+          if (enum_used_fault_sites.count(name) > 0) continue;
+          if (ContainsWord(with_strings, FaultSiteEnumIdent(name))) {
+            enum_used_fault_sites.insert(name);
+          }
+        }
+      }
+    }
+  }
+  if (registry.metric_registry_loaded && !metric_registry_path.empty()) {
+    AppendUnusedNameWarnings(
+        registry.metric_names, metric_registry_path, "metric",
+        "remove the MetricCatalog row or wire up the instrument",
+        used_literals, used_prefixes, &report.warnings);
+  }
+  if (registry.fault_registry_loaded && !fault_registry_path.empty()) {
+    std::set<std::string> fault_used = used_literals;
+    fault_used.insert(enum_used_fault_sites.begin(),
+                      enum_used_fault_sites.end());
+    AppendUnusedNameWarnings(
+        registry.fault_sites, fault_registry_path, "fault-site name",
+        "remove the kSiteNames entry or reference the site (string or "
+        "FaultSite:: enum use both count)",
+        fault_used, used_prefixes, &report.warnings);
   }
   std::sort(report.findings.begin(), report.findings.end());
+  std::sort(report.warnings.begin(), report.warnings.end());
   return report;
 }
 

@@ -1,84 +1,20 @@
 #ifndef COACHLM_TOOLS_LINT_LINT_H_
 #define COACHLM_TOOLS_LINT_LINT_H_
 
-#include <set>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "lint/registry.h"
+#include "lint/rules.h"
 
 namespace coachlm {
 namespace lint {
 
-/// \name Rule identifiers.
-///
-/// The repo's two machine-checked contracts — byte-identical determinism
-/// under any thread count / fault plan / resume, and typed-Status error
-/// propagation — are enforced by the determinism-* and error-* rules; the
-/// remaining rules keep the tree free of the C footguns and include drift
-/// that erode them over time.
-/// @{
-inline constexpr char kRuleBannedSymbol[] = "determinism-banned-symbol";
-inline constexpr char kRuleRawClock[] = "determinism-raw-clock";
-inline constexpr char kRuleUnorderedSerialization[] =
-    "determinism-unordered-serialization";
-inline constexpr char kRuleDiscardedStatus[] = "error-discarded-status";
-inline constexpr char kRuleUnsafeFn[] = "banned-unsafe-fn";
-inline constexpr char kRuleIncludeHygiene[] = "include-hygiene";
-inline constexpr char kRuleSuppressionJustification[] =
-    "suppression-missing-justification";
-/// @}
-
-/// \brief One lint hit: a rule violated at a specific source location.
-struct Finding {
-  std::string file;
-  size_t line = 0;  ///< 1-based.
-  std::string rule;
-  std::string message;
-
-  bool operator==(const Finding& other) const {
-    return file == other.file && line == other.line && rule == other.rule &&
-           message == other.message;
-  }
-  bool operator<(const Finding& other) const {
-    if (file != other.file) return file < other.file;
-    if (line != other.line) return line < other.line;
-    if (rule != other.rule) return rule < other.rule;
-    return message < other.message;
-  }
-};
-
 /// Renders a finding as `file:line: [rule] message` — the stable format
 /// asserted by lint_test and parsed by editors.
 std::string FormatFinding(const Finding& finding);
-
-/// \brief Cross-file knowledge the rules need: which functions return a
-/// Status/Result (so a bare call statement discards an error) and which
-/// identifiers name unordered containers (so iterating them into a
-/// serialized sink is order-nondeterministic).
-///
-/// The driver harvests every scanned file into one shared registry before
-/// linting, mirroring how the pipeline itself builds its rule store before
-/// revising (coach/pipeline.cc).
-struct SymbolRegistry {
-  std::set<std::string> status_functions;
-  std::set<std::string> unordered_symbols;
-};
-
-/// Scans \p content (a header or source file) and adds declarations to
-/// \p registry: `Status F(...)` / `Result<T> F(...)` functions (including
-/// qualified definitions `Status C::F(...)`) and identifiers declared with
-/// `std::unordered_map` / `std::unordered_set` types.
-///
-/// With \p include_locals false, only cross-file-visible unordered symbols
-/// are kept — functions returning unordered containers and `name_` members
-/// — so a local named `words` in one file cannot poison the lint of an
-/// unrelated file that reuses the name for a vector. The tree driver
-/// harvests every file with include_locals=false into the shared registry,
-/// then re-harvests each file with its own locals just before linting it.
-void HarvestDeclarations(const std::string& content, SymbolRegistry* registry,
-                         bool include_locals = true);
 
 /// \brief Per-file lint configuration.
 struct LintOptions {
@@ -89,6 +25,16 @@ struct LintOptions {
   /// src/common/clock.{h,cc} are the one sanctioned home of raw
   /// `*_clock::now()`; the driver exempts them from determinism-raw-clock.
   bool clock_exempt = false;
+  /// Path with any fixture `.snippet` suffix stripped — what rule scoping
+  /// (guarded-field partner files, registry-source exemptions) matches on.
+  std::string logical_path;
+};
+
+/// \brief Findings for one file plus how many ALLOW suppressions fired,
+/// which the --max-allows budget counts across the tree.
+struct FileReport {
+  std::vector<Finding> findings;  ///< Sorted by (file, line, rule).
+  size_t suppressions_used = 0;
 };
 
 /// Lints \p content, returning findings sorted by (file, line, rule).
@@ -96,27 +42,38 @@ struct LintOptions {
 /// above) carries `// COACHLM_LINT_ALLOW(rule): justification` is dropped;
 /// an ALLOW with an empty justification becomes a
 /// suppression-missing-justification finding instead.
+FileReport LintContentReport(const std::string& path,
+                             const std::string& content,
+                             const LintOptions& options);
+
+/// Findings-only convenience wrapper around LintContentReport.
 std::vector<Finding> LintContent(const std::string& path,
                                  const std::string& content,
                                  const LintOptions& options);
 
-/// Reads and lints one file. Header-ness and the clock exemption are
-/// derived from \p path; the file's own declarations are harvested on top
-/// of \p registry before linting.
+/// Reads and lints one file. Header-ness, the clock exemption, and the
+/// logical path are derived from \p path; the file's own declarations are
+/// harvested on top of \p registry before linting.
 Result<std::vector<Finding>> LintFile(const std::string& path,
                                       const SymbolRegistry& registry);
 
 /// \brief Outcome of linting a set of roots.
 struct TreeReport {
   std::vector<Finding> findings;  ///< Sorted by (file, line, rule).
+  /// Advisory diagnostics that never affect the exit code — today the
+  /// registry-unused-name reverse-drift check (a registered metric or
+  /// fault-site name no scanned file references).
+  std::vector<Finding> warnings;
   size_t files_scanned = 0;
+  size_t suppressions_used = 0;  ///< ALLOWs applied, for --max-allows.
 };
 
 /// Walks \p roots (files or directories, recursively; only
 /// .cc/.h/.cpp/.hpp are linted; build*/.git/lint_fixtures directories are
-/// skipped), harvests declarations from every file, then lints each one.
-/// File order — and therefore output order — is sorted, so the tool itself
-/// is deterministic.
+/// skipped), harvests declarations and the canonical metric/fault-site
+/// registries from every file, then lints each one. File order — and
+/// therefore output order — is sorted, so the tool itself is
+/// deterministic.
 Result<TreeReport> LintTree(const std::vector<std::string>& roots);
 
 }  // namespace lint

@@ -1,0 +1,210 @@
+#include "lint/registry.h"
+
+#include "lint/lexer.h"
+#include "text/string_util.h"
+
+namespace coachlm {
+namespace lint {
+namespace {
+
+/// Last identifier word in an annotation argument: "mu_" for "mu_",
+/// "mu" for "state->mu" or "foo.mu".
+std::string TerminalIdent(const std::string& text) {
+  size_t end = text.size();
+  while (end > 0 && !IsIdentChar(text[end - 1])) --end;
+  size_t begin = end;
+  while (begin > 0 && IsIdentChar(text[begin - 1])) --begin;
+  return text.substr(begin, end - begin);
+}
+
+/// Harvests `ident COACHLM_GUARDED_BY(expr)` field annotations.
+void HarvestGuardedFields(const std::string& code, const LineIndex& lines,
+                          const std::string& logical_path,
+                          SymbolRegistry* registry) {
+  static const std::string kMacro = "COACHLM_GUARDED_BY";
+  for (size_t pos = code.find(kMacro); pos != std::string::npos;
+       pos = code.find(kMacro, pos + 1)) {
+    if (!IsWordAt(code, pos, kMacro)) continue;
+    const size_t open = SkipSpaces(code, pos + kMacro.size());
+    if (open >= code.size() || code[open] != '(') continue;
+    const size_t after = SkipBalanced(code, open, '(', ')');
+    if (after == std::string::npos) continue;
+    const std::string mutex_key =
+        TerminalIdent(code.substr(open + 1, after - open - 2));
+    if (mutex_key.empty()) continue;
+    // The annotated field is the identifier immediately before the macro.
+    size_t end = pos;
+    while (end > 0 && IsSpaceChar(code[end - 1])) --end;
+    size_t begin = end;
+    while (begin > 0 && IsIdentChar(code[begin - 1])) --begin;
+    if (begin == end) continue;
+    const std::string field = code.substr(begin, end - begin);
+    GuardedField guarded;
+    guarded.mutex_key = mutex_key;
+    guarded.declared_in = logical_path;
+    guarded.line = lines.LineAt(begin);
+    registry->guarded_fields.emplace(field, std::move(guarded));
+  }
+}
+
+}  // namespace
+
+void HarvestDeclarations(const std::string& content, SymbolRegistry* registry,
+                         bool include_locals,
+                         const std::string& logical_path) {
+  const std::string code =
+      BlankPreprocessor(StripCommentsAndStrings(content));
+  // Status F(  /  Result<T> F(  /  Status C::F(  declarations.
+  for (const std::string& ret : {std::string("Status"),
+                                 std::string("Result")}) {
+    for (size_t pos = code.find(ret); pos != std::string::npos;
+         pos = code.find(ret, pos + 1)) {
+      if (!IsWordAt(code, pos, ret)) continue;
+      size_t cursor = SkipSpaces(code, pos + ret.size());
+      if (ret == "Result") {
+        const size_t after = SkipAngles(code, cursor);
+        if (after == std::string::npos) continue;
+        cursor = SkipSpaces(code, after);
+      }
+      // Walk a possibly qualified name: Ident (:: Ident)* '('.
+      std::string last;
+      while (true) {
+        size_t end = 0;
+        const std::string ident = ReadIdent(code, cursor, &end);
+        if (ident.empty()) break;
+        last = ident;
+        cursor = SkipSpaces(code, end);
+        if (code.compare(cursor, 2, "::") == 0) {
+          cursor = SkipSpaces(code, cursor + 2);
+          continue;
+        }
+        break;
+      }
+      if (last.empty() || last == "operator") continue;
+      if (cursor < code.size() && code[cursor] == '(') {
+        registry->status_functions.insert(last);
+      }
+    }
+  }
+  // `void F(` declarations: names that collide with a Status-returning
+  // function elsewhere are ambiguous (see SymbolRegistry::void_functions).
+  {
+    static const std::string kVoid = "void";
+    for (size_t pos = code.find(kVoid); pos != std::string::npos;
+         pos = code.find(kVoid, pos + 1)) {
+      if (!IsWordAt(code, pos, kVoid)) continue;
+      size_t cursor = SkipSpaces(code, pos + kVoid.size());
+      std::string last;
+      while (true) {
+        size_t end = 0;
+        const std::string ident = ReadIdent(code, cursor, &end);
+        if (ident.empty()) break;
+        last = ident;
+        cursor = SkipSpaces(code, end);
+        if (code.compare(cursor, 2, "::") == 0) {
+          cursor = SkipSpaces(code, cursor + 2);
+          continue;
+        }
+        break;
+      }
+      if (last.empty() || last == "operator") continue;
+      if (cursor < code.size() && code[cursor] == '(') {
+        registry->void_functions.insert(last);
+      }
+    }
+  }
+  // unordered_map< / unordered_set< declarations (members, locals, and
+  // functions returning references to them).
+  for (const std::string& container : {std::string("unordered_map"),
+                                       std::string("unordered_set")}) {
+    for (size_t pos = code.find(container); pos != std::string::npos;
+         pos = code.find(container, pos + 1)) {
+      if (!IsWordAt(code, pos, container)) continue;
+      size_t cursor = SkipSpaces(code, pos + container.size());
+      const size_t after = SkipAngles(code, cursor);
+      if (after == std::string::npos) continue;
+      cursor = SkipSpaces(code, after);
+      while (cursor < code.size() &&
+             (code[cursor] == '&' || code[cursor] == '*')) {
+        cursor = SkipSpaces(code, cursor + 1);
+      }
+      size_t end = 0;
+      const std::string name = ReadIdent(code, cursor, &end);
+      if (name.empty() || name == "const") continue;
+      // Only cross-file-visible names go into a shared registry: functions
+      // returning unordered containers and `name_` members. Plain locals
+      // are harvested per file, so `words` being an unordered_set in one
+      // translation unit cannot flag a vector of the same name elsewhere.
+      const bool is_function =
+          SkipSpaces(code, end) < code.size() &&
+          code[SkipSpaces(code, end)] == '(';
+      const bool is_member = strings::EndsWith(name, "_");
+      if (include_locals || is_function || is_member) {
+        registry->unordered_symbols.insert(name);
+      }
+    }
+  }
+  const LineIndex lines(code);
+  HarvestGuardedFields(code, lines, logical_path, registry);
+}
+
+std::vector<RegisteredName> ExtractMetricCatalogNames(
+    const std::string& content) {
+  std::vector<RegisteredName> names;
+  const std::string code = StripComments(content);
+  const LineIndex lines(code);
+  // Find the catalog initializer: the brace block after "MetricCatalog".
+  size_t anchor = code.find("MetricCatalog");
+  if (anchor == std::string::npos) return names;
+  const size_t open = code.find('{', anchor);
+  if (open == std::string::npos) return names;
+  // Catalog rows are themselves brace-initializers whose first element is
+  // the metric name literal: {"revise.items_in", MetricType::..., ...}.
+  const size_t close = SkipBalanced(code, open, '{', '}');
+  const size_t end = close == std::string::npos ? code.size() : close;
+  const std::string block = code.substr(open, end - open);
+  for (const StringLiteral& literal : ExtractStringLiterals(block)) {
+    // A row's name literal directly follows its opening brace.
+    size_t before = literal.offset;
+    while (before > 0 && IsSpaceChar(block[before - 1])) --before;
+    if (before == 0 || block[before - 1] != '{') continue;
+    names.push_back({literal.value, lines.LineAt(open + literal.offset)});
+  }
+  return names;
+}
+
+std::vector<RegisteredName> ExtractFaultSiteNames(const std::string& content) {
+  std::vector<RegisteredName> names;
+  const std::string code = StripComments(content);
+  const LineIndex lines(code);
+  const size_t anchor = code.find("kSiteNames");
+  if (anchor == std::string::npos) return names;
+  const size_t open = code.find('{', anchor);
+  if (open == std::string::npos) return names;
+  const size_t close = SkipBalanced(code, open, '{', '}');
+  const size_t end = close == std::string::npos ? code.size() : close;
+  const std::string block = code.substr(open, end - open);
+  for (const StringLiteral& literal : ExtractStringLiterals(block)) {
+    names.push_back({literal.value, lines.LineAt(open + literal.offset)});
+  }
+  return names;
+}
+
+void HarvestNameRegistries(const std::string& logical_path,
+                           const std::string& content,
+                           SymbolRegistry* registry) {
+  if (strings::EndsWith(logical_path, "common/metrics.cc")) {
+    for (RegisteredName& name : ExtractMetricCatalogNames(content)) {
+      registry->metric_names.emplace(name.name, name);
+    }
+    registry->metric_registry_loaded = !registry->metric_names.empty();
+  } else if (strings::EndsWith(logical_path, "common/fault.cc")) {
+    for (RegisteredName& name : ExtractFaultSiteNames(content)) {
+      registry->fault_sites.emplace(name.name, name);
+    }
+    registry->fault_registry_loaded = !registry->fault_sites.empty();
+  }
+}
+
+}  // namespace lint
+}  // namespace coachlm

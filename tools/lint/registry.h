@@ -1,0 +1,112 @@
+#ifndef COACHLM_TOOLS_LINT_REGISTRY_H_
+#define COACHLM_TOOLS_LINT_REGISTRY_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace coachlm {
+namespace lint {
+
+/// \brief One COACHLM_GUARDED_BY-annotated field, harvested from the
+/// declaring file.
+///
+/// `mutex_key` is the terminal identifier of the annotation argument
+/// ("mu_" for COACHLM_GUARDED_BY(mu_), "mu" for
+/// COACHLM_GUARDED_BY(state->mu)), which is how lock scopes are matched:
+/// a lock_guard/unique_lock whose constructor arguments mention the word
+/// covers the field.
+struct GuardedField {
+  std::string mutex_key;
+  /// Logical path of the declaring file. The rule only checks the
+  /// declaring file and its header/source partner (foo.h <-> foo.cc):
+  /// guarded fields are private members, so any other file touching the
+  /// name is a different class's field, not an unlocked access.
+  std::string declared_in;
+  size_t line = 0;
+};
+
+/// \brief One canonical name (metric or fault site) with its declaration
+/// line in the registry source, for the unused-name warning.
+struct RegisteredName {
+  std::string name;
+  size_t line = 0;
+};
+
+/// \brief Cross-file knowledge the rules need.
+///
+/// The classic half: which functions return a Status/Result (so a bare
+/// call statement discards an error) and which identifiers name unordered
+/// containers (so iterating them into a serialized sink is
+/// order-nondeterministic). The v2 half: COACHLM_GUARDED_BY annotations
+/// and the canonical metric/fault-site name registries extracted from
+/// src/common/metrics.cc / src/common/fault.cc at analysis time, so a
+/// typo'd name literal is a finding instead of a silent runtime no-op.
+///
+/// The driver harvests every scanned file into one shared registry before
+/// linting, mirroring how the pipeline itself builds its rule store before
+/// revising (coach/pipeline.cc).
+struct SymbolRegistry {
+  std::set<std::string> status_functions;
+  /// Names also declared somewhere with a void return. The registry is
+  /// name-keyed, not type-aware, so a name in both sets is ambiguous —
+  /// e.g. WorkerSupervisor::Start returns Status while StallWatchdog::Start
+  /// returns void — and the discarded-status rule skips it rather than
+  /// flag every void call site. Genuine drops of the Status overload are
+  /// still caught at compile time ([[nodiscard]] Status + -Werror).
+  std::set<std::string> void_functions;
+  std::set<std::string> unordered_symbols;
+
+  /// field name -> guarded-by annotation. Field names are class-unique in
+  /// practice; declared_in scoping (see GuardedField) keeps a collision
+  /// from poisoning an unrelated file.
+  std::map<std::string, GuardedField> guarded_fields;
+
+  /// Canonical registries. `*_loaded` records whether the canonical
+  /// source file was scanned at all — a partial-tree run that never saw
+  /// metrics.cc must not flag every metric literal as unknown.
+  std::map<std::string, RegisteredName> metric_names;
+  std::map<std::string, RegisteredName> fault_sites;
+  bool metric_registry_loaded = false;
+  bool fault_registry_loaded = false;
+};
+
+/// Scans \p content (a header or source file) and adds declarations to
+/// \p registry: `Status F(...)` / `Result<T> F(...)` functions (including
+/// qualified definitions `Status C::F(...)`), identifiers declared with
+/// `std::unordered_map` / `std::unordered_set` types, and
+/// COACHLM_GUARDED_BY-annotated fields (recorded as declared in
+/// \p logical_path).
+///
+/// With \p include_locals false, only cross-file-visible unordered symbols
+/// are kept — functions returning unordered containers and `name_` members
+/// — so a local named `words` in one file cannot poison the lint of an
+/// unrelated file that reuses the name for a vector. The tree driver
+/// harvests every file with include_locals=false into the shared registry,
+/// then re-harvests each file with its own locals just before linting it.
+void HarvestDeclarations(const std::string& content, SymbolRegistry* registry,
+                         bool include_locals = true,
+                         const std::string& logical_path = "");
+
+/// Extracts the metric names from the MetricCatalog() initializer in
+/// src/common/metrics.cc: the first string literal of each catalog row.
+std::vector<RegisteredName> ExtractMetricCatalogNames(
+    const std::string& content);
+
+/// Extracts the canonical site names from the kSiteNames array in
+/// src/common/fault.cc.
+std::vector<RegisteredName> ExtractFaultSiteNames(const std::string& content);
+
+/// Detects the canonical registry sources by logical path suffix
+/// (common/metrics.cc, common/fault.cc) and loads their names into
+/// \p registry. Call once per file during the harvest pass.
+void HarvestNameRegistries(const std::string& logical_path,
+                           const std::string& content,
+                           SymbolRegistry* registry);
+
+}  // namespace lint
+}  // namespace coachlm
+
+#endif  // COACHLM_TOOLS_LINT_REGISTRY_H_
