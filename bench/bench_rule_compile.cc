@@ -1,0 +1,117 @@
+// Throughput gate for the compiled rule engine (docs/RULE_ENGINE.md).
+//
+// Trains one rule store, then revises the same corpus through both
+// engines — scan (per-rule table probing) and compiled (shared automaton +
+// fingerprint prefilter) — and reports compile cost, per-pair apply cost,
+// and the speedup. The revised datasets are hashed against each other, so
+// every run of the gate re-proves the byte-identity contract on a real
+// trained store before trusting the timing. CI appends the report line to
+// the BENCH_rules.json trajectory.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "coach/trainer.h"
+#include "common/execution.h"
+#include "lm/pair_text.h"
+#include "lm/rule_compile.h"
+
+using namespace coachlm;
+
+namespace {
+
+uint64_t HashDataset(const InstructionDataset& dataset) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const InstructionPair& pair : dataset) {
+    const std::string text = lm::SerializePair(pair);
+    for (unsigned char c : text) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Gate", "compiled rule engine: compile + apply cost");
+  const bench::World world = bench::BuildWorld(false);
+  const InstructionDataset& dataset = world.corpus.dataset;
+
+  coach::CoachConfig scan_config;
+  scan_config.alpha = 0.3;
+  scan_config.compiled_rules = false;
+  coach::CoachConfig compiled_config = scan_config;
+  compiled_config.compiled_rules = true;
+
+  std::fprintf(stderr, "[bench] coach tuning (both engines)...\n");
+  const coach::CoachLm scan_model =
+      coach::CoachTrainer(scan_config).Train(world.study.revisions);
+
+  // Compile cost: rebuild the compiled artifact repeatedly, the way every
+  // serve hot reload does.
+  constexpr int kCompileReps = 20;
+  double compile_seconds = 1e300;
+  for (int rep = 0; rep < kCompileReps; ++rep) {
+    compile_seconds = std::min(compile_seconds, bench::Seconds([&] {
+      const lm::CompiledRuleSet compiled(scan_model.rules(),
+                                         scan_config.min_rule_support);
+      if (compiled.num_patterns() == 0) std::abort();
+    }));
+  }
+  const coach::CoachLm compiled_model =
+      coach::CoachTrainer(compiled_config).Train(world.study.revisions);
+  const lm::CompiledRuleSet& artifact = *compiled_model.compiled_rules();
+  std::printf("rule store        : %zu patterns, %zu automaton states\n",
+              artifact.num_patterns(),
+              artifact.matcher_automaton().num_states());
+  std::printf("compile (best)    : %.3f ms\n", compile_seconds * 1e3);
+
+  // Apply cost over the corpus, engine vs engine; interleaved reps with an
+  // untimed warm-up, best-of like the other guards.
+  const ExecutionContext exec;
+  constexpr int kReps = 5;
+  double scan_seconds = 1e300, compiled_seconds = 1e300;
+  uint64_t scan_hash = 0, compiled_hash = 0;
+  scan_model.ReviseDataset(dataset, {}, nullptr, exec);
+  compiled_model.ReviseDataset(dataset, {}, nullptr, exec);
+  for (int rep = 0; rep < kReps; ++rep) {
+    scan_seconds = std::min(scan_seconds, bench::Seconds([&] {
+      scan_hash =
+          HashDataset(scan_model.ReviseDataset(dataset, {}, nullptr, exec));
+    }));
+    compiled_seconds = std::min(compiled_seconds, bench::Seconds([&] {
+      compiled_hash = HashDataset(
+          compiled_model.ReviseDataset(dataset, {}, nullptr, exec));
+    }));
+  }
+  if (scan_hash != compiled_hash) {
+    std::fprintf(stderr,
+                 "FAIL: engines diverged (scan %016llx, compiled %016llx)\n",
+                 static_cast<unsigned long long>(scan_hash),
+                 static_cast<unsigned long long>(compiled_hash));
+    return 1;
+  }
+  const double items = static_cast<double>(dataset.size());
+  const double speedup = scan_seconds / compiled_seconds;
+  std::printf("scan engine       : %.2f s (%.0f pairs/s)\n", scan_seconds,
+              items / scan_seconds);
+  std::printf("compiled engine   : %.2f s (%.0f pairs/s)\n",
+              compiled_seconds, items / compiled_seconds);
+  std::printf("speedup           : %.2fx (byte-identical output)\n",
+              speedup);
+
+  bench::Record("compile_ms", compile_seconds * 1e3, "ms");
+  bench::Record("automaton_states",
+                static_cast<double>(artifact.matcher_automaton().num_states()),
+                "states");
+  bench::Record("patterns", static_cast<double>(artifact.num_patterns()),
+                "patterns");
+  bench::Record("scan_pairs_per_s", items / scan_seconds, "pairs/s");
+  bench::Record("compiled_pairs_per_s", items / compiled_seconds, "pairs/s");
+  bench::Record("apply_speedup", speedup, "ratio");
+  return 0;
+}

@@ -28,6 +28,25 @@ std::string RotatingPhrase(const std::map<std::string, size_t>& table,
   return phrases[rng->NextBelow(phrases.size())];
 }
 
+/// RotatingPhrase over a precompiled phrase vector (same contents as
+/// PhrasesAbove would return, frozen at compile time). The RNG is drawn
+/// only when the list is non-empty, exactly like RotatingPhrase — the two
+/// engines must consume identical RNG streams.
+std::string RotatingFromVector(const std::vector<std::string>& phrases,
+                               Rng* rng) {
+  if (phrases.empty()) return "";
+  return phrases[rng->NextBelow(phrases.size())];
+}
+
+/// Per-text firing/prefilter counters for the compiled engine. The sums
+/// are commutative, so parallel revision serializes them to the same
+/// bytes at any thread count.
+void EmitRuleFireMetrics(size_t fired, const lm::RuleMatcher& matcher) {
+  if (!Observability::Enabled()) return;
+  CountMetric("rules.matches_fired", fired);
+  CountMetric("rules.prefilter_rejected", matcher.prefilter_rejected());
+}
+
 /// The coach's subject guess for disambiguation: the first pair of
 /// adjacent content words in the response (a purely textual heuristic —
 /// the model has no access to the topic bank).
@@ -53,10 +72,34 @@ std::string GuessSubject(const InstructionPair& pair) {
 CoachLm::CoachLm(CoachConfig config, lm::RuleStore rules)
     : config_(std::move(config)),
       rules_(std::move(rules)),
-      backbone_(std::make_shared<lm::BackboneModel>(config_.backbone)) {}
+      backbone_(std::make_shared<lm::BackboneModel>(config_.backbone)) {
+  // An α = 0 store never reaches the rule-application path (ReviseToText
+  // echoes), so there is nothing worth compiling.
+  if (!config_.compiled_rules || rules_.empty()) return;
+  if (Observability::Enabled()) {
+    // Timed through the observability clock, so the deterministic report
+    // mode sees a schedule-independent duration.
+    Clock* clock = Observability::Default().clock();
+    const int64_t start_micros = clock->NowMicros();
+    compiled_ = std::make_shared<const lm::CompiledRuleSet>(
+        rules_, config_.min_rule_support);
+    CountMetric("rules.compiled");
+    CountMetric("rules.compile_micros",
+                static_cast<uint64_t>(clock->NowMicros() - start_micros));
+    SetGaugeMetric("rules.automaton_states",
+                   static_cast<int64_t>(
+                       compiled_->matcher_automaton().num_states()));
+    SetGaugeMetric("rules.patterns",
+                   static_cast<int64_t>(compiled_->num_patterns()));
+  } else {
+    compiled_ = std::make_shared<const lm::CompiledRuleSet>(
+        rules_, config_.min_rule_support);
+  }
+}
 
 std::string CoachLm::ReviseInstruction(const InstructionPair& pair,
                                        Rng* rng) const {
+  if (compiled_ != nullptr) return ReviseInstructionCompiled(pair, rng);
   std::string text = pair.instruction;
   const size_t min_support = config_.min_rule_support;
   // Learned word substitutions (spelling repairs the experts taught).
@@ -97,14 +140,67 @@ std::string CoachLm::ReviseInstruction(const InstructionPair& pair,
   return strings::Trim(text);
 }
 
+std::string CoachLm::ReviseInstructionCompiled(const InstructionPair& pair,
+                                               Rng* rng) const {
+  // Mirrors ReviseInstruction rule for rule: same families, same order,
+  // same RNG draws — only the "does this rule fire, and where?" question
+  // is answered by the shared matcher instead of per-rule string scans.
+  const lm::CompiledRuleSet& compiled = *compiled_;
+  std::string text = pair.instruction;
+  lm::RuleMatcher matcher(compiled, text);
+  size_t fired = 0;
+  for (const lm::CompiledTokenSub& sub : compiled.token_subs()) {
+    if (!matcher.Contains(sub.pattern, text)) continue;
+    text = strings::ReplaceAll(text, sub.from, sub.to);
+    matcher.NoteReplacement(sub.to);
+    ++fired;
+  }
+  for (const lm::CompiledPhrase& phrase : compiled.strip_phrases()) {
+    const size_t at = matcher.FirstBegin(phrase.pattern, text);
+    if (at == automaton::kNotFound) continue;
+    text.erase(at, phrase.text.size());
+    // CollapseWhitespace only removes or unifies whitespace (one
+    // fingerprint class), so this stays an erasure for the matcher.
+    text = strings::CollapseWhitespace(text);
+    matcher.NoteErasure();
+    ++fired;
+  }
+  for (const lm::CompiledPhrase& filler : compiled.fillers()) {
+    if (!matcher.Contains(filler.pattern, text)) continue;
+    const std::string subject = GuessSubject(pair);
+    if (!subject.empty()) {
+      text = strings::ReplaceAll(text, filler.text, subject);
+      matcher.NoteReplacement(subject);
+      ++fired;
+    }
+  }
+  if (compiled.capitalize()) {
+    text = repair::CapitalizeSentences(text);
+  }
+  if (strings::CountWords(text) < 12 &&
+      rng->NextBool(compiled.context_add_rate())) {
+    const std::string scaffold =
+        RotatingFromVector(compiled.context_exemplars(), rng);
+    if (!scaffold.empty()) text += " " + scaffold;
+  }
+  EmitRuleFireMetrics(fired, matcher);
+  return strings::Trim(text);
+}
+
 std::string CoachLm::ComposeExpansion(const std::string& context,
                                       const std::string& existing,
                                       size_t max_new, Rng* rng) const {
   const auto retrieved =
       backbone_->RetrieveRelevant(context, existing, max_new);
   std::string out;
-  const auto markers =
-      lm::RuleStore::PhrasesAbove(rules_.markers, config_.min_rule_support);
+  // The compiled markers vector is exactly what PhrasesAbove returns for
+  // this table, frozen at compile time — same contents, same order.
+  std::vector<std::string> markers_scratch;
+  const std::vector<std::string>& markers =
+      compiled_ != nullptr
+          ? compiled_->markers()
+          : (markers_scratch = lm::RuleStore::PhrasesAbove(
+                 rules_.markers, config_.min_rule_support));
   const ExpansionVerifier verifier(backbone_.get());
   for (const std::string& sentence : retrieved) {
     std::string line = backbone_->ApplyFluencyNoise(sentence, rng);
@@ -135,10 +231,128 @@ std::string CoachLm::ComposeExpansion(const std::string& context,
   return out;
 }
 
+std::string CoachLm::ComposeRewrite(const InstructionPair& pair,
+                                    const std::string& context,
+                                    Rng* rng) const {
+  // Generation conditions on the task input first: when the instruction
+  // carries a prose payload (a passage to work on), the replacement
+  // response is grounded in it, in the list layout the experts favour.
+  std::string fresh;
+  const bool prose_input = strings::CountWords(pair.input) >= 10 &&
+                           !strings::Contains(pair.input, "def ") &&
+                           !strings::Contains(pair.input, "|");
+  if (prose_input) {
+    const auto sentences = tokenizer::SplitSentences(pair.input);
+    if (sentences.size() > 1) {
+      for (const std::string& sentence : sentences) {
+        fresh += (fresh.empty() ? "- " : "\n- ") + sentence;
+      }
+    } else if (!sentences.empty()) {
+      fresh = sentences.front();
+    }
+  }
+  fresh += ComposeExpansion(context, fresh, prose_input ? 1 : 3, rng);
+  return strings::Trim(fresh);
+}
+
+void CoachLm::ApplyResponseRepairs(std::string* text_out) const {
+  std::string& text = *text_out;
+  const size_t min_support = config_.min_rule_support;
+  for (const auto& [from, targets] : rules_.token_subs) {
+    if (!strings::Contains(text, from)) continue;
+    const std::string to = rules_.BestSubstitution(from, min_support);
+    if (!to.empty()) text = strings::ReplaceAll(text, from, to);
+  }
+  for (const std::string& opener :
+       lm::RuleStore::PhrasesAbove(rules_.opener_removals, min_support)) {
+    if (strings::StartsWith(text, opener)) {
+      text = strings::Trim(text.substr(opener.size()));
+      break;
+    }
+  }
+  // Tone alignment: the experts' consistently warm outputs (high learned
+  // closing rate) teach the model to drop robotic boilerplate, even when
+  // no explicit opener-deletion example made it into C_alpha.
+  if (rules_.closing_rate > 0.3) {
+    const size_t opener_len = lm::MechanicalOpenerLength(text);
+    if (opener_len > 0) {
+      text = strings::Trim(text.substr(opener_len));
+    }
+  }
+  for (const std::string& token :
+       lm::RuleStore::PhrasesAbove(rules_.strip_tokens, min_support)) {
+    if (strings::Contains(text, token)) {
+      text = strings::Trim(strings::ReplaceAll(text, token, ""));
+    }
+  }
+  if (rules_.reflow_support >= min_support &&
+      !strings::Contains(text, "\n")) {
+    if (strings::Contains(text, " - ") || strings::Contains(text, " 2. ")) {
+      text = repair::ReflowLists(text);
+    }
+    text = repair::CollapseSpaces(text);
+  }
+  if (rules_.doubled_removal_support >= min_support &&
+      !strings::Contains(text, "\n")) {
+    text = repair::RemoveDoubledWords(text);
+  }
+  if (rules_.capitalize_support >= min_support) {
+    text = repair::CapitalizeSentences(text);
+  }
+}
+
+void CoachLm::ApplyResponseRepairsCompiled(std::string* text_out) const {
+  // Mirrors ApplyResponseRepairs rule for rule; see ReviseInstructionCompiled.
+  const lm::CompiledRuleSet& compiled = *compiled_;
+  std::string& text = *text_out;
+  lm::RuleMatcher matcher(compiled, text);
+  size_t fired = 0;
+  for (const lm::CompiledTokenSub& sub : compiled.token_subs()) {
+    if (!matcher.Contains(sub.pattern, text)) continue;
+    text = strings::ReplaceAll(text, sub.from, sub.to);
+    matcher.NoteReplacement(sub.to);
+    ++fired;
+  }
+  for (const lm::CompiledPhrase& opener : compiled.openers()) {
+    if (matcher.StartsWith(opener.pattern, text)) {
+      text = strings::Trim(text.substr(opener.text.size()));
+      matcher.NoteErasure();
+      ++fired;
+      break;
+    }
+  }
+  if (compiled.closing_rate() > 0.3) {
+    const size_t opener_len = lm::MechanicalOpenerLength(text);
+    if (opener_len > 0) {
+      text = strings::Trim(text.substr(opener_len));
+      matcher.NoteErasure();
+    }
+  }
+  for (const lm::CompiledPhrase& token : compiled.strip_tokens()) {
+    if (matcher.Contains(token.pattern, text)) {
+      text = strings::Trim(strings::ReplaceAll(text, token.text, ""));
+      matcher.NoteErasure();
+      ++fired;
+    }
+  }
+  if (compiled.reflow() && !strings::Contains(text, "\n")) {
+    if (strings::Contains(text, " - ") || strings::Contains(text, " 2. ")) {
+      text = repair::ReflowLists(text);
+    }
+    text = repair::CollapseSpaces(text);
+  }
+  if (compiled.remove_doubled() && !strings::Contains(text, "\n")) {
+    text = repair::RemoveDoubledWords(text);
+  }
+  if (compiled.capitalize()) {
+    text = repair::CapitalizeSentences(text);
+  }
+  EmitRuleFireMetrics(fired, matcher);
+}
+
 std::string CoachLm::ReviseResponse(const InstructionPair& pair,
                                     const std::string& new_instruction,
                                     Rng* rng) const {
-  const size_t min_support = config_.min_rule_support;
   const std::string context = new_instruction + "\n" + pair.input;
   std::string text = pair.output;
 
@@ -153,71 +367,14 @@ std::string CoachLm::ReviseResponse(const InstructionPair& pair,
       (strings::Trim(text).empty() ||
        relatedness < rules_.rewrite_overlap_threshold);
   if (rewrite) {
-    // Generation conditions on the task input first: when the instruction
-    // carries a prose payload (a passage to work on), the replacement
-    // response is grounded in it, in the list layout the experts favour.
-    std::string fresh;
-    const bool prose_input = strings::CountWords(pair.input) >= 10 &&
-                             !strings::Contains(pair.input, "def ") &&
-                             !strings::Contains(pair.input, "|");
-    if (prose_input) {
-      const auto sentences = tokenizer::SplitSentences(pair.input);
-      if (sentences.size() > 1) {
-        for (const std::string& sentence : sentences) {
-          fresh += (fresh.empty() ? "- " : "\n- ") + sentence;
-        }
-      } else if (!sentences.empty()) {
-        fresh = sentences.front();
-      }
-    }
-    fresh += ComposeExpansion(context, fresh, prose_input ? 1 : 3, rng);
-    fresh = strings::Trim(fresh);
+    const std::string fresh = ComposeRewrite(pair, context, rng);
     if (!fresh.empty()) {
       text = fresh;
     }
+  } else if (compiled_ != nullptr) {
+    ApplyResponseRepairsCompiled(&text);
   } else {
-    // Surface repairs, gated by learned support.
-    for (const auto& [from, targets] : rules_.token_subs) {
-      if (!strings::Contains(text, from)) continue;
-      const std::string to = rules_.BestSubstitution(from, min_support);
-      if (!to.empty()) text = strings::ReplaceAll(text, from, to);
-    }
-    for (const std::string& opener :
-         lm::RuleStore::PhrasesAbove(rules_.opener_removals, min_support)) {
-      if (strings::StartsWith(text, opener)) {
-        text = strings::Trim(text.substr(opener.size()));
-        break;
-      }
-    }
-    // Tone alignment: the experts' consistently warm outputs (high learned
-    // closing rate) teach the model to drop robotic boilerplate, even when
-    // no explicit opener-deletion example made it into C_alpha.
-    if (rules_.closing_rate > 0.3) {
-      const size_t opener_len = lm::MechanicalOpenerLength(text);
-      if (opener_len > 0) {
-        text = strings::Trim(text.substr(opener_len));
-      }
-    }
-    for (const std::string& token :
-         lm::RuleStore::PhrasesAbove(rules_.strip_tokens, min_support)) {
-      if (strings::Contains(text, token)) {
-        text = strings::Trim(strings::ReplaceAll(text, token, ""));
-      }
-    }
-    if (rules_.reflow_support >= min_support &&
-        !strings::Contains(text, "\n")) {
-      if (strings::Contains(text, " - ") || strings::Contains(text, " 2. ")) {
-        text = repair::ReflowLists(text);
-      }
-      text = repair::CollapseSpaces(text);
-    }
-    if (rules_.doubled_removal_support >= min_support &&
-        !strings::Contains(text, "\n")) {
-      text = repair::RemoveDoubledWords(text);
-    }
-    if (rules_.capitalize_support >= min_support) {
-      text = repair::CapitalizeSentences(text);
-    }
+    ApplyResponseRepairs(&text);
   }
 
   // Learned expansion: grow thin responses toward the expert target
@@ -241,7 +398,9 @@ std::string CoachLm::ReviseResponse(const InstructionPair& pair,
       text.size() > 120 ? text.substr(text.size() - 120) : text;
   if (!lm::LooksLikeClosing(tail) && rng->NextBool(rules_.closing_rate)) {
     const std::string closing =
-        RotatingPhrase(rules_.closings, config_.min_rule_support, rng);
+        compiled_ != nullptr
+            ? RotatingFromVector(compiled_->closings(), rng)
+            : RotatingPhrase(rules_.closings, config_.min_rule_support, rng);
     if (!closing.empty() && !strings::Contains(text, closing)) {
       text += " " + closing;
     }

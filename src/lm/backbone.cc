@@ -106,13 +106,20 @@ double BackboneModel::DocScoreDetailed(size_t doc_index,
                                        const std::string& text,
                                        size_t* match_count,
                                        size_t* longest_match) const {
-  const MemoryDoc& doc = docs_[doc_index];
   const auto words = similarity::ContentWords(text);
+  return DocScoreDetailed(doc_index, words, match_count, longest_match);
+}
+
+double BackboneModel::DocScoreDetailed(
+    size_t doc_index, const std::unordered_set<std::string>& words,
+    size_t* match_count, size_t* longest_match) const {
+  const MemoryDoc& doc = docs_[doc_index];
   *match_count = 0;
   *longest_match = 0;
   if (words.empty()) return 0.0;
   double total = 0.0;
   double matched = 0.0;
+  // COACHLM_LINT_ALLOW(determinism-unordered-serialization): summation order is pinned by the golden determinism suite for this stdlib — the pre-hoist path iterated the same per-call set, and sorting here would change the float sums and invalidate every golden. The one set object is reused across all docs of a query, so per-doc scores stay mutually consistent.
   for (const std::string& word : words) {
     const double weight = static_cast<double>(word.size());
     total += weight;
@@ -130,13 +137,16 @@ std::vector<std::string> BackboneModel::RetrieveRelevant(
     const std::string& context, const std::string& existing,
     size_t max_sentences) const {
   constexpr double kActivationThreshold = 0.15;
+  // Tokenize the query once; every document is scored against the same
+  // word set (identical iteration order per doc, so identical sums).
+  const auto context_words = similarity::ContentWords(context);
   double best_score = 0.0;
   size_t best_doc = docs_.size();
   bool best_activates = false;
   for (size_t i = 0; i < docs_.size(); ++i) {
     size_t count = 0;
     size_t longest = 0;
-    const double score = DocScoreDetailed(i, context, &count, &longest);
+    const double score = DocScoreDetailed(i, context_words, &count, &longest);
     if (score > best_score) {
       best_score = score;
       best_doc = i;
@@ -171,9 +181,15 @@ std::vector<std::string> BackboneModel::RetrieveRelevant(
 
 double BackboneModel::TopicalAgreement(const std::string& a,
                                        const std::string& b) const {
+  const auto words_a = similarity::ContentWords(a);
+  const auto words_b = similarity::ContentWords(b);
   double best = 0.0;
   for (size_t i = 0; i < docs_.size(); ++i) {
-    const double score = std::min(DocScore(i, a), DocScore(i, b));
+    size_t count = 0;
+    size_t longest = 0;
+    const double score =
+        std::min(DocScoreDetailed(i, words_a, &count, &longest),
+                 DocScoreDetailed(i, words_b, &count, &longest));
     best = std::max(best, score);
   }
   return best;

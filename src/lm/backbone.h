@@ -2,6 +2,7 @@
 #define COACHLM_LM_BACKBONE_H_
 
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.h"
@@ -67,6 +68,16 @@ class BackboneModel {
   /// the longest match (discriminative single words like a topic name are
   /// long; incidental matches like "show" are short).
   double DocScoreDetailed(size_t doc_index, const std::string& text,
+                          size_t* match_count, size_t* longest_match) const;
+
+  /// DocScoreDetailed against a pre-tokenized query. The retrieval loops
+  /// score one query against *every* document, so they tokenize once with
+  /// similarity::ContentWords and reuse the set across docs — scoring the
+  /// same set object visits words in the same order as the string overload,
+  /// keeping the floating-point sums (and therefore every downstream byte)
+  /// identical.
+  double DocScoreDetailed(size_t doc_index,
+                          const std::unordered_set<std::string>& words,
                           size_t* match_count, size_t* longest_match) const;
 
   /// Retrieves up to \p max_sentences unused sentences from the document

@@ -24,6 +24,13 @@ std::map<std::string, size_t> TableFromJson(const json::Value& value) {
 
 }  // namespace
 
+// Tie-break contract for every table accessor below: higher support wins,
+// and equal-support phrases resolve to the lexicographically smaller one.
+// The tables are std::map (lexicographic iteration), so first-max scans and
+// stable sorts already produce that order — the explicit comparators make
+// the contract hold even if the container ever changes, keeping serialized
+// checkpoints and compiled rule tables byte-stable across platforms.
+
 std::string RuleStore::BestSubstitution(const std::string& from,
                                         size_t min_support) const {
   auto it = token_subs.find(from);
@@ -31,7 +38,8 @@ std::string RuleStore::BestSubstitution(const std::string& from,
   std::string best;
   size_t best_support = 0;
   for (const auto& [to, support] : it->second) {
-    if (support > best_support) {
+    if (support > best_support ||
+        (support == best_support && best_support > 0 && to < best)) {
       best_support = support;
       best = to;
     }
@@ -44,7 +52,8 @@ std::string RuleStore::BestPhrase(const std::map<std::string, size_t>& table,
   std::string best;
   size_t best_support = 0;
   for (const auto& [phrase, support] : table) {
-    if (support > best_support) {
+    if (support > best_support ||
+        (support == best_support && best_support > 0 && phrase < best)) {
       best_support = support;
       best = phrase;
     }
@@ -58,10 +67,11 @@ std::vector<std::string> RuleStore::PhrasesAbove(
   for (const auto& [phrase, support] : table) {
     if (support >= min_support) entries.emplace_back(phrase, support);
   }
-  std::stable_sort(entries.begin(), entries.end(),
-                   [](const auto& a, const auto& b) {
-                     return a.second > b.second;
-                   });
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
   std::vector<std::string> phrases;
   phrases.reserve(entries.size());
   for (auto& [phrase, support] : entries) phrases.push_back(phrase);

@@ -1,0 +1,161 @@
+#include "text/match_automaton.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+namespace coachlm {
+namespace automaton {
+
+int ClassOf(unsigned char c) {
+  if (c >= 'a' && c <= 'z') return c - 'a';
+  if (c >= 'A' && c <= 'Z') return 26 + (c - 'A');
+  if (c >= '0' && c <= '9') return 52 + (c - '0');
+  if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+      c == '\v') {
+    return 62;
+  }
+  return 63;
+}
+
+ClassFingerprint FingerprintOf(const std::string& text) {
+  ClassFingerprint fp;
+  for (const char ch : text) {
+    const int cls = ClassOf(static_cast<unsigned char>(ch));
+    fp.mask |= uint64_t{1} << cls;
+    if (fp.counts[cls] < 255) ++fp.counts[cls];
+  }
+  return fp;
+}
+
+namespace {
+
+/// Trie node used only during construction; the built automaton keeps
+/// none of this.
+struct TrieNode {
+  // Sparse children keyed by byte; a map keeps construction deterministic
+  // and the memory bounded by total pattern bytes.
+  std::map<unsigned char, int32_t> next;
+  int32_t fail = 0;
+  std::vector<uint32_t> outputs;
+};
+
+}  // namespace
+
+MatchAutomaton::MatchAutomaton(const std::vector<std::string>& patterns) {
+  pattern_lengths_.reserve(patterns.size());
+  fingerprints_.reserve(patterns.size());
+  std::vector<TrieNode> nodes(1);
+  // Insertion: duplicate strings collapse onto one trie terminal but every
+  // id is still reported (all duplicates land in that node's outputs).
+  for (size_t id = 0; id < patterns.size(); ++id) {
+    const std::string& pattern = patterns[id];
+    pattern_lengths_.push_back(pattern.size());
+    fingerprints_.push_back(FingerprintOf(pattern));
+    if (pattern.empty()) continue;  // would match everywhere; never emitted
+    int32_t state = 0;
+    for (const char ch : pattern) {
+      const auto byte = static_cast<unsigned char>(ch);
+      auto it = nodes[state].next.find(byte);
+      if (it == nodes[state].next.end()) {
+        const auto fresh = static_cast<int32_t>(nodes.size());
+        nodes[state].next.emplace(byte, fresh);
+        nodes.emplace_back();
+        state = fresh;
+      } else {
+        state = it->second;
+      }
+    }
+    nodes[state].outputs.push_back(static_cast<uint32_t>(id));
+  }
+
+  // BFS: fail links, then merge fail-target outputs transitively so a
+  // scan never follows fail chains. Parents are processed before children,
+  // so the fail target's outputs are already complete when copied.
+  std::deque<int32_t> queue;
+  for (const auto& [byte, child] : nodes[0].next) {
+    (void)byte;
+    nodes[child].fail = 0;
+    queue.push_back(child);
+  }
+  while (!queue.empty()) {
+    const int32_t state = queue.front();
+    queue.pop_front();
+    for (const auto& [byte, child] : nodes[state].next) {
+      int32_t fall = nodes[state].fail;
+      while (fall != 0 && nodes[fall].next.count(byte) == 0) {
+        fall = nodes[fall].fail;
+      }
+      const auto hit = nodes[fall].next.find(byte);
+      const int32_t target =
+          (hit != nodes[fall].next.end() && hit->second != child) ? hit->second
+                                                                  : 0;
+      nodes[child].fail = target;
+      const auto& inherited = nodes[target].outputs;
+      nodes[child].outputs.insert(nodes[child].outputs.end(),
+                                  inherited.begin(), inherited.end());
+      queue.push_back(child);
+    }
+  }
+
+  // Flatten into the dense DFA. delta(s, b) resolves goto-or-fail at build
+  // time: root misses self-loop on 0, and every other miss copies the fail
+  // target's (already final) row — BFS order guarantees the fail target's
+  // row is complete first.
+  state_count_ = nodes.size();
+  transitions_.assign(state_count_ * 256, 0);
+  for (const auto& [byte, child] : nodes[0].next) {
+    transitions_[byte] = child;
+  }
+  std::deque<int32_t> order;
+  for (const auto& [byte, child] : nodes[0].next) {
+    (void)byte;
+    order.push_back(child);
+  }
+  while (!order.empty()) {
+    const int32_t state = order.front();
+    order.pop_front();
+    const int32_t fail = nodes[state].fail;
+    for (int b = 0; b < 256; ++b) {
+      transitions_[static_cast<size_t>(state) * 256 + b] =
+          transitions_[static_cast<size_t>(fail) * 256 + b];
+    }
+    for (const auto& [byte, child] : nodes[state].next) {
+      transitions_[static_cast<size_t>(state) * 256 + byte] = child;
+      order.push_back(child);
+    }
+  }
+
+  // Flat output slices.
+  output_begin_.assign(state_count_ + 1, 0);
+  size_t total = 0;
+  for (size_t s = 0; s < state_count_; ++s) {
+    output_begin_[s] = static_cast<uint32_t>(total);
+    total += nodes[s].outputs.size();
+  }
+  output_begin_[state_count_] = static_cast<uint32_t>(total);
+  output_ids_.reserve(total);
+  for (size_t s = 0; s < state_count_; ++s) {
+    output_ids_.insert(output_ids_.end(), nodes[s].outputs.begin(),
+                       nodes[s].outputs.end());
+  }
+}
+
+void MatchAutomaton::Scan(const std::string& text,
+                          std::vector<size_t>* first_begin) const {
+  first_begin->assign(pattern_lengths_.size(), kNotFound);
+  int32_t state = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    state = transitions_[static_cast<size_t>(state) * 256 +
+                         static_cast<unsigned char>(text[i])];
+    for (uint32_t k = output_begin_[state]; k < output_begin_[state + 1];
+         ++k) {
+      const uint32_t id = output_ids_[k];
+      const size_t begin = i + 1 - pattern_lengths_[id];
+      if ((*first_begin)[id] == kNotFound) (*first_begin)[id] = begin;
+    }
+  }
+}
+
+}  // namespace automaton
+}  // namespace coachlm

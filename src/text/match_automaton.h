@@ -1,0 +1,110 @@
+#ifndef COACHLM_TEXT_MATCH_AUTOMATON_H_
+#define COACHLM_TEXT_MATCH_AUTOMATON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace coachlm {
+
+/// \brief Multi-pattern substring search compiled to flat tables.
+///
+/// An Aho-Corasick automaton whose goto/fail structure is flattened into a
+/// dense DFA: one `state_count × 256` transition table plus per-state
+/// output slices into a single flat pattern-id array (fail-chain outputs
+/// are merged transitively at build time, so scanning never walks fail
+/// links). No per-node allocation survives construction — the whole
+/// automaton is four `std::vector`s, cheap to share immutably across
+/// threads. Alongside it, 64-bit character-class fingerprints give an O(1)
+/// "cannot possibly match" rejection before any automaton or string work.
+namespace automaton {
+
+/// \brief Character-class summary of a string: a presence mask and
+/// saturating per-class counts over 64 classes.
+///
+/// Classes: `a–z` → 0..25, `A–Z` → 26..51, `0–9` → 52..61, any ASCII
+/// whitespace → 62, everything else → 63. All whitespace folds into ONE
+/// class on purpose: the revision pipeline rewrites whitespace kinds into
+/// each other (CollapseWhitespace turns tabs and newlines into spaces), so
+/// distinguishing them would make the prefilter unsound after mutations.
+struct ClassFingerprint {
+  /// Bit `c` set when the string contains at least one char of class `c`.
+  uint64_t mask = 0;
+  /// Per-class occurrence counts, saturating at 255.
+  uint8_t counts[64] = {};
+
+  /// True when a string with this fingerprint could contain a pattern
+  /// with fingerprint \p needle: every class the pattern needs is present
+  /// with at least the needed count. Exact counts are only meaningful
+  /// against unmutated text; against a mask-only superset use
+  /// `MaskCovers`.
+  bool Covers(const ClassFingerprint& needle) const {
+    if ((needle.mask & ~mask) != 0) return false;
+    for (int c = 0; c < 64; ++c) {
+      if (counts[c] < needle.counts[c]) return false;
+    }
+    return true;
+  }
+
+  /// Mask-only containment: every class \p needle uses appears here.
+  bool MaskCovers(const ClassFingerprint& needle) const {
+    return (needle.mask & ~mask) == 0;
+  }
+};
+
+/// Classifies one byte into its fingerprint class (0..63).
+int ClassOf(unsigned char c);
+
+/// Computes the fingerprint of \p text.
+ClassFingerprint FingerprintOf(const std::string& text);
+
+/// Sentinel for "pattern not found" positions.
+inline constexpr size_t kNotFound = static_cast<size_t>(-1);
+
+/// \brief The compiled multi-pattern matcher.
+///
+/// Patterns keep the ids they were added with; duplicate pattern strings
+/// collapse onto one trie terminal but every duplicate id is still
+/// reported. Empty patterns never match (they would match everywhere and
+/// the revision rules never produce them).
+class MatchAutomaton {
+ public:
+  /// Builds the automaton over \p patterns; pattern `i` gets id `i`.
+  explicit MatchAutomaton(const std::vector<std::string>& patterns);
+
+  MatchAutomaton(const MatchAutomaton&) = delete;
+  MatchAutomaton& operator=(const MatchAutomaton&) = delete;
+  MatchAutomaton(MatchAutomaton&&) = default;
+  MatchAutomaton& operator=(MatchAutomaton&&) = default;
+
+  /// One pass over \p text; writes the byte offset of the FIRST occurrence
+  /// of each pattern into \p first_begin (sized to pattern count,
+  /// `kNotFound` where absent). Equivalent to calling `text.find(p)` per
+  /// pattern, in O(text + matches) total.
+  void Scan(const std::string& text, std::vector<size_t>* first_begin) const;
+
+  size_t num_patterns() const { return pattern_lengths_.size(); }
+  size_t num_states() const { return state_count_; }
+  size_t pattern_length(size_t id) const { return pattern_lengths_[id]; }
+  const ClassFingerprint& fingerprint(size_t id) const {
+    return fingerprints_[id];
+  }
+
+ private:
+  // Dense DFA: transitions_[state * 256 + byte] is the next state.
+  std::vector<int32_t> transitions_;
+  // Per-state slice [output_begin_[s], output_begin_[s + 1]) into
+  // output_ids_: the ids of every pattern ending at state s, including
+  // those inherited along the fail chain (merged at build time).
+  std::vector<uint32_t> output_begin_;
+  std::vector<uint32_t> output_ids_;
+  std::vector<size_t> pattern_lengths_;
+  std::vector<ClassFingerprint> fingerprints_;
+  size_t state_count_ = 0;
+};
+
+}  // namespace automaton
+}  // namespace coachlm
+
+#endif  // COACHLM_TEXT_MATCH_AUTOMATON_H_

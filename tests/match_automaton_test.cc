@@ -1,0 +1,170 @@
+#include "text/match_automaton.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace coachlm {
+namespace automaton {
+namespace {
+
+/// Asserts Scan agrees with std::string::find for every pattern.
+void ExpectFindParity(const MatchAutomaton& machine,
+                      const std::vector<std::string>& patterns,
+                      const std::string& text) {
+  std::vector<size_t> first_begin;
+  machine.Scan(text, &first_begin);
+  ASSERT_EQ(first_begin.size(), patterns.size());
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    if (patterns[i].empty()) {
+      // Empty patterns never match by contract (find would say 0).
+      EXPECT_EQ(first_begin[i], kNotFound) << "pattern " << i;
+      continue;
+    }
+    const size_t expected = text.find(patterns[i]);
+    const size_t actual = first_begin[i];
+    if (expected == std::string::npos) {
+      EXPECT_EQ(actual, kNotFound) << "pattern '" << patterns[i] << "'";
+    } else {
+      EXPECT_EQ(actual, expected) << "pattern '" << patterns[i] << "'";
+    }
+  }
+}
+
+TEST(ClassFingerprintTest, ClassesPartitionBytes) {
+  EXPECT_EQ(ClassOf('a'), 0);
+  EXPECT_EQ(ClassOf('z'), 25);
+  EXPECT_EQ(ClassOf('A'), 26);
+  EXPECT_EQ(ClassOf('Z'), 51);
+  EXPECT_EQ(ClassOf('0'), 52);
+  EXPECT_EQ(ClassOf('9'), 61);
+  // All whitespace folds into one class: CollapseWhitespace rewrites
+  // whitespace kinds into each other, so distinguishing them would make
+  // the prefilter unsound after a mutation.
+  EXPECT_EQ(ClassOf(' '), 62);
+  EXPECT_EQ(ClassOf('\t'), 62);
+  EXPECT_EQ(ClassOf('\n'), 62);
+  EXPECT_EQ(ClassOf('\r'), 62);
+  EXPECT_EQ(ClassOf('.'), 63);
+  EXPECT_EQ(ClassOf(static_cast<unsigned char>(0xC3)), 63);  // UTF-8 lead
+}
+
+TEST(ClassFingerprintTest, CoversRequiresMaskAndCounts) {
+  const ClassFingerprint hay = FingerprintOf("aab c");
+  EXPECT_TRUE(hay.Covers(FingerprintOf("aa")));
+  EXPECT_TRUE(hay.Covers(FingerprintOf("cab a")));
+  // Needs three 'a's; the haystack has two.
+  EXPECT_FALSE(hay.Covers(FingerprintOf("aaa")));
+  // Needs a class the haystack lacks.
+  EXPECT_FALSE(hay.Covers(FingerprintOf("d")));
+  EXPECT_FALSE(hay.Covers(FingerprintOf("A")));
+  // Mask-only containment ignores counts.
+  EXPECT_TRUE(hay.MaskCovers(FingerprintOf("aaa")));
+  EXPECT_FALSE(hay.MaskCovers(FingerprintOf("d")));
+}
+
+TEST(ClassFingerprintTest, CountsSaturateAt255) {
+  const ClassFingerprint fp = FingerprintOf(std::string(1000, 'x'));
+  EXPECT_EQ(fp.counts[ClassOf('x')], 255);
+  EXPECT_TRUE(fp.Covers(FingerprintOf(std::string(300, 'x'))));
+}
+
+TEST(MatchAutomatonTest, EmptyPatternSet) {
+  const MatchAutomaton machine({});
+  std::vector<size_t> first_begin;
+  machine.Scan("any text at all", &first_begin);
+  EXPECT_TRUE(first_begin.empty());
+  EXPECT_EQ(machine.num_patterns(), 0u);
+  EXPECT_GE(machine.num_states(), 1u);
+}
+
+TEST(MatchAutomatonTest, EmptyPatternNeverMatches) {
+  const std::vector<std::string> patterns = {"", "ab"};
+  const MatchAutomaton machine(patterns);
+  ExpectFindParity(machine, patterns, "abab");
+  ExpectFindParity(machine, patterns, "");
+}
+
+TEST(MatchAutomatonTest, ClassicOverlappingPatterns) {
+  const std::vector<std::string> patterns = {"he", "she", "his", "hers"};
+  const MatchAutomaton machine(patterns);
+  ExpectFindParity(machine, patterns, "ushers");
+  ExpectFindParity(machine, patterns, "she sells seashells");
+  ExpectFindParity(machine, patterns, "hah");
+  ExpectFindParity(machine, patterns, "");
+}
+
+TEST(MatchAutomatonTest, PrefixOfAnotherPattern) {
+  const std::vector<std::string> patterns = {"the", "then", "the quick",
+                                             "hen"};
+  const MatchAutomaton machine(patterns);
+  ExpectFindParity(machine, patterns, "then the quick fox");
+  ExpectFindParity(machine, patterns, "the");
+  ExpectFindParity(machine, patterns, "then");
+  ExpectFindParity(machine, patterns, "athens");
+}
+
+TEST(MatchAutomatonTest, DuplicatePatternsAllReported) {
+  const std::vector<std::string> patterns = {"abc", "abc"};
+  const MatchAutomaton machine(patterns);
+  std::vector<size_t> first_begin;
+  machine.Scan("xxabcxx", &first_begin);
+  ASSERT_EQ(first_begin.size(), 2u);
+  EXPECT_EQ(first_begin[0], 2u);
+  EXPECT_EQ(first_begin[1], 2u);
+}
+
+TEST(MatchAutomatonTest, Utf8MultibyteBoundaries) {
+  // Byte-level matching must agree with byte-level find even when
+  // patterns and text carry multibyte sequences, including a pattern
+  // whose bytes begin inside another character's encoding.
+  const std::string cafe = "caf\xC3\xA9";          // café
+  const std::string accent = "\xC3\xA9tat";        // état
+  const std::string lead_only = "\xC3\xA9";        // é alone
+  const std::vector<std::string> patterns = {cafe, accent, lead_only, "tat"};
+  const MatchAutomaton machine(patterns);
+  ExpectFindParity(machine, patterns, "un caf\xC3\xA9 dans l'\xC3\xA9tat");
+  ExpectFindParity(machine, patterns, "caf\xC3");  // truncated sequence
+  ExpectFindParity(machine, patterns, "\xC3\xA9\xC3\xA9");
+  ExpectFindParity(machine, patterns, "plain ascii only");
+}
+
+TEST(MatchAutomatonTest, FirstOccurrenceIsLeftmost) {
+  const std::vector<std::string> patterns = {"aa"};
+  const MatchAutomaton machine(patterns);
+  std::vector<size_t> first_begin;
+  machine.Scan("baaaa", &first_begin);
+  EXPECT_EQ(first_begin[0], 1u);  // not 2 or 3 — overlaps report leftmost
+}
+
+TEST(MatchAutomatonTest, RandomizedFindParity) {
+  // Deterministic fuzz over a 4-letter alphabet (dense overlaps).
+  Rng rng(1234);
+  const char alphabet[] = {'a', 'b', ' ', '.'};
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::string> patterns;
+    const size_t num_patterns = 1 + rng.NextBelow(8);
+    for (size_t p = 0; p < num_patterns; ++p) {
+      std::string pattern;
+      const size_t len = 1 + rng.NextBelow(5);
+      for (size_t i = 0; i < len; ++i) {
+        pattern += alphabet[rng.NextBelow(4)];
+      }
+      patterns.push_back(pattern);
+    }
+    const MatchAutomaton machine(patterns);
+    std::string text;
+    const size_t text_len = rng.NextBelow(60);
+    for (size_t i = 0; i < text_len; ++i) {
+      text += alphabet[rng.NextBelow(4)];
+    }
+    ExpectFindParity(machine, patterns, text);
+  }
+}
+
+}  // namespace
+}  // namespace automaton
+}  // namespace coachlm

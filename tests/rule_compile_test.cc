@@ -1,0 +1,252 @@
+// Compiled-rule-engine contract: the CompiledRuleSet freezes exactly the
+// tables the scan path derives per call, the RuleMatcher answers exactly
+// what strings::Contains / find / StartsWith would, and — the acceptance
+// gate — coach revision through the compiled engine is byte-identical to
+// the scan engine over the golden corpora at every thread count and seed.
+
+#include "lm/rule_compile.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "coach/coach_lm.h"
+#include "coach/trainer.h"
+#include "common/execution.h"
+#include "determinism_fixture.h"
+#include "expert/pipeline.h"
+#include "lm/pair_text.h"
+#include "synth/generator.h"
+
+namespace coachlm {
+namespace lm {
+namespace {
+
+RuleStore PopulatedStore() {
+  RuleStore store;
+  store.token_subs["teh"]["the"] = 12;
+  store.token_subs["teh"]["then"] = 1;
+  store.token_subs["recieve"]["receive"] = 3;
+  store.token_subs["hopeless"]["x"] = 1;  // below support: compiles away
+  store.capitalize_support = 5;
+  store.doubled_removal_support = 2;
+  store.reflow_support = 7;
+  store.strip_tokens["OUTPUT:"] = 4;
+  store.opener_removals["As an AI language model,"] = 6;
+  store.closings["Hope this helps!"] = 9;
+  store.closings["Rare closing."] = 1;
+  store.markers["For example,"] = 11;
+  store.context_exemplars["Keep the answer under 200 words."] = 3;
+  store.strip_phrases["in zero words"] = 2;
+  store.strip_phrases["without using words"] = 2;  // equal support: tie
+  store.filler_replacements["the thing"] = {"gravity", "chess"};
+  store.filler_replacements["one-shot"] = {"once"};  // < 2: compiles away
+  store.train_pairs = 100;
+  store.mean_appended_sentences = 2.5;
+  store.mean_target_response_words = 120.0;
+  store.closing_rate = 0.8;
+  store.context_add_rate = 0.1;
+  store.rewrite_rate = 0.3;
+  store.rewrite_overlap_threshold = 0.12;
+  return store;
+}
+
+TEST(CompiledRuleSetTest, FamiliesMatchScanDerivation) {
+  const RuleStore store = PopulatedStore();
+  const CompiledRuleSet compiled(store, /*min_support=*/2);
+
+  // token_subs: map order, best replacement resolved, sub-support dropped.
+  ASSERT_EQ(compiled.token_subs().size(), 2u);
+  EXPECT_EQ(compiled.token_subs()[0].from, "recieve");
+  EXPECT_EQ(compiled.token_subs()[0].to, "receive");
+  EXPECT_EQ(compiled.token_subs()[1].from, "teh");
+  EXPECT_EQ(compiled.token_subs()[1].to, "the");
+
+  // strip_phrases: PhrasesAbove order — equal support ties lexicographic.
+  ASSERT_EQ(compiled.strip_phrases().size(), 2u);
+  EXPECT_EQ(compiled.strip_phrases()[0].text, "in zero words");
+  EXPECT_EQ(compiled.strip_phrases()[1].text, "without using words");
+
+  // fillers: only phrases with >= 2 distinct replacements.
+  ASSERT_EQ(compiled.fillers().size(), 1u);
+  EXPECT_EQ(compiled.fillers()[0].text, "the thing");
+
+  ASSERT_EQ(compiled.openers().size(), 1u);
+  EXPECT_EQ(compiled.openers()[0].text, "As an AI language model,");
+  ASSERT_EQ(compiled.strip_tokens().size(), 1u);
+  EXPECT_EQ(compiled.strip_tokens()[0].text, "OUTPUT:");
+
+  // Rotation tables and gates.
+  EXPECT_EQ(compiled.closings(),
+            RuleStore::PhrasesAbove(store.closings, 2));
+  EXPECT_EQ(compiled.markers(), RuleStore::PhrasesAbove(store.markers, 2));
+  EXPECT_TRUE(compiled.capitalize());
+  EXPECT_TRUE(compiled.remove_doubled());
+  EXPECT_TRUE(compiled.reflow());
+  EXPECT_DOUBLE_EQ(compiled.closing_rate(), 0.8);
+  EXPECT_EQ(compiled.expansion_budget(), 3u);  // llround(2.5) = 3
+
+  // One automaton pattern per searched-inside rule.
+  EXPECT_EQ(compiled.num_patterns(), 2u + 2u + 1u + 1u + 1u);
+  EXPECT_GT(compiled.matcher_automaton().num_states(), 1u);
+}
+
+TEST(CompiledRuleSetTest, HighSupportThresholdCompilesEmptyFamilies) {
+  const CompiledRuleSet compiled(PopulatedStore(), /*min_support=*/100);
+  EXPECT_TRUE(compiled.token_subs().empty());
+  EXPECT_TRUE(compiled.strip_phrases().empty());
+  EXPECT_TRUE(compiled.openers().empty());
+  EXPECT_TRUE(compiled.strip_tokens().empty());
+  EXPECT_TRUE(compiled.closings().empty());
+  EXPECT_FALSE(compiled.capitalize());
+  // Fillers are not support-gated on the scan path either.
+  EXPECT_EQ(compiled.fillers().size(), 1u);
+}
+
+TEST(CompiledRuleSetTest, EmptyStoreCompiles) {
+  const CompiledRuleSet compiled(RuleStore(), /*min_support=*/2);
+  EXPECT_EQ(compiled.num_patterns(), 0u);
+  EXPECT_TRUE(compiled.token_subs().empty());
+  RuleMatcher matcher(compiled, "some text");
+  // No patterns to probe; constructing and noting edits must be safe.
+  matcher.NoteReplacement("abc");
+}
+
+TEST(RuleMatcherTest, ExactAnswersWhileUnmutated) {
+  const CompiledRuleSet compiled(PopulatedStore(), /*min_support=*/2);
+  const uint32_t teh = compiled.token_subs()[1].pattern;
+  const uint32_t opener = compiled.openers()[0].pattern;
+
+  const std::string text = "As an AI language model, I saw teh cat.";
+  RuleMatcher matcher(compiled, text);
+  EXPECT_TRUE(matcher.Contains(teh, text));
+  EXPECT_EQ(matcher.FirstBegin(teh, text), text.find("teh"));
+  EXPECT_TRUE(matcher.StartsWith(opener, text));
+
+  const std::string elsewhere = "text with As an AI language model, inside";
+  RuleMatcher matcher2(compiled, elsewhere);
+  EXPECT_FALSE(matcher2.StartsWith(opener, elsewhere));
+  EXPECT_FALSE(matcher2.Contains(teh, elsewhere));
+}
+
+TEST(RuleMatcherTest, PrefilterRejectsWithoutStringWork) {
+  const CompiledRuleSet compiled(PopulatedStore(), /*min_support=*/2);
+  const uint32_t output_token = compiled.strip_tokens()[0].pattern;
+  // "OUTPUT:" needs uppercase letters and ':' — absent here, so the
+  // fingerprint alone answers.
+  const std::string text = "all lowercase words only";
+  RuleMatcher matcher(compiled, text);
+  EXPECT_FALSE(matcher.Contains(output_token, text));
+  EXPECT_EQ(matcher.prefilter_rejected(), 1u);
+}
+
+TEST(RuleMatcherTest, MutationDegradesToDirectProbes) {
+  const CompiledRuleSet compiled(PopulatedStore(), /*min_support=*/2);
+  const uint32_t teh = compiled.token_subs()[1].pattern;
+  const uint32_t recieve = compiled.token_subs()[0].pattern;
+
+  std::string text = "no match for t-e-h here, and no receipt misspelling";
+  RuleMatcher matcher(compiled, text);
+  EXPECT_FALSE(matcher.Contains(teh, text));
+  // A replacement can mint new matches; the matcher must see them.
+  text = "now teh appeared";
+  matcher.NoteReplacement("teh");
+  EXPECT_TRUE(matcher.Contains(teh, text));
+  // Still absent — and answered through the conservative path.
+  EXPECT_FALSE(matcher.Contains(recieve, text));
+}
+
+TEST(RuleMatcherTest, ErasureCannotMintClasses) {
+  const CompiledRuleSet compiled(PopulatedStore(), /*min_support=*/2);
+  const uint32_t output_token = compiled.strip_tokens()[0].pattern;
+  std::string text = "lowercase before mutation";
+  RuleMatcher matcher(compiled, text);
+  matcher.NoteErasure();
+  const size_t rejected_before = matcher.prefilter_rejected();
+  // "OUTPUT:"'s classes were never reachable: still an O(1) rejection
+  // even after the mutation.
+  EXPECT_FALSE(matcher.Contains(output_token, text));
+  EXPECT_EQ(matcher.prefilter_rejected(), rejected_before + 1);
+}
+
+/// The acceptance gate: compiled-vs-scan byte identity over corpora.
+class RuleEngineEquivalenceTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  size_t threads() const { return GetParam(); }
+};
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, RuleEngineEquivalenceTest,
+                         ::testing::Values(1, 2, 8),
+                         [](const ::testing::TestParamInfo<size_t>& param) {
+                           return "threads" + std::to_string(param.param);
+                         });
+
+TEST_P(RuleEngineEquivalenceTest, FixtureCorpusByteIdenticalAcrossSeeds) {
+  for (const uint64_t seed : {23ULL, 7ULL, 20260809ULL}) {
+    coach::CoachConfig scan_config;
+    scan_config.alpha = 1.0;
+    scan_config.seed = seed;
+    scan_config.compiled_rules = false;
+    coach::CoachConfig compiled_config = scan_config;
+    compiled_config.compiled_rules = true;
+
+    const coach::CoachLm scan_model =
+        coach::CoachTrainer(scan_config).Train(testfix::FixtureRevisions());
+    const coach::CoachLm compiled_model =
+        coach::CoachTrainer(compiled_config)
+            .Train(testfix::FixtureRevisions());
+    ASSERT_EQ(scan_model.compiled_rules(), nullptr);
+    ASSERT_NE(compiled_model.compiled_rules(), nullptr);
+
+    const ExecutionContext exec(threads());
+    const InstructionDataset scan_out =
+        scan_model.ReviseDataset(testfix::FixtureCorpus(), {}, nullptr, exec);
+    const InstructionDataset compiled_out = compiled_model.ReviseDataset(
+        testfix::FixtureCorpus(), {}, nullptr, exec);
+    ASSERT_EQ(scan_out.size(), compiled_out.size());
+    for (size_t i = 0; i < scan_out.size(); ++i) {
+      EXPECT_EQ(lm::SerializePair(compiled_out[i]),
+                lm::SerializePair(scan_out[i]))
+          << "seed " << seed << " pair " << i;
+    }
+  }
+}
+
+TEST_P(RuleEngineEquivalenceTest, SyntheticCorpusByteIdentical) {
+  // A trained-for-real rule store over a generated corpus: the same
+  // pipeline the end-to-end golden uses, compared engine vs engine.
+  synth::CorpusConfig corpus_config;
+  corpus_config.size = 600;
+  corpus_config.seed = 42;
+  synth::SynthCorpusGenerator generator(corpus_config);
+  const synth::SynthCorpus corpus = generator.Generate();
+  expert::RevisionStudyConfig study_config;
+  study_config.sample_size = 250;
+  const auto study = expert::RunRevisionStudy(corpus.dataset,
+                                              generator.engine(),
+                                              study_config);
+
+  coach::CoachConfig scan_config;
+  scan_config.alpha = 0.3;
+  scan_config.compiled_rules = false;
+  coach::CoachConfig compiled_config = scan_config;
+  compiled_config.compiled_rules = true;
+
+  const coach::CoachLm scan_model =
+      coach::CoachTrainer(scan_config).Train(study.revisions);
+  const coach::CoachLm compiled_model =
+      coach::CoachTrainer(compiled_config).Train(study.revisions);
+
+  const ExecutionContext exec(threads());
+  const InstructionDataset scan_out =
+      scan_model.ReviseDataset(corpus.dataset, {}, nullptr, exec);
+  const InstructionDataset compiled_out =
+      compiled_model.ReviseDataset(corpus.dataset, {}, nullptr, exec);
+  EXPECT_EQ(testfix::HashDataset(compiled_out),
+            testfix::HashDataset(scan_out));
+}
+
+}  // namespace
+}  // namespace lm
+}  // namespace coachlm

@@ -8,6 +8,8 @@
 #      (`coachlm metrics`) must appear in docs/OBSERVABILITY.md.
 #   3. Every lint rule in `coachlm_lint`'s usage text must appear in
 #      docs/LINT.md — the rule catalog cannot lag the checker.
+#   4. Every `rules.*` metric must ALSO appear in docs/RULE_ENGINE.md —
+#      the rule-engine spec documents its own observability surface.
 #
 # Both sets are extracted from the *built binary*, not from the sources,
 # so adding a flag or a catalog entry without documenting it fails CI —
@@ -56,6 +58,22 @@ for metric in $metrics; do
          "is not documented in docs/OBSERVABILITY.md" >&2
     fail=1
   fi
+done
+
+# --- 2b. Rule-engine spec ---------------------------------------------
+# The rules.* metrics are the compiled engine's operator surface; the
+# spec that defines the engine must cover them too, not only the
+# catalog table in OBSERVABILITY.md.
+for metric in $metrics; do
+  case "$metric" in
+    rules.*)
+      if ! grep -q -- "$metric" "$REPO_ROOT/docs/RULE_ENGINE.md"; then
+        echo "check_docs: FAIL: metric '$metric' is not documented in" \
+             "docs/RULE_ENGINE.md (the rule-engine spec)" >&2
+        fail=1
+      fi
+      ;;
+  esac
 done
 
 # --- 3. Lint rules ----------------------------------------------------
